@@ -1,0 +1,77 @@
+// Shared helpers for the paper-reproduction benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper's §5 on
+// the calibrated V100 simulator (Phantom mode — schedules at full paper
+// scale) and prints the measured values next to the published ones.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/strings.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::bench {
+
+/// The paper's testbed, calibrated: V100-PCIe with the measured GEMM rates
+/// of Tables 1/2 installed as exact-shape overrides.
+inline sim::Device paper_device(bytes_t capacity_override = 0) {
+  sim::DeviceSpec spec = sim::DeviceSpec::v100_32gb();
+  if (capacity_override > 0) spec.memory_capacity = capacity_override;
+  sim::Device dev(spec, sim::ExecutionMode::Phantom);
+  dev.model().install_paper_calibration();
+  return dev;
+}
+
+inline void section(const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "================================================================\n";
+}
+
+inline std::string ms(double seconds) {
+  return format_fixed(seconds * 1e3, 0) + " ms";
+}
+
+inline std::string secs(double seconds) {
+  return format_fixed(seconds, 1) + " s";
+}
+
+inline std::string tflops(double flops_per_s) {
+  return format_fixed(flops_per_s / 1e12, 1) + " TF";
+}
+
+/// "measured (paper X)" cell.
+inline std::string vs_paper_ms(double measured_s, double paper_s) {
+  return ms(measured_s) + "  (paper " + ms(paper_s) + ")";
+}
+inline std::string vs_paper_s(double measured_s, double paper_s) {
+  return secs(measured_s) + "  (paper " + secs(paper_s) + ")";
+}
+inline std::string vs_paper_tf(double measured, double paper) {
+  return tflops(measured) + "  (paper " + tflops(paper) + ")";
+}
+
+/// The conventional blocking baseline (see DESIGN.md): no §4.1.2 extra C
+/// working space, no ramp — those are the paper's contributions.
+inline qr::QrOptions blocking_baseline(index_t blocksize) {
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.staging_buffer = false;
+  return opts;
+}
+
+/// The paper's recursive implementation as measured: its Table-3 movement
+/// (37.9 s H2D) matches streaming every level, so the resident-subtree
+/// refinement — which cuts another ~130 GiB — was evidently not in their
+/// runs. The faithful benches disable it; bench/resident_subtree_ablation
+/// measures it separately.
+inline qr::QrOptions recursive_options(index_t blocksize) {
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.resident_subtrees = false;
+  return opts;
+}
+
+} // namespace rocqr::bench

@@ -1,0 +1,56 @@
+// Blocksize sensitivity — the paper's conclusion in one sweep: "the GEMMs
+// in conventional blocking QR ... cannot run at peak ... due to the fixed
+// blocksize, while the GEMMs in recursive QR factorization [are]
+// insensitive to the blocksize". Full 131072^2 QR across b, both devices.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+double run(bool recursive, bytes_t capacity, index_t b) {
+  auto dev = bench::paper_device(capacity);
+  auto a = sim::HostMutRef::phantom(131072, 131072);
+  auto r = sim::HostMutRef::phantom(131072, 131072);
+  const qr::QrStats stats =
+      recursive
+          ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
+          : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+  return stats.total_seconds;
+}
+
+void sweep(const char* title, bytes_t capacity, std::vector<index_t> sizes) {
+  bench::section(title);
+  report::Table t("", {"blocksize", "blocking", "recursive", "speedup"});
+  for (const index_t b : sizes) {
+    try {
+      const double blk = run(false, capacity, b);
+      const double rec = run(true, capacity, b);
+      t.add_row({std::to_string(b), bench::secs(blk), bench::secs(rec),
+                 format_fixed(blk / rec, 2) + "x"});
+    } catch (const DeviceOutOfMemory&) {
+      t.add_row({std::to_string(b), "OOM", "OOM", "-"});
+    }
+  }
+  std::cout << t.render();
+}
+
+} // namespace
+
+int main() {
+  sweep("Blocksize sweep — 131072^2 QR on 32 GB", 32LL << 30,
+        {32768, 16384, 8192, 4096, 2048});
+  sweep("Blocksize sweep — 131072^2 QR on 16 GB", 16LL << 30,
+        {16384, 8192, 4096, 2048});
+  std::cout
+      << "\nBlocking QR degrades steadily as b shrinks (its GEMMs are pinned\n"
+         "to the panel shape and become movement-bound); recursive QR's\n"
+         "dominant GEMMs keep their level-determined sizes, so its total\n"
+         "moves only with the panel count — the §6 conclusion.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figs 7-10: per-engine timelines of the four largest OOC GEMMs
+// in the 131072^2 factorization (inner/outer x blocking/recursive).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "sim/device.hpp"
+
+int main() {
+  using namespace rocqr;
+
+  bench::section(
+      "Fig 7 — max inner product in BLOCKING QR (16384x131072x114688, "
+      "slab 16384)");
+  {
+    auto dev = bench::paper_device();
+    auto q = dev.allocate(131072, 16384, sim::StoragePrecision::FP16);
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 16384;
+    ooc::inner_product_blocking(
+        dev, ooc::Operand::on_device(q),
+        ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 114688)),
+        sim::HostMutRef::phantom(16384, 114688), opts);
+    dev.synchronize();
+    std::cout << dev.trace().render_gantt(110);
+  }
+
+  bench::section(
+      "Fig 8 — max inner product in RECURSIVE QR (65536x131072x65536, "
+      "k-slab 16384)");
+  {
+    auto dev = bench::paper_device();
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 16384;
+    ooc::inner_product_recursive(
+        dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        sim::HostMutRef::phantom(65536, 65536), opts);
+    dev.synchronize();
+    std::cout << dev.trace().render_gantt(110);
+  }
+
+  bench::section(
+      "Fig 9 — max outer product in BLOCKING QR (131072x16384x114688, "
+      "16384^2 tiles)");
+  {
+    auto dev = bench::paper_device();
+    auto a = dev.allocate(131072, 16384, sim::StoragePrecision::FP16);
+    auto b = dev.allocate(16384, 114688, sim::StoragePrecision::FP16);
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 16384;
+    opts.tile_cols = 16384;
+    opts.staging_buffer = false; // conventional baseline
+    ooc::outer_product_blocking(
+        dev, ooc::Operand::on_device(a), ooc::Operand::on_device(b),
+        sim::HostConstRef::phantom(131072, 114688),
+        sim::HostMutRef::phantom(131072, 114688), opts);
+    dev.synchronize();
+    std::cout << dev.trace().render_gantt(110);
+  }
+
+  bench::section(
+      "Fig 10 — max outer product in RECURSIVE QR (131072x65536x65536, "
+      "row slab 8192)");
+  {
+    auto dev = bench::paper_device();
+    auto b = dev.allocate(65536, 65536, sim::StoragePrecision::FP16);
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 8192;
+    ooc::outer_product_recursive(
+        dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        ooc::Operand::on_device(b),
+        sim::HostConstRef::phantom(131072, 65536),
+        sim::HostMutRef::phantom(131072, 65536), opts);
+    dev.synchronize();
+    std::cout << dev.trace().render_gantt(110);
+  }
+
+  std::cout << "\nReading the figures: in both recursive GEMMs (Figs 8/10) the\n"
+               "compute lane is solid — movement is hidden. The blocking inner\n"
+               "product (Fig 7) also overlaps, but its GEMM runs at half rate;\n"
+               "the blocking outer product's exposed movement appears once the\n"
+               "blocksize shrinks (see fig11_small_blocksize).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig 11: the blocking outer product once the QR blocksize drops
+// to 8192 (small-memory regime) — per-tile costs 347/170/326 ms mean the
+// GEMM can no longer hide the movement, no matter how the tiles are sized.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "report/paper.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rocqr;
+  namespace paper = report::paper;
+
+  bench::section(
+      "Fig 11 — blocking outer product at QR blocksize 8192 "
+      "(131072 x 8192 x 131072, 32768^2 C tiles, 16 GB device)");
+
+  auto dev = bench::paper_device(16LL << 30);
+  auto a = dev.allocate(131072, 8192, sim::StoragePrecision::FP16);
+  auto b = dev.allocate(8192, 131072, sim::StoragePrecision::FP16);
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 32768;
+  opts.tile_cols = 32768;
+  opts.staging_buffer = false; // no room for a second 4 GiB tile buffer
+  const auto stats = ooc::outer_product_blocking(
+      dev, ooc::Operand::on_device(a), ooc::Operand::on_device(b),
+      sim::HostConstRef::phantom(131072, 131072),
+      sim::HostMutRef::phantom(131072, 131072), opts);
+  dev.synchronize();
+
+  using P = paper::Fig11;
+  report::Table t("Per-tile costs, measured vs paper:",
+                  {"step", "measured (paper)"});
+  t.add_row({"move-in (C tile)",
+             bench::vs_paper_ms(stats.slab_h2d_seconds, P::h2d_s)});
+  t.add_row({"GEMM", bench::vs_paper_ms(stats.slab_gemm_seconds, P::gemm_s)});
+  t.add_row({"move-out (C tile)",
+             bench::vs_paper_ms(stats.slab_d2h_seconds, P::d2h_s)});
+  std::cout << t.render();
+
+  std::cout << "\ntotal " << bench::secs(dev.makespan()) << " for "
+            << stats.steps << " tiles; GEMM busy only "
+            << bench::secs(dev.trace().busy_seconds(sim::Resource::Compute))
+            << " — data movement dominates (k = 8192 < the ~15000 the\n"
+               "paper's §3.3.2 analysis requires for overlap)\n\n";
+  std::cout << dev.trace().render_gantt(110);
+
+  dev.free(a);
+  dev.free(b);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Why recursion wins, quantified from the schedule itself: the distribution
+// of GEMM work over achieved rates in the full 131072^2 factorization.
+// The recursive algorithm concentrates its flops in few, large, near-peak
+// GEMMs; the blocking algorithm spreads the same flops over many fixed-shape
+// GEMMs that are slow (inner, tall-skinny TN) or movement-bound (outer).
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+struct Profile {
+  // Buckets by achieved in-core rate (TFLOP/s).
+  double flops_below_60 = 0;
+  double flops_60_to_90 = 0;
+  double flops_above_90 = 0;
+  double gemm_seconds = 0;
+  int gemm_count = 0;
+  double total_flops = 0;
+};
+
+Profile profile_run(bool recursive) {
+  auto dev = bench::paper_device();
+  auto a = sim::HostMutRef::phantom(131072, 131072);
+  auto r = sim::HostMutRef::phantom(131072, 131072);
+  if (recursive) {
+    qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(16384));
+  } else {
+    qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(16384));
+  }
+  Profile p;
+  for (const auto& e : dev.trace().events()) {
+    if (e.kind != sim::OpKind::Gemm) continue;
+    const double dur = e.end - e.start;
+    const double rate = static_cast<double>(e.flops) / dur;
+    const double f = static_cast<double>(e.flops);
+    if (rate < 60e12) {
+      p.flops_below_60 += f;
+    } else if (rate < 90e12) {
+      p.flops_60_to_90 += f;
+    } else {
+      p.flops_above_90 += f;
+    }
+    p.gemm_seconds += dur;
+    ++p.gemm_count;
+    p.total_flops += f;
+  }
+  return p;
+}
+
+std::string pct(double part, double whole) {
+  return format_fixed(100.0 * part / whole, 1) + "%";
+}
+
+} // namespace
+
+int main() {
+  bench::section(
+      "GEMM shape profile — where the flops run (131072^2, b=16384)");
+
+  const Profile rec = profile_run(true);
+  const Profile blk = profile_run(false);
+
+  report::Table t("Fraction of GEMM flops by achieved in-core rate:",
+                  {"bucket", "recursive", "blocking"});
+  t.add_row({"  < 60 TFLOP/s", pct(rec.flops_below_60, rec.total_flops),
+             pct(blk.flops_below_60, blk.total_flops)});
+  t.add_row({"60 - 90 TFLOP/s", pct(rec.flops_60_to_90, rec.total_flops),
+             pct(blk.flops_60_to_90, blk.total_flops)});
+  t.add_row({"  > 90 TFLOP/s", pct(rec.flops_above_90, rec.total_flops),
+             pct(blk.flops_above_90, blk.total_flops)});
+  t.add_rule();
+  t.add_row({"GEMM kernel count", std::to_string(rec.gemm_count),
+             std::to_string(blk.gemm_count)});
+  t.add_row({"total GEMM busy", bench::secs(rec.gemm_seconds),
+             bench::secs(blk.gemm_seconds)});
+  t.add_row({"mean in-core rate",
+             bench::tflops(rec.total_flops / rec.gemm_seconds),
+             bench::tflops(blk.total_flops / blk.gemm_seconds)});
+  std::cout << t.render();
+
+  std::cout
+      << "\nBoth algorithms execute the same ~2n^3 update flops; the paper's\n"
+         "§3.1.3 claim is visible directly: recursion runs most of them in\n"
+         "near-peak GEMMs, blocking runs ALL of them in fixed-shape kernels\n"
+         "capped by the tall-skinny TensorCore penalty (§5.1.1).\n";
+  return 0;
+}

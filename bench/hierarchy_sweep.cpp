@@ -1,0 +1,70 @@
+// The abstract's generalization, executed: "out-of-core applications
+// including disk-memory and CPU-GPU processing" share one fast/slow memory
+// boundary, and the recursive-vs-blocking question is the same question at
+// every boundary. This bench runs the identical QR drivers against a 1996
+// disk-CPU workstation, a modern NVMe-CPU node, and the GPU configurations,
+// and reports where recursion starts to matter.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+struct Setup {
+  sim::DeviceSpec spec;
+  index_t n;         // square matrix size ~2-4x the fast tier
+  index_t blocksize;
+  bool calibrate;    // install V100 measured rates
+};
+
+double run(const Setup& s, bool recursive) {
+  sim::Device dev(s.spec, sim::ExecutionMode::Phantom);
+  if (s.calibrate) dev.model().install_paper_calibration();
+  auto a = sim::HostMutRef::phantom(s.n, s.n);
+  auto r = sim::HostMutRef::phantom(s.n, s.n);
+  const qr::QrOptions opts = recursive ? bench::recursive_options(s.blocksize)
+                                       : bench::blocking_baseline(s.blocksize);
+  return (recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
+                    : qr::blocking_ooc_qr(dev, a, r, opts))
+      .total_seconds;
+}
+
+} // namespace
+
+int main() {
+  bench::section(
+      "One boundary, three eras — OOC QR of a matrix ~2-4x the fast tier");
+
+  const Setup setups[] = {
+      {sim::DeviceSpec::disk_cpu_1996(), 8192, 512, false},
+      {sim::DeviceSpec::nvme_cpu_node(), 262144, 16384, false},
+      {sim::DeviceSpec::v100_32gb(), 131072, 16384, true},
+      {sim::DeviceSpec::v100_16gb(), 131072, 8192, true},
+      {sim::DeviceSpec::a100_40gb(), 131072, 16384, false},
+  };
+
+  report::Table t("", {"boundary", "matrix", "blocking", "recursive",
+                       "speedup"});
+  for (const Setup& s : setups) {
+    const double blk = run(s, false);
+    const double rec = run(s, true);
+    t.add_row({s.spec.name, format_shape(s.n, s.n), bench::secs(blk),
+               bench::secs(rec), format_fixed(blk / rec, 2) + "x"});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nOn the 1996 disk-CPU node recursion's gain is the modest\n"
+         "movement-volume effect (~1.3x) — matching §2.4's remark that\n"
+         "recursive algorithms historically brought \"rather small\" gains\n"
+         "because blocking alone reached near peak. Matrix accelerators add\n"
+         "the shape effect on top (fixed-width GEMMs run at half rate), and\n"
+         "shrinking relative memory adds the overlap effect; stacked, they\n"
+         "produce the 1.5-2x of the TensorCore rows — the paper's thesis\n"
+         "restated across thirty years of hardware.\n";
+  return 0;
+}

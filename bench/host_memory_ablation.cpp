@@ -1,0 +1,51 @@
+// Ablation: pinned vs pageable host memory (§3.3.1 assumes ~12-13 GB/s
+// *pinned* transfers). With pageable buffers the link halves and the
+// overlap thresholds (m > 4 R_g/R_m) double. Interestingly the recursive
+// *ratio* shrinks slightly: once BOTH algorithms are fully movement-bound,
+// the advantage converges to the data-movement ratio (~1.15-1.4, Table 3)
+// instead of the in-core GEMM-rate ratio (~2, Table 1) — recursion's two
+// benefits bind in different regimes.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+qr::QrStats run(bool recursive, bool pinned) {
+  auto dev = bench::paper_device();
+  dev.set_host_memory_pinned(pinned);
+  auto a = sim::HostMutRef::phantom(131072, 131072);
+  auto r = sim::HostMutRef::phantom(131072, 131072);
+  return recursive
+             ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(16384))
+             : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(16384));
+}
+
+} // namespace
+
+int main() {
+  bench::section(
+      "Host memory ablation — pinned (13 GB/s) vs pageable (6.5 GB/s), "
+      "131072^2, b=16384, 32 GB");
+
+  report::Table t("", {"host memory", "blocking", "recursive", "speedup"});
+  for (const bool pinned : {true, false}) {
+    const qr::QrStats blk = run(false, pinned);
+    const qr::QrStats rec = run(true, pinned);
+    t.add_row({pinned ? "pinned" : "pageable",
+               bench::secs(blk.total_seconds), bench::secs(rec.total_seconds),
+               format_fixed(blk.total_seconds / rec.total_seconds, 2) + "x"});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nBoth algorithms slow down markedly on pageable memory (use pinned\n"
+         "buffers!). The speedup ratio moves from the GEMM-rate-bound regime\n"
+         "toward the data-movement-bound regime, where it is governed by the\n"
+         "smaller Table-3 movement ratio rather than Table-1's 2x rate gap.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Three formulations, one design space: left-looking (SOLAR/disk-era,
+// minimal movement, skinny GEMMs), right-looking blocking (the paper's
+// baseline: streamed trailing updates, fixed-shape GEMMs), and the paper's
+// recursive algorithm (small movement AND large GEMMs). Across boundaries.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+struct Case {
+  sim::DeviceSpec spec;
+  index_t n;
+  index_t b;
+  bool calibrate;
+};
+
+qr::QrStats run(const Case& c, int formulation) {
+  sim::Device dev(c.spec, sim::ExecutionMode::Phantom);
+  if (c.calibrate) dev.model().install_paper_calibration();
+  auto a = sim::HostMutRef::phantom(c.n, c.n);
+  auto r = sim::HostMutRef::phantom(c.n, c.n);
+  switch (formulation) {
+    case 0: return qr::left_looking_ooc_qr(dev, a, r,
+                                           bench::recursive_options(c.b));
+    case 1: return qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(c.b));
+    default: return qr::recursive_ooc_qr(dev, a, r,
+                                         bench::recursive_options(c.b));
+  }
+}
+
+} // namespace
+
+int main() {
+  bench::section("Left-looking vs right-looking vs recursive OOC QR");
+
+  const Case cases[] = {
+      {sim::DeviceSpec::disk_cpu_1996(), 8192, 512, false},
+      {sim::DeviceSpec::v100_32gb(), 131072, 16384, true},
+      {sim::DeviceSpec::v100_16gb(), 131072, 8192, true},
+  };
+  report::Table t("", {"boundary", "left-looking", "right-looking (blk)",
+                       "recursive", "LL H2D", "RL H2D", "rec H2D"});
+  for (const Case& c : cases) {
+    const qr::QrStats ll = run(c, 0);
+    const qr::QrStats rl = run(c, 1);
+    const qr::QrStats rec = run(c, 2);
+    t.add_row({c.spec.name, bench::secs(ll.total_seconds),
+               bench::secs(rl.total_seconds), bench::secs(rec.total_seconds),
+               format_bytes(ll.h2d_bytes), format_bytes(rl.h2d_bytes),
+               format_bytes(rec.h2d_bytes)});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nLeft-looking minimizes movement (the trailing matrix is written\n"
+         "once) and was the right call in the disk era. On TensorCore its\n"
+         "movement edge still beats the right-looking baseline, but its\n"
+         "skinny GEMMs leave performance behind the recursive algorithm,\n"
+         "which is the only point in this space with small movement AND\n"
+         "near-peak GEMM shapes — the paper's contribution, triangulated.\n";
+  return 0;
+}

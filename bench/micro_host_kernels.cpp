@@ -1,0 +1,127 @@
+// google-benchmark microbenchmarks of the host substrate: GEMM paths,
+// triangular solve, the Gram-Schmidt family, and fp16 conversion. These
+// measure the *real* kernels (not the simulator) and mostly matter for
+// keeping the Real-mode test suite fast.
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.hpp"
+#include "blas/transform.hpp"
+#include "blas/trsm.hpp"
+#include "common/half.hpp"
+#include "la/generate.hpp"
+#include "qr/incore.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+void BM_GemmFp32(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, n, n, n, 1.0f, a.data(),
+               n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmFp32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmFp16Fp32(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, n, n, n, 1.0f, a.data(),
+               n, b.data(), n, 0.0f, c.data(), n,
+               blas::GemmPrecision::FP16_FP32);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmFp16Fp32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransA(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    blas::gemm(blas::Op::Trans, blas::Op::NoTrans, n, n, n, 1.0f, a.data(), n,
+               b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blas::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmTransA)->Arg(128);
+
+void BM_TrsmRightUpper(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix r = la::random_uniform(n, n, 3);
+  for (index_t j = 0; j < n; ++j) r(j, j) += 4.0f;
+  la::Matrix b0 = la::random_uniform(4 * n, n, 4);
+  la::Matrix b(4 * n, n);
+  for (auto _ : state) {
+    blas::copy_matrix(4 * n, n, b0.data(), b0.ld(), b.data(), b.ld());
+    blas::trsm_right_upper(4 * n, n, r.data(), r.ld(), b.data(), b.ld());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_TrsmRightUpper)->Arg(64)->Arg(128);
+
+template <qr::QrFactors (*Fn)(la::ConstMatrixView)>
+void BM_QrVariant(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_normal(4 * n, n, 5);
+  for (auto _ : state) {
+    qr::QrFactors f = Fn(a.view());
+    benchmark::DoNotOptimize(f.q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (4 * n) * n * n);
+}
+BENCHMARK(BM_QrVariant<qr::cgs>)->Arg(32)->Arg(64)->Name("BM_QrCgs");
+BENCHMARK(BM_QrVariant<qr::mgs>)->Arg(32)->Arg(64)->Name("BM_QrMgs");
+BENCHMARK(BM_QrVariant<qr::cgs2>)->Arg(32)->Arg(64)->Name("BM_QrCgs2");
+BENCHMARK(BM_QrVariant<qr::cholesky_qr2>)
+    ->Arg(32)
+    ->Arg(64)
+    ->Name("BM_QrCholeskyQr2");
+
+void BM_QrTsqr(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_normal(4 * n, n, 8);
+  for (auto _ : state) {
+    qr::QrFactors f = qr::tsqr(a.view(), n);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (4 * n) * n * n);
+}
+BENCHMARK(BM_QrTsqr)->Arg(32)->Arg(64);
+
+void BM_QrRecursive(benchmark::State& state) {
+  const index_t n = state.range(0);
+  la::Matrix a = la::random_normal(4 * n, n, 6);
+  for (auto _ : state) {
+    qr::QrFactors f = qr::recursive_cgs(a.view(), 32);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (4 * n) * n * n);
+}
+BENCHMARK(BM_QrRecursive)->Arg(64)->Arg(128);
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  la::Matrix a = la::random_uniform(256, 256, 7);
+  for (auto _ : state) {
+    blas::round_to_half(256, 256, a.data(), a.ld());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Regenerates the §3.2 analysis: data-movement volume of both algorithms as
+// a function of the panel count k, showing the O(k) vs O(log k) separation.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "ooc/movement_model.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rocqr;
+
+  bench::section("§3.2 — analytic data movement vs panel count (m=n=131072)");
+
+  const index_t n = 131072;
+  report::Table t("Volumes in units of the matrix size (mn words):",
+                  {"b", "k", "blocking H2D", "recursive H2D", "ratio",
+                   "blocking D2H", "recursive D2H"});
+  const double mn = static_cast<double>(n) * static_cast<double>(n);
+  for (index_t b : {65536, 32768, 16384, 8192, 4096, 2048}) {
+    const index_t k = ooc::panel_count(n, b);
+    const double bh = ooc::blocking_h2d_words(n, n, b) / mn;
+    const double rh = ooc::recursive_h2d_words(n, n, b) / mn;
+    const double bd = ooc::blocking_d2h_words(n, n, b) / mn;
+    const double rd = ooc::recursive_d2h_words(n, n, b) / mn;
+    t.add_row({std::to_string(b), std::to_string(k), format_fixed(bh, 1),
+               format_fixed(rh, 1), format_fixed(bh / rh, 2) + "x",
+               format_fixed(bd, 1), format_fixed(rd, 1)});
+  }
+  std::cout << t.render();
+
+  std::cout
+      << "\nBlocking grows linearly with k ((k+2)mn + ...) while recursive\n"
+         "grows with log2(k), so the gap widens as the blocksize shrinks —\n"
+         "the paper's argument for why small-memory devices favour recursion.\n";
+
+  bench::section("Internal consistency: closed forms vs per-iteration sums");
+  report::Table t2("", {"quantity", "closed form", "per-iteration sum",
+                        "relative gap"});
+  const index_t b = 16384;
+  const auto row = [&](const char* name, double cf, double sum) {
+    t2.add_row({name, format_fixed(cf / mn, 3), format_fixed(sum / mn, 3),
+                format_fixed(100.0 * (cf / sum - 1.0), 1) + "%"});
+  };
+  row("blocking H2D", ooc::blocking_h2d_words(n, n, b),
+      ooc::blocking_h2d_words_sum(n, n, b));
+  row("blocking D2H", ooc::blocking_d2h_words(n, n, b),
+      ooc::blocking_d2h_words_sum(n, n, b));
+  row("recursive H2D", ooc::recursive_h2d_words(n, n, b),
+      ooc::recursive_h2d_words_sum(n, n, b));
+  row("recursive D2H", ooc::recursive_d2h_words(n, n, b),
+      ooc::recursive_d2h_words_sum(n, n, b));
+  std::cout << t2.render();
+  std::cout << "\nThe blocking closed forms match their sums exactly; the paper's\n"
+               "printed recursive H2D closed form does not simplify from its own\n"
+               "level sum (a typo-level inconsistency documented in DESIGN.md).\n";
+  return 0;
+}

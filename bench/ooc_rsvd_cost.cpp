@@ -1,0 +1,42 @@
+// Out-of-core randomized SVD cost profile — the theme of the paper's
+// reference [15] ("reducing the amount of out-of-core data access for
+// GPU-accelerated randomized SVD"): at paper scale the algorithm is pure
+// streaming, and its cost is the number of passes over A.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "report/table.hpp"
+#include "svd/ooc_rsvd.hpp"
+
+int main() {
+  using namespace rocqr;
+
+  bench::section(
+      "OOC randomized SVD of 131072^2 (64 GiB), rank 32 + oversample 8");
+
+  const double a_gib = 131072.0 * 131072.0 * 4.0 / (1LL << 30);
+  report::Table t("", {"power iterations", "passes over A", "H2D moved",
+                       "D2H moved", "simulated time"});
+  for (const int q : {0, 1, 2, 3}) {
+    auto dev = bench::paper_device();
+    svd::RsvdOptions opts;
+    opts.rank = 32;
+    opts.oversample = 8;
+    opts.power_iterations = q;
+    opts.blocksize = 16384;
+    const svd::RsvdResult r = svd::ooc_randomized_svd(
+        dev, sim::HostConstRef::phantom(131072, 131072), opts);
+    t.add_row({std::to_string(q), std::to_string(2 + 2 * q),
+               format_bytes(r.h2d_bytes), format_bytes(r.d2h_bytes),
+               bench::secs(r.seconds)});
+  }
+  std::cout << t.render();
+  std::cout << "\n(A itself is " << format_fixed(a_gib, 0)
+            << " GiB; everything resident is O((m+n)*l).)\n\n"
+            << "Each power iteration costs exactly two more streaming passes\n"
+               "— the data-access budget [15] optimizes. For comparison, the\n"
+               "full recursive OOC QR of the same matrix moves 448 GiB and\n"
+               "takes ~75 s: a rank-32 spectral sketch costs a fraction of\n"
+               "one factorization.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// §4.1.3 ablation: the blocksize ramp-up on the largest inner product
+// (the paper measures 85 -> 87 TFLOP/s from this trick) and a sweep of the
+// ramp's starting width.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "report/paper.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rocqr;
+  namespace paper = report::paper;
+
+  bench::section(
+      "§4.1.3 — blocksize ramp-up on the largest inner product "
+      "(65536 x 131072 x 65536, steady slab 16384)");
+
+  const flops_t flops = 2LL * 65536 * 131072 * 65536;
+  const auto run = [&](bool ramp, index_t ramp_start) {
+    auto dev = bench::paper_device();
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 16384;
+    opts.ramp_up = ramp;
+    opts.ramp_start = ramp_start;
+    ooc::inner_product_recursive(
+        dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        sim::HostMutRef::phantom(65536, 65536), opts);
+    dev.synchronize();
+    return dev.makespan();
+  };
+
+  const double base = run(false, 2048);
+  report::Table t("", {"schedule", "total", "effective rate", "vs no ramp"});
+  t.add_row({"no ramp (16384 from the start)", bench::secs(base),
+             bench::tflops(static_cast<double>(flops) / base), "1.000x"});
+  for (index_t start : {1024, 2048, 4096, 8192}) {
+    const double s = run(true, start);
+    t.add_row({"ramp from " + std::to_string(start), bench::secs(s),
+               bench::tflops(static_cast<double>(flops) / s),
+               format_fixed(base / s, 3) + "x"});
+  }
+  std::cout << t.render();
+
+  std::cout << "\nPaper's measurement for this trick: "
+            << bench::tflops(paper::Headline::ramp_before_flops) << " -> "
+            << bench::tflops(paper::Headline::ramp_after_flops)
+            << " (~2.4% on the largest inner product).\n"
+            << "The gain comes from hiding part of the first move-in; too\n"
+            << "small a start trades it back through less efficient early\n"
+            << "GEMMs, so the curve has an interior optimum.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table 3: total data-movement time of the full 131072^2 OOC QR
+// at blocksize 16384, recursive vs blocking, plus the measured byte volumes
+// against the §3.2 analytic model.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "ooc/movement_model.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/paper.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rocqr;
+  namespace paper = report::paper;
+
+  bench::section("Table 3 — data movement of the full 131072^2 QR, b=16384");
+
+  const index_t n = 131072;
+  const index_t b = 16384;
+
+  const auto run = [&](bool recursive) {
+    auto dev = bench::paper_device();
+    auto a = sim::HostMutRef::phantom(n, n);
+    auto r = sim::HostMutRef::phantom(n, n);
+    return recursive
+               ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
+               : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+  };
+  const qr::QrStats rec = run(true);
+  const qr::QrStats blk = run(false);
+
+  using P = paper::QrMovement;
+  report::Table t("Engine busy time (and bytes moved), measured vs paper:",
+                  {"direction", "recursive", "blocking"});
+  t.add_row({"host to device",
+             bench::vs_paper_s(rec.h2d_seconds, P::recursive_h2d_s),
+             bench::vs_paper_s(blk.h2d_seconds, P::blocking_h2d_s)});
+  t.add_row({"device to host",
+             bench::vs_paper_s(rec.d2h_seconds, P::recursive_d2h_s),
+             bench::vs_paper_s(blk.d2h_seconds, P::blocking_d2h_s)});
+  t.add_rule();
+  t.add_row({"H2D volume", format_bytes(rec.h2d_bytes),
+             format_bytes(blk.h2d_bytes)});
+  t.add_row({"D2H volume", format_bytes(rec.d2h_bytes),
+             format_bytes(blk.d2h_bytes)});
+  std::cout << t.render();
+
+  bench::section("§3.2 analytic no-reuse model vs measured volume");
+  report::Table t2("", {"quantity", "analytic (no reuse)", "measured"});
+  t2.add_row({"recursive H2D",
+              format_bytes(static_cast<bytes_t>(
+                  ooc::recursive_h2d_words_sum(n, n, b) * 4)),
+              format_bytes(rec.h2d_bytes)});
+  t2.add_row({"recursive D2H",
+              format_bytes(static_cast<bytes_t>(
+                  ooc::recursive_d2h_words(n, n, b) * 4)),
+              format_bytes(rec.d2h_bytes)});
+  t2.add_row({"blocking H2D",
+              format_bytes(static_cast<bytes_t>(
+                  ooc::blocking_h2d_words(n, n, b) * 4)),
+              format_bytes(blk.h2d_bytes)});
+  t2.add_row({"blocking D2H",
+              format_bytes(static_cast<bytes_t>(
+                  ooc::blocking_d2h_words(n, n, b) * 4)),
+              format_bytes(blk.d2h_bytes)});
+  std::cout << t2.render();
+  std::cout
+      << "\nThe recursive algorithm moves less in both directions (Table 3's\n"
+         "claim). Blocking measures below its model thanks to resident-operand\n"
+         "reuse; recursive measures slightly above the paper's printed sum\n"
+         "because that sum iterates to log2(k)-1 and so under-counts one\n"
+         "recursion level — first-principles volume is mn + 3*2mn = 7mn = 448\n"
+         "GiB at k=8, exactly what the simulator counts.\n";
+  return 0;
+}

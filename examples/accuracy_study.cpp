@@ -1,0 +1,65 @@
+// Numerical accuracy study across the QR families and precisions — the
+// HPDC'20 accuracy angle the paper builds on: how far can classic
+// Gram-Schmidt with fp16-input GEMMs be pushed before reorthogonalization
+// or an orthogonal-transform method is needed?
+//
+//   ./build/examples/accuracy_study
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "la/condition.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/incore.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1e", v);
+  return buf;
+}
+
+} // namespace
+
+int main() {
+  const index_t m = 512;
+  const index_t n = 96;
+  std::cout << "Loss of orthogonality |Q'Q - I|_F of a " << format_shape(m, n)
+            << " matrix across condition numbers\n(fp32 arithmetic; rcgs-16 "
+               "uses fp16-input GEMM updates, the TensorCore contract)\n\n";
+
+  report::Table t("", {"cond(A)", "est.", "cgs", "mgs", "cgs2", "rcgs",
+                       "rcgs-16", "householder", "tsqr"});
+  for (const double cond : {1e1, 1e2, 1e3, 1e4, 1e5}) {
+    la::Matrix a = la::random_with_condition(m, n, cond, 97);
+    const auto err = [&](const qr::QrFactors& f) {
+      return sci(la::orthogonality_error(f.q.view()));
+    };
+    std::string estimated = "-";
+    try {
+      // The Gram-matrix-based estimator runs out of fp32 range near 1e4.
+      estimated = sci(la::estimate_condition(a.view()));
+    } catch (const Error&) {
+    }
+    t.add_row({sci(cond), estimated,
+               err(qr::cgs(a.view())), err(qr::mgs(a.view())),
+               err(qr::cgs2(a.view())), err(qr::recursive_cgs(a.view(), 16)),
+               err(qr::recursive_cgs(a.view(), 16,
+                                     blas::GemmPrecision::FP16_FP32)),
+               err(qr::householder(a.view())), err(qr::tsqr(a.view(), 128))});
+  }
+  std::cout << t.render();
+
+  std::cout
+      << "\nReading: CGS degrades like cond^2*eps and MGS like cond*eps\n"
+         "(textbook); CGS2 and Householder stay at roundoff. Recursive CGS\n"
+         "tracks CGS in fp32; with fp16-input GEMM updates it adds a ~3e-3\n"
+         "floor — usable for well-conditioned panels, which is why the\n"
+         "paper's pipeline (and ours) offers CGS2/CholeskyQR2 panels as the\n"
+         "stability escape hatch (QrOptions::panel_algorithm).\n";
+  return 0;
+}

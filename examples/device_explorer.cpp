@@ -1,0 +1,75 @@
+// §6 outlook, interactively: how does the recursive-vs-blocking speedup
+// change across accelerator generations and memory capacities?
+//
+//   ./build/examples/device_explorer
+#include <iostream>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+double total_seconds(bool recursive, const sim::DeviceSpec& spec,
+                     index_t blocksize) {
+  sim::Device dev(spec, sim::ExecutionMode::Phantom);
+  if (spec.name.find("V100") != std::string::npos) {
+    dev.model().install_paper_calibration();
+  }
+  auto a = sim::HostMutRef::phantom(131072, 131072);
+  auto r = sim::HostMutRef::phantom(131072, 131072);
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  if (!recursive) opts.staging_buffer = false; // conventional baseline
+  const qr::QrStats stats =
+      recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
+                : qr::blocking_ooc_qr(dev, a, r, opts);
+  return stats.total_seconds;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Out-of-core QR of a 131072 x 131072 fp32 matrix (64 GiB)\n"
+            << "across simulated accelerators (Phantom mode)\n\n";
+
+  struct Config {
+    sim::DeviceSpec spec;
+    index_t blocksize;
+  };
+  // Blocksize shrinks with memory — the blocking algorithm's working set
+  // (panel + R12 + streamed slabs) must fit, which is precisely the
+  // constraint the paper says cripples it on small-memory cards.
+  std::vector<Config> configs = {
+      {sim::DeviceSpec::v100_32gb(), 16384},
+      {sim::DeviceSpec::v100_16gb(), 8192},
+      {sim::DeviceSpec::a100_40gb(), 16384},
+      {sim::DeviceSpec::rtx3080_10gb(), 4096},
+  };
+
+  report::Table table("", {"device", "blocksize", "blocking QR",
+                           "recursive QR", "speedup"});
+  for (const Config& cfg : configs) {
+    try {
+      const double blk = total_seconds(false, cfg.spec, cfg.blocksize);
+      const double rec = total_seconds(true, cfg.spec, cfg.blocksize);
+      table.add_row({cfg.spec.name, std::to_string(cfg.blocksize),
+                     format_seconds(blk), format_seconds(rec),
+                     format_fixed(blk / rec, 2) + "x"});
+    } catch (const DeviceOutOfMemory&) {
+      table.add_row({cfg.spec.name, std::to_string(cfg.blocksize),
+                     "OOM", "OOM", "-"});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "The paper's §6 prediction: the faster the compute relative to the\n"
+      << "link and the smaller the memory, the bigger recursion's advantage\n"
+      << "(A100 and consumer GPUs amplify the effect seen on the V100).\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Out-of-core QR end to end: factor a matrix that does NOT fit on the
+// (simulated) accelerator, with real numerics, and show what the device did
+// — the per-engine timeline, bytes moved, and the recursive-vs-blocking
+// comparison at miniature scale.
+//
+//   ./build/examples/ooc_qr_demo [rows cols device_KiB]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rocqr;
+
+  const index_t m = argc > 1 ? std::atoll(argv[1]) : 768;
+  const index_t n = argc > 2 ? std::atoll(argv[2]) : 512;
+  const bytes_t device_bytes =
+      (argc > 3 ? std::atoll(argv[3]) : 1024) * 1024; // default 1 MiB
+
+  const bytes_t matrix_bytes = static_cast<bytes_t>(m) * n * 4;
+  std::cout << "Matrix: " << format_shape(m, n) << " fp32 ("
+            << format_bytes(matrix_bytes) << "), simulated device memory: "
+            << format_bytes(device_bytes) << "\n";
+  if (matrix_bytes <= device_bytes) {
+    std::cout << "(note: matrix fits on the device; shrink device_KiB to "
+                 "force out-of-core behaviour)\n";
+  }
+  std::cout << "\n";
+
+  const la::Matrix a = la::random_normal(m, n, 1);
+
+  // Pick a panel width the device can hold with room for the GEMM pipelines
+  // (the panel, its fp32 working set, plus streamed slabs ~ 6 panel-widths).
+  index_t blocksize = 8;
+  while (blocksize * 2 <= n &&
+         static_cast<bytes_t>(m) * blocksize * 2 * 4 * 6 <= device_bytes) {
+    blocksize *= 2;
+  }
+  std::cout << "Chosen QR blocksize: " << blocksize << "\n\n";
+
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.panel_base = 16;
+  opts.precision = blas::GemmPrecision::FP16_FP32; // TensorCore contract
+
+  for (const bool recursive : {false, true}) {
+    sim::DeviceSpec spec = sim::DeviceSpec::v100_32gb();
+    spec.memory_capacity = device_bytes;
+    // Scale link/compute/efficiency knobs to the miniature problem so the
+    // computation-vs-movement balance resembles the paper's (where movement
+    // threatens to dominate): same story, 5 orders of magnitude smaller.
+    spec.h2d_bytes_per_s = 1e9;
+    spec.d2h_bytes_per_s = 1e9;
+    spec.d2d_bytes_per_s = 64e9;
+    spec.tc_peak_flops = 4e12;
+    spec.fp32_peak_flops = 0.5e12;
+    spec.gemm_dim_halfpoint = 48;
+    spec.panel_halfpoint = 500;
+    sim::Device dev(spec, sim::ExecutionMode::Real);
+
+    la::Matrix q = la::materialize(a.view());
+    la::Matrix r(n, n);
+    qr::QrOptions run_opts = opts;
+    if (!recursive) run_opts.staging_buffer = false; // conventional baseline
+    qr::QrStats stats;
+    try {
+      stats = recursive
+                  ? qr::recursive_ooc_qr(dev, q.view(), r.view(), run_opts)
+                  : qr::blocking_ooc_qr(dev, q.view(), r.view(), run_opts);
+    } catch (const DeviceOutOfMemory& e) {
+      std::cerr << "Simulated device too small for this shape: " << e.what()
+                << "\nIncrease device_KiB or shrink the matrix.\n";
+      return 1;
+    }
+
+    std::cout << (recursive ? "=== Recursive OOC QR ===\n"
+                            : "=== Blocking OOC QR (conventional) ===\n");
+    std::cout << "  simulated time    : " << format_seconds(stats.total_seconds)
+              << " (panel " << format_seconds(stats.panel_seconds) << ", gemm "
+              << format_seconds(stats.gemm_seconds) << ")\n";
+    std::cout << "  data moved        : H2D " << format_bytes(stats.h2d_bytes)
+              << ", D2H " << format_bytes(stats.d2h_bytes) << "\n";
+    std::cout << "  peak device memory: "
+              << format_bytes(stats.peak_device_bytes) << " of "
+              << format_bytes(device_bytes) << "\n";
+    std::cout << "  sustained rate    : "
+              << format_flops_rate(stats.sustained_flops_per_s()) << "\n";
+    std::cout << "  residual |A-QR|/|A| = "
+              << la::qr_residual(a.view(), q.view(), r.view()) << "\n\n";
+    std::cout << dev.trace().render_gantt(100) << "\n";
+  }
+  return 0;
+}

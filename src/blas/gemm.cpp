@@ -1,0 +1,132 @@
+#include "blas/gemm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace rocqr::blas {
+
+namespace {
+
+void validate(Op opa, Op opb, index_t m, index_t n, index_t k, const float* a,
+              index_t lda, const float* b, index_t ldb, const float* c,
+              index_t ldc) {
+  ROCQR_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  const index_t a_rows = opa == Op::NoTrans ? m : k;
+  const index_t b_rows = opb == Op::NoTrans ? k : n;
+  ROCQR_CHECK(lda >= (a_rows > 0 ? a_rows : 1), "gemm: lda too small");
+  ROCQR_CHECK(ldb >= (b_rows > 0 ? b_rows : 1), "gemm: ldb too small");
+  ROCQR_CHECK(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+  if (m > 0 && n > 0) {
+    ROCQR_CHECK(c != nullptr, "gemm: null C");
+    if (k > 0) {
+      ROCQR_CHECK(a != nullptr && b != nullptr, "gemm: null A or B");
+    }
+  }
+}
+
+float load_rounded(const float* p, GemmPrecision precision) {
+  return precision == GemmPrecision::FP16_FP32
+             ? static_cast<float>(half(*p))
+             : *p;
+}
+
+/// Packs op(X) (rows x cols after the op) into a dense column-major buffer,
+/// rounding through fp16 when the TensorCore path is selected. Packing makes
+/// the multiply kernel transpose-free and stride-1.
+void pack(Op op, index_t rows, index_t cols, const float* x, index_t ldx,
+          GemmPrecision precision, float* out) {
+  if (op == Op::NoTrans) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        out[i + j * rows] = load_rounded(&x[i + j * ldx], precision);
+      }
+    }
+  } else {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        out[i + j * rows] = load_rounded(&x[j + i * ldx], precision);
+      }
+    }
+  }
+}
+
+} // namespace
+
+void gemm(Op opa, Op opb, index_t m, index_t n, index_t k, float alpha,
+          const float* a, index_t lda, const float* b, index_t ldb, float beta,
+          float* c, index_t ldc, GemmPrecision precision, ThreadPool* pool) {
+  validate(opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) return;
+
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  if (beta != 1.0f) {
+    tp.parallel_for(n, [&](index_t j0, index_t j1) {
+      for (index_t j = j0; j < j1; ++j) {
+        float* col = c + j * ldc;
+        if (beta == 0.0f) {
+          for (index_t i = 0; i < m; ++i) col[i] = 0.0f;
+        } else {
+          for (index_t i = 0; i < m; ++i) col[i] *= beta;
+        }
+      }
+    });
+  }
+  if (alpha == 0.0f || k == 0) return;
+
+  // Pack both operands once. At test scale (<= a few k) this costs a few
+  // megabytes and removes every transpose/precision branch from the kernel.
+  std::vector<float> ap(static_cast<size_t>(m) * static_cast<size_t>(k));
+  std::vector<float> bp(static_cast<size_t>(k) * static_cast<size_t>(n));
+  pack(opa, m, k, a, lda, precision, ap.data());
+  pack(opb, k, n, b, ldb, precision, bp.data());
+
+  tp.parallel_for(n, [&](index_t j0, index_t j1) {
+    for (index_t j = j0; j < j1; ++j) {
+      float* cj = c + j * ldc;
+      const float* bj = bp.data() + j * k;
+      for (index_t l = 0; l < k; ++l) {
+        const float w = alpha * bj[l]; // fp32 scaling, as cublas does
+        if (w == 0.0f) continue;
+        const float* al = ap.data() + l * m;
+        for (index_t i = 0; i < m; ++i) cj[i] += w * al[i];
+      }
+    }
+  });
+}
+
+void gemm_reference(Op opa, Op opb, index_t m, index_t n, index_t k,
+                    float alpha, const float* a, index_t lda, const float* b,
+                    index_t ldb, float beta, float* c, index_t ldc,
+                    GemmPrecision precision) {
+  validate(opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
+  const auto load_a = [&](index_t i, index_t l) {
+    const float* p = opa == Op::NoTrans ? &a[i + l * lda] : &a[l + i * lda];
+    return load_rounded(p, precision);
+  };
+  const auto load_b = [&](index_t l, index_t j) {
+    const float* p = opb == Op::NoTrans ? &b[l + j * ldb] : &b[j + l * ldb];
+    return load_rounded(p, precision);
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      // Double accumulation: the reference serves as ground truth in tests,
+      // so it should be strictly more accurate than the production kernel.
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l) {
+        acc += static_cast<double>(load_a(i, l)) *
+               static_cast<double>(load_b(l, j));
+      }
+      const double prior =
+          beta == 0.0f
+              ? 0.0
+              : static_cast<double>(beta) * static_cast<double>(c[i + j * ldc]);
+      c[i + j * ldc] =
+          static_cast<float>(static_cast<double>(alpha) * acc + prior);
+    }
+  }
+}
+
+} // namespace rocqr::blas

@@ -1,0 +1,63 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rocqr::blas {
+
+void axpy(index_t n, float alpha, const float* x, index_t incx, float* y,
+          index_t incy) {
+  ROCQR_CHECK(n >= 0, "axpy: negative n");
+  if (n == 0 || alpha == 0.0f) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+void scal(index_t n, float alpha, float* x, index_t incx) {
+  ROCQR_CHECK(n >= 0, "scal: negative n");
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+double dot(index_t n, const float* x, index_t incx, const float* y,
+           index_t incy) {
+  ROCQR_CHECK(n >= 0, "dot: negative n");
+  double acc = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    }
+    return acc;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i * incx]) * static_cast<double>(y[i * incy]);
+  }
+  return acc;
+}
+
+double nrm2(index_t n, const float* x, index_t incx) {
+  ROCQR_CHECK(n >= 0, "nrm2: negative n");
+  // Scaled sum of squares (LAPACK dlassq style) to dodge overflow/underflow.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double v = std::fabs(static_cast<double>(x[i * incx]));
+    if (v == 0.0) continue;
+    if (scale < v) {
+      ssq = 1.0 + ssq * (scale / v) * (scale / v);
+      scale = v;
+    } else {
+      ssq += (v / scale) * (v / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+} // namespace rocqr::blas

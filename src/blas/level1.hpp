@@ -1,0 +1,22 @@
+// Level-1 BLAS subset used by the Gram-Schmidt kernels.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rocqr::blas {
+
+/// y += alpha * x
+void axpy(index_t n, float alpha, const float* x, index_t incx, float* y,
+          index_t incy);
+
+/// x *= alpha
+void scal(index_t n, float alpha, float* x, index_t incx);
+
+/// Dot product with double accumulation (matters for CGS stability checks).
+double dot(index_t n, const float* x, index_t incx, const float* y,
+           index_t incy);
+
+/// Euclidean norm, numerically scaled (avoids overflow/underflow).
+double nrm2(index_t n, const float* x, index_t incx);
+
+} // namespace rocqr::blas

@@ -1,0 +1,61 @@
+#include "blas/level2.hpp"
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+
+namespace rocqr::blas {
+
+void gemv(Op op, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, index_t incx, float beta, float* y,
+          index_t incy) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "gemv: negative dimension");
+  ROCQR_CHECK(lda >= (m > 0 ? m : 1), "gemv: lda too small");
+  const index_t ylen = op == Op::NoTrans ? m : n;
+  const index_t xlen = op == Op::NoTrans ? n : m;
+  if (ylen == 0) return;
+  ROCQR_CHECK(y != nullptr, "gemv: null y");
+
+  if (beta != 1.0f) {
+    for (index_t i = 0; i < ylen; ++i) {
+      y[i * incy] = beta == 0.0f ? 0.0f : beta * y[i * incy];
+    }
+  }
+  if (alpha == 0.0f || xlen == 0) return;
+  ROCQR_CHECK(a != nullptr && x != nullptr, "gemv: null A or x");
+
+  if (op == Op::NoTrans) {
+    // y += alpha * A x, column-major friendly: axpy per column.
+    for (index_t j = 0; j < n; ++j) {
+      const float w = alpha * x[j * incx];
+      if (w == 0.0f) continue;
+      const float* col = a + j * lda;
+      for (index_t i = 0; i < m; ++i) y[i * incy] += w * col[i];
+    }
+  } else {
+    // y_j += alpha * (A(:,j) · x): dot per column, double accumulation.
+    for (index_t j = 0; j < n; ++j) {
+      const float* col = a + j * lda;
+      double acc = 0.0;
+      for (index_t i = 0; i < m; ++i) {
+        acc += static_cast<double>(col[i]) * static_cast<double>(x[i * incx]);
+      }
+      y[j * incy] += alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+void ger(index_t m, index_t n, float alpha, const float* x, index_t incx,
+         const float* y, index_t incy, float* a, index_t lda) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "ger: negative dimension");
+  ROCQR_CHECK(lda >= (m > 0 ? m : 1), "ger: lda too small");
+  if (m == 0 || n == 0 || alpha == 0.0f) return;
+  ROCQR_CHECK(a != nullptr && x != nullptr && y != nullptr, "ger: null operand");
+  for (index_t j = 0; j < n; ++j) {
+    const float w = alpha * y[j * incy];
+    if (w == 0.0f) continue;
+    float* col = a + j * lda;
+    for (index_t i = 0; i < m; ++i) col[i] += w * x[i * incx];
+  }
+}
+
+} // namespace rocqr::blas

@@ -1,0 +1,21 @@
+// Level-2 BLAS subset: matrix-vector products for the Gram-Schmidt kernels
+// (the projection coefficients r = Qᵀa and the update u -= Q r are GEMVs).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rocqr::blas {
+
+enum class Op; // from gemm.hpp
+
+/// y := alpha * op(A) * x + beta * y. A is m x n as stored; op(A) is
+/// m x n (NoTrans) or n x m (Trans).
+void gemv(Op op, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, index_t incx, float beta, float* y,
+          index_t incy);
+
+/// A := alpha * x * yᵀ + A (rank-1 update). A is m x n.
+void ger(index_t m, index_t n, float alpha, const float* x, index_t incx,
+         const float* y, index_t incy, float* a, index_t lda);
+
+} // namespace rocqr::blas

@@ -1,0 +1,108 @@
+#include "blas/trsm.hpp"
+
+#include "common/error.hpp"
+
+namespace rocqr::blas {
+
+void trsm_right_upper(index_t m, index_t n, const float* r, index_t ldr,
+                      float* b, index_t ldb) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "trsm_right_upper: negative dimension");
+  ROCQR_CHECK(ldr >= (n > 0 ? n : 1), "trsm_right_upper: ldr too small");
+  ROCQR_CHECK(ldb >= (m > 0 ? m : 1), "trsm_right_upper: ldb too small");
+  // Solve X R = B column by column: X(:,j) = (B(:,j) - sum_{l<j} X(:,l) R(l,j)) / R(j,j)
+  for (index_t j = 0; j < n; ++j) {
+    float* bj = b + j * ldb;
+    for (index_t l = 0; l < j; ++l) {
+      const float rlj = r[l + j * ldr];
+      if (rlj == 0.0f) continue;
+      const float* bl = b + l * ldb;
+      for (index_t i = 0; i < m; ++i) bj[i] -= rlj * bl[i];
+    }
+    const float rjj = r[j + j * ldr];
+    ROCQR_CHECK(rjj != 0.0f, "trsm_right_upper: singular R");
+    const float inv = 1.0f / rjj;
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void trsm_left_upper(index_t m, index_t n, const float* r, index_t ldr,
+                     float* b, index_t ldb) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "trsm_left_upper: negative dimension");
+  ROCQR_CHECK(ldr >= (m > 0 ? m : 1), "trsm_left_upper: ldr too small");
+  ROCQR_CHECK(ldb >= (m > 0 ? m : 1), "trsm_left_upper: ldb too small");
+  // Back substitution per right-hand side.
+  for (index_t j = 0; j < n; ++j) {
+    float* bj = b + j * ldb;
+    for (index_t i = m - 1; i >= 0; --i) {
+      float acc = bj[i];
+      for (index_t l = i + 1; l < m; ++l) acc -= r[i + l * ldr] * bj[l];
+      const float rii = r[i + i * ldr];
+      ROCQR_CHECK(rii != 0.0f, "trsm_left_upper: singular R");
+      bj[i] = acc / rii;
+    }
+  }
+}
+
+void trsm_left_lower(index_t m, index_t n, bool unit_diagonal, const float* l,
+                     index_t ldl, float* b, index_t ldb) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "trsm_left_lower: negative dimension");
+  ROCQR_CHECK(ldl >= (m > 0 ? m : 1), "trsm_left_lower: ldl too small");
+  ROCQR_CHECK(ldb >= (m > 0 ? m : 1), "trsm_left_lower: ldb too small");
+  // Forward substitution per right-hand side.
+  for (index_t j = 0; j < n; ++j) {
+    float* bj = b + j * ldb;
+    for (index_t i = 0; i < m; ++i) {
+      double acc = bj[i];
+      for (index_t p = 0; p < i; ++p) {
+        acc -= static_cast<double>(l[i + p * ldl]) * static_cast<double>(bj[p]);
+      }
+      if (!unit_diagonal) {
+        const float lii = l[i + i * ldl];
+        ROCQR_CHECK(lii != 0.0f, "trsm_left_lower: singular L");
+        acc /= static_cast<double>(lii);
+      }
+      bj[i] = static_cast<float>(acc);
+    }
+  }
+}
+
+void trsm_left_upper_trans(index_t m, index_t n, const float* r, index_t ldr,
+                           float* b, index_t ldb) {
+  ROCQR_CHECK(m >= 0 && n >= 0, "trsm_left_upper_trans: negative dimension");
+  ROCQR_CHECK(ldr >= (m > 0 ? m : 1), "trsm_left_upper_trans: ldr too small");
+  ROCQR_CHECK(ldb >= (m > 0 ? m : 1), "trsm_left_upper_trans: ldb too small");
+  // Rᵀ is lower triangular with (Rᵀ)(i,p) = r(p,i): forward substitution.
+  for (index_t j = 0; j < n; ++j) {
+    float* bj = b + j * ldb;
+    for (index_t i = 0; i < m; ++i) {
+      double acc = bj[i];
+      for (index_t p = 0; p < i; ++p) {
+        acc -= static_cast<double>(r[p + i * ldr]) * static_cast<double>(bj[p]);
+      }
+      const float rii = r[i + i * ldr];
+      ROCQR_CHECK(rii != 0.0f, "trsm_left_upper_trans: singular R");
+      bj[i] = static_cast<float>(acc / static_cast<double>(rii));
+    }
+  }
+}
+
+void syrk_upper_t(index_t n, index_t k, float alpha, const float* a,
+                  index_t lda, float beta, float* c, index_t ldc) {
+  ROCQR_CHECK(n >= 0 && k >= 0, "syrk_upper_t: negative dimension");
+  ROCQR_CHECK(lda >= (k > 0 ? k : 1), "syrk_upper_t: lda too small");
+  ROCQR_CHECK(ldc >= (n > 0 ? n : 1), "syrk_upper_t: ldc too small");
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      double acc = 0.0;
+      const float* ai = a + i * lda;
+      const float* aj = a + j * lda;
+      for (index_t l = 0; l < k; ++l) {
+        acc += static_cast<double>(ai[l]) * static_cast<double>(aj[l]);
+      }
+      const float prior = beta == 0.0f ? 0.0f : beta * c[i + j * ldc];
+      c[i + j * ldc] = alpha * static_cast<float>(acc) + prior;
+    }
+  }
+}
+
+} // namespace rocqr::blas

@@ -1,0 +1,33 @@
+// Triangular solves against an upper-triangular R — the two variants the QR
+// stack needs (CholeskyQR-style panel orthogonalization and test oracles).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rocqr::blas {
+
+/// X := B * inv(R).  B is m x n, R is n x n upper triangular (non-unit
+/// diagonal). Solved in place in B. This is how Q is recovered from A and R.
+void trsm_right_upper(index_t m, index_t n, const float* r, index_t ldr,
+                      float* b, index_t ldb);
+
+/// X := inv(R) * B.  R is m x m upper triangular, B is m x n, in place.
+void trsm_left_upper(index_t m, index_t n, const float* r, index_t ldr,
+                     float* b, index_t ldb);
+
+/// C := alpha * Aᵀ * A + beta * C, C n x n symmetric, only the upper
+/// triangle (including diagonal) is written. A is k x n.
+void syrk_upper_t(index_t n, index_t k, float alpha, const float* a,
+                  index_t lda, float beta, float* c, index_t ldc);
+
+/// X := inv(L) * B with L m x m lower triangular, B m x n, in place.
+/// `unit_diagonal` treats L's diagonal as ones (the LU convention).
+void trsm_left_lower(index_t m, index_t n, bool unit_diagonal, const float* l,
+                     index_t ldl, float* b, index_t ldb);
+
+/// X := inv(Rᵀ) * B with R m x m *upper* triangular (so Rᵀ is lower), B
+/// m x n, in place — the Cholesky panel solve R12 = R11⁻ᵀ A12.
+void trsm_left_upper_trans(index_t m, index_t n, const float* r, index_t ldr,
+                           float* b, index_t ldb);
+
+} // namespace rocqr::blas

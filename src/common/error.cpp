@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace rocqr::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "ROCQR_CHECK failed: (" << expr << ") at " << file << ":" << line
+     << " — " << message;
+  throw InvalidArgument(os.str());
+}
+
+} // namespace rocqr::detail

@@ -1,0 +1,57 @@
+// Error handling: exception hierarchy and checked-precondition macros.
+//
+// Library code throws rocqr::Error subclasses; it never calls abort() so
+// that failure-injection tests can observe every error path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rocqr {
+
+/// Base class for all rocqr errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A caller violated an API precondition (bad shape, negative size, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Simulated device memory exhausted.
+class DeviceOutOfMemory : public Error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Use of a destroyed/freed simulated resource (buffer, stream, event).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// An operation required real element data but was given a phantom buffer
+/// (or mixed phantom and real operands inconsistently).
+class PhantomDataError : public Error {
+ public:
+  explicit PhantomDataError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+} // namespace detail
+
+} // namespace rocqr
+
+/// Precondition check that is always on (not assert): throws InvalidArgument.
+#define ROCQR_CHECK(expr, message)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rocqr::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
+                                           (message));                    \
+    }                                                                     \
+  } while (false)

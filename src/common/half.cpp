@@ -1,0 +1,89 @@
+#include "common/half.hpp"
+
+namespace rocqr::detail {
+
+namespace {
+
+std::uint32_t float_bits(float f) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) noexcept {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+} // namespace
+
+std::uint16_t float_to_half_bits(float f) noexcept {
+  const std::uint32_t u = float_bits(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((u >> 16) & 0x8000u);
+  const std::uint32_t abs = u & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN. NaN keeps a quiet payload.
+    if (abs > 0x7f800000u) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x477ff000u) {
+    // >= 65520: rounds (nearest-even) past half-max 65504 to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  const std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+  if (exp >= -14) {
+    // Normal half. Round the 23-bit mantissa to 10 bits, nearest-even.
+    // A carry out of ++h propagates into the exponent field, which is the
+    // correct encoding (including 0x7bff -> 0x7c00 = infinity).
+    const std::uint32_t mant = abs & 0x007fffffu;
+    std::uint16_t h = static_cast<std::uint16_t>(((exp + 15) << 10) |
+                                                 static_cast<std::int32_t>(mant >> 13));
+    const std::uint32_t round_bits = mant & 0x1fffu;
+    if (round_bits > 0x1000u || (round_bits == 0x1000u && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  if (exp < -25) {
+    // Below half the smallest subnormal: rounds to signed zero.
+    return sign;
+  }
+  // Subnormal half, value m * 2^-24 with m in [0, 1023]. The float value is
+  // mant24 * 2^(exp-23) with the implicit bit restored, so
+  // m = mant24 * 2^(exp+1), i.e. a right shift by (-exp - 1) in [14, 24].
+  const std::uint32_t mant24 = (abs & 0x007fffffu) | 0x00800000u;
+  const int rshift = -exp - 1;
+  const std::uint32_t kept = mant24 >> rshift;
+  const std::uint32_t rem = mant24 & ((1u << rshift) - 1u);
+  const std::uint32_t halfway = 1u << (rshift - 1);
+  std::uint16_t h = static_cast<std::uint16_t>(kept);
+  if (rem > halfway || (rem == halfway && (h & 1u))) ++h; // may become normal
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float half_bits_to_float(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0x1fu) { // inf / nan
+    return bits_float(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return bits_float(sign); // signed zero
+    // Subnormal: value = mant * 2^-24. Normalize mant into an implicit
+    // leading bit: after e left-shifts the value is 1.f * 2^(-14 - e).
+    int e = 0;
+    std::uint32_t m = mant;
+    while ((m & 0x400u) == 0) {
+      ++e;
+      m <<= 1;
+    }
+    const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 14 - e);
+    return bits_float(sign | (fexp << 23) | ((m & 0x3ffu) << 13));
+  }
+  return bits_float(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+} // namespace rocqr::detail

@@ -1,0 +1,43 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256++).
+//
+// Tests and workload generators need reproducible streams that are cheap to
+// fork per-thread; std::mt19937_64 seeding subtleties make cross-platform
+// reproducibility awkward, so we carry a small self-contained generator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rocqr {
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached second value: keeps the
+  /// generator stateless beyond its word stream, which simplifies forking).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, n), n > 0.
+  index_t below(index_t n) noexcept;
+
+  /// Returns an independent generator ("jumped" stream) for parallel fills.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+} // namespace rocqr

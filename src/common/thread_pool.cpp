@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rocqr {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // The calling thread participates in every parallel_for, so spawn n-1.
+  workers_.reserve(n - 1);
+  tasks_.resize(n > 1 ? n - 1 : 0);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(index_t n,
+                              const std::function<void(index_t, index_t)>& body) {
+  if (n <= 0) return;
+  const index_t parts = static_cast<index_t>(size());
+  if (parts == 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  const index_t chunk = (n + parts - 1) / parts;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    pending_ = 0;
+    first_error_ = nullptr;
+    for (index_t w = 0; w < static_cast<index_t>(tasks_.size()); ++w) {
+      const index_t begin = std::min(n, (w + 1) * chunk); // caller takes [0, chunk)
+      const index_t end = std::min(n, (w + 2) * chunk);
+      tasks_[static_cast<size_t>(w)] = Task{&body, begin, end};
+      if (begin < end) ++pending_;
+    }
+  }
+  work_ready_.notify_all();
+
+  // The caller runs the first chunk itself.
+  std::exception_ptr caller_error;
+  try {
+    body(0, std::min(n, chunk));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      if (task.begin >= task.end) continue; // empty slice this round
+    }
+    std::exception_ptr error;
+    try {
+      (*task.body)(task.begin, task.end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+} // namespace rocqr

@@ -1,0 +1,60 @@
+// Minimal work-sharing thread pool for host BLAS kernels.
+//
+// The pool exposes a single collective operation, parallel_for, which is all
+// the blocked kernels need. Work is divided into contiguous ranges (one per
+// worker) rather than a task queue: for dense kernels, static partitioning
+// has lower overhead and better locality than work stealing.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rocqr {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(begin, end) over a partition of [0, n) across all workers
+  /// plus the calling thread. Blocks until every range completes.
+  /// Exceptions from body are rethrown (first one wins) on the caller.
+  void parallel_for(index_t n,
+                    const std::function<void(index_t, index_t)>& body);
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// exit). Kernels use this unless handed an explicit pool.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t, index_t)>* body = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> tasks_;     // one slot per worker
+  std::uint64_t generation_ = 0; // bumped per parallel_for round
+  unsigned pending_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+} // namespace rocqr

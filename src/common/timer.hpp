@@ -1,0 +1,30 @@
+// Wall-clock timer for host-side (real) measurements.
+//
+// Note: the *simulated* clock lives in src/sim (discrete-event engine).
+// This timer measures actual host execution, used by the google-benchmark
+// microbenchmarks and by tests that bound real runtimes.
+#pragma once
+
+#include <chrono>
+
+namespace rocqr {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace rocqr

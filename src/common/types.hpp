@@ -1,0 +1,24 @@
+// Fundamental scalar and index types shared across the rocqr libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rocqr {
+
+/// Signed index type used for all matrix dimensions and loop indices.
+/// Signed (rather than size_t) per C++ Core Guidelines ES.100/ES.102: mixed
+/// signed/unsigned arithmetic in blocked loops is a classic source of bugs.
+using index_t = std::int64_t;
+
+/// Byte counts for data-movement accounting. Paper-scale runs move hundreds
+/// of gigabytes, so 64-bit is required.
+using bytes_t = std::int64_t;
+
+/// Floating-point operation counts (up to ~2.3e18 for 131072^3 GEMMs).
+using flops_t = std::int64_t;
+
+/// Simulated time in seconds. All discrete-event engine timestamps use this.
+using sim_time_t = double;
+
+} // namespace rocqr

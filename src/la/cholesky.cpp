@@ -1,0 +1,33 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rocqr::la {
+
+void cholesky_upper(MatrixView a) {
+  ROCQR_CHECK(a.rows() == a.cols(), "cholesky_upper: matrix must be square");
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double diag = static_cast<double>(a(j, j));
+    for (index_t l = 0; l < j; ++l) {
+      diag -= static_cast<double>(a(l, j)) * static_cast<double>(a(l, j));
+    }
+    ROCQR_CHECK(diag > 0.0, "cholesky_upper: matrix is not positive definite");
+    const double rjj = std::sqrt(diag);
+    a(j, j) = static_cast<float>(rjj);
+    for (index_t k = j + 1; k < n; ++k) {
+      double v = static_cast<double>(a(j, k));
+      for (index_t l = 0; l < j; ++l) {
+        v -= static_cast<double>(a(l, j)) * static_cast<double>(a(l, k));
+      }
+      a(j, k) = static_cast<float>(v / rjj);
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) a(i, j) = 0.0f;
+  }
+}
+
+} // namespace rocqr::la

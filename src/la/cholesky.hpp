@@ -1,0 +1,14 @@
+// Upper Cholesky factorization, used by the CholeskyQR panel variant and by
+// test oracles.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace rocqr::la {
+
+/// In-place upper Cholesky: A = RᵀR with R upper triangular, written into
+/// the upper triangle of `a` (strict lower triangle zeroed).
+/// Throws InvalidArgument if the matrix is not (numerically) SPD.
+void cholesky_upper(MatrixView a);
+
+} // namespace rocqr::la

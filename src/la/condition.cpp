@@ -1,0 +1,101 @@
+#include "la/condition.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/trsm.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+
+namespace rocqr::la {
+
+namespace {
+
+void normalize(std::vector<float>& v) {
+  double norm = 0.0;
+  for (const float x : v) norm += static_cast<double>(x) * static_cast<double>(x);
+  norm = std::sqrt(norm);
+  ROCQR_CHECK(norm > 0.0, "condition estimate: zero iteration vector");
+  const float inv = static_cast<float>(1.0 / norm);
+  for (float& x : v) x *= inv;
+}
+
+std::vector<float> random_unit(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  normalize(v);
+  return v;
+}
+
+/// Gram matrix G = AᵀA (full symmetric storage).
+Matrix gram(ConstMatrixView a) {
+  Matrix g(a.cols(), a.cols());
+  blas::gemm(blas::Op::Trans, blas::Op::NoTrans, a.cols(), a.cols(), a.rows(),
+             1.0f, a.data(), a.ld(), a.data(), a.ld(), 0.0f, g.data(),
+             g.ld());
+  return g;
+}
+
+} // namespace
+
+double estimate_largest_singular_value(ConstMatrixView a, int iterations,
+                                       std::uint64_t seed) {
+  ROCQR_CHECK(a.rows() >= a.cols() && a.cols() >= 1,
+              "estimate_largest_singular_value: need m >= n >= 1");
+  ROCQR_CHECK(iterations >= 1, "estimate_largest_singular_value: iterations");
+  const Matrix g = gram(a);
+  const index_t n = a.cols();
+  std::vector<float> v = random_unit(n, seed);
+  std::vector<float> w(static_cast<size_t>(n));
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, n, 1, n, 1.0f, g.data(),
+               g.ld(), v.data(), n, 0.0f, w.data(), n);
+    double norm = 0.0;
+    for (const float x : w) norm += static_cast<double>(x) * static_cast<double>(x);
+    lambda = std::sqrt(norm); // |G v| with |v| = 1 -> Rayleigh-ish estimate
+    v = w;
+    normalize(v);
+  }
+  return std::sqrt(lambda);
+}
+
+double estimate_smallest_singular_value(ConstMatrixView r, int iterations,
+                                        std::uint64_t seed) {
+  ROCQR_CHECK(r.rows() == r.cols() && r.rows() >= 1,
+              "estimate_smallest_singular_value: R must be square");
+  ROCQR_CHECK(iterations >= 1, "estimate_smallest_singular_value: iterations");
+  const index_t n = r.rows();
+  std::vector<float> v = random_unit(n, seed);
+  double lambda_inv = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    // w = (RᵀR)⁻¹ v via two triangular solves; power-iterate on G⁻¹.
+    std::vector<float> w = v;
+    blas::trsm_left_upper_trans(n, 1, r.data(), r.ld(), w.data(), n);
+    blas::trsm_left_upper(n, 1, r.data(), r.ld(), w.data(), n);
+    double norm = 0.0;
+    for (const float x : w) norm += static_cast<double>(x) * static_cast<double>(x);
+    lambda_inv = std::sqrt(norm);
+    v = std::move(w);
+    normalize(v);
+  }
+  ROCQR_CHECK(lambda_inv > 0.0, "estimate_smallest_singular_value: breakdown");
+  return 1.0 / std::sqrt(lambda_inv);
+}
+
+double estimate_condition(ConstMatrixView a, int iterations) {
+  const double sigma_max = estimate_largest_singular_value(a, iterations);
+  // R from the Cholesky factor of AᵀA (limits reliable range to cond ~< 1e4
+  // in fp32, beyond which the Gram matrix loses definiteness — callers
+  // needing more range should pass a QR-derived R to the sigma_min routine).
+  Matrix g = gram(a);
+  cholesky_upper(g.view());
+  const double sigma_min =
+      estimate_smallest_singular_value(g.view(), iterations);
+  return sigma_max / sigma_min;
+}
+
+} // namespace rocqr::la

@@ -1,0 +1,26 @@
+// Condition-number estimation without an SVD: power iteration on AᵀA for
+// the largest singular value and inverse iteration through a QR factor for
+// the smallest. Used by tests to validate the fixed-condition generator and
+// by applications deciding whether CGS (cond² ε error) is safe.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace rocqr::la {
+
+/// Largest singular value of A (m x n, m >= n) by power iteration on AᵀA.
+double estimate_largest_singular_value(ConstMatrixView a, int iterations = 60,
+                                       std::uint64_t seed = 1);
+
+/// Smallest singular value via inverse power iteration using a given upper
+/// triangular R with AᵀA = RᵀR (e.g. from a QR or Cholesky factor).
+double estimate_smallest_singular_value(ConstMatrixView r, int iterations = 60,
+                                        std::uint64_t seed = 2);
+
+/// 2-norm condition estimate of A (m x n, m >= n): factors internally with
+/// reorthogonalized Gram-Schmidt, then runs both power iterations.
+double estimate_condition(ConstMatrixView a, int iterations = 60);
+
+} // namespace rocqr::la

@@ -1,0 +1,141 @@
+#include "la/generate.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "common/error.hpp"
+
+namespace rocqr::la {
+
+namespace {
+
+/// Applies the Householder reflector H = I - 2 v vᵀ / (vᵀv) to A from the
+/// left: A := H A. v has length A.rows().
+void apply_reflector_left(MatrixView a, const std::vector<double>& v) {
+  const index_t m = a.rows();
+  double vtv = 0.0;
+  for (index_t i = 0; i < m; ++i) vtv += v[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+  if (vtv == 0.0) return;
+  const double scale = 2.0 / vtv;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double vta = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      vta += v[static_cast<size_t>(i)] * static_cast<double>(a(i, j));
+    }
+    const double w = scale * vta;
+    for (index_t i = 0; i < m; ++i) {
+      a(i, j) = static_cast<float>(static_cast<double>(a(i, j)) -
+                                   w * v[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+/// A := A H (reflector applied from the right, v has length A.cols()).
+void apply_reflector_right(MatrixView a, const std::vector<double>& v) {
+  const index_t n = a.cols();
+  double vtv = 0.0;
+  for (index_t j = 0; j < n; ++j) vtv += v[static_cast<size_t>(j)] * v[static_cast<size_t>(j)];
+  if (vtv == 0.0) return;
+  const double scale = 2.0 / vtv;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double avt = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      avt += static_cast<double>(a(i, j)) * v[static_cast<size_t>(j)];
+    }
+    const double w = scale * avt;
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<float>(static_cast<double>(a(i, j)) -
+                                   w * v[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+std::vector<double> random_vector(index_t n, Rng& rng) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+} // namespace
+
+Matrix random_uniform(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix a(rows, cols);
+  Rng rng(seed);
+  float* p = a.data();
+  const size_t count = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  for (size_t i = 0; i < count; ++i) {
+    p[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return a;
+}
+
+Matrix random_normal(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix a(rows, cols);
+  Rng rng(seed);
+  float* p = a.data();
+  const size_t count = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  for (size_t i = 0; i < count; ++i) {
+    p[i] = static_cast<float>(rng.normal());
+  }
+  return a;
+}
+
+Matrix random_with_condition(index_t rows, index_t cols, double cond,
+                             std::uint64_t seed) {
+  ROCQR_CHECK(rows >= cols && cols >= 1, "random_with_condition: need m >= n >= 1");
+  ROCQR_CHECK(cond >= 1.0, "random_with_condition: cond must be >= 1");
+  Matrix a(rows, cols);
+  // D: geometric singular values from 1 down to 1/cond on the diagonal.
+  for (index_t j = 0; j < cols; ++j) {
+    const double t = cols == 1 ? 0.0
+                               : static_cast<double>(j) /
+                                     static_cast<double>(cols - 1);
+    a(j, j) = static_cast<float>(std::pow(cond, -t));
+  }
+  // Two reflectors on each side randomize the singular vector bases without
+  // changing singular values. Two suffice to destroy all sparsity structure.
+  Rng rng(seed);
+  for (int rep = 0; rep < 2; ++rep) {
+    apply_reflector_left(a.view(), random_vector(rows, rng));
+    apply_reflector_right(a.view(), random_vector(cols, rng));
+  }
+  return a;
+}
+
+Matrix random_diagonally_dominant(index_t n, std::uint64_t seed) {
+  Matrix a = random_uniform(n, n, seed);
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) = static_cast<float>(n) + 2.0f + a(i, i);
+  }
+  return a;
+}
+
+Matrix random_spd(index_t n, std::uint64_t seed) {
+  const Matrix b = random_uniform(n, n, seed);
+  Matrix a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < n; ++p) {
+        acc += static_cast<double>(b(p, i)) * static_cast<double>(b(p, j));
+      }
+      const float v = static_cast<float>(acc) + (i == j ? static_cast<float>(n) : 0.0f);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Matrix hilbert(index_t rows, index_t cols) {
+  Matrix a(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      a(i, j) = static_cast<float>(1.0 / static_cast<double>(i + j + 1));
+    }
+  }
+  return a;
+}
+
+} // namespace rocqr::la

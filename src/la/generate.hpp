@@ -1,0 +1,35 @@
+// Test/benchmark matrix generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace rocqr::la {
+
+/// i.i.d. uniform in [-1, 1).
+Matrix random_uniform(index_t rows, index_t cols, std::uint64_t seed);
+
+/// i.i.d. standard normal. Gaussian matrices are extremely well conditioned
+/// for m >> n, which is the benign case for classic Gram-Schmidt.
+Matrix random_normal(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Matrix with prescribed 2-norm condition number: A = H_u · D · H_v where
+/// H_* are Householder reflectors and D has geometrically spaced singular
+/// values in [1/cond, 1]. Lets tests probe CGS's cond(A)^2 orthogonality
+/// loss without needing an SVD.
+Matrix random_with_condition(index_t rows, index_t cols, double cond,
+                             std::uint64_t seed);
+
+/// Hilbert-like pathologically conditioned matrix: a(i,j) = 1/(i+j+1).
+Matrix hilbert(index_t rows, index_t cols);
+
+/// Strictly diagonally dominant square matrix (uniform off-diagonals plus a
+/// dominant diagonal) — safe for LU without pivoting.
+Matrix random_diagonally_dominant(index_t n, std::uint64_t seed);
+
+/// Symmetric positive definite matrix: BᵀB + n·I with B uniform.
+Matrix random_spd(index_t n, std::uint64_t seed);
+
+} // namespace rocqr::la

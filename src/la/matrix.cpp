@@ -1,0 +1,20 @@
+#include "la/matrix.hpp"
+
+#include "blas/transform.hpp"
+
+namespace rocqr::la {
+
+Matrix materialize(ConstMatrixView v) {
+  Matrix out(v.rows(), v.cols());
+  blas::copy_matrix(v.rows(), v.cols(), v.data(), v.ld(), out.data(),
+                    out.ld());
+  return out;
+}
+
+Matrix identity(index_t n) {
+  Matrix out(n, n);
+  for (index_t i = 0; i < n; ++i) out(i, i) = 1.0f;
+  return out;
+}
+
+} // namespace rocqr::la

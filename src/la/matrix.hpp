@@ -1,0 +1,150 @@
+// Column-major matrix container and non-owning views.
+//
+// Everything in this project is column-major fp32 on the host (the paper
+// moves fp32 tiles over PCIe and rounds to fp16 only inside TC-GEMM), so a
+// single concrete container avoids template bloat in a 1-core build.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rocqr::la {
+
+class ConstMatrixView;
+
+/// Non-owning mutable view: (data, rows, cols, leading dimension).
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(float* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ROCQR_CHECK(rows >= 0 && cols >= 0, "MatrixView: negative dimension");
+    ROCQR_CHECK(ld >= (rows > 0 ? rows : 1), "MatrixView: ld < rows");
+  }
+
+  float* data() const { return data_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& operator()(index_t i, index_t j) const {
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block [i0, i0+r) x [j0, j0+c).
+  MatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    ROCQR_CHECK(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ &&
+                    j0 + c <= cols_,
+                "MatrixView::block out of range");
+    return MatrixView(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+
+  MatrixView columns(index_t j0, index_t c) const {
+    return block(0, j0, rows_, c);
+  }
+  MatrixView rows_range(index_t i0, index_t r) const {
+    return block(i0, 0, r, cols_);
+  }
+
+ private:
+  float* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+};
+
+/// Non-owning read-only view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ROCQR_CHECK(rows >= 0 && cols >= 0, "ConstMatrixView: negative dimension");
+    ROCQR_CHECK(ld >= (rows > 0 ? rows : 1), "ConstMatrixView: ld < rows");
+  }
+  // Implicit from mutable view: read-only adoption is always safe.
+  ConstMatrixView(MatrixView v)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  const float* data() const { return data_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const float& operator()(index_t i, index_t j) const {
+    return data_[i + j * ld_];
+  }
+
+  ConstMatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    ROCQR_CHECK(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ &&
+                    j0 + c <= cols_,
+                "ConstMatrixView::block out of range");
+    return ConstMatrixView(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+
+  ConstMatrixView columns(index_t j0, index_t c) const {
+    return block(0, j0, rows_, c);
+  }
+  ConstMatrixView rows_range(index_t i0, index_t r) const {
+    return block(i0, 0, r, cols_);
+  }
+
+ private:
+  const float* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+};
+
+/// Owning column-major matrix, contiguous (ld == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        storage_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    ROCQR_CHECK(rows >= 0 && cols >= 0, "Matrix: negative dimension");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_ > 0 ? rows_ : 1; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float* data() { return storage_.data(); }
+  const float* data() const { return storage_.data(); }
+
+  float& operator()(index_t i, index_t j) { return storage_[static_cast<size_t>(i + j * ld())]; }
+  const float& operator()(index_t i, index_t j) const {
+    return storage_[static_cast<size_t>(i + j * ld())];
+  }
+
+  MatrixView view() { return MatrixView(data(), rows_, cols_, ld()); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data(), rows_, cols_, ld());
+  }
+  MatrixView block(index_t i0, index_t j0, index_t r, index_t c) {
+    return view().block(i0, j0, r, c);
+  }
+  ConstMatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    return view().block(i0, j0, r, c);
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<float> storage_;
+};
+
+/// Deep copy of any view into a fresh contiguous Matrix.
+Matrix materialize(ConstMatrixView v);
+
+/// Identity matrix.
+Matrix identity(index_t n);
+
+} // namespace rocqr::la

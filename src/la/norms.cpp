@@ -1,0 +1,108 @@
+#include "la/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rocqr::la {
+
+double frobenius_norm(ConstMatrixView a) {
+  double acc = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = static_cast<double>(a(i, j));
+      acc += v * v;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double max_abs(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::fabs(static_cast<double>(a(i, j))));
+    }
+  }
+  return best;
+}
+
+double one_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double col = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) {
+      col += std::fabs(static_cast<double>(a(i, j)));
+    }
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+double qr_residual(ConstMatrixView a, ConstMatrixView q, ConstMatrixView r) {
+  ROCQR_CHECK(q.rows() == a.rows() && q.cols() == a.cols(),
+              "qr_residual: Q shape mismatch");
+  ROCQR_CHECK(r.rows() >= a.cols() && r.cols() == a.cols(),
+              "qr_residual: R shape mismatch");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  double num = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double qr = 0.0;
+      // R upper triangular: only l <= j contributes.
+      for (index_t l = 0; l <= j; ++l) {
+        qr += static_cast<double>(q(i, l)) * static_cast<double>(r(l, j));
+      }
+      const double d = static_cast<double>(a(i, j)) - qr;
+      num += d * d;
+    }
+  }
+  const double den = frobenius_norm(a);
+  return den > 0.0 ? std::sqrt(num) / den : std::sqrt(num);
+}
+
+double orthogonality_error(ConstMatrixView q) {
+  const index_t n = q.cols();
+  const index_t m = q.rows();
+  double acc = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      double dot = 0.0;
+      for (index_t l = 0; l < m; ++l) {
+        dot += static_cast<double>(q(l, i)) * static_cast<double>(q(l, j));
+      }
+      const double d = dot - (i == j ? 1.0 : 0.0);
+      // Off-diagonal entries appear twice in QᵀQ - I.
+      acc += (i == j ? 1.0 : 2.0) * d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+bool is_upper_triangular(ConstMatrixView r) {
+  for (index_t j = 0; j < r.cols(); ++j) {
+    for (index_t i = j + 1; i < r.rows(); ++i) {
+      if (r(i, j) != 0.0f) return false;
+    }
+  }
+  return true;
+}
+
+double relative_difference(ConstMatrixView a, ConstMatrixView b) {
+  ROCQR_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "relative_difference: shape mismatch");
+  double num = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d =
+          static_cast<double>(a(i, j)) - static_cast<double>(b(i, j));
+      num += d * d;
+    }
+  }
+  const double den = frobenius_norm(b);
+  return den > 0.0 ? std::sqrt(num) / den : std::sqrt(num);
+}
+
+} // namespace rocqr::la

@@ -1,0 +1,27 @@
+// Matrix norms and QR quality metrics, all accumulated in double.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace rocqr::la {
+
+double frobenius_norm(ConstMatrixView a);
+double max_abs(ConstMatrixView a);
+
+/// max_j sum_i |a(i,j)| (induced 1-norm).
+double one_norm(ConstMatrixView a);
+
+/// Relative factorization residual ‖A - Q·R‖_F / ‖A‖_F.
+/// Q is m x n, R is n x n upper triangular (lower part ignored).
+double qr_residual(ConstMatrixView a, ConstMatrixView q, ConstMatrixView r);
+
+/// Loss of orthogonality ‖QᵀQ - I‖_F.
+double orthogonality_error(ConstMatrixView q);
+
+/// True iff the strict lower triangle is exactly zero.
+bool is_upper_triangular(ConstMatrixView r);
+
+/// ‖A - B‖_F / max(‖B‖_F, tiny) — relative difference of two matrices.
+double relative_difference(ConstMatrixView a, ConstMatrixView b);
+
+} // namespace rocqr::la

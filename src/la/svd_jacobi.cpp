@@ -1,0 +1,91 @@
+#include "la/svd_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rocqr::la {
+
+SvdResult svd_jacobi(ConstMatrixView a, int max_sweeps, double tolerance) {
+  ROCQR_CHECK(a.rows() >= a.cols() && a.cols() >= 1,
+              "svd_jacobi: need m >= n >= 1");
+  ROCQR_CHECK(max_sweeps >= 1 && tolerance > 0, "svd_jacobi: bad parameters");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+
+  Matrix w = materialize(a); // columns rotated toward mutual orthogonality
+  Matrix v = identity(n);    // accumulates the right rotations
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        // Gram entries of the column pair, in double.
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          const double x = w(i, p);
+          const double y = w(i, q);
+          app += x * x;
+          aqq += y * y;
+          apq += x * y;
+        }
+        if (std::fabs(apq) <= tolerance * std::sqrt(app * aqq)) continue;
+        converged = false;
+        // Jacobi rotation zeroing the (p, q) Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (index_t i = 0; i < m; ++i) {
+          const double x = w(i, p);
+          const double y = w(i, q);
+          w(i, p) = static_cast<float>(c * x - s * y);
+          w(i, q) = static_cast<float>(s * x + c * y);
+        }
+        for (index_t i = 0; i < n; ++i) {
+          const double x = v(i, p);
+          const double y = v(i, q);
+          v(i, p) = static_cast<float>(c * x - s * y);
+          v(i, q) = static_cast<float>(s * x + c * y);
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values = column norms; sort descending and permute U, V.
+  std::vector<double> norms(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      acc += static_cast<double>(w(i, j)) * static_cast<double>(w(i, j));
+    }
+    norms[static_cast<size_t>(j)] = std::sqrt(acc);
+  }
+  std::vector<index_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](index_t lhs, index_t rhs) {
+    return norms[static_cast<size_t>(lhs)] > norms[static_cast<size_t>(rhs)];
+  });
+
+  SvdResult result{Matrix(m, n), std::vector<double>(static_cast<size_t>(n)),
+                   Matrix(n, n)};
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<size_t>(j)];
+    const double sigma = norms[static_cast<size_t>(src)];
+    result.sigma[static_cast<size_t>(j)] = sigma;
+    const double inv = sigma > 0.0 ? 1.0 / sigma : 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      result.u(i, j) = static_cast<float>(static_cast<double>(w(i, src)) * inv);
+    }
+    for (index_t i = 0; i < n; ++i) result.v(i, j) = v(i, src);
+  }
+  return result;
+}
+
+} // namespace rocqr::la

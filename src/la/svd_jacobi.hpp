@@ -1,0 +1,21 @@
+// One-sided Jacobi SVD for small dense matrices — the in-core kernel the
+// out-of-core randomized SVD (src/svd) reduces its projected problem to.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace rocqr::la {
+
+struct SvdResult {
+  Matrix u;                  ///< m x n, orthonormal columns
+  std::vector<double> sigma; ///< n singular values, descending
+  Matrix v;                  ///< n x n, orthonormal
+};
+
+/// Thin SVD A = U diag(sigma) Vᵀ for m >= n (one-sided Jacobi: rotate
+/// column pairs until mutual orthogonality, then read off norms).
+/// Intended for small n (the rotations are O(n² m) per sweep).
+SvdResult svd_jacobi(ConstMatrixView a, int max_sweeps = 30,
+                     double tolerance = 1e-10);
+
+} // namespace rocqr::la

@@ -1,0 +1,206 @@
+#include "lu/incore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/trsm.hpp"
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+
+namespace rocqr::lu {
+
+namespace {
+
+void check_tall(la::MatrixView a, const char* what) {
+  ROCQR_CHECK(a.rows() >= a.cols() && a.cols() >= 1,
+              std::string(what) + ": need m >= n >= 1");
+}
+
+} // namespace
+
+void lu_nopiv_unblocked(la::MatrixView a) {
+  check_tall(a, "lu_nopiv_unblocked");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    const float pivot = a(j, j);
+    ROCQR_CHECK(pivot != 0.0f, "lu_nopiv_unblocked: zero pivot");
+    const float inv = 1.0f / pivot;
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    // Rank-1 trailing update.
+    for (index_t c = j + 1; c < n; ++c) {
+      const float ujc = a(j, c);
+      if (ujc == 0.0f) continue;
+      for (index_t i = j + 1; i < m; ++i) a(i, c) -= a(i, j) * ujc;
+    }
+  }
+}
+
+void lu_nopiv_blocked(la::MatrixView a, index_t block,
+                      blas::GemmPrecision precision) {
+  check_tall(a, "lu_nopiv_blocked");
+  ROCQR_CHECK(block >= 1, "lu_nopiv_blocked: block must be >= 1");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  for (index_t j0 = 0; j0 < n; j0 += block) {
+    const index_t w = std::min(block, n - j0);
+    // Panel factorization on the trailing rows.
+    lu_nopiv_unblocked(a.block(j0, j0, m - j0, w));
+    const index_t rest = n - j0 - w;
+    if (rest == 0) continue;
+    // U12 = L11^{-1} A12.
+    la::MatrixView a12 = a.block(j0, j0 + w, w, rest);
+    blas::trsm_left_lower(w, rest, /*unit_diagonal=*/true, &a(j0, j0), a.ld(),
+                          a12.data(), a12.ld());
+    // A22 -= L21 U12.
+    const index_t below = m - j0 - w;
+    if (below > 0) {
+      blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, below, rest, w, -1.0f,
+                 &a(j0 + w, j0), a.ld(), a12.data(), a12.ld(), 1.0f,
+                 &a(j0 + w, j0 + w), a.ld(), precision);
+    }
+  }
+}
+
+void lu_nopiv_recursive(la::MatrixView a, index_t base,
+                        blas::GemmPrecision precision) {
+  check_tall(a, "lu_nopiv_recursive");
+  ROCQR_CHECK(base >= 1, "lu_nopiv_recursive: base must be >= 1");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (n <= base) {
+    lu_nopiv_unblocked(a);
+    return;
+  }
+  const index_t h = n / 2;
+  // Factor the left half over all rows.
+  lu_nopiv_recursive(a.block(0, 0, m, h), base, precision);
+  // U12 = L11^{-1} A12.
+  la::MatrixView a12 = a.block(0, h, h, n - h);
+  blas::trsm_left_lower(h, n - h, /*unit_diagonal=*/true, a.data(), a.ld(),
+                        a12.data(), a12.ld());
+  // A22 -= L21 U12, then recurse on the trailing block.
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m - h, n - h, h, -1.0f,
+             &a(h, 0), a.ld(), a12.data(), a12.ld(), 1.0f, &a(h, h), a.ld(),
+             precision);
+  lu_nopiv_recursive(a.block(h, h, m - h, n - h), base, precision);
+}
+
+void lu_partial_unblocked(la::MatrixView a, std::vector<index_t>& perm) {
+  check_tall(a, "lu_partial_unblocked");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  perm.resize(static_cast<size_t>(m));
+  for (index_t i = 0; i < m; ++i) perm[static_cast<size_t>(i)] = i;
+  for (index_t j = 0; j < n; ++j) {
+    // Pick the largest-magnitude pivot in column j.
+    index_t best = j;
+    float best_abs = std::fabs(a(j, j));
+    for (index_t i = j + 1; i < m; ++i) {
+      if (std::fabs(a(i, j)) > best_abs) {
+        best = i;
+        best_abs = std::fabs(a(i, j));
+      }
+    }
+    ROCQR_CHECK(best_abs > 0.0f, "lu_partial_unblocked: singular matrix");
+    if (best != j) {
+      for (index_t c = 0; c < n; ++c) std::swap(a(j, c), a(best, c));
+      std::swap(perm[static_cast<size_t>(j)], perm[static_cast<size_t>(best)]);
+    }
+    const float inv = 1.0f / a(j, j);
+    for (index_t i = j + 1; i < m; ++i) a(i, j) *= inv;
+    for (index_t c = j + 1; c < n; ++c) {
+      const float ujc = a(j, c);
+      if (ujc == 0.0f) continue;
+      for (index_t i = j + 1; i < m; ++i) a(i, c) -= a(i, j) * ujc;
+    }
+  }
+}
+
+double lu_residual(la::ConstMatrixView original, la::ConstMatrixView lu) {
+  ROCQR_CHECK(original.rows() == lu.rows() && original.cols() == lu.cols(),
+              "lu_residual: shape mismatch");
+  const index_t m = lu.rows();
+  const index_t n = lu.cols();
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      // (L U)(i, j) = sum_p L(i, p) U(p, j), p <= min(i, j); L(i, i) = 1.
+      const index_t pmax = std::min(i, j);
+      double acc = 0.0;
+      for (index_t p = 0; p <= pmax; ++p) {
+        const double lip = p == i ? 1.0 : static_cast<double>(lu(i, p));
+        acc += lip * static_cast<double>(lu(p, j));
+      }
+      const double d = static_cast<double>(original(i, j)) - acc;
+      num += d * d;
+      const double o = static_cast<double>(original(i, j));
+      den += o * o;
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+void lu_solve_inplace(la::ConstMatrixView lu, la::MatrixView b) {
+  ROCQR_CHECK(lu.rows() == lu.cols(), "lu_solve_inplace: factor must be square");
+  ROCQR_CHECK(b.rows() == lu.rows(), "lu_solve_inplace: rhs shape mismatch");
+  blas::trsm_left_lower(b.rows(), b.cols(), /*unit_diagonal=*/true, lu.data(),
+                        lu.ld(), b.data(), b.ld());
+  blas::trsm_left_upper(b.rows(), b.cols(), lu.data(), lu.ld(), b.data(),
+                        b.ld());
+}
+
+void cholesky_recursive(la::MatrixView a, index_t base,
+                        blas::GemmPrecision precision) {
+  ROCQR_CHECK(a.rows() == a.cols(), "cholesky_recursive: matrix must be square");
+  ROCQR_CHECK(base >= 1, "cholesky_recursive: base must be >= 1");
+  const index_t n = a.rows();
+  if (n <= base) {
+    la::cholesky_upper(a);
+    return;
+  }
+  const index_t h = n / 2;
+  la::MatrixView a11 = a.block(0, 0, h, h);
+  la::MatrixView a12 = a.block(0, h, h, n - h);
+  la::MatrixView a22 = a.block(h, h, n - h, n - h);
+  cholesky_recursive(a11, base, precision);
+  // R12 = R11^{-T} A12.
+  blas::trsm_left_upper_trans(h, n - h, a11.data(), a11.ld(), a12.data(),
+                              a12.ld());
+  // A22 -= R12ᵀ R12 — the TN trailing update the OOC driver streams.
+  blas::gemm(blas::Op::Trans, blas::Op::NoTrans, n - h, n - h, h, -1.0f,
+             a12.data(), a12.ld(), a12.data(), a12.ld(), 1.0f, a22.data(),
+             a22.ld(), precision);
+  cholesky_recursive(a22, base, precision);
+  // Zero the strict lower triangle below the diagonal blocks.
+  for (index_t j = 0; j < h; ++j) {
+    for (index_t i = h; i < n; ++i) a(i, j) = 0.0f;
+  }
+}
+
+double cholesky_residual(la::ConstMatrixView original, la::ConstMatrixView r) {
+  ROCQR_CHECK(original.rows() == original.cols() && r.rows() == r.cols() &&
+                  original.rows() == r.rows(),
+              "cholesky_residual: shape mismatch");
+  const index_t n = r.rows();
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      // (RᵀR)(i, j) = sum_p R(p, i) R(p, j), p <= min(i, j).
+      const index_t pmax = std::min(i, j);
+      double acc = 0.0;
+      for (index_t p = 0; p <= pmax; ++p) {
+        acc += static_cast<double>(r(p, i)) * static_cast<double>(r(p, j));
+      }
+      const double d = static_cast<double>(original(i, j)) - acc;
+      num += d * d;
+      const double o = static_cast<double>(original(i, j));
+      den += o * o;
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+} // namespace rocqr::lu

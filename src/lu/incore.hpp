@@ -1,0 +1,56 @@
+// In-core LU factorization (no pivoting, blocked, recursive) and in-core
+// recursive Cholesky — the panel solvers and oracles for the out-of-core
+// LU/Cholesky drivers that realize the paper's §6 future work.
+//
+// Pivoting: the paper notes there is no in-core TensorCore partial-pivoted
+// LU to build on and analyses the OOC pattern theoretically; we follow suit
+// and factor without pivoting, which is exact for the diagonally dominant
+// and SPD matrices the tests generate. An unblocked partial-pivoting LU is
+// included as a host-side oracle.
+#pragma once
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace rocqr::lu {
+
+/// In-place LU without pivoting on an m x n (m >= n) matrix: on return the
+/// strict lower triangle holds L (unit diagonal implied), the upper
+/// triangle holds U. Unblocked right-looking algorithm.
+/// Throws InvalidArgument on a (numerically) zero pivot.
+void lu_nopiv_unblocked(la::MatrixView a);
+
+/// Blocked right-looking LU without pivoting, panel width `block`.
+void lu_nopiv_blocked(la::MatrixView a, index_t block,
+                      blas::GemmPrecision precision = blas::GemmPrecision::FP32);
+
+/// Recursive LU without pivoting (column split in half, the Toledo'97
+/// scheme): panels only at the recursion leaves, GEMM-rich updates —
+/// exactly the structure the OOC recursive driver streams.
+void lu_nopiv_recursive(la::MatrixView a, index_t base = 32,
+                        blas::GemmPrecision precision = blas::GemmPrecision::FP32);
+
+/// Unblocked LU with partial (row) pivoting: perm[i] is the original row
+/// index that ended up at row i. Oracle for accuracy comparisons.
+void lu_partial_unblocked(la::MatrixView a, std::vector<index_t>& perm);
+
+/// Relative residual ‖A − L·U‖_F / ‖A‖_F for a combined in-place factor
+/// (m x n, m >= n) against the original matrix.
+double lu_residual(la::ConstMatrixView original, la::ConstMatrixView lu);
+
+/// Solves A x = b given the in-place no-pivot factor (square): forward then
+/// back substitution, in place in `b` (n x nrhs).
+void lu_solve_inplace(la::ConstMatrixView lu, la::MatrixView b);
+
+/// Recursive upper Cholesky A = RᵀR (in place, upper triangle; strict lower
+/// zeroed): recursion splits in half, trailing update is the TN GEMM the
+/// OOC driver streams. Base case is la::cholesky_upper.
+void cholesky_recursive(la::MatrixView a, index_t base = 32,
+                        blas::GemmPrecision precision = blas::GemmPrecision::FP32);
+
+/// Relative residual ‖A − RᵀR‖_F / ‖A‖_F.
+double cholesky_residual(la::ConstMatrixView original, la::ConstMatrixView r);
+
+} // namespace rocqr::lu

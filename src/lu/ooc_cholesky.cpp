@@ -1,0 +1,235 @@
+#include "lu/ooc_cholesky.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+#include "lu/driver_common.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/slab_schedule.hpp"
+#include "ooc/trsm_engine.hpp"
+#include "qr/driver_util.hpp"
+
+namespace rocqr::lu {
+
+using ooc::Operand;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::DeviceMatrixRef;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+namespace {
+
+/// Enqueues the in-core potrf of the resident w x w diagonal block.
+void panel_potrf_device(Device& dev, const DeviceMatrix& block, Stream stream,
+                        const FactorOptions& opts) {
+  (void)opts;
+  const index_t w = block.rows();
+  // potrf performs w³/3 flops; its GEMM-rich right-looking form sustains
+  // roughly the panel rate.
+  const double flops = static_cast<double>(w) * w * w / 3.0;
+  const sim_time_t seconds =
+      dev.model().spec().kernel_latency_s + flops / dev.model().panel_rate(w, w);
+  dev.custom_compute(stream, seconds, static_cast<flops_t>(flops),
+                     sim::OpKind::Panel,
+                     "potrf " + std::to_string(w) + "x" + std::to_string(w),
+                     [&]() {
+                       la::Matrix host_block = dev.download(block);
+                       la::cholesky_upper(host_block.view());
+                       dev.upload(block, host_block.view());
+                     });
+}
+
+struct DiagResult {
+  DeviceMatrix block; // resident R11 (caller frees)
+  Event factored;
+  Event on_host;
+};
+
+DiagResult factor_diag_block(Device& dev, HostMutRef a, index_t j0, index_t w,
+                             Event prev, Stream in, Stream comp, Stream out,
+                             const FactorOptions& opts) {
+  DiagResult r;
+  r.block = dev.allocate(w, w, StoragePrecision::FP32, "chol.R11");
+  if (prev.valid()) dev.wait_event(in, prev);
+  dev.copy_h2d(r.block, ooc::host_block(sim::as_const(a), j0, j0, w, w), in,
+               "h2d A11");
+  Event moved_in = dev.create_event();
+  dev.record_event(moved_in, in);
+  dev.wait_event(comp, moved_in);
+  panel_potrf_device(dev, r.block, comp, opts);
+  r.factored = dev.create_event();
+  dev.record_event(r.factored, comp);
+  dev.wait_event(out, r.factored);
+  dev.copy_d2h(ooc::host_block(a, j0, j0, w, w), r.block, out, "d2h R11");
+  r.on_host = dev.create_event();
+  dev.record_event(r.on_host, out);
+  return r;
+}
+
+} // namespace
+
+FactorStats blocking_ooc_cholesky(Device& dev, HostMutRef a,
+                                  const FactorOptions& opts) {
+  const index_t n = a.rows;
+  ROCQR_CHECK(a.cols == n && n >= 1, "blocking_ooc_cholesky: matrix must be square");
+  const index_t b = std::min(opts.blocksize, n);
+
+  const size_t window = dev.trace().size();
+  Stream in = dev.create_stream();
+  Stream comp = dev.create_stream();
+  Stream out = dev.create_stream();
+  Event prev{};
+
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t w = std::min(b, n - j0);
+    DiagResult diag =
+        factor_diag_block(dev, a, j0, w, prev, in, comp, out, opts);
+    detail::sync_unless_overlap(dev, opts);
+    prev = diag.on_host;
+
+    const index_t rest = n - j0 - w;
+    if (rest > 0) {
+      // R12 = R11⁻ᵀ A12, solved on the device and kept resident.
+      DeviceMatrix r12 =
+          dev.allocate(w, rest, StoragePrecision::FP32, "chol.R12");
+      if (prev.valid()) dev.wait_event(in, prev);
+      dev.copy_h2d(r12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
+                   in, "h2d A12");
+      Event a12_in = dev.create_event();
+      dev.record_event(a12_in, in);
+      dev.wait_event(comp, a12_in);
+      dev.wait_event(comp, diag.factored);
+      dev.trsm(Device::TrsmKind::LeftUpperTrans, diag.block, r12,
+               opts.precision, comp, "trsm R12");
+      Event r12_ready = dev.create_event();
+      dev.record_event(r12_ready, comp);
+      dev.wait_event(out, r12_ready);
+      dev.copy_d2h(ooc::host_block(a, j0, j0 + w, w, rest), r12, out,
+                   "d2h R12");
+      detail::sync_unless_overlap(dev, opts);
+
+      // A22 -= R12ᵀ · R12: the transposed outer product, C tiled. Only the
+      // upper triangle is ever read again, so sub-diagonal tiles are
+      // skipped (roughly halves this update's movement and flops).
+      ooc::OocGemmOptions g = detail::engine_options(opts);
+      g.outer_opa = blas::Op::Trans;
+      g.upper_triangle_tiles_only = true;
+      qr::QrOptions plan_opts;
+      plan_opts.memory_budget_fraction = opts.memory_budget_fraction;
+      const index_t tile =
+          qr::detail::plan_tile_edge(dev, 2 * r12.bytes(), plan_opts);
+      g.blocksize = std::min<index_t>(tile, rest);
+      g.tile_cols = std::min<index_t>(tile, rest);
+      g.host_input_ready = {prev};
+      const auto update = ooc::outer_product_blocking(
+          dev, Operand::on_device(r12, r12_ready),
+          Operand::on_device(r12, r12_ready),
+          ooc::host_block(sim::as_const(a), j0 + w, j0 + w, rest, rest),
+          ooc::host_block(a, j0 + w, j0 + w, rest, rest), g);
+      prev = update.done;
+      detail::sync_unless_overlap(dev, opts);
+      dev.free(r12);
+    }
+    dev.free(diag.block);
+  }
+
+  dev.synchronize();
+  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+namespace {
+
+struct RecursiveCholState {
+  Device& dev;
+  HostMutRef a;
+  const FactorOptions& opts;
+  Stream in;
+  Stream comp;
+  Stream out;
+};
+
+Event chol_recurse(RecursiveCholState& st, index_t j0, index_t w, Event prev) {
+  Device& dev = st.dev;
+  const index_t b = st.opts.blocksize;
+  const index_t panels = (w + b - 1) / b;
+  if (panels <= 1) {
+    DiagResult diag = factor_diag_block(dev, st.a, j0, w, prev, st.in,
+                                        st.comp, st.out, st.opts);
+    detail::sync_unless_overlap(dev, st.opts);
+    dev.free(diag.block);
+    return diag.on_host;
+  }
+  const index_t h = (panels / 2) * b;
+  const index_t rest = w - h;
+
+  Event left = chol_recurse(st, j0, h, prev);
+
+  // R12 = R11⁻ᵀ A12, out of core.
+  ooc::OocGemmOptions gt = detail::engine_options(st.opts);
+  gt.host_input_ready = {left};
+  const auto tr = ooc::ooc_trsm(
+      dev, ooc::TriSolveKind::UpperTrans,
+      ooc::host_block(sim::as_const(st.a), j0, j0, h, h),
+      ooc::host_block(sim::as_const(st.a), j0, j0 + h, h, rest),
+      ooc::host_block(st.a, j0, j0 + h, h, rest), gt);
+  detail::sync_unless_overlap(dev, st.opts);
+
+  // A22 -= R12ᵀ · R12, streamed row slabs (== R12 column slabs) with R12
+  // resident, column-split when memory-bound.
+  const index_t n_split =
+      detail::plan_update_split(dev, st.opts, st.a.rows, h, rest);
+  Event update_done{};
+  for (const ooc::Slab panel :
+       ooc::slab_partition(rest, n_split > 0 ? n_split : rest)) {
+    ooc::OocGemmOptions g = detail::engine_options(st.opts);
+    g.outer_opa = blas::Op::Trans;
+    // Unsplit square update: stream only the trapezoid from the diagonal
+    // (the strict lower triangle is never read again).
+    g.upper_trapezoid_slabs = n_split == 0;
+    g.host_input_ready = {tr.done};
+    const auto update = ooc::outer_product_recursive(
+        dev,
+        Operand::on_host(
+            ooc::host_block(sim::as_const(st.a), j0, j0 + h, h, rest)),
+        Operand::on_host(ooc::host_block(sim::as_const(st.a), j0,
+                                         j0 + h + panel.offset, h,
+                                         panel.width)),
+        ooc::host_block(sim::as_const(st.a), j0 + h, j0 + h + panel.offset,
+                        rest, panel.width),
+        ooc::host_block(st.a, j0 + h, j0 + h + panel.offset, rest,
+                        panel.width),
+        g);
+    update_done = update.done;
+  }
+  detail::sync_unless_overlap(dev, st.opts);
+
+  return chol_recurse(st, j0 + h, rest, update_done);
+}
+
+} // namespace
+
+FactorStats recursive_ooc_cholesky(Device& dev, HostMutRef a,
+                                   const FactorOptions& opts) {
+  const index_t n = a.rows;
+  ROCQR_CHECK(a.cols == n && n >= 1,
+              "recursive_ooc_cholesky: matrix must be square");
+  ROCQR_CHECK(opts.blocksize >= 1,
+              "recursive_ooc_cholesky: blocksize must be positive");
+
+  const size_t window = dev.trace().size();
+  RecursiveCholState st{dev,
+                        a,
+                        opts,
+                        dev.create_stream(),
+                        dev.create_stream(),
+                        dev.create_stream()};
+  chol_recurse(st, 0, n, Event{});
+  dev.synchronize();
+  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+} // namespace rocqr::lu

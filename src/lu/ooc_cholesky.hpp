@@ -1,0 +1,26 @@
+// Out-of-core Cholesky factorization (A = RᵀR, upper) — the second half of
+// the paper's §6 future work. The trailing update A22 -= R12ᵀ·R12 is the
+// transposed outer-product form, streamed through the same engines with
+// opts.outer_opa = Trans.
+//
+// Only the upper triangle of the host matrix is meaningful on return (like
+// LAPACK potrf, the strict lower triangle is left unspecified — it carries
+// the symmetric images of the trailing updates).
+#pragma once
+
+#include "lu/ooc_lu.hpp"
+
+namespace rocqr::lu {
+
+/// Blocking right-looking OOC Cholesky of the SPD host matrix `a` (n x n),
+/// in place (upper triangle becomes R).
+FactorStats blocking_ooc_cholesky(sim::Device& dev, sim::HostMutRef a,
+                                  const FactorOptions& opts);
+
+/// Recursive OOC Cholesky: diagonal-block split in half, R12 panels through
+/// the out-of-core Rᵀ-solve, trailing updates through the recursive
+/// transposed outer product.
+FactorStats recursive_ooc_cholesky(sim::Device& dev, sim::HostMutRef a,
+                                   const FactorOptions& opts);
+
+} // namespace rocqr::lu

@@ -1,0 +1,237 @@
+#include "lu/ooc_lu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lu/driver_common.hpp"
+#include "lu/incore.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/slab_schedule.hpp"
+#include "ooc/trsm_engine.hpp"
+#include "qr/driver_util.hpp"
+
+namespace rocqr::lu {
+
+using ooc::Operand;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::DeviceMatrixRef;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+namespace {
+
+/// Enqueues the in-core LU panel factorization on `stream`: `panel`
+/// (rows x w, fp32 device) holds the combined L\U factor on exit.
+void panel_lu_device(Device& dev, const DeviceMatrix& panel, Stream stream,
+                     const FactorOptions& opts) {
+  const index_t m = panel.rows();
+  const index_t w = panel.cols();
+  // LU performs ~m w² flops (half of CGS QR's 2 m w²); model it at the same
+  // sustained panel rate as the QR panel solver.
+  const double flops = static_cast<double>(m) * w * w;
+  const sim_time_t seconds =
+      dev.model().spec().kernel_latency_s + flops / dev.model().panel_rate(m, w);
+  dev.custom_compute(
+      stream, seconds, static_cast<flops_t>(flops), sim::OpKind::Panel,
+      "panel_lu " + std::to_string(m) + "x" + std::to_string(w), [&]() {
+        la::Matrix host_panel = dev.download(panel);
+        lu_nopiv_recursive(host_panel.view(), opts.panel_base, opts.precision);
+        dev.upload(panel, host_panel.view());
+      });
+}
+
+struct PanelResult {
+  DeviceMatrix panel;  // resident combined L\U factor (caller frees)
+  Event factored;      // panel kernel finished
+  Event on_host;       // factor landed back in the host matrix
+};
+
+/// One panel step shared by both drivers: move in, factor, move out.
+PanelResult factor_lu_panel(Device& dev, HostMutRef a, index_t j0, index_t w,
+                            Event prev, Stream in, Stream comp, Stream out,
+                            const FactorOptions& opts) {
+  const index_t below = a.rows - j0;
+  PanelResult r;
+  r.panel = dev.allocate(below, w, StoragePrecision::FP32, "lu.panel");
+  if (prev.valid()) dev.wait_event(in, prev);
+  dev.copy_h2d(r.panel, ooc::host_block(sim::as_const(a), j0, j0, below, w),
+               in, "h2d LU panel");
+  Event moved_in = dev.create_event();
+  dev.record_event(moved_in, in);
+  dev.wait_event(comp, moved_in);
+  panel_lu_device(dev, r.panel, comp, opts);
+  r.factored = dev.create_event();
+  dev.record_event(r.factored, comp);
+  dev.wait_event(out, r.factored);
+  dev.copy_d2h(ooc::host_block(a, j0, j0, below, w), r.panel, out,
+               "d2h LU panel");
+  r.on_host = dev.create_event();
+  dev.record_event(r.on_host, out);
+  return r;
+}
+
+} // namespace
+
+FactorStats blocking_ooc_lu(Device& dev, HostMutRef a,
+                            const FactorOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "blocking_ooc_lu: need m >= n >= 1");
+  const index_t b = std::min(opts.blocksize, n);
+
+  const size_t window = dev.trace().size();
+  Stream in = dev.create_stream();
+  Stream comp = dev.create_stream();
+  Stream out = dev.create_stream();
+  Event prev{};
+
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t w = std::min(b, n - j0);
+    const index_t below = m - j0;
+    PanelResult panel =
+        factor_lu_panel(dev, a, j0, w, prev, in, comp, out, opts);
+    detail::sync_unless_overlap(dev, opts);
+    prev = panel.on_host;
+
+    const index_t rest = n - j0 - w;
+    if (rest > 0) {
+      // U12 = L11^{-1} A12, solved on the device with the panel's L11 and
+      // kept resident as the trailing update's B factor.
+      DeviceMatrix u12 = dev.allocate(w, rest, StoragePrecision::FP32,
+                                      "lu.U12");
+      if (prev.valid()) dev.wait_event(in, prev);
+      dev.copy_h2d(u12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
+                   in, "h2d A12");
+      Event a12_in = dev.create_event();
+      dev.record_event(a12_in, in);
+      dev.wait_event(comp, a12_in);
+      dev.wait_event(comp, panel.factored);
+      dev.trsm(Device::TrsmKind::LeftLowerUnit,
+               DeviceMatrixRef(panel.panel, 0, 0, w, w), u12, opts.precision,
+               comp, "trsm U12");
+      Event u12_ready = dev.create_event();
+      dev.record_event(u12_ready, comp);
+      dev.wait_event(out, u12_ready);
+      dev.copy_d2h(ooc::host_block(a, j0, j0 + w, w, rest), u12, out,
+                   "d2h U12");
+      detail::sync_unless_overlap(dev, opts);
+
+      // A22 -= L21 · U12 with both factors resident, C tiled.
+      ooc::OocGemmOptions g = detail::engine_options(opts);
+      const bytes_t residents = panel.panel.bytes() + u12.bytes();
+      qr::QrOptions plan_opts;
+      plan_opts.memory_budget_fraction = opts.memory_budget_fraction;
+      const index_t tile = qr::detail::plan_tile_edge(dev, residents, plan_opts);
+      g.blocksize = std::min<index_t>(tile, below - w);
+      g.tile_cols = std::min<index_t>(tile, rest);
+      g.host_input_ready = {prev};
+      const auto update = ooc::outer_product_blocking(
+          dev,
+          Operand::on_device(DeviceMatrixRef(panel.panel, w, 0, below - w, w),
+                             panel.factored),
+          Operand::on_device(u12, u12_ready),
+          ooc::host_block(sim::as_const(a), j0 + w, j0 + w, below - w, rest),
+          ooc::host_block(a, j0 + w, j0 + w, below - w, rest), g);
+      prev = update.done;
+      detail::sync_unless_overlap(dev, opts);
+      dev.free(u12);
+    }
+    dev.free(panel.panel);
+  }
+
+  dev.synchronize();
+  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+namespace {
+
+struct RecursiveLuState {
+  Device& dev;
+  HostMutRef a;
+  const FactorOptions& opts;
+  Stream in;
+  Stream comp;
+  Stream out;
+};
+
+Event lu_recurse(RecursiveLuState& st, index_t j0, index_t w, Event prev) {
+  Device& dev = st.dev;
+  const index_t b = st.opts.blocksize;
+  const index_t panels = (w + b - 1) / b;
+  if (panels <= 1) {
+    PanelResult panel = factor_lu_panel(dev, st.a, j0, w, prev, st.in,
+                                        st.comp, st.out, st.opts);
+    detail::sync_unless_overlap(dev, st.opts);
+    dev.free(panel.panel);
+    return panel.on_host;
+  }
+  const index_t h = (panels / 2) * b;
+  const index_t rest = w - h;
+  const index_t m = st.a.rows;
+
+  Event left = lu_recurse(st, j0, h, prev);
+
+  // U12 = L11^{-1} A12, out of core (L11 may exceed device memory).
+  ooc::OocGemmOptions gt = detail::engine_options(st.opts);
+  gt.host_input_ready = {left};
+  const auto tr = ooc::ooc_trsm(
+      dev, ooc::TriSolveKind::LowerUnit,
+      ooc::host_block(sim::as_const(st.a), j0, j0, h, h),
+      ooc::host_block(sim::as_const(st.a), j0, j0 + h, h, rest),
+      ooc::host_block(st.a, j0, j0 + h, h, rest), gt);
+  detail::sync_unless_overlap(dev, st.opts);
+
+  // A22 -= L21 · U12, streamed row slabs with U12 resident (column-split on
+  // small-memory devices).
+  const index_t below = m - j0 - h;
+  const index_t n_split = detail::plan_update_split(dev, st.opts, m, h, rest);
+  Event update_done{};
+  for (const ooc::Slab panel :
+       ooc::slab_partition(rest, n_split > 0 ? n_split : rest)) {
+    ooc::OocGemmOptions g = detail::engine_options(st.opts);
+    g.host_input_ready = {tr.done};
+    const auto update = ooc::outer_product_recursive(
+        dev,
+        Operand::on_host(
+            ooc::host_block(sim::as_const(st.a), j0 + h, j0, below, h)),
+        Operand::on_host(ooc::host_block(sim::as_const(st.a), j0,
+                                         j0 + h + panel.offset, h,
+                                         panel.width)),
+        ooc::host_block(sim::as_const(st.a), j0 + h, j0 + h + panel.offset,
+                        below, panel.width),
+        ooc::host_block(st.a, j0 + h, j0 + h + panel.offset, below,
+                        panel.width),
+        g);
+    update_done = update.done;
+  }
+  detail::sync_unless_overlap(dev, st.opts);
+
+  return lu_recurse(st, j0 + h, rest, update_done);
+}
+
+} // namespace
+
+FactorStats recursive_ooc_lu(Device& dev, HostMutRef a,
+                             const FactorOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "recursive_ooc_lu: need m >= n >= 1");
+  ROCQR_CHECK(opts.blocksize >= 1, "recursive_ooc_lu: blocksize must be positive");
+
+  const size_t window = dev.trace().size();
+  RecursiveLuState st{dev,
+                      a,
+                      opts,
+                      dev.create_stream(),
+                      dev.create_stream(),
+                      dev.create_stream()};
+  lu_recurse(st, 0, n, Event{});
+  dev.synchronize();
+  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+} // namespace rocqr::lu

@@ -1,0 +1,46 @@
+// Out-of-core LU factorization (no pivoting) — the paper's §6 future work:
+// "the trailing matrix update in LU factorization is also of outer product
+// form, and the recursive algorithm can definitely help this kind of
+// GEMMs". Both the conventional blocking driver and the recursive driver
+// are built from the same OOC engines as the QR drivers.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::lu {
+
+/// Options for the OOC LU/Cholesky drivers (a subset of the QR knobs).
+struct FactorOptions {
+  index_t blocksize = 16384;
+  blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
+  /// §4.1.2 extra C working space in the trailing updates.
+  bool staging_buffer = true;
+  bool ramp_up = false;
+  index_t ramp_start = 2048;
+  int pipeline_depth = 2;
+  /// In-core base width of the panel solver (Real-mode numerics).
+  index_t panel_base = 32;
+  /// Cross-phase overlap (off = synchronize between phases).
+  bool overlap = true;
+  double memory_budget_fraction = 0.92;
+};
+
+/// Statistics reuse the QR aggregate (same trace-derived quantities).
+using FactorStats = qr::QrStats;
+
+/// Blocking (right-looking) OOC LU of the host matrix `a` (m x n, m >= n),
+/// in place: strict lower triangle becomes L (unit diagonal), upper becomes
+/// U. No pivoting — intended for diagonally dominant / SPD-like inputs, as
+/// discussed in src/lu/incore.hpp.
+FactorStats blocking_ooc_lu(sim::Device& dev, sim::HostMutRef a,
+                            const FactorOptions& opts);
+
+/// Recursive OOC LU (column split in half; panels only at the leaves; the
+/// U12 solves run through the out-of-core triangular solver and the
+/// trailing updates through the recursive outer-product engine).
+FactorStats recursive_ooc_lu(sim::Device& dev, sim::HostMutRef a,
+                             const FactorOptions& opts);
+
+} // namespace rocqr::lu

@@ -1,0 +1,65 @@
+// Internal helpers shared by the OOC GEMM engines (not public API).
+#pragma once
+
+#include "ooc/gemm_engines.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::ooc::detail {
+
+/// The three streams every engine pipeline uses: one feeding the H2D link,
+/// one feeding the compute engine, one feeding the D2H link.
+struct Streams {
+  sim::Stream in;
+  sim::Stream comp;
+  sim::Stream out;
+};
+
+inline Streams make_streams(sim::Device& dev) {
+  return Streams{dev.create_stream(), dev.create_stream(),
+                 dev.create_stream()};
+}
+
+/// In synchronous mode, the host joins the device after every enqueue —
+/// this is the "Synchronous" baseline of Tables 1/2 (no overlap at all).
+inline void sync_if(sim::Device& dev, const OocGemmOptions& opts) {
+  if (opts.synchronous) dev.synchronize();
+}
+
+inline int effective_depth(const OocGemmOptions& opts) {
+  return opts.pipeline_depth >= 1 ? opts.pipeline_depth : 1;
+}
+
+/// Device-resident storage width for streamed GEMM *inputs*: fp16 when the
+/// TensorCore path will consume them (that is what halves the working set in
+/// the paper's pipeline), fp32 for the CUDA-core path.
+inline sim::StoragePrecision input_storage(const OocGemmOptions& opts) {
+  return opts.precision == blas::GemmPrecision::FP16_FP32
+             ? sim::StoragePrecision::FP16
+             : sim::StoragePrecision::FP32;
+}
+
+/// Blocks the engine's move-in stream on the events guarding its host inputs.
+inline void wait_host_inputs(sim::Device& dev, sim::Stream in,
+                             const OocGemmOptions& opts) {
+  for (const sim::Event& e : opts.host_input_ready) {
+    if (e.valid()) dev.wait_event(in, e);
+  }
+}
+
+/// Waits (on the move-in stream) for every streamed-input region event that
+/// intersects the [rows x cols] rectangle about to be read. Offsets may be
+/// negative after coordinate translation; the signed intersection handles
+/// that.
+inline void wait_intersecting_regions(sim::Device& dev, sim::Stream in,
+                                      const OocGemmOptions& opts, Slab rows,
+                                      Slab cols) {
+  for (const RegionEvent& r : opts.streamed_input_regions) {
+    const bool rows_hit = r.rows.offset < rows.offset + rows.width &&
+                          rows.offset < r.rows.offset + r.rows.width;
+    const bool cols_hit = r.cols.offset < cols.offset + cols.width &&
+                          cols.offset < r.cols.offset + r.cols.width;
+    if (rows_hit && cols_hit && r.event.valid()) dev.wait_event(in, r.event);
+  }
+}
+
+} // namespace rocqr::ooc::detail

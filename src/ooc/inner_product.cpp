@@ -1,0 +1,278 @@
+// Out-of-core "inner product" engines: C = Aᵀ·B (the R12 = Q1ᵀ·A2 step).
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ooc/engine_util.hpp"
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+using blas::GemmPrecision;
+using blas::Op;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+
+OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
+                                     const Operand& b, HostMutRef c,
+                                     const OocGemmOptions& opts,
+                                     DeviceMatrix* keep_c) {
+  ROCQR_CHECK(!a.is_resident() && !b.is_resident(),
+              "inner_product_recursive: streams both inputs from the host");
+  const index_t kk = a.rows();
+  const index_t m = a.cols();
+  const index_t n = b.cols();
+  ROCQR_CHECK(b.rows() == kk, "inner_product_recursive: k mismatch");
+  ROCQR_CHECK(c.rows == m && c.cols == n,
+              "inner_product_recursive: C shape mismatch");
+  ROCQR_CHECK(m > 0 && n > 0 && kk > 0,
+              "inner_product_recursive: empty operand");
+
+  // Column panels of C: the unsplit case (one panel) is the paper's scheme
+  // where the full accumulator is resident and both inputs stream exactly
+  // once; small-memory devices split n and re-stream A per panel.
+  const index_t panel_cols = opts.c_panel_cols > 0 ? opts.c_panel_cols : n;
+  const auto panels = slab_partition(n, panel_cols);
+  ROCQR_CHECK(keep_c == nullptr || panels.size() == 1,
+              "inner_product_recursive: keep_c requires an unsplit C");
+
+  const auto kslabs =
+      slab_partition(kk, opts.blocksize, opts.ramp_up, opts.ramp_start);
+  const index_t max_kw = max_slab_width(kslabs);
+  const index_t max_pw = max_slab_width(panels);
+  const int depth = detail::effective_depth(opts);
+
+  const size_t window_begin = dev.trace().size();
+  auto streams = detail::make_streams(dev);
+  detail::wait_host_inputs(dev, streams.in, opts);
+
+  // Streamed-input buffer pool (fp16 on device, like the LATER pipeline).
+  std::vector<DeviceMatrix> buf_a(static_cast<size_t>(depth));
+  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    buf_a[static_cast<size_t>(d)] =
+        dev.allocate(max_kw, m, detail::input_storage(opts), "inner_rec.A");
+    buf_b[static_cast<size_t>(d)] =
+        dev.allocate(max_kw, max_pw, detail::input_storage(opts), "inner_rec.B");
+  }
+  // Accumulator pool: one buffer when C is unsplit, two cycling buffers when
+  // n is split so panel p+1 can accumulate while panel p drains to the host.
+  const int c_slots = panels.size() > 1 ? 2 : 1;
+  std::vector<DeviceMatrix> buf_c(static_cast<size_t>(c_slots));
+  for (int d = 0; d < c_slots; ++d) {
+    buf_c[static_cast<size_t>(d)] =
+        dev.allocate(m, max_pw, StoragePrecision::FP32, "inner_rec.C");
+  }
+
+  std::vector<Event> gemm_done;  // per global step, guards input-slot reuse
+  std::vector<Event> c_out_done; // per panel, guards accumulator-slot reuse
+  std::vector<RegionEvent> output_regions;
+  index_t global_step = 0;
+
+  for (size_t p = 0; p < panels.size(); ++p) {
+    const Slab panel = panels[p];
+    const DeviceMatrix& cd = buf_c[p % static_cast<size_t>(c_slots)];
+    // First gemm of this panel must not start before the accumulator slot's
+    // previous contents were copied out (two-panels-ago with two slots).
+    Event c_free{};
+    if (p >= static_cast<size_t>(c_slots)) {
+      c_free = c_out_done[p - static_cast<size_t>(c_slots)];
+    }
+
+    for (size_t s = 0; s < kslabs.size(); ++s) {
+      const Slab kslab = kslabs[s];
+      const size_t slot = static_cast<size_t>(global_step % depth);
+      if (global_step >= depth) {
+        dev.wait_event(streams.in,
+                       gemm_done[static_cast<size_t>(global_step - depth)]);
+      }
+      dev.copy_h2d(
+          sim::DeviceMatrixRef(buf_a[slot], 0, 0, kslab.width, m),
+          host_block(a.host(), kslab.offset, 0, kslab.width, m), streams.in,
+          "h2d A[" + std::to_string(s) + "]");
+      detail::sync_if(dev, opts);
+      dev.copy_h2d(
+          sim::DeviceMatrixRef(buf_b[slot], 0, 0, kslab.width, panel.width),
+          host_block(b.host(), kslab.offset, panel.offset, kslab.width,
+                     panel.width),
+          streams.in, "h2d B[" + std::to_string(s) + "]");
+      detail::sync_if(dev, opts);
+
+      Event moved_in = dev.create_event();
+      dev.record_event(moved_in, streams.in);
+      dev.wait_event(streams.comp, moved_in);
+      if (s == 0 && c_free.valid()) dev.wait_event(streams.comp, c_free);
+      // beta=0 on the panel's first slab: the accumulator slot may hold a
+      // previous panel's values.
+      dev.gemm(Op::Trans, Op::NoTrans, 1.0f,
+               sim::DeviceMatrixRef(buf_a[slot], 0, 0, kslab.width, m),
+               sim::DeviceMatrixRef(buf_b[slot], 0, 0, kslab.width,
+                                    panel.width),
+               s == 0 ? 0.0f : 1.0f,
+               sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
+               opts.precision, streams.comp,
+               "gemm C+=A'B[" + std::to_string(s) + "]");
+      detail::sync_if(dev, opts);
+
+      Event g = dev.create_event();
+      dev.record_event(g, streams.comp);
+      gemm_done.push_back(g);
+      ++global_step;
+    }
+
+    // Single move-out of the accumulated panel.
+    dev.wait_event(streams.out, gemm_done.back());
+    dev.copy_d2h(host_block(c, 0, panel.offset, m, panel.width),
+                 sim::DeviceMatrixRef(cd, 0, 0, m, panel.width), streams.out,
+                 "d2h C panel " + std::to_string(p));
+    detail::sync_if(dev, opts);
+    Event out_ev = dev.create_event();
+    dev.record_event(out_ev, streams.out);
+    c_out_done.push_back(out_ev);
+    output_regions.push_back(
+        RegionEvent{Slab{0, m}, Slab{panel.offset, panel.width}, out_ev});
+  }
+
+  // Release streamed-input buffers; their last reader has been enqueued.
+  for (auto& buf : buf_a) dev.free(buf);
+  for (auto& buf : buf_b) dev.free(buf);
+  if (keep_c != nullptr) {
+    *keep_c = buf_c[0];
+  } else {
+    for (auto& buf : buf_c) dev.free(buf);
+  }
+
+  OocGemmStats stats;
+  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.steps = global_step;
+  stats.output_ready = std::move(output_regions);
+  stats.done = c_out_done.back();
+  stats.device_result_ready = gemm_done.back();
+  stats.steady_gemm_rate = dev.model().gemm_rate(
+      Op::Trans, m, panel_cols, opts.blocksize, opts.precision);
+  stats.slab_h2d_seconds =
+      dev.model().h2d_seconds(4 * opts.blocksize * m) +
+      dev.model().h2d_seconds(4 * opts.blocksize * panel_cols);
+  stats.slab_gemm_seconds = dev.model().gemm_seconds(
+      Op::Trans, m, panel_cols, opts.blocksize, opts.precision);
+  stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * m * panel_cols);
+  return stats;
+}
+
+OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
+                                    const Operand& b, HostMutRef c,
+                                    const OocGemmOptions& opts,
+                                    DeviceMatrix* keep_c) {
+  ROCQR_CHECK(!b.is_resident(),
+              "inner_product_blocking: B streams from the host");
+  const index_t kk = a.rows();
+  const index_t m = a.cols();
+  const index_t n = b.cols();
+  ROCQR_CHECK(b.rows() == kk, "inner_product_blocking: k mismatch");
+  ROCQR_CHECK(c.rows == m && c.cols == n,
+              "inner_product_blocking: C shape mismatch");
+  ROCQR_CHECK(m > 0 && n > 0 && kk > 0, "inner_product_blocking: empty operand");
+
+  const auto slabs =
+      slab_partition(n, opts.blocksize, opts.ramp_up, opts.ramp_start);
+  const index_t max_w = max_slab_width(slabs);
+  const int depth = detail::effective_depth(opts);
+
+  const size_t window_begin = dev.trace().size();
+  auto streams = detail::make_streams(dev);
+  detail::wait_host_inputs(dev, streams.in, opts);
+
+  // The panel Q is resident — either it already lives on the device (QR-level
+  // optimization) or it is moved in once here.
+  DeviceMatrix a_moved;
+  sim::DeviceMatrixRef a_ref;
+  Event a_ready{};
+  if (a.is_resident()) {
+    a_ref = a.device_ref();
+    a_ready = a.ready_event();
+  } else {
+    a_moved = dev.allocate(kk, m, detail::input_storage(opts), "inner_blk.A");
+    dev.copy_h2d(a_moved, a.host(), streams.in, "h2d A (panel)");
+    detail::sync_if(dev, opts);
+    a_ready = dev.create_event();
+    dev.record_event(a_ready, streams.in);
+    a_ref = sim::DeviceMatrixRef(a_moved);
+  }
+
+  // Full C stays resident (m x n fp32): each slab's result both returns to
+  // the host and remains available as the next outer product's B operand.
+  DeviceMatrix cd = dev.allocate(m, n, StoragePrecision::FP32, "inner_blk.C");
+
+  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    buf_b[static_cast<size_t>(d)] =
+        dev.allocate(kk, max_w, detail::input_storage(opts), "inner_blk.B");
+  }
+
+  std::vector<Event> gemm_done;
+  std::vector<RegionEvent> output_regions;
+  for (size_t s = 0; s < slabs.size(); ++s) {
+    const Slab slab = slabs[s];
+    const size_t slot = s % static_cast<size_t>(depth);
+    if (s >= static_cast<size_t>(depth)) {
+      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
+    }
+    detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, kk},
+                                      slab);
+    dev.copy_h2d(sim::DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width),
+                 host_block(b.host(), 0, slab.offset, kk, slab.width),
+                 streams.in, "h2d B[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    Event moved_in = dev.create_event();
+    dev.record_event(moved_in, streams.in);
+
+    dev.wait_event(streams.comp, moved_in);
+    if (s == 0 && a_ready.valid()) dev.wait_event(streams.comp, a_ready);
+    dev.gemm(Op::Trans, Op::NoTrans, 1.0f, a_ref,
+             sim::DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width), 0.0f,
+             sim::DeviceMatrixRef(cd, 0, slab.offset, m, slab.width),
+             opts.precision, streams.comp,
+             "gemm C=A'B[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    Event g = dev.create_event();
+    dev.record_event(g, streams.comp);
+    gemm_done.push_back(g);
+
+    dev.wait_event(streams.out, g);
+    dev.copy_d2h(host_block(c, 0, slab.offset, m, slab.width),
+                 sim::DeviceMatrixRef(cd, 0, slab.offset, m, slab.width),
+                 streams.out, "d2h C[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    Event out_ev = dev.create_event();
+    dev.record_event(out_ev, streams.out);
+    output_regions.push_back(
+        RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_ev});
+  }
+
+  for (auto& buf : buf_b) dev.free(buf);
+  if (a_moved.valid()) dev.free(a_moved);
+  if (keep_c != nullptr) {
+    *keep_c = cd;
+  } else {
+    dev.free(cd);
+  }
+
+  OocGemmStats stats;
+  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.steps = static_cast<index_t>(slabs.size());
+  stats.done = output_regions.back().event;
+  stats.output_ready = std::move(output_regions);
+  stats.device_result_ready = gemm_done.back();
+  stats.steady_gemm_rate =
+      dev.model().gemm_rate(Op::Trans, m, opts.blocksize, kk, opts.precision);
+  stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * kk * opts.blocksize);
+  stats.slab_gemm_seconds =
+      dev.model().gemm_seconds(Op::Trans, m, opts.blocksize, kk, opts.precision);
+  stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * m * opts.blocksize);
+  return stats;
+}
+
+} // namespace rocqr::ooc

@@ -1,0 +1,61 @@
+#include "ooc/multi_gpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/slab_schedule.hpp"
+
+namespace rocqr::ooc {
+
+MultiGpuGemmResult multi_gpu_outer_product(
+    const std::vector<sim::Device*>& devices, sim::HostConstRef a,
+    sim::HostConstRef b, sim::HostConstRef c_in, sim::HostMutRef c_out,
+    const OocGemmOptions& opts) {
+  ROCQR_CHECK(!devices.empty(), "multi_gpu_outer_product: no devices");
+  for (sim::Device* dev : devices) {
+    ROCQR_CHECK(dev != nullptr, "multi_gpu_outer_product: null device");
+  }
+  ROCQR_CHECK(opts.outer_opa == blas::Op::NoTrans &&
+                  opts.outer_opb == blas::Op::NoTrans,
+              "multi_gpu_outer_product: transposed operands not supported");
+  const index_t m = a.rows;
+  const index_t n = b.cols;
+  ROCQR_CHECK(a.cols == b.rows, "multi_gpu_outer_product: k mismatch");
+  ROCQR_CHECK(c_out.rows == m && c_out.cols == n,
+              "multi_gpu_outer_product: C shape mismatch");
+
+  // Contiguous row shares, balanced to within one blocksize.
+  const auto g = static_cast<index_t>(devices.size());
+  const index_t bs = std::max<index_t>(opts.blocksize, 1);
+  const index_t blocks = (m + bs - 1) / bs;
+  MultiGpuGemmResult result;
+  result.per_device.reserve(devices.size());
+
+  index_t row0 = 0;
+  for (index_t d = 0; d < g; ++d) {
+    // Round shares to blocksize multiples so every device streams aligned
+    // slabs; the last device takes the remainder.
+    const index_t share_blocks = (blocks * (d + 1)) / g - (blocks * d) / g;
+    const index_t rows = std::min(share_blocks * bs, m - row0);
+    if (rows == 0) {
+      result.per_device.push_back(OocGemmStats{});
+      continue;
+    }
+    sim::Device& dev = *devices[static_cast<size_t>(d)];
+    result.per_device.push_back(outer_product_recursive(
+        dev, Operand::on_host(host_block(a, row0, 0, rows, a.cols)),
+        Operand::on_host(b), host_block(c_in, row0, 0, rows, n),
+        host_block(c_out, row0, 0, rows, n), opts));
+    row0 += rows;
+  }
+  ROCQR_CHECK(row0 == m, "multi_gpu_outer_product: row shares do not tile C");
+
+  for (sim::Device* dev : devices) {
+    dev->synchronize();
+    result.makespan = std::max(result.makespan, dev->makespan());
+  }
+  return result;
+}
+
+} // namespace rocqr::ooc

@@ -1,0 +1,29 @@
+// Multi-GPU out-of-core GEMM — the §2.2 related-work regime (cuBLASXt,
+// BLASX): one host matrix set, several devices, C partitioned by row blocks.
+// Each device receives the full resident factor and streams its row share
+// independently; with a SharedHostLink the devices contend for PCIe, which
+// is what limits multi-GPU OOC scaling in practice.
+#pragma once
+
+#include <vector>
+
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+struct MultiGpuGemmResult {
+  std::vector<OocGemmStats> per_device;
+  /// Latest completion over all participating devices.
+  sim_time_t makespan = 0;
+};
+
+/// C (m x n) := beta·C + alpha·op(A)·B across `devices` (cuBLASXt row-block
+/// scheme): device d computes rows [d·m/G, (d+1)·m/G). B is moved to every
+/// device (the replication cost cuBLASXt pays too); A and C row shares
+/// stream per device. Synchronizes every device before returning.
+MultiGpuGemmResult multi_gpu_outer_product(
+    const std::vector<sim::Device*>& devices, sim::HostConstRef a,
+    sim::HostConstRef b, sim::HostConstRef c_in, sim::HostMutRef c_out,
+    const OocGemmOptions& opts);
+
+} // namespace rocqr::ooc

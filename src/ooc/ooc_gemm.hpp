@@ -1,0 +1,27 @@
+// General out-of-core GEMM — the cuBLASXt-style entry point a downstream
+// user reaches for first: C := beta·C + alpha·op(A)·op(B) with all three
+// matrices host-resident and arbitrarily large.
+//
+// Dispatch: the smaller of op(A)/op(B) becomes the resident factor and C
+// streams against it — row slabs when A is streamed (outer engine), column
+// slabs when B is streamed (column-wise engine). beta == 0 skips the C
+// move-ins entirely. For the reduction-heavy C = Aᵀ·B shape with both
+// factors huge (the QR inner product), use inner_product_recursive directly
+// — this facade optimizes for the general case, not that special structure.
+#pragma once
+
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+/// C (m x n) := beta·C + alpha·op(A)·op(B), everything on the host.
+/// A is stored m x k (NoTrans) or k x m (Trans); B is k x n or n x k.
+/// c_in and c_out may alias; with beta == 0, c_in may be phantom/null.
+/// The resident factor must fit device memory (throws DeviceOutOfMemory
+/// otherwise); the streamed matrices may be arbitrarily large.
+OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
+                      float alpha, sim::HostConstRef a, sim::HostConstRef b,
+                      float beta, sim::HostConstRef c_in,
+                      sim::HostMutRef c_out, OocGemmOptions opts = {});
+
+} // namespace rocqr::ooc

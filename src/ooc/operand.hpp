@@ -1,0 +1,81 @@
+// An OOC GEMM operand: either a host matrix to be streamed/staged in, or a
+// matrix already resident on the device (the QR-level optimization of §4.2
+// passes results of one BLAS call straight into the next).
+#pragma once
+
+#include "common/error.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::ooc {
+
+class Operand {
+ public:
+  static Operand on_host(sim::HostConstRef ref) {
+    Operand op;
+    op.host_ = ref;
+    return op;
+  }
+
+  /// `ready` (optional) marks when the resident contents become valid —
+  /// record it on the stream that produced the matrix. Consumers of the
+  /// operand wait on it, which is what lets one BLAS call's tail overlap the
+  /// next call's head without racing (§4.2).
+  static Operand on_device(const sim::DeviceMatrix& m, sim::Event ready = {}) {
+    ROCQR_CHECK(m.valid(), "Operand::on_device: invalid device matrix");
+    return on_device(sim::DeviceMatrixRef(m), ready);
+  }
+
+  /// Sub-block of a resident matrix (e.g. the L21 part of a combined LU
+  /// panel).
+  static Operand on_device(sim::DeviceMatrixRef ref, sim::Event ready = {}) {
+    ROCQR_CHECK(ref.matrix.valid(), "Operand::on_device: invalid device ref");
+    Operand op;
+    op.resident_ = true;
+    op.ref_ = ref;
+    op.ready_ = ready;
+    return op;
+  }
+
+  bool is_resident() const { return resident_; }
+  sim::Event ready_event() const { return ready_; }
+  sim::DeviceMatrixRef device_ref() const {
+    ROCQR_CHECK(resident_, "Operand: not device-resident");
+    return ref_;
+  }
+  const sim::HostConstRef& host() const {
+    ROCQR_CHECK(!resident_, "Operand: not host-resident");
+    return host_;
+  }
+
+  index_t rows() const { return resident_ ? ref_.rows : host_.rows; }
+  index_t cols() const { return resident_ ? ref_.cols : host_.cols; }
+
+ private:
+  Operand() = default;
+  sim::HostConstRef host_{};
+  bool resident_ = false;
+  sim::DeviceMatrixRef ref_{};
+  sim::Event ready_{};
+};
+
+/// Sub-block helpers for host refs (column-major pointer arithmetic).
+inline sim::HostConstRef host_block(const sim::HostConstRef& ref, index_t i0,
+                                    index_t j0, index_t rows, index_t cols) {
+  ROCQR_CHECK(i0 >= 0 && j0 >= 0 && rows >= 0 && cols >= 0 &&
+                  i0 + rows <= ref.rows && j0 + cols <= ref.cols,
+              "host_block: out of range");
+  const float* p =
+      ref.data == nullptr ? nullptr : ref.data + i0 + j0 * ref.ld;
+  return sim::HostConstRef(p, rows, cols, ref.ld);
+}
+
+inline sim::HostMutRef host_block(const sim::HostMutRef& ref, index_t i0,
+                                  index_t j0, index_t rows, index_t cols) {
+  ROCQR_CHECK(i0 >= 0 && j0 >= 0 && rows >= 0 && cols >= 0 &&
+                  i0 + rows <= ref.rows && j0 + cols <= ref.cols,
+              "host_block: out of range");
+  float* p = ref.data == nullptr ? nullptr : ref.data + i0 + j0 * ref.ld;
+  return sim::HostMutRef(p, rows, cols, ref.ld);
+}
+
+} // namespace rocqr::ooc

@@ -1,0 +1,432 @@
+// Out-of-core "outer product" engines: C -= A·B (the trailing update
+// A2 -= Q1·R12), including the §4.1.2 staging-buffer optimization.
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ooc/engine_util.hpp"
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+using blas::Op;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::DeviceMatrixRef;
+using sim::Event;
+using sim::HostConstRef;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+
+namespace {
+
+/// Moves a host operand in once (fp16) unless it is already resident.
+/// Returns the matrix to use plus the event marking its readiness.
+struct ResidentInput {
+  DeviceMatrixRef ref;
+  DeviceMatrix owned; // valid if we moved it in (must be freed by caller)
+  Event ready{};
+};
+
+ResidentInput make_resident(Device& dev, const Operand& op, sim::Stream in,
+                            const OocGemmOptions& opts, const char* label) {
+  ResidentInput r;
+  if (op.is_resident()) {
+    r.ref = op.device_ref();
+    r.ready = op.ready_event();
+    return r;
+  }
+  r.owned = dev.allocate(op.rows(), op.cols(), detail::input_storage(opts), label);
+  dev.copy_h2d(r.owned, op.host(), in, std::string("h2d ") + label);
+  detail::sync_if(dev, opts);
+  r.ready = dev.create_event();
+  dev.record_event(r.ready, in);
+  r.ref = DeviceMatrixRef(r.owned);
+  return r;
+}
+
+} // namespace
+
+OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
+                                     const Operand& b, HostConstRef c_in,
+                                     HostMutRef c_out,
+                                     const OocGemmOptions& opts) {
+  ROCQR_CHECK(!a.is_resident(), "outer_product_recursive: A streams from host");
+  const bool ta = opts.outer_opa == Op::Trans;
+  const index_t m = ta ? a.cols() : a.rows();
+  const index_t kk = ta ? a.rows() : a.cols();
+  const bool tb = opts.outer_opb == Op::Trans;
+  const index_t n = tb ? b.rows() : b.cols();
+  ROCQR_CHECK((tb ? b.cols() : b.rows()) == kk,
+              "outer_product_recursive: k mismatch");
+  ROCQR_CHECK(c_in.rows == m && c_in.cols == n && c_out.rows == m &&
+                  c_out.cols == n,
+              "outer_product_recursive: C shape mismatch");
+  ROCQR_CHECK(m > 0 && n > 0 && kk > 0, "outer_product_recursive: empty operand");
+  ROCQR_CHECK(!opts.upper_trapezoid_slabs || m == n,
+              "outer_product_recursive: trapezoid slabs need a square C");
+
+  const auto slabs =
+      slab_partition(m, opts.blocksize, opts.ramp_up, opts.ramp_start);
+  const index_t max_w = max_slab_width(slabs);
+  const int depth = detail::effective_depth(opts);
+
+  const size_t window_begin = dev.trace().size();
+  auto streams = detail::make_streams(dev);
+  detail::wait_host_inputs(dev, streams.in, opts);
+
+  // B (the R12 factor produced by the preceding inner product) is resident.
+  ResidentInput bres = make_resident(dev, b, streams.in, opts, "outer_rec.B");
+
+  std::vector<DeviceMatrix> buf_a(static_cast<size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    // Slabs are stored in host orientation: m-rows x k when A streams by
+    // rows, k x m-cols when the transposed operand streams by columns.
+    buf_a[static_cast<size_t>(d)] =
+        ta ? dev.allocate(kk, max_w, detail::input_storage(opts), "outer_rec.A")
+           : dev.allocate(max_w, kk, detail::input_storage(opts),
+                          "outer_rec.A");
+  }
+  // C slab working space. The paper's baseline keeps a single buffer ("the
+  // same GPU memory space"), which serializes every move-in behind the
+  // previous slab's move-out; §4.1.2's extra memory space removes that
+  // serialization. We realize it as a rotating pair of working buffers —
+  // the next slab prefetches into the second buffer while the current one
+  // computes and drains — which is what achieves the paper's ideal bound
+  // (first move-in + sum of GEMMs + last move-out, §5.1.2).
+  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  std::vector<DeviceMatrix> buf_c(c_slots);
+  for (size_t i = 0; i < c_slots; ++i) {
+    buf_c[i] = dev.allocate(max_w, n, StoragePrecision::FP32,
+                            i == 0 ? "outer_rec.C" : "outer_rec.Cstage");
+  }
+
+  std::vector<Event> gemm_done(slabs.size());
+  std::vector<Event> out_done(slabs.size());
+  std::vector<RegionEvent> output_regions;
+
+  const bool trapezoid = opts.upper_trapezoid_slabs;
+
+  for (size_t s = 0; s < slabs.size(); ++s) {
+    const Slab slab = slabs[s];
+    const size_t slot = s % static_cast<size_t>(depth);
+    const DeviceMatrix& cbuf = buf_c[s % c_slots];
+    // Trapezoid mode (symmetric updates): only columns at or right of the
+    // slab's diagonal block are touched.
+    const index_t col0 = trapezoid ? slab.offset : 0;
+    const index_t cw = n - col0;
+
+    if (s >= static_cast<size_t>(depth)) {
+      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
+    }
+    detail::wait_intersecting_regions(dev, streams.in, opts,
+                                      ta ? Slab{0, kk} : slab,
+                                      ta ? slab : Slab{col0, cw});
+    const DeviceMatrixRef a_slab =
+        ta ? DeviceMatrixRef(buf_a[slot], 0, 0, kk, slab.width)
+           : DeviceMatrixRef(buf_a[slot], 0, 0, slab.width, kk);
+    dev.copy_h2d(a_slab,
+                 ta ? host_block(a.host(), 0, slab.offset, kk, slab.width)
+                    : host_block(a.host(), slab.offset, 0, slab.width, kk),
+                 streams.in, "h2d A[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+
+    // The C buffer becomes writable once its previous slab's move-out
+    // finished — one slab ago with a single buffer (fully serialized),
+    // two slabs ago with the optimization's rotating pair.
+    if (s >= c_slots) {
+      dev.wait_event(streams.in, out_done[s - c_slots]);
+    }
+    if (opts.beta != 0.0f) { // beta == 0: C is write-only, skip the move-in
+      dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+                   host_block(c_in, slab.offset, col0, slab.width, cw),
+                   streams.in, "h2d C[" + std::to_string(s) + "]");
+      detail::sync_if(dev, opts);
+    }
+
+    Event moved_in = dev.create_event();
+    dev.record_event(moved_in, streams.in);
+    dev.wait_event(streams.comp, moved_in);
+    if (s == 0 && bres.ready.valid()) dev.wait_event(streams.comp, bres.ready);
+    const DeviceMatrixRef b_ref =
+        trapezoid ? (opts.outer_opb == Op::Trans
+                         ? bres.ref.block(col0, 0, cw, kk)
+                         : bres.ref.block(0, col0, kk, cw))
+                  : bres.ref;
+    dev.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_slab, b_ref,
+             opts.beta, DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+             opts.precision, streams.comp,
+             "gemm C[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    gemm_done[s] = dev.create_event();
+    dev.record_event(gemm_done[s], streams.comp);
+
+    dev.wait_event(streams.out, gemm_done[s]);
+    dev.copy_d2h(host_block(c_out, slab.offset, col0, slab.width, cw),
+                 DeviceMatrixRef(cbuf, 0, 0, slab.width, cw), streams.out,
+                 "d2h C[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    out_done[s] = dev.create_event();
+    dev.record_event(out_done[s], streams.out);
+    output_regions.push_back(
+        RegionEvent{Slab{slab.offset, slab.width}, Slab{col0, cw},
+                    out_done[s]});
+  }
+
+  for (auto& buf : buf_a) dev.free(buf);
+  for (auto& buf : buf_c) dev.free(buf);
+  if (bres.owned.valid()) dev.free(bres.owned);
+
+  OocGemmStats stats;
+  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.steps = static_cast<index_t>(slabs.size());
+  stats.done = out_done.back();
+  stats.output_ready = std::move(output_regions);
+  stats.device_result_ready = gemm_done.back();
+  stats.steady_gemm_rate = dev.model().gemm_rate(opts.outer_opa, opts.blocksize,
+                                                 n, kk, opts.precision);
+  stats.slab_h2d_seconds =
+      dev.model().h2d_seconds(4 * opts.blocksize * kk) +
+      dev.model().h2d_seconds(4 * opts.blocksize * n);
+  stats.slab_gemm_seconds = dev.model().gemm_seconds(
+      Op::NoTrans, opts.blocksize, n, kk, opts.precision);
+  stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * opts.blocksize * n);
+  return stats;
+}
+
+OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
+                                   const Operand& b, HostConstRef c_in,
+                                   HostMutRef c_out,
+                                   const OocGemmOptions& opts) {
+  ROCQR_CHECK(!b.is_resident(), "outer_product_colwise: B streams from host");
+  const bool ta = opts.outer_opa == Op::Trans;
+  const index_t m = ta ? a.cols() : a.rows();
+  const index_t kk = ta ? a.rows() : a.cols();
+  const index_t n = b.cols();
+  ROCQR_CHECK(b.rows() == kk, "outer_product_colwise: k mismatch");
+  ROCQR_CHECK(opts.outer_opb == Op::NoTrans,
+              "outer_product_colwise: op(B) not supported (B streams)");
+  ROCQR_CHECK(c_in.rows == m && c_in.cols == n && c_out.rows == m &&
+                  c_out.cols == n,
+              "outer_product_colwise: C shape mismatch");
+  ROCQR_CHECK(m > 0 && n > 0 && kk > 0, "outer_product_colwise: empty operand");
+
+  const auto slabs =
+      slab_partition(n, opts.blocksize, opts.ramp_up, opts.ramp_start);
+  const index_t max_w = max_slab_width(slabs);
+  const int depth = detail::effective_depth(opts);
+
+  const size_t window_begin = dev.trace().size();
+  auto streams = detail::make_streams(dev);
+  detail::wait_host_inputs(dev, streams.in, opts);
+
+  ResidentInput ares = make_resident(dev, a, streams.in, opts, "outer_col.A");
+  const DeviceMatrixRef a_ref = ares.ref;
+
+  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    buf_b[static_cast<size_t>(d)] =
+        dev.allocate(kk, max_w, detail::input_storage(opts), "outer_col.B");
+  }
+  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  std::vector<DeviceMatrix> buf_c(c_slots);
+  for (size_t i = 0; i < c_slots; ++i) {
+    buf_c[i] = dev.allocate(m, max_w, StoragePrecision::FP32,
+                            i == 0 ? "outer_col.C" : "outer_col.Cstage");
+  }
+
+  std::vector<Event> gemm_done(slabs.size());
+  std::vector<Event> out_done(slabs.size());
+  std::vector<RegionEvent> output_regions;
+
+  for (size_t s = 0; s < slabs.size(); ++s) {
+    const Slab slab = slabs[s];
+    const size_t slot = s % static_cast<size_t>(depth);
+    const DeviceMatrix& cbuf = buf_c[s % c_slots];
+
+    if (s >= static_cast<size_t>(depth)) {
+      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
+    }
+    detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, m},
+                                      slab);
+    dev.copy_h2d(DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width),
+                 host_block(b.host(), 0, slab.offset, kk, slab.width),
+                 streams.in, "h2d B[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    if (s >= c_slots) dev.wait_event(streams.in, out_done[s - c_slots]);
+    if (opts.beta != 0.0f) {
+      dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+                   host_block(c_in, 0, slab.offset, m, slab.width),
+                   streams.in, "h2d C[" + std::to_string(s) + "]");
+      detail::sync_if(dev, opts);
+    }
+
+    Event moved_in = dev.create_event();
+    dev.record_event(moved_in, streams.in);
+    dev.wait_event(streams.comp, moved_in);
+    if (s == 0 && ares.ready.valid()) dev.wait_event(streams.comp, ares.ready);
+    dev.gemm(opts.outer_opa, Op::NoTrans, opts.alpha, a_ref,
+             DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width), opts.beta,
+             DeviceMatrixRef(cbuf, 0, 0, m, slab.width), opts.precision,
+             streams.comp, "gemm C[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    gemm_done[s] = dev.create_event();
+    dev.record_event(gemm_done[s], streams.comp);
+
+    dev.wait_event(streams.out, gemm_done[s]);
+    dev.copy_d2h(host_block(c_out, 0, slab.offset, m, slab.width),
+                 DeviceMatrixRef(cbuf, 0, 0, m, slab.width), streams.out,
+                 "d2h C[" + std::to_string(s) + "]");
+    detail::sync_if(dev, opts);
+    out_done[s] = dev.create_event();
+    dev.record_event(out_done[s], streams.out);
+    output_regions.push_back(
+        RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_done[s]});
+  }
+
+  for (auto& buf : buf_b) dev.free(buf);
+  for (auto& buf : buf_c) dev.free(buf);
+  if (ares.owned.valid()) dev.free(ares.owned);
+
+  OocGemmStats stats;
+  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.steps = static_cast<index_t>(slabs.size());
+  stats.done = out_done.back();
+  stats.output_ready = std::move(output_regions);
+  stats.device_result_ready = gemm_done.back();
+  stats.steady_gemm_rate =
+      dev.model().gemm_rate(opts.outer_opa, m, opts.blocksize, kk, opts.precision);
+  stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * opts.blocksize * kk) +
+                           dev.model().h2d_seconds(4 * opts.blocksize * m);
+  stats.slab_gemm_seconds = dev.model().gemm_seconds(
+      opts.outer_opa, m, opts.blocksize, kk, opts.precision);
+  stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * opts.blocksize * m);
+  return stats;
+}
+
+OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
+                                    const Operand& b, HostConstRef c_in,
+                                    HostMutRef c_out,
+                                    const OocGemmOptions& opts) {
+  const bool ta = opts.outer_opa == Op::Trans;
+  const index_t m = ta ? a.cols() : a.rows();
+  const index_t kk = ta ? a.rows() : a.cols();
+  const bool tb = opts.outer_opb == Op::Trans;
+  const index_t n = tb ? b.rows() : b.cols();
+  ROCQR_CHECK((tb ? b.cols() : b.rows()) == kk,
+              "outer_product_blocking: k mismatch");
+  ROCQR_CHECK(c_in.rows == m && c_in.cols == n && c_out.rows == m &&
+                  c_out.cols == n,
+              "outer_product_blocking: C shape mismatch");
+  ROCQR_CHECK(m > 0 && n > 0 && kk > 0, "outer_product_blocking: empty operand");
+
+  const index_t b1 = opts.blocksize;
+  const index_t b2 = opts.tile_cols > 0 ? opts.tile_cols : opts.blocksize;
+  const auto row_tiles = slab_partition(m, b1);
+  const auto col_tiles = slab_partition(n, b2);
+
+  const size_t window_begin = dev.trace().size();
+  auto streams = detail::make_streams(dev);
+  detail::wait_host_inputs(dev, streams.in, opts);
+
+  // Both inputs are tall-and-skinny and stay resident (§3.3.2).
+  ResidentInput ares = make_resident(dev, a, streams.in, opts, "outer_blk.A");
+  ResidentInput bres = make_resident(dev, b, streams.in, opts, "outer_blk.B");
+
+  // C tile working space: a rotating pair with the §4.1.2 optimization so
+  // tile t+1 prefetches while tile t computes/drains; a single buffer — the
+  // paper's baseline — serializes move-ins behind move-outs.
+  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  std::vector<DeviceMatrix> buf_c(c_slots);
+  for (size_t i = 0; i < c_slots; ++i) {
+    buf_c[i] = dev.allocate(b1, b2, StoragePrecision::FP32,
+                            i == 0 ? "outer_blk.C" : "outer_blk.Cstage");
+  }
+
+  const size_t tiles = row_tiles.size() * col_tiles.size();
+  std::vector<Event> gemm_done(tiles);
+  std::vector<Event> out_done(tiles);
+  std::vector<RegionEvent> output_regions;
+
+  size_t t = 0;
+  for (const Slab& rt : row_tiles) {
+    for (const Slab& ct : col_tiles) {
+      // Symmetric-update mode: skip tiles entirely below the diagonal.
+      if (opts.upper_triangle_tiles_only &&
+          ct.offset + ct.width <= rt.offset) {
+        continue;
+      }
+      const DeviceMatrix& cbuf = buf_c[t % c_slots];
+      if (t >= c_slots) {
+        dev.wait_event(streams.in, out_done[t - c_slots]);
+      }
+      detail::wait_intersecting_regions(dev, streams.in, opts, rt, ct);
+      if (opts.beta != 0.0f) {
+        dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+                     host_block(c_in, rt.offset, ct.offset, rt.width,
+                                ct.width),
+                     streams.in, "h2d C[" + std::to_string(t) + "]");
+        detail::sync_if(dev, opts);
+      }
+      Event moved_in = dev.create_event();
+      dev.record_event(moved_in, streams.in);
+
+      dev.wait_event(streams.comp, moved_in);
+      if (t == 0) {
+        if (ares.ready.valid()) dev.wait_event(streams.comp, ares.ready);
+        if (bres.ready.valid()) dev.wait_event(streams.comp, bres.ready);
+      }
+      const DeviceMatrixRef a_tile =
+          ta ? ares.ref.block(0, rt.offset, kk, rt.width)
+             : ares.ref.block(rt.offset, 0, rt.width, kk);
+      const DeviceMatrixRef b_tile =
+          tb ? bres.ref.block(ct.offset, 0, ct.width, kk)
+             : bres.ref.block(0, ct.offset, kk, ct.width);
+      dev.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_tile, b_tile,
+               opts.beta, DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+               opts.precision, streams.comp,
+               "gemm C[" + std::to_string(t) + "]");
+      detail::sync_if(dev, opts);
+      gemm_done[t] = dev.create_event();
+      dev.record_event(gemm_done[t], streams.comp);
+
+      dev.wait_event(streams.out, gemm_done[t]);
+      dev.copy_d2h(
+          host_block(c_out, rt.offset, ct.offset, rt.width, ct.width),
+          DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width), streams.out,
+          "d2h C[" + std::to_string(t) + "]");
+      detail::sync_if(dev, opts);
+      out_done[t] = dev.create_event();
+      dev.record_event(out_done[t], streams.out);
+      output_regions.push_back(RegionEvent{Slab{rt.offset, rt.width},
+                                           Slab{ct.offset, ct.width},
+                                           out_done[t]});
+      ++t;
+    }
+  }
+
+  for (auto& buf : buf_c) dev.free(buf);
+  if (ares.owned.valid()) dev.free(ares.owned);
+  if (bres.owned.valid()) dev.free(bres.owned);
+
+  // With the triangular filter some pre-sized slots were never used.
+  gemm_done.resize(t);
+  out_done.resize(t);
+  ROCQR_CHECK(t > 0, "outer_product_blocking: no tiles processed");
+
+  OocGemmStats stats;
+  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.steps = static_cast<index_t>(t);
+  stats.done = out_done.back();
+  stats.output_ready = std::move(output_regions);
+  stats.device_result_ready = gemm_done.back();
+  stats.steady_gemm_rate =
+      dev.model().gemm_rate(opts.outer_opa, b1, b2, kk, opts.precision);
+  stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * b1 * b2);
+  stats.slab_gemm_seconds =
+      dev.model().gemm_seconds(Op::NoTrans, b1, b2, kk, opts.precision);
+  stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * b1 * b2);
+  return stats;
+}
+
+} // namespace rocqr::ooc

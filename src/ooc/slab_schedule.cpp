@@ -1,0 +1,33 @@
+#include "ooc/slab_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rocqr::ooc {
+
+std::vector<Slab> slab_partition(index_t total, index_t blocksize,
+                                 bool ramp_up, index_t ramp_start) {
+  ROCQR_CHECK(total >= 0, "slab_partition: negative total");
+  ROCQR_CHECK(blocksize > 0, "slab_partition: blocksize must be positive");
+  ROCQR_CHECK(!ramp_up || (ramp_start > 0 && ramp_start <= blocksize),
+              "slab_partition: ramp_start must be in (0, blocksize]");
+  std::vector<Slab> slabs;
+  index_t offset = 0;
+  index_t width = ramp_up ? ramp_start : blocksize;
+  while (offset < total) {
+    const index_t w = std::min(width, total - offset);
+    slabs.push_back(Slab{offset, w});
+    offset += w;
+    if (ramp_up && width < blocksize) width = std::min(width * 2, blocksize);
+  }
+  return slabs;
+}
+
+index_t max_slab_width(const std::vector<Slab>& slabs) {
+  index_t best = 0;
+  for (const Slab& s : slabs) best = std::max(best, s.width);
+  return best;
+}
+
+} // namespace rocqr::ooc

@@ -1,0 +1,27 @@
+// Partitioning of a streamed dimension into slabs, with the optional
+// ramp-up schedule of §4.1.3 (start small so the first move-in is partially
+// hidden, grow to the full blocksize for steady-state efficiency).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rocqr::ooc {
+
+struct Slab {
+  index_t offset = 0;
+  index_t width = 0;
+};
+
+/// Splits [0, total) into contiguous slabs of `blocksize` (the last slab
+/// takes the remainder). With `ramp_up`, widths start at `ramp_start` and
+/// double each step until reaching `blocksize`.
+std::vector<Slab> slab_partition(index_t total, index_t blocksize,
+                                 bool ramp_up = false,
+                                 index_t ramp_start = 2048);
+
+/// Largest width appearing in a partition (buffer sizing).
+index_t max_slab_width(const std::vector<Slab>& slabs);
+
+} // namespace rocqr::ooc

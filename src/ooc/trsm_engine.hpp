@@ -1,0 +1,34 @@
+// Out-of-core triangular solve — the substrate the LU and Cholesky drivers
+// (the paper's §6 future work) need for their U12 / R12 panels when the
+// triangle itself exceeds device memory.
+//
+// Recursive structure (Toledo-style):
+//   solve(T[0:h,0:h], B[0:h,:])                     — recurse (top)
+//   B[h:,:] -= M · X_top                            — outer_product_colwise,
+//       M = T[h:,0:h]        for L·X = B            (NoTrans)
+//       M = T[0:h,h:]ᵀ       for Rᵀ·X = B           (Trans)
+//   solve(T[h:,h:], B[h:,:])                        — recurse (bottom)
+// The base case keeps the (blocksize-sized) triangle resident and streams B
+// in column slabs through the device trsm kernel.
+#pragma once
+
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+enum class TriSolveKind {
+  LowerUnit,  ///< X := L⁻¹ B, L lower triangular with unit diagonal (LU)
+  UpperTrans, ///< X := R⁻ᵀ B, R upper triangular (Cholesky)
+  Upper,      ///< X := U⁻¹ B, U upper triangular (back substitution; the
+              ///< recursion runs bottom-up)
+};
+
+/// Solves op(T)·X = B out of core, in place on the host: `t` is the n x n
+/// host triangle, `b_in`/`b_out` the n x nrhs right-hand sides (may alias).
+/// The off-diagonal update blocks are held resident per recursion level, so
+/// the largest must fit the device ((n/2)² input-precision words).
+OocGemmStats ooc_trsm(sim::Device& dev, TriSolveKind kind,
+                      sim::HostConstRef t, sim::HostConstRef b_in,
+                      sim::HostMutRef b_out, const OocGemmOptions& opts);
+
+} // namespace rocqr::ooc

@@ -1,0 +1,57 @@
+#include "qr/autotune.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+TuneResult tune_blocksize(const sim::DeviceSpec& spec, index_t m, index_t n,
+                          bool recursive, QrOptions base,
+                          index_t min_blocksize, index_t max_blocksize) {
+  ROCQR_CHECK(m >= n && n >= 1, "tune_blocksize: need m >= n >= 1");
+  ROCQR_CHECK(min_blocksize >= 1 && min_blocksize <= max_blocksize,
+              "tune_blocksize: bad blocksize range");
+
+  TuneResult result;
+  for (index_t b = min_blocksize; b <= max_blocksize; b *= 2) {
+    if (b > n) break;
+    TunePoint point;
+    point.blocksize = b;
+    try {
+      sim::Device dev(spec, sim::ExecutionMode::Phantom);
+      dev.model().install_paper_calibration();
+      auto a = sim::HostMutRef::phantom(m, n);
+      auto r = sim::HostMutRef::phantom(n, n);
+      QrOptions opts = base;
+      opts.blocksize = b;
+      const QrStats stats = recursive ? recursive_ooc_qr(dev, a, r, opts)
+                                      : blocking_ooc_qr(dev, a, r, opts);
+      point.seconds = stats.total_seconds;
+      point.fits = true;
+    } catch (const DeviceOutOfMemory&) {
+      point.fits = false;
+    }
+    result.sweep.push_back(point);
+  }
+
+  ROCQR_CHECK(!result.sweep.empty(), "tune_blocksize: no candidate fits n");
+  const auto best = std::min_element(
+      result.sweep.begin(), result.sweep.end(),
+      [](const TunePoint& lhs, const TunePoint& rhs) {
+        if (lhs.fits != rhs.fits) return lhs.fits; // feasible wins
+        return lhs.fits && lhs.seconds < rhs.seconds;
+      });
+  if (!best->fits) {
+    throw DeviceOutOfMemory(
+        "tune_blocksize: no candidate blocksize fits the device");
+  }
+  result.best_blocksize = best->blocksize;
+  result.best_seconds = best->seconds;
+  return result;
+}
+
+} // namespace rocqr::qr

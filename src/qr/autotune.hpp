@@ -1,0 +1,38 @@
+// Blocksize autotuning via phantom-mode dry runs.
+//
+// Because Phantom execution computes the exact schedule of a configuration
+// in milliseconds, tuning is just "simulate every candidate and take the
+// argmin" — no measurement noise, no hardware time. This is the practical
+// payoff of the simulator for a library user: ask the model which blocksize
+// to use for a given device and problem before touching real data.
+#pragma once
+
+#include <vector>
+
+#include "qr/options.hpp"
+#include "sim/spec.hpp"
+
+namespace rocqr::qr {
+
+struct TunePoint {
+  index_t blocksize = 0;
+  sim_time_t seconds = 0; ///< simulated end-to-end time
+  bool fits = false;      ///< false = device OOM at this blocksize
+};
+
+struct TuneResult {
+  index_t best_blocksize = 0;
+  sim_time_t best_seconds = 0;
+  std::vector<TunePoint> sweep; ///< every candidate evaluated
+};
+
+/// Simulates the full OOC QR of an m x n matrix on `spec` for every
+/// power-of-two blocksize in [min_blocksize, max_blocksize] (clamped to n)
+/// and returns the fastest feasible one. `base` carries the other options
+/// (precision, optimizations, algorithm choice via `recursive`).
+TuneResult tune_blocksize(const sim::DeviceSpec& spec, index_t m, index_t n,
+                          bool recursive, QrOptions base = {},
+                          index_t min_blocksize = 1024,
+                          index_t max_blocksize = 65536);
+
+} // namespace rocqr::qr

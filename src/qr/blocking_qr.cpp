@@ -1,0 +1,141 @@
+#include "qr/blocking_qr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "qr/driver_util.hpp"
+#include "qr/host_tracker.hpp"
+#include "qr/panel.hpp"
+
+namespace rocqr::qr {
+
+using ooc::Operand;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
+                        const QrOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "blocking_ooc_qr: need m >= n >= 1");
+  ROCQR_CHECK(r.rows == n && r.cols == n, "blocking_ooc_qr: R must be n x n");
+  const index_t b = std::min(opts.blocksize, n);
+  ROCQR_CHECK(b >= 1, "blocking_ooc_qr: blocksize must be positive");
+
+  const size_t window = dev.trace().size();
+  detail::HostWriteTracker tracker(n);
+  Stream pan_in = dev.create_stream();
+  Stream comp = dev.create_stream();
+  Stream pan_out = dev.create_stream();
+
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t w = std::min(b, n - j0);
+
+    // 1. Panel move-in. With the QR-level optimization, row chunks start as
+    // soon as the previous trailing update's matching move-outs complete.
+    DeviceMatrix panel = dev.allocate(m, w, StoragePrecision::FP32, "qr.panel");
+    detail::move_in_panel(dev, panel,
+                          ooc::host_block(sim::as_const(a), 0, j0, m, w),
+                          pan_in, tracker, j0, w, opts.qr_level_opt);
+    Event panel_in = dev.create_event();
+    dev.record_event(panel_in, pan_in);
+
+    // 2. In-core panel factorization (recursive CGS on the device).
+    DeviceMatrix r_dev = dev.allocate(w, w, StoragePrecision::FP32, "qr.Rii");
+    dev.wait_event(comp, panel_in);
+    panel_qr_device(dev, panel, r_dev, comp, opts);
+    Event panel_done = dev.create_event();
+    dev.record_event(panel_done, comp);
+
+    // 3. Move R_ii and the factored Q panel back. With the optimization on,
+    // these move-outs overlap the trailing GEMMs' move-ins.
+    dev.wait_event(pan_out, panel_done);
+    dev.copy_d2h(ooc::host_block(r, j0, j0, w, w), r_dev, pan_out, "d2h Rii");
+    dev.copy_d2h(ooc::host_block(a, 0, j0, m, w), panel, pan_out,
+                 "d2h Q panel");
+    Event q_out = dev.create_event();
+    dev.record_event(q_out, pan_out);
+    tracker.record(ooc::Slab{j0, w}, q_out);
+    if (!opts.qr_level_opt) dev.synchronize();
+
+    const index_t rest = n - j0 - w;
+    if (rest > 0) {
+      // Fine-grained §4.2 pipelining: streamed reads of the trailing
+      // columns wait only on the previous update's writes they intersect
+      // (translated into the trailing submatrix's local coordinates).
+      std::vector<ooc::RegionEvent> local_regions;
+      if (opts.qr_level_opt) {
+        for (const ooc::RegionEvent& re : tracker.regions_for(j0 + w, rest)) {
+          local_regions.push_back(ooc::RegionEvent{
+              re.rows, ooc::Slab{re.cols.offset - (j0 + w), re.cols.width},
+              re.event});
+        }
+      }
+
+      // 4. Inner product R12 = Q1ᵀ·A2, panel resident, B streamed in
+      // b-column slabs; R12 stays resident for the outer product.
+      ooc::OocGemmOptions gi = detail::gemm_options(opts);
+      gi.blocksize = std::min(b, rest);
+      if (local_regions.empty()) {
+        gi.host_input_ready = tracker.events_for(j0 + w, rest);
+      } else {
+        gi.streamed_input_regions = local_regions;
+      }
+      DeviceMatrix r12;
+      const auto inner = ooc::inner_product_blocking(
+          dev, Operand::on_device(panel, panel_done),
+          Operand::on_host(ooc::host_block(sim::as_const(a), 0, j0 + w, m,
+                                           rest)),
+          ooc::host_block(r, j0, j0 + w, w, rest), gi, &r12);
+      if (!opts.qr_level_opt) dev.synchronize();
+
+      // 5. Outer product A2 -= Q1·R12, both factors resident, C tiled.
+      ooc::OocGemmOptions go = detail::gemm_options(opts);
+      const bytes_t residents = panel.bytes() + r12.bytes();
+      const index_t tile = opts.outer_tile_rows > 0
+                               ? opts.outer_tile_rows
+                               : detail::plan_tile_edge(dev, residents, opts);
+      go.blocksize = std::min(tile, m);
+      go.tile_cols = opts.outer_tile_cols > 0 ? std::min(opts.outer_tile_cols, rest)
+                                              : std::min(tile, rest);
+      go.ramp_up = false; // tiles are square; the ramp applies to slabs
+      if (local_regions.empty()) {
+        go.host_input_ready = tracker.events_for(j0 + w, rest);
+      } else {
+        go.streamed_input_regions = local_regions;
+      }
+      const auto outer = ooc::outer_product_blocking(
+          dev, Operand::on_device(panel, panel_done),
+          Operand::on_device(r12, inner.device_result_ready),
+          ooc::host_block(sim::as_const(a), 0, j0 + w, m, rest),
+          ooc::host_block(a, 0, j0 + w, m, rest), go);
+
+      // Re-base the engine's region events (relative to the trailing
+      // submatrix) onto absolute host coordinates for the tracker.
+      std::vector<ooc::RegionEvent> regions;
+      regions.reserve(outer.output_ready.size());
+      for (const ooc::RegionEvent& re : outer.output_ready) {
+        regions.push_back(ooc::RegionEvent{
+            re.rows, ooc::Slab{re.cols.offset + j0 + w, re.cols.width},
+            re.event});
+      }
+      tracker.record(ooc::Slab{j0 + w, rest}, outer.done, std::move(regions));
+      if (!opts.qr_level_opt) dev.synchronize();
+      dev.free(r12);
+    }
+    dev.free(panel);
+    dev.free(r_dev);
+  }
+
+  dev.synchronize();
+  return stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+} // namespace rocqr::qr

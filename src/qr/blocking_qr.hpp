@@ -1,0 +1,18 @@
+// Conventional blocking out-of-core QR factorization (Fig 1) — the paper's
+// baseline. Fixed panel width b; per iteration: panel factorization on the
+// device, OOC inner product with the panel resident, OOC outer product with
+// C tiled.
+#pragma once
+
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// Factors the host matrix in `a` (m x n, m >= n): on return `a` holds Q
+/// (orthonormal columns) and `r` (n x n) holds the upper-triangular R.
+/// In Phantom mode both refs may be phantom and only the schedule runs.
+QrStats blocking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                        sim::HostMutRef r, const QrOptions& opts);
+
+} // namespace rocqr::qr

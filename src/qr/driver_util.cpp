@@ -1,0 +1,82 @@
+#include "qr/driver_util.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "ooc/operand.hpp"
+
+namespace rocqr::qr::detail {
+
+void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
+                   sim::HostConstRef a_cols, sim::Stream in,
+                   const HostWriteTracker& tracker, index_t j0, index_t w,
+                   bool fine_grained) {
+  ROCQR_CHECK(panel.rows() == a_cols.rows && panel.cols() == w &&
+                  a_cols.cols == w,
+              "move_in_panel: shape mismatch");
+  const index_t m = panel.rows();
+
+  if (fine_grained) {
+    const auto regions = tracker.regions_for(j0, w);
+    if (!regions.empty()) {
+      // Group the writer's region events by row slab; a chunk may depend on
+      // several column tiles covering the panel's columns.
+      std::map<index_t, std::pair<index_t, std::vector<sim::Event>>> rows;
+      for (const ooc::RegionEvent& r : regions) {
+        auto& slot = rows[r.rows.offset];
+        slot.first = r.rows.width;
+        slot.second.push_back(r.event);
+      }
+      // The chunked path is only valid if the row slabs tile [0, m) exactly.
+      index_t covered = 0;
+      for (const auto& [offset, slot] : rows) {
+        if (offset != covered) break;
+        covered += slot.first;
+      }
+      if (covered == m) {
+        for (const auto& [offset, slot] : rows) {
+          for (const sim::Event& e : slot.second) dev.wait_event(in, e);
+          dev.copy_h2d(
+              sim::DeviceMatrixRef(panel, offset, 0, slot.first, w),
+              ooc::host_block(a_cols, offset, 0, slot.first, w), in,
+              "h2d panel rows " + std::to_string(offset));
+        }
+        return;
+      }
+    }
+  }
+
+  for (const sim::Event& e : tracker.events_for(j0, w)) {
+    dev.wait_event(in, e);
+  }
+  dev.copy_h2d(panel, a_cols, in, "h2d panel");
+}
+
+ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
+  ooc::OocGemmOptions g;
+  g.blocksize = opts.blocksize;
+  g.ramp_up = opts.ramp_up;
+  g.ramp_start = opts.ramp_start;
+  g.staging_buffer = opts.staging_buffer;
+  g.pipeline_depth = opts.pipeline_depth;
+  g.precision = opts.precision;
+  return g;
+}
+
+index_t plan_tile_edge(const sim::Device& dev, bytes_t resident_bytes,
+                       const QrOptions& opts) {
+  const double budget =
+      static_cast<double>(dev.memory_capacity()) *
+          opts.memory_budget_fraction -
+      static_cast<double>(resident_bytes);
+  // Two fp32 tiles in flight (working + staging), at half the remaining
+  // budget so the streamed-input pools of the neighbouring operations fit.
+  for (index_t t = 32768; t >= 64; t /= 2) {
+    const double need = 2.0 * static_cast<double>(t) * static_cast<double>(t) * 4.0;
+    if (need <= budget * 0.5) return t;
+  }
+  return 32;
+}
+
+} // namespace rocqr::qr::detail

@@ -1,0 +1,34 @@
+// Shared pieces of the two OOC QR drivers.
+#pragma once
+
+#include "ooc/gemm_engines.hpp"
+#include "qr/host_tracker.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr::detail {
+
+/// Moves the host panel columns `a_cols` (m x w) into the device matrix
+/// `panel`, enqueued on `in`.
+///
+/// With `fine_grained` and per-row-slab completion events available from the
+/// previous trailing update, each row chunk of the panel waits only on the
+/// move-outs it actually reads — so the head of the panel transfer overlaps
+/// the tail of the update's move-out (§4.2, "the last move-out operation can
+/// be overlapped by moving in the first few columns of the panel").
+/// Otherwise a coarse wait on all writers of those columns is used.
+void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
+                   sim::HostConstRef a_cols, sim::Stream in,
+                   const HostWriteTracker& tracker, index_t j0, index_t w,
+                   bool fine_grained);
+
+/// Builds the per-call OOC GEMM options from the QR options.
+ooc::OocGemmOptions gemm_options(const QrOptions& opts);
+
+/// Largest power-of-two C tile edge for the blocking trailing update that
+/// fits the memory left after the resident operands (double-buffered fp32
+/// tiles at half the remaining budget).
+index_t plan_tile_edge(const sim::Device& dev, bytes_t resident_bytes,
+                       const QrOptions& opts);
+
+} // namespace rocqr::qr::detail

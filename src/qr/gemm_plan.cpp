@@ -1,0 +1,61 @@
+#include "qr/gemm_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rocqr::qr {
+
+std::vector<GemmShape> blocked_qr_gemm_plan(index_t m, index_t n, index_t b) {
+  ROCQR_CHECK(m >= n && n >= 1 && b >= 1, "blocked_qr_gemm_plan: bad sizes");
+  std::vector<GemmShape> plan;
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t w = std::min(b, n - j0);
+    const index_t rest = n - j0 - w;
+    if (rest == 0) continue;
+    plan.push_back(GemmShape{blas::Op::Trans, w, rest, m});    // R12 = Q1ᵀA2
+    plan.push_back(GemmShape{blas::Op::NoTrans, m, rest, w});  // A2 -= Q1 R12
+  }
+  return plan;
+}
+
+namespace {
+
+void recurse_plan(index_t m, index_t j0, index_t w, index_t base,
+                  std::vector<GemmShape>& plan) {
+  if (w <= base) return; // panel leaf: no top-level GEMMs
+  const index_t h = w / 2;
+  recurse_plan(m, j0, h, base, plan);
+  plan.push_back(GemmShape{blas::Op::Trans, h, w - h, m});
+  plan.push_back(GemmShape{blas::Op::NoTrans, m, w - h, h});
+  recurse_plan(m, j0 + h, w - h, base, plan);
+}
+
+} // namespace
+
+std::vector<GemmShape> recursive_qr_gemm_plan(index_t m, index_t n,
+                                              index_t base) {
+  ROCQR_CHECK(m >= n && n >= 1 && base >= 1,
+              "recursive_qr_gemm_plan: bad sizes");
+  std::vector<GemmShape> plan;
+  recurse_plan(m, 0, n, base, plan);
+  return plan;
+}
+
+sim_time_t plan_seconds(const std::vector<GemmShape>& plan,
+                        const sim::PerfModel& model,
+                        blas::GemmPrecision precision) {
+  sim_time_t total = 0;
+  for (const GemmShape& g : plan) {
+    total += model.gemm_seconds(g.opa, g.m, g.n, g.k, precision);
+  }
+  return total;
+}
+
+flops_t plan_flops(const std::vector<GemmShape>& plan) {
+  flops_t total = 0;
+  for (const GemmShape& g : plan) total += g.flops();
+  return total;
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,44 @@
+// Static GEMM plans of the *in-core* CGS QR algorithms.
+//
+// The paper's §3.1.3 (and the HPDC'20 study it builds on) argues recursion
+// wins in core because it "provides larger GEMMs which can be executed more
+// quickly on TensorCore". These helpers enumerate the exact GEMM sequence
+// each in-core algorithm performs, so benches and tests can quantify that
+// claim against the performance model: same total flops, very different
+// shape distribution.
+#pragma once
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/types.hpp"
+#include "sim/perf_model.hpp"
+
+namespace rocqr::qr {
+
+struct GemmShape {
+  blas::Op opa = blas::Op::NoTrans;
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+
+  flops_t flops() const { return blas::gemm_flops(m, n, k); }
+};
+
+/// GEMMs of the blocked CGS QR of an m x n matrix with panel width b:
+/// per panel, one inner product (Trans) and one outer product (NoTrans).
+std::vector<GemmShape> blocked_qr_gemm_plan(index_t m, index_t n, index_t b);
+
+/// GEMMs of the recursive CGS QR with base (panel) width `base`.
+std::vector<GemmShape> recursive_qr_gemm_plan(index_t m, index_t n,
+                                              index_t base);
+
+/// Total modeled execution time of a plan under a performance model.
+sim_time_t plan_seconds(const std::vector<GemmShape>& plan,
+                        const sim::PerfModel& model,
+                        blas::GemmPrecision precision);
+
+/// Total flops of a plan.
+flops_t plan_flops(const std::vector<GemmShape>& plan);
+
+} // namespace rocqr::qr

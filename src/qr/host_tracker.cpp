@@ -1,0 +1,69 @@
+#include "qr/host_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rocqr::qr::detail {
+
+namespace {
+
+bool intersects(index_t o1, index_t w1, index_t o2, index_t w2) {
+  return o1 < o2 + w2 && o2 < o1 + w1;
+}
+
+} // namespace
+
+HostWriteTracker::HostWriteTracker(index_t total_cols)
+    : total_cols_(total_cols) {
+  ROCQR_CHECK(total_cols >= 1, "HostWriteTracker: need at least one column");
+}
+
+void HostWriteTracker::record(ooc::Slab cols, sim::Event done,
+                              std::vector<ooc::RegionEvent> regions) {
+  ROCQR_CHECK(cols.offset >= 0 && cols.width >= 1 &&
+                  cols.offset + cols.width <= total_cols_,
+              "HostWriteTracker::record: column range out of bounds");
+  // Drop entries the new write fully supersedes (keeps the list short and
+  // keeps regions_for pointing at the latest writer).
+  std::erase_if(entries_, [&](const Entry& e) {
+    return e.offset >= cols.offset &&
+           e.offset + e.width <= cols.offset + cols.width;
+  });
+  entries_.push_back(Entry{cols.offset, cols.width, done, std::move(regions)});
+}
+
+std::vector<sim::Event> HostWriteTracker::events_for(index_t offset,
+                                                     index_t width) const {
+  std::vector<sim::Event> events;
+  for (const Entry& e : entries_) {
+    if (intersects(e.offset, e.width, offset, width) && e.done.valid()) {
+      events.push_back(e.done);
+    }
+  }
+  return events;
+}
+
+std::vector<ooc::RegionEvent> HostWriteTracker::regions_for(
+    index_t offset, index_t width) const {
+  // Walk newest-first; the latest writer covering the range wins.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->offset <= offset && offset + width <= it->offset + it->width) {
+      if (it->regions.empty()) return {};
+      std::vector<ooc::RegionEvent> out;
+      for (const ooc::RegionEvent& r : it->regions) {
+        if (intersects(r.cols.offset, r.cols.width, offset, width)) {
+          out.push_back(r);
+        }
+      }
+      return out;
+    }
+    if (intersects(it->offset, it->width, offset, width)) {
+      // Partially covered by a newer writer: fine-grained path not safe.
+      return {};
+    }
+  }
+  return {};
+}
+
+} // namespace rocqr::qr::detail

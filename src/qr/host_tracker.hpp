@@ -1,0 +1,51 @@
+// Tracks which device-to-host copies must complete before host regions of
+// the matrix being factored may be re-read by a later move-in.
+//
+// Writers are panel Q move-outs and trailing-update (outer product)
+// move-outs; readers are panel move-ins and the streamed GEMM inputs. The
+// tracker is what lets the drivers express the paper's QR-level pipelining
+// (§4.2) exactly: a reader waits on precisely the writes it depends on, so
+// e.g. the first rows of the next panel can move in while the last rows of
+// the trailing update are still moving out.
+#pragma once
+
+#include <vector>
+
+#include "ooc/gemm_engines.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr::detail {
+
+class HostWriteTracker {
+ public:
+  explicit HostWriteTracker(index_t total_cols);
+
+  /// Records that host columns [cols.offset, +width) were (re)written; they
+  /// are current once `done` completes. `regions` optionally carries the
+  /// writer's per-region completion events (absolute coordinates).
+  void record(ooc::Slab cols, sim::Event done,
+              std::vector<ooc::RegionEvent> regions = {});
+
+  /// Events guarding a read of columns [offset, offset+width).
+  std::vector<sim::Event> events_for(index_t offset, index_t width) const;
+
+  /// Fine-grained region events for a read of the given columns, taken from
+  /// the most recent writer if it covers the whole requested range and
+  /// published regions. Empty result = caller should fall back to
+  /// events_for (coarse wait).
+  std::vector<ooc::RegionEvent> regions_for(index_t offset,
+                                            index_t width) const;
+
+ private:
+  struct Entry {
+    index_t offset = 0;
+    index_t width = 0;
+    sim::Event done{};
+    std::vector<ooc::RegionEvent> regions;
+  };
+
+  std::vector<Entry> entries_; // append order == write order
+  index_t total_cols_;
+};
+
+} // namespace rocqr::qr::detail

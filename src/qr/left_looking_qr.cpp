@@ -1,0 +1,131 @@
+#include "qr/left_looking_qr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/slab_schedule.hpp"
+#include "qr/panel.hpp"
+
+namespace rocqr::qr {
+
+using blas::Op;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::DeviceMatrixRef;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
+                            const QrOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "left_looking_ooc_qr: need m >= n >= 1");
+  ROCQR_CHECK(r.rows == n && r.cols == n,
+              "left_looking_ooc_qr: R must be n x n");
+  const index_t b = std::min(opts.blocksize, n);
+
+  const size_t window = dev.trace().size();
+  Stream in = dev.create_stream();
+  Stream comp = dev.create_stream();
+  Stream out = dev.create_stream();
+
+  const auto panels = ooc::slab_partition(n, b);
+  std::vector<Event> q_on_host(panels.size());
+
+  // Streamed-Q double buffer plus a reusable R-block scratch.
+  const int depth = std::max(1, opts.pipeline_depth);
+  const StoragePrecision q_storage =
+      opts.precision == blas::GemmPrecision::FP16_FP32
+          ? StoragePrecision::FP16
+          : StoragePrecision::FP32;
+  std::vector<DeviceMatrix> buf_q(static_cast<size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    buf_q[static_cast<size_t>(d)] = dev.allocate(m, b, q_storage, "llqr.Qj");
+  }
+  DeviceMatrix r_blk = dev.allocate(b, b, StoragePrecision::FP32, "llqr.Rblk");
+
+  std::vector<Event> proj_done; // per streamed panel, guards buffer reuse
+  for (size_t i = 0; i < panels.size(); ++i) {
+    const ooc::Slab panel = panels[i];
+
+    // The panel's columns are still ORIGINAL data (left-looking writes each
+    // column block exactly once), so the move-in has no dependencies.
+    DeviceMatrix p = dev.allocate(m, panel.width, StoragePrecision::FP32,
+                                  "llqr.panel");
+    dev.copy_h2d(p, ooc::host_block(sim::as_const(a), 0, panel.offset, m,
+                                    panel.width),
+                 in, "h2d panel " + std::to_string(i));
+    Event p_in = dev.create_event();
+    dev.record_event(p_in, in);
+    dev.wait_event(comp, p_in);
+
+    // Lazy application of every previous panel's projection.
+    Event r_blk_drained{}; // last d2h of the shared R-block scratch
+    for (size_t j = 0; j < i; ++j) {
+      const ooc::Slab prev = panels[j];
+      const size_t slot = proj_done.size() % static_cast<size_t>(depth);
+      if (proj_done.size() >= static_cast<size_t>(depth)) {
+        dev.wait_event(in,
+                       proj_done[proj_done.size() - static_cast<size_t>(depth)]);
+      }
+      dev.wait_event(in, q_on_host[j]); // Q_j must have landed on the host
+      dev.copy_h2d(DeviceMatrixRef(buf_q[slot], 0, 0, m, prev.width),
+                   ooc::host_block(sim::as_const(a), 0, prev.offset, m,
+                                   prev.width),
+                   in, "h2d Q" + std::to_string(j));
+      Event q_in = dev.create_event();
+      dev.record_event(q_in, in);
+      dev.wait_event(comp, q_in);
+
+      // R(j, i) = Q_jᵀ P ; P -= Q_j R(j, i) — the skinny GEMM pair. The
+      // shared R scratch must have drained to the host first.
+      if (r_blk_drained.valid()) dev.wait_event(comp, r_blk_drained);
+      const DeviceMatrixRef q_ref(buf_q[slot], 0, 0, m, prev.width);
+      const DeviceMatrixRef r_ref(r_blk, 0, 0, prev.width, panel.width);
+      dev.gemm(Op::Trans, Op::NoTrans, 1.0f, q_ref, p, 0.0f, r_ref,
+               opts.precision, comp, "proj R");
+      dev.gemm(Op::NoTrans, Op::NoTrans, -1.0f, q_ref, r_ref, 1.0f, p,
+               opts.precision, comp, "proj update");
+      Event g = dev.create_event();
+      dev.record_event(g, comp);
+      proj_done.push_back(g);
+
+      dev.wait_event(out, g);
+      dev.copy_d2h(ooc::host_block(r, prev.offset, panel.offset, prev.width,
+                                   panel.width),
+                   r_ref, out, "d2h R block");
+      r_blk_drained = dev.create_event();
+      dev.record_event(r_blk_drained, out);
+    }
+
+    // In-core factorization of the fully projected panel.
+    DeviceMatrix rii = dev.allocate(panel.width, panel.width,
+                                    StoragePrecision::FP32, "llqr.Rii");
+    panel_qr_device(dev, p, rii, comp, opts);
+    Event factored = dev.create_event();
+    dev.record_event(factored, comp);
+    dev.wait_event(out, factored);
+    dev.copy_d2h(ooc::host_block(r, panel.offset, panel.offset, panel.width,
+                                 panel.width),
+                 rii, out, "d2h Rii");
+    dev.copy_d2h(ooc::host_block(a, 0, panel.offset, m, panel.width), p, out,
+                 "d2h Q panel");
+    q_on_host[i] = dev.create_event();
+    dev.record_event(q_on_host[i], out);
+
+    dev.free(p);
+    dev.free(rii);
+  }
+
+  for (auto& buf : buf_q) dev.free(buf);
+  dev.free(r_blk);
+  dev.synchronize();
+  return stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,25 @@
+// Left-looking out-of-core QR — the classic disk-era formulation (SOLAR,
+// §2.1): each panel pulls in all previously factored Q panels and applies
+// their projections lazily, so the trailing matrix is never updated or
+// written back. Compared to the right-looking blocking driver it moves far
+// fewer bytes (especially device-to-host) at the price of skinny
+// panel-width GEMMs. Under the calibrated V100 model its movement savings
+// outweigh even the TensorCore shape penalty — it beats right-looking
+// blocking — but the paper's recursive algorithm beats both, because it is
+// the only formulation that gets small movement AND near-peak GEMM shapes
+// simultaneously (see bench/left_vs_right).
+#pragma once
+
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// Factors `a` (m x n host, becomes Q) with `r` receiving R, left-looking:
+/// per panel, stream every previous Q panel through the device, project,
+/// then factor in core. Uses opts.blocksize / precision / panel_algorithm;
+/// the update-pipeline options (staging, ramp) do not apply.
+QrStats left_looking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                            sim::HostMutRef r, const QrOptions& opts);
+
+} // namespace rocqr::qr

@@ -1,0 +1,186 @@
+#include "qr/multi_gpu_qr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/slab_schedule.hpp"
+#include "qr/driver_util.hpp"
+#include "qr/panel.hpp"
+
+namespace rocqr::qr {
+
+using ooc::Operand;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+namespace {
+
+/// Aggregates the trace windows of all participating devices into one
+/// QrStats: busy times and volumes add, the wall time is the global span.
+QrStats combine_stats(const std::vector<Device*>& devices,
+                      const std::vector<size_t>& windows) {
+  QrStats total;
+  sim_time_t first = 0;
+  sim_time_t last = 0;
+  bool any = false;
+  for (size_t d = 0; d < devices.size(); ++d) {
+    const QrStats s = stats_from_trace(devices[d]->trace(), windows[d],
+                                       devices[d]->memory_peak());
+    total.panel_seconds += s.panel_seconds;
+    total.gemm_seconds += s.gemm_seconds;
+    total.d2d_seconds += s.d2d_seconds;
+    total.h2d_seconds += s.h2d_seconds;
+    total.d2h_seconds += s.d2h_seconds;
+    total.h2d_bytes += s.h2d_bytes;
+    total.d2h_bytes += s.d2h_bytes;
+    total.flops += s.flops;
+    total.panels += s.panels;
+    total.peak_device_bytes =
+        std::max(total.peak_device_bytes, s.peak_device_bytes);
+    const sim::TraceSummary w = sim::summarize(devices[d]->trace(), windows[d]);
+    if (w.events == 0) continue;
+    if (!any) {
+      first = w.first_start;
+      last = w.last_end;
+      any = true;
+    } else {
+      first = std::min(first, w.first_start);
+      last = std::max(last, w.last_end);
+    }
+  }
+  total.total_seconds = any ? last - first : 0;
+  return total;
+}
+
+} // namespace
+
+QrStats multi_gpu_blocking_qr(const std::vector<Device*>& devices,
+                              HostMutRef a, HostMutRef r,
+                              const QrOptions& opts) {
+  ROCQR_CHECK(!devices.empty(), "multi_gpu_blocking_qr: no devices");
+  for (Device* dev : devices) {
+    ROCQR_CHECK(dev != nullptr, "multi_gpu_blocking_qr: null device");
+  }
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "multi_gpu_blocking_qr: need m >= n >= 1");
+  ROCQR_CHECK(r.rows == n && r.cols == n,
+              "multi_gpu_blocking_qr: R must be n x n");
+  const index_t b = std::min(opts.blocksize, n);
+  const auto g = static_cast<index_t>(devices.size());
+
+  std::vector<size_t> windows;
+  for (Device* dev : devices) windows.push_back(dev->trace().size());
+
+  Device& dev0 = *devices.front();
+  Stream pan_in = dev0.create_stream();
+  Stream comp = dev0.create_stream();
+  Stream pan_out = dev0.create_stream();
+
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t w = std::min(b, n - j0);
+
+    // 1. Panel on device 0 (all devices are at a common barrier, so plain
+    // enqueue order carries the cross-device dependencies).
+    DeviceMatrix panel = dev0.allocate(m, w, StoragePrecision::FP32,
+                                       "mgqr.panel");
+    dev0.copy_h2d(panel, ooc::host_block(sim::as_const(a), 0, j0, m, w),
+                  pan_in, "h2d panel");
+    Event panel_in = dev0.create_event();
+    dev0.record_event(panel_in, pan_in);
+    DeviceMatrix r_dev = dev0.allocate(w, w, StoragePrecision::FP32,
+                                       "mgqr.Rii");
+    dev0.wait_event(comp, panel_in);
+    panel_qr_device(dev0, panel, r_dev, comp, opts);
+    Event panel_done = dev0.create_event();
+    dev0.record_event(panel_done, comp);
+    dev0.wait_event(pan_out, panel_done);
+    dev0.copy_d2h(ooc::host_block(r, j0, j0, w, w), r_dev, pan_out,
+                  "d2h Rii");
+    dev0.copy_d2h(ooc::host_block(a, 0, j0, m, w), panel, pan_out,
+                  "d2h Q panel");
+    dev0.free(panel);
+    dev0.free(r_dev);
+    sim::synchronize_all(devices); // Q1 is on the host for everyone
+
+    const index_t rest = n - j0 - w;
+    if (rest == 0) continue;
+
+    // 2. Column shares: device d owns a contiguous, block-aligned slice of
+    // the trailing columns and runs its own inner + outer pipeline on it.
+    const index_t blocks = (rest + b - 1) / b;
+    index_t c0 = 0;
+    std::vector<DeviceMatrix> replicas(devices.size());
+    std::vector<DeviceMatrix> r12s(devices.size());
+    for (index_t d = 0; d < g; ++d) {
+      const index_t share_blocks = (blocks * (d + 1)) / g - (blocks * d) / g;
+      const index_t cw = std::min(share_blocks * b, rest - c0);
+      if (cw <= 0) continue;
+      Device& dev = *devices[static_cast<size_t>(d)];
+
+      // Replicate the panel once per device (fp16 streamed input).
+      Stream in = dev.create_stream();
+      replicas[static_cast<size_t>(d)] =
+          dev.allocate(m, w, StoragePrecision::FP16, "mgqr.Qrep");
+      dev.copy_h2d(replicas[static_cast<size_t>(d)],
+                   ooc::host_block(sim::as_const(a), 0, j0, m, w), in,
+                   "h2d Q replica");
+      Event q_ready = dev.create_event();
+      dev.record_event(q_ready, in);
+
+      ooc::OocGemmOptions gi = detail::gemm_options(opts);
+      gi.blocksize = std::min(b, cw);
+      const auto inner = ooc::inner_product_blocking(
+          dev,
+          Operand::on_device(replicas[static_cast<size_t>(d)], q_ready),
+          Operand::on_host(
+              ooc::host_block(sim::as_const(a), 0, j0 + w + c0, m, cw)),
+          ooc::host_block(r, j0, j0 + w + c0, w, cw), gi,
+          &r12s[static_cast<size_t>(d)]);
+
+      ooc::OocGemmOptions go = detail::gemm_options(opts);
+      const index_t tile = opts.outer_tile_rows > 0
+                               ? opts.outer_tile_rows
+                               : detail::plan_tile_edge(
+                                     dev,
+                                     replicas[static_cast<size_t>(d)].bytes() +
+                                         r12s[static_cast<size_t>(d)].bytes(),
+                                     opts);
+      go.blocksize = std::min(tile, m);
+      go.tile_cols = std::min(tile, cw);
+      go.ramp_up = false;
+      ooc::outer_product_blocking(
+          dev,
+          Operand::on_device(replicas[static_cast<size_t>(d)], q_ready),
+          Operand::on_device(r12s[static_cast<size_t>(d)],
+                             inner.device_result_ready),
+          ooc::host_block(sim::as_const(a), 0, j0 + w + c0, m, cw),
+          ooc::host_block(a, 0, j0 + w + c0, m, cw), go);
+      c0 += cw;
+    }
+    ROCQR_CHECK(c0 == rest, "multi_gpu_blocking_qr: shares do not tile");
+
+    // 3. Barrier: next iteration's panel reads columns some other device
+    // may have updated.
+    sim::synchronize_all(devices);
+    for (index_t d = 0; d < g; ++d) {
+      if (replicas[static_cast<size_t>(d)].valid()) {
+        devices[static_cast<size_t>(d)]->free(replicas[static_cast<size_t>(d)]);
+      }
+      if (r12s[static_cast<size_t>(d)].valid()) {
+        devices[static_cast<size_t>(d)]->free(r12s[static_cast<size_t>(d)]);
+      }
+    }
+  }
+
+  sim::synchronize_all(devices);
+  return combine_stats(devices, windows);
+}
+
+} // namespace rocqr::qr

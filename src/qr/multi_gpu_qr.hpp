@@ -1,0 +1,23 @@
+// Multi-GPU out-of-core QR — the data-parallel port a BLASX/cuBLASXt-era
+// system would write: panels factor on device 0, the trailing inner/outer
+// products partition the trailing columns across all devices (each streams
+// its own copy of the panel — the replication cost real multi-GPU BLAS
+// pays), and the devices coordinate through host barriers between phases.
+#pragma once
+
+#include <vector>
+
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// Factors `a` (m x n host, becomes Q) with `r` receiving R, distributing
+/// the per-iteration trailing updates across `devices`. With one device it
+/// degenerates to a blocking_ooc_qr with phase barriers. Pass devices
+/// constructed with a SharedHostLink to model PCIe contention.
+QrStats multi_gpu_blocking_qr(const std::vector<sim::Device*>& devices,
+                              sim::HostMutRef a, sim::HostMutRef r,
+                              const QrOptions& opts);
+
+} // namespace rocqr::qr

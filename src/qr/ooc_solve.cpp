@@ -1,0 +1,48 @@
+#include "qr/ooc_solve.hpp"
+
+#include <algorithm>
+
+#include "blas/transform.hpp"
+#include "common/error.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/trsm_engine.hpp"
+#include "qr/driver_util.hpp"
+#include "qr/recursive_qr.hpp"
+
+namespace rocqr::qr {
+
+ooc::OocGemmStats ooc_apply_qt(sim::Device& dev, sim::HostConstRef q,
+                               sim::HostConstRef b, sim::HostMutRef y,
+                               const ooc::OocGemmOptions& opts) {
+  ROCQR_CHECK(q.rows == b.rows, "ooc_apply_qt: Q and b row mismatch");
+  ROCQR_CHECK(y.rows == q.cols && y.cols == b.cols,
+              "ooc_apply_qt: y must be n x nrhs");
+  return ooc::inner_product_recursive(dev, ooc::Operand::on_host(q),
+                                      ooc::Operand::on_host(b), y, opts);
+}
+
+OocLsStats ooc_least_squares(sim::Device& dev, sim::HostMutRef a,
+                             sim::HostMutRef r, sim::HostConstRef b,
+                             sim::HostMutRef x, const QrOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  const index_t nrhs = b.cols;
+  ROCQR_CHECK(b.rows == m, "ooc_least_squares: b row mismatch");
+  ROCQR_CHECK(x.rows == n && x.cols == nrhs,
+              "ooc_least_squares: x must be n x nrhs");
+
+  const size_t window = dev.trace().size();
+  OocLsStats stats;
+  stats.factor = recursive_ooc_qr(dev, a, r, opts);
+
+  ooc::OocGemmOptions gopts = detail::gemm_options(opts);
+  gopts.blocksize = std::min<index_t>(opts.blocksize, m);
+  ooc_apply_qt(dev, sim::as_const(a), b, x, gopts);
+  ooc::ooc_trsm(dev, ooc::TriSolveKind::Upper, sim::as_const(r),
+                sim::as_const(x), x, gopts);
+  dev.synchronize();
+  stats.total_seconds = sim::summarize(dev.trace(), window).span();
+  return stats;
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,31 @@
+// Out-of-core least squares — the paper's motivating application as a
+// library operation: factor, apply Qᵀ, back-substitute, all streamed.
+#pragma once
+
+#include "ooc/gemm_engines.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// y := Qᵀ b for a host-resident Q (m x n) and b (m x nrhs), streamed in
+/// k-slabs (the recursive inner-product engine): neither matrix needs to
+/// fit the device.
+ooc::OocGemmStats ooc_apply_qt(sim::Device& dev, sim::HostConstRef q,
+                               sim::HostConstRef b, sim::HostMutRef y,
+                               const ooc::OocGemmOptions& opts);
+
+struct OocLsStats {
+  QrStats factor;            ///< the QR factorization's costs
+  sim_time_t total_seconds;  ///< factorization + apply + solve makespan
+};
+
+/// Solves min |A x - b| fully out of core: recursive OOC QR of `a` (which
+/// becomes Q in place), `r` receives R, then x = R⁻¹ Qᵀ b via the streamed
+/// apply and the out-of-core back substitution. `x` must be n x nrhs;
+/// b is m x nrhs. All host buffers may be phantom in Phantom mode.
+OocLsStats ooc_least_squares(sim::Device& dev, sim::HostMutRef a,
+                             sim::HostMutRef r, sim::HostConstRef b,
+                             sim::HostMutRef x, const QrOptions& opts);
+
+} // namespace rocqr::qr

@@ -1,0 +1,55 @@
+#include "qr/options.hpp"
+
+#include <algorithm>
+
+namespace rocqr::qr {
+
+QrStats stats_from_trace(const sim::Trace& trace, size_t from,
+                         bytes_t peak_device_bytes) {
+  QrStats s;
+  s.peak_device_bytes = peak_device_bytes;
+  const auto& events = trace.events();
+  sim_time_t first = 0;
+  sim_time_t last = 0;
+  bool any = false;
+  for (size_t i = from; i < events.size(); ++i) {
+    const sim::TraceEvent& e = events[i];
+    const sim_time_t dur = e.end - e.start;
+    if (!any) {
+      first = e.start;
+      last = e.end;
+      any = true;
+    } else {
+      first = std::min(first, e.start);
+      last = std::max(last, e.end);
+    }
+    switch (e.kind) {
+      case sim::OpKind::Panel:
+        s.panel_seconds += dur;
+        ++s.panels;
+        break;
+      case sim::OpKind::Gemm:
+      case sim::OpKind::Trsm: // triangular solves count as update work
+        s.gemm_seconds += dur;
+        break;
+      case sim::OpKind::CopyD2D:
+        s.d2d_seconds += dur;
+        break;
+      case sim::OpKind::CopyH2D:
+        s.h2d_seconds += dur;
+        s.h2d_bytes += e.bytes;
+        break;
+      case sim::OpKind::CopyD2H:
+        s.d2h_seconds += dur;
+        s.d2h_bytes += e.bytes;
+        break;
+      case sim::OpKind::Custom:
+        break;
+    }
+    s.flops += e.flops;
+  }
+  s.total_seconds = any ? last - first : 0;
+  return s;
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,79 @@
+// Options and statistics for the out-of-core QR drivers.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+
+namespace rocqr::qr {
+
+/// In-core solver used for the device panel factorization. The paper (via
+/// HPDC'20) uses recursive CGS; CGS2 and CholeskyQR2 are included as
+/// stability ablations — both do ~2x the panel flops for much better
+/// orthogonality on ill-conditioned panels.
+enum class PanelAlgorithm { RecursiveCgs, Cgs2, CholeskyQr2 };
+
+struct QrOptions {
+  /// QR blocksize b: panel width for both algorithms, streamed-slab width
+  /// for the OOC GEMMs (the paper couples them the same way).
+  index_t blocksize = 16384;
+  blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
+  PanelAlgorithm panel_algorithm = PanelAlgorithm::RecursiveCgs;
+
+  /// §4.2 QR-level optimizations: keep small results resident across BLAS
+  /// calls, overlap panel move-out with GEMM move-ins and vice versa.
+  /// Off inserts a full device synchronization between phases.
+  bool qr_level_opt = true;
+  /// §4.1.3 blocksize ramp-up inside the OOC GEMMs.
+  bool ramp_up = false;
+  index_t ramp_start = 2048;
+  /// §4.1.2 staging buffer for outer-product move-outs.
+  bool staging_buffer = true;
+  int pipeline_depth = 2;
+
+  /// Column width below which the in-core recursive CGS switches to plain
+  /// CGS (Real-mode numerics only; no effect on the schedule).
+  index_t panel_base = 32;
+
+  /// Blocking driver: trailing-update C tile shape; 0 = plan from memory.
+  index_t outer_tile_rows = 0;
+  index_t outer_tile_cols = 0;
+  /// Recursive driver: inner-product C column split; 0 = plan from memory.
+  index_t inner_c_panel = 0;
+
+  /// Recursive driver, §4.2's first optimization in full: when a whole
+  /// recursion subtree (all m rows x w columns) fits on the device, factor
+  /// it entirely resident — panels and level GEMMs operate on device data
+  /// with no intermediate host round-trips; only the final Q and the R
+  /// blocks stream out. Subject to qr_level_opt and the memory plan.
+  bool resident_subtrees = true;
+
+  /// Fraction of device memory the planner is allowed to commit (head-room
+  /// for the allocator's alignment and cross-phase overlap).
+  double memory_budget_fraction = 0.92;
+};
+
+/// Aggregate cost of one full OOC QR factorization (simulated seconds).
+struct QrStats {
+  sim_time_t total_seconds = 0;   ///< makespan of the factorization
+  sim_time_t panel_seconds = 0;   ///< compute busy: panel factorizations
+  sim_time_t gemm_seconds = 0;    ///< compute busy: GEMMs
+  sim_time_t d2d_seconds = 0;     ///< compute busy: staging copies
+  sim_time_t h2d_seconds = 0;     ///< H2D engine busy
+  sim_time_t d2h_seconds = 0;     ///< D2H engine busy
+  bytes_t h2d_bytes = 0;
+  bytes_t d2h_bytes = 0;
+  flops_t flops = 0;
+  bytes_t peak_device_bytes = 0;
+  index_t panels = 0;
+
+  double sustained_flops_per_s() const {
+    return total_seconds > 0 ? static_cast<double>(flops) / total_seconds : 0.0;
+  }
+};
+
+/// Builds QrStats from the device trace window [from, end).
+QrStats stats_from_trace(const sim::Trace& trace, size_t from,
+                         bytes_t peak_device_bytes);
+
+} // namespace rocqr::qr

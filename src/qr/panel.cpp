@@ -1,0 +1,53 @@
+#include "qr/panel.hpp"
+
+#include "common/error.hpp"
+#include "qr/incore.hpp"
+
+namespace rocqr::qr {
+
+void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
+                     sim::DeviceMatrixRef r, sim::Stream stream,
+                     const QrOptions& opts) {
+  ROCQR_CHECK(aq.matrix.valid() && r.matrix.valid(),
+              "panel_qr_device: invalid matrix");
+  const index_t m = aq.rows;
+  const index_t w = aq.cols;
+  ROCQR_CHECK(m >= w && w >= 1, "panel_qr_device: need m >= w >= 1");
+  ROCQR_CHECK(r.rows == w && r.cols == w, "panel_qr_device: R must be w x w");
+
+  // CGS2 and CholeskyQR2 orthogonalize twice: double the panel flops at the
+  // same sustained rate.
+  const double flops_factor =
+      opts.panel_algorithm == PanelAlgorithm::RecursiveCgs ? 1.0 : 2.0;
+  const sim_time_t seconds = dev.model().panel_seconds(m, w) * flops_factor;
+  const flops_t flops =
+      static_cast<flops_t>(flops_factor * 2.0 * static_cast<double>(m) * w * w);
+  dev.custom_compute(
+      stream, seconds, flops, sim::OpKind::Panel,
+      "panel_qr " + std::to_string(m) + "x" + std::to_string(w), [&]() {
+        la::Matrix host_panel = dev.download(aq);
+        la::Matrix host_r(w, w);
+        switch (opts.panel_algorithm) {
+          case PanelAlgorithm::RecursiveCgs:
+            recursive_cgs_inplace(host_panel.view(), host_r.view(),
+                                  opts.panel_base, opts.precision);
+            break;
+          case PanelAlgorithm::Cgs2: {
+            QrFactors f = cgs2(host_panel.view());
+            host_panel = std::move(f.q);
+            host_r = std::move(f.r);
+            break;
+          }
+          case PanelAlgorithm::CholeskyQr2: {
+            QrFactors f = cholesky_qr2(host_panel.view());
+            host_panel = std::move(f.q);
+            host_r = std::move(f.r);
+            break;
+          }
+        }
+        dev.upload(aq, host_panel.view());
+        dev.upload(r, host_r.view());
+      });
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,21 @@
+// Device-side panel factorization (the in-core recursive CGS of the LATER
+// project, which the paper uses unchanged for both algorithms).
+#pragma once
+
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// Enqueues the in-core panel factorization on `stream`.
+/// `aq` (m x w, fp32 device block) holds the panel on entry and Q on exit;
+/// `r` (w x w, fp32 device block) receives the panel's R factor.
+/// The cost is modeled by PerfModel::panel_seconds (one compute-engine op:
+/// the in-core solver saturates the device, so its internals do not need to
+/// be scheduled individually); in Real mode the numerics run via
+/// recursive_cgs_inplace with the selected GEMM precision.
+void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
+                     sim::DeviceMatrixRef r, sim::Stream stream,
+                     const QrOptions& opts);
+
+} // namespace rocqr::qr

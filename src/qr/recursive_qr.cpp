@@ -1,0 +1,354 @@
+#include "qr/recursive_qr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "qr/driver_util.hpp"
+#include "qr/host_tracker.hpp"
+#include "qr/panel.hpp"
+
+namespace rocqr::qr {
+
+using ooc::Operand;
+using sim::Device;
+using sim::DeviceMatrix;
+using sim::Event;
+using sim::HostMutRef;
+using sim::StoragePrecision;
+using sim::Stream;
+
+namespace {
+
+struct DriverState {
+  Device& dev;
+  HostMutRef a;
+  HostMutRef r;
+  const QrOptions& opts;
+  detail::HostWriteTracker tracker;
+  Stream pan_in;
+  Stream comp;
+  Stream pan_out;
+};
+
+std::vector<Event> merge_events(std::vector<Event> lhs,
+                                const std::vector<Event>& rhs) {
+  lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+  return lhs;
+}
+
+/// Deepest recursion level: stream the panel in, factor in core, stream Q
+/// and R_ii out (overlapping neighbours when the QR-level opt is on).
+void factor_panel(DriverState& st, index_t j0, index_t w) {
+  Device& dev = st.dev;
+  const index_t m = st.a.rows;
+
+  DeviceMatrix panel = dev.allocate(m, w, StoragePrecision::FP32, "rqr.panel");
+  detail::move_in_panel(dev, panel,
+                        ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
+                        st.pan_in, st.tracker, j0, w, st.opts.qr_level_opt);
+  Event panel_in = dev.create_event();
+  dev.record_event(panel_in, st.pan_in);
+
+  DeviceMatrix r_dev = dev.allocate(w, w, StoragePrecision::FP32, "rqr.Rii");
+  dev.wait_event(st.comp, panel_in);
+  panel_qr_device(dev, panel, r_dev, st.comp, st.opts);
+  Event panel_done = dev.create_event();
+  dev.record_event(panel_done, st.comp);
+
+  dev.wait_event(st.pan_out, panel_done);
+  dev.copy_d2h(ooc::host_block(st.r, j0, j0, w, w), r_dev, st.pan_out,
+               "d2h Rii");
+  dev.copy_d2h(ooc::host_block(st.a, 0, j0, m, w), panel, st.pan_out,
+               "d2h Q panel");
+  Event q_out = dev.create_event();
+  dev.record_event(q_out, st.pan_out);
+  st.tracker.record(ooc::Slab{j0, w}, q_out);
+  if (!st.opts.qr_level_opt) dev.synchronize();
+
+  dev.free(panel);
+  dev.free(r_dev);
+}
+
+/// Picks the C column split for the recursive inner product so the fp32
+/// accumulator plus the streamed-slab pool fits the memory budget.
+/// Returns 0 for "unsplit".
+index_t plan_inner_c_split(const DriverState& st, index_t h, index_t rest) {
+  if (st.opts.inner_c_panel > 0) {
+    return st.opts.inner_c_panel >= rest ? 0 : st.opts.inner_c_panel;
+  }
+  const double budget = static_cast<double>(st.dev.memory_capacity()) *
+                        st.opts.memory_budget_fraction;
+  const double depth = static_cast<double>(st.opts.pipeline_depth);
+  const double bs = static_cast<double>(std::min(st.opts.blocksize, st.a.rows));
+  const double in_bytes =
+      st.opts.precision == blas::GemmPrecision::FP16_FP32 ? 2.0 : 4.0;
+  const auto fits = [&](index_t cp) {
+    const double c_bytes = static_cast<double>(h) * static_cast<double>(cp) * 4.0;
+    const double slab_bytes = depth * bs *
+                              (static_cast<double>(h) + static_cast<double>(cp)) *
+                              in_bytes;
+    const double c_slots = cp == rest ? 1.0 : 2.0; // split => two accumulators
+    return c_slots * c_bytes + slab_bytes <= budget;
+  };
+  if (fits(rest)) return 0;
+  index_t cp = rest;
+  while (cp > st.opts.blocksize && !fits(cp)) {
+    cp = (cp + 1) / 2;
+    // Round up to a panel multiple to keep slabs aligned.
+    cp = std::min(rest,
+                  (cp + st.opts.blocksize - 1) / st.opts.blocksize *
+                      st.opts.blocksize);
+    if (fits(cp)) break;
+    if (cp <= st.opts.blocksize) break;
+  }
+  return std::min(cp, rest);
+}
+
+/// Whether R12 (h x rest fp32) can remain resident through the outer product
+/// alongside the outer product's own working set.
+bool plan_keep_r12(const DriverState& st, index_t h, index_t rest,
+                   index_t c_split) {
+  if (!st.opts.qr_level_opt || c_split != 0) return false;
+  const double budget = static_cast<double>(st.dev.memory_capacity()) *
+                        st.opts.memory_budget_fraction;
+  const double depth = static_cast<double>(st.opts.pipeline_depth);
+  const double bs = static_cast<double>(std::min(st.opts.blocksize, st.a.rows));
+  const double in_bytes =
+      st.opts.precision == blas::GemmPrecision::FP16_FP32 ? 2.0 : 4.0;
+  const double r12_bytes = static_cast<double>(h) * static_cast<double>(rest) * 4.0;
+  const double a_slabs = depth * bs * static_cast<double>(h) * in_bytes;
+  const double c_slabs =
+      (st.opts.staging_buffer ? 2.0 : 1.0) * bs * static_cast<double>(rest) * 4.0;
+  return r12_bytes + a_slabs + c_slabs <= budget;
+}
+
+/// Column-panel width for the outer product when the full R12 cannot stay
+/// resident next to the slab pools (small-memory devices): B streams in
+/// per-panel pieces and A is re-streamed once per panel. 0 = unsplit.
+index_t plan_outer_n_split(const DriverState& st, index_t h, index_t rest) {
+  const double budget = static_cast<double>(st.dev.memory_capacity()) *
+                        st.opts.memory_budget_fraction;
+  const double depth = static_cast<double>(st.opts.pipeline_depth);
+  const double bs = static_cast<double>(std::min(st.opts.blocksize, st.a.rows));
+  const double in_bytes =
+      st.opts.precision == blas::GemmPrecision::FP16_FP32 ? 2.0 : 4.0;
+  const auto fits = [&](index_t np) {
+    const double b_bytes = static_cast<double>(h) * static_cast<double>(np) * in_bytes;
+    const double a_slabs = depth * bs * static_cast<double>(h) * in_bytes;
+    const double c_slabs = (st.opts.staging_buffer ? 2.0 : 1.0) * bs *
+                           static_cast<double>(np) * 4.0;
+    return b_bytes + a_slabs + c_slabs <= budget;
+  };
+  if (fits(rest)) return 0;
+  index_t np = rest;
+  while (np > st.opts.blocksize && !fits(np)) {
+    np = (np + 1) / 2;
+    np = std::min(rest, (np + st.opts.blocksize - 1) / st.opts.blocksize *
+                            st.opts.blocksize);
+    if (np <= st.opts.blocksize) break;
+  }
+  return std::min(np, rest);
+}
+
+/// Whether the whole m x w subtree can be factored resident: the fp32 block
+/// plus its largest internal R12 must fit comfortably (leaving room for the
+/// neighbouring pipelines' buffers).
+bool plan_resident_subtree(const DriverState& st, index_t w) {
+  if (!st.opts.qr_level_opt || !st.opts.resident_subtrees) return false;
+  // Only the "small GEMM" levels the paper targets: wider subtrees stream
+  // better through the k-split engines (their GEMMs are near peak).
+  if (w > 4 * st.opts.blocksize) return false;
+  const double budget = static_cast<double>(st.dev.memory_capacity()) * 0.70;
+  const double a_bytes =
+      static_cast<double>(st.a.rows) * static_cast<double>(w) * 4.0;
+  const double r12_bytes =
+      static_cast<double>(w / 2) * static_cast<double>(w - w / 2) * 4.0;
+  return a_bytes + r12_bytes <= budget;
+}
+
+/// On-device recursion over the resident block's columns [c0, c0+wl):
+/// panels factor in place, level GEMMs stay on the device, R blocks stream
+/// out as they are produced.
+void device_recurse(DriverState& st, const DeviceMatrix& block, index_t j0,
+                    index_t c0, index_t wl) {
+  Device& dev = st.dev;
+  const index_t m = st.a.rows;
+  const index_t b = st.opts.blocksize;
+  const index_t panels = (wl + b - 1) / b;
+  if (panels <= 1) {
+    DeviceMatrix rii = dev.allocate(wl, wl, StoragePrecision::FP32,
+                                    "rqr.res.Rii");
+    panel_qr_device(dev, sim::DeviceMatrixRef(block, 0, c0, m, wl),
+                    sim::DeviceMatrixRef(rii), st.comp, st.opts);
+    Event done = dev.create_event();
+    dev.record_event(done, st.comp);
+    dev.wait_event(st.pan_out, done);
+    dev.copy_d2h(ooc::host_block(st.r, j0 + c0, j0 + c0, wl, wl), rii,
+                 st.pan_out, "d2h Rii");
+    dev.free(rii);
+    return;
+  }
+  const index_t h = (panels / 2) * b;
+  const index_t rest = wl - h;
+  device_recurse(st, block, j0, c0, h);
+
+  DeviceMatrix r12 = dev.allocate(h, rest, StoragePrecision::FP32,
+                                  "rqr.res.R12");
+  dev.gemm(blas::Op::Trans, blas::Op::NoTrans, 1.0f,
+           sim::DeviceMatrixRef(block, 0, c0, m, h),
+           sim::DeviceMatrixRef(block, 0, c0 + h, m, rest), 0.0f,
+           sim::DeviceMatrixRef(r12), st.opts.precision, st.comp,
+           "resident R12");
+  Event r12_done = dev.create_event();
+  dev.record_event(r12_done, st.comp);
+  dev.wait_event(st.pan_out, r12_done);
+  dev.copy_d2h(ooc::host_block(st.r, j0 + c0, j0 + c0 + h, h, rest), r12,
+               st.pan_out, "d2h R12");
+  dev.gemm(blas::Op::NoTrans, blas::Op::NoTrans, -1.0f,
+           sim::DeviceMatrixRef(block, 0, c0, m, h), sim::DeviceMatrixRef(r12),
+           1.0f, sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
+           st.opts.precision, st.comp, "resident update");
+  dev.free(r12);
+
+  device_recurse(st, block, j0, c0 + h, rest);
+}
+
+/// Factors columns [j0, j0+w) entirely on the device: one move-in, the full
+/// recursion resident, one Q move-out.
+void factor_resident_subtree(DriverState& st, index_t j0, index_t w) {
+  Device& dev = st.dev;
+  const index_t m = st.a.rows;
+  DeviceMatrix block = dev.allocate(m, w, StoragePrecision::FP32,
+                                    "rqr.subtree");
+  detail::move_in_panel(dev, block,
+                        ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
+                        st.pan_in, st.tracker, j0, w, st.opts.qr_level_opt);
+  Event moved_in = dev.create_event();
+  dev.record_event(moved_in, st.pan_in);
+  dev.wait_event(st.comp, moved_in);
+
+  device_recurse(st, block, j0, 0, w);
+
+  Event factored = dev.create_event();
+  dev.record_event(factored, st.comp);
+  dev.wait_event(st.pan_out, factored);
+  dev.copy_d2h(ooc::host_block(st.a, 0, j0, m, w), block, st.pan_out,
+               "d2h Q subtree");
+  Event q_out = dev.create_event();
+  dev.record_event(q_out, st.pan_out);
+  st.tracker.record(ooc::Slab{j0, w}, q_out);
+  dev.free(block);
+}
+
+void recurse(DriverState& st, index_t j0, index_t w) {
+  Device& dev = st.dev;
+  const index_t b = st.opts.blocksize;
+  const index_t panels = (w + b - 1) / b;
+  if (panels <= 1) {
+    factor_panel(st, j0, w);
+    return;
+  }
+  if (plan_resident_subtree(st, w)) {
+    factor_resident_subtree(st, j0, w);
+    return;
+  }
+  // Split at panel granularity: left half gets floor(panels/2) panels.
+  const index_t h = (panels / 2) * b;
+  const index_t rest = w - h;
+
+  // 1. Factor the left half recursively.
+  recurse(st, j0, h);
+
+  const index_t m = st.a.rows;
+  ooc::OocGemmOptions gi = detail::gemm_options(st.opts);
+  gi.blocksize = std::min(st.opts.blocksize, m);
+  gi.c_panel_cols = plan_inner_c_split(st, h, rest);
+  gi.host_input_ready = merge_events(st.tracker.events_for(j0, h),
+                                     st.tracker.events_for(j0 + h, rest));
+  const bool keep = plan_keep_r12(st, h, rest, gi.c_panel_cols);
+
+  // 2. Inner product: R12 = Q1ᵀ·A2, both streamed from the host in k-slabs,
+  // C accumulating on the device (split along columns only if memory-bound).
+  DeviceMatrix r12;
+  const auto inner = ooc::inner_product_recursive(
+      dev,
+      Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0, m, h)),
+      Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0 + h, m,
+                                       rest)),
+      ooc::host_block(st.r, j0, j0 + h, h, rest), gi,
+      keep ? &r12 : nullptr);
+  if (!st.opts.qr_level_opt) dev.synchronize();
+
+  // 3. Outer product: A2 -= Q1·R12, B resident (kept from the inner product
+  // when it fits — the QR-level optimization — else re-staged from the
+  // host, which requires the inner product's move-out to finish first).
+  // On small-memory devices even a re-staged full R12 may not fit; then the
+  // update runs over column panels, re-streaming Q1 once per panel.
+  ooc::OocGemmOptions go = detail::gemm_options(st.opts);
+  go.blocksize = std::min(st.opts.blocksize, m);
+  go.host_input_ready = merge_events(st.tracker.events_for(j0, h),
+                                     st.tracker.events_for(j0 + h, rest));
+  if (!keep) go.host_input_ready.push_back(inner.done);
+
+  const index_t n_split = keep ? 0 : plan_outer_n_split(st, h, rest);
+  std::vector<ooc::RegionEvent> regions;
+  sim::Event outer_done{};
+  for (const ooc::Slab panel :
+       ooc::slab_partition(rest, n_split > 0 ? n_split : rest)) {
+    const Operand b_operand =
+        keep ? Operand::on_device(r12, inner.device_result_ready)
+             : Operand::on_host(ooc::host_block(sim::as_const(st.r), j0,
+                                                j0 + h + panel.offset, h,
+                                                panel.width));
+    const auto outer = ooc::outer_product_recursive(
+        dev,
+        Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0, m, h)),
+        b_operand,
+        ooc::host_block(sim::as_const(st.a), 0, j0 + h + panel.offset, m,
+                        panel.width),
+        ooc::host_block(st.a, 0, j0 + h + panel.offset, m, panel.width), go);
+    for (const ooc::RegionEvent& re : outer.output_ready) {
+      regions.push_back(ooc::RegionEvent{
+          re.rows,
+          ooc::Slab{re.cols.offset + j0 + h + panel.offset, re.cols.width},
+          re.event});
+    }
+    outer_done = outer.done;
+  }
+  if (keep) dev.free(r12);
+
+  st.tracker.record(ooc::Slab{j0 + h, rest}, outer_done, std::move(regions));
+  if (!st.opts.qr_level_opt) dev.synchronize();
+
+  // 4. Factor the updated right half recursively.
+  recurse(st, j0 + h, rest);
+}
+
+} // namespace
+
+QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
+                         const QrOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "recursive_ooc_qr: need m >= n >= 1");
+  ROCQR_CHECK(r.rows == n && r.cols == n, "recursive_ooc_qr: R must be n x n");
+  ROCQR_CHECK(opts.blocksize >= 1, "recursive_ooc_qr: blocksize must be positive");
+
+  const size_t window = dev.trace().size();
+  DriverState st{dev,
+                 a,
+                 r,
+                 opts,
+                 detail::HostWriteTracker(n),
+                 dev.create_stream(),
+                 dev.create_stream(),
+                 dev.create_stream()};
+  recurse(st, 0, n);
+  dev.synchronize();
+  return stats_from_trace(dev.trace(), window, dev.memory_peak());
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,19 @@
+// Recursive out-of-core QR factorization (Eq. 2 / Fig 2) — the paper's
+// contribution. Columns are split in half recursively; only the deepest
+// level factors panels, every other level performs two large OOC GEMMs
+// whose streamed dimensions grow with the level, so the dominant GEMMs are
+// compute-bound on TensorCore regardless of the panel blocksize.
+#pragma once
+
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+/// Factors the host matrix in `a` (m x n, m >= n): on return `a` holds Q
+/// and `r` (n x n) the upper-triangular R. Phantom refs allowed in Phantom
+/// mode. The recursion splits at panel granularity (opts.blocksize).
+QrStats recursive_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                         sim::HostMutRef r, const QrOptions& opts);
+
+} // namespace rocqr::qr

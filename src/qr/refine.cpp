@@ -1,0 +1,69 @@
+#include "qr/refine.hpp"
+
+#include <cmath>
+
+#include "blas/transform.hpp"
+#include "blas/trsm.hpp"
+#include "common/error.hpp"
+#include "la/norms.hpp"
+#include "qr/incore.hpp"
+
+namespace rocqr::qr {
+
+RefineResult ls_solve_refined(la::ConstMatrixView a, la::ConstMatrixView b,
+                              blas::GemmPrecision factor_precision,
+                              int max_iterations, double tolerance) {
+  ROCQR_CHECK(a.rows() >= a.cols() && a.cols() >= 1,
+              "ls_solve_refined: need m >= n >= 1");
+  ROCQR_CHECK(b.rows() == a.rows() && b.cols() >= 1,
+              "ls_solve_refined: rhs shape mismatch");
+  ROCQR_CHECK(max_iterations >= 0, "ls_solve_refined: negative iterations");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t nrhs = b.cols();
+
+  // Low-precision factorization (the expensive, accelerator-bound part).
+  const QrFactors f = recursive_cgs(a, /*base=*/32, factor_precision);
+
+  RefineResult result{la::Matrix(n, nrhs), 0, 0.0};
+  la::Matrix residual = la::materialize(b);     // r = b - A x, x = 0
+  la::Matrix correction(n, nrhs);
+  double prev_norm = 0.0;
+
+  for (int it = 0; it <= max_iterations; ++it) {
+    // dx = R⁻¹ Qᵀ r, computed in fp32.
+    blas::gemm(blas::Op::Trans, blas::Op::NoTrans, n, nrhs, m, 1.0f,
+               f.q.data(), f.q.ld(), residual.data(), residual.ld(), 0.0f,
+               correction.data(), correction.ld());
+    blas::trsm_left_upper(n, nrhs, f.r.data(), f.r.ld(), correction.data(),
+                          correction.ld());
+    for (index_t j = 0; j < nrhs; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        result.x(i, j) += correction(i, j);
+      }
+    }
+    result.iterations = it + 1;
+
+    // Fresh residual r = b - A x in fp32 (never through the fp16 path).
+    blas::copy_matrix(m, nrhs, b.data(), b.ld(), residual.data(),
+                      residual.ld());
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m, nrhs, n, -1.0f,
+               a.data(), a.ld(), result.x.data(), result.x.ld(), 1.0f,
+               residual.data(), residual.ld());
+
+    // Convergence on the normal-equations residual |Aᵀ r| (the LS
+    // optimality measure; |r| itself does not go to zero).
+    la::Matrix atr(n, nrhs);
+    blas::gemm(blas::Op::Trans, blas::Op::NoTrans, n, nrhs, m, 1.0f, a.data(),
+               a.ld(), residual.data(), residual.ld(), 0.0f, atr.data(),
+               atr.ld());
+    const double norm = la::frobenius_norm(atr.view());
+    result.final_residual_norm = norm;
+    if (norm <= tolerance) break;
+    if (it > 0 && norm >= 0.5 * prev_norm) break; // stagnation
+    prev_norm = norm;
+  }
+  return result;
+}
+
+} // namespace rocqr::qr

@@ -1,0 +1,27 @@
+// Mixed-precision least-squares solve with iterative refinement — the
+// technique of the paper's references [10-12] (Haidar et al.): factor fast
+// in low precision on the matrix engine, then recover working-precision
+// accuracy with a few cheap residual-correction sweeps.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace rocqr::qr {
+
+struct RefineResult {
+  la::Matrix x;          ///< n x nrhs solution
+  int iterations = 0;    ///< refinement sweeps actually performed
+  double final_residual_norm = 0.0; ///< |Aᵀ(b - A x)|_F after the last sweep
+};
+
+/// Solves min |A x - b| (A m x n, m >= n, full rank) by QR in
+/// `factor_precision` (fp16-input GEMMs model the TensorCore path) followed
+/// by iterative refinement in fp32: repeat x += R⁻¹ Qᵀ (b - A x) until the
+/// normal-equations residual stops improving or `max_iterations` is hit.
+RefineResult ls_solve_refined(
+    la::ConstMatrixView a, la::ConstMatrixView b,
+    blas::GemmPrecision factor_precision = blas::GemmPrecision::FP16_FP32,
+    int max_iterations = 10, double tolerance = 1e-6);
+
+} // namespace rocqr::qr

@@ -1,0 +1,92 @@
+// The paper's published measurements (Tables 1-4 and quoted text numbers),
+// used by the benchmark harness to print measured-vs-paper comparisons.
+// All times in seconds, rates in flop/s.
+#pragma once
+
+namespace rocqr::report::paper {
+
+// Table 1 — inner product, recursive 65536x131072x65536 (slab 16384),
+// blocking 16384x131072x114688 (slab 16384).
+struct InnerProduct {
+  static constexpr double recursive_h2d_s = 0.693;
+  static constexpr double recursive_gemm_s = 1.408;
+  static constexpr double recursive_d2h_s = 1.306;
+  static constexpr double recursive_incore_flops = 99.9e12;
+  static constexpr double recursive_sync_s = 18.183;
+  static constexpr double recursive_sync_flops = 62.0e12;
+  static constexpr double recursive_async_s = 12.932;
+  static constexpr double recursive_async_flops = 87.1e12;
+
+  static constexpr double blocking_h2d_s = 0.728;
+  static constexpr double blocking_gemm_s = 1.337;
+  static constexpr double blocking_d2h_s = 0.081;
+  static constexpr double blocking_incore_flops = 52.6e12;
+  static constexpr double blocking_sync_s = 14.920;
+  static constexpr double blocking_sync_flops = 33.0e12;
+  static constexpr double blocking_async_s = 11.286;
+  static constexpr double blocking_async_flops = 43.6e12;
+};
+
+// Table 2 — outer product, recursive 131072x65536x65536 (row slab 8192),
+// blocking 131072x16384x114688 (tiles 16384x16384).
+// NOTE: the paper prints blocking async 11.286 s > its own sync 5.119 s and
+// identical to Table 1's blocking async — almost certainly a copy-paste
+// error; we report our self-consistent value next to it.
+struct OuterProduct {
+  static constexpr double recursive_h2d_s = 0.347;
+  static constexpr double recursive_gemm_s = 0.654;
+  static constexpr double recursive_d2h_s = 0.163;
+  static constexpr double recursive_incore_flops = 107.6e12;
+  static constexpr double recursive_sync_s = 14.129;
+  static constexpr double recursive_sync_flops = 60.3e12;
+  static constexpr double recursive_async_s = 11.517;
+  static constexpr double recursive_async_flops = 97.7e12;
+  static constexpr double recursive_ideal_s = 10.974; // §5.1.2 bound
+
+  static constexpr double blocking_h2d_s = 0.086;
+  static constexpr double blocking_gemm_s = 0.089;
+  static constexpr double blocking_d2h_s = 0.081;
+  static constexpr double blocking_incore_flops = 98.8e12;
+  static constexpr double blocking_sync_s = 5.119;
+  static constexpr double blocking_async_s = 11.286; // suspect, see note
+};
+
+// Table 3 — full 131072^2 QR data movement at blocksize 16384.
+struct QrMovement {
+  static constexpr double recursive_h2d_s = 37.9;
+  static constexpr double recursive_d2h_s = 19.3;
+  static constexpr double blocking_h2d_s = 47.2;
+  static constexpr double blocking_d2h_s = 22.3;
+};
+
+// Table 4 — GEMMs/panel split at blocksize 8192 (and quoted speedups).
+struct QrSizes {
+  static constexpr double s65536_recursive_gemms_s = 10.5;
+  static constexpr double s65536_blocking_gemms_s = 18.9;
+  static constexpr double s65536_panel_s = 2.7;
+  static constexpr double s65536_speedup = 1.5; // overall, quoted in text
+
+  static constexpr double s262144_recursive_gemms_s = 38.5;
+  static constexpr double s262144_blocking_gemms_s = 77.0;
+  static constexpr double s262144_panel_s = 9.0;
+  static constexpr double s262144_speedup = 1.7;
+};
+
+// Fig 11 — blocking outer product at QR blocksize 8192, 32768^2 C tiles.
+struct Fig11 {
+  static constexpr double h2d_s = 0.347;
+  static constexpr double gemm_s = 0.170;
+  static constexpr double d2h_s = 0.326;
+};
+
+// Headline text claims (§5.2/§5.3).
+struct Headline {
+  static constexpr double speedup_large_memory = 1.25; // 32 GB, b=16384
+  static constexpr double speedup_small_memory = 2.0;  // 16 GB, b=8192
+  static constexpr double qr_level_opt_gain = 0.15;    // ~15%
+  static constexpr double tc_peak_fraction = 0.45;     // ~45% of TC peak
+  static constexpr double ramp_before_flops = 85e12;   // §4.1.3
+  static constexpr double ramp_after_flops = 87e12;
+};
+
+} // namespace rocqr::report::paper

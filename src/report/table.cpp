@@ -1,0 +1,75 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rocqr::report {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  ROCQR_CHECK(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ROCQR_CHECK(cells.size() == headers_.size(),
+              "Table::add_row: cell count does not match header count");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule_line = [&]() {
+    std::string s = "+";
+    for (const size_t w : widths) {
+      s.append(w + 2, '-');
+      s.push_back('+');
+    }
+    s.push_back('\n');
+    return s;
+  };
+  const auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      s.push_back(' ');
+      s.append(pad_right(cells[c], static_cast<int>(widths[c])));
+      s.append(" |");
+    }
+    s.push_back('\n');
+    return s;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule_line() << format_row(headers_) << rule_line();
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      os << rule_line();
+    } else {
+      os << format_row(row.cells);
+    }
+  }
+  os << rule_line();
+  return os.str();
+}
+
+std::string compare_cell(double measured, double paper, const char* unit) {
+  std::ostringstream os;
+  os << format_fixed(measured, 1) << unit << " (paper " << format_fixed(paper, 1)
+     << unit << ")";
+  return os.str();
+}
+
+} // namespace rocqr::report

@@ -1,0 +1,32 @@
+// Plain-text table rendering for the benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rocqr::report {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Separator line between row groups.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// "measured (paper X, ratio Y)" comparison cell.
+std::string compare_cell(double measured, double paper, const char* unit);
+
+} // namespace rocqr::report

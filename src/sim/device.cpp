@@ -1,0 +1,372 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+
+#include "blas/transform.hpp"
+#include "blas/trsm.hpp"
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace rocqr::sim {
+
+namespace {
+
+void check_ref_bounds(const DeviceMatrixRef& ref, const char* what) {
+  ROCQR_CHECK(ref.matrix.valid(), std::string(what) + ": invalid device matrix");
+  ROCQR_CHECK(ref.row0 >= 0 && ref.col0 >= 0 && ref.rows >= 0 && ref.cols >= 0,
+              std::string(what) + ": negative ref geometry");
+  ROCQR_CHECK(ref.row0 + ref.rows <= ref.matrix.rows() &&
+                  ref.col0 + ref.cols <= ref.matrix.cols(),
+              std::string(what) + ": ref exceeds matrix bounds");
+}
+
+} // namespace
+
+Device::Device(DeviceSpec spec, ExecutionMode mode,
+               std::shared_ptr<SharedHostLink> shared_link)
+    : model_(std::move(spec)), mode_(mode),
+      allocator_(model_.spec().memory_capacity),
+      shared_link_(std::move(shared_link)) {}
+
+DeviceMatrix Device::allocate(index_t rows, index_t cols,
+                              StoragePrecision precision, std::string label) {
+  ROCQR_CHECK(rows > 0 && cols > 0, "Device::allocate: dimensions must be positive");
+  const bytes_t bytes = static_cast<bytes_t>(rows) * cols * element_bytes(precision);
+  Buffer buf;
+  buf.offset = allocator_.allocate(bytes);
+  buf.rows = rows;
+  buf.cols = cols;
+  buf.precision = precision;
+  buf.label = std::move(label);
+  if (mode_ == ExecutionMode::Real) {
+    buf.data.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f);
+  }
+  DeviceMatrix m;
+  m.id_ = next_buffer_id_++;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.precision_ = precision;
+  buffers_.emplace(m.id_, std::move(buf));
+  return m;
+}
+
+void Device::free(DeviceMatrix& m) {
+  Buffer& buf = buffer_for(m, "Device::free");
+  allocator_.free(buf.offset);
+  buffers_.erase(m.id());
+  m.id_ = -1;
+}
+
+Device::Buffer& Device::buffer_for(const DeviceMatrix& m, const char* what) {
+  ROCQR_CHECK(m.valid(), std::string(what) + ": invalid device matrix handle");
+  const auto it = buffers_.find(m.id());
+  if (it == buffers_.end()) {
+    throw ResourceError(std::string(what) + ": device matrix was freed");
+  }
+  return it->second;
+}
+
+const Device::Buffer& Device::buffer_for(const DeviceMatrix& m,
+                                         const char* what) const {
+  ROCQR_CHECK(m.valid(), std::string(what) + ": invalid device matrix handle");
+  const auto it = buffers_.find(m.id());
+  if (it == buffers_.end()) {
+    throw ResourceError(std::string(what) + ": device matrix was freed");
+  }
+  return it->second;
+}
+
+Device::Resolved Device::resolve(const DeviceMatrixRef& ref, const char* what) {
+  check_ref_bounds(ref, what);
+  Buffer& buf = buffer_for(ref.matrix, what);
+  Resolved r;
+  r.ld = buf.rows;
+  if (mode_ == ExecutionMode::Real) {
+    r.ptr = buf.data.data() + ref.row0 + ref.col0 * buf.rows;
+  }
+  return r;
+}
+
+Stream Device::create_stream() {
+  Stream s;
+  s.id = static_cast<int>(stream_tail_.size());
+  stream_tail_.push_back(host_time_);
+  return s;
+}
+
+Event Device::create_event() {
+  Event e;
+  e.id = static_cast<int>(event_time_.size());
+  event_time_.push_back(0);
+  event_recorded_.push_back(false);
+  return e;
+}
+
+void Device::validate_stream(Stream s, const char* what) const {
+  ROCQR_CHECK(s.valid() && s.id < static_cast<int>(stream_tail_.size()),
+              std::string(what) + ": invalid stream");
+}
+
+void Device::record_event(Event e, Stream s) {
+  validate_stream(s, "record_event");
+  ROCQR_CHECK(e.valid() && e.id < static_cast<int>(event_time_.size()),
+              "record_event: invalid event");
+  event_time_[static_cast<size_t>(e.id)] = stream_tail_[static_cast<size_t>(s.id)];
+  event_recorded_[static_cast<size_t>(e.id)] = true;
+}
+
+void Device::wait_event(Stream s, Event e) {
+  validate_stream(s, "wait_event");
+  ROCQR_CHECK(e.valid() && e.id < static_cast<int>(event_time_.size()),
+              "wait_event: invalid event");
+  if (!event_recorded_[static_cast<size_t>(e.id)]) {
+    throw ResourceError(
+        "wait_event: event was never recorded (the simulator requires "
+        "record-before-wait program order)");
+  }
+  auto& tail = stream_tail_[static_cast<size_t>(s.id)];
+  tail = std::max(tail, event_time_[static_cast<size_t>(e.id)]);
+}
+
+void Device::synchronize(Stream s) {
+  validate_stream(s, "synchronize");
+  host_time_ = std::max(host_time_, stream_tail_[static_cast<size_t>(s.id)]);
+}
+
+void Device::synchronize() { host_time_ = std::max(host_time_, makespan()); }
+
+sim_time_t Device::makespan() const {
+  sim_time_t latest = host_time_;
+  for (const sim_time_t t : stream_tail_) latest = std::max(latest, t);
+  return latest;
+}
+
+std::int64_t Device::schedule(Resource resource, OpKind kind, Stream s,
+                              sim_time_t duration, bytes_t bytes, flops_t flops,
+                              std::string name) {
+  validate_stream(s, "schedule");
+  ROCQR_CHECK(duration >= 0, "schedule: negative duration");
+  // Host transfers contend on the shared PCIe link when one is attached.
+  sim_time_t* engine_ptr = &engine_free_[static_cast<int>(resource)];
+  if (shared_link_ != nullptr) {
+    if (resource == Resource::H2D) engine_ptr = &shared_link_->h2d_free;
+    if (resource == Resource::D2H) engine_ptr = &shared_link_->d2h_free;
+  }
+  auto& engine = *engine_ptr;
+  auto& tail = stream_tail_[static_cast<size_t>(s.id)];
+  const sim_time_t start = std::max({host_time_, tail, engine});
+  const sim_time_t end = start + duration;
+  tail = end;
+  engine = end;
+
+  TraceEvent ev;
+  ev.id = next_op_id_++;
+  ev.name = std::move(name);
+  ev.kind = kind;
+  ev.resource = resource;
+  ev.stream = s.id;
+  ev.start = start;
+  ev.end = end;
+  ev.bytes = bytes;
+  ev.flops = flops;
+  trace_.add(std::move(ev));
+  return next_op_id_ - 1;
+}
+
+void Device::round_fp16_block(const DeviceMatrixRef& ref) {
+  const Resolved r = resolve(ref, "round_fp16_block");
+  if (r.ptr == nullptr) return;
+  blas::round_to_half(ref.rows, ref.cols, r.ptr, r.ld);
+}
+
+void Device::copy_h2d(DeviceMatrixRef dst, HostConstRef src, Stream s,
+                      std::string name) {
+  check_ref_bounds(dst, "copy_h2d");
+  ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
+              "copy_h2d: shape mismatch");
+  if (dst.rows == 0 || dst.cols == 0) return;
+  // PCIe payload is fp32 regardless of device-resident precision.
+  const bytes_t bytes = static_cast<bytes_t>(dst.rows) * dst.cols * 4;
+  const double scale =
+      host_pinned_ ? 1.0 : 1.0 / model_.spec().pageable_bandwidth_factor;
+  schedule(Resource::H2D, OpKind::CopyH2D, s, model_.h2d_seconds(bytes) * scale,
+           bytes, 0, std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    if (src.data == nullptr) {
+      throw PhantomDataError("copy_h2d: phantom host source in Real mode");
+    }
+    const Resolved d = resolve(dst, "copy_h2d");
+    blas::copy_matrix(dst.rows, dst.cols, src.data, src.ld, d.ptr, d.ld);
+    if (dst.matrix.precision() == StoragePrecision::FP16) {
+      blas::round_to_half(dst.rows, dst.cols, d.ptr, d.ld);
+    }
+  }
+}
+
+void Device::copy_d2h(HostMutRef dst, DeviceMatrixRef src, Stream s,
+                      std::string name) {
+  check_ref_bounds(src, "copy_d2h");
+  ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
+              "copy_d2h: shape mismatch");
+  if (src.rows == 0 || src.cols == 0) return;
+  const bytes_t bytes = static_cast<bytes_t>(src.rows) * src.cols * 4;
+  const double scale =
+      host_pinned_ ? 1.0 : 1.0 / model_.spec().pageable_bandwidth_factor;
+  schedule(Resource::D2H, OpKind::CopyD2H, s, model_.d2h_seconds(bytes) * scale,
+           bytes, 0, std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    if (dst.data == nullptr) {
+      throw PhantomDataError("copy_d2h: phantom host destination in Real mode");
+    }
+    const Resolved sv = resolve(src, "copy_d2h");
+    blas::copy_matrix(src.rows, src.cols, sv.ptr, sv.ld, dst.data, dst.ld);
+  }
+}
+
+void Device::copy_d2d(DeviceMatrixRef dst, DeviceMatrixRef src, Stream s,
+                      std::string name) {
+  check_ref_bounds(dst, "copy_d2d");
+  check_ref_bounds(src, "copy_d2d");
+  ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
+              "copy_d2d: shape mismatch");
+  if (src.rows == 0 || src.cols == 0) return;
+  const bytes_t bytes = static_cast<bytes_t>(src.rows) * src.cols *
+                        element_bytes(src.matrix.precision());
+  schedule(Resource::Compute, OpKind::CopyD2D, s, model_.d2d_seconds(bytes),
+           bytes, 0, std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    const Resolved sv = resolve(src, "copy_d2d");
+    const Resolved dv = resolve(dst, "copy_d2d");
+    blas::copy_matrix(src.rows, src.cols, sv.ptr, sv.ld, dv.ptr, dv.ld);
+    if (dst.matrix.precision() == StoragePrecision::FP16) {
+      blas::round_to_half(dst.rows, dst.cols, dv.ptr, dv.ld);
+    }
+  }
+}
+
+void Device::gemm(blas::Op opa, blas::Op opb, float alpha, DeviceMatrixRef a,
+                  DeviceMatrixRef b, float beta, DeviceMatrixRef c,
+                  blas::GemmPrecision precision, Stream s, std::string name) {
+  check_ref_bounds(a, "gemm");
+  check_ref_bounds(b, "gemm");
+  check_ref_bounds(c, "gemm");
+  const index_t m = blas::op_rows(opa, a.rows, a.cols);
+  const index_t k = blas::op_cols(opa, a.rows, a.cols);
+  const index_t n = blas::op_cols(opb, b.rows, b.cols);
+  ROCQR_CHECK(blas::op_rows(opb, b.rows, b.cols) == k,
+              "gemm: inner dimension mismatch");
+  ROCQR_CHECK(c.rows == m && c.cols == n, "gemm: C shape mismatch");
+  if (m == 0 || n == 0) return;
+
+  const flops_t flops = blas::gemm_flops(m, n, k);
+  schedule(Resource::Compute, OpKind::Gemm, s,
+           model_.gemm_seconds(opa, m, n, k, precision), 0, flops,
+           std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    const Resolved av = resolve(a, "gemm");
+    const Resolved bv = resolve(b, "gemm");
+    const Resolved cv = resolve(c, "gemm");
+    blas::gemm(opa, opb, m, n, k, alpha, av.ptr, av.ld, bv.ptr, bv.ld, beta,
+               cv.ptr, cv.ld, precision);
+    if (c.matrix.precision() == StoragePrecision::FP16) {
+      blas::round_to_half(c.rows, c.cols, cv.ptr, cv.ld);
+    }
+  }
+}
+
+void Device::trsm(TrsmKind kind, DeviceMatrixRef tri, DeviceMatrixRef b,
+                  blas::GemmPrecision precision, Stream s, std::string name) {
+  check_ref_bounds(tri, "trsm");
+  check_ref_bounds(b, "trsm");
+  ROCQR_CHECK(tri.rows == tri.cols, "trsm: triangle must be square");
+  ROCQR_CHECK(b.rows == tri.rows, "trsm: B row count must match triangle");
+  if (b.rows == 0 || b.cols == 0) return;
+
+  const flops_t flops =
+      static_cast<flops_t>(b.rows) * b.rows * b.cols;
+  schedule(Resource::Compute, OpKind::Trsm, s,
+           model_.trsm_seconds(b.rows, b.cols, precision), 0, flops,
+           std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    const Resolved tv = resolve(tri, "trsm");
+    const Resolved bv = resolve(b, "trsm");
+    switch (kind) {
+      case TrsmKind::LeftLowerUnit:
+        blas::trsm_left_lower(b.rows, b.cols, /*unit_diagonal=*/true, tv.ptr,
+                              tv.ld, bv.ptr, bv.ld);
+        break;
+      case TrsmKind::LeftUpperTrans:
+        blas::trsm_left_upper_trans(b.rows, b.cols, tv.ptr, tv.ld, bv.ptr,
+                                    bv.ld);
+        break;
+      case TrsmKind::LeftUpper:
+        blas::trsm_left_upper(b.rows, b.cols, tv.ptr, tv.ld, bv.ptr, bv.ld);
+        break;
+    }
+    if (b.matrix.precision() == StoragePrecision::FP16) {
+      blas::round_to_half(b.rows, b.cols, bv.ptr, bv.ld);
+    }
+  }
+}
+
+void Device::custom_compute(Stream s, sim_time_t seconds, flops_t flops,
+                            OpKind kind, std::string name,
+                            const std::function<void()>& body) {
+  schedule(Resource::Compute, kind, s, seconds, 0, flops, std::move(name));
+  if (mode_ == ExecutionMode::Real && body) body();
+}
+
+void synchronize_all(const std::vector<Device*>& devices) {
+  sim_time_t latest = 0;
+  for (Device* dev : devices) {
+    ROCQR_CHECK(dev != nullptr, "synchronize_all: null device");
+    dev->synchronize();
+    latest = std::max(latest, dev->now());
+  }
+  for (Device* dev : devices) dev->advance_host_clock(latest);
+}
+
+la::Matrix Device::download(const DeviceMatrix& m) const {
+  const Buffer& buf = buffer_for(m, "download");
+  if (mode_ != ExecutionMode::Real) {
+    throw PhantomDataError("download: device is in Phantom mode");
+  }
+  la::Matrix out(buf.rows, buf.cols);
+  blas::copy_matrix(buf.rows, buf.cols, buf.data.data(), buf.rows, out.data(),
+                    out.ld());
+  return out;
+}
+
+void Device::upload(const DeviceMatrix& m, la::ConstMatrixView v) {
+  upload(DeviceMatrixRef(m), v);
+}
+
+la::Matrix Device::download(const DeviceMatrixRef& ref) const {
+  check_ref_bounds(ref, "download");
+  const Buffer& buf = buffer_for(ref.matrix, "download");
+  if (mode_ != ExecutionMode::Real) {
+    throw PhantomDataError("download: device is in Phantom mode");
+  }
+  la::Matrix out(ref.rows, ref.cols);
+  blas::copy_matrix(ref.rows, ref.cols,
+                    buf.data.data() + ref.row0 + ref.col0 * buf.rows,
+                    buf.rows, out.data(), out.ld());
+  return out;
+}
+
+void Device::upload(const DeviceMatrixRef& ref, la::ConstMatrixView v) {
+  check_ref_bounds(ref, "upload");
+  Buffer& buf = buffer_for(ref.matrix, "upload");
+  if (mode_ != ExecutionMode::Real) {
+    throw PhantomDataError("upload: device is in Phantom mode");
+  }
+  ROCQR_CHECK(v.rows() == ref.rows && v.cols() == ref.cols,
+              "upload: shape mismatch");
+  float* dst = buf.data.data() + ref.row0 + ref.col0 * buf.rows;
+  blas::copy_matrix(v.rows(), v.cols(), v.data(), v.ld(), dst, buf.rows);
+  if (buf.precision == StoragePrecision::FP16) {
+    blas::round_to_half(ref.rows, ref.cols, dst, buf.rows);
+  }
+}
+
+} // namespace rocqr::sim

@@ -1,0 +1,68 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rocqr::sim {
+
+DeviceAllocator::DeviceAllocator(bytes_t capacity) : capacity_(capacity) {
+  ROCQR_CHECK(capacity > 0, "DeviceAllocator: capacity must be positive");
+  free_list_[0] = capacity;
+}
+
+bytes_t DeviceAllocator::allocate(bytes_t size) {
+  ROCQR_CHECK(size > 0, "DeviceAllocator::allocate: size must be positive");
+  // 256-byte alignment, like cudaMalloc.
+  const bytes_t aligned = (size + 255) / 256 * 256;
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second < aligned) continue;
+    const bytes_t offset = it->first;
+    const bytes_t remaining = it->second - aligned;
+    free_list_.erase(it);
+    if (remaining > 0) free_list_[offset + aligned] = remaining;
+    live_[offset] = aligned;
+    used_ += aligned;
+    peak_used_ = std::max(peak_used_, used_);
+    return offset;
+  }
+  throw DeviceOutOfMemory("device OOM: requested " + format_bytes(aligned) +
+                          ", free " + format_bytes(free_bytes()) +
+                          " (largest block " +
+                          format_bytes(largest_free_block()) + ") of " +
+                          format_bytes(capacity_));
+}
+
+void DeviceAllocator::free(bytes_t offset) {
+  const auto it = live_.find(offset);
+  if (it == live_.end()) {
+    throw ResourceError("DeviceAllocator::free: unknown or double-freed offset");
+  }
+  bytes_t size = it->second;
+  used_ -= size;
+  live_.erase(it);
+
+  // Insert into the free list and coalesce with both neighbours.
+  auto next = free_list_.upper_bound(offset);
+  if (next != free_list_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_list_.erase(next);
+  }
+  if (next != free_list_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return;
+    }
+  }
+  free_list_[offset] = size;
+}
+
+bytes_t DeviceAllocator::largest_free_block() const {
+  bytes_t best = 0;
+  for (const auto& [offset, size] : free_list_) best = std::max(best, size);
+  return best;
+}
+
+} // namespace rocqr::sim

@@ -1,0 +1,42 @@
+// Offset-based device memory allocator with a hard capacity.
+//
+// A real first-fit free-list (not a simple counter) so that the simulation
+// honours fragmentation: an OOC schedule that would fragment a 32 GB card
+// will fail here too, which is part of what limits the blocking algorithm's
+// blocksize (§3.3.1).
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+
+namespace rocqr::sim {
+
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(bytes_t capacity);
+
+  /// Returns the offset of a block of `size` bytes (first fit).
+  /// Throws DeviceOutOfMemory if no free block is large enough.
+  bytes_t allocate(bytes_t size);
+
+  /// Frees a block previously returned by allocate (throws ResourceError on
+  /// double free / unknown offset). Coalesces with free neighbours.
+  void free(bytes_t offset);
+
+  bytes_t capacity() const { return capacity_; }
+  bytes_t used() const { return used_; }
+  bytes_t peak_used() const { return peak_used_; }
+  bytes_t free_bytes() const { return capacity_ - used_; }
+  bytes_t largest_free_block() const;
+  int live_allocations() const { return static_cast<int>(live_.size()); }
+
+ private:
+  bytes_t capacity_;
+  bytes_t used_ = 0;
+  bytes_t peak_used_ = 0;
+  std::map<bytes_t, bytes_t> free_list_; // offset -> size, disjoint, sorted
+  std::map<bytes_t, bytes_t> live_;      // offset -> size
+};
+
+} // namespace rocqr::sim

@@ -1,0 +1,77 @@
+// PerfModel: maps operation shapes to simulated durations.
+//
+// Two layers:
+//  1. A smooth analytic model — copy time = latency + bytes/bandwidth; GEMM
+//     rate = peak * s(m)s(n)s(k) with s(d) = d/(d+h), plus a reduction-aspect
+//     penalty (k/min(m,n))^-p for transposed-A ("inner product") GEMMs, which
+//     reproduces the paper's observation that tall-skinny TN GEMMs cannot run
+//     near TensorCore peak (52.6 vs 99.9 TFLOP/s, §5.1.1).
+//  2. Exact per-shape overrides calibrated to the paper's measured rates for
+//     the published benchmark shapes, so the tables reproduce quantitatively.
+//     The smooth model covers every other shape (sweeps, other devices).
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "common/types.hpp"
+#include "sim/spec.hpp"
+
+namespace rocqr::sim {
+
+/// GEMM shape key for calibration overrides. `ta` = A transposed.
+struct GemmShapeKey {
+  bool ta = false;
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+
+  auto operator<=>(const GemmShapeKey&) const = default;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(DeviceSpec spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// PCIe transfer durations (fp32 payloads).
+  sim_time_t h2d_seconds(bytes_t bytes) const;
+  sim_time_t d2h_seconds(bytes_t bytes) const;
+  /// On-device copy (staging-buffer moves).
+  sim_time_t d2d_seconds(bytes_t bytes) const;
+
+  /// Sustained GEMM rate in flop/s for op(A)[m x k] * op(B)[k x n].
+  double gemm_rate(blas::Op opa, index_t m, index_t n, index_t k,
+                   blas::GemmPrecision precision) const;
+
+  sim_time_t gemm_seconds(blas::Op opa, index_t m, index_t n, index_t k,
+                          blas::GemmPrecision precision) const;
+
+  /// In-core recursive-CGS panel factorization of an m x n panel
+  /// (the LATER solver the paper reuses). Calibrated to Table 4.
+  double panel_rate(index_t m, index_t n) const;
+  sim_time_t panel_seconds(index_t m, index_t n) const;
+
+  /// Triangular solve of an m x m system against n right-hand sides
+  /// (m² n flops). Triangular kernels sustain roughly half the rate of the
+  /// equally-shaped GEMM on matrix accelerators.
+  sim_time_t trsm_seconds(index_t m, index_t n,
+                          blas::GemmPrecision precision) const;
+
+  /// Pin the sustained rate (flop/s) for one exact TC-GEMM shape.
+  void set_gemm_rate_override(const GemmShapeKey& key, double flops_per_s);
+
+  /// Installs the paper's measured V100 rates (Tables 1 and 2).
+  void install_paper_calibration();
+
+ private:
+  double smooth_gemm_rate(blas::Op opa, index_t m, index_t n, index_t k,
+                          blas::GemmPrecision precision) const;
+
+  DeviceSpec spec_;
+  std::map<GemmShapeKey, double> overrides_;
+};
+
+} // namespace rocqr::sim

@@ -1,0 +1,76 @@
+#include "sim/spec.hpp"
+
+namespace rocqr::sim {
+
+DeviceSpec DeviceSpec::v100_32gb() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::v100_16gb() {
+  DeviceSpec s;
+  s.name = "V100-PCIe-16GB-limit";
+  s.memory_capacity = 16LL * (1LL << 30);
+  return s;
+}
+
+DeviceSpec DeviceSpec::a100_40gb() {
+  DeviceSpec s;
+  s.name = "A100-PCIe-40GB";
+  s.memory_capacity = 40LL * (1LL << 30);
+  s.h2d_bytes_per_s = 24.0e9; // PCIe gen4
+  s.d2h_bytes_per_s = 24.0e9;
+  s.d2d_bytes_per_s = 1500.0e9;
+  s.tc_peak_flops = 312.0e12;
+  s.fp32_peak_flops = 19.5e12;
+  return s;
+}
+
+DeviceSpec DeviceSpec::nvme_cpu_node() {
+  DeviceSpec s;
+  s.name = "NVMe<->CPU-128GB";
+  s.memory_capacity = 128LL * (1LL << 30);
+  s.h2d_bytes_per_s = 3.5e9; // NVMe read
+  s.d2h_bytes_per_s = 2.5e9; // NVMe write
+  s.d2d_bytes_per_s = 100e9; // in-RAM copies
+  s.copy_latency_s = 60e-6;  // I/O submission
+  s.kernel_latency_s = 2e-6;
+  s.tc_peak_flops = 6.0e12;   // AMX/bf16-class matrix units
+  s.fp32_peak_flops = 3.0e12; // AVX-512 fp32
+  // CPU matrix units saturate at much smaller tiles than TensorCore.
+  s.gemm_dim_halfpoint = 256.0;
+  s.tn_aspect_exponent = 0.15;
+  s.panel_halfpoint = 5000.0;
+  return s;
+}
+
+DeviceSpec DeviceSpec::disk_cpu_1996() {
+  DeviceSpec s;
+  s.name = "Disk<->CPU-1996";
+  s.memory_capacity = 256LL * (1LL << 20);
+  s.h2d_bytes_per_s = 10e6;
+  s.d2h_bytes_per_s = 8e6;
+  s.d2d_bytes_per_s = 200e6;
+  s.copy_latency_s = 10e-3; // seeks
+  s.kernel_latency_s = 1e-6;
+  s.tc_peak_flops = 1.0e9; // no matrix engine: both paths scalar-ish
+  s.fp32_peak_flops = 0.5e9;
+  // A cache-blocked 1996 DGEMM is near peak from tiny tiles on, and
+  // tall-skinny shapes cost nothing special — shape effects are a matrix-
+  // accelerator phenomenon.
+  s.gemm_dim_halfpoint = 16.0;
+  s.tn_aspect_exponent = 0.02;
+  s.panel_halfpoint = 200.0;
+  return s;
+}
+
+DeviceSpec DeviceSpec::rtx3080_10gb() {
+  DeviceSpec s;
+  s.name = "RTX3080-10GB";
+  s.memory_capacity = 10LL * (1LL << 30);
+  s.h2d_bytes_per_s = 12.0e9;
+  s.d2h_bytes_per_s = 12.0e9;
+  s.d2d_bytes_per_s = 700.0e9;
+  s.tc_peak_flops = 119.0e12; // fp16 with fp32 accumulate on GA102
+  s.fp32_peak_flops = 29.8e12;
+  return s;
+}
+
+} // namespace rocqr::sim

@@ -1,0 +1,73 @@
+// DeviceSpec: the parameters of the simulated accelerator.
+//
+// Presets are calibrated against the paper's testbed (V100-PCIe 32 GB,
+// CUDA 10.1, pinned host memory) and against the outlook discussion in §6
+// (A100, RTX-30 class).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rocqr::sim {
+
+struct DeviceSpec {
+  std::string name = "V100-PCIe-32GB";
+
+  /// Device memory capacity in bytes (hard allocation limit).
+  bytes_t memory_capacity = 32LL * (1LL << 30);
+
+  /// Host->device and device->host link bandwidths, bytes/second, with
+  /// *pinned* host memory (the paper: "around 12GB/s if using pinned
+  /// memory"). The two directions are independent engines (PCIe is full
+  /// duplex), which is what lets move-out hide under move-in (§3.3).
+  double h2d_bytes_per_s = 13.0e9;
+  double d2h_bytes_per_s = 13.0e9;
+
+  /// Bandwidth multiplier when the host buffers are pageable: the driver
+  /// must bounce through an internal pinned buffer, roughly halving
+  /// throughput on PCIe-3 systems.
+  double pageable_bandwidth_factor = 0.5;
+
+  /// On-device copy bandwidth (staging-buffer trick, §4.1.2).
+  double d2d_bytes_per_s = 800.0e9;
+
+  /// Fixed per-operation launch/driver latencies in seconds.
+  double copy_latency_s = 10e-6;
+  double kernel_latency_s = 8e-6;
+
+  /// Peak TensorCore (fp16-in/fp32-acc) and CUDA-core (fp32) GEMM rates.
+  double tc_peak_flops = 112.0e12;
+  double fp32_peak_flops = 14.0e12;
+
+  /// Shape-efficiency knobs for the GEMM rate model; see PerfModel.
+  double gemm_dim_halfpoint = 900.0;   ///< s(d) = d/(d + halfpoint)
+  double tn_aspect_exponent = 0.3;     ///< reduction-heavy TN penalty
+  /// Effective in-core panel-QR rate fraction: rate = tc_peak * panel_frac *
+  /// m/(m + panel_halfpoint). Calibrated to Table 4 (26-31 TFLOP/s).
+  double panel_frac = 0.30;
+  double panel_halfpoint = 20000.0;
+
+  // --- Presets -------------------------------------------------------------
+
+  /// The paper's testbed.
+  static DeviceSpec v100_32gb();
+  /// The paper's "limit memory to 16 GB" experiment (Figs 14/15).
+  static DeviceSpec v100_16gb();
+  /// §6 outlook: A100 — ~2.7x faster TensorCore, same-order link speed.
+  static DeviceSpec a100_40gb();
+  /// §6 outlook: consumer RTX-30 class — smaller memory, slower link.
+  static DeviceSpec rtx3080_10gb();
+
+  /// Disk-CPU out-of-core (the paper's abstract and §2.1 heritage): the
+  /// "device" is a 128 GiB RAM + AVX-512 CPU node and the "slow tier" an
+  /// NVMe array — the same fast/slow boundary, different constants. Every
+  /// driver in this library runs unchanged against it.
+  static DeviceSpec nvme_cpu_node();
+
+  /// The 1996 SOLAR configuration (§2.1): ~1 GFLOP/s workstation with a
+  /// striped-disk backing store. Included for the era comparison.
+  static DeviceSpec disk_cpu_1996();
+};
+
+} // namespace rocqr::sim

@@ -1,0 +1,176 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace rocqr::sim {
+
+const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::H2D: return "H2D";
+    case Resource::Compute: return "Compute";
+    case Resource::D2H: return "D2H";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::CopyH2D: return "copy_h2d";
+    case OpKind::CopyD2H: return "copy_d2h";
+    case OpKind::CopyD2D: return "copy_d2d";
+    case OpKind::Gemm: return "gemm";
+    case OpKind::Trsm: return "trsm";
+    case OpKind::Panel: return "panel_qr";
+    case OpKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+void Trace::add(TraceEvent event) {
+  ROCQR_CHECK(event.end >= event.start, "Trace::add: negative duration");
+  switch (event.kind) {
+    case OpKind::CopyH2D: bytes_h2d_ += event.bytes; break;
+    case OpKind::CopyD2H: bytes_d2h_ += event.bytes; break;
+    case OpKind::CopyD2D: bytes_d2d_ += event.bytes; break;
+    default: break;
+  }
+  flops_ += event.flops;
+  events_.push_back(std::move(event));
+}
+
+void Trace::clear() {
+  events_.clear();
+  bytes_h2d_ = bytes_d2h_ = bytes_d2d_ = 0;
+  flops_ = 0;
+}
+
+sim_time_t Trace::makespan() const {
+  sim_time_t latest = 0;
+  for (const auto& e : events_) latest = std::max(latest, e.end);
+  return latest;
+}
+
+sim_time_t Trace::busy_seconds(Resource r) const {
+  sim_time_t total = 0;
+  for (const auto& e : events_) {
+    if (e.resource == r) total += e.end - e.start;
+  }
+  return total;
+}
+
+double Trace::overlap_ratio() const {
+  const double copy_time = busy_seconds(Resource::H2D) + busy_seconds(Resource::D2H);
+  if (copy_time <= 0) return 1.0;
+  const double exposed = makespan() - busy_seconds(Resource::Compute);
+  return std::clamp(1.0 - exposed / copy_time, 0.0, 1.0);
+}
+
+std::string Trace::render_gantt(int width) const {
+  ROCQR_CHECK(width >= 10, "render_gantt: width too small");
+  const sim_time_t total = makespan();
+  std::ostringstream os;
+  if (total <= 0 || events_.empty()) {
+    os << "(empty trace)\n";
+    return os.str();
+  }
+  const char kind_char[] = {'h', 'd', 'x', 'G', 'T', 'P', 'c'};
+  const Resource lanes[] = {Resource::H2D, Resource::Compute, Resource::D2H};
+  for (Resource lane : lanes) {
+    std::string row(static_cast<size_t>(width), '.');
+    for (const auto& e : events_) {
+      if (e.resource != lane) continue;
+      int c0 = static_cast<int>(std::floor(e.start / total * width));
+      int c1 = static_cast<int>(std::ceil(e.end / total * width));
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, c0 + 1, width);
+      const char ch = kind_char[static_cast<int>(e.kind)];
+      for (int c = c0; c < c1; ++c) row[static_cast<size_t>(c)] = ch;
+    }
+    os << pad_right(to_string(lane), 8) << "|" << row << "|\n";
+  }
+  os << pad_right("", 8) << " 0" << pad_left(format_seconds(total), width - 2)
+     << "\n";
+  os << "  h=move-in  G=gemm  T=trsm  P=panel  x=device copy  d=move-out\n";
+  os << "  makespan " << format_seconds(total) << ", compute busy "
+     << format_seconds(busy_seconds(Resource::Compute)) << ", H2D busy "
+     << format_seconds(busy_seconds(Resource::H2D)) << ", D2H busy "
+     << format_seconds(busy_seconds(Resource::D2H)) << ", overlap "
+     << format_fixed(100.0 * overlap_ratio(), 1) << "%\n";
+  return os.str();
+}
+
+void Trace::write_chrome_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Timestamps in microseconds, as the format requires.
+    os << R"(  {"name": ")" << e.name << R"(", "cat": ")" << to_string(e.kind)
+       << R"(", "ph": "X", "ts": )" << e.start * 1e6 << R"(, "dur": )"
+       << (e.end - e.start) * 1e6 << R"(, "pid": 0, "tid": )"
+       << static_cast<int>(e.resource) << R"(, "args": {"stream": )"
+       << e.stream << R"(, "bytes": )" << e.bytes << R"(, "flops": )"
+       << e.flops << "}}";
+  }
+  // Name the tracks after the engines.
+  const Resource lanes[] = {Resource::H2D, Resource::Compute, Resource::D2H};
+  for (Resource lane : lanes) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": )"
+       << static_cast<int>(lane) << R"(, "args": {"name": ")"
+       << to_string(lane) << R"("}})";
+  }
+  os << "\n]\n";
+}
+
+TraceSummary summarize(const Trace& trace, size_t from, size_t to) {
+  const auto& events = trace.events();
+  to = std::min(to, events.size());
+  TraceSummary s;
+  bool first = true;
+  for (size_t i = from; i < to; ++i) {
+    const TraceEvent& e = events[i];
+    if (first) {
+      s.first_start = e.start;
+      s.last_end = e.end;
+      first = false;
+    } else {
+      s.first_start = std::min(s.first_start, e.start);
+      s.last_end = std::max(s.last_end, e.end);
+    }
+    const sim_time_t dur = e.end - e.start;
+    switch (e.resource) {
+      case Resource::H2D: s.h2d_busy += dur; break;
+      case Resource::D2H: s.d2h_busy += dur; break;
+      case Resource::Compute: s.compute_busy += dur; break;
+    }
+    switch (e.kind) {
+      case OpKind::CopyH2D: s.bytes_h2d += e.bytes; break;
+      case OpKind::CopyD2H: s.bytes_d2h += e.bytes; break;
+      case OpKind::CopyD2D: s.bytes_d2d += e.bytes; break;
+      default: break;
+    }
+    s.flops += e.flops;
+    ++s.events;
+  }
+  return s;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "id,name,kind,resource,stream,start,end,bytes,flops\n";
+  for (const auto& e : events_) {
+    os << e.id << "," << e.name << "," << to_string(e.kind) << ","
+       << to_string(e.resource) << "," << e.stream << "," << e.start << ","
+       << e.end << "," << e.bytes << "," << e.flops << "\n";
+  }
+}
+
+} // namespace rocqr::sim

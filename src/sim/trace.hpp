@@ -1,0 +1,102 @@
+// Execution trace of the simulated device: one interval per operation.
+//
+// This is the reproduction's counterpart of the paper's timeline figures
+// (Figs 7-15): per-engine Gantt rows for H2D, compute, and D2H, plus byte
+// and flop counters for the data-movement tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rocqr::sim {
+
+/// The three contended engines of the device (+Host for sync markers).
+enum class Resource { H2D, Compute, D2H };
+
+enum class OpKind { CopyH2D, CopyD2H, CopyD2D, Gemm, Trsm, Panel, Custom };
+
+const char* to_string(Resource r);
+const char* to_string(OpKind k);
+
+struct TraceEvent {
+  std::int64_t id = 0;
+  std::string name;
+  OpKind kind = OpKind::Custom;
+  Resource resource = Resource::Compute;
+  int stream = 0;
+  sim_time_t start = 0;
+  sim_time_t end = 0;
+  bytes_t bytes = 0;
+  flops_t flops = 0;
+};
+
+class Trace {
+ public:
+  void add(TraceEvent event);
+  void clear();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Latest end time over all events (0 when empty).
+  sim_time_t makespan() const;
+
+  /// Total busy time of one engine (its intervals never overlap).
+  sim_time_t busy_seconds(Resource r) const;
+
+  /// Bytes moved per direction.
+  bytes_t bytes_h2d() const { return bytes_h2d_; }
+  bytes_t bytes_d2h() const { return bytes_d2h_; }
+  bytes_t bytes_d2d() const { return bytes_d2d_; }
+  flops_t total_flops() const { return flops_; }
+
+  /// Fraction of copy time hidden under other engines' activity:
+  /// 1 - (makespan - busy(Compute)) / (busy(H2D) + busy(D2H)), clamped to
+  /// [0,1]. Equals 1 when communication is perfectly overlapped.
+  double overlap_ratio() const;
+
+  /// ASCII Gantt chart with one lane per engine, `width` columns wide.
+  std::string render_gantt(int width = 100) const;
+
+  /// CSV: id,name,kind,resource,stream,start,end,bytes,flops
+  void write_csv(std::ostream& os) const;
+
+  /// Chrome tracing JSON (load in chrome://tracing or Perfetto): one
+  /// complete ("ph":"X") event per operation, one track per engine.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Number of events recorded so far (use as a window anchor).
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+  bytes_t bytes_h2d_ = 0;
+  bytes_t bytes_d2h_ = 0;
+  bytes_t bytes_d2d_ = 0;
+  flops_t flops_ = 0;
+};
+
+/// Aggregate view of a contiguous window of trace events — used to report
+/// the cost of one OOC operation out of a longer run.
+struct TraceSummary {
+  sim_time_t first_start = 0;
+  sim_time_t last_end = 0;
+  sim_time_t span() const { return last_end - first_start; }
+  sim_time_t h2d_busy = 0;
+  sim_time_t d2h_busy = 0;
+  sim_time_t compute_busy = 0;
+  bytes_t bytes_h2d = 0;
+  bytes_t bytes_d2h = 0;
+  bytes_t bytes_d2d = 0;
+  flops_t flops = 0;
+  int events = 0;
+};
+
+/// Summarizes events [from, to) of the trace (to = npos means "to the end").
+TraceSummary summarize(const Trace& trace, size_t from = 0,
+                       size_t to = static_cast<size_t>(-1));
+
+} // namespace rocqr::sim

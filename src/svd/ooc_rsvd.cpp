@@ -1,0 +1,116 @@
+#include "svd/ooc_rsvd.hpp"
+
+#include <algorithm>
+
+#include "blas/transform.hpp"
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/svd_jacobi.hpp"
+#include "ooc/ooc_gemm.hpp"
+#include "qr/panel.hpp"
+#include "sim/scoped_matrix.hpp"
+
+namespace rocqr::svd {
+
+using blas::Op;
+using sim::Device;
+using sim::StoragePrecision;
+
+namespace {
+
+/// Device QR of a tall-skinny host matrix that fits resident (m x l with l
+/// small): move in, panel-factor, move Q (in place) and R back out.
+void device_tall_qr(Device& dev, la::Matrix& y, la::Matrix& r_out,
+                    const qr::QrOptions& qopts) {
+  const index_t rows = y.rows();
+  const index_t cols = y.cols();
+  sim::ScopedMatrix panel(dev, rows, cols, StoragePrecision::FP32, "rsvd.Y");
+  sim::ScopedMatrix r_dev(dev, cols, cols, StoragePrecision::FP32, "rsvd.R");
+  sim::Stream s = dev.create_stream();
+  dev.copy_h2d(panel.get(), y.view(), s, "h2d tall panel");
+  qr::panel_qr_device(dev, panel.get(), r_dev.get(), s, qopts);
+  dev.copy_d2h(y.view(), panel.get(), s, "d2h Q");
+  dev.copy_d2h(r_out.view(), r_dev.get(), s, "d2h R");
+  dev.synchronize(s);
+}
+
+} // namespace
+
+RsvdResult ooc_randomized_svd(Device& dev, sim::HostConstRef a,
+                              const RsvdOptions& opts) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  ROCQR_CHECK(m >= n && n >= 1, "ooc_randomized_svd: need m >= n >= 1");
+  ROCQR_CHECK(opts.rank >= 1 && opts.oversample >= 0,
+              "ooc_randomized_svd: bad rank/oversample");
+  const index_t l = std::min(opts.rank + opts.oversample, n);
+  ROCQR_CHECK(opts.rank <= l, "ooc_randomized_svd: rank exceeds n");
+  ROCQR_CHECK(opts.power_iterations >= 0,
+              "ooc_randomized_svd: negative power iterations");
+
+  const size_t window = dev.trace().size();
+  ooc::OocGemmOptions gopts;
+  gopts.blocksize = std::min(opts.blocksize, m);
+  gopts.precision = opts.precision;
+  qr::QrOptions qopts;
+  qopts.precision = opts.precision;
+
+  // 1. Random range sketch Y = A Ω.
+  la::Matrix omega = la::random_normal(n, l, opts.seed);
+  la::Matrix y(m, l);
+  ooc::ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f, a, omega.view(), 0.0f,
+                sim::HostConstRef{}, y.view(), gopts);
+  dev.synchronize();
+
+  // 2. Power iterations with re-orthonormalization (Q replaces Y each time).
+  la::Matrix r_small(l, l);
+  device_tall_qr(dev, y, r_small, qopts);
+  for (int it = 0; it < opts.power_iterations; ++it) {
+    la::Matrix z(n, l);
+    ooc::ooc_gemm(dev, Op::Trans, Op::NoTrans, 1.0f, a, y.view(), 0.0f,
+                  sim::HostConstRef{}, z.view(), gopts);
+    dev.synchronize();
+    device_tall_qr(dev, z, r_small, qopts);
+    ooc::ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f, a, z.view(), 0.0f,
+                  sim::HostConstRef{}, y.view(), gopts);
+    dev.synchronize();
+    device_tall_qr(dev, y, r_small, qopts);
+  }
+
+  // 3. Project: B = Q_yᵀ A (l x n), both factors streamed in k-slabs.
+  la::Matrix b(l, n);
+  ooc::inner_product_recursive(dev, ooc::Operand::on_host(y.view()),
+                               ooc::Operand::on_host(a), b.view(), gopts);
+  dev.synchronize();
+
+  // 4. Bᵀ = Q_b R_b on the device, then the small SVD on the host.
+  la::Matrix bt(n, l);
+  blas::transpose(l, n, b.data(), b.ld(), bt.data(), bt.ld());
+  la::Matrix rb(l, l);
+  device_tall_qr(dev, bt, rb, qopts);
+
+  la::Matrix rbt(l, l);
+  blas::transpose(l, l, rb.data(), rb.ld(), rbt.data(), rbt.ld());
+  const la::SvdResult small = la::svd_jacobi(rbt.view());
+
+  // 5. Assemble and truncate: U = Q_y U₂, V = Q_b V₂.
+  RsvdResult result;
+  result.u = la::Matrix(m, opts.rank);
+  result.v = la::Matrix(n, opts.rank);
+  result.sigma.assign(small.sigma.begin(),
+                      small.sigma.begin() + opts.rank);
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, opts.rank, l, 1.0f, y.data(),
+             y.ld(), small.u.data(), small.u.ld(), 0.0f, result.u.data(),
+             result.u.ld());
+  blas::gemm(Op::NoTrans, Op::NoTrans, n, opts.rank, l, 1.0f, bt.data(),
+             bt.ld(), small.v.data(), small.v.ld(), 0.0f, result.v.data(),
+             result.v.ld());
+
+  const sim::TraceSummary summary = sim::summarize(dev.trace(), window);
+  result.seconds = summary.span();
+  result.h2d_bytes = summary.bytes_h2d;
+  result.d2h_bytes = summary.bytes_d2h;
+  return result;
+}
+
+} // namespace rocqr::svd

@@ -1,0 +1,53 @@
+// Out-of-core randomized SVD — the application domain of the paper's
+// references [14, 15] (out-of-memory SVD frameworks; "reducing the amount
+// of out-of-core data access for GPU-accelerated randomized SVD"), built
+// from this library's streamed GEMM engines and device panel QR:
+//
+//   Y   = A·Ω              (streamed row slabs, Ω resident)      [range]
+//   Y   = A·(Aᵀ·Y)         power iterations, re-orthonormalized
+//   Q_y = qr(Y)            (fits the device: m x l, l small)
+//   B   = Q_yᵀ·A           (k-split inner product, both streamed)
+//   Bᵀ  = Q_b·R_b          (device panel QR)
+//   R_bᵀ = U₂ Σ V₂ᵀ        (small one-sided Jacobi SVD on the host)
+//   A  ≈ (Q_y·U₂) Σ (Q_b·V₂)ᵀ, truncated to the requested rank.
+//
+// Only O((m+n)·l) words ever live on the device or in extra host storage;
+// A itself streams exactly 2 + 2·power_iterations times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "la/matrix.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::svd {
+
+struct RsvdOptions {
+  index_t rank = 16;
+  index_t oversample = 8;
+  int power_iterations = 1;
+  index_t blocksize = 16384; ///< streamed slab width
+  blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
+  std::uint64_t seed = 1234;
+};
+
+struct RsvdResult {
+  la::Matrix u;              ///< m x rank
+  std::vector<double> sigma; ///< rank values, descending
+  la::Matrix v;              ///< n x rank
+  sim_time_t seconds = 0;    ///< simulated wall time of the whole pipeline
+  bytes_t h2d_bytes = 0;
+  bytes_t d2h_bytes = 0;
+};
+
+/// Approximates the top-`rank` SVD of the host matrix `a` (m x n, m >= n,
+/// may be phantom in Phantom mode — factors are then unspecified but the
+/// schedule/statistics are exact). Small O(l²)/O(l·n) host-side glue
+/// (transposes, l x l GEMMs, the Jacobi SVD) runs on the host untimed, as
+/// in the real systems this models.
+RsvdResult ooc_randomized_svd(sim::Device& dev, sim::HostConstRef a,
+                              const RsvdOptions& opts);
+
+} // namespace rocqr::svd

@@ -1,0 +1,181 @@
+// GEMM: blocked kernel vs double-precision reference across shapes,
+// transposes, precisions, and alpha/beta combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "common/half.hpp"
+#include "la/generate.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+
+namespace rocqr {
+namespace {
+
+using blas::GemmPrecision;
+using blas::Op;
+
+la::Matrix make_operand(Op op, index_t rows_op, index_t cols_op,
+                        std::uint64_t seed) {
+  // Stored shape is the transpose of the op-shape for Op::Trans.
+  return op == Op::NoTrans ? la::random_uniform(rows_op, cols_op, seed)
+                           : la::random_uniform(cols_op, rows_op, seed);
+}
+
+class GemmParamTest
+    : public ::testing::TestWithParam<std::tuple<
+          std::tuple<index_t, index_t, index_t>, Op, Op, GemmPrecision>> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const auto [shape, opa, opb, prec] = GetParam();
+  const auto [m, n, k] = shape;
+  la::Matrix a = make_operand(opa, m, k, 1);
+  la::Matrix b = make_operand(opb, k, n, 2);
+  la::Matrix c = la::random_uniform(m, n, 3);
+  la::Matrix c_ref = la::materialize(c.view());
+
+  const float alpha = 1.25f;
+  const float beta = -0.5f;
+  blas::gemm(opa, opb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+             beta, c.data(), c.ld(), prec);
+  blas::gemm_reference(opa, opb, m, n, k, alpha, a.data(), a.ld(), b.data(),
+                       b.ld(), beta, c_ref.data(), c_ref.ld(), prec);
+
+  // fp32 accumulation error vs the double-accumulated reference grows with
+  // k; elements are O(1) so an absolute k-scaled bound is appropriate.
+  const double tol = 1e-6 * std::sqrt(static_cast<double>(k + 1)) * 16.0;
+  EXPECT_LT(la::relative_difference(c.view(), c_ref.view()), tol)
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Combine(
+        ::testing::Values(std::tuple<index_t, index_t, index_t>{1, 1, 1},
+                          std::tuple<index_t, index_t, index_t>{5, 3, 4},
+                          std::tuple<index_t, index_t, index_t>{16, 16, 16},
+                          std::tuple<index_t, index_t, index_t>{33, 17, 55},
+                          std::tuple<index_t, index_t, index_t>{64, 1, 128},
+                          std::tuple<index_t, index_t, index_t>{1, 64, 128},
+                          std::tuple<index_t, index_t, index_t>{96, 80, 112}),
+        ::testing::Values(Op::NoTrans, Op::Trans),
+        ::testing::Values(Op::NoTrans, Op::Trans),
+        ::testing::Values(GemmPrecision::FP32, GemmPrecision::FP16_FP32)));
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  const index_t n = 8;
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      c(i, j) = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+  blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, c.data(), c.ld());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) EXPECT_FALSE(std::isnan(c(i, j)));
+  }
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  const index_t n = 6;
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c = la::random_uniform(n, n, 3);
+  la::Matrix expected = la::materialize(c.view());
+  blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 0.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 2.0f, c.data(), c.ld());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(c(i, j), 2.0f * expected(i, j));
+    }
+  }
+}
+
+TEST(Gemm, KZeroActsAsScale) {
+  la::Matrix c = la::random_uniform(4, 4, 3);
+  la::Matrix expected = la::materialize(c.view());
+  blas::gemm(Op::NoTrans, Op::NoTrans, 4, 4, 0, 1.0f, nullptr, 4, nullptr, 1,
+             0.5f, c.data(), c.ld());
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(c(i, j), 0.5f * expected(i, j));
+    }
+  }
+}
+
+TEST(Gemm, EmptyOutputIsNoop) {
+  // m == 0 and n == 0 are valid degenerate calls.
+  blas::gemm(Op::NoTrans, Op::NoTrans, 0, 4, 4, 1.0f, nullptr, 1, nullptr, 4,
+             0.0f, nullptr, 1);
+  blas::gemm(Op::NoTrans, Op::NoTrans, 4, 0, 4, 1.0f, nullptr, 4, nullptr, 4,
+             0.0f, nullptr, 4);
+}
+
+TEST(Gemm, Fp16PathRoundsInputs) {
+  // Pick a value with a long mantissa: fp16 rounding must change the result.
+  const index_t n = 1;
+  la::Matrix a(1, 1);
+  la::Matrix b(1, 1);
+  la::Matrix c(1, 1);
+  a(0, 0) = 1.0009765625f + 0x1.0p-12f; // not representable in fp16
+  b(0, 0) = 1.0f;
+  blas::gemm(Op::NoTrans, Op::NoTrans, n, n, 1, 1.0f, a.data(), 1, b.data(), 1,
+             0.0f, c.data(), 1, blas::GemmPrecision::FP16_FP32);
+  EXPECT_EQ(c(0, 0), float(half(a(0, 0))));
+  EXPECT_NE(c(0, 0), a(0, 0));
+}
+
+TEST(Gemm, SubviewLeadingDimensions) {
+  // Operate on an interior block of a larger matrix.
+  la::Matrix big = la::random_uniform(10, 10, 4);
+  la::Matrix a = la::random_uniform(3, 4, 1);
+  la::Matrix b = la::random_uniform(4, 3, 2);
+  la::Matrix expected(3, 3);
+  blas::gemm(Op::NoTrans, Op::NoTrans, 3, 3, 4, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, expected.data(), expected.ld());
+  float* cptr = &big(2, 5);
+  blas::gemm(Op::NoTrans, Op::NoTrans, 3, 3, 4, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, cptr, big.ld());
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(big(2 + i, 5 + j), expected(i, j));
+    }
+  }
+}
+
+TEST(Gemm, RejectsBadArguments) {
+  la::Matrix a = la::random_uniform(4, 4, 1);
+  EXPECT_THROW(blas::gemm(Op::NoTrans, Op::NoTrans, -1, 4, 4, 1.0f, a.data(),
+                          4, a.data(), 4, 0.0f, a.data(), 4),
+               InvalidArgument);
+  // lda smaller than the stored row count.
+  EXPECT_THROW(blas::gemm(Op::NoTrans, Op::NoTrans, 4, 4, 4, 1.0f, a.data(),
+                          2, a.data(), 4, 0.0f, a.data(), 4),
+               InvalidArgument);
+  // Null pointers with nonzero work.
+  EXPECT_THROW(blas::gemm(Op::NoTrans, Op::NoTrans, 4, 4, 4, 1.0f, nullptr, 4,
+                          a.data(), 4, 0.0f, a.data(), 4),
+               InvalidArgument);
+}
+
+TEST(Gemm, FlopCountConvention) {
+  EXPECT_EQ(blas::gemm_flops(2, 3, 4), 48);
+  EXPECT_EQ(blas::gemm_flops(65536, 131072, 65536),
+            2LL * 65536 * 131072 * 65536);
+}
+
+TEST(Gemm, OpShapeHelpers) {
+  EXPECT_EQ(blas::op_rows(Op::NoTrans, 3, 7), 3);
+  EXPECT_EQ(blas::op_cols(Op::NoTrans, 3, 7), 7);
+  EXPECT_EQ(blas::op_rows(Op::Trans, 3, 7), 7);
+  EXPECT_EQ(blas::op_cols(Op::Trans, 3, 7), 3);
+}
+
+} // namespace
+} // namespace rocqr

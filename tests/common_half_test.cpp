@@ -1,0 +1,166 @@
+// IEEE binary16 emulation: the rounding behaviour TensorCore applies to
+// GEMM inputs must be bit-exact, so these tests pin it down hard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace rocqr {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float(half(0.0f)), 0.0f);
+  EXPECT_TRUE(std::signbit(float(half(-0.0f))));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(half(static_cast<float>(i))), static_cast<float>(i))
+        << "integer " << i;
+  }
+}
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xbc00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bffu); // half max
+  EXPECT_EQ(half(1.0f / 16777216.0f).bits(), 0x0001u); // 2^-24 smallest subnormal
+}
+
+TEST(Half, MaxAndOverflow) {
+  EXPECT_EQ(float(half(65504.0f)), 65504.0f);
+  // 65519.99 rounds down to half-max; >= 65520 rounds to infinity.
+  EXPECT_EQ(half(65519.0f).bits(), 0x7bffu);
+  EXPECT_TRUE(isinf(half(65520.0f)));
+  EXPECT_TRUE(isinf(half(1e30f)));
+  EXPECT_TRUE(isinf(half(-1e30f)));
+  EXPECT_EQ(half(-1e30f).bits(), 0xfc00u);
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half(inf).bits(), 0x7c00u);
+  EXPECT_EQ(half(-inf).bits(), 0xfc00u);
+  EXPECT_TRUE(isinf(half(inf)));
+  EXPECT_TRUE(isnan(half(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(float(half::from_bits(0x7e00))));
+  EXPECT_TRUE(std::isinf(float(half::from_bits(0x7c00))));
+  EXPECT_FALSE(isfinite(half(inf)));
+  EXPECT_TRUE(isfinite(half(1.0f)));
+}
+
+TEST(Half, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly between 1.0 (mantissa even) and 1+2^-10:
+  // ties-to-even keeps 1.0.
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f).bits(), half(1.0f).bits());
+  // (1 + 2^-10) + 2^-11 ties between odd 0x3c01 and even 0x3c02: rounds up.
+  EXPECT_EQ(half(1.0f + 0x1.0p-10f + 0x1.0p-11f).bits(), 0x3c02u);
+  // Just above the tie must round up.
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f + 0x1.0p-20f).bits(), 0x3c01u);
+}
+
+TEST(Half, SubnormalEncodeDecode) {
+  // Largest subnormal: 1023 * 2^-24.
+  const float largest_sub = 1023.0f * 0x1.0p-24f;
+  EXPECT_EQ(half(largest_sub).bits(), 0x03ffu);
+  EXPECT_EQ(float(half::from_bits(0x03ff)), largest_sub);
+  // Smallest subnormal and halves round correctly.
+  EXPECT_EQ(half(0x1.0p-24f).bits(), 0x0001u);
+  EXPECT_EQ(half(0x1.0p-25f).bits(), 0x0000u);       // tie to even (zero)
+  EXPECT_EQ(half(1.5f * 0x1.0p-25f).bits(), 0x0001u); // above tie
+  EXPECT_EQ(half(0x1.0p-26f).bits(), 0x0000u);
+  // Negative subnormal keeps its sign.
+  EXPECT_EQ(half(-0x1.0p-24f).bits(), 0x8001u);
+}
+
+TEST(Half, SubnormalToNormalRounding) {
+  // Largest subnormal + half an ulp rounds into the smallest normal.
+  const float just_below_normal = (1023.5f) * 0x1.0p-24f;
+  EXPECT_EQ(half(just_below_normal).bits(), 0x0400u);
+  EXPECT_EQ(float(half::from_bits(0x0400)), 0x1.0p-14f);
+}
+
+TEST(Half, AllFiniteBitPatternsRoundTrip) {
+  // Every finite half value converts to float and back to the same bits —
+  // the fundamental contract of a correctly rounded conversion pair.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(bits));
+    if (isnan(h)) continue; // NaN payloads may be canonicalized
+    const float f = float(h);
+    EXPECT_EQ(half(f).bits(), bits) << "bits " << bits;
+  }
+}
+
+TEST(Half, RoundingIsMonotonic) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const float a = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    const float b = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    const float lo = std::min(a, b);
+    const float hi = std::max(a, b);
+    EXPECT_LE(float(half(lo)), float(half(hi))) << lo << " vs " << hi;
+  }
+}
+
+TEST(Half, RoundingErrorWithinHalfUlp) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float r = float(half(x));
+    // Relative error of round-to-nearest is <= 2^-11 for normal halves.
+    if (std::fabs(x) >= 0x1.0p-14f) {
+      EXPECT_LE(std::fabs(r - x), std::fabs(x) * 0x1.0p-11f) << x;
+    }
+  }
+}
+
+TEST(Half, ArithmeticPromotesToFloat) {
+  const half a(1.5f);
+  const half b(2.25f);
+  EXPECT_EQ(float(a + b), float(half(3.75f)));
+  EXPECT_EQ(float(a * b), float(half(1.5f * 2.25f)));
+  EXPECT_EQ(float(-a), -1.5f);
+  half c(1.0f);
+  c += half(1.0f);
+  EXPECT_EQ(float(c), 2.0f);
+  c *= half(3.0f);
+  EXPECT_EQ(float(c), 6.0f);
+  c -= half(2.0f);
+  EXPECT_EQ(float(c), 4.0f);
+  c /= half(4.0f);
+  EXPECT_EQ(float(c), 1.0f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(2.0f), half(1.0f));
+  EXPECT_EQ(half(1.0f), half(1.0f));
+  EXPECT_NE(half(1.0f), half(1.001f));
+  EXPECT_LE(half(1.0f), half(1.0f));
+  EXPECT_GE(half(1.0f), half(1.0f));
+  // -0 == +0 under IEEE comparison semantics.
+  EXPECT_EQ(half(-0.0f), half(0.0f));
+}
+
+TEST(Half, NumericLimits) {
+  using lim = std::numeric_limits<half>;
+  EXPECT_EQ(float(lim::max()), 65504.0f);
+  EXPECT_EQ(float(lim::min()), 0x1.0p-14f);
+  EXPECT_EQ(float(lim::denorm_min()), 0x1.0p-24f);
+  EXPECT_EQ(float(lim::epsilon()), 0x1.0p-10f);
+  EXPECT_EQ(float(lim::lowest()), -65504.0f);
+  EXPECT_TRUE(isinf(lim::infinity()));
+  EXPECT_TRUE(isnan(lim::quiet_NaN()));
+  EXPECT_EQ(lim::digits, 11);
+}
+
+} // namespace
+} // namespace rocqr

@@ -1,0 +1,203 @@
+// Rng, ThreadPool, strings, timer, error machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace rocqr {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(13);
+  std::set<index_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.below(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u); // all values hit over 1000 draws
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleElementRanges) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(1, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](index_t b, index_t) {
+                                   if (b >= 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception round.
+  std::atomic<int> total{0};
+  pool.parallel_for(50, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsReusable) {
+  std::atomic<int> total{0};
+  ThreadPool::global().parallel_for(256, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 256);
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(12), "12 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(32LL << 30), "32.00 GiB");
+}
+
+TEST(Strings, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.408), "1.41 s");
+  EXPECT_EQ(format_seconds(0.693), "693.0 ms");
+  EXPECT_EQ(format_seconds(12e-6), "12.0 us");
+  EXPECT_EQ(format_seconds(3e-9), "3.0 ns");
+}
+
+TEST(Strings, FormatFlopsRate) {
+  EXPECT_EQ(format_flops_rate(99.9e12), "99.9 TFLOP/s");
+  EXPECT_EQ(format_flops_rate(5e9), "5.0 GFLOP/s");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(format_shape(65536, 131072), "65536x131072");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), b + 1.0);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    ROCQR_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw DeviceOutOfMemory("x"), Error);
+  EXPECT_THROW(throw ResourceError("x"), Error);
+  EXPECT_THROW(throw PhantomDataError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+} // namespace
+} // namespace rocqr

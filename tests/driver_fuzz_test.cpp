@@ -1,0 +1,134 @@
+// Randomized end-to-end fuzzing of the factorization drivers in Real mode:
+// random shapes, blocksizes and option combinations, every run checked
+// against an exact reference. The broad safety net over the whole stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lu/incore.hpp"
+#include "lu/ooc_cholesky.hpp"
+#include "lu/ooc_lu.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/incore.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec fuzz_spec(Rng& rng) {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  // Capacities from roomy down to tight enough to trigger the planners'
+  // split paths.
+  s.memory_capacity = (1LL << 20) << rng.below(6); // 1..32 MiB
+  return s;
+}
+
+TEST(DriverFuzz, QrDriversAgainstHouseholder) {
+  for (std::uint64_t seed = 1; seed <= 36; ++seed) {
+    Rng rng(seed);
+    const index_t n = 16 + rng.below(120);
+    const index_t m = n + rng.below(160);
+    la::Matrix a = la::random_normal(m, n, seed * 7);
+    const qr::QrFactors ref = qr::householder(a.view());
+
+    qr::QrOptions opts;
+    opts.blocksize = 8 + rng.below(72);
+    opts.panel_base = 4 + rng.below(12);
+    opts.precision = blas::GemmPrecision::FP32;
+    opts.qr_level_opt = rng.below(2) == 0;
+    opts.staging_buffer = rng.below(2) == 0;
+    opts.ramp_up = rng.below(3) == 0;
+    opts.ramp_start = 4;
+    opts.pipeline_depth = 1 + static_cast<int>(rng.below(3));
+
+    const int which = static_cast<int>(rng.below(3));
+    Device dev(fuzz_spec(rng), ExecutionMode::Real);
+    la::Matrix q = la::materialize(a.view());
+    la::Matrix r(n, n);
+    try {
+      switch (which) {
+        case 0: qr::recursive_ooc_qr(dev, q.view(), r.view(), opts); break;
+        case 1: qr::blocking_ooc_qr(dev, q.view(), r.view(), opts); break;
+        default: qr::left_looking_ooc_qr(dev, q.view(), r.view(), opts); break;
+      }
+    } catch (const DeviceOutOfMemory&) {
+      continue; // tight random capacity: a legitimate outcome
+    }
+    ASSERT_LT(la::relative_difference(q.view(), ref.q.view()), 2e-3)
+        << "seed " << seed << " driver " << which;
+    ASSERT_LT(la::relative_difference(r.view(), ref.r.view()), 2e-3)
+        << "seed " << seed << " driver " << which;
+    ASSERT_LT(la::qr_residual(a.view(), q.view(), r.view()), 1e-4)
+        << "seed " << seed << " driver " << which;
+    ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+  }
+}
+
+TEST(DriverFuzz, LuAndCholeskyAgainstIncore) {
+  for (std::uint64_t seed = 1; seed <= 36; ++seed) {
+    Rng rng(seed + 50);
+    const index_t n = 16 + rng.below(100);
+    lu::FactorOptions opts;
+    opts.blocksize = 8 + rng.below(48);
+    opts.panel_base = 4 + rng.below(12);
+    opts.precision = blas::GemmPrecision::FP32;
+    opts.staging_buffer = rng.below(2) == 0;
+    opts.overlap = rng.below(2) == 0;
+    opts.pipeline_depth = 1 + static_cast<int>(rng.below(3));
+
+    const bool recursive = rng.below(2) == 0;
+    const bool cholesky = rng.below(2) == 0;
+    Device dev(fuzz_spec(rng), ExecutionMode::Real);
+    if (cholesky) {
+      la::Matrix a = la::random_spd(n, seed * 11);
+      la::Matrix reference = la::materialize(a.view());
+      lu::cholesky_recursive(reference.view(), 8);
+      try {
+        if (recursive) {
+          lu::recursive_ooc_cholesky(dev, a.view(), opts);
+        } else {
+          lu::blocking_ooc_cholesky(dev, a.view(), opts);
+        }
+      } catch (const DeviceOutOfMemory&) {
+        continue;
+      }
+      double worst = 0.0;
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i <= j; ++i) {
+          worst = std::max(
+              worst, std::fabs(static_cast<double>(a(i, j)) -
+                               static_cast<double>(reference(i, j))));
+        }
+      }
+      ASSERT_LT(worst, 1e-2) << "seed " << seed;
+    } else {
+      la::Matrix a = la::random_diagonally_dominant(n, seed * 13);
+      la::Matrix reference = la::materialize(a.view());
+      lu::lu_nopiv_recursive(reference.view(), 8);
+      try {
+        if (recursive) {
+          lu::recursive_ooc_lu(dev, a.view(), opts);
+        } else {
+          lu::blocking_ooc_lu(dev, a.view(), opts);
+        }
+      } catch (const DeviceOutOfMemory&) {
+        continue;
+      }
+      ASSERT_LT(la::relative_difference(a.view(), reference.view()), 1e-3)
+          << "seed " << seed;
+    }
+    ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+  }
+}
+
+} // namespace
+} // namespace rocqr

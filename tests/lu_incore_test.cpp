@@ -1,0 +1,183 @@
+// In-core LU (no pivoting: unblocked/blocked/recursive), partial-pivot
+// oracle, solvers, and recursive Cholesky.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lu/incore.hpp"
+
+namespace rocqr::lu {
+namespace {
+
+using blas::GemmPrecision;
+
+class LuVariantTest
+    : public ::testing::TestWithParam<std::tuple<int /*variant*/,
+                                                 std::tuple<index_t, index_t>>> {
+};
+
+void run_variant(int variant, la::MatrixView a) {
+  switch (variant) {
+    case 0: lu_nopiv_unblocked(a); break;
+    case 1: lu_nopiv_blocked(a, 8); break;
+    case 2: lu_nopiv_blocked(a, 13); break;
+    case 3: lu_nopiv_recursive(a, 4); break;
+    default: FAIL();
+  }
+}
+
+TEST_P(LuVariantTest, FactorsDiagonallyDominantMatrix) {
+  const auto [variant, shape] = GetParam();
+  const auto [m, n] = shape;
+  // Build a tall diagonally dominant matrix: dominant square on top.
+  la::Matrix a = la::random_uniform(m, n, 31);
+  for (index_t j = 0; j < n; ++j) a(j, j) += static_cast<float>(n) + 2.0f;
+  la::Matrix original = la::materialize(a.view());
+
+  run_variant(variant, a.view());
+  EXPECT_LT(lu_residual(original.view(), a.view()), 1e-5)
+      << "variant " << variant;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LuVariantTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(std::tuple<index_t, index_t>{1, 1},
+                                         std::tuple<index_t, index_t>{16, 16},
+                                         std::tuple<index_t, index_t>{50, 50},
+                                         std::tuple<index_t, index_t>{80, 40},
+                                         std::tuple<index_t, index_t>{65, 33})));
+
+TEST(LuIncore, VariantsAgreeExactlyOnStructure) {
+  // The factorization is unique (no pivoting), so all variants agree to
+  // fp32 rounding.
+  la::Matrix a = la::random_diagonally_dominant(48, 7);
+  la::Matrix u1 = la::materialize(a.view());
+  la::Matrix u2 = la::materialize(a.view());
+  la::Matrix u3 = la::materialize(a.view());
+  lu_nopiv_unblocked(u1.view());
+  lu_nopiv_blocked(u2.view(), 8);
+  lu_nopiv_recursive(u3.view(), 4);
+  EXPECT_LT(la::relative_difference(u2.view(), u1.view()), 1e-5);
+  EXPECT_LT(la::relative_difference(u3.view(), u1.view()), 1e-5);
+}
+
+TEST(LuIncore, ZeroPivotThrows) {
+  la::Matrix a(3, 3); // all zeros
+  EXPECT_THROW(lu_nopiv_unblocked(a.view()), InvalidArgument);
+  la::Matrix wide(2, 3);
+  EXPECT_THROW(lu_nopiv_unblocked(wide.view()), InvalidArgument);
+  la::Matrix ok = la::random_diagonally_dominant(4, 1);
+  EXPECT_THROW(lu_nopiv_blocked(ok.view(), 0), InvalidArgument);
+  EXPECT_THROW(lu_nopiv_recursive(ok.view(), 0), InvalidArgument);
+}
+
+TEST(LuIncore, PartialPivotingHandlesZeroLeadingPivot) {
+  la::Matrix a(3, 3);
+  a(0, 0) = 0.0f;
+  a(1, 0) = 2.0f;
+  a(2, 0) = 1.0f;
+  a(0, 1) = 1.0f;
+  a(1, 1) = 1.0f;
+  a(2, 1) = 3.0f;
+  a(0, 2) = 2.0f;
+  a(1, 2) = 0.0f;
+  a(2, 2) = 1.0f;
+  la::Matrix original = la::materialize(a.view());
+  std::vector<index_t> perm;
+  lu_partial_unblocked(a.view(), perm);
+  // Check P A = L U row by row through the permutation.
+  la::Matrix permuted(3, 3);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      permuted(i, j) = original(perm[static_cast<size_t>(i)], j);
+    }
+  }
+  EXPECT_LT(lu_residual(permuted.view(), a.view()), 1e-6);
+}
+
+TEST(LuIncore, PivotingBeatsNoPivotOnHardMatrix) {
+  // Small leading pivot: no-pivot LU amplifies error, partial pivoting is
+  // stable.
+  const index_t n = 24;
+  la::Matrix a = la::random_uniform(n, n, 77);
+  for (index_t j = 0; j < n; ++j) a(j, j) += 3.0f;
+  a(0, 0) = 1e-6f; // nearly-singular leading pivot
+  la::Matrix original = la::materialize(a.view());
+
+  la::Matrix nopiv = la::materialize(a.view());
+  lu_nopiv_unblocked(nopiv.view());
+  const double res_nopiv = lu_residual(original.view(), nopiv.view());
+
+  la::Matrix piv = la::materialize(a.view());
+  std::vector<index_t> perm;
+  lu_partial_unblocked(piv.view(), perm);
+  la::Matrix permuted(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      permuted(i, j) = original(perm[static_cast<size_t>(i)], j);
+    }
+  }
+  const double res_piv = lu_residual(permuted.view(), piv.view());
+  EXPECT_LT(res_piv, 1e-5);
+  EXPECT_GT(res_nopiv, res_piv);
+}
+
+TEST(LuIncore, SolveRecoversKnownSolution) {
+  const index_t n = 32;
+  la::Matrix a = la::random_diagonally_dominant(n, 9);
+  la::Matrix x_true = la::random_uniform(n, 3, 10);
+  la::Matrix b(n, 3);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, n, 3, n, 1.0f, a.data(),
+             a.ld(), x_true.data(), x_true.ld(), 0.0f, b.data(), b.ld());
+  lu_nopiv_recursive(a.view(), 8);
+  lu_solve_inplace(a.view(), b.view());
+  EXPECT_LT(la::relative_difference(b.view(), x_true.view()), 1e-4);
+}
+
+TEST(LuIncore, Fp16UpdatesDegradeGracefully) {
+  la::Matrix a = la::random_diagonally_dominant(64, 11);
+  la::Matrix original = la::materialize(a.view());
+  la::Matrix f16 = la::materialize(a.view());
+  lu_nopiv_recursive(a.view(), 8, GemmPrecision::FP32);
+  lu_nopiv_recursive(f16.view(), 8, GemmPrecision::FP16_FP32);
+  const double res32 = lu_residual(original.view(), a.view());
+  const double res16 = lu_residual(original.view(), f16.view());
+  EXPECT_LT(res32, 1e-6);
+  EXPECT_LT(res16, 5e-3);
+  EXPECT_GE(res16, res32);
+}
+
+TEST(CholeskyIncore, RecursiveMatchesUnblocked) {
+  la::Matrix a = la::random_spd(40, 12);
+  la::Matrix r1 = la::materialize(a.view());
+  la::cholesky_upper(r1.view());
+  la::Matrix r2 = la::materialize(a.view());
+  cholesky_recursive(r2.view(), 8);
+  EXPECT_LT(la::relative_difference(r2.view(), r1.view()), 1e-5);
+  EXPECT_TRUE(la::is_upper_triangular(r2.view()));
+  EXPECT_LT(cholesky_residual(a.view(), r2.view()), 1e-5);
+}
+
+TEST(CholeskyIncore, RecursiveAcrossSizesAndBases) {
+  for (index_t n : {1, 2, 7, 16, 33, 64}) {
+    la::Matrix a = la::random_spd(n, 100 + static_cast<std::uint64_t>(n));
+    la::Matrix r = la::materialize(a.view());
+    cholesky_recursive(r.view(), 4);
+    EXPECT_LT(cholesky_residual(a.view(), r.view()), 1e-5) << "n=" << n;
+  }
+}
+
+TEST(CholeskyIncore, RejectsIndefinite) {
+  la::Matrix a = la::identity(4);
+  a(2, 2) = -1.0f;
+  EXPECT_THROW(cholesky_recursive(a.view(), 2), InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr::lu

@@ -1,0 +1,263 @@
+// Multi-GPU OOC GEMM and the shared-PCIe-link model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "blas/gemm.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "ooc/multi_gpu.hpp"
+#include "qr/multi_gpu_qr.hpp"
+#include "ooc/operand.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::ooc {
+namespace {
+
+using blas::GemmPrecision;
+using blas::Op;
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec() {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = 256LL << 20;
+  return s;
+}
+
+TEST(SharedHostLink, SerializesTransfersAcrossDevices) {
+  auto link = std::make_shared<sim::SharedHostLink>();
+  Device d0(test_spec(), ExecutionMode::Phantom, link);
+  Device d1(test_spec(), ExecutionMode::Phantom, link);
+  auto m0 = d0.allocate(2048, 2048);
+  auto m1 = d1.allocate(2048, 2048);
+  sim::Stream s0 = d0.create_stream();
+  sim::Stream s1 = d1.create_stream();
+  d0.copy_h2d(m0, sim::HostConstRef::phantom(2048, 2048), s0);
+  d1.copy_h2d(m1, sim::HostConstRef::phantom(2048, 2048), s1);
+  // The second device's upload queues behind the first on the shared link.
+  const auto& e0 = d0.trace().events().front();
+  const auto& e1 = d1.trace().events().front();
+  EXPECT_GE(e1.start, e0.end);
+
+  // Dedicated links: both start at time zero.
+  Device i0(test_spec(), ExecutionMode::Phantom);
+  Device i1(test_spec(), ExecutionMode::Phantom);
+  auto n0 = i0.allocate(2048, 2048);
+  auto n1 = i1.allocate(2048, 2048);
+  sim::Stream t0 = i0.create_stream();
+  sim::Stream t1 = i1.create_stream();
+  i0.copy_h2d(n0, sim::HostConstRef::phantom(2048, 2048), t0);
+  i1.copy_h2d(n1, sim::HostConstRef::phantom(2048, 2048), t1);
+  EXPECT_DOUBLE_EQ(i0.trace().events().front().start, 0.0);
+  EXPECT_DOUBLE_EQ(i1.trace().events().front().start, 0.0);
+  // Compute engines are never shared.
+  EXPECT_DOUBLE_EQ(e0.start, 0.0);
+}
+
+TEST(MultiGpu, TwoDevicesMatchHostGemm) {
+  const index_t m = 160;
+  const index_t k = 32;
+  const index_t n = 48;
+  la::Matrix a = la::random_uniform(m, k, 1);
+  la::Matrix b = la::random_uniform(k, n, 2);
+  la::Matrix c0 = la::random_uniform(m, n, 3);
+  la::Matrix c = la::materialize(c0.view());
+
+  Device d0(test_spec(), ExecutionMode::Real);
+  Device d1(test_spec(), ExecutionMode::Real);
+  OocGemmOptions opts;
+  opts.blocksize = 16;
+  opts.precision = GemmPrecision::FP32;
+  const auto result = multi_gpu_outer_product(
+      {&d0, &d1}, a.view(), b.view(), sim::as_const(c.view()), c.view(),
+      opts);
+
+  la::Matrix expected = la::materialize(c0.view());
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k, -1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 1.0f, expected.data(), expected.ld());
+  EXPECT_LT(la::relative_difference(c.view(), expected.view()), 1e-4);
+  EXPECT_EQ(result.per_device.size(), 2u);
+  EXPECT_GT(result.makespan, 0.0);
+  // Both devices did real work.
+  EXPECT_GT(d0.trace().total_flops(), 0);
+  EXPECT_GT(d1.trace().total_flops(), 0);
+}
+
+TEST(MultiGpu, SingleDeviceDegeneratesToPlainEngine) {
+  const index_t m = 96;
+  const index_t k = 16;
+  const index_t n = 32;
+  la::Matrix a = la::random_uniform(m, k, 4);
+  la::Matrix b = la::random_uniform(k, n, 5);
+  la::Matrix c0 = la::random_uniform(m, n, 6);
+
+  la::Matrix c_multi = la::materialize(c0.view());
+  Device d(test_spec(), ExecutionMode::Real);
+  OocGemmOptions opts;
+  opts.blocksize = 16;
+  opts.precision = GemmPrecision::FP32;
+  multi_gpu_outer_product({&d}, a.view(), b.view(),
+                          sim::as_const(c_multi.view()), c_multi.view(), opts);
+
+  la::Matrix c_single = la::materialize(c0.view());
+  Device d2(test_spec(), ExecutionMode::Real);
+  outer_product_recursive(d2, Operand::on_host(a.view()),
+                          Operand::on_host(b.view()),
+                          sim::as_const(c_single.view()), c_single.view(),
+                          opts);
+  d2.synchronize();
+  EXPECT_EQ(la::relative_difference(c_multi.view(), c_single.view()), 0.0);
+}
+
+TEST(MultiGpu, DedicatedLinksScaleComputeBoundWork) {
+  // Compute-bound shape: 2 GPUs with dedicated links ~ 2x; with one shared
+  // link the movement serializes and scaling degrades.
+  const auto run = [&](int gpus, bool shared) {
+    auto link = shared ? std::make_shared<sim::SharedHostLink>() : nullptr;
+    std::vector<std::unique_ptr<Device>> owned;
+    std::vector<Device*> devs;
+    for (int i = 0; i < gpus; ++i) {
+      owned.push_back(std::make_unique<Device>(sim::DeviceSpec::v100_32gb(),
+                                               ExecutionMode::Phantom, link));
+      owned.back()->model().install_paper_calibration();
+      devs.push_back(owned.back().get());
+    }
+    OocGemmOptions opts;
+    opts.blocksize = 8192;
+    const auto result = multi_gpu_outer_product(
+        devs, sim::HostConstRef::phantom(131072, 65536),
+        sim::HostConstRef::phantom(65536, 65536),
+        sim::HostConstRef::phantom(131072, 65536),
+        sim::HostMutRef::phantom(131072, 65536), opts);
+    return result.makespan;
+  };
+  const double one = run(1, false);
+  const double two_dedicated = run(2, false);
+  const double two_shared = run(2, true);
+  EXPECT_LT(two_dedicated, 0.62 * one); // near-linear scaling
+  EXPECT_GT(two_shared, two_dedicated); // PCIe contention costs something
+  // The honest multi-GPU OOC result: on ONE shared link, the serialized
+  // transfers (A + C + a replicated B per device) exceed the halved compute,
+  // so the second GPU buys almost nothing — the scheduling problem BLASX
+  // (§2.2) exists to attack.
+  EXPECT_GT(two_shared, 0.85 * one);
+  EXPECT_LT(two_shared, 1.2 * one);
+}
+
+TEST(MultiGpu, SharedLinkRealModeStaysCorrect) {
+  // PCIe contention changes the schedule, never the numerics.
+  const index_t m = 128;
+  const index_t k = 24;
+  const index_t n = 40;
+  la::Matrix a = la::random_uniform(m, k, 61);
+  la::Matrix b = la::random_uniform(k, n, 62);
+  la::Matrix c0 = la::random_uniform(m, n, 63);
+  la::Matrix c = la::materialize(c0.view());
+
+  auto link = std::make_shared<sim::SharedHostLink>();
+  Device d0(test_spec(), ExecutionMode::Real, link);
+  Device d1(test_spec(), ExecutionMode::Real, link);
+  OocGemmOptions opts;
+  opts.blocksize = 16;
+  opts.precision = GemmPrecision::FP32;
+  multi_gpu_outer_product({&d0, &d1}, a.view(), b.view(),
+                          sim::as_const(c.view()), c.view(), opts);
+
+  la::Matrix expected = la::materialize(c0.view());
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k, -1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 1.0f, expected.data(), expected.ld());
+  EXPECT_LT(la::relative_difference(c.view(), expected.view()), 1e-4);
+  // Contention is visible in the schedule: combined H2D busy equals the
+  // serialized sum (the shared link never overlaps transfers).
+  std::vector<std::pair<sim_time_t, sim_time_t>> intervals;
+  for (const Device* dev : {&d0, &d1}) {
+    for (const auto& e : dev->trace().events()) {
+      if (e.resource == sim::Resource::H2D) {
+        intervals.push_back({e.start, e.end});
+      }
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-12)
+        << "shared H2D link double-booked";
+  }
+}
+
+TEST(MultiGpuQr, TwoDevicesMatchSingleDeviceFactorization) {
+  const index_t m = 160;
+  const index_t n = 96;
+  la::Matrix a = la::random_normal(m, n, 71);
+
+  qr::QrOptions opts;
+  opts.blocksize = 32;
+  opts.panel_base = 8;
+  opts.precision = GemmPrecision::FP32;
+
+  Device d0(test_spec(), ExecutionMode::Real);
+  Device d1(test_spec(), ExecutionMode::Real);
+  la::Matrix q2 = la::materialize(a.view());
+  la::Matrix r2(n, n);
+  const qr::QrStats stats =
+      qr::multi_gpu_blocking_qr({&d0, &d1}, q2.view(), r2.view(), opts);
+
+  Device single(test_spec(), ExecutionMode::Real);
+  la::Matrix q1 = la::materialize(a.view());
+  la::Matrix r1(n, n);
+  qr::multi_gpu_blocking_qr({&single}, q1.view(), r1.view(), opts);
+
+  // Same arithmetic, same results; both valid factorizations.
+  EXPECT_LT(la::relative_difference(q2.view(), q1.view()), 1e-5);
+  EXPECT_LT(la::relative_difference(r2.view(), r1.view()), 1e-5);
+  EXPECT_LT(la::qr_residual(a.view(), q2.view(), r2.view()), 1e-4);
+  EXPECT_TRUE(la::is_upper_triangular(r2.view()));
+  EXPECT_GT(stats.panels, 0);
+  EXPECT_EQ(d0.live_allocations(), 0);
+  EXPECT_EQ(d1.live_allocations(), 0);
+}
+
+TEST(MultiGpuQr, DedicatedLinksSpeedUpTheTrailingUpdates) {
+  const auto run = [&](int gpus) {
+    std::vector<std::unique_ptr<Device>> owned;
+    std::vector<Device*> devs;
+    for (int i = 0; i < gpus; ++i) {
+      owned.push_back(std::make_unique<Device>(sim::DeviceSpec::v100_32gb(),
+                                               ExecutionMode::Phantom));
+      owned.back()->model().install_paper_calibration();
+      devs.push_back(owned.back().get());
+    }
+    qr::QrOptions opts;
+    opts.blocksize = 16384;
+    auto a = sim::HostMutRef::phantom(131072, 131072);
+    auto r = sim::HostMutRef::phantom(131072, 131072);
+    return qr::multi_gpu_blocking_qr(devs, a, r, opts).total_seconds;
+  };
+  const double one = run(1);
+  const double two = run(2);
+  // Panels stay serial on device 0 (Amdahl), updates halve: clearly faster
+  // but below 2x.
+  EXPECT_LT(two, 0.85 * one);
+  EXPECT_GT(two, 0.5 * one);
+}
+
+TEST(MultiGpu, RejectsBadConfigurations) {
+  Device d(test_spec(), ExecutionMode::Phantom);
+  OocGemmOptions opts;
+  EXPECT_THROW(multi_gpu_outer_product({}, sim::HostConstRef::phantom(8, 4),
+                                       sim::HostConstRef::phantom(4, 8),
+                                       sim::HostConstRef::phantom(8, 8),
+                                       sim::HostMutRef::phantom(8, 8), opts),
+               InvalidArgument);
+  EXPECT_THROW(
+      multi_gpu_outer_product({&d}, sim::HostConstRef::phantom(8, 4),
+                              sim::HostConstRef::phantom(5, 8),
+                              sim::HostConstRef::phantom(8, 8),
+                              sim::HostMutRef::phantom(8, 8), opts),
+      InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr::ooc

@@ -1,0 +1,112 @@
+// §3.2 analytic data-movement model: the paper's closed forms vs their own
+// per-iteration sums, and the blocking-vs-recursive asymptotics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ooc/movement_model.hpp"
+
+namespace rocqr::ooc {
+namespace {
+
+TEST(MovementModel, PanelCount) {
+  EXPECT_EQ(panel_count(131072, 16384), 8);
+  EXPECT_EQ(panel_count(64, 64), 1);
+  EXPECT_THROW(panel_count(100, 32), rocqr::InvalidArgument);
+  EXPECT_THROW(panel_count(0, 32), rocqr::InvalidArgument);
+  EXPECT_THROW(panel_count(32, 0), rocqr::InvalidArgument);
+}
+
+TEST(MovementModel, BlockingClosedFormsMatchSums) {
+  // The paper's printed closed forms for the blocking algorithm simplify
+  // exactly from the per-iteration sums.
+  const index_t sizes[][3] = {
+      {131072, 131072, 16384}, {65536, 65536, 8192},   {262144, 65536, 8192},
+      {131072, 131072, 8192},  {32768, 16384, 4096},   {8192, 8192, 1024},
+  };
+  for (const auto& s : sizes) {
+    const double h2d_sum = blocking_h2d_words_sum(s[0], s[1], s[2]);
+    const double h2d_cf = blocking_h2d_words(s[0], s[1], s[2]);
+    EXPECT_NEAR(h2d_cf / h2d_sum, 1.0, 1e-12) << s[0] << "x" << s[1];
+    const double d2h_sum = blocking_d2h_words_sum(s[0], s[1], s[2]);
+    const double d2h_cf = blocking_d2h_words(s[0], s[1], s[2]);
+    EXPECT_NEAR(d2h_cf / d2h_sum, 1.0, 1e-12) << s[0] << "x" << s[1];
+  }
+}
+
+TEST(MovementModel, RecursiveClosedFormNearItsSum) {
+  // The paper's recursive closed form does not simplify exactly from its own
+  // level sum (a known inconsistency); both must agree within a factor ~2
+  // and share the log(k)·mn growth.
+  const index_t sizes[][3] = {
+      {131072, 131072, 16384}, {65536, 65536, 8192}, {262144, 65536, 8192}};
+  for (const auto& s : sizes) {
+    const double sum = recursive_h2d_words_sum(s[0], s[1], s[2]);
+    const double cf = recursive_h2d_words(s[0], s[1], s[2]);
+    EXPECT_GT(cf / sum, 0.5);
+    EXPECT_LT(cf / sum, 2.5);
+    EXPECT_DOUBLE_EQ(recursive_d2h_words(s[0], s[1], s[2]),
+                     recursive_d2h_words_sum(s[0], s[1], s[2]));
+  }
+}
+
+TEST(MovementModel, RecursiveMovesLessThanBlocking) {
+  // The paper's central §3.2 claim: recursive ~ log k, blocking ~ k.
+  for (index_t b : {4096, 8192, 16384}) {
+    const index_t n = 131072;
+    EXPECT_LT(recursive_h2d_words(n, n, b), blocking_h2d_words(n, n, b)) << b;
+    EXPECT_LT(recursive_d2h_words(n, n, b), blocking_d2h_words(n, n, b)) << b;
+    EXPECT_LT(recursive_h2d_words_sum(n, n, b),
+              blocking_h2d_words_sum(n, n, b))
+        << b;
+  }
+}
+
+TEST(MovementModel, GapGrowsWithPanelCount) {
+  const index_t n = 131072;
+  double prev_ratio = 0.0;
+  for (index_t b : {32768, 16384, 8192, 4096, 2048}) {
+    const double ratio =
+        blocking_h2d_words(n, n, b) / recursive_h2d_words(n, n, b);
+    EXPECT_GT(ratio, prev_ratio) << "b=" << b; // more panels => bigger gap
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 4.0); // at k=64 the gap is substantial
+}
+
+TEST(MovementModel, ScalesLinearlyInRows) {
+  // Both models are linear in m for fixed n, b.
+  const index_t n = 65536;
+  const index_t b = 8192;
+  const double b1 = blocking_h2d_words(65536, n, b);
+  const double b2 = blocking_h2d_words(131072, n, b);
+  const double r1 = recursive_h2d_words(65536, n, b);
+  const double r2 = recursive_h2d_words(131072, n, b);
+  EXPECT_GT(b2, b1 * 1.8);
+  EXPECT_LT(b2, b1 * 2.2);
+  EXPECT_GT(r2, r1 * 1.8);
+  EXPECT_LT(r2, r1 * 2.2);
+}
+
+TEST(MovementModel, PaperScaleSanity) {
+  // At the paper's headline size (131072^2, b=16384) the model predicts
+  // several hundred gigabytes H2D for both algorithms; with fp32 words at
+  // 13 GB/s this is the right order for Table 3's 37.9 s vs 47.2 s.
+  const double words_r = recursive_h2d_words(131072, 131072, 16384);
+  const double words_b = blocking_h2d_words(131072, 131072, 16384);
+  const double secs_r = words_r * 4 / 13e9;
+  const double secs_b = words_b * 4 / 13e9;
+  EXPECT_GT(secs_r, 20.0);
+  EXPECT_LT(secs_r, 70.0);
+  EXPECT_GT(secs_b, secs_r);
+  EXPECT_LT(secs_b, 120.0);
+}
+
+TEST(MovementModel, RecursiveRequiresPowerOfTwoPanels) {
+  EXPECT_NO_THROW(recursive_h2d_words(1024, 1024, 128));
+  EXPECT_THROW(recursive_h2d_words(1024, 768, 128), rocqr::InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr::ooc

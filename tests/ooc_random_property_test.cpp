@@ -1,0 +1,133 @@
+// Randomized property testing of the OOC GEMM engines: for random shapes,
+// blocksizes and pipeline options, every engine must match the host BLAS
+// and clean up after itself. Complements the hand-picked cases in
+// ooc_gemm_test with breadth.
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/ooc_gemm.hpp"
+#include "ooc/operand.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::ooc {
+namespace {
+
+using blas::GemmPrecision;
+using blas::Op;
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec() {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = 512LL << 20;
+  return s;
+}
+
+OocGemmOptions random_options(Rng& rng) {
+  OocGemmOptions opts;
+  opts.blocksize = 8 + rng.below(120);
+  opts.pipeline_depth = 1 + static_cast<int>(rng.below(3));
+  opts.staging_buffer = rng.below(2) == 0;
+  opts.ramp_up = rng.below(3) == 0;
+  opts.ramp_start = 4 + rng.below(opts.blocksize > 4 ? opts.blocksize - 4 : 1);
+  opts.precision = GemmPrecision::FP32;
+  return opts;
+}
+
+TEST(OocRandomProperty, InnerEnginesMatchHost) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const index_t k = 32 + rng.below(200);
+    const index_t m = 8 + rng.below(80);
+    const index_t n = 8 + rng.below(80);
+    la::Matrix a = la::random_uniform(k, m, seed * 3 + 1);
+    la::Matrix b = la::random_uniform(k, n, seed * 3 + 2);
+    la::Matrix expected(m, n);
+    blas::gemm(Op::Trans, Op::NoTrans, m, n, k, 1.0f, a.data(), a.ld(),
+               b.data(), b.ld(), 0.0f, expected.data(), expected.ld());
+
+    Device dev(test_spec(), ExecutionMode::Real);
+    OocGemmOptions opts = random_options(rng);
+    la::Matrix c(m, n);
+    if (rng.below(2) == 0) {
+      if (rng.below(2) == 0) {
+        opts.c_panel_cols = 1 + rng.below(n);
+      }
+      inner_product_recursive(dev, Operand::on_host(a.view()),
+                              Operand::on_host(b.view()), c.view(), opts);
+    } else {
+      inner_product_blocking(dev, Operand::on_host(a.view()),
+                             Operand::on_host(b.view()), c.view(), opts);
+    }
+    dev.synchronize();
+    ASSERT_LT(la::relative_difference(c.view(), expected.view()), 1e-4)
+        << "seed " << seed;
+    ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+  }
+}
+
+TEST(OocRandomProperty, GeneralGemmMatchesHost) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed + 100);
+    const index_t m = 8 + rng.below(100);
+    const index_t n = 8 + rng.below(100);
+    const index_t k = 8 + rng.below(60);
+    const Op opa = rng.below(2) == 0 ? Op::NoTrans : Op::Trans;
+    const Op opb = rng.below(2) == 0 ? Op::NoTrans : Op::Trans;
+    const float alpha = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const float beta =
+        rng.below(3) == 0 ? 0.0f : static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    la::Matrix a = opa == Op::NoTrans ? la::random_uniform(m, k, seed * 5 + 1)
+                                      : la::random_uniform(k, m, seed * 5 + 1);
+    la::Matrix b = opb == Op::NoTrans ? la::random_uniform(k, n, seed * 5 + 2)
+                                      : la::random_uniform(n, k, seed * 5 + 2);
+    la::Matrix c0 = la::random_uniform(m, n, seed * 5 + 3);
+    la::Matrix c = la::materialize(c0.view());
+    la::Matrix expected = la::materialize(c0.view());
+    blas::gemm(opa, opb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+               beta, expected.data(), expected.ld());
+
+    Device dev(test_spec(), ExecutionMode::Real);
+    OocGemmOptions opts = random_options(rng);
+    ooc_gemm(dev, opa, opb, alpha, a.view(), b.view(), beta,
+             sim::as_const(c.view()), c.view(), opts);
+    dev.synchronize();
+    ASSERT_LT(la::relative_difference(c.view(), expected.view()), 1e-4)
+        << "seed " << seed << " opa=" << static_cast<int>(opa)
+        << " opb=" << static_cast<int>(opb) << " alpha=" << alpha
+        << " beta=" << beta;
+    ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+  }
+}
+
+TEST(OocRandomProperty, AsyncNeverSlowerThanSynchronous) {
+  // Property over random phantom workloads: pipelining can only help.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed + 500);
+    const index_t m = 1024 * (1 + rng.below(8));
+    const index_t n = 1024 * (1 + rng.below(8));
+    const index_t k = 4096 * (1 + rng.below(8));
+    const index_t bs = 512 << rng.below(3);
+    const auto run = [&](bool synchronous) {
+      Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+      OocGemmOptions opts;
+      opts.blocksize = bs;
+      opts.synchronous = synchronous;
+      inner_product_recursive(
+          dev, Operand::on_host(sim::HostConstRef::phantom(k, m)),
+          Operand::on_host(sim::HostConstRef::phantom(k, n)),
+          sim::HostMutRef::phantom(m, n), opts);
+      dev.synchronize();
+      return dev.makespan();
+    };
+    EXPECT_LE(run(false), run(true) * 1.0000001) << "seed " << seed;
+  }
+}
+
+} // namespace
+} // namespace rocqr::ooc

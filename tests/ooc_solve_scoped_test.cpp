@@ -1,0 +1,134 @@
+// The out-of-core least-squares library operation and the ScopedMatrix
+// RAII guard (including OOM exception-safety).
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/ooc_solve.hpp"
+#include "sim/device.hpp"
+#include "sim/scoped_matrix.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec(bytes_t capacity = 512LL << 20) {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = capacity;
+  return s;
+}
+
+TEST(OocLeastSquares, SolvesConsistentSystem) {
+  const index_t m = 320;
+  const index_t n = 96;
+  const index_t nrhs = 3;
+  la::Matrix a = la::random_with_condition(m, n, 50.0, 41);
+  la::Matrix x_true = la::random_uniform(n, nrhs, 42);
+  la::Matrix b(m, nrhs);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m, nrhs, n, 1.0f, a.data(),
+             a.ld(), x_true.data(), x_true.ld(), 0.0f, b.data(), b.ld());
+
+  Device dev(test_spec(), ExecutionMode::Real);
+  qr::QrOptions opts;
+  opts.blocksize = 32;
+  opts.panel_base = 8;
+  opts.precision = blas::GemmPrecision::FP32;
+  la::Matrix q = la::materialize(a.view());
+  la::Matrix r(n, n);
+  la::Matrix x(n, nrhs);
+  const qr::OocLsStats stats = qr::ooc_least_squares(
+      dev, q.view(), r.view(), sim::as_const(b.view()), x.view(), opts);
+
+  EXPECT_LT(la::relative_difference(x.view(), x_true.view()), 1e-3);
+  EXPECT_GT(stats.total_seconds, stats.factor.total_seconds * 0.99);
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(OocLeastSquares, PhantomScaleSchedules) {
+  auto dev = Device(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  dev.model().install_paper_calibration();
+  qr::QrOptions opts;
+  opts.blocksize = 16384;
+  auto a = sim::HostMutRef::phantom(131072, 65536);
+  auto r = sim::HostMutRef::phantom(65536, 65536);
+  auto b = sim::HostConstRef::phantom(131072, 16);
+  auto x = sim::HostMutRef::phantom(65536, 16);
+  const qr::OocLsStats stats = qr::ooc_least_squares(dev, a, r, b, x, opts);
+  EXPECT_GT(stats.total_seconds, stats.factor.total_seconds);
+  // The apply/solve tail is small next to the factorization.
+  EXPECT_LT(stats.total_seconds, stats.factor.total_seconds * 1.5);
+}
+
+TEST(OocLeastSquares, RejectsBadShapes) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  qr::QrOptions opts;
+  auto a = sim::HostMutRef::phantom(64, 32);
+  auto r = sim::HostMutRef::phantom(32, 32);
+  EXPECT_THROW(qr::ooc_least_squares(dev, a, r,
+                                     sim::HostConstRef::phantom(63, 2),
+                                     sim::HostMutRef::phantom(32, 2), opts),
+               InvalidArgument);
+  EXPECT_THROW(qr::ooc_least_squares(dev, a, r,
+                                     sim::HostConstRef::phantom(64, 2),
+                                     sim::HostMutRef::phantom(30, 2), opts),
+               InvalidArgument);
+}
+
+TEST(ScopedMatrix, FreesOnScopeExit) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  {
+    sim::ScopedMatrix m(dev, 64, 64);
+    EXPECT_TRUE(m.valid());
+    EXPECT_EQ(dev.live_allocations(), 1);
+  }
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(ScopedMatrix, MoveTransfersOwnership) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  sim::ScopedMatrix a(dev, 32, 32);
+  sim::ScopedMatrix b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dev.live_allocations(), 1);
+  sim::ScopedMatrix c(dev, 16, 16);
+  c = std::move(b);
+  EXPECT_EQ(dev.live_allocations(), 1); // c's old matrix freed by the move
+  c.reset();
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(ScopedMatrix, ReleaseKeepsAllocationAlive) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  sim::DeviceMatrix raw;
+  {
+    sim::ScopedMatrix m(dev, 8, 8);
+    raw = m.release();
+  }
+  EXPECT_EQ(dev.live_allocations(), 1);
+  dev.free(raw);
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(ScopedMatrix, ExceptionSafetyOnMidSequenceOom) {
+  // Allocate until OOM inside a scope: everything allocated before the
+  // throw is reclaimed automatically.
+  Device dev(test_spec(1 << 20), ExecutionMode::Phantom); // 1 MiB
+  EXPECT_THROW(
+      {
+        sim::ScopedMatrix a(dev, 256, 256); // 256 KiB
+        sim::ScopedMatrix b(dev, 256, 256);
+        sim::ScopedMatrix c(dev, 256, 256);
+        sim::ScopedMatrix d(dev, 512, 512); // 1 MiB: throws
+      },
+      DeviceOutOfMemory);
+  EXPECT_EQ(dev.live_allocations(), 0);
+  EXPECT_EQ(dev.memory_used(), 0);
+}
+
+} // namespace
+} // namespace rocqr

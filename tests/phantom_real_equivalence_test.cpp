@@ -1,0 +1,135 @@
+// The central simulator contract: ExecutionMode::Phantom computes exactly
+// the schedule that ExecutionMode::Real does — event for event, timestamp
+// for timestamp. This is what justifies running the paper-scale experiments
+// with phantom buffers.
+#include <gtest/gtest.h>
+
+#include "la/generate.hpp"
+#include "lu/ooc_cholesky.hpp"
+#include "lu/ooc_lu.hpp"
+#include "ooc/gemm_engines.hpp"
+#include "ooc/operand.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec spec() {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = 256LL << 20;
+  return s;
+}
+
+void expect_identical_traces(const sim::Trace& real, const sim::Trace& phantom) {
+  ASSERT_EQ(real.size(), phantom.size());
+  const auto& re = real.events();
+  const auto& pe = phantom.events();
+  for (size_t i = 0; i < re.size(); ++i) {
+    EXPECT_EQ(re[i].name, pe[i].name) << i;
+    EXPECT_EQ(re[i].kind, pe[i].kind) << i;
+    EXPECT_EQ(re[i].resource, pe[i].resource) << i;
+    EXPECT_EQ(re[i].stream, pe[i].stream) << i;
+    EXPECT_DOUBLE_EQ(re[i].start, pe[i].start) << i << " " << re[i].name;
+    EXPECT_DOUBLE_EQ(re[i].end, pe[i].end) << i << " " << re[i].name;
+    EXPECT_EQ(re[i].bytes, pe[i].bytes) << i;
+    EXPECT_EQ(re[i].flops, pe[i].flops) << i;
+  }
+}
+
+TEST(PhantomRealEquivalence, OocGemmEngines) {
+  const index_t m = 96;
+  const index_t k = 160;
+  const index_t n = 80;
+  la::Matrix a = la::random_uniform(k, m, 1);
+  la::Matrix b = la::random_uniform(k, n, 2);
+  la::Matrix c(m, n);
+
+  Device real(spec(), ExecutionMode::Real);
+  Device phantom(spec(), ExecutionMode::Phantom);
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 32;
+  opts.ramp_up = true;
+  opts.ramp_start = 8;
+  ooc::inner_product_recursive(real, ooc::Operand::on_host(a.view()),
+                               ooc::Operand::on_host(b.view()), c.view(),
+                               opts);
+  ooc::inner_product_recursive(
+      phantom, ooc::Operand::on_host(sim::HostConstRef::phantom(k, m)),
+      ooc::Operand::on_host(sim::HostConstRef::phantom(k, n)),
+      sim::HostMutRef::phantom(m, n), opts);
+  expect_identical_traces(real.trace(), phantom.trace());
+}
+
+TEST(PhantomRealEquivalence, RecursiveQr) {
+  const index_t m = 128;
+  const index_t n = 96;
+  la::Matrix a = la::random_normal(m, n, 3);
+  la::Matrix r(n, n);
+  qr::QrOptions opts;
+  opts.blocksize = 32;
+  opts.panel_base = 8;
+  opts.ramp_up = true;
+  opts.ramp_start = 8;
+
+  Device real(spec(), ExecutionMode::Real);
+  qr::recursive_ooc_qr(real, a.view(), r.view(), opts);
+
+  Device phantom(spec(), ExecutionMode::Phantom);
+  auto pa = sim::HostMutRef::phantom(m, n);
+  auto pr = sim::HostMutRef::phantom(n, n);
+  qr::recursive_ooc_qr(phantom, pa, pr, opts);
+  expect_identical_traces(real.trace(), phantom.trace());
+}
+
+TEST(PhantomRealEquivalence, BlockingQr) {
+  const index_t m = 120;
+  const index_t n = 72;
+  la::Matrix a = la::random_normal(m, n, 4);
+  la::Matrix r(n, n);
+  qr::QrOptions opts;
+  opts.blocksize = 24;
+  opts.panel_base = 8;
+
+  Device real(spec(), ExecutionMode::Real);
+  qr::blocking_ooc_qr(real, a.view(), r.view(), opts);
+
+  Device phantom(spec(), ExecutionMode::Phantom);
+  auto pa = sim::HostMutRef::phantom(m, n);
+  auto pr = sim::HostMutRef::phantom(n, n);
+  qr::blocking_ooc_qr(phantom, pa, pr, opts);
+  expect_identical_traces(real.trace(), phantom.trace());
+}
+
+TEST(PhantomRealEquivalence, LuAndCholesky) {
+  const index_t n = 96;
+  lu::FactorOptions opts;
+  opts.blocksize = 32;
+  opts.panel_base = 8;
+
+  {
+    la::Matrix a = la::random_diagonally_dominant(n, 5);
+    Device real(spec(), ExecutionMode::Real);
+    lu::recursive_ooc_lu(real, a.view(), opts);
+    Device phantom(spec(), ExecutionMode::Phantom);
+    auto pa = sim::HostMutRef::phantom(n, n);
+    lu::recursive_ooc_lu(phantom, pa, opts);
+    expect_identical_traces(real.trace(), phantom.trace());
+  }
+  {
+    la::Matrix a = la::random_spd(n, 6);
+    Device real(spec(), ExecutionMode::Real);
+    lu::blocking_ooc_cholesky(real, a.view(), opts);
+    Device phantom(spec(), ExecutionMode::Phantom);
+    auto pa = sim::HostMutRef::phantom(n, n);
+    lu::blocking_ooc_cholesky(phantom, pa, opts);
+    expect_identical_traces(real.trace(), phantom.trace());
+  }
+}
+
+} // namespace
+} // namespace rocqr

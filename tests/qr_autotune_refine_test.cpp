@@ -1,0 +1,134 @@
+// Blocksize autotuning (phantom dry runs) and mixed-precision iterative
+// refinement.
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/autotune.hpp"
+#include "qr/refine.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+namespace {
+
+TEST(Autotune, FindsFeasibleBlocksizeOn32GB) {
+  const TuneResult r =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 131072, 131072, true);
+  EXPECT_GT(r.best_blocksize, 0);
+  EXPECT_GT(r.best_seconds, 0.0);
+  // The winner must actually be the sweep's feasible minimum.
+  for (const TunePoint& p : r.sweep) {
+    if (p.fits) {
+      EXPECT_LE(r.best_seconds, p.seconds + 1e-12);
+    }
+  }
+  // And large blocksizes that cannot fit are flagged, not silently skipped.
+  bool any_oom = false;
+  for (const TunePoint& p : r.sweep) any_oom |= !p.fits;
+  EXPECT_TRUE(any_oom); // 65536-wide panels exceed 32 GB
+}
+
+TEST(Autotune, SmallerMemoryPrefersSmallerBlocks) {
+  const TuneResult big =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 131072, 131072, false);
+  const TuneResult small =
+      tune_blocksize(sim::DeviceSpec::v100_16gb(), 131072, 131072, false);
+  EXPECT_LE(small.best_blocksize, big.best_blocksize);
+  // The 16 GB card fits strictly fewer of the large candidates.
+  int feasible_big = 0;
+  int feasible_small = 0;
+  for (const TunePoint& p : big.sweep) feasible_big += p.fits ? 1 : 0;
+  for (const TunePoint& p : small.sweep) feasible_small += p.fits ? 1 : 0;
+  EXPECT_LT(feasible_small, feasible_big);
+}
+
+TEST(Autotune, RecursiveToleratesSmallBlocksBetterThanBlocking) {
+  // The paper's robustness claim as a tuning outcome: at 16 GB, recursion's
+  // best time degrades far less than blocking's.
+  const TuneResult rec32 =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 131072, 131072, true);
+  const TuneResult rec16 =
+      tune_blocksize(sim::DeviceSpec::v100_16gb(), 131072, 131072, true);
+  const TuneResult blk32 =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 131072, 131072, false);
+  const TuneResult blk16 =
+      tune_blocksize(sim::DeviceSpec::v100_16gb(), 131072, 131072, false);
+  EXPECT_LT(rec16.best_seconds / rec32.best_seconds,
+            blk16.best_seconds / blk32.best_seconds);
+}
+
+TEST(Autotune, RejectsBadArguments) {
+  EXPECT_THROW(tune_blocksize(sim::DeviceSpec::v100_32gb(), 16, 32, true),
+               InvalidArgument);
+  EXPECT_THROW(tune_blocksize(sim::DeviceSpec::v100_32gb(), 64, 64, true,
+                              QrOptions{}, 128, 64),
+               InvalidArgument);
+}
+
+TEST(Refine, RecoversFp32AccuracyFromFp16Factorization) {
+  const index_t m = 300;
+  const index_t n = 60;
+  const index_t nrhs = 4;
+  la::Matrix a = la::random_with_condition(m, n, 50.0, 31);
+  la::Matrix x_true = la::random_uniform(n, nrhs, 32);
+  la::Matrix b(m, nrhs);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m, nrhs, n, 1.0f, a.data(),
+             a.ld(), x_true.data(), x_true.ld(), 0.0f, b.data(), b.ld());
+
+  // One sweep (= plain solve through the fp16 factors): visibly inaccurate.
+  const RefineResult raw = ls_solve_refined(
+      a.view(), b.view(), blas::GemmPrecision::FP16_FP32, 0);
+  const double err_raw = la::relative_difference(raw.x.view(), x_true.view());
+
+  // Full refinement: back to fp32-level accuracy.
+  const RefineResult refined = ls_solve_refined(
+      a.view(), b.view(), blas::GemmPrecision::FP16_FP32, 10, 1e-5);
+  const double err_ref =
+      la::relative_difference(refined.x.view(), x_true.view());
+
+  EXPECT_GT(err_raw, 1e-4);
+  EXPECT_LT(err_ref, 5e-5);
+  EXPECT_LT(err_ref, err_raw);
+  EXPECT_GT(refined.iterations, 1);
+}
+
+TEST(Refine, Fp32FactorizationConvergesImmediately) {
+  const index_t m = 200;
+  const index_t n = 40;
+  la::Matrix a = la::random_normal(m, n, 33);
+  la::Matrix x_true = la::random_uniform(n, 1, 34);
+  la::Matrix b(m, 1);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m, 1, n, 1.0f, a.data(),
+             a.ld(), x_true.data(), x_true.ld(), 0.0f, b.data(), b.ld());
+  const RefineResult r =
+      ls_solve_refined(a.view(), b.view(), blas::GemmPrecision::FP32, 10);
+  EXPECT_LT(la::relative_difference(r.x.view(), x_true.view()), 1e-4);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Refine, InconsistentSystemFindsLeastSquaresSolution) {
+  // Overdetermined with noise: the refined solution must satisfy the
+  // normal equations (Aᵀr ~ 0) even though |r| stays large.
+  const index_t m = 240;
+  const index_t n = 30;
+  la::Matrix a = la::random_normal(m, n, 35);
+  la::Matrix b = la::random_normal(m, 1, 36); // generic rhs, not in range(A)
+  const RefineResult r =
+      ls_solve_refined(a.view(), b.view(), blas::GemmPrecision::FP16_FP32, 12,
+                       1e-4);
+  EXPECT_LT(r.final_residual_norm, 1e-2);
+}
+
+TEST(Refine, RejectsBadShapes) {
+  la::Matrix wide(4, 8);
+  la::Matrix b(4, 1);
+  EXPECT_THROW(ls_solve_refined(wide.view(), b.view()), InvalidArgument);
+  la::Matrix ok = la::random_normal(8, 4, 1);
+  la::Matrix bad_b(7, 1);
+  EXPECT_THROW(ls_solve_refined(ok.view(), bad_b.view()), InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr::qr

@@ -1,0 +1,246 @@
+// In-core Gram-Schmidt family: correctness, stability ordering, precision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/incore.hpp"
+
+namespace rocqr::qr {
+namespace {
+
+using blas::GemmPrecision;
+
+using Factorizer = QrFactors (*)(la::ConstMatrixView);
+
+QrFactors run_blocked(la::ConstMatrixView a) {
+  return blocked_cgs(a, 8);
+}
+QrFactors run_recursive(la::ConstMatrixView a) {
+  return recursive_cgs(a, 4);
+}
+QrFactors run_tsqr(la::ConstMatrixView a) {
+  return tsqr(a, 16); // small leaves force a multi-level tree
+}
+
+struct AlgoCase {
+  const char* name;
+  Factorizer fn;
+};
+
+class IncoreQrTest
+    : public ::testing::TestWithParam<
+          std::tuple<AlgoCase, std::tuple<index_t, index_t>>> {};
+
+TEST_P(IncoreQrTest, FactorsRandomMatrix) {
+  const auto [algo, shape] = GetParam();
+  const auto [m, n] = shape;
+  la::Matrix a = la::random_normal(m, n, 1234);
+  const QrFactors f = algo.fn(a.view());
+
+  ASSERT_EQ(f.q.rows(), m);
+  ASSERT_EQ(f.q.cols(), n);
+  ASSERT_EQ(f.r.rows(), n);
+  EXPECT_TRUE(la::is_upper_triangular(f.r.view())) << algo.name;
+  EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-5)
+      << algo.name;
+  // Gaussian tall matrices are well conditioned: Q should be orthonormal to
+  // a few ulps times sqrt(mn).
+  EXPECT_LT(la::orthogonality_error(f.q.view()), 1e-4) << algo.name;
+  // CGS produces positive diagonal R (norms), making the factorization
+  // unique — pin that convention.
+  for (index_t j = 0; j < n; ++j) EXPECT_GT(f.r(j, j), 0.0f) << algo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, IncoreQrTest,
+    ::testing::Combine(
+        ::testing::Values(AlgoCase{"cgs", cgs}, AlgoCase{"mgs", mgs},
+                          AlgoCase{"cgs2", cgs2},
+                          AlgoCase{"blocked", run_blocked},
+                          AlgoCase{"recursive", run_recursive},
+                          AlgoCase{"cholesky_qr", cholesky_qr},
+                          AlgoCase{"cholesky_qr2", cholesky_qr2},
+                          AlgoCase{"householder", householder},
+                          AlgoCase{"givens", givens},
+                          AlgoCase{"tsqr", run_tsqr}),
+        ::testing::Values(std::tuple<index_t, index_t>{1, 1},
+                          std::tuple<index_t, index_t>{7, 5},
+                          std::tuple<index_t, index_t>{32, 32},
+                          std::tuple<index_t, index_t>{100, 40},
+                          std::tuple<index_t, index_t>{65, 33},
+                          std::tuple<index_t, index_t>{200, 64})),
+    [](const auto& param_info) {
+      const auto& shape = std::get<1>(param_info.param);
+      return std::string(std::get<0>(param_info.param).name) + "_" +
+             std::to_string(std::get<0>(shape)) + "x" +
+             std::to_string(std::get<1>(shape));
+    });
+
+TEST(IncoreQr, AllVariantsAgreeOnWellConditionedInput) {
+  // Same A, unique factorization (positive diagonal) => all variants agree
+  // up to rounding.
+  la::Matrix a = la::random_normal(60, 24, 7);
+  const QrFactors ref = mgs(a.view());
+  for (const auto& f :
+       {cgs(a.view()), cgs2(a.view()), blocked_cgs(a.view(), 8),
+        recursive_cgs(a.view(), 4), cholesky_qr2(a.view()),
+        householder(a.view()), givens(a.view())}) {
+    EXPECT_LT(la::relative_difference(f.q.view(), ref.q.view()), 1e-3);
+    EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-3);
+  }
+}
+
+TEST(IncoreQr, TsqrMatchesHouseholderAcrossTreeShapes) {
+  la::Matrix a = la::random_normal(200, 24, 23);
+  const QrFactors ref = householder(a.view());
+  // Leaf sizes that exercise: single leaf, even trees, odd (pass-through)
+  // trees, and a ragged final leaf.
+  for (const index_t rb : {512, 100, 64, 50, 30, 24}) {
+    const QrFactors f = tsqr(a.view(), rb);
+    EXPECT_LT(la::relative_difference(f.q.view(), ref.q.view()), 1e-4)
+        << "rb=" << rb;
+    EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-4)
+        << "rb=" << rb;
+    EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-5)
+        << "rb=" << rb;
+  }
+}
+
+TEST(IncoreQr, TsqrStaysStableWhereCgsFails) {
+  // TSQR inherits Householder's unconditional stability — the property the
+  // Gram-Schmidt family trades away for GEMM-friendliness.
+  la::Matrix a = la::random_with_condition(240, 24, 1e4, 29);
+  const double e_tsqr = la::orthogonality_error(tsqr(a.view(), 48).q.view());
+  const double e_cgs = la::orthogonality_error(cgs(a.view()).q.view());
+  EXPECT_LT(e_tsqr, 1e-4);
+  EXPECT_GT(e_cgs, 10 * e_tsqr);
+}
+
+TEST(IncoreQr, HouseholderAndGivensAreUnconditionallyStable) {
+  // The §3.1 comparison across the three QR families: on a cond=1e4 matrix
+  // the orthogonal-transformation methods keep Q orthonormal to fp32
+  // roundoff, CGS visibly does not.
+  la::Matrix a = la::random_with_condition(160, 32, 1e4, 19);
+  const double e_house = la::orthogonality_error(householder(a.view()).q.view());
+  const double e_givens = la::orthogonality_error(givens(a.view()).q.view());
+  const double e_cgs = la::orthogonality_error(cgs(a.view()).q.view());
+  EXPECT_LT(e_house, 1e-4);
+  EXPECT_LT(e_givens, 1e-4);
+  EXPECT_GT(e_cgs, 10 * e_house);
+  // Residuals are all fine — the difference is purely orthogonality.
+  const QrFactors h = householder(a.view());
+  EXPECT_LT(la::qr_residual(a.view(), h.q.view(), h.r.view()), 1e-5);
+}
+
+TEST(IncoreQr, StabilityOrderingOnIllConditionedMatrix) {
+  // cond ~ 1e3: CGS loses orthogonality like cond^2 * eps, MGS like
+  // cond * eps, CGS2 stays near eps. The ordering is the textbook result
+  // the paper's §3.1.1 refers to.
+  la::Matrix a = la::random_with_condition(120, 30, 1e3, 11);
+  const double e_cgs = la::orthogonality_error(cgs(a.view()).q.view());
+  const double e_mgs = la::orthogonality_error(mgs(a.view()).q.view());
+  const double e_cgs2 = la::orthogonality_error(cgs2(a.view()).q.view());
+  EXPECT_LT(e_cgs2, 1e-4);
+  EXPECT_LE(e_cgs2, e_mgs * 2.0);
+  EXPECT_LT(e_mgs, e_cgs);
+  // All still reconstruct A.
+  for (const auto& f : {cgs(a.view()), mgs(a.view()), cgs2(a.view())}) {
+    EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-4);
+  }
+}
+
+TEST(IncoreQr, RecursiveMatchesBaseCaseExactlyAtSmallSizes) {
+  la::Matrix a = la::random_normal(20, 3, 3);
+  const QrFactors rec = recursive_cgs(a.view(), 8); // n < base: pure CGS
+  const QrFactors direct = cgs(a.view());
+  EXPECT_EQ(la::relative_difference(rec.q.view(), direct.q.view()), 0.0);
+  EXPECT_EQ(la::relative_difference(rec.r.view(), direct.r.view()), 0.0);
+}
+
+TEST(IncoreQr, RecursiveInplaceWritesCallerStorage) {
+  la::Matrix a = la::random_normal(40, 16, 5);
+  la::Matrix aq = la::materialize(a.view());
+  la::Matrix r(16, 16);
+  recursive_cgs_inplace(aq.view(), r.view(), 4);
+  EXPECT_LT(la::qr_residual(a.view(), aq.view(), r.view()), 1e-5);
+  EXPECT_TRUE(la::is_upper_triangular(r.view()));
+}
+
+TEST(IncoreQr, Fp16PrecisionDegradesGracefully) {
+  la::Matrix a = la::random_normal(128, 32, 9);
+  const QrFactors f32 = recursive_cgs(a.view(), 8, GemmPrecision::FP32);
+  const QrFactors f16 = recursive_cgs(a.view(), 8, GemmPrecision::FP16_FP32);
+  const double res32 = la::qr_residual(a.view(), f32.q.view(), f32.r.view());
+  const double res16 = la::qr_residual(a.view(), f16.q.view(), f16.r.view());
+  EXPECT_LT(res32, 1e-5);
+  // fp16-input GEMM updates: residual grows but stays at half-precision
+  // levels (the HPDC'20 result that recursion keeps CGS usable on TC).
+  EXPECT_LT(res16, 5e-3);
+  EXPECT_GT(res16, res32);
+}
+
+TEST(IncoreQr, BlockedHandlesBlockBoundaryCases) {
+  la::Matrix a = la::random_normal(50, 20, 13);
+  for (index_t block : {1, 3, 7, 20, 64}) {
+    const QrFactors f = blocked_cgs(a.view(), block);
+    EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-5)
+        << "block=" << block;
+  }
+}
+
+TEST(IncoreQr, RejectsDependentColumnsAndBadShapes) {
+  // An exactly zero column has no direction at all: hard failure.
+  la::Matrix with_zero = la::random_normal(8, 3, 21);
+  for (index_t i = 0; i < 8; ++i) with_zero(i, 1) = 0.0f;
+  EXPECT_THROW(cgs(with_zero.view()), InvalidArgument);
+  EXPECT_THROW(mgs(with_zero.view()), InvalidArgument);
+  // Exactly parallel columns: after projection only rounding noise remains.
+  // Like reference Gram-Schmidt codes we do not guess a tolerance — the
+  // result is a (documented) garbage direction, visible as a huge R-entry
+  // ratio, not an exception.
+  la::Matrix dependent(8, 2);
+  for (index_t i = 0; i < 8; ++i) {
+    dependent(i, 0) = 1.0f + 0.1f * static_cast<float>(i);
+    dependent(i, 1) = 2.0f * dependent(i, 0);
+  }
+  try {
+    const QrFactors f = cgs(dependent.view());
+    EXPECT_GT(f.r(0, 0) / std::max(f.r(1, 1), 1e-30f), 1e5f);
+  } catch (const InvalidArgument&) {
+    // Projection happened to cancel exactly: also a valid outcome.
+  }
+  la::Matrix wide(3, 5);
+  EXPECT_THROW(cgs(wide.view()), InvalidArgument);
+  EXPECT_THROW(recursive_cgs(wide.view()), InvalidArgument);
+  la::Matrix ok = la::random_normal(8, 4, 1);
+  EXPECT_THROW(blocked_cgs(ok.view(), 0), InvalidArgument);
+  EXPECT_THROW(recursive_cgs(ok.view(), 0), InvalidArgument);
+}
+
+TEST(IncoreQr, CholeskyQr2RestoresOrthogonality) {
+  la::Matrix a = la::random_with_condition(200, 24, 100.0, 17);
+  const double e1 = la::orthogonality_error(cholesky_qr(a.view()).q.view());
+  const double e2 = la::orthogonality_error(cholesky_qr2(a.view()).q.view());
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e2, 1e-4);
+}
+
+TEST(IncoreQr, HilbertMatrixStressesCgs) {
+  // Hilbert columns are nearly dependent; CGS2 must still produce an
+  // orthonormal basis while plain CGS visibly degrades.
+  la::Matrix h = la::hilbert(64, 8);
+  const QrFactors f2 = cgs2(h.view());
+  EXPECT_LT(la::orthogonality_error(f2.q.view()), 1e-3);
+  EXPECT_LT(la::qr_residual(h.view(), f2.q.view(), f2.r.view()), 1e-4);
+  const QrFactors f1 = cgs(h.view());
+  EXPECT_GT(la::orthogonality_error(f1.q.view()),
+            la::orthogonality_error(f2.q.view()));
+}
+
+} // namespace
+} // namespace rocqr::qr

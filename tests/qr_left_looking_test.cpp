@@ -1,0 +1,133 @@
+// Left-looking OOC QR: numerics against the right-looking drivers and the
+// movement/shape tradeoff it embodies.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/incore.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec(bytes_t capacity = 512LL << 20) {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = capacity;
+  return s;
+}
+
+TEST(LeftLookingQr, FactorsCorrectlyAcrossShapes) {
+  for (const auto& [m, n, b] :
+       {std::tuple<index_t, index_t, index_t>{96, 96, 32},
+        std::tuple<index_t, index_t, index_t>{200, 120, 32},
+        std::tuple<index_t, index_t, index_t>{150, 33, 16},
+        std::tuple<index_t, index_t, index_t>{64, 16, 64}}) {
+    la::Matrix a = la::random_normal(m, n, 400 + m);
+    Device dev(test_spec(), ExecutionMode::Real);
+    QrOptions opts;
+    opts.blocksize = b;
+    opts.panel_base = 8;
+    opts.precision = blas::GemmPrecision::FP32;
+    la::Matrix q = la::materialize(a.view());
+    la::Matrix r(n, n);
+    const QrStats stats = left_looking_ooc_qr(dev, q.view(), r.view(), opts);
+    EXPECT_LT(la::qr_residual(a.view(), q.view(), r.view()), 1e-4)
+        << m << "x" << n << " b=" << b;
+    EXPECT_TRUE(la::is_upper_triangular(r.view()));
+    EXPECT_GT(stats.panels, 0);
+    EXPECT_EQ(dev.live_allocations(), 0);
+  }
+}
+
+TEST(LeftLookingQr, MatchesRightLookingFactors) {
+  // Block classic Gram-Schmidt either way: identical factors up to fp32
+  // summation-order noise.
+  la::Matrix a = la::random_normal(160, 96, 55);
+  QrOptions opts;
+  opts.blocksize = 32;
+  opts.panel_base = 8;
+  opts.precision = blas::GemmPrecision::FP32;
+
+  Device d1(test_spec(), ExecutionMode::Real);
+  la::Matrix ql = la::materialize(a.view());
+  la::Matrix rl(96, 96);
+  left_looking_ooc_qr(d1, ql.view(), rl.view(), opts);
+
+  Device d2(test_spec(), ExecutionMode::Real);
+  la::Matrix qr_ = la::materialize(a.view());
+  la::Matrix rr(96, 96);
+  blocking_ooc_qr(d2, qr_.view(), rr.view(), opts);
+
+  EXPECT_LT(la::relative_difference(ql.view(), qr_.view()), 1e-4);
+  EXPECT_LT(la::relative_difference(rl.view(), rr.view()), 1e-4);
+}
+
+TEST(LeftLookingQr, MovesFarFewerBytesThanRightLooking) {
+  // The SOLAR rationale: the trailing matrix is never streamed out and back.
+  auto dev_l = Device(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  dev_l.model().install_paper_calibration();
+  auto dev_r = Device(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  dev_r.model().install_paper_calibration();
+  QrOptions opts;
+  opts.blocksize = 16384;
+  auto a1 = sim::HostMutRef::phantom(131072, 131072);
+  auto r1 = sim::HostMutRef::phantom(131072, 131072);
+  const QrStats left = left_looking_ooc_qr(dev_l, a1, r1, opts);
+  auto a2 = sim::HostMutRef::phantom(131072, 131072);
+  auto r2 = sim::HostMutRef::phantom(131072, 131072);
+  const QrStats right = blocking_ooc_qr(dev_r, a2, r2, opts);
+
+  EXPECT_LT(left.h2d_bytes, right.h2d_bytes);
+  EXPECT_LT(left.d2h_bytes, 0.5 * right.d2h_bytes);
+  // The model's ordering on the V100: left-looking's movement savings beat
+  // right-looking blocking even despite its skinny TN GEMMs...
+  EXPECT_LT(left.total_seconds, right.total_seconds);
+  // ...but the recursive algorithm still beats both: it gets the small
+  // movement AND the near-peak GEMM shapes at once.
+  auto dev_rec = Device(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  dev_rec.model().install_paper_calibration();
+  auto a3 = sim::HostMutRef::phantom(131072, 131072);
+  auto r3 = sim::HostMutRef::phantom(131072, 131072);
+  const QrStats rec = recursive_ooc_qr(dev_rec, a3, r3, opts);
+  EXPECT_LT(rec.total_seconds, left.total_seconds);
+}
+
+TEST(LeftLookingQr, WinsOnTheDiskBoundary) {
+  // On the 1996 disk-CPU node (no shape penalty, precious write bandwidth)
+  // the classic left-looking formulation is the right choice — exactly why
+  // SOLAR used it.
+  QrOptions opts;
+  opts.blocksize = 512;
+  auto dev_l = Device(sim::DeviceSpec::disk_cpu_1996(), ExecutionMode::Phantom);
+  auto a1 = sim::HostMutRef::phantom(8192, 8192);
+  auto r1 = sim::HostMutRef::phantom(8192, 8192);
+  const QrStats left = left_looking_ooc_qr(dev_l, a1, r1, opts);
+  auto dev_r = Device(sim::DeviceSpec::disk_cpu_1996(), ExecutionMode::Phantom);
+  auto a2 = sim::HostMutRef::phantom(8192, 8192);
+  auto r2 = sim::HostMutRef::phantom(8192, 8192);
+  QrOptions ropts = opts;
+  ropts.staging_buffer = false; // era-appropriate baseline
+  const QrStats right = blocking_ooc_qr(dev_r, a2, r2, ropts);
+  EXPECT_LT(left.total_seconds, right.total_seconds);
+}
+
+TEST(LeftLookingQr, RejectsBadInputs) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  QrOptions opts;
+  auto wide_a = sim::HostMutRef::phantom(10, 20);
+  auto r = sim::HostMutRef::phantom(20, 20);
+  EXPECT_THROW(left_looking_ooc_qr(dev, wide_a, r, opts), InvalidArgument);
+  auto a = sim::HostMutRef::phantom(20, 10);
+  auto bad_r = sim::HostMutRef::phantom(5, 5);
+  EXPECT_THROW(left_looking_ooc_qr(dev, a, bad_r, opts), InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr::qr

@@ -1,0 +1,247 @@
+// Paper-scale schedule validation in Phantom mode: the full 131072^2 runs
+// of §5.2 execute in milliseconds here because only the schedule is
+// computed. These tests pin the paper's headline claims.
+#include <gtest/gtest.h>
+
+#include "ooc/gemm_engines.hpp"
+#include "ooc/movement_model.hpp"
+#include "ooc/operand.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+QrStats run(bool recursive, const sim::DeviceSpec& spec, index_t m, index_t n,
+            const QrOptions& opts) {
+  Device dev(spec, ExecutionMode::Phantom);
+  dev.model().install_paper_calibration();
+  sim::HostMutRef a = sim::HostMutRef::phantom(m, n);
+  sim::HostMutRef r = sim::HostMutRef::phantom(n, n);
+  QrStats stats = recursive ? recursive_ooc_qr(dev, a, r, opts)
+                            : blocking_ooc_qr(dev, a, r, opts);
+  EXPECT_EQ(dev.live_allocations(), 0);
+  EXPECT_LE(dev.memory_peak(), spec.memory_capacity);
+  return stats;
+}
+
+QrOptions paper_options(index_t blocksize) {
+  QrOptions opts;
+  opts.blocksize = blocksize;
+  // Match the paper's measured configuration (its Table-3 movement shows
+  // every level streamed); the resident-subtree extension is asserted
+  // separately below.
+  opts.resident_subtrees = false;
+  return opts;
+}
+
+/// The paper's conventional blocking baseline: no §4.1.2 extra C working
+/// space (Fig 11 shows its tile move-in/GEMM/move-out fully serialized) and
+/// no §4.1.3 ramp — those are this paper's contributions, applied to the
+/// recursive implementation.
+QrOptions blocking_options(index_t blocksize) {
+  QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.staging_buffer = false;
+  return opts;
+}
+
+TEST(PhantomQr, RecursiveBeatsBlockingAt32GB) {
+  // §5.3: "around 1.25x faster ... on GPUs with larger device memory".
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  const QrStats rec = run(true, spec, 131072, 131072, paper_options(16384));
+  const QrStats blk = run(false, spec, 131072, 131072, blocking_options(16384));
+  const double speedup = blk.total_seconds / rec.total_seconds;
+  EXPECT_GT(speedup, 1.1);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(PhantomQr, RecursiveNearlyTwiceAsFastAt16GB) {
+  // §5.3: "around 2x faster than blocking QR when the memory is small"
+  // (16 GB limit, blocksize 8192 — Figs 14/15).
+  const auto spec = sim::DeviceSpec::v100_16gb();
+  const QrStats rec = run(true, spec, 131072, 131072, paper_options(8192));
+  const QrStats blk = run(false, spec, 131072, 131072, blocking_options(8192));
+  const double speedup = blk.total_seconds / rec.total_seconds;
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 2.6);
+}
+
+TEST(PhantomQr, SpeedupGrowsAsMemoryShrinks) {
+  // The paper's summary claim: "the higher the ratio computation
+  // speed/memory capacity is, the more advantageous recursive vs blocking".
+  const double s32 =
+      run(false, sim::DeviceSpec::v100_32gb(), 131072, 131072,
+          blocking_options(16384))
+          .total_seconds /
+      run(true, sim::DeviceSpec::v100_32gb(), 131072, 131072,
+          paper_options(16384))
+          .total_seconds;
+  const double s16 =
+      run(false, sim::DeviceSpec::v100_16gb(), 131072, 131072,
+          blocking_options(8192))
+          .total_seconds /
+      run(true, sim::DeviceSpec::v100_16gb(), 131072, 131072,
+          paper_options(8192))
+          .total_seconds;
+  EXPECT_GT(s16, s32);
+}
+
+TEST(PhantomQr, RecursiveMovesFewerBytes) {
+  // Table 3's direction: both H2D and D2H volumes are smaller for the
+  // recursive algorithm at b=16384.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  const QrStats rec = run(true, spec, 131072, 131072, paper_options(16384));
+  const QrStats blk = run(false, spec, 131072, 131072, blocking_options(16384));
+  EXPECT_LT(rec.h2d_bytes, blk.h2d_bytes);
+  EXPECT_LT(rec.d2h_bytes, blk.d2h_bytes);
+  // Table 3 anchors at 13 GB/s: recursive 37.9 s vs blocking 47.2 s H2D.
+  // Allow a generous band — the analytic model is itself approximate.
+  EXPECT_NEAR(rec.h2d_seconds, 37.9, 37.9 * 0.35);
+  EXPECT_NEAR(blk.h2d_seconds, 47.2, 47.2 * 0.35);
+}
+
+TEST(PhantomQr, QrLevelOptimizationGivesMeasurableSpeedup) {
+  // §5.2: "the QR-level optimization helps the two factorization gain
+  // around 15% speedup" — accept 5-30%.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  for (const bool recursive : {false, true}) {
+    QrOptions on = paper_options(16384);
+    QrOptions off = paper_options(16384);
+    off.qr_level_opt = false;
+    const double t_on = run(recursive, spec, 131072, 131072, on).total_seconds;
+    const double t_off =
+        run(recursive, spec, 131072, 131072, off).total_seconds;
+    EXPECT_GT(t_off / t_on, 1.04) << "recursive=" << recursive;
+    EXPECT_LT(t_off / t_on, 1.35) << "recursive=" << recursive;
+  }
+}
+
+TEST(PhantomQr, RecursiveReaches45PercentOfTensorCorePeak) {
+  // §1: "achieve around 45% of TensorCore peak performance" at 131072^2.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  const QrStats rec = run(true, spec, 131072, 131072, paper_options(16384));
+  const double fraction = rec.sustained_flops_per_s() / spec.tc_peak_flops;
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.60);
+}
+
+TEST(PhantomQr, BlockingInsensitiveRecursiveRobustToBlocksize) {
+  // §5.2: at blocksize 8192 blocking QR degrades badly while recursive
+  // "doesn't change much" (still 32 GB).
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  const double rec16 =
+      run(true, spec, 131072, 131072, paper_options(16384)).total_seconds;
+  const double rec8 =
+      run(true, spec, 131072, 131072, paper_options(8192)).total_seconds;
+  const double blk16 =
+      run(false, spec, 131072, 131072, blocking_options(16384)).total_seconds;
+  const double blk8 =
+      run(false, spec, 131072, 131072, blocking_options(8192)).total_seconds;
+  EXPECT_LT(rec8 / rec16, 1.25);       // recursive barely moves
+  EXPECT_GT(blk8 / blk16, rec8 / rec16); // blocking degrades more
+}
+
+TEST(PhantomQr, Table4ShapesShowExpectedSpeedups) {
+  // 65536^2 -> ~1.5x, 262144x65536 -> ~1.7x at b=8192 (§5.2, Table 4).
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  {
+    const QrStats rec = run(true, spec, 65536, 65536, paper_options(8192));
+    const QrStats blk = run(false, spec, 65536, 65536, blocking_options(8192));
+    const double speedup = blk.total_seconds / rec.total_seconds;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 2.0);
+    // Panel time identical across algorithms (same in-core solver).
+    EXPECT_NEAR(rec.panel_seconds, blk.panel_seconds,
+                0.01 * blk.panel_seconds);
+    // Table 4 anchor: ~2.7 s of panel work.
+    EXPECT_NEAR(rec.panel_seconds, 2.7, 2.7 * 0.15);
+  }
+  {
+    const QrStats rec = run(true, spec, 262144, 65536, paper_options(8192));
+    const QrStats blk = run(false, spec, 262144, 65536, blocking_options(8192));
+    const double speedup = blk.total_seconds / rec.total_seconds;
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 2.2);
+    EXPECT_NEAR(rec.panel_seconds, 9.0, 9.0 * 0.15);
+  }
+}
+
+TEST(PhantomQr, MeasuredMovementTracksAnalyticModel) {
+  // The drivers' counted H2D volume should be the same order as §3.2's
+  // no-reuse model — below it (residency reuse) but not wildly different.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  const index_t n = 131072;
+  const index_t b = 16384;
+  const QrStats rec = run(true, spec, n, n, paper_options(b));
+  const QrStats blk = run(false, spec, n, n, paper_options(b));
+  const double rec_model = ooc::recursive_h2d_words_sum(n, n, b) * 4;
+  const double blk_model = ooc::blocking_h2d_words(n, n, b) * 4;
+  EXPECT_GT(rec.h2d_bytes, 0.3 * rec_model);
+  EXPECT_LT(rec.h2d_bytes, 1.7 * rec_model);
+  EXPECT_GT(blk.h2d_bytes, 0.3 * blk_model);
+  EXPECT_LT(blk.h2d_bytes, 1.2 * blk_model);
+}
+
+TEST(PhantomQr, RampUpImprovesTheLargestInnerProduct) {
+  // §4.1.3: starting with small slabs hides part of the first move-in; the
+  // paper measures 85 -> 87 TFLOP/s on the 65536x131072x65536 inner product.
+  // (End-to-end the ramp also slows the compute-bound steady state slightly,
+  // so the claim is pinned where the paper makes it: on the largest GEMM.)
+  const auto run_inner = [&](bool ramp) {
+    Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+    dev.model().install_paper_calibration();
+    ooc::OocGemmOptions opts;
+    opts.blocksize = 16384;
+    opts.ramp_up = ramp;
+    ooc::inner_product_recursive(
+        dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
+        sim::HostMutRef::phantom(65536, 65536), opts);
+    dev.synchronize();
+    return dev.makespan();
+  };
+  const double with_ramp = run_inner(true);
+  const double without = run_inner(false);
+  EXPECT_LT(with_ramp, without);
+  // Effect size: a few percent, as in the paper (85 -> 87 TFLOP/s ~ 2.4%).
+  EXPECT_GT(without / with_ramp, 1.005);
+  EXPECT_LT(without / with_ramp, 1.15);
+}
+
+TEST(PhantomQr, ResidentSubtreesCutMovementFurther) {
+  // Our extension of §4.2's first optimization: factoring small subtrees
+  // entirely resident removes their intermediate host round-trips. The
+  // measured H2D volume drops below even the paper's own §3.2 sum.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  QrOptions streamed = paper_options(16384);
+  QrOptions resident = paper_options(16384);
+  resident.resident_subtrees = true;
+  const QrStats base = run(true, spec, 131072, 131072, streamed);
+  const QrStats opt = run(true, spec, 131072, 131072, resident);
+  EXPECT_LT(opt.h2d_bytes, 0.8 * base.h2d_bytes);
+  EXPECT_LT(opt.d2h_bytes, base.d2h_bytes);
+  EXPECT_LT(opt.total_seconds, base.total_seconds);
+  const double paper_sum_bytes =
+      ooc::recursive_h2d_words_sum(131072, 131072, 16384) * 4;
+  EXPECT_LT(static_cast<double>(opt.h2d_bytes), paper_sum_bytes);
+}
+
+TEST(PhantomQr, RectangularAndOddSizes) {
+  // Non-power-of-two panel counts and a trailing short panel must schedule
+  // without violating capacity or dependencies.
+  const auto spec = sim::DeviceSpec::v100_32gb();
+  for (const bool recursive : {false, true}) {
+    const QrStats s =
+        run(recursive, spec, 100000, 50000, paper_options(8192));
+    EXPECT_GT(s.total_seconds, 0.0);
+    EXPECT_EQ(s.panels, (50000 + 8191) / 8192);
+  }
+}
+
+} // namespace
+} // namespace rocqr::qr

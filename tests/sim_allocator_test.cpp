@@ -1,0 +1,132 @@
+// Device memory allocator: capacity, alignment, coalescing, fragmentation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/memory.hpp"
+
+namespace rocqr::sim {
+namespace {
+
+TEST(Allocator, BasicAllocateFree) {
+  DeviceAllocator alloc(1 << 20);
+  EXPECT_EQ(alloc.used(), 0);
+  EXPECT_EQ(alloc.free_bytes(), 1 << 20);
+  const bytes_t off = alloc.allocate(1000);
+  EXPECT_EQ(off, 0);
+  EXPECT_EQ(alloc.used(), 1024); // rounded to 256-byte alignment
+  EXPECT_EQ(alloc.live_allocations(), 1);
+  alloc.free(off);
+  EXPECT_EQ(alloc.used(), 0);
+  EXPECT_EQ(alloc.live_allocations(), 0);
+}
+
+TEST(Allocator, AlignmentIs256) {
+  DeviceAllocator alloc(1 << 20);
+  const bytes_t a = alloc.allocate(1);
+  const bytes_t b = alloc.allocate(1);
+  EXPECT_EQ(a % 256, 0);
+  EXPECT_EQ(b % 256, 0);
+  EXPECT_EQ(b - a, 256);
+}
+
+TEST(Allocator, ThrowsOnExhaustion) {
+  DeviceAllocator alloc(1024);
+  alloc.allocate(512);
+  EXPECT_THROW(alloc.allocate(1024), DeviceOutOfMemory);
+  // Error message should carry diagnostics.
+  try {
+    alloc.allocate(4096);
+    FAIL();
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_NE(std::string(e.what()).find("device OOM"), std::string::npos);
+  }
+}
+
+TEST(Allocator, PeakTracksHighWaterMark) {
+  DeviceAllocator alloc(1 << 20);
+  const bytes_t a = alloc.allocate(256 * 10);
+  const bytes_t b = alloc.allocate(256 * 20);
+  EXPECT_EQ(alloc.peak_used(), 256 * 30);
+  alloc.free(a);
+  alloc.free(b);
+  EXPECT_EQ(alloc.peak_used(), 256 * 30);
+  alloc.allocate(256);
+  EXPECT_EQ(alloc.peak_used(), 256 * 30); // unchanged
+}
+
+TEST(Allocator, CoalescesNeighbours) {
+  DeviceAllocator alloc(256 * 8);
+  const bytes_t a = alloc.allocate(256);
+  const bytes_t b = alloc.allocate(256);
+  const bytes_t c = alloc.allocate(256);
+  alloc.allocate(256 * 5); // fill the rest
+  // Free middle then neighbours; after coalescing a 3-block hole exists.
+  alloc.free(b);
+  EXPECT_EQ(alloc.largest_free_block(), 256);
+  alloc.free(a);
+  EXPECT_EQ(alloc.largest_free_block(), 512);
+  alloc.free(c);
+  EXPECT_EQ(alloc.largest_free_block(), 768);
+  EXPECT_NO_THROW(alloc.allocate(768));
+}
+
+TEST(Allocator, FragmentationBlocksLargeAllocation) {
+  DeviceAllocator alloc(256 * 4);
+  const bytes_t a = alloc.allocate(256);
+  const bytes_t b = alloc.allocate(256);
+  const bytes_t c = alloc.allocate(256);
+  const bytes_t d = alloc.allocate(256);
+  alloc.free(a);
+  alloc.free(c);
+  // 512 bytes free but in two non-adjacent 256 holes.
+  EXPECT_EQ(alloc.free_bytes(), 512);
+  EXPECT_EQ(alloc.largest_free_block(), 256);
+  EXPECT_THROW(alloc.allocate(512), DeviceOutOfMemory);
+  alloc.free(b);
+  alloc.free(d);
+  EXPECT_NO_THROW(alloc.allocate(1024));
+}
+
+TEST(Allocator, FirstFitReusesEarliestHole) {
+  DeviceAllocator alloc(256 * 10);
+  const bytes_t a = alloc.allocate(256 * 2);
+  alloc.allocate(256);
+  alloc.free(a);
+  const bytes_t c = alloc.allocate(256);
+  EXPECT_EQ(c, a); // first fit lands in the first hole
+}
+
+TEST(Allocator, DoubleFreeAndUnknownOffsetThrow) {
+  DeviceAllocator alloc(1 << 16);
+  const bytes_t a = alloc.allocate(256);
+  alloc.free(a);
+  EXPECT_THROW(alloc.free(a), ResourceError);
+  EXPECT_THROW(alloc.free(12345), ResourceError);
+}
+
+TEST(Allocator, RejectsBadArguments) {
+  EXPECT_THROW(DeviceAllocator(0), InvalidArgument);
+  EXPECT_THROW(DeviceAllocator(-5), InvalidArgument);
+  DeviceAllocator alloc(1024);
+  EXPECT_THROW(alloc.allocate(0), InvalidArgument);
+  EXPECT_THROW(alloc.allocate(-1), InvalidArgument);
+}
+
+TEST(Allocator, ManyAllocationsChurn) {
+  DeviceAllocator alloc(1 << 20);
+  std::vector<bytes_t> offsets;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      offsets.push_back(alloc.allocate(256 * (1 + i % 7)));
+    }
+    // Free every other allocation, then the rest.
+    for (size_t i = 0; i < offsets.size(); i += 2) alloc.free(offsets[i]);
+    for (size_t i = 1; i < offsets.size(); i += 2) alloc.free(offsets[i]);
+    offsets.clear();
+    EXPECT_EQ(alloc.used(), 0);
+    EXPECT_EQ(alloc.largest_free_block(), 1 << 20); // fully coalesced
+  }
+}
+
+} // namespace
+} // namespace rocqr::sim

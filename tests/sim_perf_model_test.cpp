@@ -1,0 +1,198 @@
+// Performance model: copy costs, shape-dependent GEMM rates, the paper
+// calibration points, and the panel model's Table-4 anchors.
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "sim/perf_model.hpp"
+
+namespace rocqr::sim {
+namespace {
+
+using blas::GemmPrecision;
+using blas::Op;
+
+PerfModel paper_model() {
+  PerfModel m(DeviceSpec::v100_32gb());
+  m.install_paper_calibration();
+  return m;
+}
+
+TEST(PerfModel, CopyTimeIsLatencyPlusBandwidth) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  const bytes_t gb = 1LL << 30;
+  EXPECT_NEAR(m.h2d_seconds(13 * gb), 1.0737, 0.01); // 13 GiB at 13 GB/s
+  EXPECT_NEAR(m.h2d_seconds(0), m.spec().copy_latency_s, 1e-12);
+  EXPECT_GT(m.d2h_seconds(gb), 0.05);
+  EXPECT_LT(m.d2d_seconds(gb), m.h2d_seconds(gb)); // on-device is much faster
+}
+
+TEST(PerfModel, PaperSlabTransferTimes) {
+  // Table 1 recursive: one k-slab of A plus one of B (16384 x 65536 fp32
+  // each) moves in 693 ms.
+  PerfModel m = paper_model();
+  const bytes_t slab = 16384LL * 65536 * 4;
+  EXPECT_NEAR(m.h2d_seconds(slab) * 2, 0.693, 0.07);
+  // Table 1 recursive: C (65536^2 fp32) moves out in 1306 ms.
+  EXPECT_NEAR(m.d2h_seconds(65536LL * 65536 * 4), 1.306, 0.13);
+  // Table 2 blocking: a 16384^2 fp32 C tile in 86 ms / out 81 ms.
+  EXPECT_NEAR(m.d2h_seconds(16384LL * 16384 * 4), 0.081, 0.01);
+}
+
+TEST(PerfModel, CalibratedGemmRatesMatchPaper) {
+  PerfModel m = paper_model();
+  EXPECT_DOUBLE_EQ(
+      m.gemm_rate(Op::Trans, 65536, 65536, 16384, GemmPrecision::FP16_FP32),
+      99.9e12);
+  EXPECT_DOUBLE_EQ(
+      m.gemm_rate(Op::Trans, 16384, 16384, 131072, GemmPrecision::FP16_FP32),
+      52.6e12);
+  EXPECT_DOUBLE_EQ(
+      m.gemm_rate(Op::NoTrans, 8192, 65536, 65536, GemmPrecision::FP16_FP32),
+      107.6e12);
+  EXPECT_DOUBLE_EQ(
+      m.gemm_rate(Op::NoTrans, 16384, 16384, 16384, GemmPrecision::FP16_FP32),
+      98.8e12);
+}
+
+TEST(PerfModel, PaperGemmDurations) {
+  PerfModel m = paper_model();
+  // Table 1: recursive slab GEMM 1408 ms; blocking slab GEMM 1337 ms.
+  EXPECT_NEAR(
+      m.gemm_seconds(Op::Trans, 65536, 65536, 16384, GemmPrecision::FP16_FP32),
+      1.408, 0.01);
+  EXPECT_NEAR(m.gemm_seconds(Op::Trans, 16384, 16384, 131072,
+                             GemmPrecision::FP16_FP32),
+              1.337, 0.01);
+  // Table 2: outer slab 654 ms; blocking tile 89 ms.
+  EXPECT_NEAR(m.gemm_seconds(Op::NoTrans, 8192, 65536, 65536,
+                             GemmPrecision::FP16_FP32),
+              0.654, 0.01);
+  EXPECT_NEAR(m.gemm_seconds(Op::NoTrans, 16384, 16384, 16384,
+                             GemmPrecision::FP16_FP32),
+              0.089, 0.001);
+}
+
+TEST(PerfModel, SmoothModelNearCalibrationPoints) {
+  // Without overrides the smooth model must land within ~15% of the paper's
+  // measured rates — it covers all the shapes the paper did not publish.
+  PerfModel m(DeviceSpec::v100_32gb());
+  const auto near = [&](Op op, index_t mm, index_t nn, index_t kk,
+                        double target, double tol) {
+    const double r = m.gemm_rate(op, mm, nn, kk, GemmPrecision::FP16_FP32);
+    EXPECT_NEAR(r / target, 1.0, tol)
+        << mm << "x" << nn << "x" << kk << " got " << r / 1e12;
+  };
+  near(Op::Trans, 65536, 65536, 16384, 99.9e12, 0.15);
+  near(Op::Trans, 16384, 16384, 131072, 52.6e12, 0.15);
+  near(Op::NoTrans, 8192, 65536, 65536, 107.6e12, 0.15);
+  near(Op::NoTrans, 16384, 16384, 16384, 98.8e12, 0.15);
+}
+
+TEST(PerfModel, TallSkinnyTransposePenalty) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  // The same output tile gets slower as the reduction dimension grows (TN),
+  // the paper's core observation about inner products (§5.1.1).
+  const double r1 = m.gemm_rate(Op::Trans, 16384, 16384, 16384,
+                                GemmPrecision::FP16_FP32);
+  const double r2 = m.gemm_rate(Op::Trans, 16384, 16384, 131072,
+                                GemmPrecision::FP16_FP32);
+  EXPECT_GT(r1, r2 * 1.5);
+  // No such penalty for the NN (outer product) form.
+  const double n1 = m.gemm_rate(Op::NoTrans, 16384, 16384, 16384,
+                                GemmPrecision::FP16_FP32);
+  const double n2 = m.gemm_rate(Op::NoTrans, 16384, 16384, 131072,
+                                GemmPrecision::FP16_FP32);
+  EXPECT_GT(n2, n1 * 0.95);
+}
+
+TEST(PerfModel, RatesAreBelowPeakAndMonotonicInSize) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  double prev = 0.0;
+  for (index_t d = 512; d <= 65536; d *= 2) {
+    const double r = m.gemm_rate(Op::NoTrans, d, d, d, GemmPrecision::FP16_FP32);
+    EXPECT_LT(r, m.spec().tc_peak_flops);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PerfModel, Fp32PathUsesCudaCorePeak) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  const double tc = m.gemm_rate(Op::NoTrans, 16384, 16384, 16384,
+                                GemmPrecision::FP16_FP32);
+  const double fp32 = m.gemm_rate(Op::NoTrans, 16384, 16384, 16384,
+                                  GemmPrecision::FP32);
+  // The paper quotes ~8x on V100 (112 vs 14 TFLOPS).
+  EXPECT_NEAR(tc / fp32, 8.0, 0.5);
+}
+
+TEST(PerfModel, PanelRatesMatchTable4) {
+  PerfModel m = paper_model();
+  // 65536 x 8192 panel: 2.7 s / 8 panels; 262144 x 8192: 9.0 s / 8 panels.
+  EXPECT_NEAR(m.panel_seconds(65536, 8192), 2.7 / 8, 0.02);
+  EXPECT_NEAR(m.panel_seconds(262144, 8192), 9.0 / 8, 0.06);
+  EXPECT_NEAR(m.panel_rate(65536, 8192), 26e12, 2e12);
+  EXPECT_NEAR(m.panel_rate(262144, 8192), 31e12, 2e12);
+}
+
+TEST(PerfModel, OverridesApplyOnlyToExactShapeAndTcPath) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  const GemmShapeKey key{false, 1024, 1024, 1024};
+  m.set_gemm_rate_override(key, 50e12);
+  EXPECT_DOUBLE_EQ(
+      m.gemm_rate(Op::NoTrans, 1024, 1024, 1024, GemmPrecision::FP16_FP32),
+      50e12);
+  // A different shape falls back to the smooth model.
+  EXPECT_NE(
+      m.gemm_rate(Op::NoTrans, 1024, 1024, 2048, GemmPrecision::FP16_FP32),
+      50e12);
+  // fp32 ignores TC overrides.
+  EXPECT_NE(m.gemm_rate(Op::NoTrans, 1024, 1024, 1024, GemmPrecision::FP32),
+            50e12);
+  // Transpose flag distinguishes keys.
+  EXPECT_NE(m.gemm_rate(Op::Trans, 1024, 1024, 1024, GemmPrecision::FP16_FP32),
+            50e12);
+}
+
+TEST(PerfModel, RejectsInvalidArguments) {
+  PerfModel m(DeviceSpec::v100_32gb());
+  EXPECT_THROW(m.h2d_seconds(-1), InvalidArgument);
+  EXPECT_THROW(m.gemm_rate(Op::NoTrans, 0, 1, 1, GemmPrecision::FP32),
+               InvalidArgument);
+  EXPECT_THROW(m.panel_rate(0, 1), InvalidArgument);
+  EXPECT_THROW(m.set_gemm_rate_override({false, 1, 1, 1}, -1.0),
+               InvalidArgument);
+  DeviceSpec bad = DeviceSpec::v100_32gb();
+  bad.h2d_bytes_per_s = 0;
+  EXPECT_THROW(PerfModel{bad}, InvalidArgument);
+}
+
+TEST(PerfModel, DevicePresets) {
+  EXPECT_EQ(DeviceSpec::v100_32gb().memory_capacity, 32LL << 30);
+  EXPECT_EQ(DeviceSpec::v100_16gb().memory_capacity, 16LL << 30);
+  EXPECT_GT(DeviceSpec::a100_40gb().tc_peak_flops,
+            DeviceSpec::v100_32gb().tc_peak_flops * 2);
+  EXPECT_LT(DeviceSpec::rtx3080_10gb().memory_capacity,
+            DeviceSpec::v100_16gb().memory_capacity);
+  // The non-GPU boundaries (abstract: "disk-memory and CPU-GPU processing").
+  const DeviceSpec nvme = DeviceSpec::nvme_cpu_node();
+  EXPECT_GT(nvme.memory_capacity, DeviceSpec::v100_32gb().memory_capacity);
+  EXPECT_LT(nvme.h2d_bytes_per_s, DeviceSpec::v100_32gb().h2d_bytes_per_s);
+  const DeviceSpec old = DeviceSpec::disk_cpu_1996();
+  EXPECT_LT(old.tc_peak_flops, 1e10);
+  EXPECT_LT(old.h2d_bytes_per_s, 1e8);
+  // Every preset builds a valid model with sane sub-peak rates.
+  for (const DeviceSpec& s :
+       {DeviceSpec::v100_32gb(), DeviceSpec::v100_16gb(),
+        DeviceSpec::a100_40gb(), DeviceSpec::rtx3080_10gb(), nvme, old}) {
+    PerfModel m(s);
+    const double r =
+        m.gemm_rate(Op::NoTrans, 8192, 8192, 8192, GemmPrecision::FP16_FP32);
+    EXPECT_GT(r, 0.0) << s.name;
+    EXPECT_LT(r, s.tc_peak_flops) << s.name;
+  }
+}
+
+} // namespace
+} // namespace rocqr::sim

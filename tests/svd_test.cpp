@@ -1,0 +1,164 @@
+// One-sided Jacobi SVD and the out-of-core randomized SVD pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "la/svd_jacobi.hpp"
+#include "svd/ooc_rsvd.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec() {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = 512LL << 20;
+  return s;
+}
+
+/// Builds A = U diag(sigma) Vᵀ with known spectrum via the condition-number
+/// generator (geometric spectrum in [1/cond, 1]).
+la::Matrix known_spectrum(index_t m, index_t n, double cond,
+                          std::uint64_t seed) {
+  return la::random_with_condition(m, n, cond, seed);
+}
+
+TEST(SvdJacobi, RecoversDiagonalSpectrum) {
+  la::Matrix a(6, 4);
+  const double diag[4] = {5.0, 3.0, 2.0, 0.5};
+  for (index_t j = 0; j < 4; ++j) a(j, j) = static_cast<float>(diag[j]);
+  const la::SvdResult svd = la::svd_jacobi(a.view());
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(svd.sigma[static_cast<size_t>(j)], diag[j], 1e-5);
+  }
+  EXPECT_LT(la::orthogonality_error(svd.u.view()), 1e-5);
+  EXPECT_LT(la::orthogonality_error(svd.v.view()), 1e-5);
+}
+
+TEST(SvdJacobi, ReconstructsRandomMatrix) {
+  la::Matrix a = la::random_normal(40, 12, 3);
+  const la::SvdResult svd = la::svd_jacobi(a.view());
+  // Reconstruct U Σ Vᵀ and compare.
+  la::Matrix us(40, 12);
+  for (index_t j = 0; j < 12; ++j) {
+    for (index_t i = 0; i < 40; ++i) {
+      us(i, j) = static_cast<float>(static_cast<double>(svd.u(i, j)) *
+                                    svd.sigma[static_cast<size_t>(j)]);
+    }
+  }
+  la::Matrix recon(40, 12);
+  blas::gemm(blas::Op::NoTrans, blas::Op::Trans, 40, 12, 12, 1.0f, us.data(),
+             us.ld(), svd.v.data(), svd.v.ld(), 0.0f, recon.data(),
+             recon.ld());
+  EXPECT_LT(la::relative_difference(recon.view(), a.view()), 1e-5);
+  // Descending order.
+  for (size_t j = 1; j < svd.sigma.size(); ++j) {
+    EXPECT_GE(svd.sigma[j - 1], svd.sigma[j]);
+  }
+}
+
+TEST(SvdJacobi, MatchesKnownGeometricSpectrum) {
+  const double cond = 100.0;
+  la::Matrix a = known_spectrum(80, 10, cond, 5);
+  const la::SvdResult svd = la::svd_jacobi(a.view());
+  // The generator places sigma_j = cond^(-j/(n-1)).
+  for (index_t j = 0; j < 10; ++j) {
+    const double expected = std::pow(cond, -static_cast<double>(j) / 9.0);
+    EXPECT_NEAR(svd.sigma[static_cast<size_t>(j)] / expected, 1.0, 1e-3)
+        << j;
+  }
+}
+
+TEST(SvdJacobi, RejectsBadInput) {
+  la::Matrix wide(3, 5);
+  EXPECT_THROW(la::svd_jacobi(wide.view()), InvalidArgument);
+  la::Matrix ok(4, 2);
+  EXPECT_THROW(la::svd_jacobi(ok.view(), 0), InvalidArgument);
+}
+
+TEST(OocRsvd, RecoversLowRankMatrix) {
+  // A with a sharply decaying spectrum: rank-8 signal dominates.
+  const index_t m = 300;
+  const index_t n = 120;
+  la::Matrix a = known_spectrum(m, n, 1e4, 7); // geometric decay over n
+
+  Device dev(test_spec(), ExecutionMode::Real);
+  svd::RsvdOptions opts;
+  opts.rank = 12;
+  opts.oversample = 8;
+  opts.power_iterations = 2;
+  opts.blocksize = 64;
+  opts.precision = blas::GemmPrecision::FP32;
+  const svd::RsvdResult r = svd::ooc_randomized_svd(dev, a.view(), opts);
+
+  // Leading singular values match the generator's spectrum.
+  for (index_t j = 0; j < 6; ++j) {
+    const double expected =
+        std::pow(1e4, -static_cast<double>(j) / (n - 1.0));
+    EXPECT_NEAR(r.sigma[static_cast<size_t>(j)] / expected, 1.0, 0.02) << j;
+  }
+  // Factors are orthonormal and the truncated product approximates A to
+  // about sigma_{rank+1}.
+  EXPECT_LT(la::orthogonality_error(r.u.view()), 1e-3);
+  EXPECT_LT(la::orthogonality_error(r.v.view()), 1e-3);
+  la::Matrix us(m, opts.rank);
+  for (index_t j = 0; j < opts.rank; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      us(i, j) =
+          static_cast<float>(static_cast<double>(r.u(i, j)) *
+                             r.sigma[static_cast<size_t>(j)]);
+    }
+  }
+  la::Matrix recon(m, n);
+  blas::gemm(blas::Op::NoTrans, blas::Op::Trans, m, n, opts.rank, 1.0f,
+             us.data(), us.ld(), r.v.data(), r.v.ld(), 0.0f, recon.data(),
+             recon.ld());
+  const double tail =
+      std::pow(1e4, -static_cast<double>(opts.rank) / (n - 1.0));
+  EXPECT_LT(la::relative_difference(recon.view(), a.view()), 5.0 * tail);
+  EXPECT_EQ(dev.live_allocations(), 0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(OocRsvd, PhantomPaperScaleSchedules) {
+  // 131072 x 131072 sketch at paper scale: the dominant cost is streaming A
+  // (2 + 2q passes); everything resident is O((m+n) l).
+  Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  dev.model().install_paper_calibration();
+  svd::RsvdOptions opts;
+  opts.rank = 32;
+  opts.power_iterations = 1;
+  opts.blocksize = 16384;
+  const svd::RsvdResult r = svd::ooc_randomized_svd(
+      dev, sim::HostConstRef::phantom(131072, 131072), opts);
+  EXPECT_GT(r.seconds, 0.0);
+  // A is 64 GiB; 4 streaming passes ~ 256 GiB plus small factors.
+  const double a_bytes = 131072.0 * 131072.0 * 4.0;
+  EXPECT_GT(static_cast<double>(r.h2d_bytes), 3.5 * a_bytes);
+  EXPECT_LT(static_cast<double>(r.h2d_bytes), 4.8 * a_bytes);
+  EXPECT_LE(dev.memory_peak(), dev.memory_capacity());
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(OocRsvd, RejectsBadOptions) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  svd::RsvdOptions opts;
+  opts.rank = 0;
+  EXPECT_THROW(svd::ooc_randomized_svd(
+                   dev, sim::HostConstRef::phantom(64, 32), opts),
+               InvalidArgument);
+  svd::RsvdOptions wide;
+  EXPECT_THROW(svd::ooc_randomized_svd(
+                   dev, sim::HostConstRef::phantom(16, 32), wide),
+               InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr

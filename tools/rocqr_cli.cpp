@@ -1,0 +1,263 @@
+// rocqr — command-line driver for the simulator and the OOC factorizations.
+//
+// Usage:
+//   rocqr_cli qr    [--algo recursive|blocking|left] [--m N] [--n N]
+//                   [--blocksize B] [--device NAME] [--capacity-gib G]
+//                   [--pageable] [--no-qr-opt] [--no-staging] [--ramp]
+//                   [--fp32] [--timeline] [--csv FILE] [--chrome FILE]
+//   rocqr_cli lu    (same flags; square matrices)
+//   rocqr_cli chol  (same flags; square SPD)
+//   rocqr_cli tune  [--algo ...] [--m N] [--n N] [--device NAME]
+//   rocqr_cli specs                  # list device presets
+//
+// Devices: v100-32 (default), v100-16, a100, rtx3080, nvme-cpu, disk-1996.
+// All runs are Phantom mode (schedule only), so any size works anywhere.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "lu/ooc_cholesky.hpp"
+#include "lu/ooc_lu.hpp"
+#include "qr/autotune.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "report/table.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> values;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& f : flags) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+  std::string value(const std::string& name, const std::string& fallback) const {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  index_t number(const std::string& name, index_t fallback) const {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : std::atoll(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << token << "\n";
+      std::exit(2);
+    }
+    token = token.substr(2);
+    // Value options take the next argv entry; everything else is a flag.
+    static const char* value_opts[] = {"algo", "m",  "n",       "blocksize",
+                                       "device", "capacity-gib", "csv",
+                                       "chrome"};
+    bool takes_value = false;
+    for (const char* v : value_opts) takes_value |= token == v;
+    if (takes_value) {
+      if (i + 1 >= argc) {
+        std::cerr << "--" << token << " needs a value\n";
+        std::exit(2);
+      }
+      args.values[token] = argv[++i];
+    } else {
+      args.flags.push_back(token);
+    }
+  }
+  return args;
+}
+
+sim::DeviceSpec spec_by_name(const std::string& name) {
+  if (name == "v100-32") return sim::DeviceSpec::v100_32gb();
+  if (name == "v100-16") return sim::DeviceSpec::v100_16gb();
+  if (name == "a100") return sim::DeviceSpec::a100_40gb();
+  if (name == "rtx3080") return sim::DeviceSpec::rtx3080_10gb();
+  if (name == "nvme-cpu") return sim::DeviceSpec::nvme_cpu_node();
+  if (name == "disk-1996") return sim::DeviceSpec::disk_cpu_1996();
+  std::cerr << "unknown device '" << name
+            << "' (try: v100-32, v100-16, a100, rtx3080, nvme-cpu, "
+               "disk-1996)\n";
+  std::exit(2);
+}
+
+void dump_traces(const sim::Device& dev, const Args& args) {
+  if (args.has_flag("timeline")) {
+    std::cout << "\n" << dev.trace().render_gantt(110);
+  }
+  if (const auto it = args.values.find("csv"); it != args.values.end()) {
+    std::ofstream os(it->second);
+    dev.trace().write_csv(os);
+    std::cout << "trace csv written to " << it->second << "\n";
+  }
+  if (const auto it = args.values.find("chrome"); it != args.values.end()) {
+    std::ofstream os(it->second);
+    dev.trace().write_chrome_json(os);
+    std::cout << "chrome trace written to " << it->second
+              << " (load in chrome://tracing)\n";
+  }
+}
+
+void print_stats(const char* what, const qr::QrStats& stats) {
+  std::cout << what << ": " << format_seconds(stats.total_seconds)
+            << " simulated\n"
+            << "  panel " << format_seconds(stats.panel_seconds) << ", gemm "
+            << format_seconds(stats.gemm_seconds) << ", H2D "
+            << format_bytes(stats.h2d_bytes) << " ("
+            << format_seconds(stats.h2d_seconds) << "), D2H "
+            << format_bytes(stats.d2h_bytes) << " ("
+            << format_seconds(stats.d2h_seconds) << ")\n"
+            << "  sustained " << format_flops_rate(stats.sustained_flops_per_s())
+            << ", peak device memory " << format_bytes(stats.peak_device_bytes)
+            << "\n";
+}
+
+int run_factorization(const Args& args) {
+  const bool recursive = args.value("algo", "recursive") == "recursive";
+  const index_t n = args.number("n", 131072);
+  const index_t m = args.number("m", args.command == "qr" ? n : n);
+  const index_t blocksize = args.number("blocksize", 16384);
+
+  sim::DeviceSpec spec = spec_by_name(args.value("device", "v100-32"));
+  if (args.values.count("capacity-gib") != 0) {
+    spec.memory_capacity = args.number("capacity-gib", 32) * (1LL << 30);
+  }
+  sim::Device dev(spec, sim::ExecutionMode::Phantom);
+  dev.model().install_paper_calibration();
+  dev.set_host_memory_pinned(!args.has_flag("pageable"));
+
+  std::cout << args.command << " " << format_shape(m, n) << " on " << spec.name
+            << " (" << format_bytes(spec.memory_capacity) << "), "
+            << args.value("algo", "recursive") << ", b=" << blocksize << "\n";
+
+  if (args.command == "qr") {
+    qr::QrOptions opts;
+    opts.blocksize = blocksize;
+    opts.qr_level_opt = !args.has_flag("no-qr-opt");
+    opts.staging_buffer = !args.has_flag("no-staging");
+    opts.ramp_up = args.has_flag("ramp");
+    if (args.has_flag("fp32")) opts.precision = blas::GemmPrecision::FP32;
+    auto a = sim::HostMutRef::phantom(m, n);
+    auto r = sim::HostMutRef::phantom(n, n);
+    const std::string algo = args.value("algo", "recursive");
+    const qr::QrStats stats =
+        algo == "left" ? qr::left_looking_ooc_qr(dev, a, r, opts)
+        : recursive    ? qr::recursive_ooc_qr(dev, a, r, opts)
+                       : qr::blocking_ooc_qr(dev, a, r, opts);
+    print_stats("QR", stats);
+  } else {
+    lu::FactorOptions opts;
+    opts.blocksize = blocksize;
+    opts.staging_buffer = !args.has_flag("no-staging");
+    opts.ramp_up = args.has_flag("ramp");
+    if (args.has_flag("fp32")) opts.precision = blas::GemmPrecision::FP32;
+    auto a = sim::HostMutRef::phantom(m, n);
+    const lu::FactorStats stats =
+        args.command == "lu"
+            ? (recursive ? lu::recursive_ooc_lu(dev, a, opts)
+                         : lu::blocking_ooc_lu(dev, a, opts))
+            : (recursive ? lu::recursive_ooc_cholesky(dev, a, opts)
+                         : lu::blocking_ooc_cholesky(dev, a, opts));
+    print_stats(args.command == "lu" ? "LU" : "Cholesky", stats);
+  }
+  dump_traces(dev, args);
+  return 0;
+}
+
+int run_tune(const Args& args) {
+  const bool recursive = args.value("algo", "recursive") == "recursive";
+  const index_t n = args.number("n", 131072);
+  const index_t m = args.number("m", n);
+  sim::DeviceSpec spec = spec_by_name(args.value("device", "v100-32"));
+  if (args.values.count("capacity-gib") != 0) {
+    spec.memory_capacity = args.number("capacity-gib", 32) * (1LL << 30);
+  }
+  const qr::TuneResult result = qr::tune_blocksize(spec, m, n, recursive);
+  report::Table t("blocksize sweep for " + std::string(recursive
+                                                           ? "recursive"
+                                                           : "blocking") +
+                      " QR of " + format_shape(m, n) + " on " + spec.name +
+                      ":",
+                  {"blocksize", "simulated time"});
+  for (const qr::TunePoint& p : result.sweep) {
+    t.add_row({std::to_string(p.blocksize),
+               p.fits ? format_seconds(p.seconds) : "OOM"});
+  }
+  std::cout << t.render();
+  std::cout << "recommended blocksize: " << result.best_blocksize << " ("
+            << format_seconds(result.best_seconds) << ")\n";
+  return 0;
+}
+
+int run_specs() {
+  report::Table t("device presets:",
+                  {"name", "memory", "TC peak", "fp32 peak", "link"});
+  for (const auto& spec :
+       {sim::DeviceSpec::v100_32gb(), sim::DeviceSpec::v100_16gb(),
+        sim::DeviceSpec::a100_40gb(), sim::DeviceSpec::rtx3080_10gb(),
+        sim::DeviceSpec::nvme_cpu_node(), sim::DeviceSpec::disk_cpu_1996()}) {
+    t.add_row({spec.name, format_bytes(spec.memory_capacity),
+               format_flops_rate(spec.tc_peak_flops),
+               format_flops_rate(spec.fp32_peak_flops),
+               format_bytes(static_cast<bytes_t>(spec.h2d_bytes_per_s)) +
+                   "/s"});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      R"(rocqr_cli — drive the out-of-core factorization simulator
+
+commands:
+  qr | lu | chol   simulate one factorization at paper scale
+  tune             sweep blocksizes, recommend the fastest
+  specs            list device presets
+
+common options:
+  --algo recursive|blocking|left   (default recursive; left = QR only)
+  --m N --n N                 matrix size (default 131072)
+  --blocksize B               panel width (default 16384)
+  --device NAME               v100-32 | v100-16 | a100 | rtx3080
+  --capacity-gib G            override device memory
+  --pageable                  pageable host buffers (half link rate)
+  --no-qr-opt --no-staging --ramp --fp32
+  --timeline                  print the per-engine Gantt chart
+  --csv FILE --chrome FILE    export the trace
+)";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "qr" || args.command == "lu" ||
+        args.command == "chol") {
+      return run_factorization(args);
+    }
+    if (args.command == "tune") return run_tune(args);
+    if (args.command == "specs") return run_specs();
+    usage();
+    return args.command.empty() ? 2 : (args.command == "help" ? 0 : 2);
+  } catch (const rocqr::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
