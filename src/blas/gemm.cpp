@@ -1,7 +1,10 @@
 #include "blas/gemm.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "blas/gemm_kernel.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
 
@@ -32,11 +35,10 @@ float load_rounded(const float* p, GemmPrecision precision) {
              : *p;
 }
 
-/// Packs op(X) (rows x cols after the op) into a dense column-major buffer,
-/// rounding through fp16 when the TensorCore path is selected. Packing makes
-/// the multiply kernel transpose-free and stride-1.
-void pack(Op op, index_t rows, index_t cols, const float* x, index_t ldx,
-          GemmPrecision precision, float* out) {
+/// Packs op(X) (rows x cols after the op) into a dense column-major buffer —
+/// the baseline kernel's whole-operand pack.
+void pack_whole(Op op, index_t rows, index_t cols, const float* x, index_t ldx,
+                GemmPrecision precision, float* out) {
   if (op == Op::NoTrans) {
     for (index_t j = 0; j < cols; ++j) {
       for (index_t i = 0; i < rows; ++i) {
@@ -52,36 +54,104 @@ void pack(Op op, index_t rows, index_t cols, const float* x, index_t ldx,
   }
 }
 
+/// Scales C by beta over the pool — shared prologue of both kernels.
+void scale_c(ThreadPool& tp, index_t m, index_t n, float beta, float* c,
+             index_t ldc) {
+  if (beta == 1.0f) return;
+  tp.parallel_for(n, [&](index_t j0, index_t j1) {
+    for (index_t j = j0; j < j1; ++j) {
+      float* col = c + j * ldc;
+      if (beta == 0.0f) {
+        for (index_t i = 0; i < m; ++i) col[i] = 0.0f;
+      } else {
+        for (index_t i = 0; i < m; ++i) col[i] *= beta;
+      }
+    }
+  });
+}
+
+std::atomic<std::int64_t> g_pack_allocations{0};
+
+/// Thread-local pack scratch, grown monotonically and reused across calls.
+/// Workers live as long as the pool, so in steady state no gemm call
+/// allocates; every growth event is counted for the bench assertion.
+float* ensure_pack_capacity(std::vector<float>& buf, size_t need) {
+  if (buf.size() < need) {
+    g_pack_allocations.fetch_add(1, std::memory_order_relaxed);
+    buf.resize(need);
+  }
+  return buf.data();
+}
+
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
 } // namespace
+
+std::int64_t gemm_pack_allocations() {
+  return g_pack_allocations.load(std::memory_order_relaxed);
+}
 
 void gemm(Op opa, Op opb, index_t m, index_t n, index_t k, float alpha,
           const float* a, index_t lda, const float* b, index_t ldb, float beta,
           float* c, index_t ldc, GemmPrecision precision, ThreadPool* pool) {
+  namespace kn = kernel;
   validate(opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
   if (m == 0 || n == 0) return;
 
   ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
-
-  if (beta != 1.0f) {
-    tp.parallel_for(n, [&](index_t j0, index_t j1) {
-      for (index_t j = j0; j < j1; ++j) {
-        float* col = c + j * ldc;
-        if (beta == 0.0f) {
-          for (index_t i = 0; i < m; ++i) col[i] = 0.0f;
-        } else {
-          for (index_t i = 0; i < m; ++i) col[i] *= beta;
-        }
-      }
-    });
-  }
+  scale_c(tp, m, n, beta, c, ldc);
   if (alpha == 0.0f || k == 0) return;
 
-  // Pack both operands once. At test scale (<= a few k) this costs a few
-  // megabytes and removes every transpose/precision branch from the kernel.
+  for (index_t jc = 0; jc < n; jc += kn::kNC) {
+    const index_t nb = std::min<index_t>(kn::kNC, n - jc);
+    const index_t jr_strips = kn::b_strips(nb);
+    for (index_t pc = 0; pc < k; pc += kn::kKC) {
+      const index_t kb = std::min<index_t>(kn::kKC, k - pc);
+      // The submitting thread packs the B panel once; every A block of this
+      // (jc, pc) round reads it, so it stays hot in the outer cache.
+      float* bp = ensure_pack_capacity(tl_pack_b, kn::packed_b_size(kb, nb));
+      kn::pack_b(opb, precision, alpha, b, ldb, pc, jc, kb, nb, bp);
+
+      const index_t ic_blocks = (m + kn::kMC - 1) / kn::kMC;
+      tp.parallel_for_2d(
+          ic_blocks, jr_strips,
+          [&](index_t i0, index_t i1, index_t jr0, index_t jr1) {
+            for (index_t ic = i0; ic < i1; ++ic) {
+              const index_t row0 = ic * kn::kMC;
+              const index_t mb = std::min<index_t>(kn::kMC, m - row0);
+              // Per-thread A pack: threads sharing an A block along the j
+              // split re-pack it rather than synchronize — pack cost is
+              // O(mb*kb) against O(mb*kb*nb) of multiply work.
+              float* ap = ensure_pack_capacity(tl_pack_a,
+                                               kn::packed_a_size(mb, kb));
+              kn::pack_a(opa, precision, a, lda, row0, pc, mb, kb, ap);
+              kn::macro_kernel(kb, mb, nb, ap, bp, jr0, jr1,
+                               c + row0 + jc * ldc, ldc);
+            }
+          });
+    }
+  }
+}
+
+void gemm_baseline(Op opa, Op opb, index_t m, index_t n, index_t k,
+                   float alpha, const float* a, index_t lda, const float* b,
+                   index_t ldb, float beta, float* c, index_t ldc,
+                   GemmPrecision precision, ThreadPool* pool) {
+  validate(opa, opb, m, n, k, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) return;
+
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  scale_c(tp, m, n, beta, c, ldc);
+  if (alpha == 0.0f || k == 0) return;
+
+  // Pack both operands once. This removes every transpose/precision branch
+  // from the multiply loop but costs O(m*k + k*n) fresh scratch per call and
+  // streams the whole packed A once per column of C.
   std::vector<float> ap(static_cast<size_t>(m) * static_cast<size_t>(k));
   std::vector<float> bp(static_cast<size_t>(k) * static_cast<size_t>(n));
-  pack(opa, m, k, a, lda, precision, ap.data());
-  pack(opb, k, n, b, ldb, precision, bp.data());
+  pack_whole(opa, m, k, a, lda, precision, ap.data());
+  pack_whole(opb, k, n, b, ldb, precision, bp.data());
 
   tp.parallel_for(n, [&](index_t j0, index_t j1) {
     for (index_t j = j0; j < j1; ++j) {

@@ -6,11 +6,16 @@
 //                 multiply, accumulation in fp32 — exactly the TensorCore
 //                 TC-GEMM numerical contract this reproduction studies.
 //
-// This is a *reference-quality* kernel (cache-blocked, thread-pooled), not a
-// tuned microkernel: at simulation scale all timing comes from the
-// performance model in src/sim, so the host kernel only needs to be correct
-// and fast enough to run the test suite.
+// The production path is a cache-blocked, packed kernel (register tile and
+// tiling parameters in gemm_kernel.hpp) parallelized over both output
+// dimensions through ThreadPool::parallel_for_2d. Pack buffers are
+// thread-local and reused across calls; gemm_pack_allocations() exposes the
+// buffer-growth count so benchmarks can assert steady-state makes zero
+// allocations. The seed pack-everything-then-multiply scheme survives as
+// gemm_baseline for A/B benchmarking.
 #pragma once
+
+#include <cstdint>
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -39,6 +44,20 @@ void gemm(Op opa, Op opb, index_t m, index_t n, index_t k, float alpha,
           const float* a, index_t lda, const float* b, index_t ldb, float beta,
           float* c, index_t ldc, GemmPrecision precision = GemmPrecision::FP32,
           ThreadPool* pool = nullptr);
+
+/// The pre-blocking kernel (pack both operands whole, then multiply): kept
+/// as the benchmark baseline the blocked kernel is measured against, and as
+/// a second oracle in tests. Allocates O(m*k + k*n) scratch per call.
+void gemm_baseline(Op opa, Op opb, index_t m, index_t n, index_t k,
+                   float alpha, const float* a, index_t lda, const float* b,
+                   index_t ldb, float beta, float* c, index_t ldc,
+                   GemmPrecision precision = GemmPrecision::FP32,
+                   ThreadPool* pool = nullptr);
+
+/// Number of times any thread grew its thread-local pack buffer, process
+/// wide. Steady-state gemm calls (same or smaller shapes) must not move
+/// this counter — bench/micro_host_kernels asserts exactly that.
+std::int64_t gemm_pack_allocations();
 
 /// Unblocked triple-loop reference used to validate the blocked kernel.
 void gemm_reference(Op opa, Op opb, index_t m, index_t n, index_t k,

@@ -2,8 +2,18 @@
 
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rocqr::blas {
+
+namespace {
+
+/// Minimum m*n before level-2 loops go through the pool; below this the
+/// dispatch overhead beats the win. Per-element math is identical either
+/// way, so results do not depend on the path taken.
+constexpr index_t kParallelWork = 1 << 15;
+
+} // namespace
 
 void gemv(Op op, index_t m, index_t n, float alpha, const float* a,
           index_t lda, const float* x, index_t incx, float beta, float* y,
@@ -23,23 +33,40 @@ void gemv(Op op, index_t m, index_t n, float alpha, const float* a,
   if (alpha == 0.0f || xlen == 0) return;
   ROCQR_CHECK(a != nullptr && x != nullptr, "gemv: null A or x");
 
+  const bool pooled = m * n >= kParallelWork;
   if (op == Op::NoTrans) {
-    // y += alpha * A x, column-major friendly: axpy per column.
-    for (index_t j = 0; j < n; ++j) {
-      const float w = alpha * x[j * incx];
-      if (w == 0.0f) continue;
-      const float* col = a + j * lda;
-      for (index_t i = 0; i < m; ++i) y[i * incy] += w * col[i];
+    // y += alpha * A x, column-major friendly: axpy per column. Rows are
+    // independent, so the pool splits the row range.
+    const auto rows = [&](index_t i0, index_t i1) {
+      for (index_t j = 0; j < n; ++j) {
+        const float w = alpha * x[j * incx];
+        if (w == 0.0f) continue;
+        const float* col = a + j * lda;
+        for (index_t i = i0; i < i1; ++i) y[i * incy] += w * col[i];
+      }
+    };
+    if (pooled) {
+      ThreadPool::global().parallel_for(m, rows);
+    } else {
+      rows(0, m);
     }
   } else {
     // y_j += alpha * (A(:,j) · x): dot per column, double accumulation.
-    for (index_t j = 0; j < n; ++j) {
-      const float* col = a + j * lda;
-      double acc = 0.0;
-      for (index_t i = 0; i < m; ++i) {
-        acc += static_cast<double>(col[i]) * static_cast<double>(x[i * incx]);
+    // Columns are independent, so the pool splits the column range.
+    const auto cols = [&](index_t j0, index_t j1) {
+      for (index_t j = j0; j < j1; ++j) {
+        const float* col = a + j * lda;
+        double acc = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          acc += static_cast<double>(col[i]) * static_cast<double>(x[i * incx]);
+        }
+        y[j * incy] += alpha * static_cast<float>(acc);
       }
-      y[j * incy] += alpha * static_cast<float>(acc);
+    };
+    if (pooled) {
+      ThreadPool::global().parallel_for(n, cols);
+    } else {
+      cols(0, n);
     }
   }
 }
@@ -50,11 +77,18 @@ void ger(index_t m, index_t n, float alpha, const float* x, index_t incx,
   ROCQR_CHECK(lda >= (m > 0 ? m : 1), "ger: lda too small");
   if (m == 0 || n == 0 || alpha == 0.0f) return;
   ROCQR_CHECK(a != nullptr && x != nullptr && y != nullptr, "ger: null operand");
-  for (index_t j = 0; j < n; ++j) {
-    const float w = alpha * y[j * incy];
-    if (w == 0.0f) continue;
-    float* col = a + j * lda;
-    for (index_t i = 0; i < m; ++i) col[i] += w * x[i * incx];
+  const auto cols = [&](index_t j0, index_t j1) {
+    for (index_t j = j0; j < j1; ++j) {
+      const float w = alpha * y[j * incy];
+      if (w == 0.0f) continue;
+      float* col = a + j * lda;
+      for (index_t i = 0; i < m; ++i) col[i] += w * x[i * incx];
+    }
+  };
+  if (m * n >= kParallelWork && n > 1) {
+    ThreadPool::global().parallel_for(n, cols);
+  } else {
+    cols(0, n);
   }
 }
 

@@ -1,8 +1,28 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rocqr {
+
+namespace {
+
+/// Set while the current thread executes a parallel_for body — on the
+/// caller's own chunk as much as on a worker's. Any parallel_for issued with
+/// the flag set is nested and must not touch pool state: the outer round
+/// owns tasks_/pending_/generation_, and a worker blocking on a second round
+/// would deadlock the pool against itself.
+thread_local bool tl_in_pool_body = false;
+
+struct BodyRegionGuard {
+  bool prev;
+  BodyRegionGuard() : prev(tl_in_pool_body) { tl_in_pool_body = true; }
+  ~BodyRegionGuard() { tl_in_pool_body = prev; }
+};
+
+} // namespace
+
+bool ThreadPool::in_parallel_region() { return tl_in_pool_body; }
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
@@ -28,10 +48,16 @@ void ThreadPool::parallel_for(index_t n,
                               const std::function<void(index_t, index_t)>& body) {
   if (n <= 0) return;
   const index_t parts = static_cast<index_t>(size());
-  if (parts == 1 || n == 1) {
+  if (tl_in_pool_body || parts == 1 || n == 1) {
+    // Nested (or trivially serial) call: run the whole range inline. The
+    // guard still marks the region so doubly-nested calls stay serial too.
+    BodyRegionGuard guard;
     body(0, n);
     return;
   }
+  // One round at a time: a second host thread submitting concurrently would
+  // otherwise race on tasks_/generation_ and strand workers mid-round.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   const index_t chunk = (n + parts - 1) / parts;
 
   {
@@ -51,6 +77,7 @@ void ThreadPool::parallel_for(index_t n,
   // The caller runs the first chunk itself.
   std::exception_ptr caller_error;
   try {
+    BodyRegionGuard guard;
     body(0, std::min(n, chunk));
   } catch (...) {
     caller_error = std::current_exception();
@@ -60,6 +87,38 @@ void ThreadPool::parallel_for(index_t n,
   work_done_.wait(lock, [this] { return pending_ == 0; });
   if (caller_error) std::rethrow_exception(caller_error);
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for_2d(
+    index_t m, index_t n,
+    const std::function<void(index_t, index_t, index_t, index_t)>& body) {
+  if (m <= 0 || n <= 0) return;
+  const index_t parts = static_cast<index_t>(size());
+  if (tl_in_pool_body || parts == 1 || (m == 1 && n == 1)) {
+    BodyRegionGuard guard;
+    body(0, m, 0, n);
+    return;
+  }
+  // Split the grid so tiles ~= pool size, biased toward the longer
+  // dimension: pm/pn ~= m/n with pm*pn >= parts, each capped by the extent.
+  index_t pm = static_cast<index_t>(std::lround(std::sqrt(
+      static_cast<double>(parts) * static_cast<double>(m) /
+      static_cast<double>(n))));
+  pm = std::clamp<index_t>(pm, 1, std::min<index_t>(parts, m));
+  index_t pn = std::min<index_t>(n, (parts + pm - 1) / pm);
+  const index_t tile_m = (m + pm - 1) / pm;
+  const index_t tile_n = (n + pn - 1) / pn;
+  pm = (m + tile_m - 1) / tile_m; // drop tiles made empty by rounding
+  pn = (n + tile_n - 1) / tile_n;
+
+  parallel_for(pm * pn, [&](index_t t0, index_t t1) {
+    for (index_t t = t0; t < t1; ++t) {
+      const index_t ti = t % pm;
+      const index_t tj = t / pm;
+      body(ti * tile_m, std::min(m, (ti + 1) * tile_m), tj * tile_n,
+           std::min(n, (tj + 1) * tile_n));
+    }
+  });
 }
 
 void ThreadPool::worker_loop(unsigned worker_index) {
@@ -78,6 +137,7 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     }
     std::exception_ptr error;
     try {
+      BodyRegionGuard guard;
       (*task.body)(task.begin, task.end);
     } catch (...) {
       error = std::current_exception();

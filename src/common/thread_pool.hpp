@@ -1,9 +1,21 @@
 // Minimal work-sharing thread pool for host BLAS kernels.
 //
-// The pool exposes a single collective operation, parallel_for, which is all
-// the blocked kernels need. Work is divided into contiguous ranges (one per
-// worker) rather than a task queue: for dense kernels, static partitioning
-// has lower overhead and better locality than work stealing.
+// The pool exposes two collective operations, parallel_for and
+// parallel_for_2d, which is all the blocked kernels need. Work is divided
+// into contiguous ranges (one per worker) rather than a task queue: for
+// dense kernels, static partitioning has lower overhead and better locality
+// than work stealing.
+//
+// Reentrancy contract (v2):
+//  - Nested calls (parallel_for issued from inside a parallel_for body, on
+//    any pool) detect the situation through a thread-local flag and run the
+//    body serially on the calling thread. Kernels may therefore call each
+//    other freely — e.g. gemm from inside a caller's parallel_for — without
+//    deadlocking or corrupting pool state.
+//  - Concurrent top-level calls from distinct host threads serialize on a
+//    submission mutex: one round runs at a time, later callers block until
+//    the pool is free. Dense kernels want all workers anyway, so overlapping
+//    rounds would only fight for cores.
 #pragma once
 
 #include <condition_variable>
@@ -30,8 +42,24 @@ class ThreadPool {
   /// Runs body(begin, end) over a partition of [0, n) across all workers
   /// plus the calling thread. Blocks until every range completes.
   /// Exceptions from body are rethrown (first one wins) on the caller.
+  /// Safe to call from inside another parallel_for body (runs serially) and
+  /// from multiple host threads at once (rounds serialize).
   void parallel_for(index_t n,
                     const std::function<void(index_t, index_t)>& body);
+
+  /// Runs body(i0, i1, j0, j1) over a tile partition of [0, m) x [0, n).
+  /// The grid is chosen so the tile count roughly matches the pool size,
+  /// with the split biased toward the longer dimension; kernels that are
+  /// short in one dimension (tall-skinny GEMM panels) still get full
+  /// parallelism from the other. Same reentrancy rules as parallel_for.
+  void parallel_for_2d(
+      index_t m, index_t n,
+      const std::function<void(index_t, index_t, index_t, index_t)>& body);
+
+  /// True while the calling thread is executing inside a parallel_for /
+  /// parallel_for_2d body (on any pool). Kernels can use this to skip
+  /// parallel setup they know will degrade to serial.
+  static bool in_parallel_region();
 
   /// Process-wide default pool (lazily constructed, never destroyed before
   /// exit). Kernels use this unless handed an explicit pool.
@@ -47,6 +75,10 @@ class ThreadPool {
   void worker_loop(unsigned worker_index);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole parallel_for rounds issued by different host threads.
+  /// Held for the full round, so tasks_/pending_/generation_ are only ever
+  /// touched by one submitting thread plus the workers.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <tuple>
+#include <vector>
 
 #include "blas/gemm.hpp"
 #include "common/half.hpp"
@@ -60,7 +61,11 @@ INSTANTIATE_TEST_SUITE_P(
                           std::tuple<index_t, index_t, index_t>{33, 17, 55},
                           std::tuple<index_t, index_t, index_t>{64, 1, 128},
                           std::tuple<index_t, index_t, index_t>{1, 64, 128},
-                          std::tuple<index_t, index_t, index_t>{96, 80, 112}),
+                          std::tuple<index_t, index_t, index_t>{96, 80, 112},
+                          // Cross the kMC=128 / kKC=256 cache-block edges
+                          // and leave ragged kMR/kNR register tiles.
+                          std::tuple<index_t, index_t, index_t>{130, 70, 300},
+                          std::tuple<index_t, index_t, index_t>{257, 96, 129}),
         ::testing::Values(Op::NoTrans, Op::Trans),
         ::testing::Values(Op::NoTrans, Op::Trans),
         ::testing::Values(GemmPrecision::FP32, GemmPrecision::FP16_FP32)));
@@ -162,6 +167,92 @@ TEST(Gemm, RejectsBadArguments) {
   EXPECT_THROW(blas::gemm(Op::NoTrans, Op::NoTrans, 4, 4, 4, 1.0f, nullptr, 4,
                           a.data(), 4, 0.0f, a.data(), 4),
                InvalidArgument);
+}
+
+TEST(Gemm, BaselineKernelMatchesBlocked) {
+  // The seed pack-and-multiply kernel survives as the benchmark baseline;
+  // both kernels must stay within reference tolerance of each other.
+  const index_t m = 150;
+  const index_t n = 90;
+  const index_t k = 260;
+  la::Matrix a = la::random_uniform(m, k, 1);
+  la::Matrix b = la::random_uniform(k, n, 2);
+  la::Matrix c_blocked = la::random_uniform(m, n, 3);
+  la::Matrix c_baseline = la::materialize(c_blocked.view());
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.5f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.25f, c_blocked.data(), c_blocked.ld());
+  blas::gemm_baseline(Op::NoTrans, Op::NoTrans, m, n, k, 1.5f, a.data(),
+                      a.ld(), b.data(), b.ld(), 0.25f, c_baseline.data(),
+                      c_baseline.ld());
+  const double tol = 1e-6 * std::sqrt(static_cast<double>(k + 1)) * 16.0;
+  EXPECT_LT(la::relative_difference(c_blocked.view(), c_baseline.view()), tol);
+}
+
+TEST(Gemm, SplittingKIsBitwiseInvariant) {
+  // The OOC drivers re-slice one multiply into several k-panels and are
+  // tested to produce identical bits; the host kernel must honor that.
+  const index_t m = 96;
+  const index_t n = 41;
+  const index_t k = 300;
+  la::Matrix a = la::random_uniform(m, k, 4);
+  la::Matrix b = la::random_uniform(k, n, 5);
+  la::Matrix c_whole(m, n);
+  la::Matrix c_split(m, n);
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, c_whole.data(), c_whole.ld());
+  const index_t k1 = 113; // awkward split, not a block multiple
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k1, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, c_split.data(), c_split.ld());
+  blas::gemm(Op::NoTrans, Op::NoTrans, m, n, k - k1, 1.0f, &a(0, k1), a.ld(),
+             &b(k1, 0), b.ld(), 1.0f, c_split.data(), c_split.ld());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(c_whole(i, j), c_split(i, j)) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// Regression: calling gemm from inside a parallel_for body used to re-enter
+// the global pool's round state and deadlock or corrupt pending_.
+TEST(Gemm, CallableFromInsideParallelForBody) {
+  const index_t n = 48;
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix expected(n, n);
+  blas::gemm_reference(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, a.data(),
+                       a.ld(), b.data(), b.ld(), 0.0f, expected.data(),
+                       expected.ld());
+  constexpr index_t kSlots = 8;
+  std::vector<la::Matrix> results;
+  for (index_t s = 0; s < kSlots; ++s) results.emplace_back(n, n);
+  ThreadPool::global().parallel_for(kSlots, [&](index_t s0, index_t s1) {
+    for (index_t s = s0; s < s1; ++s) {
+      blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, a.data(), a.ld(),
+                 b.data(), b.ld(), 0.0f, results[static_cast<size_t>(s)].data(),
+                 results[static_cast<size_t>(s)].ld());
+    }
+  });
+  const double tol = 1e-6 * std::sqrt(static_cast<double>(n + 1)) * 16.0;
+  for (const auto& r : results) {
+    EXPECT_LT(la::relative_difference(r.view(), expected.view()), tol);
+  }
+}
+
+TEST(Gemm, PackBuffersReusedAcrossCalls) {
+  const index_t n = 64;
+  la::Matrix a = la::random_uniform(n, n, 1);
+  la::Matrix b = la::random_uniform(n, n, 2);
+  la::Matrix c(n, n);
+  // First call may grow the thread-local pack scratch...
+  blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, a.data(), a.ld(),
+             b.data(), b.ld(), 0.0f, c.data(), c.ld());
+  const std::int64_t warm = blas::gemm_pack_allocations();
+  // ...steady state (same or smaller shapes) must not allocate at all.
+  for (int round = 0; round < 5; ++round) {
+    blas::gemm(Op::NoTrans, Op::Trans, n, n / 2, n, 1.0f, a.data(), a.ld(),
+               b.data(), b.ld(), 0.5f, c.data(), c.ld());
+  }
+  EXPECT_EQ(blas::gemm_pack_allocations(), warm);
 }
 
 TEST(Gemm, FlopCountConvention) {

@@ -95,6 +95,50 @@ TEST(Trsm, LeftUpperSolvesRXequalsB) {
   EXPECT_LT(la::relative_difference(b.view(), x_true.view()), 1e-5);
 }
 
+TEST(Trsm, RightUpperBlockedPathMatchesTruth) {
+  // n > 64 crosses into the blocked path (gemm trailing updates between
+  // diagonal-block solves); the solve must still recover X to fp32 accuracy.
+  const index_t m = 40;
+  const index_t n = 150;
+  la::Matrix r = la::random_uniform(n, n, 11);
+  for (index_t j = 0; j < n; ++j) {
+    r(j, j) = 2.0f + std::fabs(r(j, j));
+    for (index_t i = j + 1; i < n; ++i) r(i, j) = 0.0f;
+    // Keep off-diagonal mass small so the triangle stays well conditioned.
+    for (index_t i = 0; i < j; ++i) r(i, j) *= 0.1f;
+  }
+  la::Matrix x_true = la::random_uniform(m, n, 12);
+  la::Matrix b(m, n);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, m, n, n, 1.0f,
+             x_true.data(), x_true.ld(), r.data(), r.ld(), 0.0f, b.data(),
+             b.ld());
+  blas::trsm_right_upper(m, n, r.data(), r.ld(), b.data(), b.ld());
+  EXPECT_LT(la::relative_difference(b.view(), x_true.view()), 1e-4);
+}
+
+TEST(Trsm, LeftSolvesMatchAcrossRhsCounts) {
+  // The left solves parallelize over right-hand sides; each column's math is
+  // untouched, so solving many rhs at once must equal solving one at a time.
+  const index_t m = 48;
+  const index_t n = 96; // big enough to cross the pool threshold with m*m*n
+  la::Matrix r = la::random_uniform(m, m, 13);
+  for (index_t j = 0; j < m; ++j) {
+    r(j, j) = 2.0f + std::fabs(r(j, j));
+    for (index_t i = j + 1; i < m; ++i) r(i, j) = 0.0f;
+  }
+  la::Matrix b0 = la::random_uniform(m, n, 14);
+  la::Matrix batch = la::materialize(b0.view());
+  blas::trsm_left_upper(m, n, r.data(), r.ld(), batch.data(), batch.ld());
+  for (index_t j = 0; j < n; ++j) {
+    la::Matrix single(m, 1);
+    for (index_t i = 0; i < m; ++i) single(i, 0) = b0(i, j);
+    blas::trsm_left_upper(m, 1, r.data(), r.ld(), single.data(), single.ld());
+    for (index_t i = 0; i < m; ++i) {
+      ASSERT_EQ(batch(i, j), single(i, 0)) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
 TEST(Trsm, ThrowsOnSingularDiagonal) {
   la::Matrix r(2, 2);
   r(0, 0) = 1.0f;

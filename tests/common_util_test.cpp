@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -139,6 +140,180 @@ TEST(ThreadPool, GlobalPoolIsReusable) {
     total += static_cast<int>(e - b);
   });
   EXPECT_EQ(total.load(), 256);
+}
+
+TEST(ThreadPool, InParallelRegionFlagTracksBodyExecution) {
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  ThreadPool pool(3);
+  std::atomic<int> observed{0};
+  pool.parallel_for(6, [&](index_t, index_t) {
+    if (ThreadPool::in_parallel_region()) ++observed;
+  });
+  EXPECT_GT(observed.load(), 0); // every executed chunk saw the flag
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+// Regression: on the seed pool a nested parallel_for re-entered the round
+// state (tasks_/pending_/generation_) and deadlocked or corrupted the count.
+// Nested calls must degrade to serial execution and still cover the range.
+TEST(ThreadPool, NestedParallelForRunsSeriallyAndCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      std::atomic<int> chunks{0};
+      pool.parallel_for(100, [&](index_t ib, index_t ie) {
+        ++chunks;
+        total += static_cast<int>(ie - ib);
+      });
+      EXPECT_EQ(chunks.load(), 1); // degraded to one serial chunk
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, DoublyNestedStaysSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      pool.parallel_for(4, [&](index_t, index_t) {
+        pool.parallel_for(10, [&](index_t ib, index_t ie) {
+          total += static_cast<int>(ie - ib);
+        });
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 4 * 10);
+}
+
+// Regression: two host threads submitting to one pool raced on tasks_ and
+// generation_; submissions now serialize, and every element is still
+// processed exactly the right number of times.
+TEST(ThreadPool, ConcurrentSubmissionsFromTwoHostThreads) {
+  ThreadPool pool(4);
+  constexpr int kRounds = 200;
+  constexpr index_t kN = 500;
+  std::atomic<long> total{0};
+  auto hammer = [&] {
+    for (int it = 0; it < kRounds; ++it) {
+      pool.parallel_for(kN, [&](index_t b, index_t e) {
+        total += static_cast<long>(e - b);
+      });
+    }
+  };
+  std::thread t1(hammer);
+  std::thread t2(hammer);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 2L * kRounds * kN);
+}
+
+TEST(ThreadPool, SimultaneousCallerAndWorkerExceptions) {
+  ThreadPool pool(4);
+  // Every chunk throws: the caller's own chunk and all worker chunks race to
+  // fail. Exactly one exception must surface and the pool must stay usable.
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](index_t, index_t) {
+                                   throw std::runtime_error("all chunks");
+                                 }),
+               std::runtime_error);
+  // Worker-only failure (the caller's chunk [0, chunk) succeeds).
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](index_t b, index_t) {
+                                   if (b > 0) throw std::runtime_error("w");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(64, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionInsideNestedCallPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(3,
+                                 [&](index_t, index_t) {
+                                   pool.parallel_for(2, [&](index_t, index_t) {
+                                     throw std::runtime_error("nested");
+                                   });
+                                 }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(9, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 9);
+}
+
+TEST(ThreadPool, ParallelFor2dCoversGridExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr index_t kM = 37;
+  constexpr index_t kN = 23;
+  std::vector<std::atomic<int>> hits(kM * kN);
+  pool.parallel_for_2d(kM, kN, [&](index_t i0, index_t i1, index_t j0,
+                                   index_t j1) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    for (index_t j = j0; j < j1; ++j) {
+      for (index_t i = i0; i < i1; ++i) {
+        hits[static_cast<size_t>(i + j * kM)]++;
+      }
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelFor2dDegenerateShapes) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for_2d(0, 5, [&](index_t, index_t, index_t, index_t) {
+    ++calls;
+  });
+  pool.parallel_for_2d(5, 0, [&](index_t, index_t, index_t, index_t) {
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> cells{0};
+  pool.parallel_for_2d(1, 1, [&](index_t i0, index_t i1, index_t j0,
+                                 index_t j1) {
+    cells += static_cast<int>((i1 - i0) * (j1 - j0));
+  });
+  EXPECT_EQ(cells.load(), 1);
+  // Skinny grids must still cover everything.
+  std::atomic<int> tall{0};
+  pool.parallel_for_2d(97, 1, [&](index_t i0, index_t i1, index_t j0,
+                                  index_t j1) {
+    tall += static_cast<int>((i1 - i0) * (j1 - j0));
+  });
+  EXPECT_EQ(tall.load(), 97);
+}
+
+TEST(ThreadPool, ParallelFor2dOnPoolOfOneRunsInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  index_t cells = 0;
+  pool.parallel_for_2d(12, 7, [&](index_t i0, index_t i1, index_t j0,
+                                  index_t j1) {
+    ++calls;
+    cells += (i1 - i0) * (j1 - j0);
+  });
+  EXPECT_EQ(calls, 1); // single inline tile
+  EXPECT_EQ(cells, 12 * 7);
+}
+
+TEST(ThreadPool, ParallelFor2dNestedRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> cells{0};
+  pool.parallel_for(4, [&](index_t, index_t) {
+    pool.parallel_for_2d(6, 5, [&](index_t i0, index_t i1, index_t j0,
+                                   index_t j1) {
+      EXPECT_EQ(i0, 0); // nested: one tile spanning the whole grid
+      EXPECT_EQ(j0, 0);
+      cells += static_cast<int>((i1 - i0) * (j1 - j0));
+    });
+  });
+  EXPECT_EQ(cells.load(), 4 * 6 * 5);
 }
 
 TEST(Strings, FormatBytes) {
