@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_blas.dir/gemm.cpp.o"
+  "CMakeFiles/rocqr_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/rocqr_blas.dir/level1.cpp.o"
+  "CMakeFiles/rocqr_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/rocqr_blas.dir/level2.cpp.o"
+  "CMakeFiles/rocqr_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/rocqr_blas.dir/transform.cpp.o"
+  "CMakeFiles/rocqr_blas.dir/transform.cpp.o.d"
+  "CMakeFiles/rocqr_blas.dir/trsm.cpp.o"
+  "CMakeFiles/rocqr_blas.dir/trsm.cpp.o.d"
+  "librocqr_blas.a"
+  "librocqr_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

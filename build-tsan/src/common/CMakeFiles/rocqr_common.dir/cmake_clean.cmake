@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_common.dir/error.cpp.o"
+  "CMakeFiles/rocqr_common.dir/error.cpp.o.d"
+  "CMakeFiles/rocqr_common.dir/half.cpp.o"
+  "CMakeFiles/rocqr_common.dir/half.cpp.o.d"
+  "CMakeFiles/rocqr_common.dir/rng.cpp.o"
+  "CMakeFiles/rocqr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rocqr_common.dir/strings.cpp.o"
+  "CMakeFiles/rocqr_common.dir/strings.cpp.o.d"
+  "CMakeFiles/rocqr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/rocqr_common.dir/thread_pool.cpp.o.d"
+  "librocqr_common.a"
+  "librocqr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cpp" "src/la/CMakeFiles/rocqr_la.dir/cholesky.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/cholesky.cpp.o.d"
+  "/root/repo/src/la/condition.cpp" "src/la/CMakeFiles/rocqr_la.dir/condition.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/condition.cpp.o.d"
+  "/root/repo/src/la/generate.cpp" "src/la/CMakeFiles/rocqr_la.dir/generate.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/generate.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/rocqr_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/norms.cpp" "src/la/CMakeFiles/rocqr_la.dir/norms.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/norms.cpp.o.d"
+  "/root/repo/src/la/svd_jacobi.cpp" "src/la/CMakeFiles/rocqr_la.dir/svd_jacobi.cpp.o" "gcc" "src/la/CMakeFiles/rocqr_la.dir/svd_jacobi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rocqr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/blas/CMakeFiles/rocqr_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

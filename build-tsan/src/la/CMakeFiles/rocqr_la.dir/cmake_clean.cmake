@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_la.dir/cholesky.cpp.o"
+  "CMakeFiles/rocqr_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rocqr_la.dir/condition.cpp.o"
+  "CMakeFiles/rocqr_la.dir/condition.cpp.o.d"
+  "CMakeFiles/rocqr_la.dir/generate.cpp.o"
+  "CMakeFiles/rocqr_la.dir/generate.cpp.o.d"
+  "CMakeFiles/rocqr_la.dir/matrix.cpp.o"
+  "CMakeFiles/rocqr_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/rocqr_la.dir/norms.cpp.o"
+  "CMakeFiles/rocqr_la.dir/norms.cpp.o.d"
+  "CMakeFiles/rocqr_la.dir/svd_jacobi.cpp.o"
+  "CMakeFiles/rocqr_la.dir/svd_jacobi.cpp.o.d"
+  "librocqr_la.a"
+  "librocqr_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

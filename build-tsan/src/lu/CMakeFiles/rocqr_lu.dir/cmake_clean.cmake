@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_lu.dir/incore.cpp.o"
+  "CMakeFiles/rocqr_lu.dir/incore.cpp.o.d"
+  "CMakeFiles/rocqr_lu.dir/ooc_cholesky.cpp.o"
+  "CMakeFiles/rocqr_lu.dir/ooc_cholesky.cpp.o.d"
+  "CMakeFiles/rocqr_lu.dir/ooc_lu.cpp.o"
+  "CMakeFiles/rocqr_lu.dir/ooc_lu.cpp.o.d"
+  "librocqr_lu.a"
+  "librocqr_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ooc/inner_product.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/inner_product.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/inner_product.cpp.o.d"
+  "/root/repo/src/ooc/movement_model.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/movement_model.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/movement_model.cpp.o.d"
+  "/root/repo/src/ooc/multi_gpu.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/multi_gpu.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/ooc/ooc_gemm.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/ooc_gemm.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/ooc_gemm.cpp.o.d"
+  "/root/repo/src/ooc/outer_product.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/outer_product.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/outer_product.cpp.o.d"
+  "/root/repo/src/ooc/slab_schedule.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/slab_schedule.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/slab_schedule.cpp.o.d"
+  "/root/repo/src/ooc/trsm_engine.cpp" "src/ooc/CMakeFiles/rocqr_ooc.dir/trsm_engine.cpp.o" "gcc" "src/ooc/CMakeFiles/rocqr_ooc.dir/trsm_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rocqr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/blas/CMakeFiles/rocqr_blas.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/rocqr_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rocqr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

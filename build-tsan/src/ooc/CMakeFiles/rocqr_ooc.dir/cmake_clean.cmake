@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_ooc.dir/inner_product.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/inner_product.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/movement_model.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/movement_model.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/multi_gpu.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/ooc_gemm.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/ooc_gemm.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/outer_product.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/outer_product.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/slab_schedule.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/slab_schedule.cpp.o.d"
+  "CMakeFiles/rocqr_ooc.dir/trsm_engine.cpp.o"
+  "CMakeFiles/rocqr_ooc.dir/trsm_engine.cpp.o.d"
+  "librocqr_ooc.a"
+  "librocqr_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

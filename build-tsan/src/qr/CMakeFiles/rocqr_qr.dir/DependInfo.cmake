@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qr/autotune.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/autotune.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/autotune.cpp.o.d"
+  "/root/repo/src/qr/blocking_qr.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/blocking_qr.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/blocking_qr.cpp.o.d"
+  "/root/repo/src/qr/driver_util.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/driver_util.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/driver_util.cpp.o.d"
+  "/root/repo/src/qr/gemm_plan.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/gemm_plan.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/gemm_plan.cpp.o.d"
+  "/root/repo/src/qr/host_tracker.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/host_tracker.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/host_tracker.cpp.o.d"
+  "/root/repo/src/qr/incore.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/incore.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/incore.cpp.o.d"
+  "/root/repo/src/qr/left_looking_qr.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/left_looking_qr.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/left_looking_qr.cpp.o.d"
+  "/root/repo/src/qr/multi_gpu_qr.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/multi_gpu_qr.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/multi_gpu_qr.cpp.o.d"
+  "/root/repo/src/qr/ooc_solve.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/ooc_solve.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/ooc_solve.cpp.o.d"
+  "/root/repo/src/qr/options.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/options.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/options.cpp.o.d"
+  "/root/repo/src/qr/panel.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/panel.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/panel.cpp.o.d"
+  "/root/repo/src/qr/recursive_qr.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/recursive_qr.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/recursive_qr.cpp.o.d"
+  "/root/repo/src/qr/refine.cpp" "src/qr/CMakeFiles/rocqr_qr.dir/refine.cpp.o" "gcc" "src/qr/CMakeFiles/rocqr_qr.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rocqr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/blas/CMakeFiles/rocqr_blas.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/rocqr_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rocqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ooc/CMakeFiles/rocqr_ooc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

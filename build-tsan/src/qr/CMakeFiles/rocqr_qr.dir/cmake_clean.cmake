@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_qr.dir/autotune.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/autotune.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/blocking_qr.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/blocking_qr.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/driver_util.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/driver_util.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/gemm_plan.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/gemm_plan.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/host_tracker.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/host_tracker.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/incore.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/incore.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/left_looking_qr.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/left_looking_qr.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/multi_gpu_qr.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/multi_gpu_qr.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/ooc_solve.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/ooc_solve.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/options.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/options.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/panel.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/panel.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/recursive_qr.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/recursive_qr.cpp.o.d"
+  "CMakeFiles/rocqr_qr.dir/refine.cpp.o"
+  "CMakeFiles/rocqr_qr.dir/refine.cpp.o.d"
+  "librocqr_qr.a"
+  "librocqr_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_report.dir/table.cpp.o"
+  "CMakeFiles/rocqr_report.dir/table.cpp.o.d"
+  "librocqr_report.a"
+  "librocqr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/rocqr_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/rocqr_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/rocqr_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/rocqr_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/rocqr_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/rocqr_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/spec.cpp" "src/sim/CMakeFiles/rocqr_sim.dir/spec.cpp.o" "gcc" "src/sim/CMakeFiles/rocqr_sim.dir/spec.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/rocqr_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/rocqr_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rocqr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/blas/CMakeFiles/rocqr_blas.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/rocqr_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

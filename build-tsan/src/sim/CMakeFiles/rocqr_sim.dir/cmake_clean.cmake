@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_sim.dir/device.cpp.o"
+  "CMakeFiles/rocqr_sim.dir/device.cpp.o.d"
+  "CMakeFiles/rocqr_sim.dir/memory.cpp.o"
+  "CMakeFiles/rocqr_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/rocqr_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/rocqr_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/rocqr_sim.dir/spec.cpp.o"
+  "CMakeFiles/rocqr_sim.dir/spec.cpp.o.d"
+  "CMakeFiles/rocqr_sim.dir/trace.cpp.o"
+  "CMakeFiles/rocqr_sim.dir/trace.cpp.o.d"
+  "librocqr_sim.a"
+  "librocqr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

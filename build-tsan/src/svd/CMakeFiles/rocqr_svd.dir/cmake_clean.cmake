@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_svd.dir/ooc_rsvd.cpp.o"
+  "CMakeFiles/rocqr_svd.dir/ooc_rsvd.cpp.o.d"
+  "librocqr_svd.a"
+  "librocqr_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rocqr_svd.
+# This may be replaced when dependencies are built.

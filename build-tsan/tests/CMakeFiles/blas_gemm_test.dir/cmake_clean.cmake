@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_gemm_test.dir/blas_gemm_test.cpp.o"
+  "CMakeFiles/blas_gemm_test.dir/blas_gemm_test.cpp.o.d"
+  "blas_gemm_test"
+  "blas_gemm_test.pdb"
+  "blas_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

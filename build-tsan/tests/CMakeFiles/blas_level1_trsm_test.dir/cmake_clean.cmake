@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_level1_trsm_test.dir/blas_level1_trsm_test.cpp.o"
+  "CMakeFiles/blas_level1_trsm_test.dir/blas_level1_trsm_test.cpp.o.d"
+  "blas_level1_trsm_test"
+  "blas_level1_trsm_test.pdb"
+  "blas_level1_trsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_level1_trsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

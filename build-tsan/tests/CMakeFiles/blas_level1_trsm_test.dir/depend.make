@@ -1,0 +1,2 @@
+# Empty dependencies file for blas_level1_trsm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_level2_condition_test.dir/blas_level2_condition_test.cpp.o"
+  "CMakeFiles/blas_level2_condition_test.dir/blas_level2_condition_test.cpp.o.d"
+  "blas_level2_condition_test"
+  "blas_level2_condition_test.pdb"
+  "blas_level2_condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_level2_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_half_test.dir/common_half_test.cpp.o"
+  "CMakeFiles/common_half_test.dir/common_half_test.cpp.o.d"
+  "common_half_test"
+  "common_half_test.pdb"
+  "common_half_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_half_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

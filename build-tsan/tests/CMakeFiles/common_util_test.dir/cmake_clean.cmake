@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_util_test.dir/common_util_test.cpp.o"
+  "CMakeFiles/common_util_test.dir/common_util_test.cpp.o.d"
+  "common_util_test"
+  "common_util_test.pdb"
+  "common_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

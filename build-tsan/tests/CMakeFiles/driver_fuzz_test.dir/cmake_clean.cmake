@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_fuzz_test.dir/driver_fuzz_test.cpp.o"
+  "CMakeFiles/driver_fuzz_test.dir/driver_fuzz_test.cpp.o.d"
+  "driver_fuzz_test"
+  "driver_fuzz_test.pdb"
+  "driver_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

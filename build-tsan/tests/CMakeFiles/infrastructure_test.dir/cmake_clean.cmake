@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infrastructure_test.dir/infrastructure_test.cpp.o"
+  "CMakeFiles/infrastructure_test.dir/infrastructure_test.cpp.o.d"
+  "infrastructure_test"
+  "infrastructure_test.pdb"
+  "infrastructure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infrastructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

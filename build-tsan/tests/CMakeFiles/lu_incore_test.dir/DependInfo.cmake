@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lu_incore_test.cpp" "tests/CMakeFiles/lu_incore_test.dir/lu_incore_test.cpp.o" "gcc" "tests/CMakeFiles/lu_incore_test.dir/lu_incore_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/svd/CMakeFiles/rocqr_svd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lu/CMakeFiles/rocqr_lu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qr/CMakeFiles/rocqr_qr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ooc/CMakeFiles/rocqr_ooc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/rocqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/rocqr_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/blas/CMakeFiles/rocqr_blas.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rocqr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/report/CMakeFiles/rocqr_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

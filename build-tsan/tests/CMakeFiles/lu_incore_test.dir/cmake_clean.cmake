@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_incore_test.dir/lu_incore_test.cpp.o"
+  "CMakeFiles/lu_incore_test.dir/lu_incore_test.cpp.o.d"
+  "lu_incore_test"
+  "lu_incore_test.pdb"
+  "lu_incore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_incore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_ooc_test.dir/lu_ooc_test.cpp.o"
+  "CMakeFiles/lu_ooc_test.dir/lu_ooc_test.cpp.o.d"
+  "lu_ooc_test"
+  "lu_ooc_test.pdb"
+  "lu_ooc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_ooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

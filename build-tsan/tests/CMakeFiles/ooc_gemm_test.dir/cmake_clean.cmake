@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_gemm_test.dir/ooc_gemm_test.cpp.o"
+  "CMakeFiles/ooc_gemm_test.dir/ooc_gemm_test.cpp.o.d"
+  "ooc_gemm_test"
+  "ooc_gemm_test.pdb"
+  "ooc_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_movement_test.dir/ooc_movement_test.cpp.o"
+  "CMakeFiles/ooc_movement_test.dir/ooc_movement_test.cpp.o.d"
+  "ooc_movement_test"
+  "ooc_movement_test.pdb"
+  "ooc_movement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_movement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_random_property_test.dir/ooc_random_property_test.cpp.o"
+  "CMakeFiles/ooc_random_property_test.dir/ooc_random_property_test.cpp.o.d"
+  "ooc_random_property_test"
+  "ooc_random_property_test.pdb"
+  "ooc_random_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_random_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_slab_test.dir/ooc_slab_test.cpp.o"
+  "CMakeFiles/ooc_slab_test.dir/ooc_slab_test.cpp.o.d"
+  "ooc_slab_test"
+  "ooc_slab_test.pdb"
+  "ooc_slab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_slab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_solve_scoped_test.dir/ooc_solve_scoped_test.cpp.o"
+  "CMakeFiles/ooc_solve_scoped_test.dir/ooc_solve_scoped_test.cpp.o.d"
+  "ooc_solve_scoped_test"
+  "ooc_solve_scoped_test.pdb"
+  "ooc_solve_scoped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_solve_scoped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

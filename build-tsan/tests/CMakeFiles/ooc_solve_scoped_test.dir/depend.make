@@ -1,0 +1,2 @@
+# Empty dependencies file for ooc_solve_scoped_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_real_equivalence_test.dir/phantom_real_equivalence_test.cpp.o"
+  "CMakeFiles/phantom_real_equivalence_test.dir/phantom_real_equivalence_test.cpp.o.d"
+  "phantom_real_equivalence_test"
+  "phantom_real_equivalence_test.pdb"
+  "phantom_real_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_real_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

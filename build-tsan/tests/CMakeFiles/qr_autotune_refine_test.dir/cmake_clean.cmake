@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_autotune_refine_test.dir/qr_autotune_refine_test.cpp.o"
+  "CMakeFiles/qr_autotune_refine_test.dir/qr_autotune_refine_test.cpp.o.d"
+  "qr_autotune_refine_test"
+  "qr_autotune_refine_test.pdb"
+  "qr_autotune_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_autotune_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qr_autotune_refine_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_incore_test.dir/qr_incore_test.cpp.o"
+  "CMakeFiles/qr_incore_test.dir/qr_incore_test.cpp.o.d"
+  "qr_incore_test"
+  "qr_incore_test.pdb"
+  "qr_incore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_incore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

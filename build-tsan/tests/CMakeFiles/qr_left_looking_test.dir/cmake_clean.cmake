@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_left_looking_test.dir/qr_left_looking_test.cpp.o"
+  "CMakeFiles/qr_left_looking_test.dir/qr_left_looking_test.cpp.o.d"
+  "qr_left_looking_test"
+  "qr_left_looking_test.pdb"
+  "qr_left_looking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_left_looking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_ooc_test.dir/qr_ooc_test.cpp.o"
+  "CMakeFiles/qr_ooc_test.dir/qr_ooc_test.cpp.o.d"
+  "qr_ooc_test"
+  "qr_ooc_test.pdb"
+  "qr_ooc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_ooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_phantom_test.dir/qr_phantom_test.cpp.o"
+  "CMakeFiles/qr_phantom_test.dir/qr_phantom_test.cpp.o.d"
+  "qr_phantom_test"
+  "qr_phantom_test.pdb"
+  "qr_phantom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_phantom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

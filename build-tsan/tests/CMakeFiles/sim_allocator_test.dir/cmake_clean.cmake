@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_allocator_test.dir/sim_allocator_test.cpp.o"
+  "CMakeFiles/sim_allocator_test.dir/sim_allocator_test.cpp.o.d"
+  "sim_allocator_test"
+  "sim_allocator_test.pdb"
+  "sim_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_perf_model_test.dir/sim_perf_model_test.cpp.o"
+  "CMakeFiles/sim_perf_model_test.dir/sim_perf_model_test.cpp.o.d"
+  "sim_perf_model_test"
+  "sim_perf_model_test.pdb"
+  "sim_perf_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_perf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

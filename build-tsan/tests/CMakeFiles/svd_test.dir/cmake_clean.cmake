@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_test.dir/svd_test.cpp.o"
+  "CMakeFiles/svd_test.dir/svd_test.cpp.o.d"
+  "svd_test"
+  "svd_test.pdb"
+  "svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

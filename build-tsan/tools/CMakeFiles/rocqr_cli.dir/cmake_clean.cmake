@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocqr_cli.dir/rocqr_cli.cpp.o"
+  "CMakeFiles/rocqr_cli.dir/rocqr_cli.cpp.o.d"
+  "rocqr_cli"
+  "rocqr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocqr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

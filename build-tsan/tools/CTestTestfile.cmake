@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_specs "/root/repo/build-tsan/tools/rocqr_cli" "specs")
+set_tests_properties(cli_specs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qr "/root/repo/build-tsan/tools/rocqr_cli" "qr" "--n" "65536" "--blocksize" "8192")
+set_tests_properties(cli_qr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qr_blocking "/root/repo/build-tsan/tools/rocqr_cli" "qr" "--algo" "blocking" "--n" "65536" "--blocksize" "8192" "--device" "v100-16" "--timeline")
+set_tests_properties(cli_qr_blocking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lu "/root/repo/build-tsan/tools/rocqr_cli" "lu" "--n" "65536" "--blocksize" "8192")
+set_tests_properties(cli_lu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_chol "/root/repo/build-tsan/tools/rocqr_cli" "chol" "--n" "65536" "--blocksize" "8192" "--pageable")
+set_tests_properties(cli_chol PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tune "/root/repo/build-tsan/tools/rocqr_cli" "tune" "--n" "32768" "--device" "rtx3080")
+set_tests_properties(cli_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_export "/root/repo/build-tsan/tools/rocqr_cli" "qr" "--n" "32768" "--blocksize" "4096" "--csv" "/root/repo/build-tsan/cli_trace.csv" "--chrome" "/root/repo/build-tsan/cli_trace.json")
+set_tests_properties(cli_trace_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build-tsan/tools/rocqr_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_device "/root/repo/build-tsan/tools/rocqr_cli" "qr" "--device" "nope")
+set_tests_properties(cli_bad_device PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
