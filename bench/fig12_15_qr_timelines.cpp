@@ -2,20 +2,42 @@
 // factorization — blocking vs recursive at blocksize 16384 (32 GB, Figs
 // 12/13) and at blocksize 8192 with the device limited to 16 GB (Figs
 // 14/15), plus the ~15% QR-level-optimization ablation quoted in §5.2.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.hpp"
+#include "common/telemetry.hpp"
 #include "qr/blocking_qr.hpp"
 #include "qr/recursive_qr.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
+#include "sim/trace_export.hpp"
 
-int main() {
+namespace {
+
+std::string arg_value(int argc, char** argv, const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    if (t.rfind(prefix, 0) == 0) return t.substr(prefix.size());
+  }
+  return {};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
   using namespace rocqr;
   namespace paper = report::paper;
 
+  // --trace-json=FILE exports the Fig 13 timeline (recursive, 32 GB) as a
+  // Chrome/Perfetto trace; --metrics-json=FILE snapshots the registry at exit.
+  const std::string trace_path = arg_value(argc, argv, "--trace-json=");
+  const std::string metrics_path = arg_value(argc, argv, "--metrics-json=");
+
   const index_t n = 131072;
 
+  bool exported_trace = false;
   const auto run = [&](bool recursive, bytes_t capacity, index_t b,
                        bool qr_level_opt, bool show_timeline,
                        const char* title) {
@@ -25,6 +47,11 @@ int main() {
     qr::QrOptions opts = recursive ? bench::recursive_options(b)
                                    : bench::blocking_baseline(b);
     opts.qr_level_opt = qr_level_opt;
+    const bool export_this =
+        recursive && show_timeline && !exported_trace && !trace_path.empty();
+    // Span cursors index this run's device trace; drop spans accumulated by
+    // earlier runs so the export only carries this timeline's phases.
+    if (export_this) telemetry::SpanLog::global().clear();
     const qr::QrStats stats =
         recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
                   : qr::blocking_ooc_qr(dev, a, r, opts);
@@ -35,6 +62,12 @@ int main() {
                 << bench::secs(stats.gemm_seconds) << ", sustained "
                 << bench::tflops(stats.sustained_flops_per_s()) << ")\n\n"
                 << dev.trace().render_gantt(110);
+    }
+    if (export_this) {
+      exported_trace = true;
+      std::ofstream os(trace_path);
+      sim::write_chrome_trace(os, dev.trace(), &telemetry::SpanLog::global());
+      std::cout << "chrome trace written to " << trace_path << "\n";
     }
     return stats;
   };
@@ -86,5 +119,10 @@ int main() {
                     "%"});
   }
   std::cout << t2.render();
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    telemetry::MetricsRegistry::global().write_json(os);
+    std::cout << "metrics snapshot written to " << metrics_path << "\n";
+  }
   return 0;
 }

@@ -53,8 +53,8 @@ int main() {
     const qr::QrStats rec = run(c, 2);
     t.add_row({c.spec.name, bench::secs(ll.total_seconds),
                bench::secs(rl.total_seconds), bench::secs(rec.total_seconds),
-               format_bytes(ll.h2d_bytes), format_bytes(rl.h2d_bytes),
-               format_bytes(rec.h2d_bytes)});
+               format_bytes(ll.bytes_h2d), format_bytes(rl.bytes_h2d),
+               format_bytes(rec.bytes_h2d)});
   }
   std::cout << t.render();
   std::cout

@@ -27,7 +27,7 @@ int main() {
     const svd::RsvdResult r = svd::ooc_randomized_svd(
         dev, sim::HostConstRef::phantom(131072, 131072), opts);
     t.add_row({std::to_string(q), std::to_string(2 + 2 * q),
-               format_bytes(r.h2d_bytes), format_bytes(r.d2h_bytes),
+               format_bytes(r.bytes_h2d), format_bytes(r.bytes_d2h),
                bench::secs(r.seconds)});
   }
   std::cout << t.render();

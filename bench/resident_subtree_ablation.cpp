@@ -40,12 +40,12 @@ int main() {
     const qr::QrStats streamed = run(p.capacity, p.b, false);
     const qr::QrStats resident = run(p.capacity, p.b, true);
     t.add_row({p.label, "streamed levels (paper)",
-               format_bytes(streamed.h2d_bytes),
-               format_bytes(streamed.d2h_bytes),
+               format_bytes(streamed.bytes_h2d),
+               format_bytes(streamed.bytes_d2h),
                bench::secs(streamed.total_seconds)});
     t.add_row({"", "resident subtrees (ours)",
-               format_bytes(resident.h2d_bytes),
-               format_bytes(resident.d2h_bytes),
+               format_bytes(resident.bytes_h2d),
+               format_bytes(resident.bytes_d2h),
                bench::secs(resident.total_seconds)});
   }
   std::cout << t.render();

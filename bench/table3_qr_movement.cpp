@@ -1,34 +1,67 @@
 // Reproduces Table 3: total data-movement time of the full 131072^2 OOC QR
 // at blocksize 16384, recursive vs blocking, plus the measured byte volumes
 // against the §3.2 analytic model.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.hpp"
+#include "common/telemetry.hpp"
 #include "ooc/movement_model.hpp"
 #include "qr/blocking_qr.hpp"
 #include "qr/recursive_qr.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
+#include "sim/trace_export.hpp"
 
-int main() {
+namespace {
+
+std::string arg_value(int argc, char** argv, const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    if (t.rfind(prefix, 0) == 0) return t.substr(prefix.size());
+  }
+  return {};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
   using namespace rocqr;
   namespace paper = report::paper;
+
+  const std::string trace_path = arg_value(argc, argv, "--trace-json=");
+  const std::string metrics_path = arg_value(argc, argv, "--metrics-json=");
 
   bench::section("Table 3 — data movement of the full 131072^2 QR, b=16384");
 
   const index_t n = 131072;
   const index_t b = 16384;
 
+  // The recursive run's trace (the paper's headline configuration) is the
+  // one exported when --trace-json= is given.
   const auto run = [&](bool recursive) {
     auto dev = bench::paper_device();
     auto a = sim::HostMutRef::phantom(n, n);
     auto r = sim::HostMutRef::phantom(n, n);
-    return recursive
-               ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
-               : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+    const qr::QrStats stats =
+        recursive
+            ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
+            : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+    if (recursive && !trace_path.empty()) {
+      std::ofstream os(trace_path);
+      sim::write_chrome_trace(os, dev.trace(), &telemetry::SpanLog::global());
+      std::cout << "chrome trace written to " << trace_path << "\n";
+    }
+    return stats;
   };
   const qr::QrStats rec = run(true);
   const qr::QrStats blk = run(false);
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    telemetry::MetricsRegistry::global().write_json(os);
+    std::cout << "metrics snapshot written to " << metrics_path << "\n";
+  }
 
   using P = paper::QrMovement;
   report::Table t("Engine busy time (and bytes moved), measured vs paper:",
@@ -40,10 +73,10 @@ int main() {
              bench::vs_paper_s(rec.d2h_seconds, P::recursive_d2h_s),
              bench::vs_paper_s(blk.d2h_seconds, P::blocking_d2h_s)});
   t.add_rule();
-  t.add_row({"H2D volume", format_bytes(rec.h2d_bytes),
-             format_bytes(blk.h2d_bytes)});
-  t.add_row({"D2H volume", format_bytes(rec.d2h_bytes),
-             format_bytes(blk.d2h_bytes)});
+  t.add_row({"H2D volume", format_bytes(rec.bytes_h2d),
+             format_bytes(blk.bytes_h2d)});
+  t.add_row({"D2H volume", format_bytes(rec.bytes_d2h),
+             format_bytes(blk.bytes_d2h)});
   std::cout << t.render();
 
   bench::section("§3.2 analytic no-reuse model vs measured volume");
@@ -51,19 +84,19 @@ int main() {
   t2.add_row({"recursive H2D",
               format_bytes(static_cast<bytes_t>(
                   ooc::recursive_h2d_words_sum(n, n, b) * 4)),
-              format_bytes(rec.h2d_bytes)});
+              format_bytes(rec.bytes_h2d)});
   t2.add_row({"recursive D2H",
               format_bytes(static_cast<bytes_t>(
                   ooc::recursive_d2h_words(n, n, b) * 4)),
-              format_bytes(rec.d2h_bytes)});
+              format_bytes(rec.bytes_d2h)});
   t2.add_row({"blocking H2D",
               format_bytes(static_cast<bytes_t>(
                   ooc::blocking_h2d_words(n, n, b) * 4)),
-              format_bytes(blk.h2d_bytes)});
+              format_bytes(blk.bytes_h2d)});
   t2.add_row({"blocking D2H",
               format_bytes(static_cast<bytes_t>(
                   ooc::blocking_d2h_words(n, n, b) * 4)),
-              format_bytes(blk.d2h_bytes)});
+              format_bytes(blk.bytes_d2h)});
   std::cout << t2.render();
   std::cout
       << "\nThe recursive algorithm moves less in both directions (Table 3's\n"

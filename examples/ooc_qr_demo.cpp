@@ -83,8 +83,8 @@ int main(int argc, char** argv) {
     std::cout << "  simulated time    : " << format_seconds(stats.total_seconds)
               << " (panel " << format_seconds(stats.panel_seconds) << ", gemm "
               << format_seconds(stats.gemm_seconds) << ")\n";
-    std::cout << "  data moved        : H2D " << format_bytes(stats.h2d_bytes)
-              << ", D2H " << format_bytes(stats.d2h_bytes) << "\n";
+    std::cout << "  data moved        : H2D " << format_bytes(stats.bytes_h2d)
+              << ", D2H " << format_bytes(stats.bytes_d2h) << "\n";
     std::cout << "  peak device memory: "
               << format_bytes(stats.peak_device_bytes) << " of "
               << format_bytes(device_bytes) << "\n";

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render();
   std::cout << "\nsimulated time " << format_seconds(r.seconds) << ", H2D "
-            << format_bytes(r.h2d_bytes) << " (matrix itself is "
+            << format_bytes(r.bytes_h2d) << " (matrix itself is "
             << format_bytes(static_cast<bytes_t>(m) * n * 4)
             << "; device holds only " << format_bytes(spec.memory_capacity)
             << ")\nworst singular-value error: " << format_fixed(100 * worst, 2)

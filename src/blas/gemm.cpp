@@ -7,6 +7,7 @@
 #include "blas/gemm_kernel.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "common/telemetry.hpp"
 
 namespace rocqr::blas {
 
@@ -78,6 +79,10 @@ std::atomic<std::int64_t> g_pack_allocations{0};
 float* ensure_pack_capacity(std::vector<float>& buf, size_t need) {
   if (buf.size() < need) {
     g_pack_allocations.fetch_add(1, std::memory_order_relaxed);
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("blas.pack_allocations").increment();
+    reg.histogram("blas.pack_bytes")
+        .observe(static_cast<std::int64_t>(need) * 4);
     buf.resize(need);
   }
   return buf.data();

@@ -1,0 +1,212 @@
+#include "common/telemetry.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rocqr::telemetry {
+
+namespace {
+
+int bit_width_bucket(std::int64_t sample) {
+  int width = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(sample);
+  while (v != 0) {
+    ++width;
+    v >>= 1;
+  }
+  return width;
+}
+
+/// Active span stack of the calling thread (indices into the global log).
+/// Per-thread so concurrent drivers each get a coherent tree.
+thread_local std::vector<int> t_span_stack;
+
+} // namespace
+
+void Histogram::observe(std::int64_t sample) {
+  ROCQR_CHECK(sample >= 0, "Histogram::observe: negative sample");
+  const int b = bit_width_bucket(sample);
+  buckets_[static_cast<size_t>(b < kBuckets ? b : kBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(const std::string& name,
+                                             SlotKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot s;
+    s.kind = kind;
+    switch (kind) {
+      case SlotKind::Counter: s.counter = std::make_unique<Counter>(); break;
+      case SlotKind::Gauge: s.gauge = std::make_unique<Gauge>(); break;
+      case SlotKind::Histogram:
+        s.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = slots_.emplace(name, std::move(s)).first;
+  }
+  ROCQR_CHECK(it->second.kind == kind,
+              "MetricsRegistry: metric '" + name +
+                  "' already registered with a different kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *slot(name, SlotKind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *slot(name, SlotKind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *slot(name, SlotKind::Histogram).histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {
+    MetricSample sample;
+    sample.name = name;
+    switch (s.kind) {
+      case SlotKind::Counter:
+        sample.kind = MetricKind::Counter;
+        sample.value = static_cast<double>(s.counter->value());
+        sample.sum = sample.value;
+        break;
+      case SlotKind::Gauge:
+        sample.kind = MetricKind::Gauge;
+        sample.value = s.gauge->value();
+        sample.sum = sample.value;
+        break;
+      case SlotKind::Histogram:
+        sample.kind = MetricKind::Histogram;
+        sample.value = static_cast<double>(s.histogram->count());
+        sample.sum = static_cast<double>(s.histogram->sum());
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out; // std::map iterates in name order => deterministic
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, s] : slots_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << name << "\": ";
+    switch (s.kind) {
+      case SlotKind::Counter: os << s.counter->value(); break;
+      case SlotKind::Gauge: os << s.gauge->value(); break;
+      case SlotKind::Histogram: {
+        const Histogram& h = *s.histogram;
+        os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+           << ", \"buckets\": [";
+        // Emit up to the last non-empty power-of-two bucket.
+        int top = Histogram::kBuckets - 1;
+        while (top > 0 && h.bucket(top) == 0) --top;
+        for (int b = 0; b <= top; ++b) {
+          if (b > 0) os << ", ";
+          os << h.bucket(b);
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, s] : slots_) {
+    (void)name;
+    switch (s.kind) {
+      case SlotKind::Counter: s.counter->reset(); break;
+      case SlotKind::Gauge: s.gauge->reset(); break;
+      case SlotKind::Histogram: s.histogram->reset(); break;
+    }
+  }
+}
+
+SpanLog& SpanLog::global() {
+  static SpanLog* log = new SpanLog();
+  return *log;
+}
+
+std::vector<SpanRecord> SpanLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+bool SpanLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.empty();
+}
+
+void SpanLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Open spans keep valid ids only while their records exist; clearing with
+  // live spans would dangle, so refuse (a driver-level export always runs
+  // after its spans closed).
+  for (const SpanRecord& r : records_) {
+    ROCQR_CHECK(!r.open, "SpanLog::clear: span '" + r.name + "' still open");
+  }
+  records_.clear();
+}
+
+int SpanLog::open_span(std::string name, std::uint64_t begin_cursor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord r;
+  r.id = static_cast<int>(records_.size());
+  r.parent = t_span_stack.empty() ? -1 : t_span_stack.back();
+  r.depth = static_cast<int>(t_span_stack.size());
+  r.name = std::move(name);
+  r.begin_cursor = begin_cursor;
+  r.end_cursor = begin_cursor;
+  records_.push_back(std::move(r));
+  t_span_stack.push_back(records_.back().id);
+  return records_.back().id;
+}
+
+void SpanLog::close_span(int id, std::uint64_t end_cursor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord& r = records_[static_cast<size_t>(id)];
+  r.end_cursor = end_cursor;
+  r.open = false;
+  // RAII scopes close in LIFO order per thread.
+  if (!t_span_stack.empty() && t_span_stack.back() == id) {
+    t_span_stack.pop_back();
+  }
+}
+
+Span::Span(std::string name, std::function<std::uint64_t()> cursor,
+           SpanLog& log)
+    : log_(log), cursor_(std::move(cursor)) {
+  id_ = log_.open_span(std::move(name), cursor_ ? cursor_() : 0);
+}
+
+Span::~Span() { log_.close_span(id_, cursor_ ? cursor_() : 0); }
+
+} // namespace rocqr::telemetry

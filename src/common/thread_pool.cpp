@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.hpp"
+
 namespace rocqr {
 
 namespace {
+
+/// Pool occupancy metrics, interned once (the registry lookup is too heavy
+/// for the per-round path).
+struct PoolMetrics {
+  telemetry::Counter& rounds;
+  telemetry::Counter& nested_serial_rounds;
+  telemetry::Histogram& round_width;
+  telemetry::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static PoolMetrics* m = new PoolMetrics{
+        reg.counter("pool.rounds"), reg.counter("pool.nested_serial_rounds"),
+        reg.histogram("pool.round_width"), reg.gauge("pool.queue_depth")};
+    return *m;
+  }
+};
 
 /// Set while the current thread executes a parallel_for body — on the
 /// caller's own chunk as much as on a worker's. Any parallel_for issued with
@@ -51,10 +70,13 @@ void ThreadPool::parallel_for(index_t n,
   if (tl_in_pool_body || parts == 1 || n == 1) {
     // Nested (or trivially serial) call: run the whole range inline. The
     // guard still marks the region so doubly-nested calls stay serial too.
+    PoolMetrics::get().nested_serial_rounds.increment();
     BodyRegionGuard guard;
     body(0, n);
     return;
   }
+  PoolMetrics::get().rounds.increment();
+  PoolMetrics::get().round_width.observe(n);
   // One round at a time: a second host thread submitting concurrently would
   // otherwise race on tasks_/generation_ and strand workers mid-round.
   std::lock_guard<std::mutex> submit(submit_mutex_);
@@ -71,6 +93,7 @@ void ThreadPool::parallel_for(index_t n,
       tasks_[static_cast<size_t>(w)] = Task{&body, begin, end};
       if (begin < end) ++pending_;
     }
+    PoolMetrics::get().queue_depth.record_max(pending_);
   }
   work_ready_.notify_all();
 

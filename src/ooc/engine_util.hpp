@@ -1,10 +1,24 @@
 // Internal helpers shared by the OOC GEMM engines (not public API).
 #pragma once
 
+#include "common/telemetry.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::ooc::detail {
+
+/// Slab prefetch accounting shared by every streaming engine. A *hit* is a
+/// streamed-input move-in whose buffer slot was already free (the pipeline
+/// ran deep enough); a *miss* is a slot still owned by an in-flight GEMM, so
+/// the move-in had to be fenced behind that GEMM's completion event — the
+/// H2D link may stall there. The miss count is structural (fences enqueued),
+/// not a measured stall time; see ooc.* counters in docs/TELEMETRY.md.
+inline void count_slab_prefetch(bool missed) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  static telemetry::Counter* hit = &reg.counter("ooc.slab_prefetch_hits");
+  static telemetry::Counter* miss = &reg.counter("ooc.slab_prefetch_misses");
+  (missed ? *miss : *hit).increment();
+}
 
 /// The three streams every engine pipeline uses: one feeding the H2D link,
 /// one feeding the compute engine, one feeding the D2H link.

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
@@ -46,6 +47,7 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
   const int depth = detail::effective_depth(opts);
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "inner_product_recursive");
   auto streams = detail::make_streams(dev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
@@ -85,6 +87,7 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
     for (size_t s = 0; s < kslabs.size(); ++s) {
       const Slab kslab = kslabs[s];
       const size_t slot = static_cast<size_t>(global_step % depth);
+      detail::count_slab_prefetch(global_step >= depth);
       if (global_step >= depth) {
         dev.wait_event(streams.in,
                        gemm_done[static_cast<size_t>(global_step - depth)]);
@@ -182,6 +185,7 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
   const int depth = detail::effective_depth(opts);
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "inner_product_blocking");
   auto streams = detail::make_streams(dev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
@@ -217,6 +221,7 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
   for (size_t s = 0; s < slabs.size(); ++s) {
     const Slab slab = slabs[s];
     const size_t slot = s % static_cast<size_t>(depth);
+    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
     if (s >= static_cast<size_t>(depth)) {
       dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
     }

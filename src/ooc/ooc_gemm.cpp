@@ -2,20 +2,24 @@
 
 #include "common/error.hpp"
 #include "ooc/operand.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
-OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
-                      float alpha, sim::HostConstRef a, sim::HostConstRef b,
-                      float beta, sim::HostConstRef c_in,
-                      sim::HostMutRef c_out, OocGemmOptions opts) {
-  const index_t m = blas::op_rows(opa, a.rows, a.cols);
-  const index_t k = blas::op_cols(opa, a.rows, a.cols);
-  const index_t n = blas::op_cols(opb, b.rows, b.cols);
-  ROCQR_CHECK(blas::op_rows(opb, b.rows, b.cols) == k,
+OocGemmStats ooc_gemm(sim::Device& dev, const GemmProblem& p,
+                      OocGemmOptions opts) {
+  sim::TraceSpan span(dev, "ooc_gemm");
+  sim::HostConstRef a = p.a;
+  sim::HostConstRef b = p.b;
+  sim::HostConstRef c_in = p.c_in;
+  const index_t m = blas::op_rows(p.opa, a.rows, a.cols);
+  const index_t k = blas::op_cols(p.opa, a.rows, a.cols);
+  const index_t n = blas::op_cols(p.opb, b.rows, b.cols);
+  ROCQR_CHECK(blas::op_rows(p.opb, b.rows, b.cols) == k,
               "ooc_gemm: inner dimension mismatch");
-  ROCQR_CHECK(c_out.rows == m && c_out.cols == n, "ooc_gemm: C shape mismatch");
-  if (beta != 0.0f) {
+  ROCQR_CHECK(p.c_out.rows == m && p.c_out.cols == n,
+              "ooc_gemm: C shape mismatch");
+  if (p.beta != 0.0f) {
     ROCQR_CHECK(c_in.rows == m && c_in.cols == n,
                 "ooc_gemm: C input shape mismatch");
   } else if (c_in.rows != m || c_in.cols != n) {
@@ -23,22 +27,38 @@ OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
     c_in = sim::HostConstRef::phantom(m, n);
   }
 
-  opts.alpha = alpha;
-  opts.beta = beta;
-  opts.outer_opa = opa;
-  opts.outer_opb = opb;
+  opts.alpha = p.alpha;
+  opts.beta = p.beta;
+  opts.outer_opa = p.opa;
+  opts.outer_opb = p.opb;
 
   // Keep the smaller factor resident; stream C against the larger one.
   const bytes_t a_bytes = static_cast<bytes_t>(a.rows) * a.cols;
   const bytes_t b_bytes = static_cast<bytes_t>(b.rows) * b.cols;
-  if (a_bytes <= b_bytes && opb == blas::Op::NoTrans) {
+  if (a_bytes <= b_bytes && p.opb == blas::Op::NoTrans) {
     // A resident, B and C stream in column slabs.
     return outer_product_colwise(dev, Operand::on_host(a),
-                                 Operand::on_host(b), c_in, c_out, opts);
+                                 Operand::on_host(b), c_in, p.c_out, opts);
   }
   // B resident, A and C stream in row slabs.
   return outer_product_recursive(dev, Operand::on_host(a),
-                                 Operand::on_host(b), c_in, c_out, opts);
+                                 Operand::on_host(b), c_in, p.c_out, opts);
+}
+
+OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
+                      float alpha, sim::HostConstRef a, sim::HostConstRef b,
+                      float beta, sim::HostConstRef c_in,
+                      sim::HostMutRef c_out, OocGemmOptions opts) {
+  GemmProblem p;
+  p.opa = opa;
+  p.opb = opb;
+  p.alpha = alpha;
+  p.beta = beta;
+  p.a = a;
+  p.b = b;
+  p.c_in = c_in;
+  p.c_out = c_out;
+  return ooc_gemm(dev, p, std::move(opts));
 }
 
 } // namespace rocqr::ooc

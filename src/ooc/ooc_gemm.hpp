@@ -14,11 +14,37 @@
 
 namespace rocqr::ooc {
 
-/// C (m x n) := beta·C + alpha·op(A)·op(B), everything on the host.
-/// A is stored m x k (NoTrans) or k x m (Trans); B is k x n or n x k.
-/// c_in and c_out may alias; with beta == 0, c_in may be phantom/null.
-/// The resident factor must fit device memory (throws DeviceOutOfMemory
-/// otherwise); the streamed matrices may be arbitrarily large.
+/// Describes one out-of-core GEMM, C := beta·C + alpha·op(A)·op(B), with all
+/// three matrices host-resident. Replaces the former 10-positional-argument
+/// ooc_gemm signature: name the fields you set, default the rest.
+///
+///   GemmProblem p;
+///   p.opa = blas::Op::Trans;
+///   p.a = q;  p.b = a2;  p.c_out = r12;
+///   ooc_gemm(dev, p);
+struct GemmProblem {
+  blas::Op opa = blas::Op::NoTrans;
+  blas::Op opb = blas::Op::NoTrans;
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  /// A is stored m x k (NoTrans) or k x m (Trans); B is k x n or n x k.
+  sim::HostConstRef a;
+  sim::HostConstRef b;
+  /// Prior C values; only read when beta != 0 (may stay default-constructed
+  /// for a write-only C). c_in and c_out may alias.
+  sim::HostConstRef c_in;
+  sim::HostMutRef c_out;
+};
+
+/// Runs one GemmProblem. The resident factor (the smaller of op(A)/op(B))
+/// must fit device memory (throws DeviceOutOfMemory otherwise); the streamed
+/// matrices may be arbitrarily large.
+OocGemmStats ooc_gemm(sim::Device& dev, const GemmProblem& problem,
+                      OocGemmOptions opts = {});
+
+/// Positional-argument form, superseded by GemmProblem. Forwards verbatim;
+/// will be removed one release after the descriptor landed.
+[[deprecated("build a GemmProblem and call ooc_gemm(dev, problem, opts)")]]
 OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
                       float alpha, sim::HostConstRef a, sim::HostConstRef b,
                       float beta, sim::HostConstRef c_in,

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
@@ -72,6 +73,7 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
   const int depth = detail::effective_depth(opts);
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "outer_product_recursive");
   auto streams = detail::make_streams(dev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
@@ -116,6 +118,7 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
     const index_t col0 = trapezoid ? slab.offset : 0;
     const index_t cw = n - col0;
 
+    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
     if (s >= static_cast<size_t>(depth)) {
       dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
     }
@@ -217,6 +220,7 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
   const int depth = detail::effective_depth(opts);
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "outer_product_colwise");
   auto streams = detail::make_streams(dev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
@@ -244,6 +248,7 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
     const size_t slot = s % static_cast<size_t>(depth);
     const DeviceMatrix& cbuf = buf_c[s % c_slots];
 
+    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
     if (s >= static_cast<size_t>(depth)) {
       dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
     }
@@ -326,6 +331,7 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
   const auto col_tiles = slab_partition(n, b2);
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "outer_product_blocking");
   auto streams = detail::make_streams(dev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
@@ -357,6 +363,7 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
         continue;
       }
       const DeviceMatrix& cbuf = buf_c[t % c_slots];
+      detail::count_slab_prefetch(t >= c_slots);
       if (t >= c_slots) {
         dev.wait_event(streams.in, out_done[t - c_slots]);
       }

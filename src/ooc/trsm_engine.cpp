@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/operand.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
@@ -51,6 +52,7 @@ Event trsm_base(Device& dev, TriSolveKind kind, HostConstRef t,
   for (size_t s = 0; s < slabs.size(); ++s) {
     const Slab slab = slabs[s];
     const DeviceMatrix& bbuf = buf_b[s % b_slots];
+    detail::count_slab_prefetch(s >= b_slots);
     if (s >= b_slots) dev.wait_event(streams.in, out_done[s - b_slots]);
     dev.copy_h2d(DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
                  host_block(b_in, j0, slab.offset, w, slab.width), streams.in,
@@ -162,6 +164,7 @@ OocGemmStats ooc_trsm(Device& dev, TriSolveKind kind, HostConstRef t,
   }
 
   const size_t window_begin = dev.trace().size();
+  sim::TraceSpan span(dev, "ooc_trsm");
   Event done = trsm_recurse(dev, kind, t, b_in, b_out, 0, t.rows, Event{},
                             opts);
 

@@ -1,6 +1,7 @@
 #include "qr/blocking_qr.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -9,6 +10,7 @@
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/panel.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
 
@@ -22,14 +24,15 @@ using sim::Stream;
 
 QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                         const QrOptions& opts) {
+  opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;
   ROCQR_CHECK(m >= n && n >= 1, "blocking_ooc_qr: need m >= n >= 1");
   ROCQR_CHECK(r.rows == n && r.cols == n, "blocking_ooc_qr: R must be n x n");
   const index_t b = std::min(opts.blocksize, n);
-  ROCQR_CHECK(b >= 1, "blocking_ooc_qr: blocksize must be positive");
 
   const size_t window = dev.trace().size();
+  sim::TraceSpan qr_span(dev, "blocking_qr");
   detail::HostWriteTracker tracker(n);
   Stream pan_in = dev.create_stream();
   Stream comp = dev.create_stream();
@@ -37,6 +40,7 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
 
   for (index_t j0 = 0; j0 < n; j0 += b) {
     const index_t w = std::min(b, n - j0);
+    sim::TraceSpan iter_span(dev, "panel_iter j0=" + std::to_string(j0));
 
     // 1. Panel move-in. With the QR-level optimization, row chunks start as
     // soon as the previous trailing update's matching move-outs complete.

@@ -8,6 +8,7 @@
 #include "ooc/operand.hpp"
 #include "ooc/slab_schedule.hpp"
 #include "qr/panel.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
 
@@ -22,6 +23,7 @@ using sim::Stream;
 
 QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                             const QrOptions& opts) {
+  opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;
   ROCQR_CHECK(m >= n && n >= 1, "left_looking_ooc_qr: need m >= n >= 1");
@@ -30,6 +32,7 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
   const index_t b = std::min(opts.blocksize, n);
 
   const size_t window = dev.trace().size();
+  sim::TraceSpan qr_span(dev, "left_looking_qr");
   Stream in = dev.create_stream();
   Stream comp = dev.create_stream();
   Stream out = dev.create_stream();

@@ -37,23 +37,27 @@ QrStats combine_stats(const std::vector<Device*>& devices,
     total.d2d_seconds += s.d2d_seconds;
     total.h2d_seconds += s.h2d_seconds;
     total.d2h_seconds += s.d2h_seconds;
-    total.h2d_bytes += s.h2d_bytes;
-    total.d2h_bytes += s.d2h_bytes;
+    total.compute_seconds += s.compute_seconds;
+    total.bytes_h2d += s.bytes_h2d;
+    total.bytes_d2h += s.bytes_d2h;
+    total.bytes_d2d += s.bytes_d2d;
     total.flops += s.flops;
     total.panels += s.panels;
+    total.events += s.events;
     total.peak_device_bytes =
         std::max(total.peak_device_bytes, s.peak_device_bytes);
-    const sim::TraceSummary w = sim::summarize(devices[d]->trace(), windows[d]);
-    if (w.events == 0) continue;
+    if (s.events == 0) continue;
     if (!any) {
-      first = w.first_start;
-      last = w.last_end;
+      first = s.first_start;
+      last = s.last_end;
       any = true;
     } else {
-      first = std::min(first, w.first_start);
-      last = std::max(last, w.last_end);
+      first = std::min(first, s.first_start);
+      last = std::max(last, s.last_end);
     }
   }
+  total.first_start = first;
+  total.last_end = last;
   total.total_seconds = any ? last - first : 0;
   return total;
 }
@@ -67,6 +71,7 @@ QrStats multi_gpu_blocking_qr(const std::vector<Device*>& devices,
   for (Device* dev : devices) {
     ROCQR_CHECK(dev != nullptr, "multi_gpu_blocking_qr: null device");
   }
+  opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;
   ROCQR_CHECK(m >= n && n >= 1, "multi_gpu_blocking_qr: need m >= n >= 1");

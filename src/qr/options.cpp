@@ -1,54 +1,34 @@
 #include "qr/options.hpp"
 
-#include <algorithm>
+#include "common/error.hpp"
 
 namespace rocqr::qr {
 
+void QrOptions::validate() const {
+  ROCQR_CHECK(blocksize > 0, "QrOptions: blocksize must be positive");
+  ROCQR_CHECK(panel_base > 0, "QrOptions: panel_base must be positive");
+  ROCQR_CHECK(pipeline_depth >= 1, "QrOptions: pipeline_depth must be >= 1");
+  // The ramp knobs only participate in the schedule when ramp-up is on, so a
+  // small-blocksize run with the default ramp_start stays valid.
+  if (ramp_up) {
+    ROCQR_CHECK(ramp_start > 0, "QrOptions: ramp_start must be positive");
+    ROCQR_CHECK(ramp_start <= blocksize,
+                "QrOptions: ramp_start must not exceed blocksize");
+  }
+  ROCQR_CHECK(memory_budget_fraction > 0.0 && memory_budget_fraction <= 1.0,
+              "QrOptions: memory_budget_fraction must be in (0, 1]");
+  ROCQR_CHECK(outer_tile_rows >= 0,
+              "QrOptions: outer_tile_rows must be non-negative");
+  ROCQR_CHECK(outer_tile_cols >= 0,
+              "QrOptions: outer_tile_cols must be non-negative");
+  ROCQR_CHECK(inner_c_panel >= 0,
+              "QrOptions: inner_c_panel must be non-negative");
+}
+
 QrStats stats_from_trace(const sim::Trace& trace, size_t from,
                          bytes_t peak_device_bytes) {
-  QrStats s;
+  QrStats s = sim::engine_stats_from_trace(trace, from);
   s.peak_device_bytes = peak_device_bytes;
-  const auto& events = trace.events();
-  sim_time_t first = 0;
-  sim_time_t last = 0;
-  bool any = false;
-  for (size_t i = from; i < events.size(); ++i) {
-    const sim::TraceEvent& e = events[i];
-    const sim_time_t dur = e.end - e.start;
-    if (!any) {
-      first = e.start;
-      last = e.end;
-      any = true;
-    } else {
-      first = std::min(first, e.start);
-      last = std::max(last, e.end);
-    }
-    switch (e.kind) {
-      case sim::OpKind::Panel:
-        s.panel_seconds += dur;
-        ++s.panels;
-        break;
-      case sim::OpKind::Gemm:
-      case sim::OpKind::Trsm: // triangular solves count as update work
-        s.gemm_seconds += dur;
-        break;
-      case sim::OpKind::CopyD2D:
-        s.d2d_seconds += dur;
-        break;
-      case sim::OpKind::CopyH2D:
-        s.h2d_seconds += dur;
-        s.h2d_bytes += e.bytes;
-        break;
-      case sim::OpKind::CopyD2H:
-        s.d2h_seconds += dur;
-        s.d2h_bytes += e.bytes;
-        break;
-      case sim::OpKind::Custom:
-        break;
-    }
-    s.flops += e.flops;
-  }
-  s.total_seconds = any ? last - first : 0;
   return s;
 }
 

@@ -51,26 +51,21 @@ struct QrOptions {
   /// Fraction of device memory the planner is allowed to commit (head-room
   /// for the allocator's alignment and cross-phase overlap).
   double memory_budget_fraction = 0.92;
+
+  /// Checks every field against its documented domain and throws
+  /// rocqr::InvalidArgument on the first violation. All drivers call this on
+  /// entry, so a bad configuration fails uniformly at the API boundary
+  /// instead of asserting deep inside the memory planner.
+  void validate() const;
 };
 
-/// Aggregate cost of one full OOC QR factorization (simulated seconds).
-struct QrStats {
-  sim_time_t total_seconds = 0;   ///< makespan of the factorization
-  sim_time_t panel_seconds = 0;   ///< compute busy: panel factorizations
-  sim_time_t gemm_seconds = 0;    ///< compute busy: GEMMs
-  sim_time_t d2d_seconds = 0;     ///< compute busy: staging copies
-  sim_time_t h2d_seconds = 0;     ///< H2D engine busy
-  sim_time_t d2h_seconds = 0;     ///< D2H engine busy
-  bytes_t h2d_bytes = 0;
-  bytes_t d2h_bytes = 0;
-  flops_t flops = 0;
-  bytes_t peak_device_bytes = 0;
-  index_t panels = 0;
-
-  double sustained_flops_per_s() const {
-    return total_seconds > 0 ? static_cast<double>(flops) / total_seconds : 0.0;
-  }
-};
+/// The factorization aggregate is the unified trace-window statistic shared
+/// with the OOC engines — one deriver (sim::engine_stats_from_trace), no
+/// duplicated counter logic. See sim/trace.hpp for the field list; byte
+/// counters follow the Trace naming convention (`bytes_h2d`, not the former
+/// `h2d_bytes`).
+using EngineStats = sim::EngineStats;
+using QrStats = sim::EngineStats;
 
 /// Builds QrStats from the device trace window [from, end).
 QrStats stats_from_trace(const sim::Trace& trace, size_t from,

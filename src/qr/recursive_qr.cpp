@@ -1,6 +1,7 @@
 #include "qr/recursive_qr.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -9,6 +10,7 @@
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/panel.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
 
@@ -43,6 +45,7 @@ std::vector<Event> merge_events(std::vector<Event> lhs,
 /// and R_ii out (overlapping neighbours when the QR-level opt is on).
 void factor_panel(DriverState& st, index_t j0, index_t w) {
   Device& dev = st.dev;
+  sim::TraceSpan span(dev, "factor_panel j0=" + std::to_string(j0));
   const index_t m = st.a.rows;
 
   DeviceMatrix panel = dev.allocate(m, w, StoragePrecision::FP32, "rqr.panel");
@@ -220,6 +223,7 @@ void device_recurse(DriverState& st, const DeviceMatrix& block, index_t j0,
 /// recursion resident, one Q move-out.
 void factor_resident_subtree(DriverState& st, index_t j0, index_t w) {
   Device& dev = st.dev;
+  sim::TraceSpan span(dev, "resident_subtree j0=" + std::to_string(j0));
   const index_t m = st.a.rows;
   DeviceMatrix block = dev.allocate(m, w, StoragePrecision::FP32,
                                     "rqr.subtree");
@@ -255,6 +259,8 @@ void recurse(DriverState& st, index_t j0, index_t w) {
     factor_resident_subtree(st, j0, w);
     return;
   }
+  sim::TraceSpan span(dev, "recurse j0=" + std::to_string(j0) +
+                               " w=" + std::to_string(w));
   // Split at panel granularity: left half gets floor(panels/2) panels.
   const index_t h = (panels / 2) * b;
   const index_t rest = w - h;
@@ -331,13 +337,14 @@ void recurse(DriverState& st, index_t j0, index_t w) {
 
 QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                          const QrOptions& opts) {
+  opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;
   ROCQR_CHECK(m >= n && n >= 1, "recursive_ooc_qr: need m >= n >= 1");
   ROCQR_CHECK(r.rows == n && r.cols == n, "recursive_ooc_qr: R must be n x n");
-  ROCQR_CHECK(opts.blocksize >= 1, "recursive_ooc_qr: blocksize must be positive");
 
   const size_t window = dev.trace().size();
+  sim::TraceSpan qr_span(dev, "recursive_qr");
   DriverState st{dev,
                  a,
                  r,

@@ -6,6 +6,7 @@
 #include "blas/trsm.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "common/telemetry.hpp"
 
 namespace rocqr::sim {
 
@@ -259,6 +260,16 @@ void Device::gemm(blas::Op opa, blas::Op opb, float alpha, DeviceMatrixRef a,
   if (m == 0 || n == 0) return;
 
   const flops_t flops = blas::gemm_flops(m, n, k);
+  // Attribute flops by problem shape: the paper's engines live or die by
+  // whether their GEMMs are reduction-dominated (k-split inner products),
+  // output-dominated (outer-product updates) or near-square (peak-rate).
+  const index_t mn_max = std::max(m, n);
+  const char* shape_class = k >= 4 * mn_max     ? "gemm_flops.reduction"
+                            : mn_max >= 4 * k   ? "gemm_flops.outer"
+                                                : "gemm_flops.square";
+  telemetry::MetricsRegistry::global()
+      .counter(std::string("sim.") + shape_class)
+      .add(flops);
   schedule(Resource::Compute, OpKind::Gemm, s,
            model_.gemm_seconds(opa, m, n, k, precision), 0, flops,
            std::move(name));

@@ -7,8 +7,33 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/telemetry.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::sim {
+
+namespace {
+
+/// Process-wide movement counters, interned once (registry lookup is a map
+/// walk under a mutex — too heavy for the per-event path).
+struct TraceMetrics {
+  telemetry::Counter& bytes_h2d;
+  telemetry::Counter& bytes_d2h;
+  telemetry::Counter& bytes_d2d;
+  telemetry::Counter& flops;
+  telemetry::Counter& events;
+
+  static TraceMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static TraceMetrics* m = new TraceMetrics{
+        reg.counter("sim.bytes_h2d"), reg.counter("sim.bytes_d2h"),
+        reg.counter("sim.bytes_d2d"), reg.counter("sim.flops"),
+        reg.counter("sim.trace_events")};
+    return *m;
+  }
+};
+
+} // namespace
 
 const char* to_string(Resource r) {
   switch (r) {
@@ -34,13 +59,25 @@ const char* to_string(OpKind k) {
 
 void Trace::add(TraceEvent event) {
   ROCQR_CHECK(event.end >= event.start, "Trace::add: negative duration");
+  TraceMetrics& metrics = TraceMetrics::get();
   switch (event.kind) {
-    case OpKind::CopyH2D: bytes_h2d_ += event.bytes; break;
-    case OpKind::CopyD2H: bytes_d2h_ += event.bytes; break;
-    case OpKind::CopyD2D: bytes_d2d_ += event.bytes; break;
+    case OpKind::CopyH2D:
+      bytes_h2d_ += event.bytes;
+      metrics.bytes_h2d.add(event.bytes);
+      break;
+    case OpKind::CopyD2H:
+      bytes_d2h_ += event.bytes;
+      metrics.bytes_d2h.add(event.bytes);
+      break;
+    case OpKind::CopyD2D:
+      bytes_d2d_ += event.bytes;
+      metrics.bytes_d2d.add(event.bytes);
+      break;
     default: break;
   }
   flops_ += event.flops;
+  metrics.flops.add(event.flops);
+  metrics.events.increment();
   events_.push_back(std::move(event));
 }
 
@@ -106,35 +143,16 @@ std::string Trace::render_gantt(int width) const {
 }
 
 void Trace::write_chrome_json(std::ostream& os) const {
-  os << "[\n";
-  bool first = true;
-  for (const auto& e : events_) {
-    if (!first) os << ",\n";
-    first = false;
-    // Timestamps in microseconds, as the format requires.
-    os << R"(  {"name": ")" << e.name << R"(", "cat": ")" << to_string(e.kind)
-       << R"(", "ph": "X", "ts": )" << e.start * 1e6 << R"(, "dur": )"
-       << (e.end - e.start) * 1e6 << R"(, "pid": 0, "tid": )"
-       << static_cast<int>(e.resource) << R"(, "args": {"stream": )"
-       << e.stream << R"(, "bytes": )" << e.bytes << R"(, "flops": )"
-       << e.flops << "}}";
-  }
-  // Name the tracks after the engines.
-  const Resource lanes[] = {Resource::H2D, Resource::Compute, Resource::D2H};
-  for (Resource lane : lanes) {
-    if (!first) os << ",\n";
-    first = false;
-    os << R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": )"
-       << static_cast<int>(lane) << R"(, "args": {"name": ")"
-       << to_string(lane) << R"("}})";
-  }
-  os << "\n]\n";
+  // Full exporter (engine + stream tracks, span tree) lives in
+  // sim/trace_export.cpp; this member is the spanless convenience form.
+  write_chrome_trace(os, *this, nullptr);
 }
 
-TraceSummary summarize(const Trace& trace, size_t from, size_t to) {
+EngineStats engine_stats_from_trace(const Trace& trace, size_t from,
+                                    size_t to) {
   const auto& events = trace.events();
   to = std::min(to, events.size());
-  TraceSummary s;
+  EngineStats s;
   bool first = true;
   for (size_t i = from; i < to; ++i) {
     const TraceEvent& e = events[i];
@@ -148,19 +166,31 @@ TraceSummary summarize(const Trace& trace, size_t from, size_t to) {
     }
     const sim_time_t dur = e.end - e.start;
     switch (e.resource) {
-      case Resource::H2D: s.h2d_busy += dur; break;
-      case Resource::D2H: s.d2h_busy += dur; break;
-      case Resource::Compute: s.compute_busy += dur; break;
+      case Resource::H2D: s.h2d_seconds += dur; break;
+      case Resource::D2H: s.d2h_seconds += dur; break;
+      case Resource::Compute: s.compute_seconds += dur; break;
     }
     switch (e.kind) {
       case OpKind::CopyH2D: s.bytes_h2d += e.bytes; break;
       case OpKind::CopyD2H: s.bytes_d2h += e.bytes; break;
-      case OpKind::CopyD2D: s.bytes_d2d += e.bytes; break;
-      default: break;
+      case OpKind::CopyD2D:
+        s.bytes_d2d += e.bytes;
+        s.d2d_seconds += dur;
+        break;
+      case OpKind::Panel:
+        s.panel_seconds += dur;
+        ++s.panels;
+        break;
+      case OpKind::Gemm:
+      case OpKind::Trsm: // triangular solves count as update work
+        s.gemm_seconds += dur;
+        break;
+      case OpKind::Custom: break;
     }
     s.flops += e.flops;
     ++s.events;
   }
+  s.total_seconds = first ? 0 : s.last_end - s.first_start;
   return s;
 }
 

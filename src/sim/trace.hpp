@@ -65,7 +65,10 @@ class Trace {
   void write_csv(std::ostream& os) const;
 
   /// Chrome tracing JSON (load in chrome://tracing or Perfetto): one
-  /// complete ("ph":"X") event per operation, one track per engine.
+  /// complete ("ph":"X") event per operation, one track per engine and one
+  /// per stream. Convenience wrapper over sim::write_chrome_trace (see
+  /// sim/trace_export.hpp), which can additionally render the phase-span
+  /// tree collected via telemetry::SpanLog.
   void write_chrome_json(std::ostream& os) const;
 
   /// Number of events recorded so far (use as a window anchor).
@@ -79,24 +82,58 @@ class Trace {
   flops_t flops_ = 0;
 };
 
-/// Aggregate view of a contiguous window of trace events — used to report
-/// the cost of one OOC operation out of a longer run.
-struct TraceSummary {
+/// The one aggregate view of a contiguous window of trace events. Every
+/// engine and driver statistic (the former OocGemmStats summary and QrStats)
+/// derives from this single struct via engine_stats_from_trace, so there is
+/// exactly one place counters are accumulated.
+///
+/// Naming convention (uniform with the Trace accessors): byte counters are
+/// `bytes_<direction>`, busy times are `<engine>_seconds`.
+struct EngineStats {
+  // Window extent.
   sim_time_t first_start = 0;
   sim_time_t last_end = 0;
-  sim_time_t span() const { return last_end - first_start; }
-  sim_time_t h2d_busy = 0;
-  sim_time_t d2h_busy = 0;
-  sim_time_t compute_busy = 0;
+  sim_time_t total_seconds = 0; ///< last_end - first_start (window makespan)
+  sim_time_t span() const { return total_seconds; }
+
+  // Per-engine busy time.
+  sim_time_t h2d_seconds = 0;     ///< H2D link busy
+  sim_time_t d2h_seconds = 0;     ///< D2H link busy
+  sim_time_t compute_seconds = 0; ///< compute engine busy (all kinds)
+
+  // Compute-engine breakdown by operation kind.
+  sim_time_t panel_seconds = 0; ///< panel factorizations
+  sim_time_t gemm_seconds = 0;  ///< GEMMs and triangular solves
+  sim_time_t d2d_seconds = 0;   ///< staging copies
+
+  // Volumes.
   bytes_t bytes_h2d = 0;
   bytes_t bytes_d2h = 0;
   bytes_t bytes_d2d = 0;
   flops_t flops = 0;
-  int events = 0;
+
+  bytes_t peak_device_bytes = 0; ///< filled by drivers (not trace-derived)
+  index_t panels = 0;            ///< panel factorizations in the window
+  int events = 0;                ///< trace events in the window
+
+  double sustained_flops_per_s() const {
+    return total_seconds > 0 ? static_cast<double>(flops) / total_seconds
+                             : 0.0;
+  }
 };
 
+/// Derives EngineStats from the trace events [from, to) (to = npos means
+/// "to the end").
+EngineStats engine_stats_from_trace(const Trace& trace, size_t from = 0,
+                                    size_t to = static_cast<size_t>(-1));
+
+/// Historic name for the windowed aggregate; same type, same deriver.
+using TraceSummary = EngineStats;
+
 /// Summarizes events [from, to) of the trace (to = npos means "to the end").
-TraceSummary summarize(const Trace& trace, size_t from = 0,
-                       size_t to = static_cast<size_t>(-1));
+inline TraceSummary summarize(const Trace& trace, size_t from = 0,
+                              size_t to = static_cast<size_t>(-1)) {
+  return engine_stats_from_trace(trace, from, to);
+}
 
 } // namespace rocqr::sim

@@ -58,8 +58,13 @@ RsvdResult ooc_randomized_svd(Device& dev, sim::HostConstRef a,
   // 1. Random range sketch Y = A Ω.
   la::Matrix omega = la::random_normal(n, l, opts.seed);
   la::Matrix y(m, l);
-  ooc::ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f, a, omega.view(), 0.0f,
-                sim::HostConstRef{}, y.view(), gopts);
+  {
+    ooc::GemmProblem sketch;
+    sketch.a = a;
+    sketch.b = omega.view();
+    sketch.c_out = y.view();
+    ooc::ooc_gemm(dev, sketch, gopts);
+  }
   dev.synchronize();
 
   // 2. Power iterations with re-orthonormalization (Q replaces Y each time).
@@ -67,12 +72,19 @@ RsvdResult ooc_randomized_svd(Device& dev, sim::HostConstRef a,
   device_tall_qr(dev, y, r_small, qopts);
   for (int it = 0; it < opts.power_iterations; ++it) {
     la::Matrix z(n, l);
-    ooc::ooc_gemm(dev, Op::Trans, Op::NoTrans, 1.0f, a, y.view(), 0.0f,
-                  sim::HostConstRef{}, z.view(), gopts);
+    ooc::GemmProblem pull; // Z = Aᵀ Y
+    pull.opa = Op::Trans;
+    pull.a = a;
+    pull.b = y.view();
+    pull.c_out = z.view();
+    ooc::ooc_gemm(dev, pull, gopts);
     dev.synchronize();
     device_tall_qr(dev, z, r_small, qopts);
-    ooc::ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f, a, z.view(), 0.0f,
-                  sim::HostConstRef{}, y.view(), gopts);
+    ooc::GemmProblem push; // Y = A Z
+    push.a = a;
+    push.b = z.view();
+    push.c_out = y.view();
+    ooc::ooc_gemm(dev, push, gopts);
     dev.synchronize();
     device_tall_qr(dev, y, r_small, qopts);
   }
@@ -108,8 +120,8 @@ RsvdResult ooc_randomized_svd(Device& dev, sim::HostConstRef a,
 
   const sim::TraceSummary summary = sim::summarize(dev.trace(), window);
   result.seconds = summary.span();
-  result.h2d_bytes = summary.bytes_h2d;
-  result.d2h_bytes = summary.bytes_d2h;
+  result.bytes_h2d = summary.bytes_h2d;
+  result.bytes_d2h = summary.bytes_d2h;
   return result;
 }
 

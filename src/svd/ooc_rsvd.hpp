@@ -38,8 +38,8 @@ struct RsvdResult {
   std::vector<double> sigma; ///< rank values, descending
   la::Matrix v;              ///< n x rank
   sim_time_t seconds = 0;    ///< simulated wall time of the whole pipeline
-  bytes_t h2d_bytes = 0;
-  bytes_t d2h_bytes = 0;
+  bytes_t bytes_h2d = 0;
+  bytes_t bytes_d2h = 0;
 };
 
 /// Approximates the top-`rank` SVD of the host matrix `a` (m x n, m >= n,

@@ -1,0 +1,40 @@
+# End-to-end schema check for the CLI's --trace-json/--metrics-json exports,
+# driven by ctest (see CMakeLists.txt). Runs a small recursive QR in Phantom
+# mode, then validates the JSON files with jq.
+set(trace "${WORK_DIR}/cli_trace.json")
+set(metrics "${WORK_DIR}/cli_metrics.json")
+
+execute_process(
+  COMMAND ${ROCQR_CLI} qr --algo recursive --m 4096 --n 4096 --blocksize 512
+          --trace-json=${trace} --metrics-json=${metrics}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rocqr_cli failed (${rc}):\n${out}${err}")
+endif()
+
+function(jq_check file expr what)
+  execute_process(
+    COMMAND ${JQ} -e ${expr} ${file}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "jq check '${what}' failed on ${file}:\n${out}${err}")
+  endif()
+endfunction()
+
+jq_check(${trace} "." "trace parses as JSON")
+jq_check(${trace} ".traceEvents | length > 0" "trace has events")
+jq_check(${trace}
+  "[.traceEvents[] | select(.ph==\"M\" and .name==\"thread_name\" and .pid==0) | .args.name] | contains([\"H2D\",\"Compute\",\"D2H\"])"
+  "engine thread_name tracks present")
+jq_check(${trace}
+  "[.traceEvents[] | select(.ph==\"X\" and .pid==2)] | length > 0"
+  "nested phase spans present")
+jq_check(${trace}
+  "[.traceEvents[] | select(.ph==\"X\") | .ts] | . == sort"
+  "ts nondecreasing")
+jq_check(${metrics} "." "metrics parse as JSON")
+jq_check(${metrics} ".metrics | has(\"sim.bytes_h2d\")" "metrics registry keys")

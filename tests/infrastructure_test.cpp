@@ -268,7 +268,9 @@ TEST(ChromeTrace, EmitsWellFormedEvents) {
   std::ostringstream os;
   dev.trace().write_chrome_json(os);
   const std::string json = os.str();
-  EXPECT_EQ(json.front(), '[');
+  // Object form of the Chrome tracing format (see sim/trace_export.hpp).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"gemm\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"copy_h2d\""), std::string::npos);

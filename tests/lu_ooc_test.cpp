@@ -501,7 +501,7 @@ TEST(OocCholesky, TriangularFilterReducesBlockingMovement) {
   // (~2x the triangle); with the filter the H2D volume stays below what a
   // full-square schedule would need.
   const double full_square_lower_bound = 7.0 * 65536.0 * 65536.0 * 4.0;
-  EXPECT_LT(static_cast<double>(stats.h2d_bytes), full_square_lower_bound);
+  EXPECT_LT(static_cast<double>(stats.bytes_h2d), full_square_lower_bound);
 }
 
 TEST(OocFactor, PhantomScaleRecursiveBeatsBlocking) {

@@ -49,8 +49,16 @@ TEST_P(GeneralOocGemmTest, MatchesHostGemm) {
   OocGemmOptions opts;
   opts.blocksize = 24;
   opts.precision = GemmPrecision::FP32;
-  const auto stats = ooc_gemm(dev, opa, opb, alpha, a.view(), b.view(), beta,
-                              sim::as_const(c.view()), c.view(), opts);
+  GemmProblem p;
+  p.opa = opa;
+  p.opb = opb;
+  p.alpha = alpha;
+  p.beta = beta;
+  p.a = a.view();
+  p.b = b.view();
+  p.c_in = sim::as_const(c.view());
+  p.c_out = c.view();
+  const auto stats = ooc_gemm(dev, p, opts);
   dev.synchronize();
 
   la::Matrix expected = la::materialize(c0.view());
@@ -86,8 +94,11 @@ TEST(GeneralOocGemm, WriteOnlyOutputAcceptsNullCIn) {
   OocGemmOptions opts;
   opts.blocksize = 16;
   opts.precision = GemmPrecision::FP32;
-  ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f, a.view(), b.view(), 0.0f,
-           sim::HostConstRef{}, c.view(), opts);
+  GemmProblem p;
+  p.a = a.view();
+  p.b = b.view();
+  p.c_out = c.view();
+  ooc_gemm(dev, p, opts);
   dev.synchronize();
   la::Matrix expected(n, n);
   blas::gemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0f, a.data(), a.ld(),
@@ -95,41 +106,67 @@ TEST(GeneralOocGemm, WriteOnlyOutputAcceptsNullCIn) {
   EXPECT_LT(la::relative_difference(c.view(), expected.view()), 1e-4);
 }
 
+GemmProblem phantom_update(index_t m, index_t n, index_t k) {
+  GemmProblem p;
+  p.alpha = -1.0f;
+  p.beta = 1.0f;
+  p.a = sim::HostConstRef::phantom(m, k);
+  p.b = sim::HostConstRef::phantom(k, n);
+  p.c_in = sim::HostConstRef::phantom(m, n);
+  p.c_out = sim::HostMutRef::phantom(m, n);
+  return p;
+}
+
 TEST(GeneralOocGemm, DispatchKeepsSmallerFactorResident) {
   // Tall A (streamed), small B (resident): row-wise path -> C row slabs.
   Device dev(test_spec(), ExecutionMode::Phantom);
   OocGemmOptions opts;
   opts.blocksize = 64;
-  const auto tall = ooc_gemm(
-      dev, Op::NoTrans, Op::NoTrans, -1.0f,
-      sim::HostConstRef::phantom(1024, 64), sim::HostConstRef::phantom(64, 96),
-      1.0f, sim::HostConstRef::phantom(1024, 96),
-      sim::HostMutRef::phantom(1024, 96), opts);
+  const auto tall = ooc_gemm(dev, phantom_update(1024, 96, 64), opts);
   EXPECT_FALSE(tall.output_ready.empty());
   EXPECT_EQ(tall.output_ready.front().cols.width, 96); // full-width row slabs
 
   // Small A (resident), wide B (streamed): column-wise path -> C col slabs.
-  const auto wide = ooc_gemm(
-      dev, Op::NoTrans, Op::NoTrans, -1.0f,
-      sim::HostConstRef::phantom(96, 64), sim::HostConstRef::phantom(64, 1024),
-      1.0f, sim::HostConstRef::phantom(96, 1024),
-      sim::HostMutRef::phantom(96, 1024), opts);
+  const auto wide = ooc_gemm(dev, phantom_update(96, 1024, 64), opts);
   EXPECT_EQ(wide.output_ready.front().rows.width, 96); // full-height col slabs
 }
 
 TEST(GeneralOocGemm, RejectsMismatchedShapes) {
   Device dev(test_spec(), ExecutionMode::Phantom);
-  EXPECT_THROW(ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f,
-                        sim::HostConstRef::phantom(8, 4),
-                        sim::HostConstRef::phantom(5, 8), 0.0f,
-                        sim::HostConstRef{}, sim::HostMutRef::phantom(8, 8)),
-               InvalidArgument);
-  EXPECT_THROW(ooc_gemm(dev, Op::NoTrans, Op::NoTrans, 1.0f,
-                        sim::HostConstRef::phantom(8, 4),
-                        sim::HostConstRef::phantom(4, 8), 1.0f,
-                        sim::HostConstRef::phantom(7, 8),
-                        sim::HostMutRef::phantom(8, 8)),
-               InvalidArgument);
+  GemmProblem bad_inner;
+  bad_inner.a = sim::HostConstRef::phantom(8, 4);
+  bad_inner.b = sim::HostConstRef::phantom(5, 8);
+  bad_inner.c_out = sim::HostMutRef::phantom(8, 8);
+  EXPECT_THROW(ooc_gemm(dev, bad_inner), InvalidArgument);
+
+  GemmProblem bad_c_in = phantom_update(8, 8, 4);
+  bad_c_in.alpha = 1.0f;
+  bad_c_in.c_in = sim::HostConstRef::phantom(7, 8);
+  EXPECT_THROW(ooc_gemm(dev, bad_c_in), InvalidArgument);
+}
+
+// The positional overload is deprecated but must keep compiling and forward
+// to the descriptor path unchanged until it is removed.
+TEST(GeneralOocGemm, DeprecatedPositionalOverloadForwards) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  OocGemmOptions opts;
+  opts.blocksize = 64;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto old_api = ooc_gemm(
+      dev, Op::NoTrans, Op::NoTrans, -1.0f,
+      sim::HostConstRef::phantom(1024, 64), sim::HostConstRef::phantom(64, 96),
+      1.0f, sim::HostConstRef::phantom(1024, 96),
+      sim::HostMutRef::phantom(1024, 96), opts);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  const auto new_api = ooc_gemm(dev, phantom_update(1024, 96, 64), opts);
+  EXPECT_EQ(old_api.steps, new_api.steps);
+  EXPECT_EQ(old_api.summary.bytes_h2d, new_api.summary.bytes_h2d);
+  EXPECT_EQ(old_api.summary.bytes_d2h, new_api.summary.bytes_d2h);
 }
 
 } // namespace

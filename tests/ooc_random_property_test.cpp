@@ -94,8 +94,16 @@ TEST(OocRandomProperty, GeneralGemmMatchesHost) {
 
     Device dev(test_spec(), ExecutionMode::Real);
     OocGemmOptions opts = random_options(rng);
-    ooc_gemm(dev, opa, opb, alpha, a.view(), b.view(), beta,
-             sim::as_const(c.view()), c.view(), opts);
+    GemmProblem p;
+    p.opa = opa;
+    p.opb = opb;
+    p.alpha = alpha;
+    p.beta = beta;
+    p.a = a.view();
+    p.b = b.view();
+    p.c_in = sim::as_const(c.view());
+    p.c_out = c.view();
+    ooc_gemm(dev, p, opts);
     dev.synchronize();
     ASSERT_LT(la::relative_difference(c.view(), expected.view()), 1e-4)
         << "seed " << seed << " opa=" << static_cast<int>(opa)

@@ -84,8 +84,8 @@ TEST(LeftLookingQr, MovesFarFewerBytesThanRightLooking) {
   auto r2 = sim::HostMutRef::phantom(131072, 131072);
   const QrStats right = blocking_ooc_qr(dev_r, a2, r2, opts);
 
-  EXPECT_LT(left.h2d_bytes, right.h2d_bytes);
-  EXPECT_LT(left.d2h_bytes, 0.5 * right.d2h_bytes);
+  EXPECT_LT(left.bytes_h2d, right.bytes_h2d);
+  EXPECT_LT(left.bytes_d2h, 0.5 * right.bytes_d2h);
   // The model's ordering on the V100: left-looking's movement savings beat
   // right-looking blocking even despite its skinny TN GEMMs...
   EXPECT_LT(left.total_seconds, right.total_seconds);

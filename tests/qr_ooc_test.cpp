@@ -192,15 +192,15 @@ TEST(OocQr, StatsAreInternallyConsistent) {
             s.total_seconds + 1e-9);
   EXPECT_LE(s.h2d_seconds, s.total_seconds + 1e-9);
   EXPECT_LE(s.d2h_seconds, s.total_seconds + 1e-9);
-  EXPECT_GT(s.h2d_bytes, 0);
-  EXPECT_GT(s.d2h_bytes, 0);
+  EXPECT_GT(s.bytes_h2d, 0);
+  EXPECT_GT(s.bytes_d2h, 0);
   EXPECT_GT(s.flops, 0);
   EXPECT_GT(s.peak_device_bytes, 0);
   EXPECT_GT(s.sustained_flops_per_s(), 0.0);
   // Every column moved at least once each way (Q out, A in).
   const bytes_t matrix_bytes = 192 * 96 * 4;
-  EXPECT_GE(s.h2d_bytes, matrix_bytes);
-  EXPECT_GE(s.d2h_bytes, matrix_bytes);
+  EXPECT_GE(s.bytes_h2d, matrix_bytes);
+  EXPECT_GE(s.bytes_d2h, matrix_bytes);
 }
 
 TEST(OocQr, PanelAlgorithmsAllFactorCorrectly) {

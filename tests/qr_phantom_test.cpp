@@ -97,8 +97,8 @@ TEST(PhantomQr, RecursiveMovesFewerBytes) {
   const auto spec = sim::DeviceSpec::v100_32gb();
   const QrStats rec = run(true, spec, 131072, 131072, paper_options(16384));
   const QrStats blk = run(false, spec, 131072, 131072, blocking_options(16384));
-  EXPECT_LT(rec.h2d_bytes, blk.h2d_bytes);
-  EXPECT_LT(rec.d2h_bytes, blk.d2h_bytes);
+  EXPECT_LT(rec.bytes_h2d, blk.bytes_h2d);
+  EXPECT_LT(rec.bytes_d2h, blk.bytes_d2h);
   // Table 3 anchors at 13 GB/s: recursive 37.9 s vs blocking 47.2 s H2D.
   // Allow a generous band — the analytic model is itself approximate.
   EXPECT_NEAR(rec.h2d_seconds, 37.9, 37.9 * 0.35);
@@ -181,10 +181,10 @@ TEST(PhantomQr, MeasuredMovementTracksAnalyticModel) {
   const QrStats blk = run(false, spec, n, n, paper_options(b));
   const double rec_model = ooc::recursive_h2d_words_sum(n, n, b) * 4;
   const double blk_model = ooc::blocking_h2d_words(n, n, b) * 4;
-  EXPECT_GT(rec.h2d_bytes, 0.3 * rec_model);
-  EXPECT_LT(rec.h2d_bytes, 1.7 * rec_model);
-  EXPECT_GT(blk.h2d_bytes, 0.3 * blk_model);
-  EXPECT_LT(blk.h2d_bytes, 1.2 * blk_model);
+  EXPECT_GT(rec.bytes_h2d, 0.3 * rec_model);
+  EXPECT_LT(rec.bytes_h2d, 1.7 * rec_model);
+  EXPECT_GT(blk.bytes_h2d, 0.3 * blk_model);
+  EXPECT_LT(blk.bytes_h2d, 1.2 * blk_model);
 }
 
 TEST(PhantomQr, RampUpImprovesTheLargestInnerProduct) {
@@ -223,12 +223,12 @@ TEST(PhantomQr, ResidentSubtreesCutMovementFurther) {
   resident.resident_subtrees = true;
   const QrStats base = run(true, spec, 131072, 131072, streamed);
   const QrStats opt = run(true, spec, 131072, 131072, resident);
-  EXPECT_LT(opt.h2d_bytes, 0.8 * base.h2d_bytes);
-  EXPECT_LT(opt.d2h_bytes, base.d2h_bytes);
+  EXPECT_LT(opt.bytes_h2d, 0.8 * base.bytes_h2d);
+  EXPECT_LT(opt.bytes_d2h, base.bytes_d2h);
   EXPECT_LT(opt.total_seconds, base.total_seconds);
   const double paper_sum_bytes =
       ooc::recursive_h2d_words_sum(131072, 131072, 16384) * 4;
-  EXPECT_LT(static_cast<double>(opt.h2d_bytes), paper_sum_bytes);
+  EXPECT_LT(static_cast<double>(opt.bytes_h2d), paper_sum_bytes);
 }
 
 TEST(PhantomQr, RectangularAndOddSizes) {

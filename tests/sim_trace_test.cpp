@@ -90,7 +90,7 @@ TEST(Trace, SummarizeWindow) {
   EXPECT_EQ(all.bytes_h2d, 10);
   EXPECT_EQ(all.bytes_d2h, 20);
   EXPECT_EQ(all.flops, 1200);
-  EXPECT_DOUBLE_EQ(all.compute_busy, 7.0);
+  EXPECT_DOUBLE_EQ(all.compute_seconds, 7.0);
 
   const TraceSummary tail = summarize(t, 2);
   EXPECT_EQ(tail.events, 2);

@@ -141,8 +141,8 @@ TEST(OocRsvd, PhantomPaperScaleSchedules) {
   EXPECT_GT(r.seconds, 0.0);
   // A is 64 GiB; 4 streaming passes ~ 256 GiB plus small factors.
   const double a_bytes = 131072.0 * 131072.0 * 4.0;
-  EXPECT_GT(static_cast<double>(r.h2d_bytes), 3.5 * a_bytes);
-  EXPECT_LT(static_cast<double>(r.h2d_bytes), 4.8 * a_bytes);
+  EXPECT_GT(static_cast<double>(r.bytes_h2d), 3.5 * a_bytes);
+  EXPECT_LT(static_cast<double>(r.bytes_h2d), 4.8 * a_bytes);
   EXPECT_LE(dev.memory_peak(), dev.memory_capacity());
   EXPECT_EQ(dev.live_allocations(), 0);
 }

@@ -1,0 +1,156 @@
+// MetricsRegistry and SpanLog: atomicity under the thread pool, snapshot
+// determinism, histogram bucketing, span nesting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rocqr::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterIsAtomicUnderParallelFor) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.atomic_counter");
+  c.reset();
+  const index_t n = 200000;
+  ThreadPool::global().parallel_for(n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) c.increment();
+  });
+  EXPECT_EQ(c.value(), n);
+}
+
+TEST(MetricsRegistry, HistogramIsAtomicUnderParallelFor) {
+  auto& reg = MetricsRegistry::global();
+  Histogram& h = reg.histogram("test.atomic_histogram");
+  h.reset();
+  const index_t n = 50000;
+  ThreadPool::global().parallel_for(n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) h.observe(7);
+  });
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.sum(), 7 * static_cast<std::int64_t>(n));
+  EXPECT_EQ(h.bucket(3), n); // 7 has bit width 3: [4, 8)
+}
+
+TEST(MetricsRegistry, LookupReturnsStableInternedReference) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.interned");
+  Counter& b = reg.counter("test.interned");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, RejectsKindMismatchForExistingName) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.kind_mismatch");
+  EXPECT_THROW(reg.gauge("test.kind_mismatch"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("test.kind_mismatch"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.snap.b").add(2);
+  reg.counter("test.snap.a").add(1);
+  reg.gauge("test.snap.c").set(3.5);
+
+  const auto one = reg.snapshot();
+  const auto two = reg.snapshot();
+  ASSERT_EQ(one.size(), two.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].name, two[i].name);
+    EXPECT_EQ(one[i].value, two[i].value);
+    if (i > 0) {
+      EXPECT_LT(one[i - 1].name, one[i].name);
+    }
+  }
+
+  std::ostringstream j1;
+  std::ostringstream j2;
+  reg.write_json(j1);
+  reg.write_json(j2);
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_NE(j1.str().find("\"test.snap.a\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, GaugeRecordMaxKeepsHighWaterMark) {
+  auto& reg = MetricsRegistry::global();
+  Gauge& g = reg.gauge("test.high_water");
+  g.reset();
+  g.record_max(4.0);
+  g.record_max(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.record_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(MetricsRegistry, HistogramRejectsNegativeSamples) {
+  auto& reg = MetricsRegistry::global();
+  EXPECT_THROW(reg.histogram("test.negative").observe(-1), InvalidArgument);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.reset_me");
+  c.add(42);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(&reg.counter("test.reset_me"), &c);
+}
+
+std::uint64_t fake_cursor_value = 0;
+
+TEST(SpanLog, RecordsNestingParentAndDepth) {
+  SpanLog log;
+  const auto cursor = [] { return fake_cursor_value; };
+  {
+    fake_cursor_value = 0;
+    Span outer("outer", cursor, log);
+    fake_cursor_value = 2;
+    {
+      Span inner("inner", cursor, log);
+      fake_cursor_value = 5;
+    }
+    {
+      Span sibling("sibling", cursor, log);
+      fake_cursor_value = 9;
+    }
+  }
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "outer");
+  EXPECT_EQ(records[0].parent, -1);
+  EXPECT_EQ(records[0].depth, 0);
+  EXPECT_EQ(records[0].begin_cursor, 0u);
+  EXPECT_EQ(records[0].end_cursor, 9u);
+  EXPECT_FALSE(records[0].open);
+
+  EXPECT_EQ(records[1].name, "inner");
+  EXPECT_EQ(records[1].parent, 0);
+  EXPECT_EQ(records[1].depth, 1);
+  EXPECT_EQ(records[1].begin_cursor, 2u);
+  EXPECT_EQ(records[1].end_cursor, 5u);
+
+  EXPECT_EQ(records[2].name, "sibling");
+  EXPECT_EQ(records[2].parent, 0);
+  EXPECT_EQ(records[2].depth, 1);
+  EXPECT_EQ(records[2].begin_cursor, 5u);
+}
+
+TEST(SpanLog, ClearRefusesWhileSpanOpen) {
+  SpanLog log;
+  const auto cursor = [] { return std::uint64_t{0}; };
+  {
+    Span open_span("open", cursor, log);
+    EXPECT_THROW(log.clear(), InvalidArgument);
+  }
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+} // namespace
+} // namespace rocqr::telemetry

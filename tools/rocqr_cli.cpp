@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "common/telemetry.hpp"
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
 #include "qr/autotune.hpp"
@@ -28,6 +29,7 @@
 #include "qr/recursive_qr.hpp"
 #include "report/table.hpp"
 #include "sim/device.hpp"
+#include "sim/trace_export.hpp"
 
 namespace {
 
@@ -64,18 +66,32 @@ Args parse(int argc, char** argv) {
       std::exit(2);
     }
     token = token.substr(2);
+    // --opt=value form: split before the value-option lookup.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const size_t eq = token.find('='); eq != std::string::npos) {
+      inline_value = token.substr(eq + 1);
+      token = token.substr(0, eq);
+      has_inline = true;
+    }
     // Value options take the next argv entry; everything else is a flag.
     static const char* value_opts[] = {"algo", "m",  "n",       "blocksize",
                                        "device", "capacity-gib", "csv",
-                                       "chrome"};
+                                       "chrome", "trace-json", "metrics-json"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
     if (takes_value) {
-      if (i + 1 >= argc) {
+      if (has_inline) {
+        args.values[token] = inline_value;
+      } else if (i + 1 < argc) {
+        args.values[token] = argv[++i];
+      } else {
         std::cerr << "--" << token << " needs a value\n";
         std::exit(2);
       }
-      args.values[token] = argv[++i];
+    } else if (has_inline) {
+      std::cerr << "--" << token << " does not take a value\n";
+      std::exit(2);
     } else {
       args.flags.push_back(token);
     }
@@ -111,6 +127,18 @@ void dump_traces(const sim::Device& dev, const Args& args) {
     std::cout << "chrome trace written to " << it->second
               << " (load in chrome://tracing)\n";
   }
+  if (const auto it = args.values.find("trace-json"); it != args.values.end()) {
+    std::ofstream os(it->second);
+    sim::write_chrome_trace(os, dev.trace(), &telemetry::SpanLog::global());
+    std::cout << "chrome trace (with phase spans) written to " << it->second
+              << " (load in chrome://tracing or Perfetto)\n";
+  }
+  if (const auto it = args.values.find("metrics-json");
+      it != args.values.end()) {
+    std::ofstream os(it->second);
+    telemetry::MetricsRegistry::global().write_json(os);
+    std::cout << "metrics snapshot written to " << it->second << "\n";
+  }
 }
 
 void print_stats(const char* what, const qr::QrStats& stats) {
@@ -118,9 +146,9 @@ void print_stats(const char* what, const qr::QrStats& stats) {
             << " simulated\n"
             << "  panel " << format_seconds(stats.panel_seconds) << ", gemm "
             << format_seconds(stats.gemm_seconds) << ", H2D "
-            << format_bytes(stats.h2d_bytes) << " ("
+            << format_bytes(stats.bytes_h2d) << " ("
             << format_seconds(stats.h2d_seconds) << "), D2H "
-            << format_bytes(stats.d2h_bytes) << " ("
+            << format_bytes(stats.bytes_d2h) << " ("
             << format_seconds(stats.d2h_seconds) << ")\n"
             << "  sustained " << format_flops_rate(stats.sustained_flops_per_s())
             << ", peak device memory " << format_bytes(stats.peak_device_bytes)
@@ -240,6 +268,9 @@ common options:
   --no-qr-opt --no-staging --ramp --fp32
   --timeline                  print the per-engine Gantt chart
   --csv FILE --chrome FILE    export the trace
+  --trace-json FILE           Chrome/Perfetto trace with engine, stream and
+                              nested phase-span tracks (also --trace-json=FILE)
+  --metrics-json FILE         JSON snapshot of the global metrics registry
 )";
 }
 
