@@ -9,9 +9,11 @@
 #include "bench/bench_util.hpp"
 #include "common/telemetry.hpp"
 #include "qr/blocking_qr.hpp"
+#include "qr/checkpoint.hpp"
 #include "qr/recursive_qr.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
+#include "sim/faults.hpp"
 #include "sim/trace_export.hpp"
 
 namespace {
@@ -24,6 +26,13 @@ std::string arg_value(int argc, char** argv, const std::string& prefix) {
   return {};
 }
 
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -32,21 +41,41 @@ int main(int argc, char** argv) {
 
   // --trace-json=FILE exports the Fig 13 timeline (recursive, 32 GB) as a
   // Chrome/Perfetto trace; --metrics-json=FILE snapshots the registry at exit.
+  // Fault-tolerance knobs (docs/FAULTS.md): --faults=SPEC installs a seeded
+  // fault plan on every device, --abft turns on the GEMM checksums, and
+  // --checkpoint=FILE attaches a checkpoint sink to the Fig 13 run — the
+  // recovery machinery's modeled-time overhead then shows up directly in the
+  // timelines. All three default off, leaving the paper numbers untouched.
   const std::string trace_path = arg_value(argc, argv, "--trace-json=");
   const std::string metrics_path = arg_value(argc, argv, "--metrics-json=");
+  const std::string faults_spec = arg_value(argc, argv, "--faults=");
+  const std::string checkpoint_path = arg_value(argc, argv, "--checkpoint=");
+  const bool abft = has_flag(argc, argv, "--abft");
 
   const index_t n = 131072;
 
   bool exported_trace = false;
+  bool checkpointed = false;
+  qr::FileCheckpointSink checkpoint_sink(checkpoint_path);
   const auto run = [&](bool recursive, bytes_t capacity, index_t b,
                        bool qr_level_opt, bool show_timeline,
                        const char* title) {
     auto dev = bench::paper_device(capacity);
+    if (!faults_spec.empty()) {
+      dev.install_faults(sim::FaultPlan::parse(faults_spec));
+    }
     auto a = sim::HostMutRef::phantom(n, n);
     auto r = sim::HostMutRef::phantom(n, n);
     qr::QrOptions opts = recursive ? bench::recursive_options(b)
                                    : bench::blocking_baseline(b);
     opts.qr_level_opt = qr_level_opt;
+    opts.abft = abft;
+    // The checkpoint rider attaches to the first recursive timeline (Fig 13).
+    if (recursive && show_timeline && !checkpointed &&
+        !checkpoint_path.empty()) {
+      checkpointed = true;
+      opts.checkpoint_sink = &checkpoint_sink;
+    }
     const bool export_this =
         recursive && show_timeline && !exported_trace && !trace_path.empty();
     // Span cursors index this run's device trace; drop spans accumulated by

@@ -27,6 +27,28 @@ class DeviceOutOfMemory : public Error {
   explicit DeviceOutOfMemory(const std::string& what_arg) : Error(what_arg) {}
 };
 
+/// A transfer (H2D/D2H) failed transiently — retryable: re-enqueueing the
+/// same copy may succeed. Thrown by injected faults (sim/faults.hpp); the
+/// OOC engines retry these with bounded exponential backoff.
+class TransferError : public Error {
+ public:
+  explicit TransferError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A retryable operation kept failing until its attempt cap was reached.
+class FaultBudgetExhausted : public Error {
+ public:
+  explicit FaultBudgetExhausted(const std::string& what_arg)
+      : Error(what_arg) {}
+};
+
+/// A numerical invariant was violated and could not be repaired (e.g. ABFT
+/// checksum mismatch that persisted across the recompute budget).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what_arg) : Error(what_arg) {}
+};
+
 /// Use of a destroyed/freed simulated resource (buffer, stream, event).
 class ResourceError : public Error {
  public:

@@ -97,6 +97,24 @@ struct OocGemmOptions {
   /// Events that must complete before this engine's first host read (its
   /// streamed host inputs were produced by earlier device-to-host copies).
   std::vector<sim::Event> host_input_ready;
+  // --- Fault tolerance (docs/FAULTS.md) ----------------------------------
+  /// Transfer retry budget per copy: a copy that throws TransferError (an
+  /// injected transient fault) is re-enqueued up to this many times total,
+  /// with exponential backoff on the simulated host clock between attempts.
+  /// Exhausting the budget throws FaultBudgetExhausted.
+  int transfer_max_attempts = 4;
+  /// Backoff before the first re-attempt; doubles per retry.
+  double transfer_backoff_seconds = 1e-3;
+  /// On DeviceOutOfMemory, halve blocksize (and tile_cols/c_panel_cols) and
+  /// re-plan the whole engine call instead of propagating, down to
+  /// degrade_min_blocksize. Safe because every engine allocates all device
+  /// buffers before its first device-to-host write.
+  bool degrade_on_oom = true;
+  index_t degrade_min_blocksize = 32;
+  /// Opt-in ABFT: verify every engine GEMM against a column-sum check
+  /// vector (Real mode only) and recompute the slab on mismatch. Detects
+  /// injected compute corruption; see docs/FAULTS.md for the tolerance.
+  bool abft = false;
   /// Fine-grained alternative for the *streamed* host input (B slabs of the
   /// blocking inner product, C slabs/tiles of the outer products): per-slab
   /// reads wait only on the regions they intersect, in the ENGINE'S local

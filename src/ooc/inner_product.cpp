@@ -1,10 +1,20 @@
 // Out-of-core "inner product" engines: C = Aᵀ·B (the R12 = Q1ᵀ·A2 step).
+//
+// Fault tolerance (docs/FAULTS.md): every host transfer goes through the
+// bounded-backoff retry helpers, every GEMM through the opt-in ABFT check,
+// and the whole engine body re-plans with a halved slab schedule on
+// DeviceOutOfMemory. Device buffers are ScopedMatrix so an abandoned
+// attempt cannot leak; all allocations happen before the first
+// device-to-host write, which is what makes the re-plan sound (no host
+// data has been modified when an OOM aborts the body).
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "ooc/resilience.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
@@ -15,12 +25,15 @@ using sim::Device;
 using sim::DeviceMatrix;
 using sim::Event;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 
-OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
-                                     const Operand& b, HostMutRef c,
-                                     const OocGemmOptions& opts,
-                                     DeviceMatrix* keep_c) {
+namespace {
+
+OocGemmStats inner_product_recursive_impl(Device& dev, const Operand& a,
+                                          const Operand& b, HostMutRef c,
+                                          const OocGemmOptions& opts,
+                                          DeviceMatrix* keep_c) {
   ROCQR_CHECK(!a.is_resident() && !b.is_resident(),
               "inner_product_recursive: streams both inputs from the host");
   const index_t kk = a.rows();
@@ -52,21 +65,23 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
   detail::wait_host_inputs(dev, streams.in, opts);
 
   // Streamed-input buffer pool (fp16 on device, like the LATER pipeline).
-  std::vector<DeviceMatrix> buf_a(static_cast<size_t>(depth));
-  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  std::vector<ScopedMatrix> buf_a;
+  std::vector<ScopedMatrix> buf_b;
+  buf_a.reserve(static_cast<size_t>(depth));
+  buf_b.reserve(static_cast<size_t>(depth));
   for (int d = 0; d < depth; ++d) {
-    buf_a[static_cast<size_t>(d)] =
-        dev.allocate(max_kw, m, detail::input_storage(opts), "inner_rec.A");
-    buf_b[static_cast<size_t>(d)] =
-        dev.allocate(max_kw, max_pw, detail::input_storage(opts), "inner_rec.B");
+    buf_a.emplace_back(dev, max_kw, m, detail::input_storage(opts),
+                       "inner_rec.A");
+    buf_b.emplace_back(dev, max_kw, max_pw, detail::input_storage(opts),
+                       "inner_rec.B");
   }
   // Accumulator pool: one buffer when C is unsplit, two cycling buffers when
   // n is split so panel p+1 can accumulate while panel p drains to the host.
   const int c_slots = panels.size() > 1 ? 2 : 1;
-  std::vector<DeviceMatrix> buf_c(static_cast<size_t>(c_slots));
+  std::vector<ScopedMatrix> buf_c;
+  buf_c.reserve(static_cast<size_t>(c_slots));
   for (int d = 0; d < c_slots; ++d) {
-    buf_c[static_cast<size_t>(d)] =
-        dev.allocate(m, max_pw, StoragePrecision::FP32, "inner_rec.C");
+    buf_c.emplace_back(dev, m, max_pw, StoragePrecision::FP32, "inner_rec.C");
   }
 
   std::vector<Event> gemm_done;  // per global step, guards input-slot reuse
@@ -76,7 +91,7 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
 
   for (size_t p = 0; p < panels.size(); ++p) {
     const Slab panel = panels[p];
-    const DeviceMatrix& cd = buf_c[p % static_cast<size_t>(c_slots)];
+    const DeviceMatrix& cd = buf_c[p % static_cast<size_t>(c_slots)].get();
     // First gemm of this panel must not start before the accumulator slot's
     // previous contents were copied out (two-panels-ago with two slots).
     Event c_free{};
@@ -92,16 +107,18 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
         dev.wait_event(streams.in,
                        gemm_done[static_cast<size_t>(global_step - depth)]);
       }
-      dev.copy_h2d(
-          sim::DeviceMatrixRef(buf_a[slot], 0, 0, kslab.width, m),
+      detail::copy_h2d_retry(
+          dev, sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
           host_block(a.host(), kslab.offset, 0, kslab.width, m), streams.in,
-          "h2d A[" + std::to_string(s) + "]");
+          "h2d A[" + std::to_string(s) + "]", opts);
       detail::sync_if(dev, opts);
-      dev.copy_h2d(
-          sim::DeviceMatrixRef(buf_b[slot], 0, 0, kslab.width, panel.width),
+      detail::copy_h2d_retry(
+          dev,
+          sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
+                               panel.width),
           host_block(b.host(), kslab.offset, panel.offset, kslab.width,
                      panel.width),
-          streams.in, "h2d B[" + std::to_string(s) + "]");
+          streams.in, "h2d B[" + std::to_string(s) + "]", opts);
       detail::sync_if(dev, opts);
 
       Event moved_in = dev.create_event();
@@ -110,14 +127,14 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
       if (s == 0 && c_free.valid()) dev.wait_event(streams.comp, c_free);
       // beta=0 on the panel's first slab: the accumulator slot may hold a
       // previous panel's values.
-      dev.gemm(Op::Trans, Op::NoTrans, 1.0f,
-               sim::DeviceMatrixRef(buf_a[slot], 0, 0, kslab.width, m),
-               sim::DeviceMatrixRef(buf_b[slot], 0, 0, kslab.width,
-                                    panel.width),
-               s == 0 ? 0.0f : 1.0f,
-               sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
-               opts.precision, streams.comp,
-               "gemm C+=A'B[" + std::to_string(s) + "]");
+      detail::checked_gemm(
+          dev, opts, Op::Trans, Op::NoTrans, 1.0f,
+          sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
+          sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
+                               panel.width),
+          s == 0 ? 0.0f : 1.0f,
+          sim::DeviceMatrixRef(cd, 0, 0, m, panel.width), streams.comp,
+          "gemm C+=A'B[" + std::to_string(s) + "]");
       detail::sync_if(dev, opts);
 
       Event g = dev.create_event();
@@ -128,9 +145,11 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
 
     // Single move-out of the accumulated panel.
     dev.wait_event(streams.out, gemm_done.back());
-    dev.copy_d2h(host_block(c, 0, panel.offset, m, panel.width),
-                 sim::DeviceMatrixRef(cd, 0, 0, m, panel.width), streams.out,
-                 "d2h C panel " + std::to_string(p));
+    detail::copy_d2h_retry(dev,
+                           host_block(c, 0, panel.offset, m, panel.width),
+                           sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
+                           streams.out, "d2h C panel " + std::to_string(p),
+                           opts);
     detail::sync_if(dev, opts);
     Event out_ev = dev.create_event();
     dev.record_event(out_ev, streams.out);
@@ -140,12 +159,12 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
   }
 
   // Release streamed-input buffers; their last reader has been enqueued.
-  for (auto& buf : buf_a) dev.free(buf);
-  for (auto& buf : buf_b) dev.free(buf);
+  for (auto& buf : buf_a) buf.reset();
+  for (auto& buf : buf_b) buf.reset();
   if (keep_c != nullptr) {
-    *keep_c = buf_c[0];
+    *keep_c = buf_c[0].release();
   } else {
-    for (auto& buf : buf_c) dev.free(buf);
+    for (auto& buf : buf_c) buf.reset();
   }
 
   OocGemmStats stats;
@@ -165,10 +184,10 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
   return stats;
 }
 
-OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
-                                    const Operand& b, HostMutRef c,
-                                    const OocGemmOptions& opts,
-                                    DeviceMatrix* keep_c) {
+OocGemmStats inner_product_blocking_impl(Device& dev, const Operand& a,
+                                         const Operand& b, HostMutRef c,
+                                         const OocGemmOptions& opts,
+                                         DeviceMatrix* keep_c) {
   ROCQR_CHECK(!b.is_resident(),
               "inner_product_blocking: B streams from the host");
   const index_t kk = a.rows();
@@ -191,29 +210,32 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
 
   // The panel Q is resident — either it already lives on the device (QR-level
   // optimization) or it is moved in once here.
-  DeviceMatrix a_moved;
+  ScopedMatrix a_moved;
   sim::DeviceMatrixRef a_ref;
   Event a_ready{};
   if (a.is_resident()) {
     a_ref = a.device_ref();
     a_ready = a.ready_event();
   } else {
-    a_moved = dev.allocate(kk, m, detail::input_storage(opts), "inner_blk.A");
-    dev.copy_h2d(a_moved, a.host(), streams.in, "h2d A (panel)");
+    a_moved = ScopedMatrix(dev, kk, m, detail::input_storage(opts),
+                           "inner_blk.A");
+    detail::copy_h2d_retry(dev, a_moved.get(), a.host(), streams.in,
+                           "h2d A (panel)", opts);
     detail::sync_if(dev, opts);
     a_ready = dev.create_event();
     dev.record_event(a_ready, streams.in);
-    a_ref = sim::DeviceMatrixRef(a_moved);
+    a_ref = sim::DeviceMatrixRef(a_moved.get());
   }
 
   // Full C stays resident (m x n fp32): each slab's result both returns to
   // the host and remains available as the next outer product's B operand.
-  DeviceMatrix cd = dev.allocate(m, n, StoragePrecision::FP32, "inner_blk.C");
+  ScopedMatrix cd(dev, m, n, StoragePrecision::FP32, "inner_blk.C");
 
-  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  std::vector<ScopedMatrix> buf_b;
+  buf_b.reserve(static_cast<size_t>(depth));
   for (int d = 0; d < depth; ++d) {
-    buf_b[static_cast<size_t>(d)] =
-        dev.allocate(kk, max_w, detail::input_storage(opts), "inner_blk.B");
+    buf_b.emplace_back(dev, kk, max_w, detail::input_storage(opts),
+                       "inner_blk.B");
   }
 
   std::vector<Event> gemm_done;
@@ -227,29 +249,31 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
     }
     detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, kk},
                                       slab);
-    dev.copy_h2d(sim::DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width),
-                 host_block(b.host(), 0, slab.offset, kk, slab.width),
-                 streams.in, "h2d B[" + std::to_string(s) + "]");
+    detail::copy_h2d_retry(
+        dev, sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
+        host_block(b.host(), 0, slab.offset, kk, slab.width), streams.in,
+        "h2d B[" + std::to_string(s) + "]", opts);
     detail::sync_if(dev, opts);
     Event moved_in = dev.create_event();
     dev.record_event(moved_in, streams.in);
 
     dev.wait_event(streams.comp, moved_in);
     if (s == 0 && a_ready.valid()) dev.wait_event(streams.comp, a_ready);
-    dev.gemm(Op::Trans, Op::NoTrans, 1.0f, a_ref,
-             sim::DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width), 0.0f,
-             sim::DeviceMatrixRef(cd, 0, slab.offset, m, slab.width),
-             opts.precision, streams.comp,
-             "gemm C=A'B[" + std::to_string(s) + "]");
+    detail::checked_gemm(
+        dev, opts, Op::Trans, Op::NoTrans, 1.0f, a_ref,
+        sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width), 0.0f,
+        sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
+        streams.comp, "gemm C=A'B[" + std::to_string(s) + "]");
     detail::sync_if(dev, opts);
     Event g = dev.create_event();
     dev.record_event(g, streams.comp);
     gemm_done.push_back(g);
 
     dev.wait_event(streams.out, g);
-    dev.copy_d2h(host_block(c, 0, slab.offset, m, slab.width),
-                 sim::DeviceMatrixRef(cd, 0, slab.offset, m, slab.width),
-                 streams.out, "d2h C[" + std::to_string(s) + "]");
+    detail::copy_d2h_retry(
+        dev, host_block(c, 0, slab.offset, m, slab.width),
+        sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
+        streams.out, "d2h C[" + std::to_string(s) + "]", opts);
     detail::sync_if(dev, opts);
     Event out_ev = dev.create_event();
     dev.record_event(out_ev, streams.out);
@@ -257,12 +281,12 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
         RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_ev});
   }
 
-  for (auto& buf : buf_b) dev.free(buf);
-  if (a_moved.valid()) dev.free(a_moved);
+  for (auto& buf : buf_b) buf.reset();
+  a_moved.reset();
   if (keep_c != nullptr) {
-    *keep_c = cd;
+    *keep_c = cd.release();
   } else {
-    dev.free(cd);
+    cd.reset();
   }
 
   OocGemmStats stats;
@@ -278,6 +302,26 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
       dev.model().gemm_seconds(Op::Trans, m, opts.blocksize, kk, opts.precision);
   stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * m * opts.blocksize);
   return stats;
+}
+
+} // namespace
+
+OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
+                                     const Operand& b, HostMutRef c,
+                                     const OocGemmOptions& opts,
+                                     DeviceMatrix* keep_c) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return inner_product_recursive_impl(dev, a, b, c, o, keep_c);
+  });
+}
+
+OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
+                                    const Operand& b, HostMutRef c,
+                                    const OocGemmOptions& opts,
+                                    DeviceMatrix* keep_c) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return inner_product_blocking_impl(dev, a, b, c, o, keep_c);
+  });
 }
 
 } // namespace rocqr::ooc

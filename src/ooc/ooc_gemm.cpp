@@ -45,20 +45,4 @@ OocGemmStats ooc_gemm(sim::Device& dev, const GemmProblem& p,
                                  Operand::on_host(b), c_in, p.c_out, opts);
 }
 
-OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
-                      float alpha, sim::HostConstRef a, sim::HostConstRef b,
-                      float beta, sim::HostConstRef c_in,
-                      sim::HostMutRef c_out, OocGemmOptions opts) {
-  GemmProblem p;
-  p.opa = opa;
-  p.opb = opb;
-  p.alpha = alpha;
-  p.beta = beta;
-  p.a = a;
-  p.b = b;
-  p.c_in = c_in;
-  p.c_out = c_out;
-  return ooc_gemm(dev, p, std::move(opts));
-}
-
 } // namespace rocqr::ooc

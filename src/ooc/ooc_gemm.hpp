@@ -42,12 +42,4 @@ struct GemmProblem {
 OocGemmStats ooc_gemm(sim::Device& dev, const GemmProblem& problem,
                       OocGemmOptions opts = {});
 
-/// Positional-argument form, superseded by GemmProblem. Forwards verbatim;
-/// will be removed one release after the descriptor landed.
-[[deprecated("build a GemmProblem and call ooc_gemm(dev, problem, opts)")]]
-OocGemmStats ooc_gemm(sim::Device& dev, blas::Op opa, blas::Op opb,
-                      float alpha, sim::HostConstRef a, sim::HostConstRef b,
-                      float beta, sim::HostConstRef c_in,
-                      sim::HostMutRef c_out, OocGemmOptions opts = {});
-
 } // namespace rocqr::ooc

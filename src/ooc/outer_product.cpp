@@ -1,11 +1,19 @@
 // Out-of-core "outer product" engines: C -= A·B (the trailing update
 // A2 -= Q1·R12), including the §4.1.2 staging-buffer optimization.
+//
+// Fault tolerance (docs/FAULTS.md): transfers retry with bounded backoff,
+// GEMMs are ABFT-checked when opts.abft is on, and the engine body re-plans
+// with a halved slab schedule on DeviceOutOfMemory. Buffers are ScopedMatrix
+// and every allocation precedes the first device-to-host write, so an
+// abandoned attempt leaks nothing and has not touched host data.
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "ooc/resilience.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
@@ -17,6 +25,7 @@ using sim::DeviceMatrixRef;
 using sim::Event;
 using sim::HostConstRef;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 
 namespace {
@@ -25,7 +34,7 @@ namespace {
 /// Returns the matrix to use plus the event marking its readiness.
 struct ResidentInput {
   DeviceMatrixRef ref;
-  DeviceMatrix owned; // valid if we moved it in (must be freed by caller)
+  ScopedMatrix owned; // valid if we moved it in (freed on scope exit)
   Event ready{};
 };
 
@@ -37,21 +46,21 @@ ResidentInput make_resident(Device& dev, const Operand& op, sim::Stream in,
     r.ready = op.ready_event();
     return r;
   }
-  r.owned = dev.allocate(op.rows(), op.cols(), detail::input_storage(opts), label);
-  dev.copy_h2d(r.owned, op.host(), in, std::string("h2d ") + label);
+  r.owned = ScopedMatrix(dev, op.rows(), op.cols(),
+                         detail::input_storage(opts), label);
+  detail::copy_h2d_retry(dev, r.owned.get(), op.host(), in,
+                         std::string("h2d ") + label, opts);
   detail::sync_if(dev, opts);
   r.ready = dev.create_event();
   dev.record_event(r.ready, in);
-  r.ref = DeviceMatrixRef(r.owned);
+  r.ref = DeviceMatrixRef(r.owned.get());
   return r;
 }
 
-} // namespace
-
-OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
-                                     const Operand& b, HostConstRef c_in,
-                                     HostMutRef c_out,
-                                     const OocGemmOptions& opts) {
+OocGemmStats outer_product_recursive_impl(Device& dev, const Operand& a,
+                                          const Operand& b, HostConstRef c_in,
+                                          HostMutRef c_out,
+                                          const OocGemmOptions& opts) {
   ROCQR_CHECK(!a.is_resident(), "outer_product_recursive: A streams from host");
   const bool ta = opts.outer_opa == Op::Trans;
   const index_t m = ta ? a.cols() : a.rows();
@@ -80,14 +89,13 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
   // B (the R12 factor produced by the preceding inner product) is resident.
   ResidentInput bres = make_resident(dev, b, streams.in, opts, "outer_rec.B");
 
-  std::vector<DeviceMatrix> buf_a(static_cast<size_t>(depth));
+  std::vector<ScopedMatrix> buf_a;
+  buf_a.reserve(static_cast<size_t>(depth));
   for (int d = 0; d < depth; ++d) {
     // Slabs are stored in host orientation: m-rows x k when A streams by
     // rows, k x m-cols when the transposed operand streams by columns.
-    buf_a[static_cast<size_t>(d)] =
-        ta ? dev.allocate(kk, max_w, detail::input_storage(opts), "outer_rec.A")
-           : dev.allocate(max_w, kk, detail::input_storage(opts),
-                          "outer_rec.A");
+    buf_a.emplace_back(dev, ta ? kk : max_w, ta ? max_w : kk,
+                       detail::input_storage(opts), "outer_rec.A");
   }
   // C slab working space. The paper's baseline keeps a single buffer ("the
   // same GPU memory space"), which serializes every move-in behind the
@@ -97,10 +105,11 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
   // computes and drains — which is what achieves the paper's ideal bound
   // (first move-in + sum of GEMMs + last move-out, §5.1.2).
   const size_t c_slots = opts.staging_buffer ? 2 : 1;
-  std::vector<DeviceMatrix> buf_c(c_slots);
+  std::vector<ScopedMatrix> buf_c;
+  buf_c.reserve(c_slots);
   for (size_t i = 0; i < c_slots; ++i) {
-    buf_c[i] = dev.allocate(max_w, n, StoragePrecision::FP32,
-                            i == 0 ? "outer_rec.C" : "outer_rec.Cstage");
+    buf_c.emplace_back(dev, max_w, n, StoragePrecision::FP32,
+                       i == 0 ? "outer_rec.C" : "outer_rec.Cstage");
   }
 
   std::vector<Event> gemm_done(slabs.size());
@@ -112,7 +121,7 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
   for (size_t s = 0; s < slabs.size(); ++s) {
     const Slab slab = slabs[s];
     const size_t slot = s % static_cast<size_t>(depth);
-    const DeviceMatrix& cbuf = buf_c[s % c_slots];
+    const DeviceMatrix& cbuf = buf_c[s % c_slots].get();
     // Trapezoid mode (symmetric updates): only columns at or right of the
     // slab's diagonal block are touched.
     const index_t col0 = trapezoid ? slab.offset : 0;
@@ -126,12 +135,13 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
                                       ta ? Slab{0, kk} : slab,
                                       ta ? slab : Slab{col0, cw});
     const DeviceMatrixRef a_slab =
-        ta ? DeviceMatrixRef(buf_a[slot], 0, 0, kk, slab.width)
-           : DeviceMatrixRef(buf_a[slot], 0, 0, slab.width, kk);
-    dev.copy_h2d(a_slab,
-                 ta ? host_block(a.host(), 0, slab.offset, kk, slab.width)
-                    : host_block(a.host(), slab.offset, 0, slab.width, kk),
-                 streams.in, "h2d A[" + std::to_string(s) + "]");
+        ta ? DeviceMatrixRef(buf_a[slot].get(), 0, 0, kk, slab.width)
+           : DeviceMatrixRef(buf_a[slot].get(), 0, 0, slab.width, kk);
+    detail::copy_h2d_retry(
+        dev, a_slab,
+        ta ? host_block(a.host(), 0, slab.offset, kk, slab.width)
+           : host_block(a.host(), slab.offset, 0, slab.width, kk),
+        streams.in, "h2d A[" + std::to_string(s) + "]", opts);
     detail::sync_if(dev, opts);
 
     // The C buffer becomes writable once its previous slab's move-out
@@ -141,9 +151,11 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
       dev.wait_event(streams.in, out_done[s - c_slots]);
     }
     if (opts.beta != 0.0f) { // beta == 0: C is write-only, skip the move-in
-      dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
-                   host_block(c_in, slab.offset, col0, slab.width, cw),
-                   streams.in, "h2d C[" + std::to_string(s) + "]");
+      detail::copy_h2d_retry(dev, DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+                             host_block(c_in, slab.offset, col0, slab.width,
+                                        cw),
+                             streams.in, "h2d C[" + std::to_string(s) + "]",
+                             opts);
       detail::sync_if(dev, opts);
     }
 
@@ -156,18 +168,21 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
                          ? bres.ref.block(col0, 0, cw, kk)
                          : bres.ref.block(0, col0, kk, cw))
                   : bres.ref;
-    dev.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_slab, b_ref,
-             opts.beta, DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
-             opts.precision, streams.comp,
-             "gemm C[" + std::to_string(s) + "]");
+    detail::checked_gemm(dev, opts, opts.outer_opa, opts.outer_opb,
+                         opts.alpha, a_slab, b_ref, opts.beta,
+                         DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+                         streams.comp, "gemm C[" + std::to_string(s) + "]");
     detail::sync_if(dev, opts);
     gemm_done[s] = dev.create_event();
     dev.record_event(gemm_done[s], streams.comp);
 
     dev.wait_event(streams.out, gemm_done[s]);
-    dev.copy_d2h(host_block(c_out, slab.offset, col0, slab.width, cw),
-                 DeviceMatrixRef(cbuf, 0, 0, slab.width, cw), streams.out,
-                 "d2h C[" + std::to_string(s) + "]");
+    detail::copy_d2h_retry(dev,
+                           host_block(c_out, slab.offset, col0, slab.width,
+                                      cw),
+                           DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+                           streams.out, "d2h C[" + std::to_string(s) + "]",
+                           opts);
     detail::sync_if(dev, opts);
     out_done[s] = dev.create_event();
     dev.record_event(out_done[s], streams.out);
@@ -176,9 +191,9 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
                     out_done[s]});
   }
 
-  for (auto& buf : buf_a) dev.free(buf);
-  for (auto& buf : buf_c) dev.free(buf);
-  if (bres.owned.valid()) dev.free(bres.owned);
+  for (auto& buf : buf_a) buf.reset();
+  for (auto& buf : buf_c) buf.reset();
+  bres.owned.reset();
 
   OocGemmStats stats;
   stats.summary = sim::summarize(dev.trace(), window_begin);
@@ -197,10 +212,10 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
   return stats;
 }
 
-OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
-                                   const Operand& b, HostConstRef c_in,
-                                   HostMutRef c_out,
-                                   const OocGemmOptions& opts) {
+OocGemmStats outer_product_colwise_impl(Device& dev, const Operand& a,
+                                        const Operand& b, HostConstRef c_in,
+                                        HostMutRef c_out,
+                                        const OocGemmOptions& opts) {
   ROCQR_CHECK(!b.is_resident(), "outer_product_colwise: B streams from host");
   const bool ta = opts.outer_opa == Op::Trans;
   const index_t m = ta ? a.cols() : a.rows();
@@ -227,16 +242,18 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
   ResidentInput ares = make_resident(dev, a, streams.in, opts, "outer_col.A");
   const DeviceMatrixRef a_ref = ares.ref;
 
-  std::vector<DeviceMatrix> buf_b(static_cast<size_t>(depth));
+  std::vector<ScopedMatrix> buf_b;
+  buf_b.reserve(static_cast<size_t>(depth));
   for (int d = 0; d < depth; ++d) {
-    buf_b[static_cast<size_t>(d)] =
-        dev.allocate(kk, max_w, detail::input_storage(opts), "outer_col.B");
+    buf_b.emplace_back(dev, kk, max_w, detail::input_storage(opts),
+                       "outer_col.B");
   }
   const size_t c_slots = opts.staging_buffer ? 2 : 1;
-  std::vector<DeviceMatrix> buf_c(c_slots);
+  std::vector<ScopedMatrix> buf_c;
+  buf_c.reserve(c_slots);
   for (size_t i = 0; i < c_slots; ++i) {
-    buf_c[i] = dev.allocate(m, max_w, StoragePrecision::FP32,
-                            i == 0 ? "outer_col.C" : "outer_col.Cstage");
+    buf_c.emplace_back(dev, m, max_w, StoragePrecision::FP32,
+                       i == 0 ? "outer_col.C" : "outer_col.Cstage");
   }
 
   std::vector<Event> gemm_done(slabs.size());
@@ -246,7 +263,7 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
   for (size_t s = 0; s < slabs.size(); ++s) {
     const Slab slab = slabs[s];
     const size_t slot = s % static_cast<size_t>(depth);
-    const DeviceMatrix& cbuf = buf_c[s % c_slots];
+    const DeviceMatrix& cbuf = buf_c[s % c_slots].get();
 
     detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
     if (s >= static_cast<size_t>(depth)) {
@@ -254,15 +271,19 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
     }
     detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, m},
                                       slab);
-    dev.copy_h2d(DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width),
-                 host_block(b.host(), 0, slab.offset, kk, slab.width),
-                 streams.in, "h2d B[" + std::to_string(s) + "]");
+    detail::copy_h2d_retry(dev,
+                           DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk,
+                                           slab.width),
+                           host_block(b.host(), 0, slab.offset, kk, slab.width),
+                           streams.in, "h2d B[" + std::to_string(s) + "]",
+                           opts);
     detail::sync_if(dev, opts);
     if (s >= c_slots) dev.wait_event(streams.in, out_done[s - c_slots]);
     if (opts.beta != 0.0f) {
-      dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
-                   host_block(c_in, 0, slab.offset, m, slab.width),
-                   streams.in, "h2d C[" + std::to_string(s) + "]");
+      detail::copy_h2d_retry(dev, DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+                             host_block(c_in, 0, slab.offset, m, slab.width),
+                             streams.in, "h2d C[" + std::to_string(s) + "]",
+                             opts);
       detail::sync_if(dev, opts);
     }
 
@@ -270,18 +291,21 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
     dev.record_event(moved_in, streams.in);
     dev.wait_event(streams.comp, moved_in);
     if (s == 0 && ares.ready.valid()) dev.wait_event(streams.comp, ares.ready);
-    dev.gemm(opts.outer_opa, Op::NoTrans, opts.alpha, a_ref,
-             DeviceMatrixRef(buf_b[slot], 0, 0, kk, slab.width), opts.beta,
-             DeviceMatrixRef(cbuf, 0, 0, m, slab.width), opts.precision,
-             streams.comp, "gemm C[" + std::to_string(s) + "]");
+    detail::checked_gemm(dev, opts, opts.outer_opa, Op::NoTrans, opts.alpha,
+                         a_ref,
+                         DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk,
+                                         slab.width),
+                         opts.beta, DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+                         streams.comp, "gemm C[" + std::to_string(s) + "]");
     detail::sync_if(dev, opts);
     gemm_done[s] = dev.create_event();
     dev.record_event(gemm_done[s], streams.comp);
 
     dev.wait_event(streams.out, gemm_done[s]);
-    dev.copy_d2h(host_block(c_out, 0, slab.offset, m, slab.width),
-                 DeviceMatrixRef(cbuf, 0, 0, m, slab.width), streams.out,
-                 "d2h C[" + std::to_string(s) + "]");
+    detail::copy_d2h_retry(dev, host_block(c_out, 0, slab.offset, m, slab.width),
+                           DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+                           streams.out, "d2h C[" + std::to_string(s) + "]",
+                           opts);
     detail::sync_if(dev, opts);
     out_done[s] = dev.create_event();
     dev.record_event(out_done[s], streams.out);
@@ -289,9 +313,9 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
         RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_done[s]});
   }
 
-  for (auto& buf : buf_b) dev.free(buf);
-  for (auto& buf : buf_c) dev.free(buf);
-  if (ares.owned.valid()) dev.free(ares.owned);
+  for (auto& buf : buf_b) buf.reset();
+  for (auto& buf : buf_c) buf.reset();
+  ares.owned.reset();
 
   OocGemmStats stats;
   stats.summary = sim::summarize(dev.trace(), window_begin);
@@ -309,10 +333,10 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
   return stats;
 }
 
-OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
-                                    const Operand& b, HostConstRef c_in,
-                                    HostMutRef c_out,
-                                    const OocGemmOptions& opts) {
+OocGemmStats outer_product_blocking_impl(Device& dev, const Operand& a,
+                                         const Operand& b, HostConstRef c_in,
+                                         HostMutRef c_out,
+                                         const OocGemmOptions& opts) {
   const bool ta = opts.outer_opa == Op::Trans;
   const index_t m = ta ? a.cols() : a.rows();
   const index_t kk = ta ? a.rows() : a.cols();
@@ -343,10 +367,11 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
   // tile t+1 prefetches while tile t computes/drains; a single buffer — the
   // paper's baseline — serializes move-ins behind move-outs.
   const size_t c_slots = opts.staging_buffer ? 2 : 1;
-  std::vector<DeviceMatrix> buf_c(c_slots);
+  std::vector<ScopedMatrix> buf_c;
+  buf_c.reserve(c_slots);
   for (size_t i = 0; i < c_slots; ++i) {
-    buf_c[i] = dev.allocate(b1, b2, StoragePrecision::FP32,
-                            i == 0 ? "outer_blk.C" : "outer_blk.Cstage");
+    buf_c.emplace_back(dev, b1, b2, StoragePrecision::FP32,
+                       i == 0 ? "outer_blk.C" : "outer_blk.Cstage");
   }
 
   const size_t tiles = row_tiles.size() * col_tiles.size();
@@ -362,17 +387,19 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
           ct.offset + ct.width <= rt.offset) {
         continue;
       }
-      const DeviceMatrix& cbuf = buf_c[t % c_slots];
+      const DeviceMatrix& cbuf = buf_c[t % c_slots].get();
       detail::count_slab_prefetch(t >= c_slots);
       if (t >= c_slots) {
         dev.wait_event(streams.in, out_done[t - c_slots]);
       }
       detail::wait_intersecting_regions(dev, streams.in, opts, rt, ct);
       if (opts.beta != 0.0f) {
-        dev.copy_h2d(DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
-                     host_block(c_in, rt.offset, ct.offset, rt.width,
-                                ct.width),
-                     streams.in, "h2d C[" + std::to_string(t) + "]");
+        detail::copy_h2d_retry(dev,
+                               DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+                               host_block(c_in, rt.offset, ct.offset, rt.width,
+                                          ct.width),
+                               streams.in, "h2d C[" + std::to_string(t) + "]",
+                               opts);
         detail::sync_if(dev, opts);
       }
       Event moved_in = dev.create_event();
@@ -389,19 +416,19 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
       const DeviceMatrixRef b_tile =
           tb ? bres.ref.block(ct.offset, 0, ct.width, kk)
              : bres.ref.block(0, ct.offset, kk, ct.width);
-      dev.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_tile, b_tile,
-               opts.beta, DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
-               opts.precision, streams.comp,
-               "gemm C[" + std::to_string(t) + "]");
+      detail::checked_gemm(dev, opts, opts.outer_opa, opts.outer_opb,
+                           opts.alpha, a_tile, b_tile, opts.beta,
+                           DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+                           streams.comp, "gemm C[" + std::to_string(t) + "]");
       detail::sync_if(dev, opts);
       gemm_done[t] = dev.create_event();
       dev.record_event(gemm_done[t], streams.comp);
 
       dev.wait_event(streams.out, gemm_done[t]);
-      dev.copy_d2h(
-          host_block(c_out, rt.offset, ct.offset, rt.width, ct.width),
+      detail::copy_d2h_retry(
+          dev, host_block(c_out, rt.offset, ct.offset, rt.width, ct.width),
           DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width), streams.out,
-          "d2h C[" + std::to_string(t) + "]");
+          "d2h C[" + std::to_string(t) + "]", opts);
       detail::sync_if(dev, opts);
       out_done[t] = dev.create_event();
       dev.record_event(out_done[t], streams.out);
@@ -412,9 +439,9 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
     }
   }
 
-  for (auto& buf : buf_c) dev.free(buf);
-  if (ares.owned.valid()) dev.free(ares.owned);
-  if (bres.owned.valid()) dev.free(bres.owned);
+  for (auto& buf : buf_c) buf.reset();
+  ares.owned.reset();
+  bres.owned.reset();
 
   // With the triangular filter some pre-sized slots were never used.
   gemm_done.resize(t);
@@ -434,6 +461,35 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
       dev.model().gemm_seconds(Op::NoTrans, b1, b2, kk, opts.precision);
   stats.slab_d2h_seconds = dev.model().d2h_seconds(4 * b1 * b2);
   return stats;
+}
+
+} // namespace
+
+OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
+                                     const Operand& b, HostConstRef c_in,
+                                     HostMutRef c_out,
+                                     const OocGemmOptions& opts) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return outer_product_recursive_impl(dev, a, b, c_in, c_out, o);
+  });
+}
+
+OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
+                                   const Operand& b, HostConstRef c_in,
+                                   HostMutRef c_out,
+                                   const OocGemmOptions& opts) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return outer_product_colwise_impl(dev, a, b, c_in, c_out, o);
+  });
+}
+
+OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
+                                    const Operand& b, HostConstRef c_in,
+                                    HostMutRef c_out,
+                                    const OocGemmOptions& opts) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return outer_product_blocking_impl(dev, a, b, c_in, c_out, o);
+  });
 }
 
 } // namespace rocqr::ooc

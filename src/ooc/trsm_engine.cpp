@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/resilience.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
@@ -17,24 +19,27 @@ using sim::DeviceMatrixRef;
 using sim::Event;
 using sim::HostConstRef;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 
 namespace {
 
 /// Base case: the w x w triangle is resident; B's rows [j0, j0+w) stream in
 /// column slabs through the device trsm kernel. Returns the completion
-/// event of the last move-out.
-Event trsm_base(Device& dev, TriSolveKind kind, HostConstRef t,
-                HostConstRef b_in, HostMutRef b_out, index_t j0, index_t w,
-                Event prev, const OocGemmOptions& opts) {
+/// event of the last move-out. Allocations all precede the first d2h, so an
+/// injected OOM aborts before any host row has been overwritten and the
+/// enclosing degradation wrapper may safely re-run this node.
+Event trsm_base_impl(Device& dev, TriSolveKind kind, HostConstRef t,
+                     HostConstRef b_in, HostMutRef b_out, index_t j0,
+                     index_t w, Event prev, const OocGemmOptions& opts) {
   const index_t nrhs = b_in.cols;
   auto streams = detail::make_streams(dev);
   if (prev.valid()) dev.wait_event(streams.in, prev);
   detail::wait_host_inputs(dev, streams.in, opts);
 
-  DeviceMatrix tri =
-      dev.allocate(w, w, StoragePrecision::FP32, "ooc_trsm.T");
-  dev.copy_h2d(tri, host_block(t, j0, j0, w, w), streams.in, "h2d T");
+  ScopedMatrix tri(dev, w, w, StoragePrecision::FP32, "ooc_trsm.T");
+  detail::copy_h2d_retry(dev, tri.get(), host_block(t, j0, j0, w, w),
+                         streams.in, "h2d T", opts);
   detail::sync_if(dev, opts);
   Event tri_ready = dev.create_event();
   dev.record_event(tri_ready, streams.in);
@@ -42,21 +47,23 @@ Event trsm_base(Device& dev, TriSolveKind kind, HostConstRef t,
   const auto slabs = slab_partition(nrhs, std::max<index_t>(opts.blocksize, 1));
   const index_t max_w = max_slab_width(slabs);
   const size_t b_slots = opts.staging_buffer ? 2 : 1;
-  std::vector<DeviceMatrix> buf_b(b_slots);
+  std::vector<ScopedMatrix> buf_b;
+  buf_b.reserve(b_slots);
   for (size_t i = 0; i < b_slots; ++i) {
-    buf_b[i] = dev.allocate(w, max_w, StoragePrecision::FP32, "ooc_trsm.B");
+    buf_b.emplace_back(dev, w, max_w, StoragePrecision::FP32, "ooc_trsm.B");
   }
 
   std::vector<Event> out_done(slabs.size());
   std::vector<Event> solve_done(slabs.size());
   for (size_t s = 0; s < slabs.size(); ++s) {
     const Slab slab = slabs[s];
-    const DeviceMatrix& bbuf = buf_b[s % b_slots];
+    const DeviceMatrix& bbuf = buf_b[s % b_slots].get();
     detail::count_slab_prefetch(s >= b_slots);
     if (s >= b_slots) dev.wait_event(streams.in, out_done[s - b_slots]);
-    dev.copy_h2d(DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
-                 host_block(b_in, j0, slab.offset, w, slab.width), streams.in,
-                 "h2d B[" + std::to_string(s) + "]");
+    detail::copy_h2d_retry(dev, DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
+                           host_block(b_in, j0, slab.offset, w, slab.width),
+                           streams.in, "h2d B[" + std::to_string(s) + "]",
+                           opts);
     detail::sync_if(dev, opts);
     Event moved_in = dev.create_event();
     dev.record_event(moved_in, streams.in);
@@ -67,25 +74,38 @@ Event trsm_base(Device& dev, TriSolveKind kind, HostConstRef t,
         kind == TriSolveKind::LowerUnit   ? Device::TrsmKind::LeftLowerUnit
         : kind == TriSolveKind::UpperTrans ? Device::TrsmKind::LeftUpperTrans
                                            : Device::TrsmKind::LeftUpper;
-    dev.trsm(device_kind, tri, DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
-             opts.precision, streams.comp,
-             "trsm[" + std::to_string(s) + "]");
+    dev.trsm(device_kind, tri.get(),
+             DeviceMatrixRef(bbuf, 0, 0, w, slab.width), opts.precision,
+             streams.comp, "trsm[" + std::to_string(s) + "]");
     detail::sync_if(dev, opts);
     solve_done[s] = dev.create_event();
     dev.record_event(solve_done[s], streams.comp);
 
     dev.wait_event(streams.out, solve_done[s]);
-    dev.copy_d2h(host_block(b_out, j0, slab.offset, w, slab.width),
-                 DeviceMatrixRef(bbuf, 0, 0, w, slab.width), streams.out,
-                 "d2h X[" + std::to_string(s) + "]");
+    detail::copy_d2h_retry(dev,
+                           host_block(b_out, j0, slab.offset, w, slab.width),
+                           DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
+                           streams.out, "d2h X[" + std::to_string(s) + "]",
+                           opts);
     detail::sync_if(dev, opts);
     out_done[s] = dev.create_event();
     dev.record_event(out_done[s], streams.out);
   }
 
-  for (auto& buf : buf_b) dev.free(buf);
-  dev.free(tri);
+  for (auto& buf : buf_b) buf.reset();
+  tri.reset();
   return out_done.back();
+}
+
+/// Each base-case node degrades independently on OOM (the recursion's panel
+/// structure is fixed; only the streaming slab width shrinks). The nested
+/// outer_product_colwise updates carry their own degradation wrapper.
+Event trsm_base(Device& dev, TriSolveKind kind, HostConstRef t,
+                HostConstRef b_in, HostMutRef b_out, index_t j0, index_t w,
+                Event prev, const OocGemmOptions& opts) {
+  return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
+    return trsm_base_impl(dev, kind, t, b_in, b_out, j0, w, prev, o);
+  });
 }
 
 /// Recursive driver over the block rows [j0, j0+w) of the triangle.

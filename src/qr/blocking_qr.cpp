@@ -7,9 +7,11 @@
 #include "common/error.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/resilience.hpp"
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/panel.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
@@ -19,6 +21,7 @@ using sim::Device;
 using sim::DeviceMatrix;
 using sim::Event;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 using sim::Stream;
 
@@ -38,32 +41,45 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
   Stream comp = dev.create_stream();
   Stream pan_out = dev.create_stream();
 
+  // Each panel iteration is one checkpoint/resume unit: a resumed run skips
+  // the first opts.resume_units iterations entirely (their Q columns and R
+  // rows were restored onto the host from the checkpoint).
+  index_t units = 0;
   for (index_t j0 = 0; j0 < n; j0 += b) {
     const index_t w = std::min(b, n - j0);
+    if (units < opts.resume_units) {
+      ++units;
+      continue;
+    }
     sim::TraceSpan iter_span(dev, "panel_iter j0=" + std::to_string(j0));
 
     // 1. Panel move-in. With the QR-level optimization, row chunks start as
     // soon as the previous trailing update's matching move-outs complete.
-    DeviceMatrix panel = dev.allocate(m, w, StoragePrecision::FP32, "qr.panel");
-    detail::move_in_panel(dev, panel,
+    ScopedMatrix panel(dev, m, w, StoragePrecision::FP32, "qr.panel");
+    detail::move_in_panel(dev, panel.get(),
                           ooc::host_block(sim::as_const(a), 0, j0, m, w),
-                          pan_in, tracker, j0, w, opts.qr_level_opt);
+                          pan_in, tracker, j0, w, opts);
     Event panel_in = dev.create_event();
     dev.record_event(panel_in, pan_in);
 
     // 2. In-core panel factorization (recursive CGS on the device).
-    DeviceMatrix r_dev = dev.allocate(w, w, StoragePrecision::FP32, "qr.Rii");
+    ScopedMatrix r_dev(dev, w, w, StoragePrecision::FP32, "qr.Rii");
     dev.wait_event(comp, panel_in);
-    panel_qr_device(dev, panel, r_dev, comp, opts);
+    panel_qr_device(dev, panel.get(), r_dev.get(), comp, opts);
     Event panel_done = dev.create_event();
     dev.record_event(panel_done, comp);
 
     // 3. Move R_ii and the factored Q panel back. With the optimization on,
     // these move-outs overlap the trailing GEMMs' move-ins.
     dev.wait_event(pan_out, panel_done);
-    dev.copy_d2h(ooc::host_block(r, j0, j0, w, w), r_dev, pan_out, "d2h Rii");
-    dev.copy_d2h(ooc::host_block(a, 0, j0, m, w), panel, pan_out,
-                 "d2h Q panel");
+    ooc::detail::copy_d2h_retry(dev, ooc::host_block(r, j0, j0, w, w),
+                                sim::DeviceMatrixRef(r_dev.get()), pan_out,
+                                "d2h Rii", opts.transfer_max_attempts,
+                                opts.transfer_backoff_seconds);
+    ooc::detail::copy_d2h_retry(dev, ooc::host_block(a, 0, j0, m, w),
+                                sim::DeviceMatrixRef(panel.get()), pan_out,
+                                "d2h Q panel", opts.transfer_max_attempts,
+                                opts.transfer_backoff_seconds);
     Event q_out = dev.create_event();
     dev.record_event(q_out, pan_out);
     tracker.record(ooc::Slab{j0, w}, q_out);
@@ -94,7 +110,7 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
       }
       DeviceMatrix r12;
       const auto inner = ooc::inner_product_blocking(
-          dev, Operand::on_device(panel, panel_done),
+          dev, Operand::on_device(panel.get(), panel_done),
           Operand::on_host(ooc::host_block(sim::as_const(a), 0, j0 + w, m,
                                            rest)),
           ooc::host_block(r, j0, j0 + w, w, rest), gi, &r12);
@@ -102,7 +118,7 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
 
       // 5. Outer product A2 -= Q1·R12, both factors resident, C tiled.
       ooc::OocGemmOptions go = detail::gemm_options(opts);
-      const bytes_t residents = panel.bytes() + r12.bytes();
+      const bytes_t residents = panel.get().bytes() + r12.bytes();
       const index_t tile = opts.outer_tile_rows > 0
                                ? opts.outer_tile_rows
                                : detail::plan_tile_edge(dev, residents, opts);
@@ -116,7 +132,7 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
         go.streamed_input_regions = local_regions;
       }
       const auto outer = ooc::outer_product_blocking(
-          dev, Operand::on_device(panel, panel_done),
+          dev, Operand::on_device(panel.get(), panel_done),
           Operand::on_device(r12, inner.device_result_ready),
           ooc::host_block(sim::as_const(a), 0, j0 + w, m, rest),
           ooc::host_block(a, 0, j0 + w, m, rest), go);
@@ -134,8 +150,11 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
       if (!opts.qr_level_opt) dev.synchronize();
       dev.free(r12);
     }
-    dev.free(panel);
-    dev.free(r_dev);
+    panel.reset();
+    r_dev.reset();
+
+    ++units;
+    detail::maybe_checkpoint(dev, "blocking", a, r, opts, j0 + w, units);
   }
 
   dev.synchronize();

@@ -1,0 +1,126 @@
+#include "qr/checkpoint.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+
+namespace rocqr::qr {
+
+namespace {
+
+constexpr const char* kMagic = "rocqr-checkpoint v1";
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+  }
+}
+
+std::vector<float> read_floats(std::istream& is, size_t count) {
+  std::vector<float> v(count);
+  if (count > 0) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    ROCQR_CHECK(is.good(), "checkpoint: truncated float payload");
+  }
+  return v;
+}
+
+/// Copies a contiguous column-major snapshot into a strided host ref.
+void restore_block(sim::HostMutRef dst, const std::vector<float>& src) {
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst.data[i + j * dst.ld] =
+          src[static_cast<size_t>(i) + static_cast<size_t>(j) * dst.rows];
+    }
+  }
+}
+
+} // namespace
+
+void write_checkpoint(std::ostream& os, const Checkpoint& cp) {
+  os << kMagic << "\n"
+     << cp.driver << "\n"
+     << cp.m << " " << cp.n << " " << cp.blocksize << " " << cp.columns_done
+     << " " << cp.units_done << " " << cp.a.size() << " " << cp.r.size()
+     << "\n";
+  write_floats(os, cp.a);
+  write_floats(os, cp.r);
+  ROCQR_CHECK(os.good(), "checkpoint: write failed");
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  ROCQR_CHECK(magic == kMagic,
+              "checkpoint: bad magic '" + magic + "' (expected '" +
+                  std::string(kMagic) + "')");
+  Checkpoint cp;
+  std::getline(is, cp.driver);
+  ROCQR_CHECK(cp.driver == "blocking" || cp.driver == "recursive" ||
+                  cp.driver == "left",
+              "checkpoint: unknown driver '" + cp.driver + "'");
+  size_t a_count = 0;
+  size_t r_count = 0;
+  is >> cp.m >> cp.n >> cp.blocksize >> cp.columns_done >> cp.units_done >>
+      a_count >> r_count;
+  ROCQR_CHECK(is.good(), "checkpoint: malformed header");
+  ROCQR_CHECK(cp.m >= cp.n && cp.n >= 1 && cp.blocksize >= 1 &&
+                  cp.columns_done >= 0 && cp.columns_done <= cp.n &&
+                  cp.units_done >= 0,
+              "checkpoint: header values out of range");
+  const size_t mn = static_cast<size_t>(cp.m) * static_cast<size_t>(cp.n);
+  const size_t nn = static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
+  ROCQR_CHECK((a_count == 0 && r_count == 0) ||
+                  (a_count == mn && r_count == nn),
+              "checkpoint: payload sizes do not match the dimensions");
+  is.get(); // the newline terminating the header
+  cp.a = read_floats(is, a_count);
+  cp.r = read_floats(is, r_count);
+  return cp;
+}
+
+void FileCheckpointSink::write(const Checkpoint& cp) {
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  ROCQR_CHECK(os.is_open(),
+              "checkpoint: cannot open '" + path_ + "' for writing");
+  write_checkpoint(os, cp);
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ROCQR_CHECK(is.is_open(), "checkpoint: cannot open '" + path + "'");
+  return read_checkpoint(is);
+}
+
+QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
+                      sim::HostMutRef a, sim::HostMutRef r, QrOptions opts) {
+  ROCQR_CHECK(a.rows == cp.m && a.cols == cp.n,
+              "resume_ooc_qr: A shape does not match the checkpoint");
+  ROCQR_CHECK(r.rows == cp.n && r.cols == cp.n,
+              "resume_ooc_qr: R shape does not match the checkpoint");
+  // The unit numbering is a function of the panel partition, so the resumed
+  // run must replay the exact schedule the checkpoint was cut from.
+  ROCQR_CHECK(opts.blocksize == cp.blocksize,
+              "resume_ooc_qr: blocksize differs from the checkpointed run");
+  if (a.data != nullptr) {
+    ROCQR_CHECK(!cp.a.empty(),
+                "resume_ooc_qr: Real-mode resume needs a checkpoint with "
+                "host snapshots (this one is schedule-only)");
+    restore_block(a, cp.a);
+    restore_block(r, cp.r);
+  }
+  opts.resume_units = cp.units_done;
+  if (cp.driver == "blocking") return blocking_ooc_qr(dev, a, r, opts);
+  if (cp.driver == "recursive") return recursive_ooc_qr(dev, a, r, opts);
+  if (cp.driver == "left") return left_looking_ooc_qr(dev, a, r, opts);
+  throw InvalidArgument("resume_ooc_qr: unknown driver '" + cp.driver + "'");
+}
+
+} // namespace rocqr::qr

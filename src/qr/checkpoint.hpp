@@ -1,0 +1,96 @@
+// Panel-level checkpoint/restart for the OOC QR drivers (docs/FAULTS.md).
+//
+// A checkpoint captures the factorization state after a completed "unit" of
+// work — a panel iteration in the blocking and left-looking drivers, a
+// recursion leaf (panel or resident subtree) in the recursive driver — plus
+// a full snapshot of the host A (partially factored, Q columns in place) and
+// R matrices in Real mode. Because Real-mode numerics execute eagerly and
+// deterministically at enqueue (independent of the modeled clocks), a
+// factorization resumed from a checkpoint reproduces the uninterrupted
+// result bit for bit: the driver replays its schedule, skipping the units
+// the checkpoint already covers, and continues on the restored host data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::qr {
+
+struct Checkpoint {
+  /// Driver that wrote the checkpoint: "blocking", "recursive" or "left".
+  std::string driver;
+  index_t m = 0;
+  index_t n = 0;
+  index_t blocksize = 0;
+  /// Columns fully factored (Q on the host, R rows written).
+  index_t columns_done = 0;
+  /// Completed schedule units; resume skips exactly this many.
+  index_t units_done = 0;
+  /// Host snapshots, column-major ld == rows. Empty in Phantom mode (the
+  /// schedule replay alone reproduces a phantom run).
+  std::vector<float> a;
+  std::vector<float> r;
+};
+
+/// Serializes `cp` as a text header ("rocqr-checkpoint v1", driver, dims)
+/// followed by the raw float payload of A then R.
+void write_checkpoint(std::ostream& os, const Checkpoint& cp);
+
+/// Inverse of write_checkpoint; throws rocqr::InvalidArgument on a malformed
+/// stream.
+Checkpoint read_checkpoint(std::istream& is);
+
+/// Destination for driver checkpoints. Implementations must copy what they
+/// need: the driver reuses its snapshot buffers between writes.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void write(const Checkpoint& cp) = 0;
+};
+
+/// Keeps the most recent checkpoint in memory (plus a write count) — the
+/// kill-and-resume tests' sink.
+class MemoryCheckpointSink : public CheckpointSink {
+ public:
+  void write(const Checkpoint& cp) override {
+    last_ = cp;
+    ++count_;
+  }
+  const Checkpoint& last() const { return last_; }
+  bool has_checkpoint() const { return count_ > 0; }
+  int count() const { return count_; }
+
+ private:
+  Checkpoint last_;
+  int count_ = 0;
+};
+
+/// Serializes every checkpoint to `path` (truncating the previous one, so
+/// the file always holds the latest consistent state).
+class FileCheckpointSink : public CheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
+  void write(const Checkpoint& cp) override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Reads the checkpoint stored at `path`.
+Checkpoint load_checkpoint_file(const std::string& path);
+
+/// Restarts an OOC QR factorization from `cp`: restores the host A/R data
+/// (Real mode), then re-runs the driver named in the checkpoint with
+/// opts.resume_units = cp.units_done so the completed prefix of the schedule
+/// is skipped. `a`/`r` must have the checkpoint's dimensions; opts.blocksize
+/// must match the checkpointed blocksize (the unit numbering depends on it).
+QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
+                      sim::HostMutRef a, sim::HostMutRef r, QrOptions opts);
+
+} // namespace rocqr::qr

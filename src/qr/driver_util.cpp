@@ -4,20 +4,23 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/resilience.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rocqr::qr::detail {
 
 void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
                    sim::HostConstRef a_cols, sim::Stream in,
                    const HostWriteTracker& tracker, index_t j0, index_t w,
-                   bool fine_grained) {
+                   const QrOptions& opts) {
   ROCQR_CHECK(panel.rows() == a_cols.rows && panel.cols() == w &&
                   a_cols.cols == w,
               "move_in_panel: shape mismatch");
   const index_t m = panel.rows();
 
-  if (fine_grained) {
+  if (opts.qr_level_opt) {
     const auto regions = tracker.regions_for(j0, w);
     if (!regions.empty()) {
       // Group the writer's region events by row slab; a chunk may depend on
@@ -37,10 +40,11 @@ void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
       if (covered == m) {
         for (const auto& [offset, slot] : rows) {
           for (const sim::Event& e : slot.second) dev.wait_event(in, e);
-          dev.copy_h2d(
-              sim::DeviceMatrixRef(panel, offset, 0, slot.first, w),
+          ooc::detail::copy_h2d_retry(
+              dev, sim::DeviceMatrixRef(panel, offset, 0, slot.first, w),
               ooc::host_block(a_cols, offset, 0, slot.first, w), in,
-              "h2d panel rows " + std::to_string(offset));
+              "h2d panel rows " + std::to_string(offset),
+              opts.transfer_max_attempts, opts.transfer_backoff_seconds);
         }
         return;
       }
@@ -50,7 +54,9 @@ void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
   for (const sim::Event& e : tracker.events_for(j0, w)) {
     dev.wait_event(in, e);
   }
-  dev.copy_h2d(panel, a_cols, in, "h2d panel");
+  ooc::detail::copy_h2d_retry(dev, sim::DeviceMatrixRef(panel), a_cols, in,
+                              "h2d panel", opts.transfer_max_attempts,
+                              opts.transfer_backoff_seconds);
 }
 
 ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
@@ -61,7 +67,50 @@ ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
   g.staging_buffer = opts.staging_buffer;
   g.pipeline_depth = opts.pipeline_depth;
   g.precision = opts.precision;
+  g.transfer_max_attempts = opts.transfer_max_attempts;
+  g.transfer_backoff_seconds = opts.transfer_backoff_seconds;
+  g.degrade_on_oom = opts.degrade_on_oom;
+  g.abft = opts.abft;
   return g;
+}
+
+void maybe_checkpoint(sim::Device& dev, const char* driver,
+                      sim::HostMutRef a, sim::HostMutRef r,
+                      const QrOptions& opts, index_t columns_done,
+                      index_t units_done) {
+  if (opts.checkpoint_sink == nullptr) return;
+  if (units_done % opts.checkpoint_every != 0) return;
+  sim::TraceSpan span(dev, "checkpoint units=" + std::to_string(units_done));
+  // Drain the pipelines so every completed unit's Q/R rows have landed on
+  // the host; the snapshot is then a consistent factorization prefix.
+  dev.synchronize();
+  Checkpoint cp;
+  cp.driver = driver;
+  cp.m = a.rows;
+  cp.n = a.cols;
+  cp.blocksize = opts.blocksize;
+  cp.columns_done = columns_done;
+  cp.units_done = units_done;
+  if (a.data != nullptr) {
+    cp.a.resize(static_cast<size_t>(a.rows) * static_cast<size_t>(a.cols));
+    for (index_t j = 0; j < a.cols; ++j) {
+      for (index_t i = 0; i < a.rows; ++i) {
+        cp.a[static_cast<size_t>(i) + static_cast<size_t>(j) * a.rows] =
+            a.data[i + j * a.ld];
+      }
+    }
+    cp.r.resize(static_cast<size_t>(r.rows) * static_cast<size_t>(r.cols));
+    for (index_t j = 0; j < r.cols; ++j) {
+      for (index_t i = 0; i < r.rows; ++i) {
+        cp.r[static_cast<size_t>(i) + static_cast<size_t>(j) * r.rows] =
+            r.data[i + j * r.ld];
+      }
+    }
+  }
+  opts.checkpoint_sink->write(cp);
+  static telemetry::Counter* written =
+      &telemetry::MetricsRegistry::global().counter("checkpoints_written");
+  written->increment();
 }
 
 index_t plan_tile_edge(const sim::Device& dev, bytes_t resident_bytes,

@@ -1,7 +1,10 @@
 // Shared pieces of the two OOC QR drivers.
 #pragma once
 
+#include <string>
+
 #include "ooc/gemm_engines.hpp"
+#include "qr/checkpoint.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/options.hpp"
 #include "sim/device.hpp"
@@ -9,21 +12,31 @@
 namespace rocqr::qr::detail {
 
 /// Moves the host panel columns `a_cols` (m x w) into the device matrix
-/// `panel`, enqueued on `in`.
+/// `panel`, enqueued on `in`. Transfers retry per opts (docs/FAULTS.md).
 ///
-/// With `fine_grained` and per-row-slab completion events available from the
-/// previous trailing update, each row chunk of the panel waits only on the
-/// move-outs it actually reads — so the head of the panel transfer overlaps
-/// the tail of the update's move-out (§4.2, "the last move-out operation can
-/// be overlapped by moving in the first few columns of the panel").
-/// Otherwise a coarse wait on all writers of those columns is used.
+/// With opts.qr_level_opt and per-row-slab completion events available from
+/// the previous trailing update, each row chunk of the panel waits only on
+/// the move-outs it actually reads — so the head of the panel transfer
+/// overlaps the tail of the update's move-out (§4.2, "the last move-out
+/// operation can be overlapped by moving in the first few columns of the
+/// panel"). Otherwise a coarse wait on all writers of those columns is used.
 void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
                    sim::HostConstRef a_cols, sim::Stream in,
                    const HostWriteTracker& tracker, index_t j0, index_t w,
-                   bool fine_grained);
+                   const QrOptions& opts);
 
-/// Builds the per-call OOC GEMM options from the QR options.
+/// Builds the per-call OOC GEMM options from the QR options (including the
+/// fault-tolerance knobs, which pass through unchanged).
 ooc::OocGemmOptions gemm_options(const QrOptions& opts);
+
+/// Writes a panel-level checkpoint if opts.checkpoint_sink is set and
+/// `units_done` is a multiple of opts.checkpoint_every. Synchronizes the
+/// device first so the host A/R snapshots are consistent, then counts the
+/// write on `checkpoints_written`. No-op (and zero-overhead) without a sink.
+void maybe_checkpoint(sim::Device& dev, const char* driver,
+                      sim::HostMutRef a, sim::HostMutRef r,
+                      const QrOptions& opts, index_t columns_done,
+                      index_t units_done);
 
 /// Largest power-of-two C tile edge for the blocking trailing update that
 /// fits the memory left after the resident operands (double-buffered fp32

@@ -6,8 +6,11 @@
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/resilience.hpp"
 #include "ooc/slab_schedule.hpp"
+#include "qr/driver_util.hpp"
 #include "qr/panel.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
@@ -18,6 +21,7 @@ using sim::DeviceMatrix;
 using sim::DeviceMatrixRef;
 using sim::Event;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 using sim::Stream;
 
@@ -46,23 +50,35 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
       opts.precision == blas::GemmPrecision::FP16_FP32
           ? StoragePrecision::FP16
           : StoragePrecision::FP32;
-  std::vector<DeviceMatrix> buf_q(static_cast<size_t>(depth));
+  std::vector<ScopedMatrix> buf_q;
+  buf_q.reserve(static_cast<size_t>(depth));
   for (int d = 0; d < depth; ++d) {
-    buf_q[static_cast<size_t>(d)] = dev.allocate(m, b, q_storage, "llqr.Qj");
+    buf_q.emplace_back(dev, m, b, q_storage, "llqr.Qj");
   }
-  DeviceMatrix r_blk = dev.allocate(b, b, StoragePrecision::FP32, "llqr.Rblk");
+  ScopedMatrix r_blk(dev, b, b, StoragePrecision::FP32, "llqr.Rblk");
 
+  // Each panel is one checkpoint/resume unit. A skipped panel's Q columns
+  // were restored onto the host, but its q_on_host event must still exist
+  // (recorded on an idle stream) so later panels' projections can wait on it.
+  index_t units = 0;
   std::vector<Event> proj_done; // per streamed panel, guards buffer reuse
   for (size_t i = 0; i < panels.size(); ++i) {
     const ooc::Slab panel = panels[i];
+    if (units < opts.resume_units) {
+      q_on_host[i] = dev.create_event();
+      dev.record_event(q_on_host[i], in);
+      ++units;
+      continue;
+    }
 
     // The panel's columns are still ORIGINAL data (left-looking writes each
     // column block exactly once), so the move-in has no dependencies.
-    DeviceMatrix p = dev.allocate(m, panel.width, StoragePrecision::FP32,
-                                  "llqr.panel");
-    dev.copy_h2d(p, ooc::host_block(sim::as_const(a), 0, panel.offset, m,
-                                    panel.width),
-                 in, "h2d panel " + std::to_string(i));
+    ScopedMatrix p(dev, m, panel.width, StoragePrecision::FP32, "llqr.panel");
+    ooc::detail::copy_h2d_retry(
+        dev, sim::DeviceMatrixRef(p.get()),
+        ooc::host_block(sim::as_const(a), 0, panel.offset, m, panel.width),
+        in, "h2d panel " + std::to_string(i), opts.transfer_max_attempts,
+        opts.transfer_backoff_seconds);
     Event p_in = dev.create_event();
     dev.record_event(p_in, in);
     dev.wait_event(comp, p_in);
@@ -77,10 +93,11 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                        proj_done[proj_done.size() - static_cast<size_t>(depth)]);
       }
       dev.wait_event(in, q_on_host[j]); // Q_j must have landed on the host
-      dev.copy_h2d(DeviceMatrixRef(buf_q[slot], 0, 0, m, prev.width),
-                   ooc::host_block(sim::as_const(a), 0, prev.offset, m,
-                                   prev.width),
-                   in, "h2d Q" + std::to_string(j));
+      ooc::detail::copy_h2d_retry(
+          dev, DeviceMatrixRef(buf_q[slot].get(), 0, 0, m, prev.width),
+          ooc::host_block(sim::as_const(a), 0, prev.offset, m, prev.width),
+          in, "h2d Q" + std::to_string(j), opts.transfer_max_attempts,
+          opts.transfer_backoff_seconds);
       Event q_in = dev.create_event();
       dev.record_event(q_in, in);
       dev.wait_event(comp, q_in);
@@ -88,45 +105,60 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
       // R(j, i) = Q_jᵀ P ; P -= Q_j R(j, i) — the skinny GEMM pair. The
       // shared R scratch must have drained to the host first.
       if (r_blk_drained.valid()) dev.wait_event(comp, r_blk_drained);
-      const DeviceMatrixRef q_ref(buf_q[slot], 0, 0, m, prev.width);
-      const DeviceMatrixRef r_ref(r_blk, 0, 0, prev.width, panel.width);
-      dev.gemm(Op::Trans, Op::NoTrans, 1.0f, q_ref, p, 0.0f, r_ref,
-               opts.precision, comp, "proj R");
-      dev.gemm(Op::NoTrans, Op::NoTrans, -1.0f, q_ref, r_ref, 1.0f, p,
-               opts.precision, comp, "proj update");
+      const DeviceMatrixRef q_ref(buf_q[slot].get(), 0, 0, m, prev.width);
+      const DeviceMatrixRef r_ref(r_blk.get(), 0, 0, prev.width, panel.width);
+      const ooc::OocGemmOptions g_opts = detail::gemm_options(opts);
+      ooc::detail::checked_gemm(dev, g_opts, Op::Trans, Op::NoTrans, 1.0f,
+                                q_ref, DeviceMatrixRef(p.get()), 0.0f, r_ref,
+                                comp, "proj R");
+      ooc::detail::checked_gemm(dev, g_opts, Op::NoTrans, Op::NoTrans, -1.0f,
+                                q_ref, r_ref, 1.0f, DeviceMatrixRef(p.get()),
+                                comp, "proj update");
       Event g = dev.create_event();
       dev.record_event(g, comp);
       proj_done.push_back(g);
 
       dev.wait_event(out, g);
-      dev.copy_d2h(ooc::host_block(r, prev.offset, panel.offset, prev.width,
-                                   panel.width),
-                   r_ref, out, "d2h R block");
+      ooc::detail::copy_d2h_retry(
+          dev,
+          ooc::host_block(r, prev.offset, panel.offset, prev.width,
+                          panel.width),
+          r_ref, out, "d2h R block", opts.transfer_max_attempts,
+          opts.transfer_backoff_seconds);
       r_blk_drained = dev.create_event();
       dev.record_event(r_blk_drained, out);
     }
 
     // In-core factorization of the fully projected panel.
-    DeviceMatrix rii = dev.allocate(panel.width, panel.width,
-                                    StoragePrecision::FP32, "llqr.Rii");
-    panel_qr_device(dev, p, rii, comp, opts);
+    ScopedMatrix rii(dev, panel.width, panel.width, StoragePrecision::FP32,
+                     "llqr.Rii");
+    panel_qr_device(dev, p.get(), rii.get(), comp, opts);
     Event factored = dev.create_event();
     dev.record_event(factored, comp);
     dev.wait_event(out, factored);
-    dev.copy_d2h(ooc::host_block(r, panel.offset, panel.offset, panel.width,
-                                 panel.width),
-                 rii, out, "d2h Rii");
-    dev.copy_d2h(ooc::host_block(a, 0, panel.offset, m, panel.width), p, out,
-                 "d2h Q panel");
+    ooc::detail::copy_d2h_retry(
+        dev,
+        ooc::host_block(r, panel.offset, panel.offset, panel.width,
+                        panel.width),
+        sim::DeviceMatrixRef(rii.get()), out, "d2h Rii",
+        opts.transfer_max_attempts, opts.transfer_backoff_seconds);
+    ooc::detail::copy_d2h_retry(
+        dev, ooc::host_block(a, 0, panel.offset, m, panel.width),
+        sim::DeviceMatrixRef(p.get()), out, "d2h Q panel",
+        opts.transfer_max_attempts, opts.transfer_backoff_seconds);
     q_on_host[i] = dev.create_event();
     dev.record_event(q_on_host[i], out);
 
-    dev.free(p);
-    dev.free(rii);
+    p.reset();
+    rii.reset();
+
+    ++units;
+    detail::maybe_checkpoint(dev, "left", a, r, opts,
+                             panel.offset + panel.width, units);
   }
 
-  for (auto& buf : buf_q) dev.free(buf);
-  dev.free(r_blk);
+  for (auto& buf : buf_q) buf.reset();
+  r_blk.reset();
   dev.synchronize();
   return stats_from_trace(dev.trace(), window, dev.memory_peak());
 }

@@ -23,6 +23,14 @@ void QrOptions::validate() const {
               "QrOptions: outer_tile_cols must be non-negative");
   ROCQR_CHECK(inner_c_panel >= 0,
               "QrOptions: inner_c_panel must be non-negative");
+  ROCQR_CHECK(transfer_max_attempts >= 1,
+              "QrOptions: transfer_max_attempts must be >= 1");
+  ROCQR_CHECK(transfer_backoff_seconds >= 0.0,
+              "QrOptions: transfer_backoff_seconds must be non-negative");
+  ROCQR_CHECK(checkpoint_every >= 1,
+              "QrOptions: checkpoint_every must be >= 1");
+  ROCQR_CHECK(resume_units >= 0,
+              "QrOptions: resume_units must be non-negative");
 }
 
 QrStats stats_from_trace(const sim::Trace& trace, size_t from,

@@ -7,6 +7,8 @@
 
 namespace rocqr::qr {
 
+class CheckpointSink;
+
 /// In-core solver used for the device panel factorization. The paper (via
 /// HPDC'20) uses recursive CGS; CGS2 and CholeskyQR2 are included as
 /// stability ablations — both do ~2x the panel flops for much better
@@ -51,6 +53,26 @@ struct QrOptions {
   /// Fraction of device memory the planner is allowed to commit (head-room
   /// for the allocator's alignment and cross-phase overlap).
   double memory_budget_fraction = 0.92;
+
+  // --- Fault tolerance (docs/FAULTS.md) ------------------------------------
+  /// Transfer retry budget per individual copy (1 = no retries) and the
+  /// initial backoff charged to the host clock per retry (doubles each time).
+  int transfer_max_attempts = 4;
+  double transfer_backoff_seconds = 1e-3;
+  /// On DeviceOutOfMemory inside an OOC engine, re-plan with a halved slab
+  /// schedule instead of failing (counted as `slab_degradations`).
+  bool degrade_on_oom = true;
+  /// Opt-in ABFT column-sum checksums on the OOC GEMMs: detects injected
+  /// compute corruption and recomputes the affected slab.
+  bool abft = false;
+  /// When set, the driver writes a panel-level checkpoint every
+  /// `checkpoint_every` completed units (panels / recursion leaves). Not
+  /// owned. resume_ooc_qr() restarts from such a checkpoint.
+  CheckpointSink* checkpoint_sink = nullptr;
+  index_t checkpoint_every = 1;
+  /// Internal (set by resume_ooc_qr): number of already-completed panel
+  /// units to skip when replaying the factorization schedule.
+  index_t resume_units = 0;
 
   /// Checks every field against its documented domain and throws
   /// rocqr::InvalidArgument on the first violation. All drivers call this on

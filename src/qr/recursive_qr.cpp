@@ -7,9 +7,11 @@
 #include "common/error.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/resilience.hpp"
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/panel.hpp"
+#include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rocqr::qr {
@@ -19,6 +21,7 @@ using sim::Device;
 using sim::DeviceMatrix;
 using sim::Event;
 using sim::HostMutRef;
+using sim::ScopedMatrix;
 using sim::StoragePrecision;
 using sim::Stream;
 
@@ -33,6 +36,14 @@ struct DriverState {
   Stream pan_in;
   Stream comp;
   Stream pan_out;
+  // Checkpoint/resume bookkeeping. A "unit" is a recursion leaf (streamed
+  // panel or resident subtree); the schedule visits leaves left to right and
+  // every node-level update sits at a fixed position in that sequence, so a
+  // resumed run replays the recursion, skips the first `skip_units` leaves,
+  // and executes a node's update iff the leaf counter has caught up — the
+  // checkpoint captured exactly the updates enqueued before its leaf.
+  index_t units = 0;
+  index_t skip_units = 0;
 };
 
 std::vector<Event> merge_events(std::vector<Event> lhs,
@@ -45,34 +56,46 @@ std::vector<Event> merge_events(std::vector<Event> lhs,
 /// and R_ii out (overlapping neighbours when the QR-level opt is on).
 void factor_panel(DriverState& st, index_t j0, index_t w) {
   Device& dev = st.dev;
+  if (st.units < st.skip_units) { // leaf restored from the checkpoint
+    ++st.units;
+    return;
+  }
   sim::TraceSpan span(dev, "factor_panel j0=" + std::to_string(j0));
   const index_t m = st.a.rows;
 
-  DeviceMatrix panel = dev.allocate(m, w, StoragePrecision::FP32, "rqr.panel");
-  detail::move_in_panel(dev, panel,
+  ScopedMatrix panel(dev, m, w, StoragePrecision::FP32, "rqr.panel");
+  detail::move_in_panel(dev, panel.get(),
                         ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
-                        st.pan_in, st.tracker, j0, w, st.opts.qr_level_opt);
+                        st.pan_in, st.tracker, j0, w, st.opts);
   Event panel_in = dev.create_event();
   dev.record_event(panel_in, st.pan_in);
 
-  DeviceMatrix r_dev = dev.allocate(w, w, StoragePrecision::FP32, "rqr.Rii");
+  ScopedMatrix r_dev(dev, w, w, StoragePrecision::FP32, "rqr.Rii");
   dev.wait_event(st.comp, panel_in);
-  panel_qr_device(dev, panel, r_dev, st.comp, st.opts);
+  panel_qr_device(dev, panel.get(), r_dev.get(), st.comp, st.opts);
   Event panel_done = dev.create_event();
   dev.record_event(panel_done, st.comp);
 
   dev.wait_event(st.pan_out, panel_done);
-  dev.copy_d2h(ooc::host_block(st.r, j0, j0, w, w), r_dev, st.pan_out,
-               "d2h Rii");
-  dev.copy_d2h(ooc::host_block(st.a, 0, j0, m, w), panel, st.pan_out,
-               "d2h Q panel");
+  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.r, j0, j0, w, w),
+                              sim::DeviceMatrixRef(r_dev.get()), st.pan_out,
+                              "d2h Rii", st.opts.transfer_max_attempts,
+                              st.opts.transfer_backoff_seconds);
+  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.a, 0, j0, m, w),
+                              sim::DeviceMatrixRef(panel.get()), st.pan_out,
+                              "d2h Q panel", st.opts.transfer_max_attempts,
+                              st.opts.transfer_backoff_seconds);
   Event q_out = dev.create_event();
   dev.record_event(q_out, st.pan_out);
   st.tracker.record(ooc::Slab{j0, w}, q_out);
   if (!st.opts.qr_level_opt) dev.synchronize();
 
-  dev.free(panel);
-  dev.free(r_dev);
+  panel.reset();
+  r_dev.reset();
+
+  ++st.units;
+  detail::maybe_checkpoint(dev, "recursive", st.a, st.r, st.opts, j0 + w,
+                           st.units);
 }
 
 /// Picks the C column split for the recursive inner product so the fp32
@@ -181,40 +204,43 @@ void device_recurse(DriverState& st, const DeviceMatrix& block, index_t j0,
   const index_t m = st.a.rows;
   const index_t b = st.opts.blocksize;
   const index_t panels = (wl + b - 1) / b;
+  const ooc::OocGemmOptions gdev = detail::gemm_options(st.opts);
   if (panels <= 1) {
-    DeviceMatrix rii = dev.allocate(wl, wl, StoragePrecision::FP32,
-                                    "rqr.res.Rii");
+    ScopedMatrix rii(dev, wl, wl, StoragePrecision::FP32, "rqr.res.Rii");
     panel_qr_device(dev, sim::DeviceMatrixRef(block, 0, c0, m, wl),
-                    sim::DeviceMatrixRef(rii), st.comp, st.opts);
+                    sim::DeviceMatrixRef(rii.get()), st.comp, st.opts);
     Event done = dev.create_event();
     dev.record_event(done, st.comp);
     dev.wait_event(st.pan_out, done);
-    dev.copy_d2h(ooc::host_block(st.r, j0 + c0, j0 + c0, wl, wl), rii,
-                 st.pan_out, "d2h Rii");
-    dev.free(rii);
+    ooc::detail::copy_d2h_retry(
+        dev, ooc::host_block(st.r, j0 + c0, j0 + c0, wl, wl),
+        sim::DeviceMatrixRef(rii.get()), st.pan_out, "d2h Rii",
+        st.opts.transfer_max_attempts, st.opts.transfer_backoff_seconds);
     return;
   }
   const index_t h = (panels / 2) * b;
   const index_t rest = wl - h;
   device_recurse(st, block, j0, c0, h);
 
-  DeviceMatrix r12 = dev.allocate(h, rest, StoragePrecision::FP32,
-                                  "rqr.res.R12");
-  dev.gemm(blas::Op::Trans, blas::Op::NoTrans, 1.0f,
-           sim::DeviceMatrixRef(block, 0, c0, m, h),
-           sim::DeviceMatrixRef(block, 0, c0 + h, m, rest), 0.0f,
-           sim::DeviceMatrixRef(r12), st.opts.precision, st.comp,
-           "resident R12");
+  ScopedMatrix r12(dev, h, rest, StoragePrecision::FP32, "rqr.res.R12");
+  ooc::detail::checked_gemm(dev, gdev, blas::Op::Trans, blas::Op::NoTrans,
+                            1.0f, sim::DeviceMatrixRef(block, 0, c0, m, h),
+                            sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
+                            0.0f, sim::DeviceMatrixRef(r12.get()), st.comp,
+                            "resident R12");
   Event r12_done = dev.create_event();
   dev.record_event(r12_done, st.comp);
   dev.wait_event(st.pan_out, r12_done);
-  dev.copy_d2h(ooc::host_block(st.r, j0 + c0, j0 + c0 + h, h, rest), r12,
-               st.pan_out, "d2h R12");
-  dev.gemm(blas::Op::NoTrans, blas::Op::NoTrans, -1.0f,
-           sim::DeviceMatrixRef(block, 0, c0, m, h), sim::DeviceMatrixRef(r12),
-           1.0f, sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
-           st.opts.precision, st.comp, "resident update");
-  dev.free(r12);
+  ooc::detail::copy_d2h_retry(
+      dev, ooc::host_block(st.r, j0 + c0, j0 + c0 + h, h, rest),
+      sim::DeviceMatrixRef(r12.get()), st.pan_out, "d2h R12",
+      st.opts.transfer_max_attempts, st.opts.transfer_backoff_seconds);
+  ooc::detail::checked_gemm(dev, gdev, blas::Op::NoTrans, blas::Op::NoTrans,
+                            -1.0f, sim::DeviceMatrixRef(block, 0, c0, m, h),
+                            sim::DeviceMatrixRef(r12.get()), 1.0f,
+                            sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
+                            st.comp, "resident update");
+  r12.reset();
 
   device_recurse(st, block, j0, c0 + h, rest);
 }
@@ -223,28 +249,37 @@ void device_recurse(DriverState& st, const DeviceMatrix& block, index_t j0,
 /// recursion resident, one Q move-out.
 void factor_resident_subtree(DriverState& st, index_t j0, index_t w) {
   Device& dev = st.dev;
+  if (st.units < st.skip_units) { // leaf restored from the checkpoint
+    ++st.units;
+    return;
+  }
   sim::TraceSpan span(dev, "resident_subtree j0=" + std::to_string(j0));
   const index_t m = st.a.rows;
-  DeviceMatrix block = dev.allocate(m, w, StoragePrecision::FP32,
-                                    "rqr.subtree");
-  detail::move_in_panel(dev, block,
+  ScopedMatrix block(dev, m, w, StoragePrecision::FP32, "rqr.subtree");
+  detail::move_in_panel(dev, block.get(),
                         ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
-                        st.pan_in, st.tracker, j0, w, st.opts.qr_level_opt);
+                        st.pan_in, st.tracker, j0, w, st.opts);
   Event moved_in = dev.create_event();
   dev.record_event(moved_in, st.pan_in);
   dev.wait_event(st.comp, moved_in);
 
-  device_recurse(st, block, j0, 0, w);
+  device_recurse(st, block.get(), j0, 0, w);
 
   Event factored = dev.create_event();
   dev.record_event(factored, st.comp);
   dev.wait_event(st.pan_out, factored);
-  dev.copy_d2h(ooc::host_block(st.a, 0, j0, m, w), block, st.pan_out,
-               "d2h Q subtree");
+  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.a, 0, j0, m, w),
+                              sim::DeviceMatrixRef(block.get()), st.pan_out,
+                              "d2h Q subtree", st.opts.transfer_max_attempts,
+                              st.opts.transfer_backoff_seconds);
   Event q_out = dev.create_event();
   dev.record_event(q_out, st.pan_out);
   st.tracker.record(ooc::Slab{j0, w}, q_out);
-  dev.free(block);
+  block.reset();
+
+  ++st.units;
+  detail::maybe_checkpoint(dev, "recursive", st.a, st.r, st.opts, j0 + w,
+                           st.units);
 }
 
 void recurse(DriverState& st, index_t j0, index_t w) {
@@ -268,66 +303,71 @@ void recurse(DriverState& st, index_t j0, index_t w) {
   // 1. Factor the left half recursively.
   recurse(st, j0, h);
 
-  const index_t m = st.a.rows;
-  ooc::OocGemmOptions gi = detail::gemm_options(st.opts);
-  gi.blocksize = std::min(st.opts.blocksize, m);
-  gi.c_panel_cols = plan_inner_c_split(st, h, rest);
-  gi.host_input_ready = merge_events(st.tracker.events_for(j0, h),
-                                     st.tracker.events_for(j0 + h, rest));
-  const bool keep = plan_keep_r12(st, h, rest, gi.c_panel_cols);
+  // On resume, this node's update replays only once the leaf counter has
+  // caught up with the checkpoint (see DriverState) — a skipped update was
+  // already applied to the restored host data.
+  if (st.units >= st.skip_units) {
+    const index_t m = st.a.rows;
+    ooc::OocGemmOptions gi = detail::gemm_options(st.opts);
+    gi.blocksize = std::min(st.opts.blocksize, m);
+    gi.c_panel_cols = plan_inner_c_split(st, h, rest);
+    gi.host_input_ready = merge_events(st.tracker.events_for(j0, h),
+                                       st.tracker.events_for(j0 + h, rest));
+    const bool keep = plan_keep_r12(st, h, rest, gi.c_panel_cols);
 
-  // 2. Inner product: R12 = Q1ᵀ·A2, both streamed from the host in k-slabs,
-  // C accumulating on the device (split along columns only if memory-bound).
-  DeviceMatrix r12;
-  const auto inner = ooc::inner_product_recursive(
-      dev,
-      Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0, m, h)),
-      Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0 + h, m,
-                                       rest)),
-      ooc::host_block(st.r, j0, j0 + h, h, rest), gi,
-      keep ? &r12 : nullptr);
-  if (!st.opts.qr_level_opt) dev.synchronize();
-
-  // 3. Outer product: A2 -= Q1·R12, B resident (kept from the inner product
-  // when it fits — the QR-level optimization — else re-staged from the
-  // host, which requires the inner product's move-out to finish first).
-  // On small-memory devices even a re-staged full R12 may not fit; then the
-  // update runs over column panels, re-streaming Q1 once per panel.
-  ooc::OocGemmOptions go = detail::gemm_options(st.opts);
-  go.blocksize = std::min(st.opts.blocksize, m);
-  go.host_input_ready = merge_events(st.tracker.events_for(j0, h),
-                                     st.tracker.events_for(j0 + h, rest));
-  if (!keep) go.host_input_ready.push_back(inner.done);
-
-  const index_t n_split = keep ? 0 : plan_outer_n_split(st, h, rest);
-  std::vector<ooc::RegionEvent> regions;
-  sim::Event outer_done{};
-  for (const ooc::Slab panel :
-       ooc::slab_partition(rest, n_split > 0 ? n_split : rest)) {
-    const Operand b_operand =
-        keep ? Operand::on_device(r12, inner.device_result_ready)
-             : Operand::on_host(ooc::host_block(sim::as_const(st.r), j0,
-                                                j0 + h + panel.offset, h,
-                                                panel.width));
-    const auto outer = ooc::outer_product_recursive(
+    // 2. Inner product: R12 = Q1ᵀ·A2, both streamed from the host in k-slabs,
+    // C accumulating on the device (split along columns only if memory-bound).
+    DeviceMatrix r12;
+    const auto inner = ooc::inner_product_recursive(
         dev,
         Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0, m, h)),
-        b_operand,
-        ooc::host_block(sim::as_const(st.a), 0, j0 + h + panel.offset, m,
-                        panel.width),
-        ooc::host_block(st.a, 0, j0 + h + panel.offset, m, panel.width), go);
-    for (const ooc::RegionEvent& re : outer.output_ready) {
-      regions.push_back(ooc::RegionEvent{
-          re.rows,
-          ooc::Slab{re.cols.offset + j0 + h + panel.offset, re.cols.width},
-          re.event});
-    }
-    outer_done = outer.done;
-  }
-  if (keep) dev.free(r12);
+        Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0 + h, m,
+                                         rest)),
+        ooc::host_block(st.r, j0, j0 + h, h, rest), gi,
+        keep ? &r12 : nullptr);
+    if (!st.opts.qr_level_opt) dev.synchronize();
 
-  st.tracker.record(ooc::Slab{j0 + h, rest}, outer_done, std::move(regions));
-  if (!st.opts.qr_level_opt) dev.synchronize();
+    // 3. Outer product: A2 -= Q1·R12, B resident (kept from the inner product
+    // when it fits — the QR-level optimization — else re-staged from the
+    // host, which requires the inner product's move-out to finish first).
+    // On small-memory devices even a re-staged full R12 may not fit; then the
+    // update runs over column panels, re-streaming Q1 once per panel.
+    ooc::OocGemmOptions go = detail::gemm_options(st.opts);
+    go.blocksize = std::min(st.opts.blocksize, m);
+    go.host_input_ready = merge_events(st.tracker.events_for(j0, h),
+                                       st.tracker.events_for(j0 + h, rest));
+    if (!keep) go.host_input_ready.push_back(inner.done);
+
+    const index_t n_split = keep ? 0 : plan_outer_n_split(st, h, rest);
+    std::vector<ooc::RegionEvent> regions;
+    sim::Event outer_done{};
+    for (const ooc::Slab panel :
+         ooc::slab_partition(rest, n_split > 0 ? n_split : rest)) {
+      const Operand b_operand =
+          keep ? Operand::on_device(r12, inner.device_result_ready)
+               : Operand::on_host(ooc::host_block(sim::as_const(st.r), j0,
+                                                  j0 + h + panel.offset, h,
+                                                  panel.width));
+      const auto outer = ooc::outer_product_recursive(
+          dev,
+          Operand::on_host(ooc::host_block(sim::as_const(st.a), 0, j0, m, h)),
+          b_operand,
+          ooc::host_block(sim::as_const(st.a), 0, j0 + h + panel.offset, m,
+                          panel.width),
+          ooc::host_block(st.a, 0, j0 + h + panel.offset, m, panel.width), go);
+      for (const ooc::RegionEvent& re : outer.output_ready) {
+        regions.push_back(ooc::RegionEvent{
+            re.rows,
+            ooc::Slab{re.cols.offset + j0 + h + panel.offset, re.cols.width},
+            re.event});
+      }
+      outer_done = outer.done;
+    }
+    if (keep) dev.free(r12);
+
+    st.tracker.record(ooc::Slab{j0 + h, rest}, outer_done, std::move(regions));
+    if (!st.opts.qr_level_opt) dev.synchronize();
+  }
 
   // 4. Factor the updated right half recursively.
   recurse(st, j0 + h, rest);
@@ -353,6 +393,7 @@ QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                  dev.create_stream(),
                  dev.create_stream(),
                  dev.create_stream()};
+  st.skip_units = opts.resume_units;
   recurse(st, 0, n);
   dev.synchronize();
   return stats_from_trace(dev.trace(), window, dev.memory_peak());

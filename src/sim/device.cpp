@@ -1,12 +1,14 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "blas/transform.hpp"
 #include "blas/trsm.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
 #include "common/telemetry.hpp"
+#include "sim/faults.hpp"
 
 namespace rocqr::sim {
 
@@ -29,9 +31,19 @@ Device::Device(DeviceSpec spec, ExecutionMode mode,
       allocator_(model_.spec().memory_capacity),
       shared_link_(std::move(shared_link)) {}
 
+void Device::install_faults(const FaultPlan& plan) {
+  faults_ = plan.empty() ? nullptr : std::make_shared<FaultInjector>(plan);
+}
+
 DeviceMatrix Device::allocate(index_t rows, index_t cols,
                               StoragePrecision precision, std::string label) {
   ROCQR_CHECK(rows > 0 && cols > 0, "Device::allocate: dimensions must be positive");
+  if (faults_ && faults_->fire(FaultSite::Alloc)) {
+    throw DeviceOutOfMemory(
+        "injected fault: alloc:oom at alloc op #" +
+        std::to_string(faults_->ops_seen(FaultSite::Alloc)) +
+        (label.empty() ? "" : " ('" + label + "')"));
+  }
   const bytes_t bytes = static_cast<bytes_t>(rows) * cols * element_bytes(precision);
   Buffer buf;
   buf.offset = allocator_.allocate(bytes);
@@ -186,6 +198,14 @@ void Device::copy_h2d(DeviceMatrixRef dst, HostConstRef src, Stream s,
   ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
               "copy_h2d: shape mismatch");
   if (dst.rows == 0 || dst.cols == 0) return;
+  // Injected transfer failures throw before schedule(): a failed enqueue
+  // consumes no engine time (the caller's retry backoff models the cost).
+  if (faults_ && faults_->fire(FaultSite::H2D)) {
+    throw TransferError("injected fault: h2d:transient on '" + name +
+                        "' (h2d op #" +
+                        std::to_string(faults_->ops_seen(FaultSite::H2D)) +
+                        ")");
+  }
   // PCIe payload is fp32 regardless of device-resident precision.
   const bytes_t bytes = static_cast<bytes_t>(dst.rows) * dst.cols * 4;
   const double scale =
@@ -210,6 +230,12 @@ void Device::copy_d2h(HostMutRef dst, DeviceMatrixRef src, Stream s,
   ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
               "copy_d2h: shape mismatch");
   if (src.rows == 0 || src.cols == 0) return;
+  if (faults_ && faults_->fire(FaultSite::D2H)) {
+    throw TransferError("injected fault: d2h:transient on '" + name +
+                        "' (d2h op #" +
+                        std::to_string(faults_->ops_seen(FaultSite::D2H)) +
+                        ")");
+  }
   const bytes_t bytes = static_cast<bytes_t>(src.rows) * src.cols * 4;
   const double scale =
       host_pinned_ ? 1.0 : 1.0 / model_.spec().pageable_bandwidth_factor;
@@ -259,6 +285,11 @@ void Device::gemm(blas::Op opa, blas::Op opb, float alpha, DeviceMatrixRef a,
   ROCQR_CHECK(c.rows == m && c.cols == n, "gemm: C shape mismatch");
   if (m == 0 || n == 0) return;
 
+  // Compute-site faults corrupt (rather than abort) the op: silent data
+  // corruption is the failure mode ABFT checksums exist for. In Phantom
+  // mode there is nothing to corrupt, but the op still counts and fires so
+  // plans behave identically across modes.
+  const bool corrupt = faults_ && faults_->fire(FaultSite::Compute);
   const flops_t flops = blas::gemm_flops(m, n, k);
   // Attribute flops by problem shape: the paper's engines live or die by
   // whether their GEMMs are reduction-dominated (k-split inner products),
@@ -281,6 +312,13 @@ void Device::gemm(blas::Op opa, blas::Op opb, float alpha, DeviceMatrixRef a,
                cv.ptr, cv.ld, precision);
     if (c.matrix.precision() == StoragePrecision::FP16) {
       blas::round_to_half(c.rows, c.cols, cv.ptr, cv.ld);
+    }
+    if (corrupt) {
+      // Perturb one output element by several orders of magnitude more than
+      // the fp16-rounding noise an ABFT checksum must tolerate.
+      Rng& rng = faults_->payload_rng();
+      float& v = cv.ptr[rng.below(m) + rng.below(n) * cv.ld];
+      v += 1.0e4f * (1.0f + std::fabs(v));
     }
   }
 }

@@ -94,6 +94,8 @@ inline HostConstRef as_const(const HostMutRef& m) {
 }
 
 class Device;
+class FaultInjector;
+class FaultPlan;
 
 /// Joins every device and aligns all their host clocks to the global
 /// makespan — the multi-device barrier (cudaDeviceSynchronize over all
@@ -174,6 +176,14 @@ class Device {
   ExecutionMode mode() const { return mode_; }
   PerfModel& model() { return model_; }
   const PerfModel& model() const { return model_; }
+
+  /// Installs a seeded fault-injection plan (sim/faults.hpp): subsequent
+  /// allocate/copy/gemm calls consult it and fail or corrupt on command.
+  /// An empty plan removes injection. The fault-free fast path stays a
+  /// single null-pointer check, so schedules and byte counts are unchanged
+  /// when no plan is installed.
+  void install_faults(const FaultPlan& plan);
+  FaultInjector* fault_injector() const { return faults_.get(); }
 
   /// Whether host buffers are treated as pinned (default) or pageable.
   /// Pageable transfers run at spec().pageable_bandwidth_factor of the link
@@ -312,6 +322,7 @@ class Device {
   std::vector<bool> event_recorded_;
   sim_time_t engine_free_[3] = {0, 0, 0}; // indexed by Resource
   std::shared_ptr<SharedHostLink> shared_link_;
+  std::shared_ptr<FaultInjector> faults_; // null when no plan is installed
   sim_time_t host_time_ = 0;
   bool host_pinned_ = true;
 };

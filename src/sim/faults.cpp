@@ -1,0 +1,238 @@
+#include "sim/faults.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/telemetry.hpp"
+
+namespace rocqr::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+FaultSite parse_site(const std::string& s, const std::string& clause) {
+  if (s == "h2d") return FaultSite::H2D;
+  if (s == "d2h") return FaultSite::D2H;
+  if (s == "alloc") return FaultSite::Alloc;
+  if (s == "compute") return FaultSite::Compute;
+  throw InvalidArgument("FaultPlan: unknown site '" + s + "' in clause '" +
+                        clause + "' (expected h2d|d2h|alloc|compute)");
+}
+
+FaultKind parse_kind(const std::string& s, const std::string& clause) {
+  if (s == "transient") return FaultKind::Transient;
+  if (s == "oom") return FaultKind::Oom;
+  if (s == "corrupt") return FaultKind::Corrupt;
+  throw InvalidArgument("FaultPlan: unknown kind '" + s + "' in clause '" +
+                        clause + "' (expected transient|oom|corrupt)");
+}
+
+bool kind_fits_site(FaultSite site, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Transient:
+      return site == FaultSite::H2D || site == FaultSite::D2H;
+    case FaultKind::Oom:
+      return site == FaultSite::Alloc;
+    case FaultKind::Corrupt:
+      return site == FaultSite::Compute;
+  }
+  return false;
+}
+
+std::int64_t parse_u64_param(const std::string& value, const char* key,
+                             const std::string& clause) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidArgument(std::string("FaultPlan: '") + key +
+                          "' needs a non-negative integer, got '" + value +
+                          "' in clause '" + clause + "'");
+  }
+  errno = 0;
+  const long long v = std::strtoll(value.c_str(), nullptr, 10);
+  if (errno != 0) {
+    throw InvalidArgument(std::string("FaultPlan: '") + key +
+                          "' out of range in clause '" + clause + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_prob(const std::string& value, const std::string& clause) {
+  char* end = nullptr;
+  errno = 0;
+  const double p = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+      !(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument("FaultPlan: 'p' must be a probability in [0, 1], "
+                          "got '" +
+                          value + "' in clause '" + clause + "'");
+  }
+  return p;
+}
+
+} // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::H2D: return "h2d";
+    case FaultSite::D2H: return "d2h";
+    case FaultSite::Alloc: return "alloc";
+    case FaultSite::Compute: return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Transient: return "transient";
+    case FaultKind::Oom: return "oom";
+    case FaultKind::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string clause = trim(raw);
+    if (clause.empty()) continue; // tolerate trailing/duplicated ';'
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed = static_cast<std::uint64_t>(
+          parse_u64_param(clause.substr(5), "seed", clause));
+      continue;
+    }
+    const std::vector<std::string> parts = split(clause, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw InvalidArgument(
+          "FaultPlan: clause '" + clause +
+          "' must be site:kind[:params] or seed=N (see docs/FAULTS.md)");
+    }
+    FaultRule rule;
+    rule.site = parse_site(trim(parts[0]), clause);
+    rule.kind = parse_kind(trim(parts[1]), clause);
+    if (!kind_fits_site(rule.site, rule.kind)) {
+      throw InvalidArgument(std::string("FaultPlan: kind '") +
+                            sim::to_string(rule.kind) +
+                            "' is not valid at site '" +
+                            sim::to_string(rule.site) + "' in clause '" +
+                            clause + "'");
+    }
+    if (parts.size() == 3) {
+      for (const std::string& raw_param : split(parts[2], ',')) {
+        const std::string param = trim(raw_param);
+        const size_t eq = param.find('=');
+        if (eq == std::string::npos) {
+          throw InvalidArgument("FaultPlan: parameter '" + param +
+                                "' is not key=value in clause '" + clause +
+                                "'");
+        }
+        const std::string key = param.substr(0, eq);
+        const std::string value = param.substr(eq + 1);
+        if (key == "p") {
+          rule.probability = parse_prob(value, clause);
+        } else if (key == "after") {
+          rule.first_op = parse_u64_param(value, "after", clause) + 1;
+        } else if (key == "op") {
+          rule.first_op = parse_u64_param(value, "op", clause);
+          ROCQR_CHECK(rule.first_op >= 1,
+                      "FaultPlan: 'op' ordinals are 1-based ('" + clause +
+                          "')");
+        } else if (key == "count") {
+          rule.count = parse_u64_param(value, "count", clause);
+          ROCQR_CHECK(rule.count >= 1,
+                      "FaultPlan: 'count' must be >= 1 ('" + clause + "')");
+        } else {
+          throw InvalidArgument("FaultPlan: unknown parameter '" + key +
+                                "' in clause '" + clause +
+                                "' (expected p|after|op|count)");
+        }
+      }
+    }
+    if ((rule.probability >= 0.0) == (rule.first_op >= 1)) {
+      throw InvalidArgument(
+          "FaultPlan: clause '" + clause +
+          "' needs exactly one trigger: p=<prob> or op=<N>/after=<N>");
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultRule& r : rules) {
+    os << sim::to_string(r.site) << ':' << sim::to_string(r.kind) << ':';
+    if (r.probability >= 0.0) {
+      os << "p=" << std::setprecision(17) << r.probability;
+    } else {
+      os << "op=" << r.first_op;
+    }
+    if (r.count >= 1) os << ",count=" << r.count;
+    os << ';';
+  }
+  os << "seed=" << seed;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rule_rng_(plan_.seed),
+      payload_rng_(plan_.seed ^ 0x9e3779b97f4a7c15ull),
+      rule_fired_(plan_.rules.size(), 0),
+      injected_counter_(
+          &telemetry::MetricsRegistry::global().counter("faults_injected")) {}
+
+bool FaultInjector::fire(FaultSite site) {
+  const std::int64_t op = ++seen_[static_cast<int>(site)];
+  bool fired = false;
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.site != site) continue;
+    if (rule.probability >= 0.0) {
+      // Draw for every probabilistic rule on every matching op — even after
+      // a hit — so the random stream consumed is a function of the op
+      // sequence alone and runs stay reproducible.
+      const bool hit = rule_rng_.next_double() < rule.probability;
+      const bool budget_left = rule.count < 0 || rule_fired_[i] < rule.count;
+      if (hit && budget_left && !fired) {
+        ++rule_fired_[i];
+        fired = true;
+      }
+    } else if (!fired) {
+      const std::int64_t n = rule.count < 0 ? 1 : rule.count;
+      if (op >= rule.first_op && op < rule.first_op + n) {
+        ++rule_fired_[i];
+        fired = true;
+      }
+    }
+  }
+  if (fired) {
+    ++fired_total_;
+    injected_counter_->increment();
+  }
+  return fired;
+}
+
+} // namespace rocqr::sim

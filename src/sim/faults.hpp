@@ -1,0 +1,122 @@
+// Deterministic, seeded fault injection for the simulated device.
+//
+// Long out-of-core runs stream terabytes over one PCIe link; the dominant
+// operational risks are transient transfer failures, device OOM under
+// contention, and silent compute corruption. This header models all three
+// as a FaultPlan — a list of rules parsed from a compact spec string —
+// that a Device executes at its operation entry points:
+//
+//   h2d:transient:p=0.01;alloc:oom:after=3;compute:corrupt:op=12;seed=7
+//
+// Grammar (clauses separated by ';'):
+//   clause  := site ':' kind [':' params] | 'seed=' uint64
+//   site    := 'h2d' | 'd2h' | 'alloc' | 'compute'
+//   kind    := 'transient' (h2d/d2h) | 'oom' (alloc) | 'corrupt' (compute)
+//   params  := param (',' param)*
+//   param   := 'p=' prob | 'after=' uint | 'op=' uint | 'count=' uint
+//
+// Per-rule semantics (each rule keeps its own fire budget; op ordinals are
+// 1-based and counted per site across the whole device lifetime):
+//   p=x      every op at the site fails with probability x (seeded, so the
+//            sequence of failures is a pure function of plan + op order);
+//            'count' caps total fires (default: unlimited).
+//   op=N     ops N .. N+count-1 fail (count defaults to 1).
+//   after=N  the first N ops succeed, then the next 'count' fail — sugar
+//            for op=N+1.
+//
+// Determinism: one FaultInjector owns one Rng seeded from the plan; a
+// probabilistic rule draws exactly once per op at its site, so two runs
+// with the same plan and the same op sequence inject identical faults.
+//
+// What fires as what (see Device): h2d/d2h -> rocqr::TransferError thrown
+// before the op is scheduled (a failed enqueue consumes no engine time);
+// alloc -> rocqr::DeviceOutOfMemory; compute -> one element of the GEMM
+// output perturbed after the numerics run (Real mode; Phantom only counts).
+// Every fire bumps the `faults_injected` telemetry counter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rocqr::telemetry {
+class Counter;
+} // namespace rocqr::telemetry
+
+namespace rocqr::sim {
+
+enum class FaultSite : int { H2D = 0, D2H = 1, Alloc = 2, Compute = 3 };
+enum class FaultKind { Transient, Oom, Corrupt };
+
+constexpr int kFaultSiteCount = 4;
+
+const char* to_string(FaultSite site);
+const char* to_string(FaultKind kind);
+
+/// One clause of a plan. Exactly one of `probability` (>= 0) or `first_op`
+/// (>= 1) is active; `count` is the fire budget (-1 = default: 1 for
+/// deterministic rules, unlimited for probabilistic ones).
+struct FaultRule {
+  FaultSite site = FaultSite::H2D;
+  FaultKind kind = FaultKind::Transient;
+  double probability = -1.0;
+  std::int64_t first_op = -1;
+  std::int64_t count = -1;
+};
+
+class FaultPlan {
+ public:
+  /// Parses the spec grammar above. Throws InvalidArgument on malformed
+  /// clauses, unknown sites/kinds, site-incompatible kinds, p outside
+  /// [0, 1], or zero/negative ordinals.
+  static FaultPlan parse(const std::string& spec);
+
+  bool empty() const { return rules.empty(); }
+
+  /// Canonical spec string that parses back to an equal plan.
+  std::string to_string() const;
+
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0x5eedfa17u;
+};
+
+/// Executes a plan against a stream of per-site operations. Owned by a
+/// Device (install_faults); one instance per device so multi-device runs
+/// inject independently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Called once per operation at `site`; true means the device must fail
+  /// this op. Counts the op, evaluates every matching rule in plan order,
+  /// and charges the first rule that fires.
+  bool fire(FaultSite site);
+
+  /// Ops observed at `site` so far (including the one currently firing).
+  std::int64_t ops_seen(FaultSite site) const {
+    return seen_[static_cast<int>(site)];
+  }
+
+  /// Total faults fired over the injector's lifetime.
+  std::int64_t faults_fired() const { return fired_total_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Deterministic stream for fault payloads (e.g. which GEMM output
+  /// element to corrupt). Separate draws from the per-op rule draws.
+  Rng& payload_rng() { return payload_rng_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rule_rng_;
+  Rng payload_rng_;
+  std::int64_t seen_[kFaultSiteCount] = {};
+  std::vector<std::int64_t> rule_fired_;
+  std::int64_t fired_total_ = 0;
+  telemetry::Counter* injected_counter_;
+};
+
+} // namespace rocqr::sim

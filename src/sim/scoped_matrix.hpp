@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "common/telemetry.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::sim {
@@ -52,7 +53,12 @@ class ScopedMatrix {
         dev_->free(matrix_);
       } catch (...) {
         // Destruction must not throw; a failed free here means the handle
-        // was already invalidated elsewhere, which reset() tolerates.
+        // was already invalidated elsewhere. Count it instead of swallowing
+        // silently — engine tests assert `device_leaked_frees` stays zero
+        // (tests/leak_check.hpp).
+        telemetry::MetricsRegistry::global()
+            .counter("device_leaked_frees")
+            .increment();
       }
     }
     dev_ = nullptr;

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
@@ -17,6 +19,7 @@
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
+#include "sim/faults.hpp"
 
 namespace rocqr {
 namespace {
@@ -127,6 +130,103 @@ TEST(DriverFuzz, LuAndCholeskyAgainstIncore) {
           << "seed " << seed;
     }
     ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+  }
+}
+
+/// Random fault plan built from valid clauses. Sets `has_corrupt` when a
+/// compute-corruption clause is included (those silently perturb results
+/// unless ABFT is on, so the caller must skip numerical verification).
+std::string random_fault_spec(Rng& rng, bool* has_corrupt) {
+  static const char* kSiteKind[] = {"h2d:transient", "d2h:transient",
+                                    "alloc:oom", "compute:corrupt"};
+  *has_corrupt = false;
+  std::string spec;
+  const int clauses = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < clauses; ++i) {
+    const int which = static_cast<int>(rng.below(4));
+    if (which == 3) *has_corrupt = true;
+    std::string clause = kSiteKind[which];
+    switch (rng.below(3)) {
+      case 0:
+        clause += ":p=0.0" + std::to_string(1 + rng.below(9));
+        break;
+      case 1:
+        clause += ":op=" + std::to_string(1 + rng.below(40));
+        break;
+      default:
+        clause += ":after=" + std::to_string(rng.below(40)) +
+                  ",count=" + std::to_string(1 + rng.below(3));
+        break;
+    }
+    spec += clause + ";";
+  }
+  spec += "seed=" + std::to_string(1 + rng.below(1000));
+  return spec;
+}
+
+TEST(DriverFuzz, QrDriversUnderRandomFaultPlans) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    Rng rng(seed + 100);
+    const index_t n = 16 + rng.below(80);
+    const index_t m = n + rng.below(120);
+    la::Matrix a = la::random_normal(m, n, seed * 17);
+    const qr::QrFactors ref = qr::householder(a.view());
+
+    qr::QrOptions opts;
+    opts.blocksize = 8 + rng.below(56);
+    opts.panel_base = 4 + rng.below(12);
+    opts.precision = blas::GemmPrecision::FP32;
+    opts.qr_level_opt = rng.below(2) == 0;
+    opts.abft = rng.below(3) == 0;
+    opts.transfer_max_attempts = 1 + static_cast<int>(rng.below(4));
+
+    bool has_corrupt = false;
+    const std::string spec = random_fault_spec(rng, &has_corrupt);
+    const int which = static_cast<int>(rng.below(3));
+    Device dev(fuzz_spec(rng), ExecutionMode::Real);
+    dev.install_faults(sim::FaultPlan::parse(spec));
+    la::Matrix q = la::materialize(a.view());
+    la::Matrix r(n, n);
+    try {
+      switch (which) {
+        case 0: qr::recursive_ooc_qr(dev, q.view(), r.view(), opts); break;
+        case 1: qr::blocking_ooc_qr(dev, q.view(), r.view(), opts); break;
+        default: qr::left_looking_ooc_qr(dev, q.view(), r.view(), opts); break;
+      }
+    } catch (const DeviceOutOfMemory&) {
+      continue; // driver-level allocation hit (injected or genuine)
+    } catch (const FaultBudgetExhausted&) {
+      continue; // transient faults beat the retry budget
+    } catch (const NumericalError&) {
+      continue; // ABFT recompute budget beaten by persistent corruption
+    }
+    // Any other exception escaping is a test failure (gtest reports it).
+    ASSERT_EQ(dev.live_allocations(), 0) << "seed " << seed;
+    if (has_corrupt && !opts.abft) continue; // silently perturbed by design
+    ASSERT_LT(la::relative_difference(q.view(), ref.q.view()), 2e-3)
+        << "seed " << seed << " driver " << which << " spec " << spec;
+    ASSERT_LT(la::qr_residual(a.view(), q.view(), r.view()), 1e-4)
+        << "seed " << seed << " driver " << which << " spec " << spec;
+  }
+}
+
+TEST(FaultSpecFuzz, ParseGarbageNeverCrashes) {
+  static const char kChars[] = "h2d:aloc;computrsient=p.,0123456789 xyz-";
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    Rng rng(seed + 900);
+    std::string s;
+    const size_t len = rng.below(40);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(kChars[rng.below(sizeof(kChars) - 1)]);
+    }
+    try {
+      const sim::FaultPlan plan = sim::FaultPlan::parse(s);
+      // Whatever parsed must round-trip through its canonical form.
+      const sim::FaultPlan again = sim::FaultPlan::parse(plan.to_string());
+      EXPECT_EQ(plan.to_string(), again.to_string()) << s;
+    } catch (const InvalidArgument&) {
+      // The documented rejection path; anything else escaping is a crash.
+    }
   }
 }
 

@@ -113,9 +113,11 @@ TEST(MoveInPanel, ChunksByRowRegionsWhenCovered) {
                   {ooc::Slab{32, 32}, ooc::Slab{0, 32}, late}});
 
   auto panel = dev.allocate(m, w);
+  qr::QrOptions fine;
+  fine.qr_level_opt = true; // fine-grained chunking by tracked row regions
   qr::detail::move_in_panel(dev, panel,
                             sim::HostConstRef::phantom(m, w), in, tracker, 0,
-                            w, /*fine_grained=*/true);
+                            w, fine);
   dev.synchronize();
   // Two chunked copies; the first starts right after the early event (t=1),
   // well before the late event (t=10).
@@ -141,8 +143,10 @@ TEST(MoveInPanel, ChunksByRowRegionsWhenCovered) {
   tracker2.record(ooc::Slab{0, 32}, done);
   auto panel2 = dev2.allocate(m, w);
   sim::Stream in2 = dev2.create_stream();
+  qr::QrOptions coarse;
+  coarse.qr_level_opt = false; // coarse: one copy waiting on everything
   qr::detail::move_in_panel(dev2, panel2, sim::HostConstRef::phantom(m, w),
-                            in2, tracker2, 0, w, /*fine_grained=*/false);
+                            in2, tracker2, 0, w, coarse);
   for (const auto& e : dev2.trace().events()) {
     if (e.kind == sim::OpKind::CopyH2D) {
       EXPECT_GE(e.start, 5.0);

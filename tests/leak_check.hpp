@@ -1,0 +1,31 @@
+// Global test environment asserting that no ScopedMatrix destructor ever
+// swallowed a failed free (sim/scoped_matrix.hpp records those on the
+// `device_leaked_frees` counter instead of throwing). Engine tests include
+// this header so a leak anywhere in a suite fails the whole binary.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.hpp"
+
+namespace rocqr::testing {
+
+class DeviceLeakCheckEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { counter().reset(); }
+  void TearDown() override {
+    EXPECT_EQ(counter().value(), 0)
+        << "ScopedMatrix recorded failed device frees during this suite";
+  }
+
+  static telemetry::Counter& counter() {
+    return telemetry::MetricsRegistry::global().counter("device_leaked_frees");
+  }
+};
+
+namespace detail {
+inline ::testing::Environment* const kDeviceLeakCheck =
+    ::testing::AddGlobalTestEnvironment(new DeviceLeakCheckEnvironment);
+} // namespace detail
+
+} // namespace rocqr::testing

@@ -3,6 +3,8 @@
 // transposed outer-product engines.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <tuple>

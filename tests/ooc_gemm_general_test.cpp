@@ -2,6 +2,8 @@
 // alpha/beta (including the write-only beta == 0 path), dispatch choices.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include <tuple>
 
 #include "blas/gemm.hpp"
@@ -143,30 +145,6 @@ TEST(GeneralOocGemm, RejectsMismatchedShapes) {
   bad_c_in.alpha = 1.0f;
   bad_c_in.c_in = sim::HostConstRef::phantom(7, 8);
   EXPECT_THROW(ooc_gemm(dev, bad_c_in), InvalidArgument);
-}
-
-// The positional overload is deprecated but must keep compiling and forward
-// to the descriptor path unchanged until it is removed.
-TEST(GeneralOocGemm, DeprecatedPositionalOverloadForwards) {
-  Device dev(test_spec(), ExecutionMode::Phantom);
-  OocGemmOptions opts;
-  opts.blocksize = 64;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto old_api = ooc_gemm(
-      dev, Op::NoTrans, Op::NoTrans, -1.0f,
-      sim::HostConstRef::phantom(1024, 64), sim::HostConstRef::phantom(64, 96),
-      1.0f, sim::HostConstRef::phantom(1024, 96),
-      sim::HostMutRef::phantom(1024, 96), opts);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  const auto new_api = ooc_gemm(dev, phantom_update(1024, 96, 64), opts);
-  EXPECT_EQ(old_api.steps, new_api.steps);
-  EXPECT_EQ(old_api.summary.bytes_h2d, new_api.summary.bytes_h2d);
-  EXPECT_EQ(old_api.summary.bytes_d2h, new_api.summary.bytes_d2h);
 }
 
 } // namespace

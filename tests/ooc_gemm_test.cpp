@@ -2,6 +2,8 @@
 // movement accounting, pipelining properties, and the §4.1 optimizations.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <tuple>

@@ -2,6 +2,8 @@
 // per-iteration sums, and the blocking-vs-recursive asymptotics.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include <cmath>
 
 #include "common/error.hpp"

@@ -4,6 +4,8 @@
 // ooc_gemm_test with breadth.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include "blas/gemm.hpp"
 #include "common/rng.hpp"
 #include "la/generate.hpp"

@@ -2,6 +2,8 @@
 // RAII guard (including OOM exception-safety).
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
 #include "la/generate.hpp"

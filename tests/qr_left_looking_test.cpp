@@ -2,6 +2,8 @@
 // movement/shape tradeoff it embodies.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"

@@ -2,6 +2,8 @@
 // references across sizes, blocksizes, and every optimization toggle.
 #include <gtest/gtest.h>
 
+#include "leak_check.hpp"
+
 #include <tuple>
 
 #include "common/error.hpp"

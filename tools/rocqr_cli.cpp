@@ -16,19 +16,23 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/telemetry.hpp"
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
 #include "qr/autotune.hpp"
 #include "qr/blocking_qr.hpp"
+#include "qr/checkpoint.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
 #include "report/table.hpp"
 #include "sim/device.hpp"
+#include "sim/faults.hpp"
 #include "sim/trace_export.hpp"
 
 namespace {
@@ -77,7 +81,9 @@ Args parse(int argc, char** argv) {
     // Value options take the next argv entry; everything else is a flag.
     static const char* value_opts[] = {"algo", "m",  "n",       "blocksize",
                                        "device", "capacity-gib", "csv",
-                                       "chrome", "trace-json", "metrics-json"};
+                                       "chrome", "trace-json", "metrics-json",
+                                       "faults", "checkpoint", "resume",
+                                       "checkpoint-every"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
     if (takes_value) {
@@ -168,6 +174,9 @@ int run_factorization(const Args& args) {
   sim::Device dev(spec, sim::ExecutionMode::Phantom);
   dev.model().install_paper_calibration();
   dev.set_host_memory_pinned(!args.has_flag("pageable"));
+  if (const auto it = args.values.find("faults"); it != args.values.end()) {
+    dev.install_faults(sim::FaultPlan::parse(it->second));
+  }
 
   std::cout << args.command << " " << format_shape(m, n) << " on " << spec.name
             << " (" << format_bytes(spec.memory_capacity) << "), "
@@ -180,13 +189,29 @@ int run_factorization(const Args& args) {
     opts.staging_buffer = !args.has_flag("no-staging");
     opts.ramp_up = args.has_flag("ramp");
     if (args.has_flag("fp32")) opts.precision = blas::GemmPrecision::FP32;
+    opts.abft = args.has_flag("abft");
+    opts.checkpoint_every = args.number("checkpoint-every", 1);
+    std::unique_ptr<qr::FileCheckpointSink> sink;
+    if (const auto it = args.values.find("checkpoint");
+        it != args.values.end()) {
+      sink = std::make_unique<qr::FileCheckpointSink>(it->second);
+      opts.checkpoint_sink = sink.get();
+    }
     auto a = sim::HostMutRef::phantom(m, n);
     auto r = sim::HostMutRef::phantom(n, n);
     const std::string algo = args.value("algo", "recursive");
-    const qr::QrStats stats =
-        algo == "left" ? qr::left_looking_ooc_qr(dev, a, r, opts)
-        : recursive    ? qr::recursive_ooc_qr(dev, a, r, opts)
-                       : qr::blocking_ooc_qr(dev, a, r, opts);
+    qr::QrStats stats;
+    if (const auto it = args.values.find("resume"); it != args.values.end()) {
+      const qr::Checkpoint cp = qr::load_checkpoint_file(it->second);
+      std::cout << "resuming " << cp.driver << " QR from unit "
+                << cp.units_done << " (" << cp.columns_done
+                << " columns done)\n";
+      stats = qr::resume_ooc_qr(dev, cp, a, r, opts);
+    } else {
+      stats = algo == "left" ? qr::left_looking_ooc_qr(dev, a, r, opts)
+              : recursive    ? qr::recursive_ooc_qr(dev, a, r, opts)
+                             : qr::blocking_ooc_qr(dev, a, r, opts);
+    }
     print_stats("QR", stats);
   } else {
     lu::FactorOptions opts;
@@ -271,6 +296,19 @@ common options:
   --trace-json FILE           Chrome/Perfetto trace with engine, stream and
                               nested phase-span tracks (also --trace-json=FILE)
   --metrics-json FILE         JSON snapshot of the global metrics registry
+
+fault tolerance (QR; see docs/FAULTS.md):
+  --faults SPEC               install a seeded fault plan on the device, e.g.
+                              "h2d:transient:p=0.01;alloc:oom:after=3;seed=7"
+  --abft                      checksum-verify the OOC GEMMs
+  --checkpoint FILE           write panel-level checkpoints to FILE
+  --checkpoint-every K        checkpoint every K panel units (default 1)
+  --resume FILE               restart from the checkpoint in FILE
+
+exit codes:
+  0 success            2 usage error          3 invalid configuration
+  4 device out of memory                      5 fault budget exhausted
+  6 numerical check failed                    1 other error
 )";
 }
 
@@ -287,6 +325,21 @@ int main(int argc, char** argv) {
     if (args.command == "specs") return run_specs();
     usage();
     return args.command.empty() ? 2 : (args.command == "help" ? 0 : 2);
+  } catch (const rocqr::InvalidArgument& e) {
+    std::cerr << "error: invalid configuration: " << e.what() << "\n";
+    return 3;
+  } catch (const rocqr::DeviceOutOfMemory& e) {
+    std::cerr << "error: device out of memory: " << e.what() << "\n";
+    return 4;
+  } catch (const rocqr::FaultBudgetExhausted& e) {
+    std::cerr << "error: fault budget exhausted: " << e.what() << "\n";
+    return 5;
+  } catch (const rocqr::TransferError& e) {
+    std::cerr << "error: unrecovered transfer failure: " << e.what() << "\n";
+    return 5;
+  } catch (const rocqr::NumericalError& e) {
+    std::cerr << "error: numerical check failed: " << e.what() << "\n";
+    return 6;
   } catch (const rocqr::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
