@@ -1,14 +1,25 @@
 // Reproduces Figs 7-10: per-engine timelines of the four largest OOC GEMMs
 // in the 131072^2 factorization (inner/outer x blocking/recursive).
+//
+// --explain-plan additionally prints the slab-pipeline plan each engine
+// built (buffer pools, fences, ramp) above its timeline.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
 #include "sim/device.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rocqr;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--explain-plan") explain = true;
+  }
+  const auto show_plan = [&](const ooc::OocGemmStats& stats) {
+    if (explain) std::cout << stats.plan;
+  };
 
   bench::section(
       "Fig 7 — max inner product in BLOCKING QR (16384x131072x114688, "
@@ -18,11 +29,12 @@ int main() {
     auto q = dev.allocate(131072, 16384, sim::StoragePrecision::FP16);
     ooc::OocGemmOptions opts;
     opts.blocksize = 16384;
-    ooc::inner_product_blocking(
+    const auto stats = ooc::inner_product_blocking(
         dev, ooc::Operand::on_device(q),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 114688)),
         sim::HostMutRef::phantom(16384, 114688), opts);
     dev.synchronize();
+    show_plan(stats);
     std::cout << dev.trace().render_gantt(110);
   }
 
@@ -33,11 +45,12 @@ int main() {
     auto dev = bench::paper_device();
     ooc::OocGemmOptions opts;
     opts.blocksize = 16384;
-    ooc::inner_product_recursive(
+    const auto stats = ooc::inner_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         sim::HostMutRef::phantom(65536, 65536), opts);
     dev.synchronize();
+    show_plan(stats);
     std::cout << dev.trace().render_gantt(110);
   }
 
@@ -52,11 +65,12 @@ int main() {
     opts.blocksize = 16384;
     opts.tile_cols = 16384;
     opts.staging_buffer = false; // conventional baseline
-    ooc::outer_product_blocking(
+    const auto stats = ooc::outer_product_blocking(
         dev, ooc::Operand::on_device(a), ooc::Operand::on_device(b),
         sim::HostConstRef::phantom(131072, 114688),
         sim::HostMutRef::phantom(131072, 114688), opts);
     dev.synchronize();
+    show_plan(stats);
     std::cout << dev.trace().render_gantt(110);
   }
 
@@ -68,12 +82,13 @@ int main() {
     auto b = dev.allocate(65536, 65536, sim::StoragePrecision::FP16);
     ooc::OocGemmOptions opts;
     opts.blocksize = 8192;
-    ooc::outer_product_recursive(
+    const auto stats = ooc::outer_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_device(b),
         sim::HostConstRef::phantom(131072, 65536),
         sim::HostMutRef::phantom(131072, 65536), opts);
     dev.synchronize();
+    show_plan(stats);
     std::cout << dev.trace().render_gantt(110);
   }
 

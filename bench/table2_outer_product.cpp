@@ -2,7 +2,10 @@
 // recursive tiling (131072 x 65536 x 65536, row slab 8192) vs blocking
 // tiling (131072 x 16384 x 114688, 16384^2 C tiles), plus the §4.1.2
 // ablation (extra C working space on/off) and the §5.1.2 ideal bound.
+//
+// --explain-plan appends the slab-pipeline plan each engine built.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "ooc/gemm_engines.hpp"
@@ -10,10 +13,14 @@
 #include "report/paper.hpp"
 #include "report/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rocqr;
   using bench::paper_device;
   namespace paper = report::paper;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--explain-plan") explain = true;
+  }
 
   bench::section("Table 2 — outer product (A2 -= Q1*R12) OOC GEMM behaviour");
 
@@ -124,5 +131,14 @@ int main() {
   t2.add_row({"single C buffer", bench::secs(rec_nostage.total_s),
               format_fixed(rec_nostage.total_s / rec_async.total_s, 2) + "x"});
   std::cout << t2.render();
+
+  if (explain) {
+    bench::section("Pipeline plans (--explain-plan)");
+    std::cout << "recursive sync:      " << rec_sync.stats.plan
+              << "recursive async:     " << rec_async.stats.plan
+              << "recursive no-stage:  " << rec_nostage.stats.plan
+              << "blocking sync:       " << blk_sync.stats.plan
+              << "blocking async:      " << blk_async.stats.plan;
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "la/cholesky.hpp"
 #include "lu/driver_common.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/slab_schedule.hpp"
 #include "ooc/trsm_engine.hpp"
 #include "qr/driver_util.hpp"
@@ -49,24 +50,27 @@ struct DiagResult {
   Event on_host;
 };
 
-DiagResult factor_diag_block(Device& dev, HostMutRef a, index_t j0, index_t w,
-                             Event prev, Stream in, Stream comp, Stream out,
-                             const FactorOptions& opts) {
+DiagResult factor_diag_block(ooc::SlabPipeline& pipe, HostMutRef a, index_t j0,
+                             index_t w, Event prev, const FactorOptions& opts) {
+  Device& dev = pipe.device();
   DiagResult r;
   r.block = dev.allocate(w, w, StoragePrecision::FP32, "chol.R11");
-  if (prev.valid()) dev.wait_event(in, prev);
-  dev.copy_h2d(r.block, ooc::host_block(sim::as_const(a), j0, j0, w, w), in,
-               "h2d A11");
-  Event moved_in = dev.create_event();
-  dev.record_event(moved_in, in);
-  dev.wait_event(comp, moved_in);
-  panel_potrf_device(dev, r.block, comp, opts);
-  r.factored = dev.create_event();
-  dev.record_event(r.factored, comp);
-  dev.wait_event(out, r.factored);
-  dev.copy_d2h(ooc::host_block(a, j0, j0, w, w), r.block, out, "d2h R11");
-  r.on_host = dev.create_event();
-  dev.record_event(r.on_host, out);
+
+  ooc::TaskPlan task;
+  task.move_in_waits = {prev};
+  task.move_in = [&](ooc::MoveInCtx& ctx) {
+    ctx.h2d(r.block, ooc::host_block(sim::as_const(a), j0, j0, w, w),
+            "h2d A11");
+  };
+  task.compute = [&](ooc::ComputeCtx& ctx) {
+    panel_potrf_device(dev, r.block, ctx.stream(), opts);
+  };
+  task.move_out = [&](ooc::MoveOutCtx& ctx) {
+    ctx.d2h(ooc::host_block(a, j0, j0, w, w), r.block, "d2h R11");
+  };
+  const ooc::TaskResult done = pipe.run_task(task);
+  r.factored = done.computed;
+  r.on_host = done.moved_out;
   return r;
 }
 
@@ -78,16 +82,12 @@ FactorStats blocking_ooc_cholesky(Device& dev, HostMutRef a,
   ROCQR_CHECK(a.cols == n && n >= 1, "blocking_ooc_cholesky: matrix must be square");
   const index_t b = std::min(opts.blocksize, n);
 
-  const size_t window = dev.trace().size();
-  Stream in = dev.create_stream();
-  Stream comp = dev.create_stream();
-  Stream out = dev.create_stream();
+  ooc::SlabPipeline pipe(dev, detail::engine_options(opts));
   Event prev{};
 
   for (index_t j0 = 0; j0 < n; j0 += b) {
     const index_t w = std::min(b, n - j0);
-    DiagResult diag =
-        factor_diag_block(dev, a, j0, w, prev, in, comp, out, opts);
+    DiagResult diag = factor_diag_block(pipe, a, j0, w, prev, opts);
     detail::sync_unless_overlap(dev, opts);
     prev = diag.on_host;
 
@@ -96,20 +96,21 @@ FactorStats blocking_ooc_cholesky(Device& dev, HostMutRef a,
       // R12 = R11⁻ᵀ A12, solved on the device and kept resident.
       DeviceMatrix r12 =
           dev.allocate(w, rest, StoragePrecision::FP32, "chol.R12");
-      if (prev.valid()) dev.wait_event(in, prev);
-      dev.copy_h2d(r12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
-                   in, "h2d A12");
-      Event a12_in = dev.create_event();
-      dev.record_event(a12_in, in);
-      dev.wait_event(comp, a12_in);
-      dev.wait_event(comp, diag.factored);
-      dev.trsm(Device::TrsmKind::LeftUpperTrans, diag.block, r12,
-               opts.precision, comp, "trsm R12");
-      Event r12_ready = dev.create_event();
-      dev.record_event(r12_ready, comp);
-      dev.wait_event(out, r12_ready);
-      dev.copy_d2h(ooc::host_block(a, j0, j0 + w, w, rest), r12, out,
-                   "d2h R12");
+      ooc::TaskPlan solve;
+      solve.move_in_waits = {prev};
+      solve.move_in = [&](ooc::MoveInCtx& ctx) {
+        ctx.h2d(r12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
+                "h2d A12");
+      };
+      solve.compute_waits = {diag.factored};
+      solve.compute = [&](ooc::ComputeCtx& ctx) {
+        ctx.trsm(Device::TrsmKind::LeftUpperTrans, diag.block, r12,
+                 "trsm R12");
+      };
+      solve.move_out = [&](ooc::MoveOutCtx& ctx) {
+        ctx.d2h(ooc::host_block(a, j0, j0 + w, w, rest), r12, "d2h R12");
+      };
+      const ooc::TaskResult solved = pipe.run_task(solve);
       detail::sync_unless_overlap(dev, opts);
 
       // A22 -= R12ᵀ · R12: the transposed outer product, C tiled. Only the
@@ -126,8 +127,8 @@ FactorStats blocking_ooc_cholesky(Device& dev, HostMutRef a,
       g.tile_cols = std::min<index_t>(tile, rest);
       g.host_input_ready = {prev};
       const auto update = ooc::outer_product_blocking(
-          dev, Operand::on_device(r12, r12_ready),
-          Operand::on_device(r12, r12_ready),
+          dev, Operand::on_device(r12, solved.computed),
+          Operand::on_device(r12, solved.computed),
           ooc::host_block(sim::as_const(a), j0 + w, j0 + w, rest, rest),
           ooc::host_block(a, j0 + w, j0 + w, rest, rest), g);
       prev = update.done;
@@ -138,7 +139,8 @@ FactorStats blocking_ooc_cholesky(Device& dev, HostMutRef a,
   }
 
   dev.synchronize();
-  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+  return qr::stats_from_trace(dev.trace(), pipe.window_begin(),
+                              dev.memory_peak());
 }
 
 namespace {
@@ -147,9 +149,7 @@ struct RecursiveCholState {
   Device& dev;
   HostMutRef a;
   const FactorOptions& opts;
-  Stream in;
-  Stream comp;
-  Stream out;
+  ooc::SlabPipeline& pipe;
 };
 
 Event chol_recurse(RecursiveCholState& st, index_t j0, index_t w, Event prev) {
@@ -157,8 +157,7 @@ Event chol_recurse(RecursiveCholState& st, index_t j0, index_t w, Event prev) {
   const index_t b = st.opts.blocksize;
   const index_t panels = (w + b - 1) / b;
   if (panels <= 1) {
-    DiagResult diag = factor_diag_block(dev, st.a, j0, w, prev, st.in,
-                                        st.comp, st.out, st.opts);
+    DiagResult diag = factor_diag_block(st.pipe, st.a, j0, w, prev, st.opts);
     detail::sync_unless_overlap(dev, st.opts);
     dev.free(diag.block);
     return diag.on_host;
@@ -220,16 +219,12 @@ FactorStats recursive_ooc_cholesky(Device& dev, HostMutRef a,
   ROCQR_CHECK(opts.blocksize >= 1,
               "recursive_ooc_cholesky: blocksize must be positive");
 
-  const size_t window = dev.trace().size();
-  RecursiveCholState st{dev,
-                        a,
-                        opts,
-                        dev.create_stream(),
-                        dev.create_stream(),
-                        dev.create_stream()};
+  ooc::SlabPipeline pipe(dev, detail::engine_options(opts));
+  RecursiveCholState st{dev, a, opts, pipe};
   chol_recurse(st, 0, n, Event{});
   dev.synchronize();
-  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+  return qr::stats_from_trace(dev.trace(), pipe.window_begin(),
+                              dev.memory_peak());
 }
 
 } // namespace rocqr::lu

@@ -7,6 +7,7 @@
 #include "lu/driver_common.hpp"
 #include "lu/incore.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/slab_schedule.hpp"
 #include "ooc/trsm_engine.hpp"
 #include "qr/driver_util.hpp"
@@ -50,27 +51,30 @@ struct PanelResult {
   Event on_host;       // factor landed back in the host matrix
 };
 
-/// One panel step shared by both drivers: move in, factor, move out.
-PanelResult factor_lu_panel(Device& dev, HostMutRef a, index_t j0, index_t w,
-                            Event prev, Stream in, Stream comp, Stream out,
-                            const FactorOptions& opts) {
+/// One panel step shared by both drivers, expressed as a one-shot
+/// move-in / factor / drain task on the driver's pipeline.
+PanelResult factor_lu_panel(ooc::SlabPipeline& pipe, HostMutRef a, index_t j0,
+                            index_t w, Event prev, const FactorOptions& opts) {
+  Device& dev = pipe.device();
   const index_t below = a.rows - j0;
   PanelResult r;
   r.panel = dev.allocate(below, w, StoragePrecision::FP32, "lu.panel");
-  if (prev.valid()) dev.wait_event(in, prev);
-  dev.copy_h2d(r.panel, ooc::host_block(sim::as_const(a), j0, j0, below, w),
-               in, "h2d LU panel");
-  Event moved_in = dev.create_event();
-  dev.record_event(moved_in, in);
-  dev.wait_event(comp, moved_in);
-  panel_lu_device(dev, r.panel, comp, opts);
-  r.factored = dev.create_event();
-  dev.record_event(r.factored, comp);
-  dev.wait_event(out, r.factored);
-  dev.copy_d2h(ooc::host_block(a, j0, j0, below, w), r.panel, out,
-               "d2h LU panel");
-  r.on_host = dev.create_event();
-  dev.record_event(r.on_host, out);
+
+  ooc::TaskPlan task;
+  task.move_in_waits = {prev};
+  task.move_in = [&](ooc::MoveInCtx& ctx) {
+    ctx.h2d(r.panel, ooc::host_block(sim::as_const(a), j0, j0, below, w),
+            "h2d LU panel");
+  };
+  task.compute = [&](ooc::ComputeCtx& ctx) {
+    panel_lu_device(dev, r.panel, ctx.stream(), opts);
+  };
+  task.move_out = [&](ooc::MoveOutCtx& ctx) {
+    ctx.d2h(ooc::host_block(a, j0, j0, below, w), r.panel, "d2h LU panel");
+  };
+  const ooc::TaskResult done = pipe.run_task(task);
+  r.factored = done.computed;
+  r.on_host = done.moved_out;
   return r;
 }
 
@@ -83,17 +87,13 @@ FactorStats blocking_ooc_lu(Device& dev, HostMutRef a,
   ROCQR_CHECK(m >= n && n >= 1, "blocking_ooc_lu: need m >= n >= 1");
   const index_t b = std::min(opts.blocksize, n);
 
-  const size_t window = dev.trace().size();
-  Stream in = dev.create_stream();
-  Stream comp = dev.create_stream();
-  Stream out = dev.create_stream();
+  ooc::SlabPipeline pipe(dev, detail::engine_options(opts));
   Event prev{};
 
   for (index_t j0 = 0; j0 < n; j0 += b) {
     const index_t w = std::min(b, n - j0);
     const index_t below = m - j0;
-    PanelResult panel =
-        factor_lu_panel(dev, a, j0, w, prev, in, comp, out, opts);
+    PanelResult panel = factor_lu_panel(pipe, a, j0, w, prev, opts);
     detail::sync_unless_overlap(dev, opts);
     prev = panel.on_host;
 
@@ -103,21 +103,21 @@ FactorStats blocking_ooc_lu(Device& dev, HostMutRef a,
       // kept resident as the trailing update's B factor.
       DeviceMatrix u12 = dev.allocate(w, rest, StoragePrecision::FP32,
                                       "lu.U12");
-      if (prev.valid()) dev.wait_event(in, prev);
-      dev.copy_h2d(u12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
-                   in, "h2d A12");
-      Event a12_in = dev.create_event();
-      dev.record_event(a12_in, in);
-      dev.wait_event(comp, a12_in);
-      dev.wait_event(comp, panel.factored);
-      dev.trsm(Device::TrsmKind::LeftLowerUnit,
-               DeviceMatrixRef(panel.panel, 0, 0, w, w), u12, opts.precision,
-               comp, "trsm U12");
-      Event u12_ready = dev.create_event();
-      dev.record_event(u12_ready, comp);
-      dev.wait_event(out, u12_ready);
-      dev.copy_d2h(ooc::host_block(a, j0, j0 + w, w, rest), u12, out,
-                   "d2h U12");
+      ooc::TaskPlan solve;
+      solve.move_in_waits = {prev};
+      solve.move_in = [&](ooc::MoveInCtx& ctx) {
+        ctx.h2d(u12, ooc::host_block(sim::as_const(a), j0, j0 + w, w, rest),
+                "h2d A12");
+      };
+      solve.compute_waits = {panel.factored};
+      solve.compute = [&](ooc::ComputeCtx& ctx) {
+        ctx.trsm(Device::TrsmKind::LeftLowerUnit,
+                 DeviceMatrixRef(panel.panel, 0, 0, w, w), u12, "trsm U12");
+      };
+      solve.move_out = [&](ooc::MoveOutCtx& ctx) {
+        ctx.d2h(ooc::host_block(a, j0, j0 + w, w, rest), u12, "d2h U12");
+      };
+      const ooc::TaskResult solved = pipe.run_task(solve);
       detail::sync_unless_overlap(dev, opts);
 
       // A22 -= L21 · U12 with both factors resident, C tiled.
@@ -133,7 +133,7 @@ FactorStats blocking_ooc_lu(Device& dev, HostMutRef a,
           dev,
           Operand::on_device(DeviceMatrixRef(panel.panel, w, 0, below - w, w),
                              panel.factored),
-          Operand::on_device(u12, u12_ready),
+          Operand::on_device(u12, solved.computed),
           ooc::host_block(sim::as_const(a), j0 + w, j0 + w, below - w, rest),
           ooc::host_block(a, j0 + w, j0 + w, below - w, rest), g);
       prev = update.done;
@@ -144,7 +144,8 @@ FactorStats blocking_ooc_lu(Device& dev, HostMutRef a,
   }
 
   dev.synchronize();
-  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+  return qr::stats_from_trace(dev.trace(), pipe.window_begin(),
+                              dev.memory_peak());
 }
 
 namespace {
@@ -153,9 +154,7 @@ struct RecursiveLuState {
   Device& dev;
   HostMutRef a;
   const FactorOptions& opts;
-  Stream in;
-  Stream comp;
-  Stream out;
+  ooc::SlabPipeline& pipe;
 };
 
 Event lu_recurse(RecursiveLuState& st, index_t j0, index_t w, Event prev) {
@@ -163,8 +162,7 @@ Event lu_recurse(RecursiveLuState& st, index_t j0, index_t w, Event prev) {
   const index_t b = st.opts.blocksize;
   const index_t panels = (w + b - 1) / b;
   if (panels <= 1) {
-    PanelResult panel = factor_lu_panel(dev, st.a, j0, w, prev, st.in,
-                                        st.comp, st.out, st.opts);
+    PanelResult panel = factor_lu_panel(st.pipe, st.a, j0, w, prev, st.opts);
     detail::sync_unless_overlap(dev, st.opts);
     dev.free(panel.panel);
     return panel.on_host;
@@ -222,16 +220,12 @@ FactorStats recursive_ooc_lu(Device& dev, HostMutRef a,
   ROCQR_CHECK(m >= n && n >= 1, "recursive_ooc_lu: need m >= n >= 1");
   ROCQR_CHECK(opts.blocksize >= 1, "recursive_ooc_lu: blocksize must be positive");
 
-  const size_t window = dev.trace().size();
-  RecursiveLuState st{dev,
-                      a,
-                      opts,
-                      dev.create_stream(),
-                      dev.create_stream(),
-                      dev.create_stream()};
+  ooc::SlabPipeline pipe(dev, detail::engine_options(opts));
+  RecursiveLuState st{dev, a, opts, pipe};
   lu_recurse(st, 0, n, Event{});
   dev.synchronize();
-  return qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+  return qr::stats_from_trace(dev.trace(), pipe.window_begin(),
+                              dev.memory_peak());
 }
 
 } // namespace rocqr::lu

@@ -14,10 +14,13 @@ namespace rocqr::ooc::detail {
 /// H2D link may stall there. The miss count is structural (fences enqueued),
 /// not a measured stall time; see ooc.* counters in docs/TELEMETRY.md.
 inline void count_slab_prefetch(bool missed) {
-  auto& reg = telemetry::MetricsRegistry::global();
-  static telemetry::Counter* hit = &reg.counter("ooc.slab_prefetch_hits");
-  static telemetry::Counter* miss = &reg.counter("ooc.slab_prefetch_misses");
-  (missed ? *miss : *hit).increment();
+  // Resolved through the registry on every call: a function-local static
+  // Counter* would pin the counter slot resolved by whichever registry
+  // instance was global at first use, going stale if the registry is ever
+  // swapped or torn down between in-process test cases.
+  telemetry::MetricsRegistry::global()
+      .counter(missed ? "ooc.slab_prefetch_misses" : "ooc.slab_prefetch_hits")
+      .increment();
 }
 
 /// The three streams every engine pipeline uses: one feeding the H2D link,
@@ -37,10 +40,6 @@ inline Streams make_streams(sim::Device& dev) {
 /// this is the "Synchronous" baseline of Tables 1/2 (no overlap at all).
 inline void sync_if(sim::Device& dev, const OocGemmOptions& opts) {
   if (opts.synchronous) dev.synchronize();
-}
-
-inline int effective_depth(const OocGemmOptions& opts) {
-  return opts.pipeline_depth >= 1 ? opts.pipeline_depth : 1;
 }
 
 /// Device-resident storage width for streamed GEMM *inputs*: fp16 when the

@@ -26,6 +26,9 @@
 // single engine synchronize the device themselves.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "blas/gemm.hpp"
 #include "ooc/operand.hpp"
 #include "ooc/slab_schedule.hpp"
@@ -122,6 +125,12 @@ struct OocGemmOptions {
   /// of the next operation starts as soon as the previous operation's
   /// writes covering slab j landed, not when the whole operation finished.
   std::vector<RegionEvent> streamed_input_regions;
+
+  /// Throws InvalidArgument on out-of-range knobs (mirrors
+  /// QrOptions::validate). Every engine entry point calls this before
+  /// planning; engines no longer silently clamp (pipeline_depth < 1 used to
+  /// be rounded up to 1 — now it is an error).
+  void validate() const;
 };
 
 struct OocGemmStats {
@@ -142,6 +151,10 @@ struct OocGemmStats {
   sim_time_t slab_h2d_seconds = 0;
   sim_time_t slab_gemm_seconds = 0;
   sim_time_t slab_d2h_seconds = 0;
+  /// Human-readable description of the slab-pipeline plan(s) the engine
+  /// built (buffer depths, fences, groups) — surfaced by the benches'
+  /// --explain-plan flag.
+  std::string plan;
 };
 
 /// C (m x n) = Aᵀ·B with A: k x m and B: k x n streamed from the host in

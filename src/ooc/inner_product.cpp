@@ -1,21 +1,22 @@
 // Out-of-core "inner product" engines: C = Aᵀ·B (the R12 = Q1ᵀ·A2 step).
 //
-// Fault tolerance (docs/FAULTS.md): every host transfer goes through the
-// bounded-backoff retry helpers, every GEMM through the opt-in ABFT check,
-// and the whole engine body re-plans with a halved slab schedule on
-// DeviceOutOfMemory. Device buffers are ScopedMatrix so an abandoned
-// attempt cannot leak; all allocations happen before the first
-// device-to-host write, which is what makes the re-plan sound (no host
-// data has been modified when an OOM aborts the body).
+// Both engines are expressed as SlabPlans on the slab-pipeline executor
+// (ooc/pipeline.hpp), which owns the streams, fences, retry/ABFT hooks and
+// prefetch accounting; this file keeps what is genuinely engine-specific:
+// operand shapes, buffer pools and their rotation, the beta=0-on-first-slab
+// accumulation, and the stats. OOM re-planning still wraps the whole body —
+// every device buffer is allocated before the first device-to-host write,
+// so an abandoned attempt leaks nothing and has not touched host data.
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "sim/scoped_matrix.hpp"
-#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
@@ -57,12 +58,9 @@ OocGemmStats inner_product_recursive_impl(Device& dev, const Operand& a,
       slab_partition(kk, opts.blocksize, opts.ramp_up, opts.ramp_start);
   const index_t max_kw = max_slab_width(kslabs);
   const index_t max_pw = max_slab_width(panels);
-  const int depth = detail::effective_depth(opts);
+  const int depth = opts.pipeline_depth;
 
-  const size_t window_begin = dev.trace().size();
-  sim::TraceSpan span(dev, "inner_product_recursive");
-  auto streams = detail::make_streams(dev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  SlabPipeline pipe(dev, opts, "inner_product_recursive");
 
   // Streamed-input buffer pool (fp16 on device, like the LATER pipeline).
   std::vector<ScopedMatrix> buf_a;
@@ -77,86 +75,70 @@ OocGemmStats inner_product_recursive_impl(Device& dev, const Operand& a,
   }
   // Accumulator pool: one buffer when C is unsplit, two cycling buffers when
   // n is split so panel p+1 can accumulate while panel p drains to the host.
-  const int c_slots = panels.size() > 1 ? 2 : 1;
+  const index_t c_slots = panels.size() > 1 ? 2 : 1;
   std::vector<ScopedMatrix> buf_c;
   buf_c.reserve(static_cast<size_t>(c_slots));
-  for (int d = 0; d < c_slots; ++d) {
+  for (index_t d = 0; d < c_slots; ++d) {
     buf_c.emplace_back(dev, m, max_pw, StoragePrecision::FP32, "inner_rec.C");
   }
 
-  std::vector<Event> gemm_done;  // per global step, guards input-slot reuse
-  std::vector<Event> c_out_done; // per panel, guards accumulator-slot reuse
-  std::vector<RegionEvent> output_regions;
-  index_t global_step = 0;
+  const index_t ks = static_cast<index_t>(kslabs.size());
 
-  for (size_t p = 0; p < panels.size(); ++p) {
-    const Slab panel = panels[p];
-    const DeviceMatrix& cd = buf_c[p % static_cast<size_t>(c_slots)].get();
-    // First gemm of this panel must not start before the accumulator slot's
-    // previous contents were copied out (two-panels-ago with two slots).
-    Event c_free{};
-    if (p >= static_cast<size_t>(c_slots)) {
-      c_free = c_out_done[p - static_cast<size_t>(c_slots)];
-    }
+  SlabPlan plan;
+  plan.label = "inner_product_recursive";
+  plan.steps = static_cast<index_t>(panels.size()) * ks;
+  plan.steps_per_group = ks;
+  plan.input_slots = depth;
+  // The group's first (beta=0) GEMM overwrites the rotating accumulator
+  // slot, so it fences on the slot's previous drain on the compute stream.
+  plan.output_fence = OutputFence::Compute;
+  plan.output_slots = c_slots;
+  plan.move_in = [&](MoveInCtx& ctx, index_t step) {
+    const Slab kslab = kslabs[static_cast<size_t>(step % ks)];
+    const Slab panel = panels[static_cast<size_t>(step / ks)];
+    const size_t slot = static_cast<size_t>(step % depth);
+    const auto s = std::to_string(step % ks);
+    ctx.h2d(sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
+            host_block(a.host(), kslab.offset, 0, kslab.width, m),
+            "h2d A[" + s + "]");
+    ctx.h2d(sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
+                                 panel.width),
+            host_block(b.host(), kslab.offset, panel.offset, kslab.width,
+                       panel.width),
+            "h2d B[" + s + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t step) {
+    const index_t s = step % ks;
+    const Slab kslab = kslabs[static_cast<size_t>(s)];
+    const Slab panel = panels[static_cast<size_t>(step / ks)];
+    const size_t slot = static_cast<size_t>(step % depth);
+    const DeviceMatrix& cd =
+        buf_c[static_cast<size_t>((step / ks) % c_slots)].get();
+    // beta=0 on the panel's first slab: the accumulator slot may hold a
+    // previous panel's values.
+    ctx.gemm(Op::Trans, Op::NoTrans, 1.0f,
+             sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
+             sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
+                                  panel.width),
+             s == 0 ? 0.0f : 1.0f,
+             sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
+             "gemm C+=A'B[" + std::to_string(s) + "]");
+  };
+  // Single move-out of the accumulated panel.
+  plan.move_out = [&](MoveOutCtx& ctx, index_t p) {
+    const Slab panel = panels[static_cast<size_t>(p)];
+    const DeviceMatrix& cd = buf_c[static_cast<size_t>(p % c_slots)].get();
+    ctx.d2h(host_block(c, 0, panel.offset, m, panel.width),
+            sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
+            "d2h C panel " + std::to_string(p));
+  };
+  plan.output_region = [&](index_t p) {
+    const Slab panel = panels[static_cast<size_t>(p)];
+    return std::make_optional(
+        std::make_pair(Slab{0, m}, Slab{panel.offset, panel.width}));
+  };
 
-    for (size_t s = 0; s < kslabs.size(); ++s) {
-      const Slab kslab = kslabs[s];
-      const size_t slot = static_cast<size_t>(global_step % depth);
-      detail::count_slab_prefetch(global_step >= depth);
-      if (global_step >= depth) {
-        dev.wait_event(streams.in,
-                       gemm_done[static_cast<size_t>(global_step - depth)]);
-      }
-      detail::copy_h2d_retry(
-          dev, sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
-          host_block(a.host(), kslab.offset, 0, kslab.width, m), streams.in,
-          "h2d A[" + std::to_string(s) + "]", opts);
-      detail::sync_if(dev, opts);
-      detail::copy_h2d_retry(
-          dev,
-          sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
-                               panel.width),
-          host_block(b.host(), kslab.offset, panel.offset, kslab.width,
-                     panel.width),
-          streams.in, "h2d B[" + std::to_string(s) + "]", opts);
-      detail::sync_if(dev, opts);
-
-      Event moved_in = dev.create_event();
-      dev.record_event(moved_in, streams.in);
-      dev.wait_event(streams.comp, moved_in);
-      if (s == 0 && c_free.valid()) dev.wait_event(streams.comp, c_free);
-      // beta=0 on the panel's first slab: the accumulator slot may hold a
-      // previous panel's values.
-      detail::checked_gemm(
-          dev, opts, Op::Trans, Op::NoTrans, 1.0f,
-          sim::DeviceMatrixRef(buf_a[slot].get(), 0, 0, kslab.width, m),
-          sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kslab.width,
-                               panel.width),
-          s == 0 ? 0.0f : 1.0f,
-          sim::DeviceMatrixRef(cd, 0, 0, m, panel.width), streams.comp,
-          "gemm C+=A'B[" + std::to_string(s) + "]");
-      detail::sync_if(dev, opts);
-
-      Event g = dev.create_event();
-      dev.record_event(g, streams.comp);
-      gemm_done.push_back(g);
-      ++global_step;
-    }
-
-    // Single move-out of the accumulated panel.
-    dev.wait_event(streams.out, gemm_done.back());
-    detail::copy_d2h_retry(dev,
-                           host_block(c, 0, panel.offset, m, panel.width),
-                           sim::DeviceMatrixRef(cd, 0, 0, m, panel.width),
-                           streams.out, "d2h C panel " + std::to_string(p),
-                           opts);
-    detail::sync_if(dev, opts);
-    Event out_ev = dev.create_event();
-    dev.record_event(out_ev, streams.out);
-    c_out_done.push_back(out_ev);
-    output_regions.push_back(
-        RegionEvent{Slab{0, m}, Slab{panel.offset, panel.width}, out_ev});
-  }
+  SlabRunResult run = pipe.run(plan);
 
   // Release streamed-input buffers; their last reader has been enqueued.
   for (auto& buf : buf_a) buf.reset();
@@ -168,11 +150,12 @@ OocGemmStats inner_product_recursive_impl(Device& dev, const Operand& a,
   }
 
   OocGemmStats stats;
-  stats.summary = sim::summarize(dev.trace(), window_begin);
-  stats.steps = global_step;
-  stats.output_ready = std::move(output_regions);
-  stats.done = c_out_done.back();
-  stats.device_result_ready = gemm_done.back();
+  stats.summary = sim::summarize(dev.trace(), pipe.window_begin());
+  stats.steps = plan.steps;
+  stats.output_ready = std::move(run.output_regions);
+  stats.done = run.out_done.back();
+  stats.device_result_ready = run.compute_done.back();
+  stats.plan = pipe.plan_description();
   stats.steady_gemm_rate = dev.model().gemm_rate(
       Op::Trans, m, panel_cols, opts.blocksize, opts.precision);
   stats.slab_h2d_seconds =
@@ -201,31 +184,13 @@ OocGemmStats inner_product_blocking_impl(Device& dev, const Operand& a,
   const auto slabs =
       slab_partition(n, opts.blocksize, opts.ramp_up, opts.ramp_start);
   const index_t max_w = max_slab_width(slabs);
-  const int depth = detail::effective_depth(opts);
+  const int depth = opts.pipeline_depth;
 
-  const size_t window_begin = dev.trace().size();
-  sim::TraceSpan span(dev, "inner_product_blocking");
-  auto streams = detail::make_streams(dev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  SlabPipeline pipe(dev, opts, "inner_product_blocking");
 
   // The panel Q is resident — either it already lives on the device (QR-level
   // optimization) or it is moved in once here.
-  ScopedMatrix a_moved;
-  sim::DeviceMatrixRef a_ref;
-  Event a_ready{};
-  if (a.is_resident()) {
-    a_ref = a.device_ref();
-    a_ready = a.ready_event();
-  } else {
-    a_moved = ScopedMatrix(dev, kk, m, detail::input_storage(opts),
-                           "inner_blk.A");
-    detail::copy_h2d_retry(dev, a_moved.get(), a.host(), streams.in,
-                           "h2d A (panel)", opts);
-    detail::sync_if(dev, opts);
-    a_ready = dev.create_event();
-    dev.record_event(a_ready, streams.in);
-    a_ref = sim::DeviceMatrixRef(a_moved.get());
-  }
+  ResidentInput ares = stage_operand(pipe, a, "inner_blk.A", "h2d A (panel)");
 
   // Full C stays resident (m x n fp32): each slab's result both returns to
   // the host and remains available as the next outer product's B operand.
@@ -238,51 +203,47 @@ OocGemmStats inner_product_blocking_impl(Device& dev, const Operand& a,
                        "inner_blk.B");
   }
 
-  std::vector<Event> gemm_done;
-  std::vector<RegionEvent> output_regions;
-  for (size_t s = 0; s < slabs.size(); ++s) {
-    const Slab slab = slabs[s];
-    const size_t slot = s % static_cast<size_t>(depth);
-    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
-    if (s >= static_cast<size_t>(depth)) {
-      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
-    }
-    detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, kk},
-                                      slab);
-    detail::copy_h2d_retry(
-        dev, sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
-        host_block(b.host(), 0, slab.offset, kk, slab.width), streams.in,
-        "h2d B[" + std::to_string(s) + "]", opts);
-    detail::sync_if(dev, opts);
-    Event moved_in = dev.create_event();
-    dev.record_event(moved_in, streams.in);
+  SlabPlan plan;
+  plan.label = "inner_product_blocking";
+  plan.steps = static_cast<index_t>(slabs.size());
+  plan.input_slots = depth;
+  plan.resident_ready = {ares.ready};
+  plan.input_region = [&](index_t s) {
+    return std::make_optional(
+        std::make_pair(Slab{0, kk}, slabs[static_cast<size_t>(s)]));
+  };
+  plan.move_in = [&](MoveInCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
+    ctx.h2d(sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
+            host_block(b.host(), 0, slab.offset, kk, slab.width),
+            "h2d B[" + std::to_string(s) + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
+    ctx.gemm(Op::Trans, Op::NoTrans, 1.0f, ares.ref,
+             sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
+             0.0f,
+             sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
+             "gemm C=A'B[" + std::to_string(s) + "]");
+  };
+  plan.move_out = [&](MoveOutCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    ctx.d2h(host_block(c, 0, slab.offset, m, slab.width),
+            sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
+            "d2h C[" + std::to_string(s) + "]");
+  };
+  plan.output_region = [&](index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    return std::make_optional(
+        std::make_pair(Slab{0, m}, Slab{slab.offset, slab.width}));
+  };
 
-    dev.wait_event(streams.comp, moved_in);
-    if (s == 0 && a_ready.valid()) dev.wait_event(streams.comp, a_ready);
-    detail::checked_gemm(
-        dev, opts, Op::Trans, Op::NoTrans, 1.0f, a_ref,
-        sim::DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width), 0.0f,
-        sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
-        streams.comp, "gemm C=A'B[" + std::to_string(s) + "]");
-    detail::sync_if(dev, opts);
-    Event g = dev.create_event();
-    dev.record_event(g, streams.comp);
-    gemm_done.push_back(g);
-
-    dev.wait_event(streams.out, g);
-    detail::copy_d2h_retry(
-        dev, host_block(c, 0, slab.offset, m, slab.width),
-        sim::DeviceMatrixRef(cd.get(), 0, slab.offset, m, slab.width),
-        streams.out, "d2h C[" + std::to_string(s) + "]", opts);
-    detail::sync_if(dev, opts);
-    Event out_ev = dev.create_event();
-    dev.record_event(out_ev, streams.out);
-    output_regions.push_back(
-        RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_ev});
-  }
+  SlabRunResult run = pipe.run(plan);
 
   for (auto& buf : buf_b) buf.reset();
-  a_moved.reset();
+  ares.owned.reset();
   if (keep_c != nullptr) {
     *keep_c = cd.release();
   } else {
@@ -290,11 +251,12 @@ OocGemmStats inner_product_blocking_impl(Device& dev, const Operand& a,
   }
 
   OocGemmStats stats;
-  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.summary = sim::summarize(dev.trace(), pipe.window_begin());
   stats.steps = static_cast<index_t>(slabs.size());
-  stats.done = output_regions.back().event;
-  stats.output_ready = std::move(output_regions);
-  stats.device_result_ready = gemm_done.back();
+  stats.done = run.output_regions.back().event;
+  stats.output_ready = std::move(run.output_regions);
+  stats.device_result_ready = run.compute_done.back();
+  stats.plan = pipe.plan_description();
   stats.steady_gemm_rate =
       dev.model().gemm_rate(Op::Trans, m, opts.blocksize, kk, opts.precision);
   stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * kk * opts.blocksize);
@@ -310,6 +272,7 @@ OocGemmStats inner_product_recursive(Device& dev, const Operand& a,
                                      const Operand& b, HostMutRef c,
                                      const OocGemmOptions& opts,
                                      DeviceMatrix* keep_c) {
+  opts.validate();
   return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
     return inner_product_recursive_impl(dev, a, b, c, o, keep_c);
   });
@@ -319,6 +282,7 @@ OocGemmStats inner_product_blocking(Device& dev, const Operand& a,
                                     const Operand& b, HostMutRef c,
                                     const OocGemmOptions& opts,
                                     DeviceMatrix* keep_c) {
+  opts.validate();
   return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
     return inner_product_blocking_impl(dev, a, b, c, o, keep_c);
   });

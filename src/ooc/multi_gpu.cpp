@@ -12,6 +12,7 @@ MultiGpuGemmResult multi_gpu_outer_product(
     const std::vector<sim::Device*>& devices, sim::HostConstRef a,
     sim::HostConstRef b, sim::HostConstRef c_in, sim::HostMutRef c_out,
     const OocGemmOptions& opts) {
+  opts.validate();
   ROCQR_CHECK(!devices.empty(), "multi_gpu_outer_product: no devices");
   for (sim::Device* dev : devices) {
     ROCQR_CHECK(dev != nullptr, "multi_gpu_outer_product: null device");

@@ -1,0 +1,46 @@
+#include <string>
+
+#include "common/error.hpp"
+#include "ooc/gemm_engines.hpp"
+
+namespace rocqr::ooc {
+
+namespace {
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw InvalidArgument("OocGemmOptions: " + what);
+}
+
+} // namespace
+
+void OocGemmOptions::validate() const {
+  check(blocksize > 0, "blocksize must be > 0");
+  check(tile_cols >= 0, "tile_cols must be >= 0 (0 = blocksize)");
+  check(c_panel_cols >= 0, "c_panel_cols must be >= 0 (0 = unsplit)");
+  check(pipeline_depth >= 1,
+        "pipeline_depth must be >= 1 (was silently clamped before)");
+  if (ramp_up) {
+    // Mirrors QrOptions::validate: the ramp knobs only constrain anything
+    // when the ramp is on (CLI defaults leave ramp_start large).
+    check(ramp_start >= 1, "ramp_start must be >= 1 when ramp_up is on");
+    check(ramp_start <= blocksize,
+          "ramp_start must be <= blocksize when ramp_up is on");
+  }
+  check(!(upper_triangle_tiles_only && upper_trapezoid_slabs),
+        "upper_triangle_tiles_only and upper_trapezoid_slabs are modes of "
+        "different engines; set at most one");
+  check(transfer_max_attempts >= 1, "transfer_max_attempts must be >= 1");
+  check(transfer_backoff_seconds >= 0.0,
+        "transfer_backoff_seconds must be >= 0");
+  check(degrade_min_blocksize >= 1, "degrade_min_blocksize must be >= 1");
+  if (abft) {
+    // The ABFT column-sum check restores and recomputes the C slab in
+    // place; the synchronous baseline serializes after every op, which
+    // would hide the recompute behind a full device join and double-count
+    // it in the tables. Combining them is a config error, not a silently
+    // different experiment.
+    check(!synchronous, "abft and synchronous are mutually exclusive");
+  }
+}
+
+} // namespace rocqr::ooc

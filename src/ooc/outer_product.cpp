@@ -1,20 +1,23 @@
 // Out-of-core "outer product" engines: C -= A·B (the trailing update
 // A2 -= Q1·R12), including the §4.1.2 staging-buffer optimization.
 //
-// Fault tolerance (docs/FAULTS.md): transfers retry with bounded backoff,
-// GEMMs are ABFT-checked when opts.abft is on, and the engine body re-plans
-// with a halved slab schedule on DeviceOutOfMemory. Buffers are ScopedMatrix
-// and every allocation precedes the first device-to-host write, so an
-// abandoned attempt leaks nothing and has not touched host data.
+// Each engine is a SlabPlan on the slab-pipeline executor (ooc/pipeline.hpp):
+// the executor owns streams, the input-pool and §4.1.2 output-slot fences,
+// region waits, retry/ABFT and prefetch accounting; this file keeps the
+// operand geometry, the rotating buffer pools, and the trapezoid/triangular
+// filters. OOM re-planning wraps each body — every allocation precedes the
+// first device-to-host write, so an abandoned attempt has not touched host
+// data.
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/gemm_engines.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "sim/scoped_matrix.hpp"
-#include "sim/trace_export.hpp"
 
 namespace rocqr::ooc {
 
@@ -29,33 +32,6 @@ using sim::ScopedMatrix;
 using sim::StoragePrecision;
 
 namespace {
-
-/// Moves a host operand in once (fp16) unless it is already resident.
-/// Returns the matrix to use plus the event marking its readiness.
-struct ResidentInput {
-  DeviceMatrixRef ref;
-  ScopedMatrix owned; // valid if we moved it in (freed on scope exit)
-  Event ready{};
-};
-
-ResidentInput make_resident(Device& dev, const Operand& op, sim::Stream in,
-                            const OocGemmOptions& opts, const char* label) {
-  ResidentInput r;
-  if (op.is_resident()) {
-    r.ref = op.device_ref();
-    r.ready = op.ready_event();
-    return r;
-  }
-  r.owned = ScopedMatrix(dev, op.rows(), op.cols(),
-                         detail::input_storage(opts), label);
-  detail::copy_h2d_retry(dev, r.owned.get(), op.host(), in,
-                         std::string("h2d ") + label, opts);
-  detail::sync_if(dev, opts);
-  r.ready = dev.create_event();
-  dev.record_event(r.ready, in);
-  r.ref = DeviceMatrixRef(r.owned.get());
-  return r;
-}
 
 OocGemmStats outer_product_recursive_impl(Device& dev, const Operand& a,
                                           const Operand& b, HostConstRef c_in,
@@ -79,15 +55,12 @@ OocGemmStats outer_product_recursive_impl(Device& dev, const Operand& a,
   const auto slabs =
       slab_partition(m, opts.blocksize, opts.ramp_up, opts.ramp_start);
   const index_t max_w = max_slab_width(slabs);
-  const int depth = detail::effective_depth(opts);
+  const int depth = opts.pipeline_depth;
 
-  const size_t window_begin = dev.trace().size();
-  sim::TraceSpan span(dev, "outer_product_recursive");
-  auto streams = detail::make_streams(dev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  SlabPipeline pipe(dev, opts, "outer_product_recursive");
 
   // B (the R12 factor produced by the preceding inner product) is resident.
-  ResidentInput bres = make_resident(dev, b, streams.in, opts, "outer_rec.B");
+  ResidentInput bres = stage_operand(pipe, b, "outer_rec.B", "h2d outer_rec.B");
 
   std::vector<ScopedMatrix> buf_a;
   buf_a.reserve(static_cast<size_t>(depth));
@@ -104,103 +77,101 @@ OocGemmStats outer_product_recursive_impl(Device& dev, const Operand& a,
   // the next slab prefetches into the second buffer while the current one
   // computes and drains — which is what achieves the paper's ideal bound
   // (first move-in + sum of GEMMs + last move-out, §5.1.2).
-  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  const index_t c_slots = opts.staging_buffer ? 2 : 1;
   std::vector<ScopedMatrix> buf_c;
-  buf_c.reserve(c_slots);
-  for (size_t i = 0; i < c_slots; ++i) {
+  buf_c.reserve(static_cast<size_t>(c_slots));
+  for (index_t i = 0; i < c_slots; ++i) {
     buf_c.emplace_back(dev, max_w, n, StoragePrecision::FP32,
                        i == 0 ? "outer_rec.C" : "outer_rec.Cstage");
   }
 
-  std::vector<Event> gemm_done(slabs.size());
-  std::vector<Event> out_done(slabs.size());
-  std::vector<RegionEvent> output_regions;
-
   const bool trapezoid = opts.upper_trapezoid_slabs;
+  // Trapezoid mode (symmetric updates): only columns at or right of the
+  // slab's diagonal block are touched.
+  const auto slab_col0 = [&](index_t s) {
+    return trapezoid ? slabs[static_cast<size_t>(s)].offset : index_t{0};
+  };
 
-  for (size_t s = 0; s < slabs.size(); ++s) {
-    const Slab slab = slabs[s];
-    const size_t slot = s % static_cast<size_t>(depth);
-    const DeviceMatrix& cbuf = buf_c[s % c_slots].get();
-    // Trapezoid mode (symmetric updates): only columns at or right of the
-    // slab's diagonal block are touched.
-    const index_t col0 = trapezoid ? slab.offset : 0;
-    const index_t cw = n - col0;
-
-    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
-    if (s >= static_cast<size_t>(depth)) {
-      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
-    }
-    detail::wait_intersecting_regions(dev, streams.in, opts,
-                                      ta ? Slab{0, kk} : slab,
-                                      ta ? slab : Slab{col0, cw});
+  SlabPlan plan;
+  plan.label = "outer_product_recursive";
+  plan.steps = static_cast<index_t>(slabs.size());
+  plan.input_slots = depth;
+  plan.output_fence = OutputFence::MoveIn;
+  plan.output_slots = c_slots;
+  plan.resident_ready = {bres.ready};
+  plan.input_region = [&](index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const index_t col0 = slab_col0(s);
+    return std::make_optional(
+        ta ? std::make_pair(Slab{0, kk}, slab)
+           : std::make_pair(slab, Slab{col0, n - col0}));
+  };
+  plan.move_in = [&](MoveInCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
     const DeviceMatrixRef a_slab =
         ta ? DeviceMatrixRef(buf_a[slot].get(), 0, 0, kk, slab.width)
            : DeviceMatrixRef(buf_a[slot].get(), 0, 0, slab.width, kk);
-    detail::copy_h2d_retry(
-        dev, a_slab,
-        ta ? host_block(a.host(), 0, slab.offset, kk, slab.width)
-           : host_block(a.host(), slab.offset, 0, slab.width, kk),
-        streams.in, "h2d A[" + std::to_string(s) + "]", opts);
-    detail::sync_if(dev, opts);
-
-    // The C buffer becomes writable once its previous slab's move-out
-    // finished — one slab ago with a single buffer (fully serialized),
-    // two slabs ago with the optimization's rotating pair.
-    if (s >= c_slots) {
-      dev.wait_event(streams.in, out_done[s - c_slots]);
-    }
-    if (opts.beta != 0.0f) { // beta == 0: C is write-only, skip the move-in
-      detail::copy_h2d_retry(dev, DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
-                             host_block(c_in, slab.offset, col0, slab.width,
-                                        cw),
-                             streams.in, "h2d C[" + std::to_string(s) + "]",
-                             opts);
-      detail::sync_if(dev, opts);
-    }
-
-    Event moved_in = dev.create_event();
-    dev.record_event(moved_in, streams.in);
-    dev.wait_event(streams.comp, moved_in);
-    if (s == 0 && bres.ready.valid()) dev.wait_event(streams.comp, bres.ready);
+    ctx.h2d(a_slab,
+            ta ? host_block(a.host(), 0, slab.offset, kk, slab.width)
+               : host_block(a.host(), slab.offset, 0, slab.width, kk),
+            "h2d A[" + std::to_string(s) + "]");
+  };
+  plan.move_in_output = [&](MoveInCtx& ctx, index_t s) {
+    if (opts.beta == 0.0f) return; // C is write-only, skip the move-in
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const index_t col0 = slab_col0(s);
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    ctx.h2d(DeviceMatrixRef(cbuf, 0, 0, slab.width, n - col0),
+            host_block(c_in, slab.offset, col0, slab.width, n - col0),
+            "h2d C[" + std::to_string(s) + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
+    const index_t col0 = slab_col0(s);
+    const index_t cw = n - col0;
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    const DeviceMatrixRef a_slab =
+        ta ? DeviceMatrixRef(buf_a[slot].get(), 0, 0, kk, slab.width)
+           : DeviceMatrixRef(buf_a[slot].get(), 0, 0, slab.width, kk);
     const DeviceMatrixRef b_ref =
         trapezoid ? (opts.outer_opb == Op::Trans
                          ? bres.ref.block(col0, 0, cw, kk)
                          : bres.ref.block(0, col0, kk, cw))
                   : bres.ref;
-    detail::checked_gemm(dev, opts, opts.outer_opa, opts.outer_opb,
-                         opts.alpha, a_slab, b_ref, opts.beta,
-                         DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
-                         streams.comp, "gemm C[" + std::to_string(s) + "]");
-    detail::sync_if(dev, opts);
-    gemm_done[s] = dev.create_event();
-    dev.record_event(gemm_done[s], streams.comp);
+    ctx.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_slab, b_ref,
+             opts.beta, DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
+             "gemm C[" + std::to_string(s) + "]");
+  };
+  plan.move_out = [&](MoveOutCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const index_t col0 = slab_col0(s);
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    ctx.d2h(host_block(c_out, slab.offset, col0, slab.width, n - col0),
+            DeviceMatrixRef(cbuf, 0, 0, slab.width, n - col0),
+            "d2h C[" + std::to_string(s) + "]");
+  };
+  plan.output_region = [&](index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const index_t col0 = slab_col0(s);
+    return std::make_optional(std::make_pair(Slab{slab.offset, slab.width},
+                                             Slab{col0, n - col0}));
+  };
 
-    dev.wait_event(streams.out, gemm_done[s]);
-    detail::copy_d2h_retry(dev,
-                           host_block(c_out, slab.offset, col0, slab.width,
-                                      cw),
-                           DeviceMatrixRef(cbuf, 0, 0, slab.width, cw),
-                           streams.out, "d2h C[" + std::to_string(s) + "]",
-                           opts);
-    detail::sync_if(dev, opts);
-    out_done[s] = dev.create_event();
-    dev.record_event(out_done[s], streams.out);
-    output_regions.push_back(
-        RegionEvent{Slab{slab.offset, slab.width}, Slab{col0, cw},
-                    out_done[s]});
-  }
+  SlabRunResult run = pipe.run(plan);
 
   for (auto& buf : buf_a) buf.reset();
   for (auto& buf : buf_c) buf.reset();
   bres.owned.reset();
 
   OocGemmStats stats;
-  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.summary = sim::summarize(dev.trace(), pipe.window_begin());
   stats.steps = static_cast<index_t>(slabs.size());
-  stats.done = out_done.back();
-  stats.output_ready = std::move(output_regions);
-  stats.device_result_ready = gemm_done.back();
+  stats.done = run.out_done.back();
+  stats.output_ready = std::move(run.output_regions);
+  stats.device_result_ready = run.compute_done.back();
+  stats.plan = pipe.plan_description();
   stats.steady_gemm_rate = dev.model().gemm_rate(opts.outer_opa, opts.blocksize,
                                                  n, kk, opts.precision);
   stats.slab_h2d_seconds =
@@ -232,14 +203,11 @@ OocGemmStats outer_product_colwise_impl(Device& dev, const Operand& a,
   const auto slabs =
       slab_partition(n, opts.blocksize, opts.ramp_up, opts.ramp_start);
   const index_t max_w = max_slab_width(slabs);
-  const int depth = detail::effective_depth(opts);
+  const int depth = opts.pipeline_depth;
 
-  const size_t window_begin = dev.trace().size();
-  sim::TraceSpan span(dev, "outer_product_colwise");
-  auto streams = detail::make_streams(dev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  SlabPipeline pipe(dev, opts, "outer_product_colwise");
 
-  ResidentInput ares = make_resident(dev, a, streams.in, opts, "outer_col.A");
+  ResidentInput ares = stage_operand(pipe, a, "outer_col.A", "h2d outer_col.A");
   const DeviceMatrixRef a_ref = ares.ref;
 
   std::vector<ScopedMatrix> buf_b;
@@ -248,81 +216,75 @@ OocGemmStats outer_product_colwise_impl(Device& dev, const Operand& a,
     buf_b.emplace_back(dev, kk, max_w, detail::input_storage(opts),
                        "outer_col.B");
   }
-  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  const index_t c_slots = opts.staging_buffer ? 2 : 1;
   std::vector<ScopedMatrix> buf_c;
-  buf_c.reserve(c_slots);
-  for (size_t i = 0; i < c_slots; ++i) {
+  buf_c.reserve(static_cast<size_t>(c_slots));
+  for (index_t i = 0; i < c_slots; ++i) {
     buf_c.emplace_back(dev, m, max_w, StoragePrecision::FP32,
                        i == 0 ? "outer_col.C" : "outer_col.Cstage");
   }
 
-  std::vector<Event> gemm_done(slabs.size());
-  std::vector<Event> out_done(slabs.size());
-  std::vector<RegionEvent> output_regions;
+  SlabPlan plan;
+  plan.label = "outer_product_colwise";
+  plan.steps = static_cast<index_t>(slabs.size());
+  plan.input_slots = depth;
+  plan.output_fence = OutputFence::MoveIn;
+  plan.output_slots = c_slots;
+  plan.resident_ready = {ares.ready};
+  plan.input_region = [&](index_t s) {
+    return std::make_optional(
+        std::make_pair(Slab{0, m}, slabs[static_cast<size_t>(s)]));
+  };
+  plan.move_in = [&](MoveInCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
+    ctx.h2d(DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
+            host_block(b.host(), 0, slab.offset, kk, slab.width),
+            "h2d B[" + std::to_string(s) + "]");
+  };
+  plan.move_in_output = [&](MoveInCtx& ctx, index_t s) {
+    if (opts.beta == 0.0f) return;
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    ctx.h2d(DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+            host_block(c_in, 0, slab.offset, m, slab.width),
+            "h2d C[" + std::to_string(s) + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const size_t slot = static_cast<size_t>(s % depth);
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    ctx.gemm(opts.outer_opa, Op::NoTrans, opts.alpha, a_ref,
+             DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk, slab.width),
+             opts.beta, DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+             "gemm C[" + std::to_string(s) + "]");
+  };
+  plan.move_out = [&](MoveOutCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(s % c_slots)].get();
+    ctx.d2h(host_block(c_out, 0, slab.offset, m, slab.width),
+            DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
+            "d2h C[" + std::to_string(s) + "]");
+  };
+  plan.output_region = [&](index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    return std::make_optional(
+        std::make_pair(Slab{0, m}, Slab{slab.offset, slab.width}));
+  };
 
-  for (size_t s = 0; s < slabs.size(); ++s) {
-    const Slab slab = slabs[s];
-    const size_t slot = s % static_cast<size_t>(depth);
-    const DeviceMatrix& cbuf = buf_c[s % c_slots].get();
-
-    detail::count_slab_prefetch(s >= static_cast<size_t>(depth));
-    if (s >= static_cast<size_t>(depth)) {
-      dev.wait_event(streams.in, gemm_done[s - static_cast<size_t>(depth)]);
-    }
-    detail::wait_intersecting_regions(dev, streams.in, opts, Slab{0, m},
-                                      slab);
-    detail::copy_h2d_retry(dev,
-                           DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk,
-                                           slab.width),
-                           host_block(b.host(), 0, slab.offset, kk, slab.width),
-                           streams.in, "h2d B[" + std::to_string(s) + "]",
-                           opts);
-    detail::sync_if(dev, opts);
-    if (s >= c_slots) dev.wait_event(streams.in, out_done[s - c_slots]);
-    if (opts.beta != 0.0f) {
-      detail::copy_h2d_retry(dev, DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
-                             host_block(c_in, 0, slab.offset, m, slab.width),
-                             streams.in, "h2d C[" + std::to_string(s) + "]",
-                             opts);
-      detail::sync_if(dev, opts);
-    }
-
-    Event moved_in = dev.create_event();
-    dev.record_event(moved_in, streams.in);
-    dev.wait_event(streams.comp, moved_in);
-    if (s == 0 && ares.ready.valid()) dev.wait_event(streams.comp, ares.ready);
-    detail::checked_gemm(dev, opts, opts.outer_opa, Op::NoTrans, opts.alpha,
-                         a_ref,
-                         DeviceMatrixRef(buf_b[slot].get(), 0, 0, kk,
-                                         slab.width),
-                         opts.beta, DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
-                         streams.comp, "gemm C[" + std::to_string(s) + "]");
-    detail::sync_if(dev, opts);
-    gemm_done[s] = dev.create_event();
-    dev.record_event(gemm_done[s], streams.comp);
-
-    dev.wait_event(streams.out, gemm_done[s]);
-    detail::copy_d2h_retry(dev, host_block(c_out, 0, slab.offset, m, slab.width),
-                           DeviceMatrixRef(cbuf, 0, 0, m, slab.width),
-                           streams.out, "d2h C[" + std::to_string(s) + "]",
-                           opts);
-    detail::sync_if(dev, opts);
-    out_done[s] = dev.create_event();
-    dev.record_event(out_done[s], streams.out);
-    output_regions.push_back(
-        RegionEvent{Slab{0, m}, Slab{slab.offset, slab.width}, out_done[s]});
-  }
+  SlabRunResult run = pipe.run(plan);
 
   for (auto& buf : buf_b) buf.reset();
   for (auto& buf : buf_c) buf.reset();
   ares.owned.reset();
 
   OocGemmStats stats;
-  stats.summary = sim::summarize(dev.trace(), window_begin);
+  stats.summary = sim::summarize(dev.trace(), pipe.window_begin());
   stats.steps = static_cast<index_t>(slabs.size());
-  stats.done = out_done.back();
-  stats.output_ready = std::move(output_regions);
-  stats.device_result_ready = gemm_done.back();
+  stats.done = run.out_done.back();
+  stats.output_ready = std::move(run.output_regions);
+  stats.device_result_ready = run.compute_done.back();
+  stats.plan = pipe.plan_description();
   stats.steady_gemm_rate =
       dev.model().gemm_rate(opts.outer_opa, m, opts.blocksize, kk, opts.precision);
   stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * opts.blocksize * kk) +
@@ -354,106 +316,93 @@ OocGemmStats outer_product_blocking_impl(Device& dev, const Operand& a,
   const auto row_tiles = slab_partition(m, b1);
   const auto col_tiles = slab_partition(n, b2);
 
-  const size_t window_begin = dev.trace().size();
-  sim::TraceSpan span(dev, "outer_product_blocking");
-  auto streams = detail::make_streams(dev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  // Materialize the processed-tile list up front: the symmetric-update mode
+  // skips tiles entirely below the diagonal, and the pipeline's step/fence
+  // accounting runs over the tiles actually streamed.
+  std::vector<std::pair<Slab, Slab>> tiles;
+  tiles.reserve(row_tiles.size() * col_tiles.size());
+  for (const Slab& rt : row_tiles) {
+    for (const Slab& ct : col_tiles) {
+      if (opts.upper_triangle_tiles_only && ct.offset + ct.width <= rt.offset) {
+        continue;
+      }
+      tiles.emplace_back(rt, ct);
+    }
+  }
+  ROCQR_CHECK(!tiles.empty(), "outer_product_blocking: no tiles processed");
+
+  SlabPipeline pipe(dev, opts, "outer_product_blocking");
 
   // Both inputs are tall-and-skinny and stay resident (§3.3.2).
-  ResidentInput ares = make_resident(dev, a, streams.in, opts, "outer_blk.A");
-  ResidentInput bres = make_resident(dev, b, streams.in, opts, "outer_blk.B");
+  ResidentInput ares = stage_operand(pipe, a, "outer_blk.A", "h2d outer_blk.A");
+  ResidentInput bres = stage_operand(pipe, b, "outer_blk.B", "h2d outer_blk.B");
 
   // C tile working space: a rotating pair with the §4.1.2 optimization so
   // tile t+1 prefetches while tile t computes/drains; a single buffer — the
   // paper's baseline — serializes move-ins behind move-outs.
-  const size_t c_slots = opts.staging_buffer ? 2 : 1;
+  const index_t c_slots = opts.staging_buffer ? 2 : 1;
   std::vector<ScopedMatrix> buf_c;
-  buf_c.reserve(c_slots);
-  for (size_t i = 0; i < c_slots; ++i) {
+  buf_c.reserve(static_cast<size_t>(c_slots));
+  for (index_t i = 0; i < c_slots; ++i) {
     buf_c.emplace_back(dev, b1, b2, StoragePrecision::FP32,
                        i == 0 ? "outer_blk.C" : "outer_blk.Cstage");
   }
 
-  const size_t tiles = row_tiles.size() * col_tiles.size();
-  std::vector<Event> gemm_done(tiles);
-  std::vector<Event> out_done(tiles);
-  std::vector<RegionEvent> output_regions;
+  SlabPlan plan;
+  plan.label = "outer_product_blocking";
+  plan.steps = static_cast<index_t>(tiles.size());
+  plan.input_slots = 0; // no streamed-input pool: A and B are resident
+  plan.output_fence = OutputFence::MoveInCounted;
+  plan.output_slots = c_slots;
+  plan.resident_ready = {ares.ready, bres.ready};
+  plan.input_region = [&](index_t t) {
+    return std::make_optional(tiles[static_cast<size_t>(t)]);
+  };
+  plan.move_in_output = [&](MoveInCtx& ctx, index_t t) {
+    if (opts.beta == 0.0f) return;
+    const auto& [rt, ct] = tiles[static_cast<size_t>(t)];
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(t % c_slots)].get();
+    ctx.h2d(DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+            host_block(c_in, rt.offset, ct.offset, rt.width, ct.width),
+            "h2d C[" + std::to_string(t) + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t t) {
+    const auto& [rt, ct] = tiles[static_cast<size_t>(t)];
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(t % c_slots)].get();
+    const DeviceMatrixRef a_tile =
+        ta ? ares.ref.block(0, rt.offset, kk, rt.width)
+           : ares.ref.block(rt.offset, 0, rt.width, kk);
+    const DeviceMatrixRef b_tile =
+        tb ? bres.ref.block(ct.offset, 0, ct.width, kk)
+           : bres.ref.block(0, ct.offset, kk, ct.width);
+    ctx.gemm(opts.outer_opa, opts.outer_opb, opts.alpha, a_tile, b_tile,
+             opts.beta, DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+             "gemm C[" + std::to_string(t) + "]");
+  };
+  plan.move_out = [&](MoveOutCtx& ctx, index_t t) {
+    const auto& [rt, ct] = tiles[static_cast<size_t>(t)];
+    const DeviceMatrix& cbuf = buf_c[static_cast<size_t>(t % c_slots)].get();
+    ctx.d2h(host_block(c_out, rt.offset, ct.offset, rt.width, ct.width),
+            DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
+            "d2h C[" + std::to_string(t) + "]");
+  };
+  plan.output_region = [&](index_t t) {
+    return std::make_optional(tiles[static_cast<size_t>(t)]);
+  };
 
-  size_t t = 0;
-  for (const Slab& rt : row_tiles) {
-    for (const Slab& ct : col_tiles) {
-      // Symmetric-update mode: skip tiles entirely below the diagonal.
-      if (opts.upper_triangle_tiles_only &&
-          ct.offset + ct.width <= rt.offset) {
-        continue;
-      }
-      const DeviceMatrix& cbuf = buf_c[t % c_slots].get();
-      detail::count_slab_prefetch(t >= c_slots);
-      if (t >= c_slots) {
-        dev.wait_event(streams.in, out_done[t - c_slots]);
-      }
-      detail::wait_intersecting_regions(dev, streams.in, opts, rt, ct);
-      if (opts.beta != 0.0f) {
-        detail::copy_h2d_retry(dev,
-                               DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
-                               host_block(c_in, rt.offset, ct.offset, rt.width,
-                                          ct.width),
-                               streams.in, "h2d C[" + std::to_string(t) + "]",
-                               opts);
-        detail::sync_if(dev, opts);
-      }
-      Event moved_in = dev.create_event();
-      dev.record_event(moved_in, streams.in);
-
-      dev.wait_event(streams.comp, moved_in);
-      if (t == 0) {
-        if (ares.ready.valid()) dev.wait_event(streams.comp, ares.ready);
-        if (bres.ready.valid()) dev.wait_event(streams.comp, bres.ready);
-      }
-      const DeviceMatrixRef a_tile =
-          ta ? ares.ref.block(0, rt.offset, kk, rt.width)
-             : ares.ref.block(rt.offset, 0, rt.width, kk);
-      const DeviceMatrixRef b_tile =
-          tb ? bres.ref.block(ct.offset, 0, ct.width, kk)
-             : bres.ref.block(0, ct.offset, kk, ct.width);
-      detail::checked_gemm(dev, opts, opts.outer_opa, opts.outer_opb,
-                           opts.alpha, a_tile, b_tile, opts.beta,
-                           DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width),
-                           streams.comp, "gemm C[" + std::to_string(t) + "]");
-      detail::sync_if(dev, opts);
-      gemm_done[t] = dev.create_event();
-      dev.record_event(gemm_done[t], streams.comp);
-
-      dev.wait_event(streams.out, gemm_done[t]);
-      detail::copy_d2h_retry(
-          dev, host_block(c_out, rt.offset, ct.offset, rt.width, ct.width),
-          DeviceMatrixRef(cbuf, 0, 0, rt.width, ct.width), streams.out,
-          "d2h C[" + std::to_string(t) + "]", opts);
-      detail::sync_if(dev, opts);
-      out_done[t] = dev.create_event();
-      dev.record_event(out_done[t], streams.out);
-      output_regions.push_back(RegionEvent{Slab{rt.offset, rt.width},
-                                           Slab{ct.offset, ct.width},
-                                           out_done[t]});
-      ++t;
-    }
-  }
+  SlabRunResult run = pipe.run(plan);
 
   for (auto& buf : buf_c) buf.reset();
   ares.owned.reset();
   bres.owned.reset();
 
-  // With the triangular filter some pre-sized slots were never used.
-  gemm_done.resize(t);
-  out_done.resize(t);
-  ROCQR_CHECK(t > 0, "outer_product_blocking: no tiles processed");
-
   OocGemmStats stats;
-  stats.summary = sim::summarize(dev.trace(), window_begin);
-  stats.steps = static_cast<index_t>(t);
-  stats.done = out_done.back();
-  stats.output_ready = std::move(output_regions);
-  stats.device_result_ready = gemm_done.back();
+  stats.summary = sim::summarize(dev.trace(), pipe.window_begin());
+  stats.steps = static_cast<index_t>(tiles.size());
+  stats.done = run.out_done.back();
+  stats.output_ready = std::move(run.output_regions);
+  stats.device_result_ready = run.compute_done.back();
+  stats.plan = pipe.plan_description();
   stats.steady_gemm_rate =
       dev.model().gemm_rate(opts.outer_opa, b1, b2, kk, opts.precision);
   stats.slab_h2d_seconds = dev.model().h2d_seconds(4 * b1 * b2);
@@ -469,6 +418,7 @@ OocGemmStats outer_product_recursive(Device& dev, const Operand& a,
                                      const Operand& b, HostConstRef c_in,
                                      HostMutRef c_out,
                                      const OocGemmOptions& opts) {
+  opts.validate();
   return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
     return outer_product_recursive_impl(dev, a, b, c_in, c_out, o);
   });
@@ -478,6 +428,7 @@ OocGemmStats outer_product_colwise(Device& dev, const Operand& a,
                                    const Operand& b, HostConstRef c_in,
                                    HostMutRef c_out,
                                    const OocGemmOptions& opts) {
+  opts.validate();
   return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
     return outer_product_colwise_impl(dev, a, b, c_in, c_out, o);
   });
@@ -487,6 +438,7 @@ OocGemmStats outer_product_blocking(Device& dev, const Operand& a,
                                     const Operand& b, HostConstRef c_in,
                                     HostMutRef c_out,
                                     const OocGemmOptions& opts) {
+  opts.validate();
   return detail::with_oom_degradation(dev, opts, [&](const OocGemmOptions& o) {
     return outer_product_blocking_impl(dev, a, b, c_in, c_out, o);
   });

@@ -1,0 +1,294 @@
+#include "ooc/pipeline.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ooc/engine_util.hpp"
+#include "ooc/resilience.hpp"
+
+namespace rocqr::ooc {
+
+using sim::Event;
+
+// ---------------------------------------------------------------------------
+// Stage contexts: thin forwards onto the pipeline's streams with the
+// cross-cutting hooks (retry, ABFT, sync_if) applied at the single site.
+
+void MoveInCtx::h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
+                    const std::string& name) {
+  detail::copy_h2d_retry(p_.dev_, dst, src, p_.in_, name, p_.opts_);
+  detail::sync_if(p_.dev_, p_.opts_);
+}
+
+void MoveInCtx::wait(const Event& e) {
+  if (e.valid()) p_.dev_.wait_event(p_.in_, e);
+}
+
+void ComputeCtx::gemm(blas::Op opa, blas::Op opb, float alpha,
+                      sim::DeviceMatrixRef a, sim::DeviceMatrixRef b,
+                      float beta, sim::DeviceMatrixRef c,
+                      const std::string& name) {
+  detail::checked_gemm(p_.dev_, p_.opts_, opa, opb, alpha, a, b, beta, c,
+                       p_.comp_, name);
+  detail::sync_if(p_.dev_, p_.opts_);
+}
+
+void ComputeCtx::trsm(sim::Device::TrsmKind kind, sim::DeviceMatrixRef tri,
+                      sim::DeviceMatrixRef b, const std::string& name) {
+  p_.dev_.trsm(kind, tri, b, p_.opts_.precision, p_.comp_, name);
+  detail::sync_if(p_.dev_, p_.opts_);
+}
+
+void ComputeCtx::wait(const Event& e) {
+  if (e.valid()) p_.dev_.wait_event(p_.comp_, e);
+}
+
+sim::Stream ComputeCtx::stream() const { return p_.comp_; }
+
+Event ComputeCtx::emit(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+                       const std::string& name) {
+  Event ready = p_.dev_.create_event();
+  p_.dev_.record_event(ready, p_.comp_);
+  p_.dev_.wait_event(p_.out_, ready);
+  detail::copy_d2h_retry(p_.dev_, dst, src, p_.out_, name, p_.opts_);
+  detail::sync_if(p_.dev_, p_.opts_);
+  return ready;
+}
+
+void MoveOutCtx::d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+                     const std::string& name) {
+  detail::copy_d2h_retry(p_.dev_, dst, src, p_.out_, name, p_.opts_);
+  detail::sync_if(p_.dev_, p_.opts_);
+}
+
+void MoveOutCtx::wait(const Event& e) {
+  if (e.valid()) p_.dev_.wait_event(p_.out_, e);
+}
+
+// ---------------------------------------------------------------------------
+
+SlabPipeline::SlabPipeline(sim::Device& dev, const OocGemmOptions& opts,
+                           std::string span_name,
+                           std::vector<Event> wait_before)
+    : dev_(dev), opts_(opts), window_begin_(dev.trace().size()) {
+  if (!span_name.empty()) span_.emplace(dev_, std::move(span_name));
+  in_ = dev_.create_stream();
+  comp_ = dev_.create_stream();
+  out_ = dev_.create_stream();
+  for (const Event& e : wait_before) {
+    if (e.valid()) dev_.wait_event(in_, e);
+  }
+  detail::wait_host_inputs(dev_, in_, opts_);
+}
+
+Event SlabPipeline::stage_resident(sim::DeviceMatrixRef dst,
+                                   sim::HostConstRef src,
+                                   const std::string& name) {
+  detail::copy_h2d_retry(dev_, dst, src, in_, name, opts_);
+  detail::sync_if(dev_, opts_);
+  Event ready = dev_.create_event();
+  dev_.record_event(ready, in_);
+  return ready;
+}
+
+Event SlabPipeline::record_input_marker() {
+  Event e = dev_.create_event();
+  dev_.record_event(e, in_);
+  return e;
+}
+
+namespace {
+
+std::string describe_plan(const SlabPlan& plan, const OocGemmOptions& opts) {
+  std::ostringstream os;
+  os << "slab-pipeline " << (plan.label.empty() ? "loop" : plan.label) << ": "
+     << plan.steps << " step(s)";
+  if (plan.steps_per_group > 1) {
+    os << " in groups of " << plan.steps_per_group;
+  }
+  if (plan.input_slots > 0) {
+    os << ", input pool " << plan.input_slots << " slot(s)";
+  } else {
+    os << ", no streamed-input pool";
+  }
+  switch (plan.output_fence) {
+    case OutputFence::None:
+      os << ", output resident (no slot fence)";
+      break;
+    case OutputFence::MoveIn:
+      os << ", output slots " << plan.output_slots << " (move-in fence)";
+      break;
+    case OutputFence::MoveInCounted:
+      os << ", output slots " << plan.output_slots
+         << " (move-in fence, counted)";
+      break;
+    case OutputFence::Compute:
+      os << ", output slots " << plan.output_slots << " (compute fence)";
+      break;
+  }
+  os << ", " << plan.resident_ready.size() << " resident operand(s)"
+     << ", regions " << (plan.input_region ? "on" : "off") << ", blocksize "
+     << opts.blocksize;
+  if (opts.tile_cols > 0) os << " x " << opts.tile_cols;
+  os << ", ramp "
+     << (opts.ramp_up ? "from " + std::to_string(opts.ramp_start) : "off")
+     << ", staging " << (opts.staging_buffer ? "on" : "off") << ", depth "
+     << opts.pipeline_depth << (opts.synchronous ? ", SYNCHRONOUS" : "")
+     << (opts.abft ? ", abft" : "") << "\n";
+  return os.str();
+}
+
+} // namespace
+
+SlabRunResult SlabPipeline::run(const SlabPlan& plan) {
+  ROCQR_CHECK(plan.steps > 0, "SlabPipeline: empty plan");
+  ROCQR_CHECK(plan.compute != nullptr, "SlabPipeline: plan needs a compute");
+  ROCQR_CHECK(plan.steps_per_group >= 1 &&
+                  plan.steps % plan.steps_per_group == 0,
+              "SlabPipeline: steps must be whole groups");
+  ROCQR_CHECK(plan.output_slots >= 1, "SlabPipeline: output_slots < 1");
+  plan_description_ += describe_plan(plan, opts_);
+
+  MoveInCtx min(*this);
+  ComputeCtx cctx(*this);
+  MoveOutCtx mout(*this);
+
+  SlabRunResult r;
+  r.compute_done.reserve(static_cast<size_t>(plan.steps));
+
+  for (index_t step = 0; step < plan.steps; ++step) {
+    const index_t group = step / plan.steps_per_group;
+    const index_t local = step % plan.steps_per_group;
+
+    // Streamed-input pool fence: the slot this step rotates into was last
+    // read by the compute `input_slots` global steps ago; the move-in may
+    // not overwrite it earlier. The history spans run() calls so split
+    // loops (left-looking projections) fence like one long loop.
+    const index_t g_hist = static_cast<index_t>(history_.size());
+    if (plan.input_slots > 0) {
+      if (plan.count_prefetch) {
+        detail::count_slab_prefetch(g_hist >= plan.input_slots);
+      }
+      if (g_hist >= plan.input_slots) {
+        dev_.wait_event(
+            in_, history_[static_cast<size_t>(g_hist - plan.input_slots)]);
+      }
+    } else if (plan.output_fence == OutputFence::MoveInCounted) {
+      // No streamed-input pool: the output-slot fence is the prefetch
+      // account (blocking outer product, trsm base case).
+      if (plan.count_prefetch) {
+        detail::count_slab_prefetch(group >= plan.output_slots);
+      }
+      if (group >= plan.output_slots) {
+        dev_.wait_event(
+            in_, r.out_done[static_cast<size_t>(group - plan.output_slots)]);
+      }
+    }
+
+    if (plan.input_region) {
+      if (const auto region = plan.input_region(step)) {
+        detail::wait_intersecting_regions(dev_, in_, opts_, region->first,
+                                          region->second);
+      }
+    }
+    if (plan.move_in) plan.move_in(min, step);
+
+    // §4.1.2 output-slot fence: the working buffer this step's output
+    // move-in (and GEMM) reuses must have drained `output_slots` groups
+    // ago — one group with the single-buffer baseline, two with the
+    // rotating staging pair.
+    if (plan.output_fence == OutputFence::MoveIn &&
+        group >= plan.output_slots) {
+      dev_.wait_event(
+          in_, r.out_done[static_cast<size_t>(group - plan.output_slots)]);
+    }
+    if (plan.move_in_output) plan.move_in_output(min, step);
+
+    Event moved_in = dev_.create_event();
+    dev_.record_event(moved_in, in_);
+    dev_.wait_event(comp_, moved_in);
+    if (step == 0) {
+      for (const Event& e : plan.resident_ready) {
+        if (e.valid()) dev_.wait_event(comp_, e);
+      }
+    }
+    // Accumulator fence: the group's first (beta = 0) compute overwrites an
+    // output slot whose previous group must have drained.
+    if (plan.output_fence == OutputFence::Compute && local == 0 &&
+        group >= plan.output_slots) {
+      dev_.wait_event(
+          comp_, r.out_done[static_cast<size_t>(group - plan.output_slots)]);
+    }
+    plan.compute(cctx, step);
+
+    Event done = dev_.create_event();
+    dev_.record_event(done, comp_);
+    history_.push_back(done);
+    r.compute_done.push_back(done);
+
+    if (local == plan.steps_per_group - 1 && plan.move_out) {
+      dev_.wait_event(out_, done);
+      plan.move_out(mout, group);
+      Event out_ev = dev_.create_event();
+      dev_.record_event(out_ev, out_);
+      r.out_done.push_back(out_ev);
+      if (plan.output_region) {
+        if (const auto region = plan.output_region(group)) {
+          r.output_regions.push_back(
+              RegionEvent{region->first, region->second, out_ev});
+        }
+      }
+    }
+  }
+  return r;
+}
+
+TaskResult SlabPipeline::run_task(const TaskPlan& plan) {
+  MoveInCtx min(*this);
+  ComputeCtx cctx(*this);
+  MoveOutCtx mout(*this);
+  TaskResult r;
+
+  for (const Event& e : plan.move_in_waits) {
+    if (e.valid()) dev_.wait_event(in_, e);
+  }
+  if (plan.move_in) {
+    plan.move_in(min);
+    r.moved_in = dev_.create_event();
+    dev_.record_event(r.moved_in, in_);
+  }
+  if (plan.compute) {
+    if (r.moved_in.valid()) dev_.wait_event(comp_, r.moved_in);
+    for (const Event& e : plan.compute_waits) {
+      if (e.valid()) dev_.wait_event(comp_, e);
+    }
+    plan.compute(cctx);
+    r.computed = dev_.create_event();
+    dev_.record_event(r.computed, comp_);
+  }
+  if (plan.move_out) {
+    if (r.computed.valid()) dev_.wait_event(out_, r.computed);
+    plan.move_out(mout);
+    r.moved_out = dev_.create_event();
+    dev_.record_event(r.moved_out, out_);
+  }
+  return r;
+}
+
+ResidentInput stage_operand(SlabPipeline& p, const Operand& op,
+                            const std::string& label,
+                            const std::string& copy_name) {
+  ResidentInput r;
+  if (op.is_resident()) {
+    r.ref = op.device_ref();
+    r.ready = op.ready_event();
+    return r;
+  }
+  r.owned = sim::ScopedMatrix(p.device(), op.rows(), op.cols(),
+                              detail::input_storage(p.options()), label);
+  r.ready = p.stage_resident(r.owned.get(), op.host(), copy_name);
+  r.ref = sim::DeviceMatrixRef(r.owned.get());
+  return r;
+}
+
+} // namespace rocqr::ooc

@@ -9,16 +9,15 @@ namespace rocqr::ooc::detail {
 
 namespace {
 
+// No static Counter* caching here (or anywhere): resolve through the
+// registry each call so the pointer cannot go stale across registry
+// lifetimes (see count_slab_prefetch in ooc/engine_util.hpp).
 telemetry::Counter& transfer_retries_counter() {
-  static telemetry::Counter* c =
-      &telemetry::MetricsRegistry::global().counter("transfer_retries");
-  return *c;
+  return telemetry::MetricsRegistry::global().counter("transfer_retries");
 }
 
 telemetry::Counter& abft_recomputes_counter() {
-  static telemetry::Counter* c =
-      &telemetry::MetricsRegistry::global().counter("abft_recomputes");
-  return *c;
+  return telemetry::MetricsRegistry::global().counter("abft_recomputes");
 }
 
 /// Shared retry loop: `enqueue` performs one attempt (throwing TransferError
@@ -167,9 +166,7 @@ bool degrade_slab_options(OocGemmOptions& opts) {
 }
 
 void count_slab_degradation() {
-  static telemetry::Counter* c =
-      &telemetry::MetricsRegistry::global().counter("slab_degradations");
-  c->increment();
+  telemetry::MetricsRegistry::global().counter("slab_degradations").increment();
 }
 
 } // namespace rocqr::ooc::detail

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "ooc/engine_util.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
@@ -25,76 +27,69 @@ using sim::StoragePrecision;
 namespace {
 
 /// Base case: the w x w triangle is resident; B's rows [j0, j0+w) stream in
-/// column slabs through the device trsm kernel. Returns the completion
-/// event of the last move-out. Allocations all precede the first d2h, so an
-/// injected OOM aborts before any host row has been overwritten and the
-/// enclosing degradation wrapper may safely re-run this node.
+/// column slabs through the device trsm kernel. Runs as a SlabPlan with no
+/// streamed-input pool — the counted output-slot fence (the rotating B/X
+/// working pair) is the prefetch account. Returns the completion event of
+/// the last move-out. Allocations all precede the first d2h, so an injected
+/// OOM aborts before any host row has been overwritten and the enclosing
+/// degradation wrapper may safely re-run this node.
 Event trsm_base_impl(Device& dev, TriSolveKind kind, HostConstRef t,
                      HostConstRef b_in, HostMutRef b_out, index_t j0,
                      index_t w, Event prev, const OocGemmOptions& opts) {
   const index_t nrhs = b_in.cols;
-  auto streams = detail::make_streams(dev);
-  if (prev.valid()) dev.wait_event(streams.in, prev);
-  detail::wait_host_inputs(dev, streams.in, opts);
+  SlabPipeline pipe(dev, opts, /*span_name=*/{}, {prev});
 
   ScopedMatrix tri(dev, w, w, StoragePrecision::FP32, "ooc_trsm.T");
-  detail::copy_h2d_retry(dev, tri.get(), host_block(t, j0, j0, w, w),
-                         streams.in, "h2d T", opts);
-  detail::sync_if(dev, opts);
-  Event tri_ready = dev.create_event();
-  dev.record_event(tri_ready, streams.in);
+  Event tri_ready =
+      pipe.stage_resident(tri.get(), host_block(t, j0, j0, w, w), "h2d T");
 
   const auto slabs = slab_partition(nrhs, std::max<index_t>(opts.blocksize, 1));
   const index_t max_w = max_slab_width(slabs);
-  const size_t b_slots = opts.staging_buffer ? 2 : 1;
+  const index_t b_slots = opts.staging_buffer ? 2 : 1;
   std::vector<ScopedMatrix> buf_b;
-  buf_b.reserve(b_slots);
-  for (size_t i = 0; i < b_slots; ++i) {
+  buf_b.reserve(static_cast<size_t>(b_slots));
+  for (index_t i = 0; i < b_slots; ++i) {
     buf_b.emplace_back(dev, w, max_w, StoragePrecision::FP32, "ooc_trsm.B");
   }
 
-  std::vector<Event> out_done(slabs.size());
-  std::vector<Event> solve_done(slabs.size());
-  for (size_t s = 0; s < slabs.size(); ++s) {
-    const Slab slab = slabs[s];
-    const DeviceMatrix& bbuf = buf_b[s % b_slots].get();
-    detail::count_slab_prefetch(s >= b_slots);
-    if (s >= b_slots) dev.wait_event(streams.in, out_done[s - b_slots]);
-    detail::copy_h2d_retry(dev, DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
-                           host_block(b_in, j0, slab.offset, w, slab.width),
-                           streams.in, "h2d B[" + std::to_string(s) + "]",
-                           opts);
-    detail::sync_if(dev, opts);
-    Event moved_in = dev.create_event();
-    dev.record_event(moved_in, streams.in);
+  const Device::TrsmKind device_kind =
+      kind == TriSolveKind::LowerUnit   ? Device::TrsmKind::LeftLowerUnit
+      : kind == TriSolveKind::UpperTrans ? Device::TrsmKind::LeftUpperTrans
+                                         : Device::TrsmKind::LeftUpper;
 
-    dev.wait_event(streams.comp, moved_in);
-    if (s == 0) dev.wait_event(streams.comp, tri_ready);
-    const Device::TrsmKind device_kind =
-        kind == TriSolveKind::LowerUnit   ? Device::TrsmKind::LeftLowerUnit
-        : kind == TriSolveKind::UpperTrans ? Device::TrsmKind::LeftUpperTrans
-                                           : Device::TrsmKind::LeftUpper;
-    dev.trsm(device_kind, tri.get(),
-             DeviceMatrixRef(bbuf, 0, 0, w, slab.width), opts.precision,
-             streams.comp, "trsm[" + std::to_string(s) + "]");
-    detail::sync_if(dev, opts);
-    solve_done[s] = dev.create_event();
-    dev.record_event(solve_done[s], streams.comp);
+  SlabPlan plan;
+  plan.label = "ooc_trsm.base";
+  plan.steps = static_cast<index_t>(slabs.size());
+  plan.input_slots = 0; // B streams into the output working pair directly
+  plan.output_fence = OutputFence::MoveInCounted;
+  plan.output_slots = b_slots;
+  plan.resident_ready = {tri_ready};
+  plan.move_in = [&](MoveInCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const DeviceMatrix& bbuf = buf_b[static_cast<size_t>(s % b_slots)].get();
+    ctx.h2d(DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
+            host_block(b_in, j0, slab.offset, w, slab.width),
+            "h2d B[" + std::to_string(s) + "]");
+  };
+  plan.compute = [&](ComputeCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const DeviceMatrix& bbuf = buf_b[static_cast<size_t>(s % b_slots)].get();
+    ctx.trsm(device_kind, tri.get(), DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
+             "trsm[" + std::to_string(s) + "]");
+  };
+  plan.move_out = [&](MoveOutCtx& ctx, index_t s) {
+    const Slab slab = slabs[static_cast<size_t>(s)];
+    const DeviceMatrix& bbuf = buf_b[static_cast<size_t>(s % b_slots)].get();
+    ctx.d2h(host_block(b_out, j0, slab.offset, w, slab.width),
+            DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
+            "d2h X[" + std::to_string(s) + "]");
+  };
 
-    dev.wait_event(streams.out, solve_done[s]);
-    detail::copy_d2h_retry(dev,
-                           host_block(b_out, j0, slab.offset, w, slab.width),
-                           DeviceMatrixRef(bbuf, 0, 0, w, slab.width),
-                           streams.out, "d2h X[" + std::to_string(s) + "]",
-                           opts);
-    detail::sync_if(dev, opts);
-    out_done[s] = dev.create_event();
-    dev.record_event(out_done[s], streams.out);
-  }
+  SlabRunResult run = pipe.run(plan);
 
   for (auto& buf : buf_b) buf.reset();
   tri.reset();
-  return out_done.back();
+  return run.out_done.back();
 }
 
 /// Each base-case node degrades independently on OOM (the recursion's panel
@@ -170,6 +165,7 @@ Event trsm_recurse(Device& dev, TriSolveKind kind, HostConstRef t,
 OocGemmStats ooc_trsm(Device& dev, TriSolveKind kind, HostConstRef t,
                       HostConstRef b_in, HostMutRef b_out,
                       const OocGemmOptions& opts) {
+  opts.validate();
   ROCQR_CHECK(t.rows == t.cols, "ooc_trsm: triangle must be square");
   ROCQR_CHECK(b_in.rows == t.rows && b_out.rows == t.rows &&
                   b_in.cols == b_out.cols,

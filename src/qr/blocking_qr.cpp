@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
@@ -23,7 +24,6 @@ using sim::Event;
 using sim::HostMutRef;
 using sim::ScopedMatrix;
 using sim::StoragePrecision;
-using sim::Stream;
 
 QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                         const QrOptions& opts) {
@@ -37,9 +37,7 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
   const size_t window = dev.trace().size();
   sim::TraceSpan qr_span(dev, "blocking_qr");
   detail::HostWriteTracker tracker(n);
-  Stream pan_in = dev.create_stream();
-  Stream comp = dev.create_stream();
-  Stream pan_out = dev.create_stream();
+  ooc::SlabPipeline pipe(dev, detail::gemm_options(opts));
 
   // Each panel iteration is one checkpoint/resume unit: a resumed run skips
   // the first opts.resume_units iterations entirely (their Q columns and R
@@ -56,32 +54,32 @@ QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
     // 1. Panel move-in. With the QR-level optimization, row chunks start as
     // soon as the previous trailing update's matching move-outs complete.
     ScopedMatrix panel(dev, m, w, StoragePrecision::FP32, "qr.panel");
-    detail::move_in_panel(dev, panel.get(),
-                          ooc::host_block(sim::as_const(a), 0, j0, m, w),
-                          pan_in, tracker, j0, w, opts);
-    Event panel_in = dev.create_event();
-    dev.record_event(panel_in, pan_in);
+    ooc::TaskPlan stage;
+    stage.move_in = [&](ooc::MoveInCtx& ctx) {
+      detail::move_in_panel(ctx, panel.get(),
+                            ooc::host_block(sim::as_const(a), 0, j0, m, w),
+                            tracker, j0, w, opts);
+    };
+    const Event panel_in = pipe.run_task(stage).moved_in;
 
-    // 2. In-core panel factorization (recursive CGS on the device).
-    ScopedMatrix r_dev(dev, w, w, StoragePrecision::FP32, "qr.Rii");
-    dev.wait_event(comp, panel_in);
-    panel_qr_device(dev, panel.get(), r_dev.get(), comp, opts);
-    Event panel_done = dev.create_event();
-    dev.record_event(panel_done, comp);
-
-    // 3. Move R_ii and the factored Q panel back. With the optimization on,
+    // 2. In-core panel factorization (recursive CGS on the device), then
+    // 3. move R_ii and the factored Q panel back. With the optimization on,
     // these move-outs overlap the trailing GEMMs' move-ins.
-    dev.wait_event(pan_out, panel_done);
-    ooc::detail::copy_d2h_retry(dev, ooc::host_block(r, j0, j0, w, w),
-                                sim::DeviceMatrixRef(r_dev.get()), pan_out,
-                                "d2h Rii", opts.transfer_max_attempts,
-                                opts.transfer_backoff_seconds);
-    ooc::detail::copy_d2h_retry(dev, ooc::host_block(a, 0, j0, m, w),
-                                sim::DeviceMatrixRef(panel.get()), pan_out,
-                                "d2h Q panel", opts.transfer_max_attempts,
-                                opts.transfer_backoff_seconds);
-    Event q_out = dev.create_event();
-    dev.record_event(q_out, pan_out);
+    ScopedMatrix r_dev(dev, w, w, StoragePrecision::FP32, "qr.Rii");
+    ooc::TaskPlan factor;
+    factor.compute_waits = {panel_in};
+    factor.compute = [&](ooc::ComputeCtx& ctx) {
+      panel_qr_device(dev, panel.get(), r_dev.get(), ctx.stream(), opts);
+    };
+    factor.move_out = [&](ooc::MoveOutCtx& ctx) {
+      ctx.d2h(ooc::host_block(r, j0, j0, w, w),
+              sim::DeviceMatrixRef(r_dev.get()), "d2h Rii");
+      ctx.d2h(ooc::host_block(a, 0, j0, m, w),
+              sim::DeviceMatrixRef(panel.get()), "d2h Q panel");
+    };
+    const ooc::TaskResult factored = pipe.run_task(factor);
+    const Event panel_done = factored.computed;
+    const Event q_out = factored.moved_out;
     tracker.record(ooc::Slab{j0, w}, q_out);
     if (!opts.qr_level_opt) dev.synchronize();
 

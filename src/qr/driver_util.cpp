@@ -11,10 +11,9 @@
 
 namespace rocqr::qr::detail {
 
-void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
-                   sim::HostConstRef a_cols, sim::Stream in,
-                   const HostWriteTracker& tracker, index_t j0, index_t w,
-                   const QrOptions& opts) {
+void move_in_panel(ooc::MoveInCtx& ctx, const sim::DeviceMatrix& panel,
+                   sim::HostConstRef a_cols, const HostWriteTracker& tracker,
+                   index_t j0, index_t w, const QrOptions& opts) {
   ROCQR_CHECK(panel.rows() == a_cols.rows && panel.cols() == w &&
                   a_cols.cols == w,
               "move_in_panel: shape mismatch");
@@ -39,12 +38,10 @@ void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
       }
       if (covered == m) {
         for (const auto& [offset, slot] : rows) {
-          for (const sim::Event& e : slot.second) dev.wait_event(in, e);
-          ooc::detail::copy_h2d_retry(
-              dev, sim::DeviceMatrixRef(panel, offset, 0, slot.first, w),
-              ooc::host_block(a_cols, offset, 0, slot.first, w), in,
-              "h2d panel rows " + std::to_string(offset),
-              opts.transfer_max_attempts, opts.transfer_backoff_seconds);
+          for (const sim::Event& e : slot.second) ctx.wait(e);
+          ctx.h2d(sim::DeviceMatrixRef(panel, offset, 0, slot.first, w),
+                  ooc::host_block(a_cols, offset, 0, slot.first, w),
+                  "h2d panel rows " + std::to_string(offset));
         }
         return;
       }
@@ -52,11 +49,9 @@ void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
   }
 
   for (const sim::Event& e : tracker.events_for(j0, w)) {
-    dev.wait_event(in, e);
+    ctx.wait(e);
   }
-  ooc::detail::copy_h2d_retry(dev, sim::DeviceMatrixRef(panel), a_cols, in,
-                              "h2d panel", opts.transfer_max_attempts,
-                              opts.transfer_backoff_seconds);
+  ctx.h2d(sim::DeviceMatrixRef(panel), a_cols, "h2d panel");
 }
 
 ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
@@ -108,9 +103,7 @@ void maybe_checkpoint(sim::Device& dev, const char* driver,
     }
   }
   opts.checkpoint_sink->write(cp);
-  static telemetry::Counter* written =
-      &telemetry::MetricsRegistry::global().counter("checkpoints_written");
-  written->increment();
+  telemetry::MetricsRegistry::global().counter("checkpoints_written").increment();
 }
 
 index_t plan_tile_edge(const sim::Device& dev, bytes_t resident_bytes,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "ooc/gemm_engines.hpp"
+#include "ooc/pipeline.hpp"
 #include "qr/checkpoint.hpp"
 #include "qr/host_tracker.hpp"
 #include "qr/options.hpp"
@@ -12,7 +13,8 @@
 namespace rocqr::qr::detail {
 
 /// Moves the host panel columns `a_cols` (m x w) into the device matrix
-/// `panel`, enqueued on `in`. Transfers retry per opts (docs/FAULTS.md).
+/// `panel` through the pipeline's move-in stage (which supplies transfer
+/// retry per opts — docs/FAULTS.md).
 ///
 /// With opts.qr_level_opt and per-row-slab completion events available from
 /// the previous trailing update, each row chunk of the panel waits only on
@@ -20,10 +22,9 @@ namespace rocqr::qr::detail {
 /// overlaps the tail of the update's move-out (§4.2, "the last move-out
 /// operation can be overlapped by moving in the first few columns of the
 /// panel"). Otherwise a coarse wait on all writers of those columns is used.
-void move_in_panel(sim::Device& dev, const sim::DeviceMatrix& panel,
-                   sim::HostConstRef a_cols, sim::Stream in,
-                   const HostWriteTracker& tracker, index_t j0, index_t w,
-                   const QrOptions& opts);
+void move_in_panel(ooc::MoveInCtx& ctx, const sim::DeviceMatrix& panel,
+                   sim::HostConstRef a_cols, const HostWriteTracker& tracker,
+                   index_t j0, index_t w, const QrOptions& opts);
 
 /// Builds the per-call OOC GEMM options from the QR options (including the
 /// fault-tolerance knobs, which pass through unchanged).

@@ -6,6 +6,7 @@
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "ooc/slab_schedule.hpp"
 #include "qr/driver_util.hpp"
@@ -17,13 +18,11 @@ namespace rocqr::qr {
 
 using blas::Op;
 using sim::Device;
-using sim::DeviceMatrix;
 using sim::DeviceMatrixRef;
 using sim::Event;
 using sim::HostMutRef;
 using sim::ScopedMatrix;
 using sim::StoragePrecision;
-using sim::Stream;
 
 QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
                             const QrOptions& opts) {
@@ -37,9 +36,7 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
 
   const size_t window = dev.trace().size();
   sim::TraceSpan qr_span(dev, "left_looking_qr");
-  Stream in = dev.create_stream();
-  Stream comp = dev.create_stream();
-  Stream out = dev.create_stream();
+  ooc::SlabPipeline pipe(dev, detail::gemm_options(opts));
 
   const auto panels = ooc::slab_partition(n, b);
   std::vector<Event> q_on_host(panels.size());
@@ -61,12 +58,11 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
   // were restored onto the host, but its q_on_host event must still exist
   // (recorded on an idle stream) so later panels' projections can wait on it.
   index_t units = 0;
-  std::vector<Event> proj_done; // per streamed panel, guards buffer reuse
+  size_t proj_count = 0; // projections enqueued so far, across all panels
   for (size_t i = 0; i < panels.size(); ++i) {
     const ooc::Slab panel = panels[i];
     if (units < opts.resume_units) {
-      q_on_host[i] = dev.create_event();
-      dev.record_event(q_on_host[i], in);
+      q_on_host[i] = pipe.record_input_marker();
       ++units;
       continue;
     }
@@ -74,80 +70,79 @@ QrStats left_looking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
     // The panel's columns are still ORIGINAL data (left-looking writes each
     // column block exactly once), so the move-in has no dependencies.
     ScopedMatrix p(dev, m, panel.width, StoragePrecision::FP32, "llqr.panel");
-    ooc::detail::copy_h2d_retry(
-        dev, sim::DeviceMatrixRef(p.get()),
-        ooc::host_block(sim::as_const(a), 0, panel.offset, m, panel.width),
-        in, "h2d panel " + std::to_string(i), opts.transfer_max_attempts,
-        opts.transfer_backoff_seconds);
-    Event p_in = dev.create_event();
-    dev.record_event(p_in, in);
-    dev.wait_event(comp, p_in);
+    ooc::TaskPlan stage;
+    stage.move_in = [&](ooc::MoveInCtx& ctx) {
+      ctx.h2d(sim::DeviceMatrixRef(p.get()),
+              ooc::host_block(sim::as_const(a), 0, panel.offset, m,
+                              panel.width),
+              "h2d panel " + std::to_string(i));
+    };
+    const Event p_in = pipe.run_task(stage).moved_in;
 
-    // Lazy application of every previous panel's projection.
-    Event r_blk_drained{}; // last d2h of the shared R-block scratch
-    for (size_t j = 0; j < i; ++j) {
-      const ooc::Slab prev = panels[j];
-      const size_t slot = proj_done.size() % static_cast<size_t>(depth);
-      if (proj_done.size() >= static_cast<size_t>(depth)) {
-        dev.wait_event(in,
-                       proj_done[proj_done.size() - static_cast<size_t>(depth)]);
-      }
-      dev.wait_event(in, q_on_host[j]); // Q_j must have landed on the host
-      ooc::detail::copy_h2d_retry(
-          dev, DeviceMatrixRef(buf_q[slot].get(), 0, 0, m, prev.width),
-          ooc::host_block(sim::as_const(a), 0, prev.offset, m, prev.width),
-          in, "h2d Q" + std::to_string(j), opts.transfer_max_attempts,
-          opts.transfer_backoff_seconds);
-      Event q_in = dev.create_event();
-      dev.record_event(q_in, in);
-      dev.wait_event(comp, q_in);
-
-      // R(j, i) = Q_jᵀ P ; P -= Q_j R(j, i) — the skinny GEMM pair. The
-      // shared R scratch must have drained to the host first.
-      if (r_blk_drained.valid()) dev.wait_event(comp, r_blk_drained);
-      const DeviceMatrixRef q_ref(buf_q[slot].get(), 0, 0, m, prev.width);
-      const DeviceMatrixRef r_ref(r_blk.get(), 0, 0, prev.width, panel.width);
-      const ooc::OocGemmOptions g_opts = detail::gemm_options(opts);
-      ooc::detail::checked_gemm(dev, g_opts, Op::Trans, Op::NoTrans, 1.0f,
-                                q_ref, DeviceMatrixRef(p.get()), 0.0f, r_ref,
-                                comp, "proj R");
-      ooc::detail::checked_gemm(dev, g_opts, Op::NoTrans, Op::NoTrans, -1.0f,
-                                q_ref, r_ref, 1.0f, DeviceMatrixRef(p.get()),
-                                comp, "proj update");
-      Event g = dev.create_event();
-      dev.record_event(g, comp);
-      proj_done.push_back(g);
-
-      dev.wait_event(out, g);
-      ooc::detail::copy_d2h_retry(
-          dev,
-          ooc::host_block(r, prev.offset, panel.offset, prev.width,
-                          panel.width),
-          r_ref, out, "d2h R block", opts.transfer_max_attempts,
-          opts.transfer_backoff_seconds);
-      r_blk_drained = dev.create_event();
-      dev.record_event(r_blk_drained, out);
+    // Lazy application of every previous panel's projection: one slab step
+    // per already-factored panel. The streamed-Q pool fence spans panels
+    // through the pipeline's global compute history, so the double buffer
+    // rotates exactly as one long loop; the shared R scratch drains behind
+    // a single-slot compute fence before the next step's beta=0 GEMM.
+    if (i > 0) {
+      ooc::SlabPlan proj;
+      proj.label = "llqr.proj";
+      proj.steps = static_cast<index_t>(i);
+      proj.input_slots = depth;
+      proj.count_prefetch = false; // the Q ring is not a prefetch pool
+      proj.output_fence = ooc::OutputFence::Compute;
+      proj.output_slots = 1;
+      proj.resident_ready = {p_in};
+      proj.move_in = [&](ooc::MoveInCtx& ctx, index_t s) {
+        const size_t j = static_cast<size_t>(s);
+        const ooc::Slab prev = panels[j];
+        const size_t slot = (proj_count + j) % static_cast<size_t>(depth);
+        ctx.wait(q_on_host[j]); // Q_j must have landed on the host
+        ctx.h2d(DeviceMatrixRef(buf_q[slot].get(), 0, 0, m, prev.width),
+                ooc::host_block(sim::as_const(a), 0, prev.offset, m,
+                                prev.width),
+                "h2d Q" + std::to_string(j));
+      };
+      proj.compute = [&](ooc::ComputeCtx& ctx, index_t s) {
+        const size_t j = static_cast<size_t>(s);
+        const ooc::Slab prev = panels[j];
+        const size_t slot = (proj_count + j) % static_cast<size_t>(depth);
+        // R(j, i) = Q_jᵀ P ; P -= Q_j R(j, i) — the skinny GEMM pair.
+        const DeviceMatrixRef q_ref(buf_q[slot].get(), 0, 0, m, prev.width);
+        const DeviceMatrixRef r_ref(r_blk.get(), 0, 0, prev.width,
+                                    panel.width);
+        ctx.gemm(Op::Trans, Op::NoTrans, 1.0f, q_ref,
+                 DeviceMatrixRef(p.get()), 0.0f, r_ref, "proj R");
+        ctx.gemm(Op::NoTrans, Op::NoTrans, -1.0f, q_ref, r_ref, 1.0f,
+                 DeviceMatrixRef(p.get()), "proj update");
+      };
+      proj.move_out = [&](ooc::MoveOutCtx& ctx, index_t s) {
+        const ooc::Slab prev = panels[static_cast<size_t>(s)];
+        ctx.d2h(ooc::host_block(r, prev.offset, panel.offset, prev.width,
+                                panel.width),
+                DeviceMatrixRef(r_blk.get(), 0, 0, prev.width, panel.width),
+                "d2h R block");
+      };
+      pipe.run(proj);
+      proj_count += i;
     }
 
     // In-core factorization of the fully projected panel.
     ScopedMatrix rii(dev, panel.width, panel.width, StoragePrecision::FP32,
                      "llqr.Rii");
-    panel_qr_device(dev, p.get(), rii.get(), comp, opts);
-    Event factored = dev.create_event();
-    dev.record_event(factored, comp);
-    dev.wait_event(out, factored);
-    ooc::detail::copy_d2h_retry(
-        dev,
-        ooc::host_block(r, panel.offset, panel.offset, panel.width,
-                        panel.width),
-        sim::DeviceMatrixRef(rii.get()), out, "d2h Rii",
-        opts.transfer_max_attempts, opts.transfer_backoff_seconds);
-    ooc::detail::copy_d2h_retry(
-        dev, ooc::host_block(a, 0, panel.offset, m, panel.width),
-        sim::DeviceMatrixRef(p.get()), out, "d2h Q panel",
-        opts.transfer_max_attempts, opts.transfer_backoff_seconds);
-    q_on_host[i] = dev.create_event();
-    dev.record_event(q_on_host[i], out);
+    ooc::TaskPlan factor;
+    factor.compute_waits = {p_in};
+    factor.compute = [&](ooc::ComputeCtx& ctx) {
+      panel_qr_device(dev, p.get(), rii.get(), ctx.stream(), opts);
+    };
+    factor.move_out = [&](ooc::MoveOutCtx& ctx) {
+      ctx.d2h(ooc::host_block(r, panel.offset, panel.offset, panel.width,
+                              panel.width),
+              sim::DeviceMatrixRef(rii.get()), "d2h Rii");
+      ctx.d2h(ooc::host_block(a, 0, panel.offset, m, panel.width),
+              sim::DeviceMatrixRef(p.get()), "d2h Q panel");
+    };
+    q_on_host[i] = pipe.run_task(factor).moved_out;
 
     p.reset();
     rii.reset();

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
+#include "ooc/pipeline.hpp"
 #include "ooc/resilience.hpp"
 #include "qr/driver_util.hpp"
 #include "qr/host_tracker.hpp"
@@ -23,7 +24,6 @@ using sim::Event;
 using sim::HostMutRef;
 using sim::ScopedMatrix;
 using sim::StoragePrecision;
-using sim::Stream;
 
 namespace {
 
@@ -33,9 +33,7 @@ struct DriverState {
   HostMutRef r;
   const QrOptions& opts;
   detail::HostWriteTracker tracker;
-  Stream pan_in;
-  Stream comp;
-  Stream pan_out;
+  ooc::SlabPipeline& pipe;
   // Checkpoint/resume bookkeeping. A "unit" is a recursion leaf (streamed
   // panel or resident subtree); the schedule visits leaves left to right and
   // every node-level update sits at a fixed position in that sequence, so a
@@ -64,29 +62,27 @@ void factor_panel(DriverState& st, index_t j0, index_t w) {
   const index_t m = st.a.rows;
 
   ScopedMatrix panel(dev, m, w, StoragePrecision::FP32, "rqr.panel");
-  detail::move_in_panel(dev, panel.get(),
-                        ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
-                        st.pan_in, st.tracker, j0, w, st.opts);
-  Event panel_in = dev.create_event();
-  dev.record_event(panel_in, st.pan_in);
+  ooc::TaskPlan stage;
+  stage.move_in = [&](ooc::MoveInCtx& ctx) {
+    detail::move_in_panel(ctx, panel.get(),
+                          ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
+                          st.tracker, j0, w, st.opts);
+  };
+  const Event panel_in = st.pipe.run_task(stage).moved_in;
 
   ScopedMatrix r_dev(dev, w, w, StoragePrecision::FP32, "rqr.Rii");
-  dev.wait_event(st.comp, panel_in);
-  panel_qr_device(dev, panel.get(), r_dev.get(), st.comp, st.opts);
-  Event panel_done = dev.create_event();
-  dev.record_event(panel_done, st.comp);
-
-  dev.wait_event(st.pan_out, panel_done);
-  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.r, j0, j0, w, w),
-                              sim::DeviceMatrixRef(r_dev.get()), st.pan_out,
-                              "d2h Rii", st.opts.transfer_max_attempts,
-                              st.opts.transfer_backoff_seconds);
-  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.a, 0, j0, m, w),
-                              sim::DeviceMatrixRef(panel.get()), st.pan_out,
-                              "d2h Q panel", st.opts.transfer_max_attempts,
-                              st.opts.transfer_backoff_seconds);
-  Event q_out = dev.create_event();
-  dev.record_event(q_out, st.pan_out);
+  ooc::TaskPlan factor;
+  factor.compute_waits = {panel_in};
+  factor.compute = [&](ooc::ComputeCtx& ctx) {
+    panel_qr_device(dev, panel.get(), r_dev.get(), ctx.stream(), st.opts);
+  };
+  factor.move_out = [&](ooc::MoveOutCtx& ctx) {
+    ctx.d2h(ooc::host_block(st.r, j0, j0, w, w),
+            sim::DeviceMatrixRef(r_dev.get()), "d2h Rii");
+    ctx.d2h(ooc::host_block(st.a, 0, j0, m, w),
+            sim::DeviceMatrixRef(panel.get()), "d2h Q panel");
+  };
+  const Event q_out = st.pipe.run_task(factor).moved_out;
   st.tracker.record(ooc::Slab{j0, w}, q_out);
   if (!st.opts.qr_level_opt) dev.synchronize();
 
@@ -197,52 +193,41 @@ bool plan_resident_subtree(const DriverState& st, index_t w) {
 
 /// On-device recursion over the resident block's columns [c0, c0+wl):
 /// panels factor in place, level GEMMs stay on the device, R blocks stream
-/// out as they are produced.
-void device_recurse(DriverState& st, const DeviceMatrix& block, index_t j0,
-                    index_t c0, index_t wl) {
+/// out as they are produced (ctx.emit drains them while compute continues).
+void device_recurse(DriverState& st, ooc::ComputeCtx& ctx,
+                    const DeviceMatrix& block, index_t j0, index_t c0,
+                    index_t wl) {
   Device& dev = st.dev;
   const index_t m = st.a.rows;
   const index_t b = st.opts.blocksize;
   const index_t panels = (wl + b - 1) / b;
-  const ooc::OocGemmOptions gdev = detail::gemm_options(st.opts);
   if (panels <= 1) {
     ScopedMatrix rii(dev, wl, wl, StoragePrecision::FP32, "rqr.res.Rii");
     panel_qr_device(dev, sim::DeviceMatrixRef(block, 0, c0, m, wl),
-                    sim::DeviceMatrixRef(rii.get()), st.comp, st.opts);
-    Event done = dev.create_event();
-    dev.record_event(done, st.comp);
-    dev.wait_event(st.pan_out, done);
-    ooc::detail::copy_d2h_retry(
-        dev, ooc::host_block(st.r, j0 + c0, j0 + c0, wl, wl),
-        sim::DeviceMatrixRef(rii.get()), st.pan_out, "d2h Rii",
-        st.opts.transfer_max_attempts, st.opts.transfer_backoff_seconds);
+                    sim::DeviceMatrixRef(rii.get()), ctx.stream(), st.opts);
+    ctx.emit(ooc::host_block(st.r, j0 + c0, j0 + c0, wl, wl),
+             sim::DeviceMatrixRef(rii.get()), "d2h Rii");
     return;
   }
   const index_t h = (panels / 2) * b;
   const index_t rest = wl - h;
-  device_recurse(st, block, j0, c0, h);
+  device_recurse(st, ctx, block, j0, c0, h);
 
   ScopedMatrix r12(dev, h, rest, StoragePrecision::FP32, "rqr.res.R12");
-  ooc::detail::checked_gemm(dev, gdev, blas::Op::Trans, blas::Op::NoTrans,
-                            1.0f, sim::DeviceMatrixRef(block, 0, c0, m, h),
-                            sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
-                            0.0f, sim::DeviceMatrixRef(r12.get()), st.comp,
-                            "resident R12");
-  Event r12_done = dev.create_event();
-  dev.record_event(r12_done, st.comp);
-  dev.wait_event(st.pan_out, r12_done);
-  ooc::detail::copy_d2h_retry(
-      dev, ooc::host_block(st.r, j0 + c0, j0 + c0 + h, h, rest),
-      sim::DeviceMatrixRef(r12.get()), st.pan_out, "d2h R12",
-      st.opts.transfer_max_attempts, st.opts.transfer_backoff_seconds);
-  ooc::detail::checked_gemm(dev, gdev, blas::Op::NoTrans, blas::Op::NoTrans,
-                            -1.0f, sim::DeviceMatrixRef(block, 0, c0, m, h),
-                            sim::DeviceMatrixRef(r12.get()), 1.0f,
-                            sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
-                            st.comp, "resident update");
+  ctx.gemm(blas::Op::Trans, blas::Op::NoTrans, 1.0f,
+           sim::DeviceMatrixRef(block, 0, c0, m, h),
+           sim::DeviceMatrixRef(block, 0, c0 + h, m, rest), 0.0f,
+           sim::DeviceMatrixRef(r12.get()), "resident R12");
+  ctx.emit(ooc::host_block(st.r, j0 + c0, j0 + c0 + h, h, rest),
+           sim::DeviceMatrixRef(r12.get()), "d2h R12");
+  ctx.gemm(blas::Op::NoTrans, blas::Op::NoTrans, -1.0f,
+           sim::DeviceMatrixRef(block, 0, c0, m, h),
+           sim::DeviceMatrixRef(r12.get()), 1.0f,
+           sim::DeviceMatrixRef(block, 0, c0 + h, m, rest),
+           "resident update");
   r12.reset();
 
-  device_recurse(st, block, j0, c0 + h, rest);
+  device_recurse(st, ctx, block, j0, c0 + h, rest);
 }
 
 /// Factors columns [j0, j0+w) entirely on the device: one move-in, the full
@@ -256,24 +241,24 @@ void factor_resident_subtree(DriverState& st, index_t j0, index_t w) {
   sim::TraceSpan span(dev, "resident_subtree j0=" + std::to_string(j0));
   const index_t m = st.a.rows;
   ScopedMatrix block(dev, m, w, StoragePrecision::FP32, "rqr.subtree");
-  detail::move_in_panel(dev, block.get(),
-                        ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
-                        st.pan_in, st.tracker, j0, w, st.opts);
-  Event moved_in = dev.create_event();
-  dev.record_event(moved_in, st.pan_in);
-  dev.wait_event(st.comp, moved_in);
+  ooc::TaskPlan stage;
+  stage.move_in = [&](ooc::MoveInCtx& ctx) {
+    detail::move_in_panel(ctx, block.get(),
+                          ooc::host_block(sim::as_const(st.a), 0, j0, m, w),
+                          st.tracker, j0, w, st.opts);
+  };
+  const Event moved_in = st.pipe.run_task(stage).moved_in;
 
-  device_recurse(st, block.get(), j0, 0, w);
-
-  Event factored = dev.create_event();
-  dev.record_event(factored, st.comp);
-  dev.wait_event(st.pan_out, factored);
-  ooc::detail::copy_d2h_retry(dev, ooc::host_block(st.a, 0, j0, m, w),
-                              sim::DeviceMatrixRef(block.get()), st.pan_out,
-                              "d2h Q subtree", st.opts.transfer_max_attempts,
-                              st.opts.transfer_backoff_seconds);
-  Event q_out = dev.create_event();
-  dev.record_event(q_out, st.pan_out);
+  ooc::TaskPlan factor;
+  factor.compute_waits = {moved_in};
+  factor.compute = [&](ooc::ComputeCtx& ctx) {
+    device_recurse(st, ctx, block.get(), j0, 0, w);
+  };
+  factor.move_out = [&](ooc::MoveOutCtx& ctx) {
+    ctx.d2h(ooc::host_block(st.a, 0, j0, m, w),
+            sim::DeviceMatrixRef(block.get()), "d2h Q subtree");
+  };
+  const Event q_out = st.pipe.run_task(factor).moved_out;
   st.tracker.record(ooc::Slab{j0, w}, q_out);
   block.reset();
 
@@ -385,14 +370,8 @@ QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
 
   const size_t window = dev.trace().size();
   sim::TraceSpan qr_span(dev, "recursive_qr");
-  DriverState st{dev,
-                 a,
-                 r,
-                 opts,
-                 detail::HostWriteTracker(n),
-                 dev.create_stream(),
-                 dev.create_stream(),
-                 dev.create_stream()};
+  ooc::SlabPipeline pipe(dev, detail::gemm_options(opts));
+  DriverState st{dev, a, r, opts, detail::HostWriteTracker(n), pipe};
   st.skip_units = opts.resume_units;
   recurse(st, 0, n);
   dev.synchronize();

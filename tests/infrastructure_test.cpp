@@ -95,7 +95,6 @@ TEST(HostWriteTracker, RejectsOutOfBounds) {
 TEST(MoveInPanel, ChunksByRowRegionsWhenCovered) {
   Device dev(tiny_spec(), ExecutionMode::Phantom);
   sim::Stream writer = dev.create_stream();
-  sim::Stream in = dev.create_stream();
   const index_t m = 64;
   const index_t w = 8;
 
@@ -115,9 +114,13 @@ TEST(MoveInPanel, ChunksByRowRegionsWhenCovered) {
   auto panel = dev.allocate(m, w);
   qr::QrOptions fine;
   fine.qr_level_opt = true; // fine-grained chunking by tracked row regions
-  qr::detail::move_in_panel(dev, panel,
-                            sim::HostConstRef::phantom(m, w), in, tracker, 0,
-                            w, fine);
+  ooc::SlabPipeline pipe(dev, qr::detail::gemm_options(fine));
+  ooc::TaskPlan stage;
+  stage.move_in = [&](ooc::MoveInCtx& ctx) {
+    qr::detail::move_in_panel(ctx, panel, sim::HostConstRef::phantom(m, w),
+                              tracker, 0, w, fine);
+  };
+  pipe.run_task(stage);
   dev.synchronize();
   // Two chunked copies; the first starts right after the early event (t=1),
   // well before the late event (t=10).
@@ -142,11 +145,15 @@ TEST(MoveInPanel, ChunksByRowRegionsWhenCovered) {
   HostWriteTracker tracker2(32);
   tracker2.record(ooc::Slab{0, 32}, done);
   auto panel2 = dev2.allocate(m, w);
-  sim::Stream in2 = dev2.create_stream();
   qr::QrOptions coarse;
   coarse.qr_level_opt = false; // coarse: one copy waiting on everything
-  qr::detail::move_in_panel(dev2, panel2, sim::HostConstRef::phantom(m, w),
-                            in2, tracker2, 0, w, coarse);
+  ooc::SlabPipeline pipe2(dev2, qr::detail::gemm_options(coarse));
+  ooc::TaskPlan stage2;
+  stage2.move_in = [&](ooc::MoveInCtx& ctx) {
+    qr::detail::move_in_panel(ctx, panel2, sim::HostConstRef::phantom(m, w),
+                              tracker2, 0, w, coarse);
+  };
+  pipe2.run_task(stage2);
   for (const auto& e : dev2.trace().events()) {
     if (e.kind == sim::OpKind::CopyH2D) {
       EXPECT_GE(e.start, 5.0);

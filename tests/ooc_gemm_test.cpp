@@ -10,6 +10,7 @@
 
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "la/generate.hpp"
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
@@ -166,6 +167,32 @@ TEST(InnerRecursive, AsyncBeatsSynchronous) {
   // Table 1 anchors: ~18.2 s sync, ~12.9 s async (±15%).
   EXPECT_NEAR(sync, 18.183, 18.183 * 0.15);
   EXPECT_NEAR(async, 12.932, 12.932 * 0.15);
+}
+
+TEST(PrefetchCounters, ResolveThroughRegistryAfterReset) {
+  // Regression: count_slab_prefetch used to cache Counter* in function-local
+  // statics. A MetricsRegistry reset between runs then left later engines
+  // incrementing through the stale pointers while fresh registry lookups (a
+  // snapshot, a new exporter) saw different objects. The counters must be
+  // re-resolved per call so a run after reset() accounts from zero.
+  auto& reg = telemetry::MetricsRegistry::global();
+  const auto run_engine = [&]() {
+    Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+    OocGemmOptions opts;
+    opts.blocksize = 256;
+    opts.pipeline_depth = 2;
+    // m = 4 slabs of 256: the first `depth` steps miss, the rest hit.
+    inner_product_recursive(
+        dev, Operand::on_host(sim::HostConstRef::phantom(1024, 64)),
+        Operand::on_host(sim::HostConstRef::phantom(1024, 32)),
+        sim::HostMutRef::phantom(64, 32), opts);
+    dev.synchronize();
+  };
+  run_engine(); // interns the counters with some nonzero value
+  reg.reset();
+  run_engine();
+  EXPECT_EQ(reg.counter("ooc.slab_prefetch_misses").value(), 2);
+  EXPECT_EQ(reg.counter("ooc.slab_prefetch_hits").value(), 2);
 }
 
 class InnerBlockingTest

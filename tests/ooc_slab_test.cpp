@@ -91,5 +91,47 @@ TEST(SlabSchedule, RejectsBadArguments) {
   EXPECT_THROW(slab_partition(16, 8, true, 16), rocqr::InvalidArgument);
 }
 
+// --- Edge cases: every partition must tile [0, total) exactly ----------------
+
+TEST(SlabSchedule, EmptyTotalWithRampIsEmpty) {
+  EXPECT_TRUE(slab_partition(0, 16, true, 4).empty());
+  EXPECT_TRUE(slab_partition(0, 1).empty());
+}
+
+TEST(SlabSchedule, BlocksizeLargerThanTotal) {
+  const auto slabs = slab_partition(7, 4096);
+  ASSERT_EQ(slabs.size(), 1u);
+  EXPECT_EQ(slabs[0].offset, 0);
+  EXPECT_EQ(slabs[0].width, 7);
+  expect_contiguous(slabs);
+}
+
+TEST(SlabSchedule, RampStartAboveBlocksizeThrows) {
+  EXPECT_THROW(slab_partition(4096, 1024, true, 2048),
+               rocqr::InvalidArgument);
+}
+
+TEST(SlabSchedule, RampStartNotPowerOfTwoDivisor) {
+  // 3 doubles as 3, 6, 12, 24 and then clamps to the 20-wide blocksize:
+  // the schedule still tiles [0, total) with no gaps or overlap.
+  const auto slabs = slab_partition(100, 20, true, 3);
+  expect_contiguous(slabs);
+  EXPECT_EQ(total_width(slabs), 100);
+  EXPECT_EQ(slabs[0].width, 3);
+  EXPECT_EQ(slabs[1].width, 6);
+  EXPECT_EQ(slabs[2].width, 12);
+  EXPECT_EQ(slabs[3].width, 20); // min(24, blocksize)
+  EXPECT_EQ(max_slab_width(slabs), 20);
+}
+
+TEST(SlabSchedule, SingleSlabRamp) {
+  // Ramp worth of columns never reaches steady state: one truncated slab.
+  const auto slabs = slab_partition(2, 16, true, 4);
+  ASSERT_EQ(slabs.size(), 1u);
+  EXPECT_EQ(slabs[0].offset, 0);
+  EXPECT_EQ(slabs[0].width, 2);
+  expect_contiguous(slabs);
+}
+
 } // namespace
 } // namespace rocqr::ooc
