@@ -1,0 +1,110 @@
+// Multi-job QR service throughput on a phantom 4-device fleet
+// (docs/SERVING.md): scale the batch size and measure fleet makespan,
+// throughput and speedup over running the same jobs serially on one
+// device. The serial baseline is the sum of the admission predictions —
+// exact in Phantom mode — so the speedup isolates what the scheduler's
+// list dispatch buys, with no measurement noise.
+//
+// Writes the sweep as JSON (committed as BENCH_qr_service.json) to the
+// path given as argv[1], or ./BENCH_qr_service.json by default.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "report/table.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+struct SweepPoint {
+  int jobs = 0;
+  double serial_seconds = 0; ///< sum of single-job predictions
+  double makespan_seconds = 0;
+  double jobs_per_hour = 0;
+  double speedup = 0;
+};
+
+SweepPoint run_batch(int jobs, int devices) {
+  serve::ServeConfig cfg;
+  cfg.devices = devices;
+  serve::Scheduler sched(cfg);
+
+  const char* algos[] = {"recursive", "blocking", "left"};
+  double serial = 0;
+  for (int i = 0; i < jobs; ++i) {
+    serve::JobSpec job;
+    job.name = "job" + std::to_string(i);
+    job.m = 32768;
+    job.n = 32768;
+    job.algorithm = algos[i % 3];
+    job.blocksize = 4096;
+    job.priority = i % 4;
+    const serve::AdmissionDecision d = sched.submit(job);
+    if (!d.admitted) {
+      std::cerr << job.name << " rejected: " << d.reason << "\n";
+      std::exit(1);
+    }
+    serial += d.predicted_seconds;
+  }
+
+  const serve::FleetReport rep = sched.run();
+  SweepPoint p;
+  p.jobs = jobs;
+  p.serial_seconds = serial;
+  p.makespan_seconds = rep.makespan_seconds;
+  p.jobs_per_hour =
+      rep.makespan_seconds > 0 ? 3600.0 * jobs / rep.makespan_seconds : 0;
+  p.speedup =
+      rep.makespan_seconds > 0 ? serial / rep.makespan_seconds : 0;
+  return p;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_qr_service.json");
+  const int devices = 4;
+
+  bench::section(
+      "QR service throughput — 32768^2 jobs, b=4096, 4 phantom V100s");
+  report::Table t("", {"jobs", "serial (1 dev)", "fleet makespan",
+                       "jobs/hour", "speedup"});
+  std::vector<SweepPoint> sweep;
+  for (const int jobs : {1, 2, 4, 8, 16}) {
+    const SweepPoint p = run_batch(jobs, devices);
+    sweep.push_back(p);
+    t.add_row({std::to_string(p.jobs), bench::secs(p.serial_seconds),
+               bench::secs(p.makespan_seconds),
+               format_fixed(p.jobs_per_hour, 1),
+               format_fixed(p.speedup, 2) + "x"});
+  }
+  std::cout << t.render();
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"bench\": \"qr_service_throughput\",\n"
+     << "  \"device\": \"V100-PCIe-32GB (phantom, paper calibration)\",\n"
+     << "  \"devices\": " << devices << ",\n"
+     << "  \"job\": {\"m\": 32768, \"n\": 32768, \"blocksize\": 4096},\n"
+     << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "    {\"jobs\": " << p.jobs << ", \"serial_seconds\": "
+       << format_fixed(p.serial_seconds, 6) << ", \"makespan_seconds\": "
+       << format_fixed(p.makespan_seconds, 6) << ", \"jobs_per_hour\": "
+       << format_fixed(p.jobs_per_hour, 3) << ", \"speedup\": "
+       << format_fixed(p.speedup, 4) << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

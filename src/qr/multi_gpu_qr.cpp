@@ -21,17 +21,27 @@ using sim::Stream;
 
 namespace {
 
-/// Aggregates the trace windows of all participating devices into one
-/// QrStats: busy times and volumes add, the wall time is the global span.
+/// Summarizes each device's trace window and hands the per-device stats to
+/// the public aggregator.
 QrStats combine_stats(const std::vector<Device*>& devices,
                       const std::vector<size_t>& windows) {
+  std::vector<QrStats> per_device;
+  per_device.reserve(devices.size());
+  for (size_t d = 0; d < devices.size(); ++d) {
+    per_device.push_back(stats_from_trace(devices[d]->trace(), windows[d],
+                                          devices[d]->memory_peak()));
+  }
+  return combine_device_stats(per_device);
+}
+
+} // namespace
+
+QrStats combine_device_stats(const std::vector<QrStats>& per_device) {
   QrStats total;
   sim_time_t first = 0;
   sim_time_t last = 0;
   bool any = false;
-  for (size_t d = 0; d < devices.size(); ++d) {
-    const QrStats s = stats_from_trace(devices[d]->trace(), windows[d],
-                                       devices[d]->memory_peak());
+  for (const QrStats& s : per_device) {
     total.panel_seconds += s.panel_seconds;
     total.gemm_seconds += s.gemm_seconds;
     total.d2d_seconds += s.d2d_seconds;
@@ -46,6 +56,10 @@ QrStats combine_stats(const std::vector<Device*>& devices,
     total.events += s.events;
     total.peak_device_bytes =
         std::max(total.peak_device_bytes, s.peak_device_bytes);
+    // Empty windows carry first_start == last_end == 0, which is a default
+    // value, not a real interval: folding it into the span would pull
+    // first_start back to device construction time and report an inflated
+    // fleet makespan. They contribute sums (zeros) and peak bytes only.
     if (s.events == 0) continue;
     if (!any) {
       first = s.first_start;
@@ -61,8 +75,6 @@ QrStats combine_stats(const std::vector<Device*>& devices,
   total.total_seconds = any ? last - first : 0;
   return total;
 }
-
-} // namespace
 
 QrStats multi_gpu_blocking_qr(const std::vector<Device*>& devices,
                               HostMutRef a, HostMutRef r,

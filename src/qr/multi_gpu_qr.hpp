@@ -20,4 +20,14 @@ QrStats multi_gpu_blocking_qr(const std::vector<sim::Device*>& devices,
                               sim::HostMutRef a, sim::HostMutRef r,
                               const QrOptions& opts);
 
+/// Aggregates per-device trace-window stats into one fleet view: busy
+/// times, bytes, flops, panels and event counts sum; peak_device_bytes is
+/// the max. The wall clock [first_start, last_end] (and total_seconds, the
+/// fleet makespan) spans exactly the devices that recorded at least one
+/// event — an idle device's zero-initialized window must not drag
+/// first_start to 0 and inflate the makespan, but its sums (all zero) and
+/// its peak bytes still contribute. All windows empty => zero span. Used by
+/// multi_gpu_blocking_qr and the serve::Scheduler fleet report.
+QrStats combine_device_stats(const std::vector<QrStats>& per_device);
+
 } // namespace rocqr::qr

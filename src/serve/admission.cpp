@@ -1,0 +1,111 @@
+#include "serve/admission.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "qr/autotune.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/checkpoint.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::serve {
+
+namespace detail {
+
+qr::QrStats run_driver(sim::Device& dev, const std::string& algorithm,
+                       sim::HostMutRef a, sim::HostMutRef r,
+                       const qr::QrOptions& opts) {
+  if (algorithm == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
+  if (algorithm == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
+  if (algorithm == "left") return qr::left_looking_ooc_qr(dev, a, r, opts);
+  throw InvalidArgument("serve: unknown algorithm '" + algorithm +
+                        "' (expected recursive, blocking or left)");
+}
+
+bool known_algorithm(const std::string& algorithm) {
+  return algorithm == "recursive" || algorithm == "blocking" ||
+         algorithm == "left";
+}
+
+} // namespace detail
+
+namespace {
+
+/// The dry run mirrors the scheduler's checkpoint cadence but nobody reads
+/// the snapshots (phantom checkpoints are schedule-only anyway).
+class DiscardSink : public qr::CheckpointSink {
+ public:
+  void write(const qr::Checkpoint&) override {}
+};
+
+} // namespace
+
+AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
+  AdmissionDecision d;
+  if (job.m < job.n || job.n < 1) {
+    d.reason = "invalid shape " + format_shape(job.m, job.n) +
+               " (need m >= n >= 1)";
+    return d;
+  }
+  if (!detail::known_algorithm(job.algorithm)) {
+    d.reason = "unknown algorithm '" + job.algorithm +
+               "' (expected recursive, blocking or left)";
+    return d;
+  }
+
+  try {
+    // Base options of every dry run: the job's, minus any caller-provided
+    // checkpointing (the scheduler owns the sink) or resume state.
+    qr::QrOptions base = job.options;
+    base.precision = job.precision;
+    base.checkpoint_sink = nullptr;
+    base.resume_units = 0;
+
+    index_t b = job.blocksize;
+    if (b <= 0) {
+      b = qr::tune_blocksize(cfg.spec, job.m, job.n,
+                             job.algorithm == "recursive", base)
+              .best_blocksize;
+    }
+    d.blocksize = b;
+
+    sim::Device dev(cfg.spec, sim::ExecutionMode::Phantom);
+    if (cfg.paper_calibration) dev.model().install_paper_calibration();
+    DiscardSink sink;
+    qr::QrOptions opts = base;
+    opts.blocksize = b;
+    opts.checkpoint_sink = &sink;
+    opts.checkpoint_every = cfg.checkpoint_every;
+    auto a = sim::HostMutRef::phantom(job.m, job.n);
+    auto r = sim::HostMutRef::phantom(job.n, job.n);
+    const qr::QrStats stats =
+        detail::run_driver(dev, job.algorithm, a, r, opts);
+    d.predicted_seconds = stats.total_seconds;
+    d.predicted_peak_bytes = stats.peak_device_bytes;
+  } catch (const Error& e) {
+    // Autotune found no feasible blocksize, the explicit blocksize OOMed,
+    // or the options were invalid — all per-job rejections, not scheduler
+    // failures.
+    d.reason = e.what();
+    return d;
+  }
+
+  const auto budget = static_cast<bytes_t>(
+      cfg.memory_fraction * static_cast<double>(cfg.spec.memory_capacity));
+  if (d.predicted_peak_bytes > budget) {
+    d.reason = "predicted peak " + format_bytes(d.predicted_peak_bytes) +
+               " exceeds the admission budget " + format_bytes(budget) +
+               " on " + cfg.spec.name;
+    return d;
+  }
+  if (job.deadline_seconds > 0 && d.predicted_seconds > job.deadline_seconds) {
+    d.reason = "predicted runtime " + format_seconds(d.predicted_seconds) +
+               " misses the deadline " + format_seconds(job.deadline_seconds);
+    return d;
+  }
+  d.admitted = true;
+  return d;
+}
+
+} // namespace rocqr::serve

@@ -1,0 +1,50 @@
+// Phantom-mode admission control for the QR service (docs/SERVING.md).
+//
+// Admission is a dry run, not a heuristic: the candidate job is simulated
+// on a phantom replica of the fleet's device spec — through the exact
+// driver, blocksize and checkpoint cadence the scheduler would use — so the
+// predicted runtime and peak device bytes are the schedule the device would
+// execute, not an estimate. Jobs that cannot fit (every blocksize OOMs, or
+// the peak exceeds the configured memory fraction) or that already miss
+// their deadline are rejected with the reason in the decision.
+#pragma once
+
+#include <string>
+
+#include "serve/job.hpp"
+#include "sim/spec.hpp"
+
+namespace rocqr::serve {
+
+/// The slice of the scheduler configuration admission must mirror.
+struct AdmissionConfig {
+  sim::DeviceSpec spec;
+  /// Checkpoint cadence of the fleet's workers. The dry run installs the
+  /// same cadence because each checkpoint synchronizes the device, which is
+  /// part of the schedule being predicted.
+  index_t checkpoint_every = 1;
+  /// Admit only jobs whose predicted peak stays within this fraction of
+  /// device memory (head-room policy; 1.0 = anything that fits).
+  double memory_fraction = 1.0;
+  bool paper_calibration = true;
+};
+
+/// Decides admission for `job` (job_id is left for the scheduler to fill).
+/// Infeasible or malformed jobs come back rejected with a reason; this
+/// function does not throw for per-job problems.
+AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg);
+
+namespace detail {
+
+/// Dispatches to the OOC QR driver named by `algorithm` ("recursive",
+/// "blocking" or "left"); throws InvalidArgument for unknown names.
+qr::QrStats run_driver(sim::Device& dev, const std::string& algorithm,
+                       sim::HostMutRef a, sim::HostMutRef r,
+                       const qr::QrOptions& opts);
+
+/// True for the three driver names run_driver accepts.
+bool known_algorithm(const std::string& algorithm);
+
+} // namespace detail
+
+} // namespace rocqr::serve

@@ -1,0 +1,121 @@
+// Job and report types of the multi-job QR service (docs/SERVING.md).
+//
+// A JobSpec describes one factorization request the way a client of a
+// QR-as-a-service endpoint would: shape, precision, algorithm, priority and
+// an optional deadline. The serve::Scheduler admits jobs against a device
+// fleet via phantom-mode admission control and surfaces the outcome as one
+// JobReport per job plus a fleet-wide makespan view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/types.hpp"
+#include "qr/options.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::serve {
+
+/// One QR factorization request.
+struct JobSpec {
+  std::string name;
+  index_t m = 0;
+  index_t n = 0;
+  /// OOC driver: "recursive", "blocking" or "left".
+  std::string algorithm = "recursive";
+  blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
+  /// Panel width; 0 = autotune via phantom dry runs at admission time.
+  index_t blocksize = 0;
+  /// Higher runs first; equal priorities dispatch earliest-deadline-first,
+  /// then in submission order.
+  int priority = 0;
+  /// Simulated-seconds budget for the job's device time; 0 = none. A job
+  /// whose predicted runtime already misses the deadline is rejected.
+  double deadline_seconds = 0;
+  /// Batch arrival model: the job only becomes ready for dispatch once the
+  /// fleet has completed this many panel units (0 = ready immediately).
+  /// Lets a single batch exercise jobs that "arrive" mid-run.
+  index_t arrival_after_units = 0;
+  /// Real-mode payload: A (m x n, becomes Q) and R (n x n). Leave null for
+  /// phantom fleets; required (and shape-checked) on Real-mode fleets.
+  sim::HostMutRef a;
+  sim::HostMutRef r;
+  /// Base driver options. The scheduler overrides blocksize, precision and
+  /// the checkpointing fields (it owns the per-job checkpoint sink).
+  qr::QrOptions options;
+};
+
+enum class JobState {
+  Rejected,  ///< failed admission control; never dispatched
+  Queued,    ///< admitted, waiting for a device
+  Running,   ///< currently on a device
+  Preempted, ///< yielded at a checkpoint boundary; waiting to resume
+  Completed, ///< factorization finished
+  Failed,    ///< every retry exhausted
+};
+
+const char* to_string(JobState s);
+
+/// Outcome of admission control for one submitted job.
+struct AdmissionDecision {
+  int job_id = -1;
+  bool admitted = false;
+  std::string reason; ///< non-empty iff rejected
+  /// Chosen panel width (the job's own, or the autotuned winner).
+  index_t blocksize = 0;
+  /// Phantom dry-run prediction of the job as the scheduler will run it
+  /// (same checkpoint cadence, dedicated device at rest).
+  double predicted_seconds = 0;
+  bytes_t predicted_peak_bytes = 0;
+};
+
+/// Per-job slice of the fleet report.
+struct JobReport {
+  int id = -1;
+  std::string name;
+  JobState state = JobState::Queued;
+  int priority = 0;
+  std::string algorithm;
+  index_t m = 0;
+  index_t n = 0;
+  index_t blocksize = 0;
+  double predicted_seconds = 0;
+  bytes_t predicted_peak_bytes = 0;
+  /// Rejection reason or the final error of a failed job.
+  std::string failure;
+  int attempts = 0;    ///< dispatches (1 + preemption resumes + retries)
+  int preemptions = 0; ///< checkpoint-boundary yields to higher priority
+  int retries = 0;     ///< fault-triggered restarts from the last checkpoint
+  int last_device = -1;
+  /// Host wall-clock time spent ready-but-waiting across all queueing
+  /// episodes (scheduler overhead view; simulated time lives in `stats`).
+  double queue_wait_seconds = 0;
+  /// deadline_seconds == 0, or the job completed within it (device time).
+  bool deadline_met = true;
+  /// Device-time statistics summed over the job's attempt trace windows:
+  /// total_seconds is the simulated device time consumed (including work a
+  /// preemption or retry discarded), not a single contiguous span.
+  qr::QrStats stats;
+};
+
+/// Batch outcome: every job plus the fleet-wide aggregate.
+struct FleetReport {
+  int devices = 0;
+  /// Whole-run trace statistics per device, in device order.
+  std::vector<qr::QrStats> per_device;
+  /// qr::combine_device_stats over per_device: sums plus the global span.
+  qr::QrStats fleet;
+  /// Fleet makespan == fleet.total_seconds (the global trace span).
+  double makespan_seconds = 0;
+  std::int64_t jobs_admitted = 0;
+  std::int64_t jobs_rejected = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_failed = 0;
+  std::int64_t jobs_preempted = 0; ///< preemption events (not distinct jobs)
+  std::int64_t job_retries = 0;
+  std::int64_t units_completed = 0; ///< fleet-wide panel units
+  std::vector<JobReport> jobs;      ///< in submission order
+};
+
+} // namespace rocqr::serve

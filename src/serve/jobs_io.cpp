@@ -1,0 +1,281 @@
+#include "serve/jobs_io.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rocqr::serve {
+
+namespace {
+
+/// Cursor over the batch text. The grammar is tiny (an array of flat
+/// objects with string/number/boolean values), so a hand-rolled scanner
+/// keeps the service free of a JSON dependency.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) {
+      throw InvalidArgument("jobs JSON: unexpected end of input");
+    }
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw InvalidArgument(std::string("jobs JSON: expected '") + c +
+                            "' at offset " + std::to_string(pos) + ", got '" +
+                            text[pos] + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_if(char c) {
+    if (!at_end() && peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        char esc = text[pos++];
+        switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        default:
+          throw InvalidArgument(
+              std::string("jobs JSON: unsupported escape \\") + esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos >= text.size()) {
+      throw InvalidArgument("jobs JSON: unterminated string");
+    }
+    ++pos; // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      throw InvalidArgument("jobs JSON: expected a number at offset " +
+                            std::to_string(start));
+    }
+    try {
+      return std::stod(text.substr(start, pos - start));
+    } catch (const std::exception&) {
+      throw InvalidArgument("jobs JSON: malformed number '" +
+                            text.substr(start, pos - start) + "'");
+    }
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      return false;
+    }
+    throw InvalidArgument("jobs JSON: expected true/false at offset " +
+                          std::to_string(pos));
+  }
+};
+
+index_t to_index(double v, const std::string& key) {
+  if (v < 0 || v != static_cast<double>(static_cast<index_t>(v))) {
+    throw InvalidArgument("jobs JSON: \"" + key +
+                          "\" must be a non-negative integer");
+  }
+  return static_cast<index_t>(v);
+}
+
+JobSpec parse_job_object(Cursor& cur, size_t job_index) {
+  JobSpec job;
+  bool have_m = false;
+  bool have_n = false;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "name") {
+        job.name = cur.parse_string();
+      } else if (key == "algorithm" || key == "algo") {
+        job.algorithm = cur.parse_string();
+      } else if (key == "precision") {
+        const std::string p = cur.parse_string();
+        if (p == "fp16") {
+          job.precision = blas::GemmPrecision::FP16_FP32;
+        } else if (p == "fp32") {
+          job.precision = blas::GemmPrecision::FP32;
+        } else {
+          throw InvalidArgument("jobs JSON: unknown precision \"" + p +
+                                "\" (expected fp16 or fp32)");
+        }
+      } else if (key == "m") {
+        job.m = to_index(cur.parse_number(), key);
+        have_m = true;
+      } else if (key == "n") {
+        job.n = to_index(cur.parse_number(), key);
+        have_n = true;
+      } else if (key == "blocksize") {
+        job.blocksize = to_index(cur.parse_number(), key);
+      } else if (key == "priority") {
+        job.priority = static_cast<int>(cur.parse_number());
+      } else if (key == "deadline") {
+        job.deadline_seconds = cur.parse_number();
+      } else if (key == "arrival_after_units") {
+        job.arrival_after_units = to_index(cur.parse_number(), key);
+      } else {
+        throw InvalidArgument("jobs JSON: unknown key \"" + key + "\"");
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  if (!have_m || !have_n) {
+    throw InvalidArgument("jobs JSON: job " + std::to_string(job_index) +
+                          " is missing required key \"" +
+                          std::string(have_m ? "n" : "m") + "\"");
+  }
+  if (job.name.empty()) job.name = "job" + std::to_string(job_index);
+  return job;
+}
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\t': out += "\\t"; break;
+    default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_stats(std::ostream& os, const qr::QrStats& s,
+                 const std::string& indent) {
+  os << "{\n";
+  os << indent << "  \"total_seconds\": " << s.total_seconds << ",\n";
+  os << indent << "  \"h2d_seconds\": " << s.h2d_seconds << ",\n";
+  os << indent << "  \"d2h_seconds\": " << s.d2h_seconds << ",\n";
+  os << indent << "  \"compute_seconds\": " << s.compute_seconds << ",\n";
+  os << indent << "  \"bytes_h2d\": " << s.bytes_h2d << ",\n";
+  os << indent << "  \"bytes_d2h\": " << s.bytes_d2h << ",\n";
+  os << indent << "  \"flops\": " << s.flops << ",\n";
+  os << indent << "  \"peak_device_bytes\": " << s.peak_device_bytes << ",\n";
+  os << indent << "  \"panels\": " << s.panels << ",\n";
+  os << indent << "  \"events\": " << s.events << "\n";
+  os << indent << "}";
+}
+
+} // namespace
+
+std::vector<JobSpec> parse_jobs_json(const std::string& text) {
+  Cursor cur{text};
+  std::vector<JobSpec> jobs;
+  cur.expect('[');
+  if (!cur.consume_if(']')) {
+    do {
+      jobs.push_back(parse_job_object(cur, jobs.size()));
+    } while (cur.consume_if(','));
+    cur.expect(']');
+  }
+  if (!cur.at_end()) {
+    throw InvalidArgument("jobs JSON: trailing content after the array");
+  }
+  return jobs;
+}
+
+void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
+  os << "{\n";
+  os << "  \"devices\": " << rep.devices << ",\n";
+  os << "  \"makespan_seconds\": " << rep.makespan_seconds << ",\n";
+  os << "  \"jobs_admitted\": " << rep.jobs_admitted << ",\n";
+  os << "  \"jobs_rejected\": " << rep.jobs_rejected << ",\n";
+  os << "  \"jobs_completed\": " << rep.jobs_completed << ",\n";
+  os << "  \"jobs_failed\": " << rep.jobs_failed << ",\n";
+  os << "  \"jobs_preempted\": " << rep.jobs_preempted << ",\n";
+  os << "  \"job_retries\": " << rep.job_retries << ",\n";
+  os << "  \"units_completed\": " << rep.units_completed << ",\n";
+  os << "  \"jobs\": [";
+  for (size_t i = 0; i < rep.jobs.size(); ++i) {
+    const JobReport& j = rep.jobs[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"id\": " << j.id << ",\n";
+    os << "      \"name\": \"" << escaped(j.name) << "\",\n";
+    os << "      \"state\": \"" << to_string(j.state) << "\",\n";
+    os << "      \"priority\": " << j.priority << ",\n";
+    os << "      \"algorithm\": \"" << escaped(j.algorithm) << "\",\n";
+    os << "      \"m\": " << j.m << ",\n";
+    os << "      \"n\": " << j.n << ",\n";
+    os << "      \"blocksize\": " << j.blocksize << ",\n";
+    os << "      \"predicted_seconds\": " << j.predicted_seconds << ",\n";
+    os << "      \"predicted_peak_bytes\": " << j.predicted_peak_bytes
+       << ",\n";
+    os << "      \"attempts\": " << j.attempts << ",\n";
+    os << "      \"preemptions\": " << j.preemptions << ",\n";
+    os << "      \"retries\": " << j.retries << ",\n";
+    os << "      \"last_device\": " << j.last_device << ",\n";
+    os << "      \"queue_wait_seconds\": " << j.queue_wait_seconds << ",\n";
+    os << "      \"deadline_met\": " << (j.deadline_met ? "true" : "false")
+       << ",\n";
+    os << "      \"failure\": \"" << escaped(j.failure) << "\",\n";
+    os << "      \"stats\": ";
+    write_stats(os, j.stats, "      ");
+    os << "\n    }";
+  }
+  os << (rep.jobs.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"per_device\": [";
+  for (size_t i = 0; i < rep.per_device.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    ";
+    write_stats(os, rep.per_device[i], "    ");
+  }
+  os << (rep.per_device.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"fleet\": ";
+  write_stats(os, rep.fleet, "  ");
+  os << "\n}\n";
+}
+
+} // namespace rocqr::serve

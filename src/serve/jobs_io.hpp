@@ -1,0 +1,31 @@
+// JSON I/O for the QR service: the job-batch input format of
+// `rocqr_cli serve --jobs=<file>` and the machine-readable fleet report
+// (schemas in docs/SERVING.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace rocqr::serve {
+
+/// Parses a job batch: a JSON array of flat objects, e.g.
+///
+///   [{"name": "a", "m": 4096, "n": 4096, "algorithm": "recursive",
+///     "priority": 2, "deadline": 1.5, "precision": "fp16",
+///     "blocksize": 0, "arrival_after_units": 0}]
+///
+/// Only "m" and "n" are required. "deadline" maps to deadline_seconds,
+/// "precision" is "fp16" (FP16_FP32, default) or "fp32", "algo" is accepted
+/// as a shorthand for "algorithm". Unknown keys and malformed JSON throw
+/// rocqr::InvalidArgument naming the offender. The parser covers exactly
+/// this flat shape — strings, numbers and booleans — not general JSON.
+std::vector<JobSpec> parse_jobs_json(const std::string& text);
+
+/// Writes the fleet report as a deterministic JSON object: scalar tallies,
+/// a "jobs" array in submission order, and "per_device" stats.
+void write_fleet_report_json(std::ostream& os, const FleetReport& rep);
+
+} // namespace rocqr::serve

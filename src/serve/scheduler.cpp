@@ -1,0 +1,568 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_pool.hpp"
+#include "qr/multi_gpu_qr.hpp"
+#include "sim/faults.hpp"
+#include "sim/trace_export.hpp"
+
+namespace rocqr::serve {
+
+const char* to_string(JobState s) {
+  switch (s) {
+  case JobState::Rejected: return "rejected";
+  case JobState::Queued: return "queued";
+  case JobState::Running: return "running";
+  case JobState::Preempted: return "preempted";
+  case JobState::Completed: return "completed";
+  case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+telemetry::Counter& counter(const char* name) {
+  return telemetry::MetricsRegistry::global().counter(name);
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Contiguous column-major snapshot of a host ref (the checkpoint payload
+/// layout); empty for phantom refs.
+std::vector<float> snapshot_host(sim::HostMutRef src) {
+  std::vector<float> out;
+  if (src.data == nullptr) return out;
+  out.resize(static_cast<size_t>(src.rows) * static_cast<size_t>(src.cols));
+  for (index_t j = 0; j < src.cols; ++j) {
+    for (index_t i = 0; i < src.rows; ++i) {
+      out[static_cast<size_t>(i) + static_cast<size_t>(j) * src.rows] =
+          src.data[i + j * src.ld];
+    }
+  }
+  return out;
+}
+
+/// Folds one attempt's trace window into the job's running total. The
+/// busy/volume fields sum; total_seconds accumulates the attempt spans
+/// (device time consumed, including work a preemption discarded) rather
+/// than re-deriving last_end - first_start across attempts, which would
+/// count the queued gaps between them.
+void accumulate_stats(qr::QrStats& into, const qr::QrStats& s) {
+  const bool had_events = into.events > 0;
+  into.panel_seconds += s.panel_seconds;
+  into.gemm_seconds += s.gemm_seconds;
+  into.d2d_seconds += s.d2d_seconds;
+  into.h2d_seconds += s.h2d_seconds;
+  into.d2h_seconds += s.d2h_seconds;
+  into.compute_seconds += s.compute_seconds;
+  into.bytes_h2d += s.bytes_h2d;
+  into.bytes_d2h += s.bytes_d2h;
+  into.bytes_d2d += s.bytes_d2d;
+  into.flops += s.flops;
+  into.panels += s.panels;
+  into.events += s.events;
+  into.peak_device_bytes =
+      std::max(into.peak_device_bytes, s.peak_device_bytes);
+  into.total_seconds += s.total_seconds;
+  if (s.events > 0) {
+    into.first_start = had_events ? std::min(into.first_start, s.first_start)
+                                  : s.first_start;
+    into.last_end = std::max(into.last_end, s.last_end);
+  }
+}
+
+} // namespace
+
+struct Scheduler::Job {
+  JobSpec spec;
+  int id = 0;
+  JobState state = JobState::Queued;
+  index_t blocksize = 0;
+  double predicted_seconds = 0;
+  bytes_t predicted_peak_bytes = 0;
+  std::string failure;
+  int attempts = 0;
+  int preemptions = 0;
+  int retries = 0;
+  int last_device = -1;
+  /// Arrival gate opened (arrival_after_units reached).
+  bool arrived = false;
+  /// Set under the scheduler mutex; the job's sink observes it at its next
+  /// checkpoint write and unwinds the attempt.
+  bool preempt_requested = false;
+  bool has_checkpoint = false;
+  /// Latest consistent state: the initial snapshot before the first
+  /// dispatch, then every checkpoint the driver writes. All attempts start
+  /// from here via qr::resume_ooc_qr.
+  qr::Checkpoint checkpoint;
+  qr::QrStats stats{};
+  double queue_wait_seconds = 0;
+  Clock::time_point ready_since{};
+};
+
+/// Per-attempt checkpoint sink: records progress on the job and doubles as
+/// the preemption point (the only place an attempt can safely unwind — the
+/// driver has just synchronized the device and the snapshot is a consistent
+/// prefix).
+class Scheduler::PreemptSink : public qr::CheckpointSink {
+ public:
+  PreemptSink(Scheduler& sched, Job& job) : sched_(sched), job_(job) {}
+  void write(const qr::Checkpoint& cp) override {
+    sched_.on_unit_completed(job_, cp);
+  }
+
+ private:
+  Scheduler& sched_;
+  Job& job_;
+};
+
+Scheduler::Scheduler(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  ROCQR_CHECK(cfg_.devices >= 1, "serve::Scheduler: need at least 1 device");
+  ROCQR_CHECK(cfg_.checkpoint_every >= 1,
+              "serve::Scheduler: checkpoint_every must be >= 1");
+  ROCQR_CHECK(cfg_.max_job_retries >= 0,
+              "serve::Scheduler: max_job_retries must be >= 0");
+  ROCQR_CHECK(cfg_.admission_memory_fraction > 0 &&
+                  cfg_.admission_memory_fraction <= 1.0,
+              "serve::Scheduler: admission_memory_fraction must be in (0,1]");
+}
+
+Scheduler::~Scheduler() = default;
+
+AdmissionDecision Scheduler::submit(const JobSpec& spec) {
+  AdmissionConfig acfg;
+  acfg.spec = cfg_.spec;
+  acfg.checkpoint_every = cfg_.checkpoint_every;
+  acfg.memory_fraction = cfg_.admission_memory_fraction;
+  acfg.paper_calibration = cfg_.paper_calibration;
+  AdmissionDecision d = admit_job(spec, acfg);
+
+  if (d.admitted && cfg_.mode == sim::ExecutionMode::Real) {
+    if (spec.a.data == nullptr || spec.r.data == nullptr) {
+      d.admitted = false;
+      d.reason = "a Real-mode fleet needs host A and R buffers on the job";
+    } else if (spec.a.rows != spec.m || spec.a.cols != spec.n ||
+               spec.r.rows != spec.n || spec.r.cols != spec.n) {
+      d.admitted = false;
+      d.reason = "host buffer shapes do not match the job's m x n";
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  ROCQR_CHECK(!ran_, "serve::Scheduler: submit after run()");
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  job->id = static_cast<int>(jobs_.size());
+  d.job_id = job->id;
+  if (d.admitted) {
+    job->state = JobState::Queued;
+    job->blocksize = d.blocksize;
+    job->predicted_seconds = d.predicted_seconds;
+    job->predicted_peak_bytes = d.predicted_peak_bytes;
+    counter("serve.jobs_admitted").increment();
+  } else {
+    job->state = JobState::Rejected;
+    job->failure = d.reason;
+    counter("serve.jobs_rejected").increment();
+  }
+  jobs_.push_back(std::move(job));
+  return d;
+}
+
+FleetReport Scheduler::run() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ROCQR_CHECK(!ran_, "serve::Scheduler: run() is single-shot");
+    ran_ = true;
+  }
+
+  auto link = cfg_.shared_link ? std::make_shared<sim::SharedHostLink>()
+                               : std::shared_ptr<sim::SharedHostLink>();
+  for (int i = 0; i < cfg_.devices; ++i) {
+    devices_.push_back(
+        std::make_unique<sim::Device>(cfg_.spec, cfg_.mode, link));
+    if (cfg_.paper_calibration) {
+      devices_.back()->model().install_paper_calibration();
+    }
+    if (static_cast<size_t>(i) < cfg_.device_faults.size() &&
+        !cfg_.device_faults[static_cast<size_t>(i)].empty()) {
+      devices_.back()->install_faults(
+          sim::FaultPlan::parse(cfg_.device_faults[static_cast<size_t>(i)]));
+    }
+  }
+
+  bool any_queued = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    device_avail_.assign(static_cast<size_t>(cfg_.devices), 0.0);
+    device_busy_.assign(static_cast<size_t>(cfg_.devices), 0);
+    release_arrivals_locked();
+    for (const auto& job : jobs_) any_queued |= job->state == JobState::Queued;
+  }
+  if (any_queued) {
+    // A private pool sized to the fleet: one worker per device regardless
+    // of the host's core count (the simulated devices do the "computing";
+    // nested Real-mode host kernels degrade to serial inside the workers
+    // per the ThreadPool reentrancy contract).
+    ThreadPool pool(static_cast<unsigned>(cfg_.devices));
+    pool.parallel_for(cfg_.devices, [this](index_t d0, index_t d1) {
+      for (index_t d = d0; d < d1; ++d) worker(static_cast<int>(d));
+    });
+  }
+  return build_report();
+}
+
+void Scheduler::release_arrivals_locked() {
+  for (const auto& up : jobs_) {
+    Job& job = *up;
+    if (job.state != JobState::Queued || job.arrived) continue;
+    if (job.spec.arrival_after_units <= fleet_units_) {
+      job.arrived = true;
+      job.ready_since = Clock::now();
+    }
+  }
+}
+
+bool Scheduler::force_earliest_arrival_locked() {
+  Job* earliest = nullptr;
+  for (const auto& up : jobs_) {
+    Job& job = *up;
+    if (job.state != JobState::Queued || job.arrived) continue;
+    if (earliest == nullptr ||
+        job.spec.arrival_after_units < earliest->spec.arrival_after_units) {
+      earliest = &job;
+    }
+  }
+  if (earliest == nullptr) return false;
+  earliest->arrived = true;
+  earliest->ready_since = Clock::now();
+  return true;
+}
+
+bool Scheduler::work_pending_locked() const {
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::Queued || job->state == JobState::Running ||
+        job->state == JobState::Preempted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Scheduler::Job* Scheduler::pick_locked() {
+  Job* best = nullptr;
+  for (const auto& up : jobs_) {
+    Job& job = *up;
+    const bool ready = (job.state == JobState::Queued && job.arrived) ||
+                       job.state == JobState::Preempted;
+    if (!ready) continue;
+    if (best == nullptr) {
+      best = &job;
+      continue;
+    }
+    // Priority first; then earliest deadline (none = last); then
+    // submission order (ids are submission-ordered, and the scan keeps the
+    // first of equals).
+    if (job.spec.priority != best->spec.priority) {
+      if (job.spec.priority > best->spec.priority) best = &job;
+      continue;
+    }
+    const double jd = job.spec.deadline_seconds > 0
+                          ? job.spec.deadline_seconds
+                          : std::numeric_limits<double>::infinity();
+    const double bd = best->spec.deadline_seconds > 0
+                          ? best->spec.deadline_seconds
+                          : std::numeric_limits<double>::infinity();
+    if (jd < bd) best = &job;
+  }
+  return best;
+}
+
+bool Scheduler::may_act_locked(int device_index, double t) const {
+  // A ready job would be dispatched by the earliest-available idle device,
+  // so idle devices behind `t` only matter while one exists.
+  bool ready = false;
+  for (const auto& job : jobs_) {
+    if ((job->state == JobState::Queued && job->arrived) ||
+        job->state == JobState::Preempted) {
+      ready = true;
+      break;
+    }
+  }
+  for (int e = 0; e < cfg_.devices; ++e) {
+    if (e == device_index) continue;
+    const auto eu = static_cast<size_t>(e);
+    if (device_avail_[eu] < t && (device_busy_[eu] != 0 || ready)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Scheduler::maybe_preempt_locked() {
+  if (!cfg_.preemption) return;
+  if (running_ < cfg_.devices) return; // an idle device will take it
+  Job* top = pick_locked();
+  if (top == nullptr) return;
+  // Victim: a running job of strictly lower priority, preferring the one
+  // with the most columns still to factor (least completed work thrown
+  // away, and — since its progress is bounded by the fleet's — its next
+  // checkpoint cannot be its last, so the yield actually happens).
+  Job* victim = nullptr;
+  index_t victim_remaining = 0;
+  for (const auto& up : jobs_) {
+    Job& job = *up;
+    if (job.state != JobState::Running || job.preempt_requested) continue;
+    if (job.spec.priority >= top->spec.priority) continue;
+    const index_t done = job.has_checkpoint ? job.checkpoint.columns_done : 0;
+    const index_t remaining = job.spec.n - done;
+    if (victim == nullptr || remaining > victim_remaining) {
+      victim = &job;
+      victim_remaining = remaining;
+    }
+  }
+  if (victim != nullptr) victim->preempt_requested = true;
+}
+
+void Scheduler::on_unit_completed(Job& job, const qr::Checkpoint& cp) {
+  // Copy the (possibly large, Real-mode) snapshot outside the lock; the
+  // sink contract requires a copy anyway, the driver reuses its buffers.
+  qr::Checkpoint copy = cp;
+  bool unwind = false;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    const int d = job.last_device;
+    const auto du = static_cast<size_t>(d);
+    // The driver synchronized before checkpointing, so the trace end is
+    // this device's simulated "now". Publish the new bound first (it lets
+    // devices waiting on us proceed), then wait for our turn in global
+    // simulated-time order before acting on the event.
+    const double t = qr::stats_from_trace(devices_[du]->trace(), 0, 0).last_end;
+    device_avail_[du] = std::max(device_avail_[du], t);
+    job.checkpoint = std::move(copy);
+    job.has_checkpoint = true;
+    cv_.notify_all();
+    while (!may_act_locked(d, device_avail_[du])) cv_.wait(lk);
+    ++fleet_units_;
+    release_arrivals_locked();
+    maybe_preempt_locked();
+    // Never yield on the final checkpoint: the factorization is complete,
+    // preempting would only discard a finished job.
+    unwind = job.preempt_requested && cp.columns_done < cp.n;
+  }
+  counter("serve.units_completed").increment();
+  cv_.notify_all();
+  if (unwind) throw PreemptRequest{};
+}
+
+void Scheduler::worker(int device_index) {
+  const auto du = static_cast<size_t>(device_index);
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      for (;;) {
+        release_arrivals_locked();
+        Job* candidate = pick_locked();
+        if (candidate != nullptr &&
+            may_act_locked(device_index, device_avail_[du])) {
+          job = candidate;
+          break;
+        }
+        if (!work_pending_locked()) return;
+        if (candidate == nullptr && running_ == 0) {
+          // Nothing running, nothing ready, but jobs pending: the only
+          // work left is behind arrival gates that can no longer open (no
+          // units will complete). Force the earliest gate so the batch
+          // always drains.
+          if (force_earliest_arrival_locked()) continue;
+        }
+        cv_.wait(lk);
+      }
+      job->state = JobState::Running;
+      job->preempt_requested = false;
+      ++job->attempts;
+      job->last_device = device_index;
+      ++running_;
+      device_busy_[du] = 1;
+      const double waited = seconds_since(job->ready_since);
+      job->queue_wait_seconds += waited;
+      telemetry::MetricsRegistry::global()
+          .histogram("serve.queue_wait_us")
+          .observe(static_cast<std::int64_t>(waited * 1e6));
+      cv_.notify_all();
+    }
+    run_attempt(device_index, *job);
+  }
+}
+
+void Scheduler::run_attempt(int device_index, Job& job) {
+  sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  const size_t window = dev.trace().size();
+  PreemptSink sink(*this, job);
+
+  qr::QrOptions opts = job.spec.options;
+  opts.blocksize = job.blocksize;
+  opts.precision = job.spec.precision;
+  opts.checkpoint_sink = &sink;
+  opts.checkpoint_every = cfg_.checkpoint_every;
+  opts.resume_units = 0;
+
+  sim::HostMutRef a = job.spec.a.data != nullptr
+                          ? job.spec.a
+                          : sim::HostMutRef::phantom(job.spec.m, job.spec.n);
+  sim::HostMutRef r = job.spec.r.data != nullptr
+                          ? job.spec.r
+                          : sim::HostMutRef::phantom(job.spec.n, job.spec.n);
+
+  // Every attempt — including the first — starts from the job's latest
+  // consistent state via resume_ooc_qr, so preemption resumes and fault
+  // retries share one path. The unit-0 "checkpoint" snapshots the pristine
+  // inputs: a Real-mode retry must not re-factor a half-mutated A.
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!job.has_checkpoint) {
+      qr::Checkpoint cp0;
+      cp0.driver = job.spec.algorithm;
+      cp0.m = job.spec.m;
+      cp0.n = job.spec.n;
+      cp0.blocksize = job.blocksize;
+      cp0.columns_done = 0;
+      cp0.units_done = 0;
+      cp0.a = snapshot_host(a);
+      cp0.r = snapshot_host(r);
+      job.checkpoint = std::move(cp0);
+      job.has_checkpoint = true;
+    }
+  }
+
+  try {
+    qr::Checkpoint start;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      start = job.checkpoint;
+    }
+    sim::TraceSpan span(dev, "serve.job " + job.spec.name + " attempt " +
+                                 std::to_string(job.attempts));
+    qr::resume_ooc_qr(dev, start, a, r, opts);
+    finish_attempt(job, window, device_index, JobState::Completed, "");
+  } catch (const PreemptRequest&) {
+    // The sink threw right after a checkpoint write, which had already
+    // synchronized the device; RAII unwound every driver allocation.
+    dev.synchronize();
+    finish_attempt(job, window, device_index, JobState::Preempted, "");
+  } catch (const Error& e) {
+    dev.synchronize();
+    const bool retry = job.retries < cfg_.max_job_retries;
+    finish_attempt(job, window, device_index,
+                   retry ? JobState::Queued : JobState::Failed, e.what());
+  }
+}
+
+void Scheduler::finish_attempt(Job& job, size_t window, int device_index,
+                               JobState state, const std::string& failure) {
+  const sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const qr::QrStats attempt =
+        qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+    accumulate_stats(job.stats, attempt);
+    const auto du = static_cast<size_t>(device_index);
+    if (attempt.events > 0) {
+      device_avail_[du] = std::max(device_avail_[du], attempt.last_end);
+    }
+    device_busy_[du] = 0;
+    --running_;
+    job.state = state;
+    job.preempt_requested = false;
+    switch (state) {
+    case JobState::Completed:
+      counter("serve.jobs_completed").increment();
+      break;
+    case JobState::Preempted:
+      ++job.preemptions;
+      ++preempt_events_;
+      counter("serve.jobs_preempted").increment();
+      job.ready_since = Clock::now();
+      break;
+    case JobState::Queued: // fault retry
+      ++job.retries;
+      ++retry_events_;
+      counter("serve.job_retries").increment();
+      job.failure = failure; // latest error; cleared on completion
+      job.ready_since = Clock::now();
+      break;
+    default:
+      job.failure = failure;
+      counter("serve.jobs_failed").increment();
+      break;
+    }
+    if (state == JobState::Completed) job.failure.clear();
+  }
+  cv_.notify_all();
+}
+
+FleetReport Scheduler::build_report() {
+  FleetReport rep;
+  rep.devices = cfg_.devices;
+  for (const auto& dev : devices_) {
+    rep.per_device.push_back(
+        qr::stats_from_trace(dev->trace(), 0, dev->memory_peak()));
+  }
+  rep.fleet = qr::combine_device_stats(rep.per_device);
+  rep.makespan_seconds = rep.fleet.total_seconds;
+  rep.units_completed = fleet_units_;
+  rep.jobs_preempted = preempt_events_;
+  rep.job_retries = retry_events_;
+  for (const auto& up : jobs_) {
+    const Job& job = *up;
+    JobReport jr;
+    jr.id = job.id;
+    jr.name = job.spec.name;
+    jr.state = job.state;
+    jr.priority = job.spec.priority;
+    jr.algorithm = job.spec.algorithm;
+    jr.m = job.spec.m;
+    jr.n = job.spec.n;
+    jr.blocksize = job.blocksize;
+    jr.predicted_seconds = job.predicted_seconds;
+    jr.predicted_peak_bytes = job.predicted_peak_bytes;
+    jr.failure = job.failure;
+    jr.attempts = job.attempts;
+    jr.preemptions = job.preemptions;
+    jr.retries = job.retries;
+    jr.last_device = job.last_device;
+    jr.queue_wait_seconds = job.queue_wait_seconds;
+    jr.deadline_met =
+        job.spec.deadline_seconds <= 0 ||
+        (job.state == JobState::Completed &&
+         job.stats.total_seconds <= job.spec.deadline_seconds);
+    jr.stats = job.stats;
+    rep.jobs.push_back(std::move(jr));
+    switch (job.state) {
+    case JobState::Rejected: ++rep.jobs_rejected; break;
+    case JobState::Completed:
+      ++rep.jobs_admitted;
+      ++rep.jobs_completed;
+      break;
+    case JobState::Failed:
+      ++rep.jobs_admitted;
+      ++rep.jobs_failed;
+      break;
+    default: ++rep.jobs_admitted; break;
+    }
+  }
+  return rep;
+}
+
+} // namespace rocqr::serve

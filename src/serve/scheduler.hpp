@@ -1,0 +1,125 @@
+// Multi-job QR service scheduler over a simulated device fleet
+// (docs/SERVING.md).
+//
+// The Scheduler owns N sim::Devices (optionally behind one SharedHostLink)
+// and drives a batch of admitted JobSpecs to completion with one worker per
+// device on a private ThreadPool. Workers race in host wall-clock but the
+// fleet advances in *simulated-time* order: a worker only dispatches a job
+// or passes a checkpoint when no other device could still act at an earlier
+// simulated instant (a conservative event-ordering gate on per-device
+// availability bounds, advanced at every checkpoint). Dispatch is a
+// priority queue with backfill: the highest-priority ready job runs next on
+// the earliest-available device, and jobs whose
+// arrival gate has not opened yet are skipped so lower-priority ready work
+// fills the idle devices. When every device is busy and a strictly
+// higher-priority job becomes ready, the running job with the lowest
+// priority (most remaining columns first) is preempted at its next panel
+// checkpoint boundary — the driver's own CheckpointSink hook unwinds the
+// attempt, and the job later resumes via qr::resume_ooc_qr, bit-identical
+// to an uninterrupted run. Faults installed on fleet devices are absorbed
+// the same way: a failed attempt retries from the job's latest checkpoint
+// up to max_job_retries times.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qr/checkpoint.hpp"
+#include "serve/admission.hpp"
+#include "serve/job.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr::serve {
+
+struct ServeConfig {
+  sim::DeviceSpec spec = sim::DeviceSpec::v100_32gb();
+  int devices = 1;
+  sim::ExecutionMode mode = sim::ExecutionMode::Phantom;
+  /// One PCIe root complex for the whole fleet (host transfers serialize).
+  bool shared_link = false;
+  bool paper_calibration = true;
+  /// Per-device fault plan specs (sim::FaultPlan grammar); "" = clean, and
+  /// devices beyond the vector's length are clean.
+  std::vector<std::string> device_faults;
+  /// Allow checkpoint-boundary preemption of lower-priority running jobs.
+  bool preemption = true;
+  /// Checkpoint cadence of every attempt (units between sink writes). Also
+  /// the preemption latency: a job can only yield at a written checkpoint.
+  index_t checkpoint_every = 1;
+  /// Fault-triggered restarts per job before it is marked Failed.
+  int max_job_retries = 2;
+  /// Admission head-room: reject jobs predicted to exceed this fraction of
+  /// device memory.
+  double admission_memory_fraction = 1.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(ServeConfig cfg);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission control: phantom dry run of the job as the fleet would run
+  /// it. Admitted jobs are queued for run(); rejected jobs are recorded
+  /// (and reported) but never dispatched. Call before run().
+  AdmissionDecision submit(const JobSpec& spec);
+
+  /// Builds the fleet and drives every admitted job to a terminal state.
+  /// Single-shot: a second call throws InvalidArgument.
+  FleetReport run();
+
+  const ServeConfig& config() const { return cfg_; }
+
+  /// The fleet (populated by run(); empty before). Exposed so callers can
+  /// export traces or derive their own aggregate views.
+  const std::vector<std::unique_ptr<sim::Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  struct Job;
+  class PreemptSink;
+  /// Internal unwind token thrown from the checkpoint sink. Deliberately
+  /// not a rocqr::Error so no driver-level recovery path can swallow it.
+  struct PreemptRequest {};
+
+  void worker(int device_index);
+  void run_attempt(int device_index, Job& job);
+  void finish_attempt(Job& job, size_t window, int device_index,
+                      JobState state, const std::string& failure);
+  void on_unit_completed(Job& job, const qr::Checkpoint& cp);
+  bool may_act_locked(int device_index, double t) const;
+  void release_arrivals_locked();
+  bool force_earliest_arrival_locked();
+  bool work_pending_locked() const;
+  Job* pick_locked();
+  void maybe_preempt_locked();
+  FleetReport build_report();
+
+  ServeConfig cfg_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::unique_ptr<sim::Device>> devices_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Simulated-time availability bound per device: exact trace end while
+  /// idle, the latest checkpoint's trace end while busy. Workers only
+  /// dispatch or pass a checkpoint when their device is not ahead of any
+  /// device that could still act earlier — the fleet advances in simulated
+  /// -time order even though workers race in wall-clock.
+  std::vector<double> device_avail_;
+  std::vector<char> device_busy_;
+  index_t fleet_units_ = 0;
+  int running_ = 0;
+  std::int64_t preempt_events_ = 0;
+  std::int64_t retry_events_ = 0;
+  bool ran_ = false;
+};
+
+} // namespace rocqr::serve

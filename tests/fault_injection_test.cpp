@@ -10,6 +10,7 @@
 #include "common/telemetry.hpp"
 #include "la/generate.hpp"
 #include "leak_check.hpp"
+#include "ooc/resilience.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
 #include "sim/scoped_matrix.hpp"
@@ -201,6 +202,80 @@ TEST(DeviceFaults, EmptyPlanRemovesInjection) {
   sim::Stream s = dev.create_stream();
   dev.copy_h2d(DeviceMatrixRef(m.get()), sim::HostConstRef::phantom(8, 8), s);
   dev.synchronize();
+}
+
+TEST(OomDegradation, HalvesToFloorThenRethrowsOriginal) {
+  // A body that never fits: the helper must walk 256 -> 128 -> 64 -> 32,
+  // stop at degrade_min_blocksize, and rethrow the body's own exception
+  // instead of looping forever or wrapping it.
+  Device dev(small_spec(), ExecutionMode::Phantom);
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 256;
+  opts.degrade_min_blocksize = 32;
+  int calls = 0;
+  std::vector<index_t> tried;
+  try {
+    ooc::detail::with_oom_degradation(
+        dev, opts, [&](const ooc::OocGemmOptions& cur) -> int {
+          ++calls;
+          tried.push_back(cur.blocksize);
+          throw DeviceOutOfMemory("synthetic body OOM");
+        });
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_STREQ(e.what(), "synthetic body OOM");
+  }
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(tried, (std::vector<index_t>{256, 128, 64, 32}));
+}
+
+TEST(OomDegradation, AtFloorRethrowsWithoutRetry) {
+  Device dev(small_spec(), ExecutionMode::Phantom);
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 32;
+  opts.degrade_min_blocksize = 32;
+  int calls = 0;
+  EXPECT_THROW(ooc::detail::with_oom_degradation(
+                   dev, opts,
+                   [&](const ooc::OocGemmOptions&) -> int {
+                     ++calls;
+                     throw DeviceOutOfMemory("floor");
+                   }),
+               DeviceOutOfMemory);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(OomDegradation, DisabledRethrowsWithoutRetry) {
+  Device dev(small_spec(), ExecutionMode::Phantom);
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 256;
+  opts.degrade_on_oom = false;
+  int calls = 0;
+  EXPECT_THROW(ooc::detail::with_oom_degradation(
+                   dev, opts,
+                   [&](const ooc::OocGemmOptions&) -> int {
+                     ++calls;
+                     throw DeviceOutOfMemory("disabled");
+                   }),
+               DeviceOutOfMemory);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(OomDegradation, SucceedsAfterDegradationAndCounts) {
+  Device dev(small_spec(), ExecutionMode::Phantom);
+  telemetry::Counter& degradations =
+      telemetry::MetricsRegistry::global().counter("slab_degradations");
+  const std::int64_t before = degradations.value();
+  ooc::OocGemmOptions opts;
+  opts.blocksize = 256;
+  opts.degrade_min_blocksize = 32;
+  const index_t got = ooc::detail::with_oom_degradation(
+      dev, opts, [&](const ooc::OocGemmOptions& cur) -> index_t {
+        if (cur.blocksize > 64) throw DeviceOutOfMemory("still too big");
+        return cur.blocksize;
+      });
+  EXPECT_EQ(got, 64);
+  EXPECT_EQ(degradations.value(), before + 2); // 256 -> 128 -> 64
 }
 
 TEST(ScopedMatrixLeaks, FailedFreeRecordedOnCounter) {

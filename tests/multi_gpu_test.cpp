@@ -243,6 +243,79 @@ TEST(MultiGpuQr, DedicatedLinksSpeedUpTheTrailingUpdates) {
   EXPECT_GT(two, 0.5 * one);
 }
 
+TEST(MultiGpu, CombineDeviceStatsWindows) {
+  auto window = [](double first, double last, int events) {
+    qr::QrStats s;
+    s.first_start = first;
+    s.last_end = last;
+    s.total_seconds = last - first;
+    s.events = events;
+    return s;
+  };
+
+  // Overlapping [1,5] + disjoint [7,9]: the fleet wall clock is the global
+  // span 1..9, not the sum of per-device spans.
+  qr::QrStats a = window(1.0, 5.0, 3);
+  a.compute_seconds = 2.0;
+  a.bytes_h2d = 100;
+  a.flops = 10;
+  a.panels = 2;
+  a.peak_device_bytes = 500;
+  qr::QrStats b = window(2.0, 4.0, 2);
+  b.compute_seconds = 1.5;
+  b.bytes_h2d = 50;
+  b.flops = 4;
+  b.panels = 1;
+  b.peak_device_bytes = 900;
+  qr::QrStats c = window(7.0, 9.0, 1);
+  c.h2d_seconds = 0.5;
+  c.bytes_d2h = 25;
+
+  const qr::QrStats fleet = qr::combine_device_stats({a, b, c});
+  EXPECT_DOUBLE_EQ(fleet.first_start, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.last_end, 9.0);
+  EXPECT_DOUBLE_EQ(fleet.total_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(fleet.compute_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(fleet.h2d_seconds, 0.5);
+  EXPECT_EQ(fleet.bytes_h2d, 150);
+  EXPECT_EQ(fleet.bytes_d2h, 25);
+  EXPECT_EQ(fleet.flops, 14);
+  EXPECT_EQ(fleet.panels, 3);
+  EXPECT_EQ(fleet.events, 6);
+  EXPECT_EQ(fleet.peak_device_bytes, 900);
+}
+
+TEST(MultiGpu, CombineDeviceStatsIgnoresIdleWindowsForSpan) {
+  // An idle device's zero-initialized window (events == 0) must not drag
+  // first_start to 0; its sums and peak still count.
+  qr::QrStats busy;
+  busy.first_start = 3.0;
+  busy.last_end = 5.0;
+  busy.total_seconds = 2.0;
+  busy.events = 4;
+  busy.flops = 7;
+  qr::QrStats idle; // all zero, events == 0
+  idle.peak_device_bytes = 1234;
+  idle.bytes_h2d = 11;
+
+  const qr::QrStats fleet = qr::combine_device_stats({idle, busy});
+  EXPECT_DOUBLE_EQ(fleet.first_start, 3.0);
+  EXPECT_DOUBLE_EQ(fleet.last_end, 5.0);
+  EXPECT_DOUBLE_EQ(fleet.total_seconds, 2.0);
+  EXPECT_EQ(fleet.flops, 7);
+  EXPECT_EQ(fleet.bytes_h2d, 11);
+  EXPECT_EQ(fleet.peak_device_bytes, 1234);
+}
+
+TEST(MultiGpu, CombineDeviceStatsAllEmpty) {
+  const qr::QrStats fleet =
+      qr::combine_device_stats({qr::QrStats{}, qr::QrStats{}});
+  EXPECT_DOUBLE_EQ(fleet.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.first_start, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.last_end, 0.0);
+  EXPECT_EQ(fleet.events, 0);
+}
+
 TEST(MultiGpu, RejectsBadConfigurations) {
   Device d(test_spec(), ExecutionMode::Phantom);
   OocGemmOptions opts;

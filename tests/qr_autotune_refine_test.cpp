@@ -2,6 +2,8 @@
 // refinement.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "blas/gemm.hpp"
 #include "common/error.hpp"
 #include "la/generate.hpp"
@@ -57,6 +59,53 @@ TEST(Autotune, RecursiveToleratesSmallBlocksBetterThanBlocking) {
       tune_blocksize(sim::DeviceSpec::v100_16gb(), 131072, 131072, false);
   EXPECT_LT(rec16.best_seconds / rec32.best_seconds,
             blk16.best_seconds / blk32.best_seconds);
+}
+
+TEST(Autotune, SmallNReturnsTailCandidate) {
+  // n below min_blocksize must not throw or return an empty sweep: the
+  // clamped tail candidate b = n is the single (feasible) point.
+  const TuneResult r =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 512, 512, true);
+  ASSERT_EQ(r.sweep.size(), 1u);
+  EXPECT_EQ(r.sweep[0].blocksize, 512);
+  EXPECT_TRUE(r.sweep[0].fits);
+  EXPECT_EQ(r.best_blocksize, 512);
+  EXPECT_GT(r.best_seconds, 0.0);
+  EXPECT_GT(r.best_peak_bytes, 0u);
+}
+
+TEST(Autotune, NonPowerOfTwoNIncludesTail) {
+  // 1536 is not on the power-of-two ladder from min_blocksize=1024; the
+  // sweep must still include the full-width panel b = n as a tail point.
+  const TuneResult r =
+      tune_blocksize(sim::DeviceSpec::v100_32gb(), 1536, 1536, false);
+  ASSERT_EQ(r.sweep.size(), 2u);
+  EXPECT_EQ(r.sweep[0].blocksize, 1024);
+  EXPECT_EQ(r.sweep[1].blocksize, 1536);
+  bool best_in_sweep = false;
+  for (const TunePoint& p : r.sweep) {
+    EXPECT_TRUE(p.fits);
+    best_in_sweep |= p.blocksize == r.best_blocksize;
+  }
+  EXPECT_TRUE(best_in_sweep);
+}
+
+TEST(Autotune, AllOomNamesConstraint) {
+  // A device too small for any candidate: the error must name the actual
+  // constraint (shape, device, capacity, candidate range), not a generic
+  // "allocation failed".
+  sim::DeviceSpec tiny = sim::DeviceSpec::v100_32gb();
+  tiny.name = "tiny-1MB";
+  tiny.memory_capacity = 1 << 20;
+  try {
+    tune_blocksize(tiny, 65536, 65536, true);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no feasible blocksize"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tiny-1MB"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("65536"), std::string::npos) << msg;
+  }
 }
 
 TEST(Autotune, RejectsBadArguments) {

@@ -1,0 +1,316 @@
+// Multi-job QR service scheduler (docs/SERVING.md): phantom admission
+// control matches fleet execution, a 4-device fleet drains a batch of
+// concurrent jobs, a late high-priority job preempts a running one at a
+// checkpoint boundary and the preempted job resumes bit-identical to an
+// uninterrupted run, and the fleet report's makespan equals the global
+// trace span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "leak_check.hpp"
+#include "qr/blocking_qr.hpp"
+#include "qr/left_looking_qr.hpp"
+#include "qr/recursive_qr.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr {
+namespace {
+
+using serve::AdmissionDecision;
+using serve::FleetReport;
+using serve::JobReport;
+using serve::JobSpec;
+using serve::JobState;
+using serve::Scheduler;
+using serve::ServeConfig;
+using sim::Device;
+using sim::ExecutionMode;
+
+qr::QrStats run_driver(const std::string& driver, Device& dev,
+                       sim::HostMutRef a, sim::HostMutRef r,
+                       const qr::QrOptions& opts) {
+  if (driver == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
+  if (driver == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
+  return qr::left_looking_ooc_qr(dev, a, r, opts);
+}
+
+bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      if (x(i, j) != y(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+/// Global trace span of the fleet, derived independently of the report.
+double fleet_span(const Scheduler& sched) {
+  double first = 0;
+  double last = 0;
+  bool any = false;
+  for (const auto& dev : sched.devices()) {
+    const qr::QrStats s = qr::stats_from_trace(dev->trace(), 0, 0);
+    if (s.events == 0) continue;
+    first = any ? std::min(first, s.first_start) : s.first_start;
+    last = any ? std::max(last, s.last_end) : s.last_end;
+    any = true;
+  }
+  return last - first;
+}
+
+const JobReport& report_for(const FleetReport& rep, int job_id) {
+  return rep.jobs.at(static_cast<size_t>(job_id));
+}
+
+TEST(ServeAdmission, RejectsInfeasibleJobs) {
+  ServeConfig cfg;
+  cfg.devices = 1;
+  Scheduler sched(cfg);
+
+  JobSpec bad_shape;
+  bad_shape.name = "wide";
+  bad_shape.m = 64;
+  bad_shape.n = 128;
+  AdmissionDecision d = sched.submit(bad_shape);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("invalid shape"), std::string::npos) << d.reason;
+
+  JobSpec bad_algo;
+  bad_algo.name = "mystery";
+  bad_algo.m = bad_algo.n = 4096;
+  bad_algo.algorithm = "lattice";
+  d = sched.submit(bad_algo);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("unknown algorithm"), std::string::npos) << d.reason;
+
+  JobSpec late;
+  late.name = "late";
+  late.m = late.n = 32768;
+  late.blocksize = 4096;
+  late.deadline_seconds = 1e-9;
+  d = sched.submit(late);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("deadline"), std::string::npos) << d.reason;
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_rejected, 3);
+  EXPECT_EQ(rep.jobs_admitted, 0);
+  EXPECT_EQ(rep.jobs_completed, 0);
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Rejected);
+    EXPECT_FALSE(j.failure.empty());
+  }
+}
+
+TEST(ServeAdmission, MemoryHeadroomPolicyRejects) {
+  ServeConfig cfg;
+  cfg.devices = 1;
+  cfg.admission_memory_fraction = 0.01;
+  Scheduler sched(cfg);
+  JobSpec job;
+  job.name = "hog";
+  job.m = job.n = 32768;
+  job.blocksize = 8192;
+  const AdmissionDecision d = sched.submit(job);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("admission budget"), std::string::npos) << d.reason;
+  EXPECT_GT(d.predicted_peak_bytes, 0);
+}
+
+TEST(ServeScheduler, PredictionMatchesSingleJobExecution) {
+  ServeConfig cfg;
+  cfg.devices = 1;
+  Scheduler sched(cfg);
+  JobSpec job;
+  job.name = "solo";
+  job.m = 65536;
+  job.n = 32768;
+  job.blocksize = 8192;
+  const AdmissionDecision d = sched.submit(job);
+  ASSERT_TRUE(d.admitted) << d.reason;
+  EXPECT_GT(d.predicted_seconds, 0);
+  EXPECT_GT(d.predicted_peak_bytes, 0);
+
+  const FleetReport rep = sched.run();
+  const JobReport& j = report_for(rep, d.job_id);
+  ASSERT_EQ(j.state, JobState::Completed);
+  EXPECT_EQ(j.attempts, 1);
+  // The admission dry run IS the schedule the worker executes (same driver,
+  // blocksize and checkpoint cadence on an identical phantom device).
+  EXPECT_NEAR(j.stats.total_seconds, d.predicted_seconds,
+              1e-9 * d.predicted_seconds);
+  EXPECT_EQ(j.stats.peak_device_bytes, d.predicted_peak_bytes);
+  EXPECT_DOUBLE_EQ(rep.makespan_seconds, fleet_span(sched));
+}
+
+TEST(ServeScheduler, PhantomFleetDrainsConcurrentBatch) {
+  ServeConfig cfg;
+  cfg.devices = 4;
+  Scheduler sched(cfg);
+
+  const char* algos[] = {"recursive", "blocking", "left"};
+  std::vector<AdmissionDecision> decisions;
+  double predicted_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec job;
+    job.name = "batch" + std::to_string(i);
+    job.m = 65536;
+    job.n = 32768;
+    job.algorithm = algos[i % 3];
+    job.blocksize = 0; // autotune at admission
+    const AdmissionDecision d = sched.submit(job);
+    ASSERT_TRUE(d.admitted) << job.name << ": " << d.reason;
+    EXPECT_GT(d.blocksize, 0) << job.name;
+    predicted_sum += d.predicted_seconds;
+    decisions.push_back(d);
+  }
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_admitted, 8);
+  EXPECT_EQ(rep.jobs_completed, 8);
+  EXPECT_EQ(rep.jobs_failed, 0);
+  for (const AdmissionDecision& d : decisions) {
+    const JobReport& j = report_for(rep, d.job_id);
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    if (j.attempts == 1 && j.preemptions == 0) {
+      EXPECT_NEAR(j.stats.total_seconds, d.predicted_seconds,
+                  1e-6 * d.predicted_seconds)
+          << j.name;
+    }
+  }
+  // 8 equal-priority jobs on 4 devices: the fleet must actually run them
+  // concurrently, so the makespan beats the serial sum of predictions...
+  EXPECT_LT(rep.makespan_seconds, predicted_sum);
+  // ...and equals the global span of the devices' traces.
+  EXPECT_DOUBLE_EQ(rep.makespan_seconds, fleet_span(sched));
+}
+
+TEST(ServeScheduler, PreemptsAndResumesBitIdentical) {
+  constexpr index_t kM = 96;
+  constexpr index_t kN = 72;
+  constexpr index_t kB = 12;
+  constexpr int kLowJobs = 8;
+
+  ServeConfig cfg;
+  cfg.devices = 4;
+  cfg.mode = ExecutionMode::Real;
+  Scheduler sched(cfg);
+
+  qr::QrOptions base;
+  base.blocksize = kB;
+  base.precision = blas::GemmPrecision::FP32;
+  base.panel_base = 8;
+
+  // 8 equal low-priority jobs saturate the 4 devices; panel units are
+  // 12-wide, so each job checkpoints 6 times. One high-priority job is
+  // gated behind the first 5 fleet units: when it arrives every device is
+  // mid-job, forcing a checkpoint-boundary preemption.
+  const char* algos[] = {"blocking", "left"};
+  std::vector<la::Matrix> as;
+  std::vector<la::Matrix> rs;
+  as.reserve(kLowJobs + 1);
+  rs.reserve(kLowJobs + 1);
+  std::vector<AdmissionDecision> decisions;
+  for (int i = 0; i < kLowJobs; ++i) {
+    as.push_back(la::random_normal(kM, kN, 100 + static_cast<unsigned>(i)));
+    rs.emplace_back(kN, kN);
+    JobSpec job;
+    job.name = "low" + std::to_string(i);
+    job.m = kM;
+    job.n = kN;
+    job.algorithm = algos[i % 2];
+    job.blocksize = kB;
+    job.precision = blas::GemmPrecision::FP32;
+    job.priority = 1;
+    job.options = base;
+    job.a = as.back().view();
+    job.r = rs.back().view();
+    const AdmissionDecision d = sched.submit(job);
+    ASSERT_TRUE(d.admitted) << job.name << ": " << d.reason;
+    decisions.push_back(d);
+  }
+  as.push_back(la::random_normal(kM, kN, 500));
+  rs.emplace_back(kN, kN);
+  JobSpec urgent;
+  urgent.name = "urgent";
+  urgent.m = kM;
+  urgent.n = kN;
+  urgent.algorithm = "blocking";
+  urgent.blocksize = kB;
+  urgent.precision = blas::GemmPrecision::FP32;
+  urgent.priority = 5;
+  urgent.arrival_after_units = 5;
+  urgent.options = base;
+  urgent.a = as.back().view();
+  urgent.r = rs.back().view();
+  const AdmissionDecision ud = sched.submit(urgent);
+  ASSERT_TRUE(ud.admitted) << ud.reason;
+  decisions.push_back(ud);
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_admitted, kLowJobs + 1);
+  EXPECT_EQ(rep.jobs_completed, kLowJobs + 1);
+  EXPECT_EQ(rep.jobs_failed, 0);
+  EXPECT_GE(rep.jobs_preempted, 1);
+  EXPECT_DOUBLE_EQ(rep.makespan_seconds, fleet_span(sched));
+
+  int preempted_jobs = 0;
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    if (j.preemptions > 0) {
+      ++preempted_jobs;
+      EXPECT_GE(j.attempts, 2) << j.name;
+    }
+  }
+  EXPECT_GE(preempted_jobs, 1);
+  // The urgent job itself was never preempted (nothing outranks it).
+  EXPECT_EQ(report_for(rep, ud.job_id).preemptions, 0);
+
+  // Every job's factorization — preempted and resumed or not — must be bit-
+  // identical to an uninterrupted clean run of the same driver and options
+  // (Real-mode numerics are schedule-independent).
+  for (size_t i = 0; i < as.size(); ++i) {
+    const JobReport& j = rep.jobs[i];
+    const std::uint64_t seed = i < kLowJobs ? 100 + i : 500;
+    la::Matrix q_ref = la::random_normal(kM, kN, seed);
+    la::Matrix r_ref(kN, kN);
+    Device clean(cfg.spec, ExecutionMode::Real);
+    clean.model().install_paper_calibration();
+    run_driver(j.algorithm, clean, q_ref.view(), r_ref.view(), base);
+    EXPECT_TRUE(bitwise_equal(as[i], q_ref)) << j.name;
+    EXPECT_TRUE(bitwise_equal(rs[i], r_ref)) << j.name;
+  }
+}
+
+TEST(ServeScheduler, RunIsSingleShot) {
+  ServeConfig cfg;
+  Scheduler sched(cfg);
+  JobSpec job;
+  job.m = job.n = 32768;
+  job.blocksize = 4096;
+  ASSERT_TRUE(sched.submit(job).admitted);
+  sched.run();
+  EXPECT_THROW(sched.run(), InvalidArgument);
+  EXPECT_THROW(sched.submit(job), InvalidArgument);
+}
+
+TEST(ServeScheduler, ConfigValidation) {
+  ServeConfig cfg;
+  cfg.devices = 0;
+  EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
+  cfg.devices = 1;
+  cfg.checkpoint_every = 0;
+  EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
+  cfg.checkpoint_every = 1;
+  cfg.admission_memory_fraction = 0;
+  EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr

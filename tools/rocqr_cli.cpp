@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,8 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/telemetry.hpp"
+#include "la/generate.hpp"
+#include "la/matrix.hpp"
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
 #include "qr/autotune.hpp"
@@ -31,6 +34,8 @@
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
 #include "report/table.hpp"
+#include "serve/jobs_io.hpp"
+#include "serve/scheduler.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
 #include "sim/trace_export.hpp"
@@ -83,7 +88,8 @@ Args parse(int argc, char** argv) {
                                        "device", "capacity-gib", "csv",
                                        "chrome", "trace-json", "metrics-json",
                                        "faults", "checkpoint", "resume",
-                                       "checkpoint-every"};
+                                       "checkpoint-every", "jobs", "devices",
+                                       "report"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
     if (takes_value) {
@@ -246,15 +252,101 @@ int run_tune(const Args& args) {
                                                            : "blocking") +
                       " QR of " + format_shape(m, n) + " on " + spec.name +
                       ":",
-                  {"blocksize", "simulated time"});
+                  {"blocksize", "simulated time", "peak memory"});
   for (const qr::TunePoint& p : result.sweep) {
     t.add_row({std::to_string(p.blocksize),
-               p.fits ? format_seconds(p.seconds) : "OOM"});
+               p.fits ? format_seconds(p.seconds) : "OOM",
+               format_bytes(p.peak_bytes)});
   }
   std::cout << t.render();
   std::cout << "recommended blocksize: " << result.best_blocksize << " ("
             << format_seconds(result.best_seconds) << ")\n";
   return 0;
+}
+
+int run_serve(const Args& args) {
+  const auto jobs_it = args.values.find("jobs");
+  if (jobs_it == args.values.end()) {
+    std::cerr << "serve needs --jobs FILE (a JSON array of job objects)\n";
+    return 2;
+  }
+  std::ifstream is(jobs_it->second);
+  if (!is) {
+    std::cerr << "cannot read jobs file '" << jobs_it->second << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::vector<serve::JobSpec> specs =
+      serve::parse_jobs_json(buffer.str());
+
+  serve::ServeConfig cfg;
+  cfg.spec = spec_by_name(args.value("device", "v100-32"));
+  if (args.values.count("capacity-gib") != 0) {
+    cfg.spec.memory_capacity = args.number("capacity-gib", 32) * (1LL << 30);
+  }
+  cfg.devices = static_cast<int>(args.number("devices", 1));
+  cfg.mode = args.has_flag("real") ? sim::ExecutionMode::Real
+                                   : sim::ExecutionMode::Phantom;
+  cfg.shared_link = args.has_flag("shared-link");
+  cfg.preemption = !args.has_flag("no-preempt");
+  cfg.checkpoint_every = args.number("checkpoint-every", 1);
+  if (const auto it = args.values.find("faults"); it != args.values.end()) {
+    cfg.device_faults.assign(static_cast<size_t>(cfg.devices), it->second);
+  }
+
+  serve::Scheduler sched(cfg);
+  // Real mode needs live host buffers for the fleet's lifetime; one pair
+  // per job, seeded by submission index for reproducibility.
+  std::vector<std::unique_ptr<la::Matrix>> storage;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    serve::JobSpec job = specs[i];
+    if (cfg.mode == sim::ExecutionMode::Real) {
+      storage.push_back(std::make_unique<la::Matrix>(
+          la::random_normal(job.m, job.n, 1000 + i)));
+      storage.push_back(std::make_unique<la::Matrix>(job.n, job.n));
+      job.a = storage[storage.size() - 2]->view();
+      job.r = storage[storage.size() - 1]->view();
+    }
+    const serve::AdmissionDecision d = sched.submit(job);
+    std::cout << (d.admitted ? "admitted" : "REJECTED") << " " << job.name
+              << " " << format_shape(job.m, job.n);
+    if (d.admitted) {
+      std::cout << " b=" << d.blocksize << " predicted "
+                << format_seconds(d.predicted_seconds) << ", peak "
+                << format_bytes(d.predicted_peak_bytes);
+    } else {
+      std::cout << ": " << d.reason;
+    }
+    std::cout << "\n";
+  }
+
+  const serve::FleetReport rep = sched.run();
+
+  report::Table t("fleet of " + std::to_string(rep.devices) + " x " +
+                      cfg.spec.name + ":",
+                  {"job", "state", "prio", "b", "attempts", "preempt",
+                   "retries", "device time", "predicted"});
+  for (const serve::JobReport& j : rep.jobs) {
+    t.add_row({j.name, to_string(j.state), std::to_string(j.priority),
+               std::to_string(j.blocksize), std::to_string(j.attempts),
+               std::to_string(j.preemptions), std::to_string(j.retries),
+               format_seconds(j.stats.total_seconds),
+               format_seconds(j.predicted_seconds)});
+  }
+  std::cout << t.render();
+  std::cout << "makespan " << format_seconds(rep.makespan_seconds) << ", "
+            << rep.jobs_completed << "/" << rep.jobs_admitted
+            << " jobs completed, " << rep.jobs_rejected << " rejected, "
+            << rep.jobs_preempted << " preemptions, " << rep.job_retries
+            << " retries, " << rep.units_completed << " units\n";
+
+  if (const auto it = args.values.find("report"); it != args.values.end()) {
+    std::ofstream os(it->second);
+    serve::write_fleet_report_json(os, rep);
+    std::cout << "fleet report written to " << it->second << "\n";
+  }
+  return rep.jobs_failed > 0 ? 5 : 0;
 }
 
 int run_specs() {
@@ -281,6 +373,7 @@ void usage() {
 commands:
   qr | lu | chol   simulate one factorization at paper scale
   tune             sweep blocksizes, recommend the fastest
+  serve            schedule a batch of QR jobs over a device fleet
   specs            list device presets
 
 common options:
@@ -305,6 +398,16 @@ fault tolerance (QR; see docs/FAULTS.md):
   --checkpoint-every K        checkpoint every K panel units (default 1)
   --resume FILE               restart from the checkpoint in FILE
 
+serving (see docs/SERVING.md):
+  --jobs FILE                 JSON array of job objects (required)
+  --devices N                 fleet size (default 1)
+  --real                      execute numerics (default: phantom schedules)
+  --shared-link               one PCIe root complex for the whole fleet
+  --no-preempt                disable checkpoint-boundary preemption
+  --faults SPEC               install the fault plan on every fleet device
+  --report FILE               write the JSON fleet report
+  exit 0 when every admitted job completes, 5 when any job failed
+
 exit codes:
   0 success            2 usage error          3 invalid configuration
   4 device out of memory                      5 fault budget exhausted
@@ -322,6 +425,7 @@ int main(int argc, char** argv) {
       return run_factorization(args);
     }
     if (args.command == "tune") return run_tune(args);
+    if (args.command == "serve") return run_serve(args);
     if (args.command == "specs") return run_specs();
     usage();
     return args.command.empty() ? 2 : (args.command == "help" ? 0 : 2);
