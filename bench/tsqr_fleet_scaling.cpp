@@ -1,0 +1,116 @@
+// Fleet-wide out-of-core TSQR scaling: one huge tall-skinny factorization
+// split across 1/2/4/8 phantom V100s (qr::tsqr_ooc_qr), with dedicated
+// PCIe lanes vs one shared root complex. The single-device recursive CGS
+// driver at the same shape is the baseline — the fleet wins when the leaf
+// factorizations overlap in simulated time and the R-reduction tree plus
+// reconstruction sweep cost less than the saved leaf time.
+//
+// Writes the sweep as JSON (committed as BENCH_tsqr.json) to the path
+// given as argv[1], or ./BENCH_tsqr.json by default.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "qr/recursive_qr.hpp"
+#include "qr/tsqr_ooc.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+constexpr index_t kM = 262144;
+constexpr index_t kN = 8192;
+constexpr index_t kB = 8192;
+
+qr::QrOptions bench_options() {
+  qr::QrOptions opts;
+  opts.blocksize = kB;
+  return opts;
+}
+
+double run_fleet(int gpus, bool shared_link) {
+  auto link = shared_link ? std::make_shared<sim::SharedHostLink>() : nullptr;
+  std::vector<std::unique_ptr<sim::Device>> owned;
+  std::vector<sim::Device*> devices;
+  for (int i = 0; i < gpus; ++i) {
+    owned.push_back(std::make_unique<sim::Device>(
+        sim::DeviceSpec::v100_32gb(), sim::ExecutionMode::Phantom, link));
+    owned.back()->model().install_paper_calibration();
+    devices.push_back(owned.back().get());
+  }
+  auto a = sim::HostMutRef::phantom(kM, kN);
+  auto r = sim::HostMutRef::phantom(kN, kN);
+  return qr::tsqr_ooc_qr(devices, a, r, bench_options()).total_seconds;
+}
+
+struct SweepPoint {
+  int gpus = 0;
+  double dedicated_seconds = 0;
+  double shared_seconds = 0;
+  double dedicated_speedup = 0;
+  double shared_speedup = 0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_tsqr.json");
+
+  bench::section("Fleet TSQR scaling — 262144x8192, b=8192, phantom V100s");
+
+  // Baseline: the single-device recursive CGS driver at the same shape.
+  sim::Device solo = bench::paper_device();
+  auto a = sim::HostMutRef::phantom(kM, kN);
+  auto r = sim::HostMutRef::phantom(kN, kN);
+  const double base =
+      qr::recursive_ooc_qr(solo, a, r, bench_options()).total_seconds;
+  std::cout << "single-device recursive CGS baseline: " << bench::secs(base)
+            << "\n";
+
+  report::Table t("", {"GPUs", "dedicated links", "speedup", "shared link",
+                       "speedup"});
+  std::vector<SweepPoint> sweep;
+  for (const int g : {1, 2, 4, 8}) {
+    SweepPoint p;
+    p.gpus = g;
+    p.dedicated_seconds = run_fleet(g, false);
+    p.shared_seconds = run_fleet(g, true);
+    p.dedicated_speedup = base / p.dedicated_seconds;
+    p.shared_speedup = base / p.shared_seconds;
+    sweep.push_back(p);
+    t.add_row({std::to_string(g), bench::secs(p.dedicated_seconds),
+               format_fixed(p.dedicated_speedup, 2) + "x",
+               bench::secs(p.shared_seconds),
+               format_fixed(p.shared_speedup, 2) + "x"});
+  }
+  std::cout << t.render();
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"bench\": \"tsqr_fleet_scaling\",\n"
+     << "  \"device\": \"V100-PCIe-32GB (phantom, paper calibration)\",\n"
+     << "  \"matrix\": {\"m\": " << kM << ", \"n\": " << kN
+     << ", \"blocksize\": " << kB << "},\n"
+     << "  \"recursive_baseline_seconds\": " << format_fixed(base, 6) << ",\n"
+     << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "    {\"gpus\": " << p.gpus << ", \"dedicated_seconds\": "
+       << format_fixed(p.dedicated_seconds, 6) << ", \"dedicated_speedup\": "
+       << format_fixed(p.dedicated_speedup, 4) << ", \"shared_seconds\": "
+       << format_fixed(p.shared_seconds, 6) << ", \"shared_speedup\": "
+       << format_fixed(p.shared_speedup, 4) << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -4,10 +4,13 @@
 #include <istream>
 #include <ostream>
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "qr/blocking_qr.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
+#include "qr/tsqr_ooc.hpp"
 
 namespace rocqr::qr {
 
@@ -64,7 +67,7 @@ Checkpoint read_checkpoint(std::istream& is) {
   Checkpoint cp;
   std::getline(is, cp.driver);
   ROCQR_CHECK(cp.driver == "blocking" || cp.driver == "recursive" ||
-                  cp.driver == "left",
+                  cp.driver == "left" || cp.driver == "tsqr",
               "checkpoint: unknown driver '" + cp.driver + "'");
   size_t a_count = 0;
   size_t r_count = 0;
@@ -77,9 +80,21 @@ Checkpoint read_checkpoint(std::istream& is) {
               "checkpoint: header values out of range");
   const size_t mn = static_cast<size_t>(cp.m) * static_cast<size_t>(cp.n);
   const size_t nn = static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
-  ROCQR_CHECK((a_count == 0 && r_count == 0) ||
-                  (a_count == mn && r_count == nn),
-              "checkpoint: payload sizes do not match the dimensions");
+  if (cp.driver == "tsqr") {
+    // The tsqr R payload is the stacked per-leaf workspace: k * n x n for
+    // some leaf count k bounded by m / n (or the caller's single n x n R in
+    // a unit-0 snapshot, which is the k == 1 case of the same rule).
+    const size_t max_leaves =
+        static_cast<size_t>(cp.m) / static_cast<size_t>(cp.n);
+    ROCQR_CHECK((a_count == 0 && r_count == 0) ||
+                    (a_count == mn && nn > 0 && r_count % nn == 0 &&
+                     r_count / nn >= 1 && r_count / nn <= max_leaves),
+                "checkpoint: tsqr payload sizes do not match the dimensions");
+  } else {
+    ROCQR_CHECK((a_count == 0 && r_count == 0) ||
+                    (a_count == mn && r_count == nn),
+                "checkpoint: payload sizes do not match the dimensions");
+  }
   is.get(); // the newline terminating the header
   cp.a = read_floats(is, a_count);
   cp.r = read_floats(is, r_count);
@@ -87,10 +102,23 @@ Checkpoint read_checkpoint(std::istream& is) {
 }
 
 void FileCheckpointSink::write(const Checkpoint& cp) {
-  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
-  ROCQR_CHECK(os.is_open(),
-              "checkpoint: cannot open '" + path_ + "' for writing");
-  write_checkpoint(os, cp);
+  // Serialize to a sidecar and rename into place: a crash or injected
+  // fault mid-write must not destroy the previous good checkpoint (the
+  // whole point of having one).
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    ROCQR_CHECK(os.is_open(),
+                "checkpoint: cannot open '" + tmp + "' for writing");
+    write_checkpoint(os, cp);
+    os.flush();
+    ROCQR_CHECK(os.good(), "checkpoint: write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InvalidArgument("checkpoint: cannot rename '" + tmp + "' to '" +
+                          path_ + "'");
+  }
 }
 
 Checkpoint load_checkpoint_file(const std::string& path) {
@@ -121,6 +149,44 @@ QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
   if (cp.driver == "recursive") return recursive_ooc_qr(dev, a, r, opts);
   if (cp.driver == "left") return left_looking_ooc_qr(dev, a, r, opts);
   throw InvalidArgument("resume_ooc_qr: unknown driver '" + cp.driver + "'");
+}
+
+QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
+                      const Checkpoint& cp, sim::HostMutRef a,
+                      sim::HostMutRef r, QrOptions opts) {
+  ROCQR_CHECK(!devices.empty(), "resume_ooc_qr: no devices");
+  if (cp.driver != "tsqr") {
+    ROCQR_CHECK(devices.size() == 1,
+                "resume_ooc_qr: a '" + cp.driver +
+                    "' checkpoint resumes on exactly one device");
+    return resume_ooc_qr(*devices.front(), cp, a, r, opts);
+  }
+  ROCQR_CHECK(a.rows == cp.m && a.cols == cp.n,
+              "resume_ooc_qr: A shape does not match the checkpoint");
+  ROCQR_CHECK(r.rows == cp.n && r.cols == cp.n,
+              "resume_ooc_qr: R shape does not match the checkpoint");
+  ROCQR_CHECK(opts.blocksize == cp.blocksize,
+              "resume_ooc_qr: blocksize differs from the checkpointed run");
+  const std::vector<float>* r_stack = nullptr;
+  if (a.data != nullptr) {
+    ROCQR_CHECK(!cp.a.empty(),
+                "resume_ooc_qr: Real-mode resume needs a checkpoint with "
+                "host snapshots (this one is schedule-only)");
+    restore_block(a, cp.a);
+    if (cp.units_done == 0) {
+      // Unit-0 snapshot of the pristine inputs: cp.r is the caller's R.
+      const size_t nn =
+          static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
+      ROCQR_CHECK(cp.r.size() == nn,
+                  "resume_ooc_qr: unit-0 tsqr checkpoint must carry the "
+                  "caller's n x n R");
+      restore_block(r, cp.r);
+    } else {
+      r_stack = &cp.r; // stacked per-leaf workspace; the driver validates it
+    }
+  }
+  opts.resume_units = cp.units_done;
+  return detail::run_tsqr(devices, a, r, opts, r_stack);
 }
 
 } // namespace rocqr::qr

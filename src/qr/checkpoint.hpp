@@ -22,7 +22,9 @@
 namespace rocqr::qr {
 
 struct Checkpoint {
-  /// Driver that wrote the checkpoint: "blocking", "recursive" or "left".
+  /// Driver that wrote the checkpoint: "blocking", "recursive", "left" or
+  /// "tsqr" (the fleet-wide driver; its units are completed leaf
+  /// factorizations and its R payload is the stacked per-leaf R workspace).
   std::string driver;
   index_t m = 0;
   index_t n = 0;
@@ -70,8 +72,10 @@ class MemoryCheckpointSink : public CheckpointSink {
   int count_ = 0;
 };
 
-/// Serializes every checkpoint to `path` (truncating the previous one, so
-/// the file always holds the latest consistent state).
+/// Serializes every checkpoint to `path`. Writes are atomic with respect to
+/// crashes: the new checkpoint is serialized to `path + ".tmp"` and renamed
+/// into place only once complete, so a failure mid-write (crash, injected
+/// fault, full disk) leaves the previous good checkpoint untouched.
 class FileCheckpointSink : public CheckpointSink {
  public:
   explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
@@ -92,5 +96,13 @@ Checkpoint load_checkpoint_file(const std::string& path);
 /// must match the checkpointed blocksize (the unit numbering depends on it).
 QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
                       sim::HostMutRef a, sim::HostMutRef r, QrOptions opts);
+
+/// Fleet overload: restarts a factorization on `devices`. "tsqr"
+/// checkpoints resume the fleet-wide driver (restoring the stacked R
+/// workspace of the completed leaves); single-device checkpoints are
+/// accepted when the fleet has exactly one device.
+QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
+                      const Checkpoint& cp, sim::HostMutRef a,
+                      sim::HostMutRef r, QrOptions opts);
 
 } // namespace rocqr::qr

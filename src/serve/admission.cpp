@@ -1,5 +1,9 @@
 #include "serve/admission.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qr/autotune.hpp"
@@ -7,6 +11,7 @@
 #include "qr/checkpoint.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
+#include "qr/tsqr_ooc.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::serve {
@@ -19,13 +24,16 @@ qr::QrStats run_driver(sim::Device& dev, const std::string& algorithm,
   if (algorithm == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
   if (algorithm == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
   if (algorithm == "left") return qr::left_looking_ooc_qr(dev, a, r, opts);
+  if (algorithm == "tsqr") {
+    return qr::tsqr_ooc_qr(std::vector<sim::Device*>{&dev}, a, r, opts);
+  }
   throw InvalidArgument("serve: unknown algorithm '" + algorithm +
-                        "' (expected recursive, blocking or left)");
+                        "' (expected recursive, blocking, left or tsqr)");
 }
 
 bool known_algorithm(const std::string& algorithm) {
   return algorithm == "recursive" || algorithm == "blocking" ||
-         algorithm == "left";
+         algorithm == "left" || algorithm == "tsqr";
 }
 
 } // namespace detail
@@ -50,10 +58,15 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
   }
   if (!detail::known_algorithm(job.algorithm)) {
     d.reason = "unknown algorithm '" + job.algorithm +
-               "' (expected recursive, blocking or left)";
+               "' (expected recursive, blocking, left or tsqr)";
     return d;
   }
 
+  const bool tsqr = job.algorithm == "tsqr";
+  // The admission budget is per device; for tsqr the quoted
+  // predicted_peak_bytes is the fleet-wide sum, so the budget check runs
+  // against this separately-tracked max per-device peak.
+  bytes_t check_peak = 0;
   try {
     // Base options of every dry run: the job's, minus any caller-provided
     // checkpointing (the scheduler owns the sink) or resume state.
@@ -64,14 +77,22 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
 
     index_t b = job.blocksize;
     if (b <= 0) {
-      b = qr::tune_blocksize(cfg.spec, job.m, job.n,
-                             job.algorithm == "recursive", base)
-              .best_blocksize;
+      if (tsqr) {
+        // Tune on the leaf shape: the per-device work is a recursive OOC
+        // factorization of one row block (the widest leaf, rounding up).
+        const index_t leaves = qr::detail::tsqr_leaf_count(
+            job.m, job.n, static_cast<size_t>(cfg.devices));
+        const index_t leaf_rows = (job.m + leaves - 1) / leaves;
+        b = qr::tune_blocksize(cfg.spec, leaf_rows, job.n, true, base)
+                .best_blocksize;
+      } else {
+        b = qr::tune_blocksize(cfg.spec, job.m, job.n,
+                               job.algorithm == "recursive", base)
+                .best_blocksize;
+      }
     }
     d.blocksize = b;
 
-    sim::Device dev(cfg.spec, sim::ExecutionMode::Phantom);
-    if (cfg.paper_calibration) dev.model().install_paper_calibration();
     DiscardSink sink;
     qr::QrOptions opts = base;
     opts.blocksize = b;
@@ -79,10 +100,38 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
     opts.checkpoint_every = cfg.checkpoint_every;
     auto a = sim::HostMutRef::phantom(job.m, job.n);
     auto r = sim::HostMutRef::phantom(job.n, job.n);
-    const qr::QrStats stats =
-        detail::run_driver(dev, job.algorithm, a, r, opts);
-    d.predicted_seconds = stats.total_seconds;
-    d.predicted_peak_bytes = stats.peak_device_bytes;
+    if (tsqr) {
+      // Phantom replica of the whole fleet, link topology included, so the
+      // predicted makespan prices the stacked-R transfers' contention.
+      auto link = cfg.shared_link ? std::make_shared<sim::SharedHostLink>()
+                                  : std::shared_ptr<sim::SharedHostLink>();
+      std::vector<std::unique_ptr<sim::Device>> fleet;
+      std::vector<sim::Device*> ptrs;
+      for (int i = 0; i < cfg.devices; ++i) {
+        fleet.push_back(std::make_unique<sim::Device>(
+            cfg.spec, sim::ExecutionMode::Phantom, link));
+        if (cfg.paper_calibration) {
+          fleet.back()->model().install_paper_calibration();
+        }
+        ptrs.push_back(fleet.back().get());
+      }
+      const qr::QrStats stats = qr::tsqr_ooc_qr(ptrs, a, r, opts);
+      d.predicted_seconds = stats.total_seconds;
+      bytes_t fleet_peak = 0;
+      for (const auto& dev : fleet) {
+        fleet_peak += dev->memory_peak();
+        check_peak = std::max(check_peak, dev->memory_peak());
+      }
+      d.predicted_peak_bytes = fleet_peak;
+    } else {
+      sim::Device dev(cfg.spec, sim::ExecutionMode::Phantom);
+      if (cfg.paper_calibration) dev.model().install_paper_calibration();
+      const qr::QrStats stats =
+          detail::run_driver(dev, job.algorithm, a, r, opts);
+      d.predicted_seconds = stats.total_seconds;
+      d.predicted_peak_bytes = stats.peak_device_bytes;
+      check_peak = stats.peak_device_bytes;
+    }
   } catch (const Error& e) {
     // Autotune found no feasible blocksize, the explicit blocksize OOMed,
     // or the options were invalid — all per-job rejections, not scheduler
@@ -93,10 +142,11 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
 
   const auto budget = static_cast<bytes_t>(
       cfg.memory_fraction * static_cast<double>(cfg.spec.memory_capacity));
-  if (d.predicted_peak_bytes > budget) {
-    d.reason = "predicted peak " + format_bytes(d.predicted_peak_bytes) +
-               " exceeds the admission budget " + format_bytes(budget) +
-               " on " + cfg.spec.name;
+  if (check_peak > budget) {
+    d.reason = std::string("predicted ") +
+               (tsqr ? "per-device peak " : "peak ") +
+               format_bytes(check_peak) + " exceeds the admission budget " +
+               format_bytes(budget) + " on " + cfg.spec.name;
     return d;
   }
   if (job.deadline_seconds > 0 && d.predicted_seconds > job.deadline_seconds) {

@@ -19,12 +19,23 @@ namespace rocqr::serve {
 /// The slice of the scheduler configuration admission must mirror.
 struct AdmissionConfig {
   sim::DeviceSpec spec;
+  /// Fleet size. Single-device jobs dry-run on one phantom replica; a
+  /// gang-scheduled "tsqr" job dry-runs on a phantom replica of the whole
+  /// fleet (same size, same link topology) so the quote covers the
+  /// cross-device reduction tree.
+  int devices = 1;
+  /// Mirror of ServeConfig::shared_link: the tsqr dry run routes its
+  /// stacked-R transfers through one SharedHostLink so the predicted
+  /// makespan includes the contention.
+  bool shared_link = false;
   /// Checkpoint cadence of the fleet's workers. The dry run installs the
   /// same cadence because each checkpoint synchronizes the device, which is
   /// part of the schedule being predicted.
   index_t checkpoint_every = 1;
   /// Admit only jobs whose predicted peak stays within this fraction of
-  /// device memory (head-room policy; 1.0 = anything that fits).
+  /// device memory (head-room policy; 1.0 = anything that fits). For tsqr
+  /// the check is against the max *per-device* peak; the decision's
+  /// predicted_peak_bytes quotes the fleet-wide sum.
   double memory_fraction = 1.0;
   bool paper_calibration = true;
 };
@@ -37,12 +48,13 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg);
 namespace detail {
 
 /// Dispatches to the OOC QR driver named by `algorithm` ("recursive",
-/// "blocking" or "left"); throws InvalidArgument for unknown names.
+/// "blocking", "left", or "tsqr" — the latter as a single-device fleet);
+/// throws InvalidArgument for unknown names.
 qr::QrStats run_driver(sim::Device& dev, const std::string& algorithm,
                        sim::HostMutRef a, sim::HostMutRef r,
                        const qr::QrOptions& opts);
 
-/// True for the three driver names run_driver accepts.
+/// True for the four driver names run_driver accepts.
 bool known_algorithm(const std::string& algorithm);
 
 } // namespace detail

@@ -22,7 +22,9 @@ struct JobSpec {
   std::string name;
   index_t m = 0;
   index_t n = 0;
-  /// OOC driver: "recursive", "blocking" or "left".
+  /// OOC driver: "recursive", "blocking", "left", or "tsqr". A "tsqr" job
+  /// is gang-scheduled — it acquires every device in the fleet atomically
+  /// and runs the fleet-wide out-of-core TSQR (qr::tsqr_ooc_qr).
   std::string algorithm = "recursive";
   blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
   /// Panel width; 0 = autotune via phantom dry runs at admission time.

@@ -1,8 +1,10 @@
 #include "serve/jobs_io.hpp"
 
 #include <cctype>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/error.hpp"
 
@@ -96,11 +98,18 @@ struct Cursor {
       throw InvalidArgument("jobs JSON: expected a number at offset " +
                             std::to_string(start));
     }
+    const std::string span = text.substr(start, pos - start);
     try {
-      return std::stod(text.substr(start, pos - start));
+      // stod parses a prefix; the whole consumed span must be the number,
+      // or junk like "1.2.3" / "1e2e3" would silently pass as 1.2 / 100.
+      size_t parsed = 0;
+      const double v = std::stod(span, &parsed);
+      if (parsed != span.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      return v;
     } catch (const std::exception&) {
-      throw InvalidArgument("jobs JSON: malformed number '" +
-                            text.substr(start, pos - start) + "'");
+      throw InvalidArgument("jobs JSON: malformed number '" + span + "'");
     }
   }
 
@@ -120,7 +129,14 @@ struct Cursor {
 };
 
 index_t to_index(double v, const std::string& key) {
-  if (v < 0 || v != static_cast<double>(static_cast<index_t>(v))) {
+  // Range-check before the cast: float-to-integer conversion of an
+  // out-of-range value (say 1e30) is undefined behavior, so the cast may
+  // only run once v is known to fit. double(int64 max) rounds *up* to
+  // 2^63, itself out of range, hence the exclusive comparison.
+  const double max_index =
+      static_cast<double>(std::numeric_limits<index_t>::max());
+  if (!(v >= 0) || v >= max_index ||
+      v != static_cast<double>(static_cast<index_t>(v))) {
     throw InvalidArgument("jobs JSON: \"" + key +
                           "\" must be a non-negative integer");
   }

@@ -87,6 +87,8 @@ struct Scheduler::Job {
   JobSpec spec;
   int id = 0;
   JobState state = JobState::Queued;
+  /// Gang-scheduled: acquires the whole fleet atomically (algorithm "tsqr").
+  bool gang = false;
   index_t blocksize = 0;
   double predicted_seconds = 0;
   bytes_t predicted_peak_bytes = 0;
@@ -142,6 +144,8 @@ Scheduler::~Scheduler() = default;
 AdmissionDecision Scheduler::submit(const JobSpec& spec) {
   AdmissionConfig acfg;
   acfg.spec = cfg_.spec;
+  acfg.devices = cfg_.devices;
+  acfg.shared_link = cfg_.shared_link;
   acfg.checkpoint_every = cfg_.checkpoint_every;
   acfg.memory_fraction = cfg_.admission_memory_fraction;
   acfg.paper_calibration = cfg_.paper_calibration;
@@ -162,6 +166,7 @@ AdmissionDecision Scheduler::submit(const JobSpec& spec) {
   ROCQR_CHECK(!ran_, "serve::Scheduler: submit after run()");
   auto job = std::make_unique<Job>();
   job->spec = spec;
+  job->gang = spec.algorithm == "tsqr";
   job->id = static_cast<int>(jobs_.size());
   d.job_id = job->id;
   if (d.admitted) {
@@ -259,7 +264,7 @@ bool Scheduler::work_pending_locked() const {
   return false;
 }
 
-Scheduler::Job* Scheduler::pick_locked() {
+Scheduler::Job* Scheduler::pick_locked() const {
   Job* best = nullptr;
   for (const auto& up : jobs_) {
     Job& job = *up;
@@ -288,17 +293,24 @@ Scheduler::Job* Scheduler::pick_locked() {
   return best;
 }
 
+Scheduler::Job* Scheduler::dispatchable_locked() const {
+  // The job an idle worker could legally start right now. A gang top pick
+  // drains the fleet: until every device is idle nothing dispatches — not
+  // the gang (it needs all devices) and not lower-priority backfill (which
+  // would starve it).
+  Job* top = pick_locked();
+  if (top == nullptr) return nullptr;
+  if (top->gang && (running_ > 0 || gang_active_)) return nullptr;
+  return top;
+}
+
 bool Scheduler::may_act_locked(int device_index, double t) const {
-  // A ready job would be dispatched by the earliest-available idle device,
-  // so idle devices behind `t` only matter while one exists.
-  bool ready = false;
-  for (const auto& job : jobs_) {
-    if ((job->state == JobState::Queued && job->arrived) ||
-        job->state == JobState::Preempted) {
-      ready = true;
-      break;
-    }
-  }
+  // A dispatchable job would be started by the earliest-available idle
+  // device, so idle devices behind `t` only matter while one exists. (This
+  // must be "dispatchable", not merely "ready": while a gang pick drains
+  // the fleet, idle devices cannot act, and making running jobs wait on
+  // them would deadlock the drain.)
+  const bool ready = dispatchable_locked() != nullptr;
   for (int e = 0; e < cfg_.devices; ++e) {
     if (e == device_index) continue;
     const auto eu = static_cast<size_t>(e);
@@ -311,9 +323,22 @@ bool Scheduler::may_act_locked(int device_index, double t) const {
 
 void Scheduler::maybe_preempt_locked() {
   if (!cfg_.preemption) return;
-  if (running_ < cfg_.devices) return; // an idle device will take it
   Job* top = pick_locked();
   if (top == nullptr) return;
+  if (top->gang) {
+    // A gang needs the whole fleet, so even one lower-priority running job
+    // blocks it: ask every strictly-lower-priority running job (possibly a
+    // running gang) to yield at its next checkpoint. Equal-or-higher
+    // priority work finishes first and the drain completes naturally.
+    for (const auto& up : jobs_) {
+      Job& job = *up;
+      if (job.state != JobState::Running || job.preempt_requested) continue;
+      if (job.spec.priority >= top->spec.priority) continue;
+      job.preempt_requested = true;
+    }
+    return;
+  }
+  if (running_ < cfg_.devices) return; // an idle device will take it
   // Victim: a running job of strictly lower priority, preferring the one
   // with the most columns still to factor (least completed work thrown
   // away, and — since its progress is bounded by the fleet's — its next
@@ -339,6 +364,33 @@ void Scheduler::on_unit_completed(Job& job, const qr::Checkpoint& cp) {
   // sink contract requires a copy anyway, the driver reuses its buffers.
   qr::Checkpoint copy = cp;
   bool unwind = false;
+  if (job.gang) {
+    // The gang owns every device, so there is no concurrent activity to
+    // order against: publish all the availability bounds and act at once
+    // (waiting on may_act here would deadlock — the "other" devices are
+    // this very job's).
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (int e = 0; e < cfg_.devices; ++e) {
+      const auto eu = static_cast<size_t>(e);
+      const double t =
+          qr::stats_from_trace(devices_[eu]->trace(), 0, 0).last_end;
+      device_avail_[eu] = std::max(device_avail_[eu], t);
+    }
+    job.checkpoint = std::move(copy);
+    job.has_checkpoint = true;
+    ++fleet_units_;
+    release_arrivals_locked();
+    maybe_preempt_locked();
+    // tsqr checkpoints are per-leaf (columns_done == 0 until the driver
+    // returns), so a requested preemption always unwinds: the reduction
+    // tree and reconstruction sweep still lie ahead.
+    unwind = job.preempt_requested;
+    lk.unlock();
+    counter("serve.units_completed").increment();
+    cv_.notify_all();
+    if (unwind) throw PreemptRequest{};
+    return;
+  }
   {
     std::unique_lock<std::mutex> lk(mutex_);
     const int d = job.last_device;
@@ -373,7 +425,7 @@ void Scheduler::worker(int device_index) {
       std::unique_lock<std::mutex> lk(mutex_);
       for (;;) {
         release_arrivals_locked();
-        Job* candidate = pick_locked();
+        Job* candidate = dispatchable_locked();
         if (candidate != nullptr &&
             may_act_locked(device_index, device_avail_[du])) {
           job = candidate;
@@ -381,9 +433,9 @@ void Scheduler::worker(int device_index) {
         }
         if (!work_pending_locked()) return;
         if (candidate == nullptr && running_ == 0) {
-          // Nothing running, nothing ready, but jobs pending: the only
-          // work left is behind arrival gates that can no longer open (no
-          // units will complete). Force the earliest gate so the batch
+          // Nothing running, nothing dispatchable, but jobs pending: the
+          // only work left is behind arrival gates that can no longer open
+          // (no units will complete). Force the earliest gate so the batch
           // always drains.
           if (force_earliest_arrival_locked()) continue;
         }
@@ -393,8 +445,17 @@ void Scheduler::worker(int device_index) {
       job->preempt_requested = false;
       ++job->attempts;
       job->last_device = device_index;
-      ++running_;
-      device_busy_[du] = 1;
+      if (job->gang) {
+        // Atomic acquisition of the whole fleet: dispatchable_locked only
+        // returned the gang with every device idle, so marking them all
+        // busy under this lock cannot race another dispatch.
+        gang_active_ = true;
+        running_ += cfg_.devices;
+        for (auto& busy : device_busy_) busy = 1;
+      } else {
+        ++running_;
+        device_busy_[du] = 1;
+      }
       const double waited = seconds_since(job->ready_since);
       job->queue_wait_seconds += waited;
       telemetry::MetricsRegistry::global()
@@ -402,7 +463,11 @@ void Scheduler::worker(int device_index) {
           .observe(static_cast<std::int64_t>(waited * 1e6));
       cv_.notify_all();
     }
-    run_attempt(device_index, *job);
+    if (job->gang) {
+      run_gang_attempt(*job);
+    } else {
+      run_attempt(device_index, *job);
+    }
   }
 }
 
@@ -483,31 +548,132 @@ void Scheduler::finish_attempt(Job& job, size_t window, int device_index,
     }
     device_busy_[du] = 0;
     --running_;
-    job.state = state;
-    job.preempt_requested = false;
-    switch (state) {
-    case JobState::Completed:
-      counter("serve.jobs_completed").increment();
-      break;
-    case JobState::Preempted:
-      ++job.preemptions;
-      ++preempt_events_;
-      counter("serve.jobs_preempted").increment();
-      job.ready_since = Clock::now();
-      break;
-    case JobState::Queued: // fault retry
-      ++job.retries;
-      ++retry_events_;
-      counter("serve.job_retries").increment();
-      job.failure = failure; // latest error; cleared on completion
-      job.ready_since = Clock::now();
-      break;
-    default:
-      job.failure = failure;
-      counter("serve.jobs_failed").increment();
-      break;
+    record_outcome_locked(job, state, failure);
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::record_outcome_locked(Job& job, JobState state,
+                                      const std::string& failure) {
+  job.state = state;
+  job.preempt_requested = false;
+  switch (state) {
+  case JobState::Completed:
+    counter("serve.jobs_completed").increment();
+    break;
+  case JobState::Preempted:
+    ++job.preemptions;
+    ++preempt_events_;
+    counter("serve.jobs_preempted").increment();
+    job.ready_since = Clock::now();
+    break;
+  case JobState::Queued: // fault retry
+    ++job.retries;
+    ++retry_events_;
+    counter("serve.job_retries").increment();
+    job.failure = failure; // latest error; cleared on completion
+    job.ready_since = Clock::now();
+    break;
+  default:
+    job.failure = failure;
+    counter("serve.jobs_failed").increment();
+    break;
+  }
+  if (state == JobState::Completed) job.failure.clear();
+}
+
+void Scheduler::run_gang_attempt(Job& job) {
+  std::vector<sim::Device*> fleet;
+  std::vector<size_t> windows;
+  fleet.reserve(devices_.size());
+  windows.reserve(devices_.size());
+  for (const auto& up : devices_) {
+    fleet.push_back(up.get());
+    windows.push_back(up->trace().size());
+  }
+  PreemptSink sink(*this, job);
+
+  qr::QrOptions opts = job.spec.options;
+  opts.blocksize = job.blocksize;
+  opts.precision = job.spec.precision;
+  opts.checkpoint_sink = &sink;
+  opts.checkpoint_every = cfg_.checkpoint_every;
+  opts.resume_units = 0;
+
+  sim::HostMutRef a = job.spec.a.data != nullptr
+                          ? job.spec.a
+                          : sim::HostMutRef::phantom(job.spec.m, job.spec.n);
+  sim::HostMutRef r = job.spec.r.data != nullptr
+                          ? job.spec.r
+                          : sim::HostMutRef::phantom(job.spec.n, job.spec.n);
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!job.has_checkpoint) {
+      qr::Checkpoint cp0;
+      cp0.driver = job.spec.algorithm;
+      cp0.m = job.spec.m;
+      cp0.n = job.spec.n;
+      cp0.blocksize = job.blocksize;
+      cp0.columns_done = 0;
+      cp0.units_done = 0;
+      cp0.a = snapshot_host(a);
+      cp0.r = snapshot_host(r);
+      job.checkpoint = std::move(cp0);
+      job.has_checkpoint = true;
     }
-    if (state == JobState::Completed) job.failure.clear();
+  }
+
+  try {
+    qr::Checkpoint start;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      start = job.checkpoint;
+    }
+    std::vector<std::unique_ptr<sim::TraceSpan>> spans;
+    spans.reserve(fleet.size());
+    for (sim::Device* dev : fleet) {
+      spans.push_back(std::make_unique<sim::TraceSpan>(
+          *dev, "serve.job " + job.spec.name + " attempt " +
+                    std::to_string(job.attempts)));
+    }
+    qr::resume_ooc_qr(fleet, start, a, r, opts);
+    spans.clear();
+    finish_gang_attempt(job, windows, JobState::Completed, "");
+  } catch (const PreemptRequest&) {
+    sim::synchronize_all(fleet);
+    finish_gang_attempt(job, windows, JobState::Preempted, "");
+  } catch (const Error& e) {
+    sim::synchronize_all(fleet);
+    const bool retry = job.retries < cfg_.max_job_retries;
+    finish_gang_attempt(job, windows,
+                        retry ? JobState::Queued : JobState::Failed,
+                        e.what());
+  }
+}
+
+void Scheduler::finish_gang_attempt(Job& job,
+                                    const std::vector<size_t>& windows,
+                                    JobState state,
+                                    const std::string& failure) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<qr::QrStats> per_device;
+    per_device.reserve(devices_.size());
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      per_device.push_back(qr::stats_from_trace(
+          devices_[d]->trace(), windows[d], devices_[d]->memory_peak()));
+    }
+    accumulate_stats(job.stats, qr::combine_device_stats(per_device));
+    for (size_t d = 0; d < per_device.size(); ++d) {
+      if (per_device[d].events > 0) {
+        device_avail_[d] = std::max(device_avail_[d], per_device[d].last_end);
+      }
+      device_busy_[d] = 0;
+    }
+    running_ -= cfg_.devices;
+    gang_active_ = false;
+    record_outcome_locked(job, state, failure);
   }
   cv_.notify_all();
 }

@@ -19,6 +19,17 @@
 // to an uninterrupted run. Faults installed on fleet devices are absorbed
 // the same way: a failed attempt retries from the job's latest checkpoint
 // up to max_job_retries times.
+//
+// Jobs with algorithm "tsqr" are *gang-scheduled*: one job acquires every
+// device in the fleet atomically and runs qr::tsqr_ooc_qr across them.
+// While a gang job is the top pick the fleet drains — idle workers stop
+// backfilling lower-priority work (and, with preemption on, every running
+// job of strictly lower priority is asked to yield) until the fleet is
+// fully idle and the gang dispatches in one step, so backfill can never
+// deadlock or starve it. A running gang checkpoints at leaf-factorization
+// boundaries ("tsqr" driver tag), preempts and resumes like any other job,
+// and its per-device trace windows roll up through
+// qr::combine_device_stats.
 #pragma once
 
 #include <condition_variable>
@@ -91,14 +102,20 @@ class Scheduler {
 
   void worker(int device_index);
   void run_attempt(int device_index, Job& job);
+  void run_gang_attempt(Job& job);
   void finish_attempt(Job& job, size_t window, int device_index,
                       JobState state, const std::string& failure);
+  void finish_gang_attempt(Job& job, const std::vector<size_t>& windows,
+                           JobState state, const std::string& failure);
+  void record_outcome_locked(Job& job, JobState state,
+                             const std::string& failure);
   void on_unit_completed(Job& job, const qr::Checkpoint& cp);
   bool may_act_locked(int device_index, double t) const;
   void release_arrivals_locked();
   bool force_earliest_arrival_locked();
   bool work_pending_locked() const;
-  Job* pick_locked();
+  Job* pick_locked() const;
+  Job* dispatchable_locked() const;
   void maybe_preempt_locked();
   FleetReport build_report();
 
@@ -116,7 +133,10 @@ class Scheduler {
   std::vector<double> device_avail_;
   std::vector<char> device_busy_;
   index_t fleet_units_ = 0;
+  /// Busy devices (a gang job counts as cfg_.devices of them).
   int running_ = 0;
+  /// A gang job currently owns the whole fleet.
+  bool gang_active_ = false;
   std::int64_t preempt_events_ = 0;
   std::int64_t retry_events_ = 0;
   bool ran_ = false;

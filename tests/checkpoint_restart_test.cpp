@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -193,6 +194,111 @@ TEST(CheckpointSerialization, FileSinkRoundTrip) {
   EXPECT_EQ(back.driver, cp.driver);
   EXPECT_EQ(back.a, cp.a);
   EXPECT_EQ(back.r, cp.r);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointAtomicity, FailedWriteKeepsPreviousCheckpoint) {
+  // FileCheckpointSink serializes to a ".tmp" sidecar and renames into
+  // place: a write that dies partway must leave the previous good
+  // checkpoint untouched (the old trunc-in-place sink destroyed it).
+  qr::Checkpoint cp1;
+  cp1.driver = "blocking";
+  cp1.m = 3;
+  cp1.n = 2;
+  cp1.blocksize = 1;
+  cp1.columns_done = 1;
+  cp1.units_done = 1;
+  cp1.a = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  cp1.r = {7.0f, 8.0f, 9.0f, 10.0f};
+
+  const std::string path = "checkpoint_atomic_test.ckpt";
+  const std::string tmp = path + ".tmp";
+  qr::FileCheckpointSink sink(path);
+  sink.write(cp1);
+  EXPECT_FALSE(std::filesystem::exists(tmp)); // renamed, not copied
+
+  // Crash the next write mid-checkpoint: a directory squatting on the
+  // sidecar path makes serialization fail before the rename.
+  std::filesystem::create_directory(tmp);
+  qr::Checkpoint cp2 = cp1;
+  cp2.columns_done = 2;
+  cp2.units_done = 2;
+  cp2.a[0] = -42.0f;
+  EXPECT_THROW(sink.write(cp2), InvalidArgument);
+
+  const qr::Checkpoint back = qr::load_checkpoint_file(path);
+  EXPECT_EQ(back.units_done, cp1.units_done);
+  EXPECT_EQ(back.a, cp1.a);
+  EXPECT_EQ(back.r, cp1.r);
+
+  // Once the obstruction clears, the sink recovers on the next write.
+  std::filesystem::remove_all(tmp);
+  sink.write(cp2);
+  EXPECT_EQ(qr::load_checkpoint_file(path).units_done, cp2.units_done);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::remove(path.c_str());
+}
+
+/// Delegates to a FileCheckpointSink but sabotages write number `fail_at`
+/// by squatting on the ".tmp" sidecar — simulating a crash mid-checkpoint.
+class SabotagedFileSink : public qr::CheckpointSink {
+ public:
+  SabotagedFileSink(std::string path, int fail_at)
+      : inner_(path), path_(std::move(path)), fail_at_(fail_at) {}
+  void write(const qr::Checkpoint& cp) override {
+    if (++writes_ == fail_at_) {
+      std::filesystem::create_directory(path_ + ".tmp");
+    }
+    inner_.write(cp);
+  }
+
+ private:
+  qr::FileCheckpointSink inner_;
+  std::string path_;
+  int fail_at_;
+  int writes_ = 0;
+};
+
+TEST(CheckpointAtomicity, RunKilledMidCheckpointStillResumesBitIdentical) {
+  // End-to-end chaos: a recursive run checkpointing to a file dies during
+  // its second checkpoint write. The file must still hold the first
+  // checkpoint, and resuming from it must reproduce the uninterrupted
+  // factorization bit for bit.
+  const index_t m = 96;
+  const index_t n = 72;
+  qr::QrOptions opts = base_options();
+  opts.resident_subtrees = false; // panels as leaves: one unit per panel
+
+  la::Matrix a0 = la::random_normal(m, n, 77);
+  la::Matrix q_ref = la::materialize(a0.view());
+  la::Matrix r_ref(n, n);
+  Device ref_dev(test_spec(), ExecutionMode::Real);
+  qr::recursive_ooc_qr(ref_dev, q_ref.view(), r_ref.view(), opts);
+
+  const std::string path = "checkpoint_chaos_test.ckpt";
+  const std::string tmp = path + ".tmp";
+  SabotagedFileSink sink(path, 2);
+  qr::QrOptions killed_opts = opts;
+  killed_opts.checkpoint_sink = &sink;
+  la::Matrix q_killed = la::materialize(a0.view());
+  la::Matrix r_killed(n, n);
+  Device killed_dev(test_spec(), ExecutionMode::Real);
+  EXPECT_THROW(qr::recursive_ooc_qr(killed_dev, q_killed.view(),
+                                    r_killed.view(), killed_opts),
+               InvalidArgument);
+
+  const qr::Checkpoint cp = qr::load_checkpoint_file(path);
+  EXPECT_EQ(cp.driver, "recursive");
+  EXPECT_EQ(cp.units_done, 1); // the write of unit 2 was the crash
+
+  la::Matrix q_res(m, n);
+  la::Matrix r_res(n, n);
+  Device res_dev(test_spec(), ExecutionMode::Real);
+  qr::resume_ooc_qr(res_dev, cp, q_res.view(), r_res.view(), opts);
+  EXPECT_TRUE(bitwise_equal(q_res, q_ref));
+  EXPECT_TRUE(bitwise_equal(r_res, r_ref));
+
+  std::filesystem::remove_all(tmp);
   std::remove(path.c_str());
 }
 

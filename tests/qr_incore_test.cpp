@@ -111,6 +111,58 @@ TEST(IncoreQr, TsqrMatchesHouseholderAcrossTreeShapes) {
   }
 }
 
+TEST(IncoreQr, TsqrSingleLeafDegeneratesToHouseholder) {
+  // m <= row_block: the tree is one leaf, so tsqr IS a (sign-normalized)
+  // Householder QR — the exact degenerate case the OOC fleet driver hits
+  // with one device.
+  la::Matrix a = la::random_normal(48, 20, 41);
+  const QrFactors f = tsqr(a.view(), 64);
+  const QrFactors ref = householder(a.view());
+  EXPECT_LT(la::relative_difference(f.q.view(), ref.q.view()), 1e-6);
+  EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-6);
+}
+
+TEST(IncoreQr, TsqrOddLeafCountExercisesPassThrough) {
+  // 160 rows at row_block 32 -> 5 leaves: every reduction level carries a
+  // lone trailing node whose R (and coefficient) passes through unmerged.
+  la::Matrix a = la::random_normal(160, 16, 43);
+  const QrFactors f = tsqr(a.view(), 32);
+  const QrFactors ref = householder(a.view());
+  EXPECT_LT(la::relative_difference(f.q.view(), ref.q.view()), 1e-4);
+  EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-4);
+  EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-5);
+}
+
+TEST(IncoreQr, TsqrAbsorbsShortTailIntoLastLeaf) {
+  // m = 3*row_block + tail with 0 < tail < n: a tail leaf shorter than n
+  // would have a rank-deficient stacked R, so it must be absorbed into the
+  // previous leaf instead of forming its own.
+  const index_t n = 24;
+  const index_t rb = 40;
+  for (const index_t tail : {1, 10, 23}) {
+    la::Matrix a = la::random_normal(3 * rb + tail, n, 47);
+    const QrFactors f = tsqr(a.view(), rb);
+    const QrFactors ref = householder(a.view());
+    EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-4)
+        << "tail=" << tail;
+    EXPECT_LT(la::qr_residual(a.view(), f.q.view(), f.r.view()), 1e-5)
+        << "tail=" << tail;
+  }
+}
+
+TEST(IncoreQr, TsqrSignConventionMatchesHouseholder) {
+  // Both pin diag(R) > 0, which is what lets the OOC fleet driver compare
+  // its (CGS-leaf) R against the in-core reference without sign fixes.
+  la::Matrix a = la::random_normal(128, 20, 53);
+  const QrFactors f = tsqr(a.view(), 32);
+  const QrFactors ref = householder(a.view());
+  for (index_t j = 0; j < 20; ++j) {
+    EXPECT_GT(f.r(j, j), 0.0f) << j;
+    EXPECT_GT(ref.r(j, j), 0.0f) << j;
+  }
+  EXPECT_LT(la::relative_difference(f.r.view(), ref.r.view()), 1e-4);
+}
+
 TEST(IncoreQr, TsqrStaysStableWhereCgsFails) {
   // TSQR inherits Householder's unconditional stability — the property the
   // Gram-Schmidt family trades away for GEMM-friendliness.

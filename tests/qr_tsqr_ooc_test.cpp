@@ -1,0 +1,331 @@
+// Fleet-wide out-of-core TSQR (qr::tsqr_ooc_qr): numerical agreement with
+// the in-core references, the single-device degenerate case, odd fleets
+// (pass-through nodes), the fleet-memory capacity unlock (a matrix bigger
+// than any one device's budget), the multi-device speedup over the
+// single-device recursive driver, and leaf-granular kill-and-resume that
+// reproduces the uninterrupted result bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "leak_check.hpp"
+#include "qr/checkpoint.hpp"
+#include "qr/incore.hpp"
+#include "qr/recursive_qr.hpp"
+#include "qr/tsqr_ooc.hpp"
+#include "sim/device.hpp"
+#include "sim/faults.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+using sim::FaultPlan;
+
+sim::DeviceSpec small_spec(bytes_t capacity) {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = capacity;
+  return s;
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<Device>> owned;
+  std::vector<Device*> ptrs;
+};
+
+Fleet make_fleet(int n, const sim::DeviceSpec& spec, ExecutionMode mode,
+                 bool shared_link = false) {
+  Fleet f;
+  auto link = shared_link ? std::make_shared<sim::SharedHostLink>()
+                          : std::shared_ptr<sim::SharedHostLink>();
+  for (int i = 0; i < n; ++i) {
+    f.owned.push_back(std::make_unique<Device>(spec, mode, link));
+    f.ptrs.push_back(f.owned.back().get());
+  }
+  return f;
+}
+
+bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      if (x(i, j) != y(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+qr::QrOptions base_options() {
+  qr::QrOptions opts;
+  opts.blocksize = 24;
+  opts.panel_base = 8;
+  opts.precision = blas::GemmPrecision::FP32;
+  return opts;
+}
+
+TEST(TsqrOoc, MatchesHouseholderReference) {
+  // 4 Real devices, 4 leaves: leaf CGS factorizations, two reduction
+  // levels, full coefficient reconstruction. Both tsqr_ooc_qr and the
+  // references pin diag(R) > 0, so Q and R are comparable directly.
+  const index_t m = 512;
+  const index_t n = 32;
+  la::Matrix a0 = la::random_normal(m, n, 11);
+  la::Matrix q = la::materialize(a0.view());
+  la::Matrix r(n, n);
+  Fleet fleet = make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
+  const qr::QrStats stats =
+      qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), base_options());
+  EXPECT_GT(stats.events, 0);
+
+  const qr::QrFactors ref = qr::householder(a0.view());
+  EXPECT_LT(la::relative_difference(r.view(), ref.r.view()), 1e-4);
+  EXPECT_LT(la::relative_difference(q.view(), ref.q.view()), 1e-4);
+  EXPECT_LT(la::qr_residual(a0.view(), q.view(), r.view()), 1e-5);
+  EXPECT_LT(la::orthogonality_error(q.view()), 1e-4);
+  for (index_t j = 0; j < n; ++j) EXPECT_GT(r(j, j), 0.0f) << j;
+
+  // And against the in-core tsqr with the same 4-leaf partition.
+  const qr::QrFactors incore = qr::tsqr(a0.view(), m / 4);
+  EXPECT_LT(la::relative_difference(r.view(), incore.r.view()), 1e-4);
+  EXPECT_LT(la::relative_difference(q.view(), incore.q.view()), 1e-4);
+}
+
+TEST(TsqrOoc, SingleDeviceDegeneratesToRecursiveDriver) {
+  // One device -> one leaf -> no tree, no reconstruction: bit-identical to
+  // running the recursive OOC driver directly.
+  const index_t m = 128;
+  const index_t n = 48;
+  la::Matrix a0 = la::random_normal(m, n, 13);
+  const qr::QrOptions opts = base_options();
+
+  la::Matrix q1 = la::materialize(a0.view());
+  la::Matrix r1(n, n);
+  Fleet fleet = make_fleet(1, small_spec(64LL << 20), ExecutionMode::Real);
+  qr::tsqr_ooc_qr(fleet.ptrs, q1.view(), r1.view(), opts);
+
+  la::Matrix q2 = la::materialize(a0.view());
+  la::Matrix r2(n, n);
+  Device solo(small_spec(64LL << 20), ExecutionMode::Real);
+  qr::recursive_ooc_qr(solo, q2.view(), r2.view(), opts);
+
+  EXPECT_TRUE(bitwise_equal(q1, q2));
+  EXPECT_TRUE(bitwise_equal(r1, r2));
+}
+
+TEST(TsqrOoc, OddFleetExercisesPassThroughNodes) {
+  // 3 devices -> 3 leaves: level 0 merges one pair and passes the third
+  // leaf through; its coefficient must flow back down unchanged.
+  const index_t m = 360;
+  const index_t n = 24;
+  la::Matrix a0 = la::random_normal(m, n, 17);
+  la::Matrix q = la::materialize(a0.view());
+  la::Matrix r(n, n);
+  Fleet fleet = make_fleet(3, small_spec(64LL << 20), ExecutionMode::Real);
+  qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), base_options());
+
+  const qr::QrFactors ref = qr::householder(a0.view());
+  EXPECT_LT(la::relative_difference(r.view(), ref.r.view()), 1e-4);
+  EXPECT_LT(la::relative_difference(q.view(), ref.q.view()), 1e-4);
+  EXPECT_LT(la::qr_residual(a0.view(), q.view(), r.view()), 1e-5);
+}
+
+TEST(TsqrOoc, ShortFleetUsesFewerLeavesThanDevices) {
+  // m/n = 2 < 4 devices: only 2 leaves run (each must keep >= n rows);
+  // the result is still a valid factorization.
+  const index_t m = 64;
+  const index_t n = 32;
+  EXPECT_EQ(qr::detail::tsqr_leaf_count(m, n, 4), 2);
+  la::Matrix a0 = la::random_normal(m, n, 19);
+  la::Matrix q = la::materialize(a0.view());
+  la::Matrix r(n, n);
+  Fleet fleet = make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
+  qr::QrOptions opts = base_options();
+  opts.blocksize = 16;
+  qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), opts);
+  EXPECT_LT(la::qr_residual(a0.view(), q.view(), r.view()), 1e-5);
+  EXPECT_LT(la::orthogonality_error(q.view()), 1e-4);
+}
+
+TEST(TsqrOoc, FourDevicesFactorMatrixExceedingOneDeviceBudget) {
+  // The capacity unlock: A is 384 KiB against a 256 KiB device budget —
+  // no single device could even hold the matrix — but each of the 4 row
+  // blocks streams within its own device's memory.
+  const index_t m = 2048;
+  const index_t n = 48;
+  const bytes_t capacity = 256LL << 10;
+  ASSERT_GT(static_cast<bytes_t>(m) * n * sizeof(float), capacity);
+
+  la::Matrix a0 = la::random_normal(m, n, 23);
+  la::Matrix q = la::materialize(a0.view());
+  la::Matrix r(n, n);
+  Fleet fleet = make_fleet(4, small_spec(capacity), ExecutionMode::Real);
+  qr::QrOptions opts = base_options();
+  opts.blocksize = 16;
+  const qr::QrStats stats =
+      qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), opts);
+  EXPECT_LE(stats.peak_device_bytes, capacity);
+
+  const qr::QrFactors ref = qr::householder(a0.view());
+  EXPECT_LT(la::relative_difference(r.view(), ref.r.view()), 1e-3);
+  EXPECT_LT(la::qr_residual(a0.view(), q.view(), r.view()), 1e-5);
+  EXPECT_LT(la::orthogonality_error(q.view()), 1e-4);
+}
+
+TEST(TsqrOoc, FourDeviceMakespanBeatsSingleDeviceRecursive) {
+  // Paper-scale phantom comparison: splitting the tall matrix over 4
+  // devices must beat one device running the recursive driver on the whole
+  // thing, despite the reduction tree and the extra Q-reconstruction GEMMs.
+  const index_t m = 131072;
+  const index_t n = 4096;
+  qr::QrOptions opts;
+  opts.blocksize = 4096;
+  auto a = sim::HostMutRef::phantom(m, n);
+  auto r = sim::HostMutRef::phantom(n, n);
+
+  Fleet fleet =
+      make_fleet(4, sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  for (Device* dev : fleet.ptrs) dev->model().install_paper_calibration();
+  const qr::QrStats fleet_stats = qr::tsqr_ooc_qr(fleet.ptrs, a, r, opts);
+
+  Device solo(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  solo.model().install_paper_calibration();
+  const qr::QrStats solo_stats = qr::recursive_ooc_qr(solo, a, r, opts);
+
+  EXPECT_GT(fleet_stats.total_seconds, 0);
+  EXPECT_LT(fleet_stats.total_seconds, solo_stats.total_seconds);
+}
+
+TEST(TsqrOoc, SharedLinkCostsMoreThanPrivateLinks) {
+  const index_t m = 131072;
+  const index_t n = 4096;
+  qr::QrOptions opts;
+  opts.blocksize = 4096;
+  auto a = sim::HostMutRef::phantom(m, n);
+  auto r = sim::HostMutRef::phantom(n, n);
+
+  double seconds[2] = {0, 0};
+  for (int shared = 0; shared < 2; ++shared) {
+    Fleet fleet = make_fleet(4, sim::DeviceSpec::v100_32gb(),
+                             ExecutionMode::Phantom, shared == 1);
+    for (Device* dev : fleet.ptrs) dev->model().install_paper_calibration();
+    seconds[shared] = qr::tsqr_ooc_qr(fleet.ptrs, a, r, opts).total_seconds;
+  }
+  EXPECT_GT(seconds[1], seconds[0]);
+}
+
+TEST(TsqrOoc, RejectsBadShapes) {
+  Fleet fleet = make_fleet(2, small_spec(64LL << 20), ExecutionMode::Phantom);
+  auto wide = sim::HostMutRef::phantom(4, 8);
+  auto r8 = sim::HostMutRef::phantom(8, 8);
+  EXPECT_THROW(qr::tsqr_ooc_qr(fleet.ptrs, wide, r8, base_options()),
+               InvalidArgument);
+  auto a = sim::HostMutRef::phantom(64, 8);
+  auto bad_r = sim::HostMutRef::phantom(4, 8);
+  EXPECT_THROW(qr::tsqr_ooc_qr(fleet.ptrs, a, bad_r, base_options()),
+               InvalidArgument);
+  EXPECT_THROW(
+      qr::tsqr_ooc_qr(std::vector<Device*>{}, a, r8, base_options()),
+      InvalidArgument);
+}
+
+/// Kills the fleet run at every H2D operation on device `fault_dev` that
+/// leaves a checkpoint behind, resumes each on a fresh fleet, and requires
+/// the resumed factorization to match the uninterrupted one bit for bit.
+int kill_and_resume_sweep(int devices, int fault_dev, index_t m, index_t n,
+                          const qr::QrOptions& opts) {
+  la::Matrix a0 = la::random_normal(m, n, 31);
+
+  la::Matrix q_ref = la::materialize(a0.view());
+  la::Matrix r_ref(n, n);
+  Fleet ref_fleet =
+      make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
+  ref_fleet.ptrs[static_cast<size_t>(fault_dev)]->install_faults(
+      FaultPlan::parse("h2d:transient:p=0"));
+  qr::tsqr_ooc_qr(ref_fleet.ptrs, q_ref.view(), r_ref.view(), opts);
+  const std::int64_t total_h2d =
+      ref_fleet.ptrs[static_cast<size_t>(fault_dev)]
+          ->fault_injector()
+          ->ops_seen(sim::FaultSite::H2D);
+  EXPECT_GT(total_h2d, 2);
+
+  int resumed = 0;
+  for (std::int64_t kill = 2; kill < total_h2d; ++kill) {
+    qr::MemoryCheckpointSink sink;
+    qr::QrOptions kill_opts = opts;
+    kill_opts.checkpoint_sink = &sink;
+    kill_opts.checkpoint_every = 1;
+    kill_opts.transfer_max_attempts = 1;
+    la::Matrix q_killed = la::materialize(a0.view());
+    la::Matrix r_killed(n, n);
+    Fleet kill_fleet =
+        make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
+    kill_fleet.ptrs[static_cast<size_t>(fault_dev)]->install_faults(
+        FaultPlan::parse("h2d:transient:op=" + std::to_string(kill)));
+    EXPECT_THROW(qr::tsqr_ooc_qr(kill_fleet.ptrs, q_killed.view(),
+                                 r_killed.view(), kill_opts),
+                 FaultBudgetExhausted)
+        << "kill " << kill;
+    if (!sink.has_checkpoint()) continue; // killed before the first leaf
+    const qr::Checkpoint& cp = sink.last();
+    EXPECT_EQ(cp.driver, "tsqr");
+    EXPECT_GT(cp.units_done, 0);
+
+    la::Matrix q_res(m, n);
+    la::Matrix r_res(n, n);
+    Fleet res_fleet =
+        make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
+    qr::resume_ooc_qr(res_fleet.ptrs, cp, q_res.view(), r_res.view(), opts);
+    EXPECT_TRUE(bitwise_equal(q_res, q_ref)) << "kill " << kill;
+    EXPECT_TRUE(bitwise_equal(r_res, r_ref)) << "kill " << kill;
+    ++resumed;
+  }
+  return resumed;
+}
+
+TEST(TsqrKillAndResume, LeafCheckpointsResumeBitIdentical) {
+  // Kills on device 0 hit leaf 0's factorization, the reduction-tree
+  // transfers, and the reconstruction sweep; every checkpoint left behind
+  // must resume to the uninterrupted bits.
+  EXPECT_GE(kill_and_resume_sweep(4, 0, 384, 48, base_options()), 1);
+}
+
+TEST(TsqrKillAndResume, LateLeafKillSkipsCompletedLeaves) {
+  // Kills on the last device: the sink then holds checkpoints with several
+  // completed leaves, so the resume exercises the skip path (and an odd
+  // 3-leaf fleet adds a pass-through node on top).
+  EXPECT_GE(kill_and_resume_sweep(3, 2, 288, 48, base_options()), 1);
+}
+
+TEST(TsqrCheckpoint, TsqrRoundTripsThroughStream) {
+  qr::Checkpoint cp;
+  cp.driver = "tsqr";
+  cp.m = 8;
+  cp.n = 2;
+  cp.blocksize = 2;
+  cp.columns_done = 0;
+  cp.units_done = 2;
+  cp.a.resize(16, 1.5f);
+  cp.r.resize(12, -2.0f); // 3 leaves * 2x2 stacked workspace
+  std::stringstream ss;
+  qr::write_checkpoint(ss, cp);
+  const qr::Checkpoint back = qr::read_checkpoint(ss);
+  EXPECT_EQ(back.driver, "tsqr");
+  EXPECT_EQ(back.r, cp.r);
+
+  // An R payload that is not a whole number of n x n slots is rejected.
+  qr::Checkpoint bad = cp;
+  bad.r.resize(13);
+  std::stringstream ss2;
+  qr::write_checkpoint(ss2, bad);
+  EXPECT_THROW(qr::read_checkpoint(ss2), InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr

@@ -1,0 +1,80 @@
+// Jobs-JSON parser hardening: numbers must be consumed whole (no silent
+// prefix parsing), out-of-range values must be rejected before any cast
+// (the old code hit undefined behavior casting 1e30 to index_t), and the
+// documented job fields round-trip.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/job.hpp"
+#include "serve/jobs_io.hpp"
+
+namespace rocqr {
+namespace {
+
+using serve::JobSpec;
+using serve::parse_jobs_json;
+
+TEST(JobsJson, ParsesDocumentedFields) {
+  const std::vector<JobSpec> jobs = parse_jobs_json(R"([
+    {"name": "big", "algorithm": "tsqr", "m": 262144, "n": 16384,
+     "blocksize": 8192, "priority": 3, "deadline": 2.5,
+     "arrival_after_units": 4},
+    {"m": 100, "n": 50}
+  ])");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "big");
+  EXPECT_EQ(jobs[0].algorithm, "tsqr");
+  EXPECT_EQ(jobs[0].m, 262144);
+  EXPECT_EQ(jobs[0].n, 16384);
+  EXPECT_EQ(jobs[0].blocksize, 8192);
+  EXPECT_EQ(jobs[0].priority, 3);
+  EXPECT_DOUBLE_EQ(jobs[0].deadline_seconds, 2.5);
+  EXPECT_EQ(jobs[0].arrival_after_units, 4);
+  EXPECT_EQ(jobs[1].name, "job1"); // defaulted
+}
+
+TEST(JobsJson, AcceptsExponentAndSignForms) {
+  const std::vector<JobSpec> jobs = parse_jobs_json(
+      R"([{"m": 1e2, "n": 5E1, "deadline": 1.5e-1, "priority": -2}])");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].m, 100);
+  EXPECT_EQ(jobs[0].n, 50);
+  EXPECT_DOUBLE_EQ(jobs[0].deadline_seconds, 0.15);
+  EXPECT_EQ(jobs[0].priority, -2);
+}
+
+TEST(JobsJson, RejectsNumbersWithTrailingGarbage) {
+  // std::stod parses a prefix; the parser must reject when the consumed
+  // span was not parsed whole ("1.2.3" used to pass silently as 1.2).
+  for (const char* bad :
+       {"1.2.3", "1e2e3", "1..5", "--3", "3-", "1.2e", "e5", "+-1"}) {
+    const std::string text =
+        std::string(R"([{"m": 100, "n": 50, "deadline": )") + bad + "}]";
+    EXPECT_THROW(parse_jobs_json(text), InvalidArgument) << bad;
+  }
+}
+
+TEST(JobsJson, RejectsHugeDimensionBeforeCasting) {
+  // Regression: 1e30 does not fit index_t; the old code cast first (UB)
+  // and range-checked after. Must now throw cleanly.
+  EXPECT_THROW(parse_jobs_json(R"([{"m": 1e30, "n": 50}])"), InvalidArgument);
+  EXPECT_THROW(parse_jobs_json(R"([{"m": 100, "n": 9.3e18}])"),
+               InvalidArgument);
+  EXPECT_THROW(parse_jobs_json(R"([{"m": -1, "n": 50}])"), InvalidArgument);
+  EXPECT_THROW(parse_jobs_json(R"([{"m": 2.5, "n": 50}])"), InvalidArgument);
+}
+
+TEST(JobsJson, RejectsStructuralGarbage) {
+  EXPECT_THROW(parse_jobs_json("[{]"), InvalidArgument);
+  EXPECT_THROW(parse_jobs_json(R"([{"m": 4, "n": 2}] trailing)"),
+               InvalidArgument);
+  EXPECT_THROW(parse_jobs_json(R"([{"n": 2}])"), InvalidArgument); // no m
+  EXPECT_THROW(parse_jobs_json(R"([{"m": 4, "n": 2, "wat": 1}])"),
+               InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr

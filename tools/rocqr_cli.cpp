@@ -7,6 +7,7 @@
 //                   [--fp32] [--timeline] [--csv FILE] [--chrome FILE]
 //   rocqr_cli lu    (same flags; square matrices)
 //   rocqr_cli chol  (same flags; square SPD)
+//   rocqr_cli tsqr  [--devices N] [--shared-link] [--m N] [--n N] ...
 //   rocqr_cli tune  [--algo ...] [--m N] [--n N] [--device NAME]
 //   rocqr_cli specs                  # list device presets
 //
@@ -33,6 +34,7 @@
 #include "qr/checkpoint.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
+#include "qr/tsqr_ooc.hpp"
 #include "report/table.hpp"
 #include "serve/jobs_io.hpp"
 #include "serve/scheduler.hpp"
@@ -238,6 +240,70 @@ int run_factorization(const Args& args) {
   return 0;
 }
 
+int run_tsqr(const Args& args) {
+  const index_t n = args.number("n", 16384);
+  const index_t m = args.number("m", 8 * n);
+  const index_t blocksize = args.number("blocksize", 16384);
+  const int ndev = static_cast<int>(args.number("devices", 4));
+  if (ndev < 1) {
+    std::cerr << "--devices must be >= 1\n";
+    return 2;
+  }
+
+  sim::DeviceSpec spec = spec_by_name(args.value("device", "v100-32"));
+  if (args.values.count("capacity-gib") != 0) {
+    spec.memory_capacity = args.number("capacity-gib", 32) * (1LL << 30);
+  }
+  auto link = args.has_flag("shared-link")
+                  ? std::make_shared<sim::SharedHostLink>()
+                  : std::shared_ptr<sim::SharedHostLink>();
+  std::vector<std::unique_ptr<sim::Device>> fleet;
+  std::vector<sim::Device*> ptrs;
+  for (int i = 0; i < ndev; ++i) {
+    fleet.push_back(std::make_unique<sim::Device>(
+        spec, sim::ExecutionMode::Phantom, link));
+    fleet.back()->model().install_paper_calibration();
+    fleet.back()->set_host_memory_pinned(!args.has_flag("pageable"));
+    ptrs.push_back(fleet.back().get());
+  }
+
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.qr_level_opt = !args.has_flag("no-qr-opt");
+  opts.staging_buffer = !args.has_flag("no-staging");
+  opts.ramp_up = args.has_flag("ramp");
+  if (args.has_flag("fp32")) opts.precision = blas::GemmPrecision::FP32;
+  opts.checkpoint_every = args.number("checkpoint-every", 1);
+  std::unique_ptr<qr::FileCheckpointSink> sink;
+  if (const auto it = args.values.find("checkpoint");
+      it != args.values.end()) {
+    sink = std::make_unique<qr::FileCheckpointSink>(it->second);
+    opts.checkpoint_sink = sink.get();
+  }
+
+  const index_t leaves =
+      qr::detail::tsqr_leaf_count(m, n, static_cast<size_t>(ndev));
+  std::cout << "tsqr " << format_shape(m, n) << " over " << ndev << " x "
+            << spec.name << " (" << format_bytes(spec.memory_capacity)
+            << " each" << (link ? ", shared host link" : "") << "), "
+            << leaves << " leaves, b=" << blocksize << "\n";
+
+  auto a = sim::HostMutRef::phantom(m, n);
+  auto r = sim::HostMutRef::phantom(n, n);
+  qr::QrStats stats;
+  if (const auto it = args.values.find("resume"); it != args.values.end()) {
+    const qr::Checkpoint cp = qr::load_checkpoint_file(it->second);
+    std::cout << "resuming " << cp.driver << " QR from unit " << cp.units_done
+              << "\n";
+    stats = qr::resume_ooc_qr(ptrs, cp, a, r, opts);
+  } else {
+    stats = qr::tsqr_ooc_qr(ptrs, a, r, opts);
+  }
+  print_stats("TSQR", stats);
+  dump_traces(*fleet.front(), args);
+  return 0;
+}
+
 int run_tune(const Args& args) {
   const bool recursive = args.value("algo", "recursive") == "recursive";
   const index_t n = args.number("n", 131072);
@@ -372,6 +438,9 @@ void usage() {
 
 commands:
   qr | lu | chol   simulate one factorization at paper scale
+  tsqr             fleet-wide out-of-core TSQR: one huge factorization
+                   split across --devices N (supports --shared-link,
+                   --checkpoint/--resume; capacity scales with the fleet)
   tune             sweep blocksizes, recommend the fastest
   serve            schedule a batch of QR jobs over a device fleet
   specs            list device presets
@@ -399,7 +468,9 @@ fault tolerance (QR; see docs/FAULTS.md):
   --resume FILE               restart from the checkpoint in FILE
 
 serving (see docs/SERVING.md):
-  --jobs FILE                 JSON array of job objects (required)
+  --jobs FILE                 JSON array of job objects (required; a job with
+                              "algorithm": "tsqr" is gang-scheduled across
+                              the whole fleet)
   --devices N                 fleet size (default 1)
   --real                      execute numerics (default: phantom schedules)
   --shared-link               one PCIe root complex for the whole fleet
@@ -424,6 +495,7 @@ int main(int argc, char** argv) {
         args.command == "chol") {
       return run_factorization(args);
     }
+    if (args.command == "tsqr") return run_tsqr(args);
     if (args.command == "tune") return run_tune(args);
     if (args.command == "serve") return run_serve(args);
     if (args.command == "specs") return run_specs();
