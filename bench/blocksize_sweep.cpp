@@ -5,8 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -19,8 +18,12 @@ double run(bool recursive, bytes_t capacity, index_t b) {
   auto r = sim::HostMutRef::phantom(131072, 131072);
   const qr::QrStats stats =
       recursive
-          ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
-          : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+          ? qr::factorize(qr::QrProblem{
+              {&dev}, a, r, qr::Algorithm::Recursive,
+              bench::recursive_options(b)})
+          : qr::factorize(qr::QrProblem{
+              {&dev}, a, r, qr::Algorithm::Blocking, bench::blocking_baseline(b)
+              });
   return stats.total_seconds;
 }
 

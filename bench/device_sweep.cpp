@@ -4,8 +4,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -31,8 +30,10 @@ Outcome run_pair(const sim::DeviceSpec& spec, index_t blocksize,
                                      ? bench::recursive_options(blocksize)
                                      : bench::blocking_baseline(blocksize);
       const qr::QrStats stats =
-          recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
-                    : qr::blocking_ooc_qr(dev, a, r, opts);
+          recursive ? qr::factorize(
+              qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts})
+                    : qr::factorize(qr::QrProblem{
+                        {&dev}, a, r, qr::Algorithm::Blocking, opts});
       (recursive ? out.recursive : out.blocking) = stats.total_seconds;
     }
     out.ok = true;

@@ -8,9 +8,8 @@
 
 #include "bench/bench_util.hpp"
 #include "common/telemetry.hpp"
-#include "qr/blocking_qr.hpp"
 #include "qr/checkpoint.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
 #include "sim/faults.hpp"
@@ -82,8 +81,10 @@ int main(int argc, char** argv) {
     // earlier runs so the export only carries this timeline's phases.
     if (export_this) telemetry::SpanLog::global().clear();
     const qr::QrStats stats =
-        recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
-                  : qr::blocking_ooc_qr(dev, a, r, opts);
+        recursive ? qr::factorize(
+            qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts})
+                  : qr::factorize(qr::QrProblem{
+                      {&dev}, a, r, qr::Algorithm::Blocking, opts});
     if (show_timeline) {
       bench::section(title);
       std::cout << "total " << bench::secs(stats.total_seconds) << "  (panel "

@@ -7,8 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 #include "sim/trace.hpp"
 
@@ -31,9 +30,13 @@ Profile profile_run(bool recursive) {
   auto a = sim::HostMutRef::phantom(131072, 131072);
   auto r = sim::HostMutRef::phantom(131072, 131072);
   if (recursive) {
-    qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(16384));
+    qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::Recursive, bench::recursive_options(16384)
+        });
   } else {
-    qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(16384));
+    qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::Blocking, bench::blocking_baseline(16384)
+        });
   }
   Profile p;
   for (const auto& e : dev.trace().events()) {

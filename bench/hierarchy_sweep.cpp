@@ -7,8 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -29,8 +28,10 @@ double run(const Setup& s, bool recursive) {
   auto r = sim::HostMutRef::phantom(s.n, s.n);
   const qr::QrOptions opts = recursive ? bench::recursive_options(s.blocksize)
                                        : bench::blocking_baseline(s.blocksize);
-  return (recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
-                    : qr::blocking_ooc_qr(dev, a, r, opts))
+  return (recursive ? qr::factorize(
+      qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts})
+                    : qr::factorize(qr::QrProblem{
+                        {&dev}, a, r, qr::Algorithm::Blocking, opts}))
       .total_seconds;
 }
 

@@ -8,8 +8,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -22,8 +21,12 @@ qr::QrStats run(bool recursive, bool pinned) {
   auto a = sim::HostMutRef::phantom(131072, 131072);
   auto r = sim::HostMutRef::phantom(131072, 131072);
   return recursive
-             ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(16384))
-             : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(16384));
+             ? qr::factorize(qr::QrProblem{
+                 {&dev}, a, r, qr::Algorithm::Recursive,
+                 bench::recursive_options(16384)})
+             : qr::factorize(qr::QrProblem{
+                 {&dev}, a, r, qr::Algorithm::Blocking,
+                 bench::blocking_baseline(16384)});
 }
 
 } // namespace

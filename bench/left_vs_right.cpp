@@ -5,9 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -27,11 +25,13 @@ qr::QrStats run(const Case& c, int formulation) {
   auto a = sim::HostMutRef::phantom(c.n, c.n);
   auto r = sim::HostMutRef::phantom(c.n, c.n);
   switch (formulation) {
-    case 0: return qr::left_looking_ooc_qr(dev, a, r,
-                                           bench::recursive_options(c.b));
-    case 1: return qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(c.b));
-    default: return qr::recursive_ooc_qr(dev, a, r,
-                                         bench::recursive_options(c.b));
+    case 0: return qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::LeftLooking, bench::recursive_options(c.b)
+        });
+    case 1: return qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::Blocking, bench::blocking_baseline(c.b)});
+    default: return qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::Recursive, bench::recursive_options(c.b)});
   }
 }
 

@@ -8,7 +8,7 @@
 
 #include "bench/bench_util.hpp"
 #include "ooc/multi_gpu.hpp"
-#include "qr/multi_gpu_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -68,7 +68,8 @@ int main() {
       opts.blocksize = 16384;
       auto a = sim::HostMutRef::phantom(131072, 131072);
       auto r = sim::HostMutRef::phantom(131072, 131072);
-      return qr::multi_gpu_blocking_qr(devices, a, r, opts).total_seconds;
+      return qr::factorize(qr::QrProblem{
+          devices, a, r, qr::Algorithm::MultiGpu, opts}).total_seconds;
     };
     const double qr1 = run_qr(1);
     report::Table tq("", {"GPUs", "total", "speedup"});

@@ -5,6 +5,12 @@
 // exact in Phantom mode — so the speedup isolates what the scheduler's
 // list dispatch buys, with no measurement noise.
 //
+// A second scenario measures DAG multi-tenancy: a batch of tall-skinny
+// "tiled" jobs run once with exclusive device ownership
+// (max_colocated_jobs = 1) and once colocated two-per-device as a single
+// task graph (max_colocated_jobs = 2), where one job's transfers overlap
+// another's computes on the shared three-stream schedule.
+//
 // Writes the sweep as JSON (committed as BENCH_qr_service.json) to the
 // path given as argv[1], or ./BENCH_qr_service.json by default.
 #include <fstream>
@@ -63,6 +69,45 @@ SweepPoint run_batch(int jobs, int devices) {
   return p;
 }
 
+struct ColocationPoint {
+  int jobs = 0;
+  double exclusive_makespan = 0;
+  double colocated_makespan = 0;
+  double speedup = 0;
+};
+
+double run_tiled_batch(int jobs, int devices, int max_colocated) {
+  serve::ServeConfig cfg;
+  cfg.devices = devices;
+  cfg.max_colocated_jobs = max_colocated;
+  serve::Scheduler sched(cfg);
+  for (int i = 0; i < jobs; ++i) {
+    serve::JobSpec job;
+    job.name = "tiled" + std::to_string(i);
+    job.m = 131072;
+    job.n = 8192;
+    job.algorithm = "tiled";
+    job.blocksize = 4096;
+    const serve::AdmissionDecision d = sched.submit(job);
+    if (!d.admitted) {
+      std::cerr << job.name << " rejected: " << d.reason << "\n";
+      std::exit(1);
+    }
+  }
+  return sched.run().makespan_seconds;
+}
+
+ColocationPoint run_colocation(int jobs, int devices) {
+  ColocationPoint p;
+  p.jobs = jobs;
+  p.exclusive_makespan = run_tiled_batch(jobs, devices, 1);
+  p.colocated_makespan = run_tiled_batch(jobs, devices, 2);
+  p.speedup = p.colocated_makespan > 0
+                  ? p.exclusive_makespan / p.colocated_makespan
+                  : 0;
+  return p;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +130,19 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render();
 
+  bench::section(
+      "DAG multi-tenancy — 131072x8192 tiled jobs, b=4096, colocate 2/dev");
+  report::Table tc("", {"jobs", "exclusive", "colocated", "speedup"});
+  std::vector<ColocationPoint> coloc;
+  for (const int jobs : {4, 8, 16}) {
+    const ColocationPoint p = run_colocation(jobs, devices);
+    coloc.push_back(p);
+    tc.add_row({std::to_string(p.jobs), bench::secs(p.exclusive_makespan),
+                bench::secs(p.colocated_makespan),
+                format_fixed(p.speedup, 2) + "x"});
+  }
+  std::cout << tc.render();
+
   std::ofstream os(out_path);
   if (!os) {
     std::cerr << "cannot write " << out_path << "\n";
@@ -104,7 +162,20 @@ int main(int argc, char** argv) {
        << format_fixed(p.speedup, 4) << "}"
        << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"tiled_colocation\": {\n"
+     << "    \"job\": {\"m\": 131072, \"n\": 8192, \"blocksize\": 4096},\n"
+     << "    \"max_colocated_jobs\": 2,\n    \"sweep\": [\n";
+  for (size_t i = 0; i < coloc.size(); ++i) {
+    const ColocationPoint& p = coloc[i];
+    os << "      {\"jobs\": " << p.jobs << ", \"exclusive_makespan_seconds\": "
+       << format_fixed(p.exclusive_makespan, 6)
+       << ", \"colocated_makespan_seconds\": "
+       << format_fixed(p.colocated_makespan, 6) << ", \"speedup\": "
+       << format_fixed(p.speedup, 4) << "}"
+       << (i + 1 < coloc.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }\n}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

@@ -6,7 +6,7 @@
 
 #include "bench/bench_util.hpp"
 #include "ooc/movement_model.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -19,7 +19,8 @@ qr::QrStats run(bytes_t capacity, index_t b, bool resident) {
   auto r = sim::HostMutRef::phantom(131072, 131072);
   qr::QrOptions opts = bench::recursive_options(b);
   opts.resident_subtrees = resident;
-  return qr::recursive_ooc_qr(dev, a, r, opts);
+  return qr::factorize(
+      qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts});
 }
 
 } // namespace

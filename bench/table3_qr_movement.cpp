@@ -8,8 +8,7 @@
 #include "bench/bench_util.hpp"
 #include "common/telemetry.hpp"
 #include "ooc/movement_model.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
 #include "sim/trace_export.hpp"
@@ -46,8 +45,12 @@ int main(int argc, char** argv) {
     auto r = sim::HostMutRef::phantom(n, n);
     const qr::QrStats stats =
         recursive
-            ? qr::recursive_ooc_qr(dev, a, r, bench::recursive_options(b))
-            : qr::blocking_ooc_qr(dev, a, r, bench::blocking_baseline(b));
+            ? qr::factorize(qr::QrProblem{
+                {&dev}, a, r, qr::Algorithm::Recursive,
+                bench::recursive_options(b)})
+            : qr::factorize(qr::QrProblem{
+                {&dev}, a, r, qr::Algorithm::Blocking,
+                bench::blocking_baseline(b)});
     if (recursive && !trace_path.empty()) {
       std::ofstream os(trace_path);
       sim::write_chrome_trace(os, dev.trace(), &telemetry::SpanLog::global());

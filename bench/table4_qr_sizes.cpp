@@ -4,8 +4,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/paper.hpp"
 #include "report/table.hpp"
 
@@ -19,10 +18,11 @@ int main() {
     auto dev = bench::paper_device();
     auto a = sim::HostMutRef::phantom(m, n);
     auto r = sim::HostMutRef::phantom(n, n);
-    return recursive ? qr::recursive_ooc_qr(dev, a, r,
-                                            bench::recursive_options(8192))
-                     : qr::blocking_ooc_qr(dev, a, r,
-                                           bench::blocking_baseline(8192));
+    return recursive ? qr::factorize(qr::QrProblem{
+        {&dev}, a, r, qr::Algorithm::Recursive, bench::recursive_options(8192)})
+                     : qr::factorize(qr::QrProblem{
+                         {&dev}, a, r, qr::Algorithm::Blocking,
+                         bench::blocking_baseline(8192)});
   };
 
   using P = paper::QrSizes;

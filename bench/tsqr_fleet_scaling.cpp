@@ -1,9 +1,16 @@
 // Fleet-wide out-of-core TSQR scaling: one huge tall-skinny factorization
-// split across 1/2/4/8 phantom V100s (qr::tsqr_ooc_qr), with dedicated
-// PCIe lanes vs one shared root complex. The single-device recursive CGS
-// driver at the same shape is the baseline — the fleet wins when the leaf
-// factorizations overlap in simulated time and the R-reduction tree plus
-// reconstruction sweep cost less than the saved leaf time.
+// split across 1/2/4/8 phantom V100s (qr::factorize, Algorithm::Tsqr), with
+// dedicated PCIe lanes vs one shared root complex. The single-device
+// recursive CGS driver at the same shape is the baseline — the fleet wins
+// when the leaf factorizations overlap in simulated time and the
+// R-reduction tree plus reconstruction sweep cost less than the saved leaf
+// time.
+//
+// Two fleet trajectories are swept: the DAG-overlapped schedule (tree pairs
+// fire as soon as both child R factors reach the host, the default without
+// a checkpoint sink) and the bulk-synchronous schedule every checkpointed
+// run uses (each leaf drains fully before the tree starts — PR 6's flow,
+// kept as the committed comparison trajectory).
 //
 // Writes the sweep as JSON (committed as BENCH_tsqr.json) to the path
 // given as argv[1], or ./BENCH_tsqr.json by default.
@@ -14,8 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "qr/recursive_qr.hpp"
-#include "qr/tsqr_ooc.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -26,13 +32,19 @@ constexpr index_t kM = 262144;
 constexpr index_t kN = 8192;
 constexpr index_t kB = 8192;
 
+/// Swallows checkpoints: installs the sink-present (bulk-synchronous)
+/// schedule without writing anything.
+struct DiscardSink final : qr::CheckpointSink {
+  void write(const qr::Checkpoint&) override {}
+};
+
 qr::QrOptions bench_options() {
   qr::QrOptions opts;
   opts.blocksize = kB;
   return opts;
 }
 
-double run_fleet(int gpus, bool shared_link) {
+double run_fleet(int gpus, bool shared_link, bool bulk_synchronous) {
   auto link = shared_link ? std::make_shared<sim::SharedHostLink>() : nullptr;
   std::vector<std::unique_ptr<sim::Device>> owned;
   std::vector<sim::Device*> devices;
@@ -42,9 +54,12 @@ double run_fleet(int gpus, bool shared_link) {
     owned.back()->model().install_paper_calibration();
     devices.push_back(owned.back().get());
   }
-  auto a = sim::HostMutRef::phantom(kM, kN);
-  auto r = sim::HostMutRef::phantom(kN, kN);
-  return qr::tsqr_ooc_qr(devices, a, r, bench_options()).total_seconds;
+  DiscardSink sink;
+  qr::QrProblem p{devices, sim::HostMutRef::phantom(kM, kN),
+                  sim::HostMutRef::phantom(kN, kN), qr::Algorithm::Tsqr,
+                  bench_options()};
+  if (bulk_synchronous) p.options.checkpoint_sink = &sink;
+  return qr::factorize(p).total_seconds;
 }
 
 struct SweepPoint {
@@ -54,6 +69,37 @@ struct SweepPoint {
   double dedicated_speedup = 0;
   double shared_speedup = 0;
 };
+
+std::vector<SweepPoint> run_sweep(double base, bool bulk_synchronous,
+                                  report::Table& t) {
+  std::vector<SweepPoint> sweep;
+  for (const int g : {1, 2, 4, 8}) {
+    SweepPoint p;
+    p.gpus = g;
+    p.dedicated_seconds = run_fleet(g, false, bulk_synchronous);
+    p.shared_seconds = run_fleet(g, true, bulk_synchronous);
+    p.dedicated_speedup = base / p.dedicated_seconds;
+    p.shared_speedup = base / p.shared_seconds;
+    sweep.push_back(p);
+    t.add_row({std::to_string(g), bench::secs(p.dedicated_seconds),
+               format_fixed(p.dedicated_speedup, 2) + "x",
+               bench::secs(p.shared_seconds),
+               format_fixed(p.shared_speedup, 2) + "x"});
+  }
+  return sweep;
+}
+
+void write_sweep(std::ostream& os, const std::vector<SweepPoint>& sweep) {
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "    {\"gpus\": " << p.gpus << ", \"dedicated_seconds\": "
+       << format_fixed(p.dedicated_seconds, 6) << ", \"dedicated_speedup\": "
+       << format_fixed(p.dedicated_speedup, 4) << ", \"shared_seconds\": "
+       << format_fixed(p.shared_seconds, 6) << ", \"shared_speedup\": "
+       << format_fixed(p.shared_speedup, 4) << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+}
 
 } // namespace
 
@@ -65,30 +111,24 @@ int main(int argc, char** argv) {
 
   // Baseline: the single-device recursive CGS driver at the same shape.
   sim::Device solo = bench::paper_device();
-  auto a = sim::HostMutRef::phantom(kM, kN);
-  auto r = sim::HostMutRef::phantom(kN, kN);
-  const double base =
-      qr::recursive_ooc_qr(solo, a, r, bench_options()).total_seconds;
+  qr::QrProblem baseline{{&solo}, sim::HostMutRef::phantom(kM, kN),
+                         sim::HostMutRef::phantom(kN, kN),
+                         qr::Algorithm::Recursive, bench_options()};
+  const double base = qr::factorize(baseline).total_seconds;
   std::cout << "single-device recursive CGS baseline: " << bench::secs(base)
             << "\n";
 
+  std::cout << "\nDAG-overlapped schedule (tree fires on child R arrival):\n";
   report::Table t("", {"GPUs", "dedicated links", "speedup", "shared link",
                        "speedup"});
-  std::vector<SweepPoint> sweep;
-  for (const int g : {1, 2, 4, 8}) {
-    SweepPoint p;
-    p.gpus = g;
-    p.dedicated_seconds = run_fleet(g, false);
-    p.shared_seconds = run_fleet(g, true);
-    p.dedicated_speedup = base / p.dedicated_seconds;
-    p.shared_speedup = base / p.shared_seconds;
-    sweep.push_back(p);
-    t.add_row({std::to_string(g), bench::secs(p.dedicated_seconds),
-               format_fixed(p.dedicated_speedup, 2) + "x",
-               bench::secs(p.shared_seconds),
-               format_fixed(p.shared_speedup, 2) + "x"});
-  }
+  const std::vector<SweepPoint> dag = run_sweep(base, false, t);
   std::cout << t.render();
+
+  std::cout << "\nbulk-synchronous schedule (leaf barriers, PR 6 flow):\n";
+  report::Table tb("", {"GPUs", "dedicated links", "speedup", "shared link",
+                        "speedup"});
+  const std::vector<SweepPoint> bulk = run_sweep(base, true, tb);
+  std::cout << tb.render();
 
   std::ofstream os(out_path);
   if (!os) {
@@ -101,15 +141,9 @@ int main(int argc, char** argv) {
      << ", \"blocksize\": " << kB << "},\n"
      << "  \"recursive_baseline_seconds\": " << format_fixed(base, 6) << ",\n"
      << "  \"sweep\": [\n";
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    const SweepPoint& p = sweep[i];
-    os << "    {\"gpus\": " << p.gpus << ", \"dedicated_seconds\": "
-       << format_fixed(p.dedicated_seconds, 6) << ", \"dedicated_speedup\": "
-       << format_fixed(p.dedicated_speedup, 4) << ", \"shared_seconds\": "
-       << format_fixed(p.shared_seconds, 6) << ", \"shared_speedup\": "
-       << format_fixed(p.shared_speedup, 4) << "}"
-       << (i + 1 < sweep.size() ? "," : "") << "\n";
-  }
+  write_sweep(os, dag);
+  os << "  ],\n  \"bulk_synchronous_sweep\": [\n";
+  write_sweep(os, bulk);
   os << "  ]\n}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;

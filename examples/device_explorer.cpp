@@ -6,8 +6,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "report/table.hpp"
 #include "sim/device.hpp"
 
@@ -27,8 +26,10 @@ double total_seconds(bool recursive, const sim::DeviceSpec& spec,
   opts.blocksize = blocksize;
   if (!recursive) opts.staging_buffer = false; // conventional baseline
   const qr::QrStats stats =
-      recursive ? qr::recursive_ooc_qr(dev, a, r, opts)
-                : qr::blocking_ooc_qr(dev, a, r, opts);
+      recursive ? qr::factorize(
+          qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts})
+                : qr::factorize(
+                    qr::QrProblem{{&dev}, a, r, qr::Algorithm::Blocking, opts});
   return stats.total_seconds;
 }
 

@@ -16,7 +16,7 @@
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
 #include "ooc/trsm_engine.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 
 int main(int argc, char** argv) {
@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
   qopts.precision = blas::GemmPrecision::FP32;
   la::Matrix q = la::materialize(a.view());
   la::Matrix r(n, n);
-  const qr::QrStats stats = qr::recursive_ooc_qr(dev, q.view(), r.view(),
-                                                 qopts);
+  const qr::QrStats stats = qr::factorize(qr::QrProblem{
+      {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, qopts});
   std::cout << "QR: " << format_seconds(stats.total_seconds)
             << " simulated at blocksize " << blocksize << "\n";
 

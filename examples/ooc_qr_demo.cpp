@@ -10,8 +10,7 @@
 #include "common/strings.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 
 int main(int argc, char** argv) {
@@ -70,8 +69,12 @@ int main(int argc, char** argv) {
     qr::QrStats stats;
     try {
       stats = recursive
-                  ? qr::recursive_ooc_qr(dev, q.view(), r.view(), run_opts)
-                  : qr::blocking_ooc_qr(dev, q.view(), r.view(), run_opts);
+                  ? qr::factorize(qr::QrProblem{
+                      {&dev}, q.view(), r.view(), qr::Algorithm::Recursive,
+                      run_opts})
+                  : qr::factorize(qr::QrProblem{
+                      {&dev}, q.view(), r.view(), qr::Algorithm::Blocking,
+                      run_opts});
     } catch (const DeviceOutOfMemory& e) {
       std::cerr << "Simulated device too small for this shape: " << e.what()
                 << "\nIncrease device_KiB or shrink the matrix.\n";

@@ -1,0 +1,257 @@
+#include "ooc/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ooc/engine_util.hpp"
+#include "ooc/resilience.hpp"
+
+namespace rocqr::ooc {
+
+using sim::Event;
+
+namespace {
+
+const char* stage_name(TaskStage s) {
+  switch (s) {
+  case TaskStage::MoveIn:
+    return "move-in";
+  case TaskStage::Compute:
+    return "compute";
+  case TaskStage::MoveOut:
+    return "move-out";
+  }
+  return "?";
+}
+
+[[noreturn]] void wrong_stage(TaskStage stage, const char* op) {
+  throw InvalidArgument(std::string("TaskCtx::") + op +
+                        " called from a " + stage_name(stage) + " node");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TaskCtx: thin forwards onto the graph's streams with the cross-cutting
+// hooks (retry, ABFT, sync_if) applied at the single site, mirroring the
+// SlabPipeline stage contexts.
+
+void TaskCtx::h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
+                  const std::string& name) {
+  if (stage_ != TaskStage::MoveIn) wrong_stage(stage_, "h2d");
+  detail::copy_h2d_retry(g_.dev_, dst, src, g_.in_, name, g_.opts_);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+void TaskCtx::gemm(blas::Op opa, blas::Op opb, float alpha,
+                   sim::DeviceMatrixRef a, sim::DeviceMatrixRef b, float beta,
+                   sim::DeviceMatrixRef c, const std::string& name) {
+  if (stage_ != TaskStage::Compute) wrong_stage(stage_, "gemm");
+  detail::checked_gemm(g_.dev_, g_.opts_, opa, opb, alpha, a, b, beta, c,
+                       g_.comp_, name);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+void TaskCtx::trsm(sim::Device::TrsmKind kind, sim::DeviceMatrixRef tri,
+                   sim::DeviceMatrixRef b, const std::string& name) {
+  if (stage_ != TaskStage::Compute) wrong_stage(stage_, "trsm");
+  g_.dev_.trsm(kind, tri, b, g_.opts_.precision, g_.comp_, name);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+sim::Stream TaskCtx::stream() const {
+  if (stage_ != TaskStage::Compute) wrong_stage(stage_, "stream");
+  return g_.comp_;
+}
+
+void TaskCtx::d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+                  const std::string& name) {
+  if (stage_ != TaskStage::MoveOut) wrong_stage(stage_, "d2h");
+  detail::copy_d2h_retry(g_.dev_, dst, src, g_.out_, name, g_.opts_);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+void TaskCtx::wait(const Event& e) {
+  if (e.valid()) g_.dev_.wait_event(g_.stream_for(stage_), e);
+}
+
+sim::Device& TaskCtx::device() { return g_.dev_; }
+
+const OocGemmOptions& TaskCtx::options() const { return g_.opts_; }
+
+// ---------------------------------------------------------------------------
+
+TaskGraph::TaskGraph(sim::Device& dev, const OocGemmOptions& opts,
+                     std::string span_name)
+    : dev_(dev), opts_(opts), window_begin_(dev.trace().size()) {
+  if (!span_name.empty()) span_.emplace(dev_, std::move(span_name));
+  in_ = dev_.create_stream();
+  comp_ = dev_.create_stream();
+  out_ = dev_.create_stream();
+  detail::wait_host_inputs(dev_, in_, opts_);
+}
+
+sim::Stream TaskGraph::stream_for(TaskStage stage) const {
+  switch (stage) {
+  case TaskStage::MoveIn:
+    return in_;
+  case TaskStage::Compute:
+    return comp_;
+  case TaskStage::MoveOut:
+    return out_;
+  }
+  return comp_;
+}
+
+TaskId TaskGraph::add(TaskStage stage, std::string label,
+                      std::function<void(TaskCtx&)> body,
+                      std::vector<TaskId> deps, std::int64_t priority) {
+  const TaskId id = static_cast<TaskId>(nodes_.size());
+  for (TaskId d : deps) {
+    if (d < 0 || d >= id) {
+      throw InvalidArgument("TaskGraph::add: node \"" + label +
+                            "\" depends on unknown node " +
+                            std::to_string(d));
+    }
+  }
+  Node node;
+  node.stage = stage;
+  node.label = std::move(label);
+  node.body = std::move(body);
+  node.deps = std::move(deps);
+  node.priority = priority;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void TaskGraph::add_dep(TaskId node, TaskId dep) {
+  if (node < 0 || node >= static_cast<TaskId>(nodes_.size()) || dep < 0 ||
+      dep >= static_cast<TaskId>(nodes_.size())) {
+    throw InvalidArgument("TaskGraph::add_dep: unknown node id");
+  }
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.enqueued) {
+    throw InvalidArgument("TaskGraph::add_dep: node \"" + n.label +
+                          "\" was already enqueued");
+  }
+  n.deps.push_back(dep);
+}
+
+void TaskGraph::set_input_region(TaskId node, Slab rows, Slab cols) {
+  if (node < 0 || node >= static_cast<TaskId>(nodes_.size())) {
+    throw InvalidArgument("TaskGraph::set_input_region: unknown node id");
+  }
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.stage != TaskStage::MoveIn) {
+    throw InvalidArgument("TaskGraph::set_input_region: node \"" + n.label +
+                          "\" is not a move-in node");
+  }
+  n.input_region = std::make_pair(rows, cols);
+}
+
+void TaskGraph::enqueue(Node& node) {
+  const sim::Stream s = stream_for(node.stage);
+  for (TaskId d : node.deps) {
+    const Node& dep = nodes_[static_cast<size_t>(d)];
+    // Same-stream dependencies ride the FIFO: the dep's ops were enqueued
+    // earlier on this stream, so they execute earlier. Cross-stream (and
+    // cross-graph, via TaskCtx::wait) dependencies need the event edge.
+    if (dep.stage == node.stage) continue;
+    if (dep.done.valid()) dev_.wait_event(s, dep.done);
+  }
+  if (node.input_region) {
+    detail::wait_intersecting_regions(dev_, s, opts_, node.input_region->first,
+                                      node.input_region->second);
+  }
+  if (node.body) {
+    TaskCtx ctx(*this, node.stage);
+    node.body(ctx);
+  }
+  node.done = dev_.create_event();
+  dev_.record_event(node.done, s);
+  node.enqueued = true;
+}
+
+void TaskGraph::run() {
+  // Deterministic list schedule over the not-yet-enqueued subgraph: Kahn's
+  // algorithm with a (priority, id) min-heap as the ready set.
+  const size_t total = nodes_.size();
+  std::vector<index_t> pending(total, 0);
+  std::vector<std::vector<TaskId>> successors(total);
+  size_t remaining = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (nodes_[i].enqueued) continue;
+    ++remaining;
+    for (TaskId d : nodes_[i].deps) {
+      if (!nodes_[static_cast<size_t>(d)].enqueued) {
+        ++pending[i];
+        successors[static_cast<size_t>(d)].push_back(
+            static_cast<TaskId>(i));
+      }
+    }
+  }
+  if (remaining == 0) return;
+
+  using Key = std::pair<std::int64_t, TaskId>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ready;
+  for (size_t i = 0; i < total; ++i) {
+    if (!nodes_[i].enqueued && pending[i] == 0) {
+      ready.emplace(nodes_[i].priority, static_cast<TaskId>(i));
+    }
+  }
+
+  size_t enqueued = 0;
+  index_t n_in = 0, n_comp = 0, n_out = 0, n_edges = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.top().second;
+    ready.pop();
+    Node& node = nodes_[static_cast<size_t>(id)];
+    enqueue(node);
+    ++enqueued;
+    switch (node.stage) {
+    case TaskStage::MoveIn:
+      ++n_in;
+      break;
+    case TaskStage::Compute:
+      ++n_comp;
+      break;
+    case TaskStage::MoveOut:
+      ++n_out;
+      break;
+    }
+    n_edges += static_cast<index_t>(node.deps.size());
+    for (TaskId s : successors[static_cast<size_t>(id)]) {
+      if (--pending[static_cast<size_t>(s)] == 0) {
+        ready.emplace(nodes_[static_cast<size_t>(s)].priority, s);
+      }
+    }
+  }
+
+  if (enqueued != remaining) {
+    for (const Node& n : nodes_) {
+      if (!n.enqueued) {
+        throw InvalidArgument(
+            "TaskGraph::run: dependency cycle through node \"" + n.label +
+            "\"");
+      }
+    }
+  }
+
+  std::ostringstream os;
+  if (!plan_description_.empty()) os << plan_description_ << "\n";
+  os << "task-graph run: " << enqueued << " node(s) (" << n_in
+     << " move-in, " << n_comp << " compute, " << n_out << " move-out), "
+     << n_edges << " edge(s)";
+  plan_description_ = os.str();
+}
+
+Event TaskGraph::done(TaskId id) const {
+  if (id < 0 || id >= static_cast<TaskId>(nodes_.size())) {
+    throw InvalidArgument("TaskGraph::done: unknown node id");
+  }
+  return nodes_[static_cast<size_t>(id)].done;
+}
+
+} // namespace rocqr::ooc

@@ -1,0 +1,165 @@
+// Task-DAG executor under the slab pipeline — the generalization of
+// `SlabPipeline` from one linear streaming loop to an arbitrary dependency
+// graph of move-in / compute / move-out nodes on the same three-stream
+// schedule.
+//
+// `SlabPipeline` replays one declarative loop: its input-pool fence, output
+// fence and region waits are fixed wiring patterns over consecutive steps.
+// `TaskGraph` makes the wiring explicit: every tile/slab operation is a
+// *node* pinned to one stage (and therefore one stream), and every hazard —
+// RAW (compute waits its move-in), WAR (a move-in overwriting a buffer waits
+// the computes still reading it; exactly the old output-fence taxonomy),
+// host-side ordering (a move-in re-reading a host tile waits the move-out
+// that last wrote it) — is an *edge*. The executor is a deterministic list
+// scheduler at enqueue time: a node is ready once all its dependencies are
+// enqueued, the lowest (priority, id) ready node is enqueued next, and
+// cross-stream dependencies become `wait_event` edges while same-stream
+// dependencies ride the stream's FIFO order. Because the simulator resolves
+// op start times from engine FIFOs plus event waits, enqueue order IS the
+// schedule — lookahead (Buttari-style tiled QR: factor panel k+1 while
+// panel k's trailing updates drain) falls out of giving the panel node a
+// smaller priority key than the updates behind it.
+//
+// The cross-cutting hooks are the same single-site ones the pipeline
+// applies: transfer retry with backoff, opt-in ABFT checked GEMM, §4.2
+// region gating on move-ins (`set_input_region`), synchronous-mode
+// serialization, and an optional trace span around the whole graph.
+// Checkpoint hooks stay at the driver layer: drivers run the graph in
+// segments and snapshot at node-set boundaries (see qr/tiled_qr.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ooc/gemm_engines.hpp"
+#include "sim/device.hpp"
+#include "sim/trace_export.hpp"
+
+namespace rocqr::ooc {
+
+class TaskGraph;
+
+/// Which stage (and therefore which stream/engine) a node runs on.
+enum class TaskStage { MoveIn, Compute, MoveOut };
+
+using TaskId = index_t;
+
+/// Stage handle passed to a node's body. Only the operations matching the
+/// node's stage are legal — h2d on MoveIn, gemm/trsm/stream on Compute, d2h
+/// on MoveOut; anything else throws InvalidArgument so a mis-staged node
+/// fails loudly instead of silently racing another engine.
+class TaskCtx {
+ public:
+  /// MoveIn: host-to-device transfer with retry + sync_if applied.
+  void h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
+           const std::string& name);
+  /// Compute: GEMM with the opt-in ABFT column-sum check.
+  void gemm(blas::Op opa, blas::Op opb, float alpha, sim::DeviceMatrixRef a,
+            sim::DeviceMatrixRef b, float beta, sim::DeviceMatrixRef c,
+            const std::string& name);
+  /// Compute: triangular solve.
+  void trsm(sim::Device::TrsmKind kind, sim::DeviceMatrixRef tri,
+            sim::DeviceMatrixRef b, const std::string& name);
+  /// Compute: the stream, for panel kernels (panel_qr_device & co.) that
+  /// enqueue their own custom ops.
+  sim::Stream stream() const;
+  /// MoveOut: device-to-host transfer with retry + sync_if applied.
+  void d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+           const std::string& name);
+  /// Extra wait on this node's stream (valid-checked) — for events that are
+  /// not graph edges, e.g. a SlabPipeline resident-stage event.
+  void wait(const sim::Event& e);
+
+  sim::Device& device();
+  const OocGemmOptions& options() const;
+
+ private:
+  friend class TaskGraph;
+  TaskCtx(TaskGraph& g, TaskStage stage) : g_(g), stage_(stage) {}
+  TaskGraph& g_;
+  TaskStage stage_;
+};
+
+class TaskGraph {
+ public:
+  /// Creates the in/compute/out streams (in that order — stream numbering
+  /// is part of the preserved schedule convention shared with
+  /// SlabPipeline), opens an optional trace span, and fences the H2D
+  /// stream on opts.host_input_ready. `opts` must already be validated.
+  TaskGraph(sim::Device& dev, const OocGemmOptions& opts,
+            std::string span_name = {});
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node. `deps` are node ids that must be enqueued before this
+  /// node; `priority` orders the ready set (smaller runs earlier; ties
+  /// break on id, so insertion order is the deterministic default).
+  /// Returns the node's id.
+  TaskId add(TaskStage stage, std::string label,
+             std::function<void(TaskCtx&)> body, std::vector<TaskId> deps = {},
+             std::int64_t priority = 0);
+
+  /// Adds an edge dep -> node after the fact (WAR fences discovered while
+  /// building later steps). Only legal before `node` has been enqueued.
+  void add_dep(TaskId node, TaskId dep);
+
+  /// §4.2 region gating: declares the host rectangle a MoveIn node reads.
+  /// At enqueue the node waits every intersecting
+  /// opts.streamed_input_regions event before its transfer.
+  void set_input_region(TaskId node, Slab rows, Slab cols);
+
+  /// Enqueues every node not yet enqueued, in dependency order, lowest
+  /// (priority, id) ready node first. Incremental: drivers may add nodes,
+  /// run(), snapshot a checkpoint, add more nodes and run() again —
+  /// dependencies on nodes from earlier runs resolve through their
+  /// recorded completion events. Throws InvalidArgument on a dependency
+  /// cycle.
+  void run();
+
+  /// Completion event of an enqueued node (invalid before its run()).
+  sim::Event done(TaskId id) const;
+
+  /// Trace index at construction — the driver's stats window.
+  size_t window_begin() const { return window_begin_; }
+
+  /// Human-readable node/edge summary of everything run so far
+  /// (--explain-plan companion); empty until the first run().
+  const std::string& plan_description() const { return plan_description_; }
+
+  sim::Device& device() { return dev_; }
+  const OocGemmOptions& options() const { return opts_; }
+
+ private:
+  friend class TaskCtx;
+
+  struct Node {
+    TaskStage stage;
+    std::string label;
+    std::function<void(TaskCtx&)> body;
+    std::vector<TaskId> deps;
+    std::int64_t priority = 0;
+    std::optional<std::pair<Slab, Slab>> input_region;
+    sim::Event done{};
+    bool enqueued = false;
+  };
+
+  sim::Stream stream_for(TaskStage stage) const;
+  void enqueue(Node& node);
+
+  sim::Device& dev_;
+  OocGemmOptions opts_;
+  size_t window_begin_;
+  std::optional<sim::TraceSpan> span_;
+  sim::Stream in_;
+  sim::Stream comp_;
+  sim::Stream out_;
+  std::vector<Node> nodes_;
+  std::string plan_description_;
+};
+
+} // namespace rocqr::ooc

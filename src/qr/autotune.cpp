@@ -40,8 +40,9 @@ TuneResult tune_blocksize(const sim::DeviceSpec& spec, index_t m, index_t n,
       auto r = sim::HostMutRef::phantom(n, n);
       QrOptions opts = base;
       opts.blocksize = b;
-      const QrStats stats = recursive ? recursive_ooc_qr(dev, a, r, opts)
-                                      : blocking_ooc_qr(dev, a, r, opts);
+      const QrStats stats = recursive
+                                ? detail::run_recursive(dev, a, r, opts)
+                                : detail::run_blocking(dev, a, r, opts);
       point.seconds = stats.total_seconds;
       point.peak_bytes = stats.peak_device_bytes;
       point.fits = true;

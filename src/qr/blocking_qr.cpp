@@ -25,8 +25,8 @@ using sim::HostMutRef;
 using sim::ScopedMatrix;
 using sim::StoragePrecision;
 
-QrStats blocking_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
-                        const QrOptions& opts) {
+QrStats detail::run_blocking(Device& dev, HostMutRef a, HostMutRef r,
+                             const QrOptions& opts) {
   opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;

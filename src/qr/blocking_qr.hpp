@@ -9,10 +9,22 @@
 
 namespace rocqr::qr {
 
+namespace detail {
+
 /// Factors the host matrix in `a` (m x n, m >= n): on return `a` holds Q
 /// (orthonormal columns) and `r` (n x n) holds the upper-triangular R.
 /// In Phantom mode both refs may be phantom and only the schedule runs.
-QrStats blocking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                        sim::HostMutRef r, const QrOptions& opts);
+/// Internal entry — callers go through qr::factorize (Algorithm::Blocking).
+QrStats run_blocking(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
+                     const QrOptions& opts);
+
+} // namespace detail
+
+[[deprecated("use qr::factorize(QrProblem) with Algorithm::Blocking — see "
+             "docs/API.md")]]
+inline QrStats blocking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                               sim::HostMutRef r, const QrOptions& opts) {
+  return detail::run_blocking(dev, a, r, opts);
+}
 
 } // namespace rocqr::qr

@@ -10,6 +10,7 @@
 #include "qr/blocking_qr.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/recursive_qr.hpp"
+#include "qr/tiled_qr.hpp"
 #include "qr/tsqr_ooc.hpp"
 
 namespace rocqr::qr {
@@ -67,7 +68,8 @@ Checkpoint read_checkpoint(std::istream& is) {
   Checkpoint cp;
   std::getline(is, cp.driver);
   ROCQR_CHECK(cp.driver == "blocking" || cp.driver == "recursive" ||
-                  cp.driver == "left" || cp.driver == "tsqr",
+                  cp.driver == "left" || cp.driver == "tsqr" ||
+                  cp.driver == "tiled",
               "checkpoint: unknown driver '" + cp.driver + "'");
   size_t a_count = 0;
   size_t r_count = 0;
@@ -127,66 +129,59 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   return read_checkpoint(is);
 }
 
-QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
-                      sim::HostMutRef a, sim::HostMutRef r, QrOptions opts) {
+QrStats detail::resume_impl(const std::vector<sim::Device*>& devices,
+                            const Checkpoint& cp, sim::HostMutRef a,
+                            sim::HostMutRef r, QrOptions opts) {
+  ROCQR_CHECK(!devices.empty(), "qr::resume: no devices");
   ROCQR_CHECK(a.rows == cp.m && a.cols == cp.n,
-              "resume_ooc_qr: A shape does not match the checkpoint");
+              "qr::resume: A shape does not match the checkpoint");
   ROCQR_CHECK(r.rows == cp.n && r.cols == cp.n,
-              "resume_ooc_qr: R shape does not match the checkpoint");
+              "qr::resume: R shape does not match the checkpoint");
   // The unit numbering is a function of the panel partition, so the resumed
   // run must replay the exact schedule the checkpoint was cut from.
   ROCQR_CHECK(opts.blocksize == cp.blocksize,
-              "resume_ooc_qr: blocksize differs from the checkpointed run");
+              "qr::resume: blocksize differs from the checkpointed run");
+
+  if (cp.driver == "tsqr") {
+    const std::vector<float>* r_stack = nullptr;
+    if (a.data != nullptr) {
+      ROCQR_CHECK(!cp.a.empty(),
+                  "qr::resume: Real-mode resume needs a checkpoint with "
+                  "host snapshots (this one is schedule-only)");
+      restore_block(a, cp.a);
+      if (cp.units_done == 0) {
+        // Unit-0 snapshot of the pristine inputs: cp.r is the caller's R.
+        const size_t nn =
+            static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
+        ROCQR_CHECK(cp.r.size() == nn,
+                    "qr::resume: unit-0 tsqr checkpoint must carry the "
+                    "caller's n x n R");
+        restore_block(r, cp.r);
+      } else {
+        r_stack = &cp.r; // stacked per-leaf workspace; the driver validates
+      }
+    }
+    opts.resume_units = cp.units_done;
+    return detail::run_tsqr(devices, a, r, opts, r_stack);
+  }
+
+  ROCQR_CHECK(devices.size() == 1,
+              "qr::resume: a '" + cp.driver +
+                  "' checkpoint resumes on exactly one device");
+  sim::Device& dev = *devices.front();
   if (a.data != nullptr) {
     ROCQR_CHECK(!cp.a.empty(),
-                "resume_ooc_qr: Real-mode resume needs a checkpoint with "
+                "qr::resume: Real-mode resume needs a checkpoint with "
                 "host snapshots (this one is schedule-only)");
     restore_block(a, cp.a);
     restore_block(r, cp.r);
   }
   opts.resume_units = cp.units_done;
-  if (cp.driver == "blocking") return blocking_ooc_qr(dev, a, r, opts);
-  if (cp.driver == "recursive") return recursive_ooc_qr(dev, a, r, opts);
-  if (cp.driver == "left") return left_looking_ooc_qr(dev, a, r, opts);
-  throw InvalidArgument("resume_ooc_qr: unknown driver '" + cp.driver + "'");
-}
-
-QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
-                      const Checkpoint& cp, sim::HostMutRef a,
-                      sim::HostMutRef r, QrOptions opts) {
-  ROCQR_CHECK(!devices.empty(), "resume_ooc_qr: no devices");
-  if (cp.driver != "tsqr") {
-    ROCQR_CHECK(devices.size() == 1,
-                "resume_ooc_qr: a '" + cp.driver +
-                    "' checkpoint resumes on exactly one device");
-    return resume_ooc_qr(*devices.front(), cp, a, r, opts);
-  }
-  ROCQR_CHECK(a.rows == cp.m && a.cols == cp.n,
-              "resume_ooc_qr: A shape does not match the checkpoint");
-  ROCQR_CHECK(r.rows == cp.n && r.cols == cp.n,
-              "resume_ooc_qr: R shape does not match the checkpoint");
-  ROCQR_CHECK(opts.blocksize == cp.blocksize,
-              "resume_ooc_qr: blocksize differs from the checkpointed run");
-  const std::vector<float>* r_stack = nullptr;
-  if (a.data != nullptr) {
-    ROCQR_CHECK(!cp.a.empty(),
-                "resume_ooc_qr: Real-mode resume needs a checkpoint with "
-                "host snapshots (this one is schedule-only)");
-    restore_block(a, cp.a);
-    if (cp.units_done == 0) {
-      // Unit-0 snapshot of the pristine inputs: cp.r is the caller's R.
-      const size_t nn =
-          static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
-      ROCQR_CHECK(cp.r.size() == nn,
-                  "resume_ooc_qr: unit-0 tsqr checkpoint must carry the "
-                  "caller's n x n R");
-      restore_block(r, cp.r);
-    } else {
-      r_stack = &cp.r; // stacked per-leaf workspace; the driver validates it
-    }
-  }
-  opts.resume_units = cp.units_done;
-  return detail::run_tsqr(devices, a, r, opts, r_stack);
+  if (cp.driver == "blocking") return detail::run_blocking(dev, a, r, opts);
+  if (cp.driver == "recursive") return detail::run_recursive(dev, a, r, opts);
+  if (cp.driver == "left") return detail::run_left_looking(dev, a, r, opts);
+  if (cp.driver == "tiled") return detail::run_tiled(dev, a, r, opts);
+  throw InvalidArgument("qr::resume: unknown driver '" + cp.driver + "'");
 }
 
 } // namespace rocqr::qr

@@ -89,20 +89,34 @@ class FileCheckpointSink : public CheckpointSink {
 /// Reads the checkpoint stored at `path`.
 Checkpoint load_checkpoint_file(const std::string& path);
 
-/// Restarts an OOC QR factorization from `cp`: restores the host A/R data
-/// (Real mode), then re-runs the driver named in the checkpoint with
-/// opts.resume_units = cp.units_done so the completed prefix of the schedule
-/// is skipped. `a`/`r` must have the checkpoint's dimensions; opts.blocksize
-/// must match the checkpointed blocksize (the unit numbering depends on it).
-QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
-                      sim::HostMutRef a, sim::HostMutRef r, QrOptions opts);
+namespace detail {
 
-/// Fleet overload: restarts a factorization on `devices`. "tsqr"
-/// checkpoints resume the fleet-wide driver (restoring the stacked R
-/// workspace of the completed leaves); single-device checkpoints are
-/// accepted when the fleet has exactly one device.
-QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
-                      const Checkpoint& cp, sim::HostMutRef a,
-                      sim::HostMutRef r, QrOptions opts);
+/// The one resume implementation behind qr::resume (factorize.hpp):
+/// restores the host A/R data (Real mode), then re-runs the driver named
+/// by the checkpoint's tag with opts.resume_units = cp.units_done so the
+/// completed prefix of the schedule is skipped. "tsqr" checkpoints resume
+/// the fleet-wide driver (restoring the stacked R workspace of the
+/// completed leaves); every other tag requires exactly one device. `a`/`r`
+/// must have the checkpoint's dimensions; opts.blocksize must match the
+/// checkpointed blocksize (the unit numbering depends on it).
+QrStats resume_impl(const std::vector<sim::Device*>& devices,
+                    const Checkpoint& cp, sim::HostMutRef a,
+                    sim::HostMutRef r, QrOptions opts);
+
+} // namespace detail
+
+[[deprecated("use qr::resume(QrProblem, Checkpoint) — see docs/API.md")]]
+inline QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
+                             sim::HostMutRef a, sim::HostMutRef r,
+                             QrOptions opts) {
+  return detail::resume_impl({&dev}, cp, a, r, std::move(opts));
+}
+
+[[deprecated("use qr::resume(QrProblem, Checkpoint) — see docs/API.md")]]
+inline QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
+                             const Checkpoint& cp, sim::HostMutRef a,
+                             sim::HostMutRef r, QrOptions opts) {
+  return detail::resume_impl(devices, cp, a, r, std::move(opts));
+}
 
 } // namespace rocqr::qr

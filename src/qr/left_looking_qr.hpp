@@ -15,11 +15,23 @@
 
 namespace rocqr::qr {
 
+namespace detail {
+
 /// Factors `a` (m x n host, becomes Q) with `r` receiving R, left-looking:
 /// per panel, stream every previous Q panel through the device, project,
 /// then factor in core. Uses opts.blocksize / precision / panel_algorithm;
-/// the update-pipeline options (staging, ramp) do not apply.
-QrStats left_looking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                            sim::HostMutRef r, const QrOptions& opts);
+/// the update-pipeline options (staging, ramp) do not apply. Internal
+/// entry — callers go through qr::factorize (Algorithm::LeftLooking).
+QrStats run_left_looking(sim::Device& dev, sim::HostMutRef a,
+                         sim::HostMutRef r, const QrOptions& opts);
+
+} // namespace detail
+
+[[deprecated("use qr::factorize(QrProblem) with Algorithm::LeftLooking — "
+             "see docs/API.md")]]
+inline QrStats left_looking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                                   sim::HostMutRef r, const QrOptions& opts) {
+  return detail::run_left_looking(dev, a, r, opts);
+}
 
 } // namespace rocqr::qr

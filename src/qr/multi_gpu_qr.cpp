@@ -76,7 +76,7 @@ QrStats combine_device_stats(const std::vector<QrStats>& per_device) {
   return total;
 }
 
-QrStats multi_gpu_blocking_qr(const std::vector<Device*>& devices,
+QrStats detail::run_multi_gpu(const std::vector<Device*>& devices,
                               HostMutRef a, HostMutRef r,
                               const QrOptions& opts) {
   ROCQR_CHECK(!devices.empty(), "multi_gpu_blocking_qr: no devices");

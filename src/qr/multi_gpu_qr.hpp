@@ -12,13 +12,26 @@
 
 namespace rocqr::qr {
 
+namespace detail {
+
 /// Factors `a` (m x n host, becomes Q) with `r` receiving R, distributing
 /// the per-iteration trailing updates across `devices`. With one device it
-/// degenerates to a blocking_ooc_qr with phase barriers. Pass devices
-/// constructed with a SharedHostLink to model PCIe contention.
-QrStats multi_gpu_blocking_qr(const std::vector<sim::Device*>& devices,
-                              sim::HostMutRef a, sim::HostMutRef r,
-                              const QrOptions& opts);
+/// degenerates to the blocking driver with phase barriers. Pass devices
+/// constructed with a SharedHostLink to model PCIe contention. Internal
+/// entry — callers go through qr::factorize (Algorithm::MultiGpu).
+QrStats run_multi_gpu(const std::vector<sim::Device*>& devices,
+                      sim::HostMutRef a, sim::HostMutRef r,
+                      const QrOptions& opts);
+
+} // namespace detail
+
+[[deprecated("use qr::factorize(QrProblem) with Algorithm::MultiGpu — see "
+             "docs/API.md")]]
+inline QrStats multi_gpu_blocking_qr(const std::vector<sim::Device*>& devices,
+                                     sim::HostMutRef a, sim::HostMutRef r,
+                                     const QrOptions& opts) {
+  return detail::run_multi_gpu(devices, a, r, opts);
+}
 
 /// Aggregates per-device trace-window stats into one fleet view: busy
 /// times, bytes, flops, panels and event counts sum; peak_device_bytes is

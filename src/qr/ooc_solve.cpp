@@ -33,7 +33,7 @@ OocLsStats ooc_least_squares(sim::Device& dev, sim::HostMutRef a,
 
   const size_t window = dev.trace().size();
   OocLsStats stats;
-  stats.factor = recursive_ooc_qr(dev, a, r, opts);
+  stats.factor = detail::run_recursive(dev, a, r, opts);
 
   ooc::OocGemmOptions gopts = detail::gemm_options(opts);
   gopts.blocksize = std::min<index_t>(opts.blocksize, m);

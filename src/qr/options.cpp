@@ -34,8 +34,11 @@ void QrOptions::validate() const {
 }
 
 QrStats stats_from_trace(const sim::Trace& trace, size_t from,
-                         bytes_t peak_device_bytes) {
-  QrStats s = sim::engine_stats_from_trace(trace, from);
+                         bytes_t peak_device_bytes,
+                         std::string_view name_prefix) {
+  QrStats s = sim::engine_stats_from_trace(trace, from,
+                                           static_cast<size_t>(-1),
+                                           name_prefix);
   s.peak_device_bytes = peak_device_bytes;
   return s;
 }

@@ -67,10 +67,10 @@ struct QrOptions {
   bool abft = false;
   /// When set, the driver writes a panel-level checkpoint every
   /// `checkpoint_every` completed units (panels / recursion leaves). Not
-  /// owned. resume_ooc_qr() restarts from such a checkpoint.
+  /// owned. qr::resume() restarts from such a checkpoint.
   CheckpointSink* checkpoint_sink = nullptr;
   index_t checkpoint_every = 1;
-  /// Internal (set by resume_ooc_qr): number of already-completed panel
+  /// Internal (set by qr::resume): number of already-completed panel
   /// units to skip when replaying the factorization schedule.
   index_t resume_units = 0;
 
@@ -89,8 +89,12 @@ struct QrOptions {
 using EngineStats = sim::EngineStats;
 using QrStats = sim::EngineStats;
 
-/// Builds QrStats from the device trace window [from, end).
+/// Builds QrStats from the device trace window [from, end). A non-empty
+/// `name_prefix` restricts the aggregate to events whose name starts with
+/// the prefix — per-job attribution for colocated factorizations
+/// (qr/tiled_qr.hpp labels).
 QrStats stats_from_trace(const sim::Trace& trace, size_t from,
-                         bytes_t peak_device_bytes);
+                         bytes_t peak_device_bytes,
+                         std::string_view name_prefix = {});
 
 } // namespace rocqr::qr

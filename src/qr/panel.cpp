@@ -7,7 +7,7 @@ namespace rocqr::qr {
 
 void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
                      sim::DeviceMatrixRef r, sim::Stream stream,
-                     const QrOptions& opts) {
+                     const QrOptions& opts, const std::string& name_prefix) {
   ROCQR_CHECK(aq.matrix.valid() && r.matrix.valid(),
               "panel_qr_device: invalid matrix");
   const index_t m = aq.rows;
@@ -24,7 +24,8 @@ void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
       static_cast<flops_t>(flops_factor * 2.0 * static_cast<double>(m) * w * w);
   dev.custom_compute(
       stream, seconds, flops, sim::OpKind::Panel,
-      "panel_qr " + std::to_string(m) + "x" + std::to_string(w), [&]() {
+      name_prefix + "panel_qr " + std::to_string(m) + "x" + std::to_string(w),
+      [&]() {
         la::Matrix host_panel = dev.download(aq);
         la::Matrix host_r(w, w);
         switch (opts.panel_algorithm) {

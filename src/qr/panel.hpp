@@ -2,6 +2,8 @@
 // project, which the paper uses unchanged for both algorithms).
 #pragma once
 
+#include <string>
+
 #include "qr/options.hpp"
 #include "sim/device.hpp"
 
@@ -14,8 +16,11 @@ namespace rocqr::qr {
 /// the in-core solver saturates the device, so its internals do not need to
 /// be scheduled individually); in Real mode the numerics run via
 /// recursive_cgs_inplace with the selected GEMM precision.
+/// `name_prefix` prepends the trace op name — per-job attribution when
+/// several factorizations share one device (qr/tiled_qr.hpp).
 void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
                      sim::DeviceMatrixRef r, sim::Stream stream,
-                     const QrOptions& opts);
+                     const QrOptions& opts,
+                     const std::string& name_prefix = "");
 
 } // namespace rocqr::qr

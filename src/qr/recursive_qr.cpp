@@ -360,8 +360,8 @@ void recurse(DriverState& st, index_t j0, index_t w) {
 
 } // namespace
 
-QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
-                         const QrOptions& opts) {
+QrStats detail::run_recursive(Device& dev, HostMutRef a, HostMutRef r,
+                              const QrOptions& opts, bool sync_at_end) {
   opts.validate();
   const index_t m = a.rows;
   const index_t n = a.cols;
@@ -374,7 +374,7 @@ QrStats recursive_ooc_qr(Device& dev, HostMutRef a, HostMutRef r,
   DriverState st{dev, a, r, opts, detail::HostWriteTracker(n), pipe};
   st.skip_units = opts.resume_units;
   recurse(st, 0, n);
-  dev.synchronize();
+  if (sync_at_end) dev.synchronize();
   return stats_from_trace(dev.trace(), window, dev.memory_peak());
 }
 

@@ -10,10 +10,26 @@
 
 namespace rocqr::qr {
 
+namespace detail {
+
 /// Factors the host matrix in `a` (m x n, m >= n): on return `a` holds Q
 /// and `r` (n x n) the upper-triangular R. Phantom refs allowed in Phantom
 /// mode. The recursion splits at panel granularity (opts.blocksize).
-QrStats recursive_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                         sim::HostMutRef r, const QrOptions& opts);
+/// `sync_at_end` controls the final host/device join: the TSQR leaf path
+/// passes false so the reduction tree can overlap the leaf's draining
+/// move-outs (the enqueued schedule and the numerics are identical either
+/// way; only the host clock differs). Internal entry — callers go through
+/// qr::factorize (Algorithm::Recursive).
+QrStats run_recursive(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
+                      const QrOptions& opts, bool sync_at_end = true);
+
+} // namespace detail
+
+[[deprecated("use qr::factorize(QrProblem) with Algorithm::Recursive — see "
+             "docs/API.md")]]
+inline QrStats recursive_ooc_qr(sim::Device& dev, sim::HostMutRef a,
+                                sim::HostMutRef r, const QrOptions& opts) {
+  return detail::run_recursive(dev, a, r, opts);
+}
 
 } // namespace rocqr::qr

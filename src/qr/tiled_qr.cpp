@@ -1,0 +1,390 @@
+#include "qr/tiled_qr.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "ooc/operand.hpp"
+#include "ooc/task_graph.hpp"
+#include "qr/driver_util.hpp"
+#include "qr/panel.hpp"
+#include "sim/scoped_matrix.hpp"
+#include "sim/trace_export.hpp"
+
+namespace rocqr::qr::detail {
+
+namespace {
+
+using ooc::TaskCtx;
+using ooc::TaskGraph;
+using ooc::TaskId;
+using ooc::TaskStage;
+using sim::Device;
+using sim::DeviceMatrixRef;
+using sim::HostMutRef;
+using sim::ScopedMatrix;
+using sim::StoragePrecision;
+
+constexpr TaskId kNone = -1;
+
+std::string idx(index_t k, index_t j) {
+  return std::to_string(k) + "," + std::to_string(j);
+}
+
+/// Rotating device-buffer pool. Acquiring a slot hands back its index; the
+/// recorded `last_use` node is the WAR edge the slot's next writer must
+/// depend on (the old output-fence taxonomy, now an explicit graph edge).
+struct SlotPool {
+  std::vector<ScopedMatrix> bufs;
+  std::vector<TaskId> last_use;
+
+  void add(ScopedMatrix buf) {
+    bufs.push_back(std::move(buf));
+    last_use.push_back(kNone);
+  }
+  size_t acquire() {
+    const size_t s = next_;
+    next_ = (next_ + 1) % bufs.size();
+    return s;
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+/// The node program of one tiled factorization. Builds the DAG step by
+/// step so the checkpointing caller can run segment-by-segment; solo runs
+/// add every step and run once.
+class TiledProgram {
+ public:
+  TiledProgram(TaskGraph& graph, const TiledJob& job)
+      : g_(graph), job_(job), a_(job.a), r_(job.r) {
+    m_ = a_.rows;
+    n_ = a_.cols;
+    ROCQR_CHECK(m_ >= n_ && n_ >= 1, "tiled_qr: need m >= n >= 1");
+    ROCQR_CHECK(r_.rows == n_ && r_.cols == n_, "tiled_qr: R must be n x n");
+    b_ = std::min(job.opts.blocksize, n_);
+    tiles_ = (n_ + b_ - 1) / b_;
+  }
+
+  index_t tiles() const { return tiles_; }
+  index_t units_done() const { return units_; }
+  index_t columns_done() const { return std::min(units_ * b_, n_); }
+  const TiledJob& job() const { return job_; }
+
+  /// Device working set: two role-swapping resident tiles, up to two
+  /// streaming slots for far tiles, and a rotating pool of b x b R tiles.
+  void allocate(Device& dev) {
+    const std::string& l = job_.label;
+    big_.add(ScopedMatrix(dev, m_, b_, StoragePrecision::FP32,
+                          l + "tiled tile a"));
+    if (tiles_ > 1) {
+      big_.add(ScopedMatrix(dev, m_, b_, StoragePrecision::FP32,
+                            l + "tiled tile b"));
+    }
+    const index_t far_slots = std::min<index_t>(2, tiles_ - 2);
+    for (index_t s = 0; s < far_slots; ++s) {
+      stream_.add(ScopedMatrix(dev, m_, b_, StoragePrecision::FP32,
+                               l + "tiled stream " + std::to_string(s)));
+    }
+    const index_t r_slots = std::min<index_t>(4, tiles_ + 1);
+    for (index_t s = 0; s < r_slots; ++s) {
+      rtiles_.add(ScopedMatrix(dev, b_, b_, StoragePrecision::FP32,
+                               l + "tiled r " + std::to_string(s)));
+    }
+  }
+
+  /// First segment: stage the starting tile. A fresh run factors tile 0;
+  /// a resume (opts.resume_units = u > 0) re-stages the already-factored
+  /// Q_{u-1} and goes straight to step u-1. Returns true when the segment
+  /// completed a new unit (a checkpoint boundary).
+  bool begin() {
+    const index_t u = std::min(job_.opts.resume_units, tiles_);
+    k_ = u > 0 ? u - 1 : 0;
+    units_ = std::max<index_t>(u, 0);
+    if (u >= tiles_) return false; // everything already factored
+    const index_t t = k_;
+    const std::int64_t p = prio(t, 0);
+    const TaskId stage = g_.add(
+        TaskStage::MoveIn, job_.label + "stage " + std::to_string(t),
+        [this, t](TaskCtx& c) {
+          c.h2d(tile_buf(t), host_tile_const(t),
+                job_.label + "h2d tile " + std::to_string(t));
+        },
+        {}, p);
+    if (u > 0) {
+      // The staged tile is already Q_{u-1}: no factor, no emit. Updates of
+      // step u-1 depend on the staging transfer instead.
+      fac_ = stage;
+      emit_ = kNone;
+      return false;
+    }
+    fac_ = add_factor(t, {stage}, p);
+    emit_ = add_emit(t, fac_, p);
+    units_ = 1;
+    return true;
+  }
+
+  /// Adds step k (updates by Q_k plus the factorization of tile k+1) and
+  /// advances. Returns false once every tile is factored.
+  bool add_step() {
+    if (k_ >= tiles_ - 1) return false;
+    const index_t k = k_;
+    const index_t wk = width(k);
+    std::vector<TaskId> q_readers;
+    TaskId next_fac = kNone;
+    TaskId next_emit = kNone;
+    for (index_t j = k + 1; j < tiles_; ++j) {
+      const bool resident = j == k + 1;
+      const std::int64_t p = prio(k, resident ? 1 : 3);
+      const index_t wj = width(j);
+
+      // Move-in of tile j. WAR edges: the resident destination held
+      // Q_{k-1}, so wait its readers; a streaming slot waits the move-out
+      // that last drained it. Host-order edge: the previous step's
+      // writeback of tile j must land before this re-read.
+      DeviceMatrixRef dst;
+      std::vector<TaskId> in_deps;
+      size_t far_slot = 0;
+      if (resident) {
+        dst = tile_buf(j);
+        in_deps = prev_q_readers_;
+      } else {
+        far_slot = stream_.acquire();
+        dst = DeviceMatrixRef(stream_.bufs[far_slot].get())
+                  .block(0, 0, m_, wj);
+        if (stream_.last_use[far_slot] != kNone) {
+          in_deps.push_back(stream_.last_use[far_slot]);
+        }
+      }
+      if (out_a_.count(j) > 0) in_deps.push_back(out_a_[j]);
+      const TaskId in = g_.add(
+          TaskStage::MoveIn, job_.label + "in " + idx(k, j),
+          [this, dst, j](TaskCtx& c) {
+            c.h2d(dst, host_tile_const(j),
+                  job_.label + "h2d tile " + std::to_string(j));
+          },
+          std::move(in_deps), p);
+
+      // Block-MGS update: R_kj = Q_k^T A_j, then A_j -= Q_k R_kj.
+      const size_t rs = rtiles_.acquire();
+      const DeviceMatrixRef rt =
+          DeviceMatrixRef(rtiles_.bufs[rs].get()).block(0, 0, wk, wj);
+      std::vector<TaskId> upd_deps{in, fac_};
+      if (rtiles_.last_use[rs] != kNone) {
+        upd_deps.push_back(rtiles_.last_use[rs]);
+      }
+      const DeviceMatrixRef q = tile_buf(k);
+      const TaskId upd = g_.add(
+          TaskStage::Compute, job_.label + "upd " + idx(k, j),
+          [this, q, dst, rt, k, j](TaskCtx& c) {
+            c.gemm(blas::Op::Trans, blas::Op::NoTrans, 1.0f, q, dst, 0.0f,
+                   rt, job_.label + "gemm qta " + idx(k, j));
+            c.gemm(blas::Op::NoTrans, blas::Op::NoTrans, -1.0f, q, rt, 1.0f, dst,
+                   job_.label + "gemm upd " + idx(k, j));
+          },
+          std::move(upd_deps), p);
+      q_readers.push_back(upd);
+
+      // R row writeback.
+      const TaskId outr = g_.add(
+          TaskStage::MoveOut, job_.label + "outR " + idx(k, j),
+          [this, rt, k, j](TaskCtx& c) {
+            c.d2h(ooc::host_block(r_, offset(k), offset(j), rt.rows, rt.cols),
+                  rt, job_.label + "d2h R " + idx(k, j));
+          },
+          {upd}, p);
+      rtiles_.last_use[rs] = outr;
+
+      if (resident) {
+        // The tile that just absorbed its update factors in place — the
+        // lookahead: priority (k, 2) beats the far updates' (k, 3), so the
+        // panel runs on the compute engine while they stream.
+        const std::int64_t pf = prio(k, 2);
+        next_fac = add_factor(j, {upd}, pf);
+        next_emit = add_emit(j, next_fac, pf);
+      } else {
+        const TaskId outa = g_.add(
+            TaskStage::MoveOut, job_.label + "outA " + idx(k, j),
+            [this, dst, j](TaskCtx& c) {
+              c.d2h(host_tile(j), dst,
+                    job_.label + "d2h tile " + std::to_string(j));
+            },
+            {upd}, p);
+        stream_.last_use[far_slot] = outa;
+        out_a_[j] = outa;
+      }
+    }
+    prev_q_readers_ = std::move(q_readers);
+    if (emit_ != kNone) prev_q_readers_.push_back(emit_);
+    fac_ = next_fac;
+    emit_ = next_emit;
+    ++k_;
+    units_ = k_ + 1;
+    return true;
+  }
+
+ private:
+  index_t width(index_t t) const { return std::min(b_, n_ - t * b_); }
+  index_t offset(index_t t) const { return t * b_; }
+  DeviceMatrixRef tile_buf(index_t t) {
+    return DeviceMatrixRef(big_.bufs[static_cast<size_t>(t) & 1].get())
+        .block(0, 0, m_, width(t));
+  }
+  sim::HostConstRef host_tile_const(index_t t) const {
+    return ooc::host_block(sim::as_const(a_), 0, offset(t), m_, width(t));
+  }
+  sim::HostMutRef host_tile(index_t t) const {
+    return ooc::host_block(a_, 0, offset(t), m_, width(t));
+  }
+  /// Priority key: (step, phase) with phase 1 = the resident tile's
+  /// move-in/update, 2 = the next panel factorization, 3 = far tiles.
+  std::int64_t prio(index_t k, std::int64_t phase) const {
+    return 4 * static_cast<std::int64_t>(k) + phase;
+  }
+
+  TaskId add_factor(index_t t, std::vector<TaskId> deps, std::int64_t p) {
+    const size_t rs = rtiles_.acquire();
+    if (rtiles_.last_use[rs] != kNone) {
+      deps.push_back(rtiles_.last_use[rs]);
+    }
+    const index_t w = width(t);
+    fac_r_slot_ = rs;
+    fac_r_ref_ = DeviceMatrixRef(rtiles_.bufs[rs].get()).block(0, 0, w, w);
+    const DeviceMatrixRef aq = tile_buf(t);
+    const DeviceMatrixRef rt = fac_r_ref_;
+    return g_.add(
+        TaskStage::Compute, job_.label + "fac " + std::to_string(t),
+        [this, aq, rt](TaskCtx& c) {
+          panel_qr_device(c.device(), aq, rt, c.stream(), job_.opts,
+                          job_.label);
+        },
+        std::move(deps), p);
+  }
+
+  TaskId add_emit(index_t t, TaskId fac, std::int64_t p) {
+    const index_t w = width(t);
+    const DeviceMatrixRef rt = fac_r_ref_;
+    const DeviceMatrixRef q = tile_buf(t);
+    const TaskId id = g_.add(
+        TaskStage::MoveOut, job_.label + "emit " + std::to_string(t),
+        [this, rt, q, t, w](TaskCtx& c) {
+          c.d2h(ooc::host_block(r_, offset(t), offset(t), w, w), rt,
+                job_.label + "d2h R " + idx(t, t));
+          c.d2h(host_tile(t), q,
+                job_.label + "d2h Q " + std::to_string(t));
+        },
+        {fac}, p);
+    rtiles_.last_use[fac_r_slot_] = id;
+    return id;
+  }
+
+  TaskGraph& g_;
+  const TiledJob& job_;
+  HostMutRef a_;
+  HostMutRef r_;
+  index_t m_ = 0;
+  index_t n_ = 0;
+  index_t b_ = 0;
+  index_t tiles_ = 0;
+  index_t k_ = 0;
+  index_t units_ = 0;
+  SlotPool big_;
+  SlotPool stream_;
+  SlotPool rtiles_;
+  TaskId fac_ = kNone;
+  TaskId emit_ = kNone;
+  size_t fac_r_slot_ = 0;
+  DeviceMatrixRef fac_r_ref_;
+  std::vector<TaskId> prev_q_readers_;
+  std::map<index_t, TaskId> out_a_;
+};
+
+} // namespace
+
+std::vector<QrStats> run_tiled_batch(Device& dev,
+                                     const std::vector<TiledJob>& jobs) {
+  ROCQR_CHECK(!jobs.empty(), "tiled_qr: no jobs");
+  bool any_sink = false;
+  for (const TiledJob& job : jobs) {
+    job.opts.validate();
+    any_sink = any_sink || job.opts.checkpoint_sink != nullptr;
+  }
+
+  const size_t window = dev.trace().size();
+  sim::TraceSpan span(dev, "tiled_qr");
+  TaskGraph graph(dev, gemm_options(jobs.front().opts));
+
+  std::vector<std::unique_ptr<TiledProgram>> progs;
+  progs.reserve(jobs.size());
+  for (const TiledJob& job : jobs) {
+    progs.push_back(std::make_unique<TiledProgram>(graph, job));
+    progs.back()->allocate(dev);
+  }
+
+  if (!any_sink) {
+    // No checkpoint boundaries: build the whole DAG and run it once —
+    // maximum lookahead across every step (and every colocated job).
+    for (auto& p : progs) p->begin();
+    bool more = true;
+    while (more) {
+      more = false;
+      for (auto& p : progs) more = p->add_step() || more;
+    }
+    graph.run();
+  } else {
+    // Checkpointed: run round-by-round so every boundary is a consistent
+    // "u tiles factored" host snapshot. A round enqueues one segment of
+    // EVERY job before the single graph.run(), so colocated jobs still
+    // interleave on the engines between checkpoint syncs; only then does
+    // each advanced job checkpoint (maybe_checkpoint synchronizes before
+    // snapshotting, and is where a serve PreemptSink raises
+    // PreemptRequest, unwinding the whole batch). With one job this is
+    // exactly the segment-per-segment schedule resume replays.
+    std::vector<char> advanced(progs.size(), 0);
+    for (size_t i = 0; i < progs.size(); ++i) {
+      advanced[i] = progs[i]->begin() ? 1 : 0;
+    }
+    graph.run();
+    for (size_t i = 0; i < progs.size(); ++i) {
+      if (!advanced[i]) continue; // resume staging: no new unit to record
+      auto& p = progs[i];
+      maybe_checkpoint(dev, "tiled", p->job().a, p->job().r, p->job().opts,
+                       p->columns_done(), p->units_done());
+    }
+    bool more = true;
+    while (more) {
+      more = false;
+      for (size_t i = 0; i < progs.size(); ++i) {
+        advanced[i] = progs[i]->add_step() ? 1 : 0;
+        more = more || advanced[i] != 0;
+      }
+      if (!more) break;
+      graph.run();
+      for (size_t i = 0; i < progs.size(); ++i) {
+        if (!advanced[i]) continue;
+        auto& p = progs[i];
+        maybe_checkpoint(dev, "tiled", p->job().a, p->job().r, p->job().opts,
+                         p->columns_done(), p->units_done());
+      }
+    }
+  }
+
+  dev.synchronize();
+  std::vector<QrStats> stats;
+  stats.reserve(progs.size());
+  for (const auto& p : progs) {
+    stats.push_back(stats_from_trace(dev.trace(), window, dev.memory_peak(),
+                                     p->job().label));
+  }
+  return stats;
+}
+
+QrStats run_tiled(Device& dev, HostMutRef a, HostMutRef r,
+                  const QrOptions& opts) {
+  return run_tiled_batch(dev, {TiledJob{a, r, opts, ""}}).front();
+}
+
+} // namespace rocqr::qr::detail

@@ -28,10 +28,13 @@ using sim::Stream;
 namespace {
 
 /// A reduction-tree node: where its R factor lives in the stacked workspace
-/// (row offset slot*n) and which device's clock/engines represent it.
+/// (row offset slot*n), which device's clock/engines represent it, and the
+/// simulated time its R factor reaches host memory — the DAG edge a parent
+/// pair waits on (instead of a full-fleet barrier).
 struct Node {
   index_t slot = 0;
   size_t dev = 0;
+  sim_time_t ready = 0;
 };
 
 /// Row partition: leaf d gets rows [offsets[d], offsets[d+1]). Every leaf
@@ -129,6 +132,17 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   // simulated time the leaves overlap (independent device clocks). Leaves
   // completed by a previous attempt (opts.resume_units) are skipped whole:
   // their Q rows and R slots were restored from the checkpoint.
+  //
+  // Without a checkpoint sink the run is a pure DAG: a leaf's R is "ready"
+  // the moment its last R write-back lands on the host (d2h Rii / R12 /
+  // streamed R blocks), typically well before the leaf's Q panels finish
+  // draining — so a tree pair can fire while both children are still
+  // writing Q. With a sink, each leaf ends on a synchronize so the
+  // checkpoint is a consistent snapshot; that preserves PR 6's
+  // bulk-synchronous schedule (and its bit-identical resume) exactly.
+  const bool overlap = opts.checkpoint_sink == nullptr;
+  std::vector<sim_time_t> leaf_r_time(static_cast<size_t>(leaves), start);
+  std::vector<sim_time_t> leaf_end_time(static_cast<size_t>(leaves), start);
   QrOptions leaf_opts = opts;
   leaf_opts.checkpoint_sink = nullptr;
   leaf_opts.resume_units = 0;
@@ -138,10 +152,29 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
     const index_t rows = offsets[static_cast<size_t>(d) + 1] - r0;
     HostMutRef a_d = ooc::host_block(a, r0, 0, rows, n);
     HostMutRef r_d = ooc::host_block(work, d * n, 0, n, n);
-    recursive_ooc_qr(dev, a_d, r_d, leaf_opts);
-    dev.synchronize();
-    qr::detail::maybe_checkpoint(dev, "tsqr", a, work, opts,
-                                 /*columns_done=*/0, /*units_done=*/d + 1);
+    const size_t w0 = dev.trace().size();
+    detail::run_recursive(dev, a_d, r_d, leaf_opts, /*sync_at_end=*/!overlap);
+    if (overlap) {
+      const auto& events = dev.trace().events();
+      sim_time_t r_t = start;
+      sim_time_t end_t = start;
+      for (size_t i = w0; i < events.size(); ++i) {
+        const sim::TraceEvent& e = events[i];
+        end_t = std::max(end_t, e.end);
+        if (e.kind == sim::OpKind::CopyD2H &&
+            e.name.rfind("d2h Q", 0) != 0) {
+          r_t = std::max(r_t, e.end);
+        }
+      }
+      leaf_r_time[static_cast<size_t>(d)] = r_t;
+      leaf_end_time[static_cast<size_t>(d)] = end_t;
+    } else {
+      dev.synchronize();
+      qr::detail::maybe_checkpoint(dev, "tsqr", a, work, opts,
+                                   /*columns_done=*/0, /*units_done=*/d + 1);
+      leaf_r_time[static_cast<size_t>(d)] = dev.now();
+      leaf_end_time[static_cast<size_t>(d)] = dev.now();
+    }
   }
 
   // --- Reduction tree -------------------------------------------------------
@@ -154,7 +187,8 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   // slot.
   std::vector<std::vector<Node>> levels(1);
   for (index_t d = 0; d < leaves; ++d) {
-    levels[0].push_back(Node{d, static_cast<size_t>(d)});
+    levels[0].push_back(Node{d, static_cast<size_t>(d),
+                             leaf_r_time[static_cast<size_t>(d)]});
   }
   std::vector<std::vector<la::Matrix>> pair_qs; // per level, per parent node
   while (levels.back().size() > 1) {
@@ -165,7 +199,14 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
       const Node c0 = level[i];
       const Node c1 = level[i + 1];
       Device& dev = *devices[c0.dev];
-      dev.advance_host_clock(devices[c1.dev]->now());
+      // The pair's only data dependency is both children's R factors being
+      // on the host — join the host clock to that instant, not to the
+      // sibling device's full drain.
+      if (overlap) {
+        dev.advance_host_clock(std::max(c0.ready, c1.ready));
+      } else {
+        dev.advance_host_clock(devices[c1.dev]->now());
+      }
 
       la::Matrix stacked_host;
       HostConstRef stacked_ref = HostConstRef::phantom(2 * n, n);
@@ -200,11 +241,17 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
                                   merged, s, "d2h R merged",
                                   opts.transfer_max_attempts,
                                   opts.transfer_backoff_seconds);
+      // The merged R is host-visible at the d2h's end; that timestamp is
+      // the parent node's ready edge (no per-pair barrier in overlap mode).
+      sim_time_t merged_ready = dev.trace().events().back().end;
       dev.free(stacked);
       dev.free(merged);
-      dev.synchronize();
+      if (!overlap) {
+        dev.synchronize();
+        merged_ready = dev.now();
+      }
       qs.push_back(std::move(pair_q));
-      next.push_back(Node{c0.slot, c0.dev});
+      next.push_back(Node{c0.slot, c0.dev, merged_ready});
     }
     if (level.size() % 2 == 1) {
       qs.push_back(la::Matrix()); // pass-through node: empty pair Q
@@ -233,11 +280,13 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   // slabs with C_d resident (beta = 0, so no C move-in).
   if (leaves > 1) {
     std::vector<la::Matrix> coef(1);
+    std::vector<sim_time_t> coef_time(1, start);
     if (!phantom) coef[0] = la::identity(n);
-    std::vector<Node> parent_nodes = levels.back();
     for (size_t lvl = pair_qs.size(); lvl-- > 0;) {
       const std::vector<Node>& child_nodes = levels[lvl];
+      const std::vector<Node>& split_nodes = levels[lvl + 1];
       std::vector<la::Matrix> child_coef;
+      std::vector<sim_time_t> child_time;
       size_t child = 0;
       for (size_t p = 0; p < pair_qs[lvl].size(); ++p) {
         const la::Matrix& pq = pair_qs[lvl][p];
@@ -250,12 +299,19 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
           } else {
             child_coef.emplace_back();
           }
+          child_time.push_back(coef_time[p]);
           ++child;
           continue;
         }
         const Node c0 = child_nodes[child];
         const Node c1 = child_nodes[child + 1];
         Device& dev = *devices[c0.dev];
+        // The split needs the parent's coefficient and this pair's Q (both
+        // host-side); the pair Q is covered by the pair node's ready edge.
+        if (overlap) {
+          dev.advance_host_clock(
+              std::max(coef_time[p], split_nodes[p].ready));
+        }
         const auto nf = static_cast<double>(n);
         dev.custom_compute(
             dev.create_stream(),
@@ -263,8 +319,14 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
                                          blas::GemmPrecision::FP32),
             static_cast<flops_t>(4.0 * nf * nf * nf), sim::OpKind::Gemm,
             "tsqr coef split " + std::to_string(n) + "x" + std::to_string(n));
-        dev.synchronize();
-        devices[c1.dev]->advance_host_clock(dev.now());
+        sim_time_t split_done = dev.trace().events().back().end;
+        if (!overlap) {
+          dev.synchronize();
+          devices[c1.dev]->advance_host_clock(dev.now());
+          split_done = dev.now();
+        }
+        child_time.push_back(split_done);
+        child_time.push_back(split_done);
         if (!phantom) {
           const la::Matrix& c = coef[p];
           la::Matrix top(n, n);
@@ -286,12 +348,20 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
       ROCQR_CHECK(child == child_nodes.size(),
                   "tsqr_ooc_qr: coefficient walk does not tile the level");
       coef = std::move(child_coef);
+      coef_time = std::move(child_time);
     }
     ROCQR_CHECK(coef.size() == static_cast<size_t>(leaves),
                 "tsqr_ooc_qr: reconstruction shape mismatch");
 
     for (index_t d = 0; d < leaves; ++d) {
       Device& dev = *devices[static_cast<size_t>(d)];
+      // A leaf's sweep needs its coefficient and its own Q rows fully
+      // drained to the host; in overlap mode neither implied a barrier, so
+      // join the clock to both edges here.
+      if (overlap) {
+        dev.advance_host_clock(std::max(coef_time[static_cast<size_t>(d)],
+                                        leaf_end_time[static_cast<size_t>(d)]));
+      }
       const index_t r0 = offsets[static_cast<size_t>(d)];
       const index_t rows = offsets[static_cast<size_t>(d) + 1] - r0;
       HostMutRef q_d = ooc::host_block(a, r0, 0, rows, n);

@@ -36,7 +36,9 @@ namespace rocqr::qr {
 /// driver's panel width and the reconstruction sweep's row-slab width;
 /// opts.checkpoint_sink/checkpoint_every install per-leaf checkpoints with
 /// driver tag "tsqr"; opts.resume_units skips that many completed leaves
-/// (set via qr::resume_ooc_qr). Phantom refs allowed in Phantom mode.
+/// (set via qr::resume). Phantom refs allowed in Phantom mode.
+[[deprecated("use qr::factorize(QrProblem) with Algorithm::Tsqr — see "
+             "docs/API.md")]]
 QrStats tsqr_ooc_qr(const std::vector<sim::Device*>& devices,
                     sim::HostMutRef a, sim::HostMutRef r,
                     const QrOptions& opts);

@@ -7,10 +7,8 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qr/autotune.hpp"
-#include "qr/blocking_qr.hpp"
 #include "qr/checkpoint.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/tsqr_ooc.hpp"
 #include "sim/device.hpp"
 
@@ -21,19 +19,18 @@ namespace detail {
 qr::QrStats run_driver(sim::Device& dev, const std::string& algorithm,
                        sim::HostMutRef a, sim::HostMutRef r,
                        const qr::QrOptions& opts) {
-  if (algorithm == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
-  if (algorithm == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
-  if (algorithm == "left") return qr::left_looking_ooc_qr(dev, a, r, opts);
-  if (algorithm == "tsqr") {
-    return qr::tsqr_ooc_qr(std::vector<sim::Device*>{&dev}, a, r, opts);
+  const std::optional<qr::Algorithm> alg = qr::parse_algorithm(algorithm);
+  if (!alg) {
+    throw InvalidArgument("serve: unknown algorithm '" + algorithm +
+                          "' (expected recursive, blocking, left, tiled or "
+                          "tsqr)");
   }
-  throw InvalidArgument("serve: unknown algorithm '" + algorithm +
-                        "' (expected recursive, blocking, left or tsqr)");
+  return qr::factorize(qr::QrProblem{{&dev}, a, r, *alg, opts});
 }
 
 bool known_algorithm(const std::string& algorithm) {
   return algorithm == "recursive" || algorithm == "blocking" ||
-         algorithm == "left" || algorithm == "tsqr";
+         algorithm == "left" || algorithm == "tiled" || algorithm == "tsqr";
 }
 
 } // namespace detail
@@ -58,7 +55,7 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
   }
   if (!detail::known_algorithm(job.algorithm)) {
     d.reason = "unknown algorithm '" + job.algorithm +
-               "' (expected recursive, blocking, left or tsqr)";
+               "' (expected recursive, blocking, left, tiled or tsqr)";
     return d;
   }
 
@@ -115,7 +112,8 @@ AdmissionDecision admit_job(const JobSpec& job, const AdmissionConfig& cfg) {
         }
         ptrs.push_back(fleet.back().get());
       }
-      const qr::QrStats stats = qr::tsqr_ooc_qr(ptrs, a, r, opts);
+      const qr::QrStats stats = qr::factorize(
+          qr::QrProblem{ptrs, a, r, qr::Algorithm::Tsqr, opts});
       d.predicted_seconds = stats.total_seconds;
       bytes_t fleet_peak = 0;
       for (const auto& dev : fleet) {

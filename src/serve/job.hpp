@@ -22,9 +22,11 @@ struct JobSpec {
   std::string name;
   index_t m = 0;
   index_t n = 0;
-  /// OOC driver: "recursive", "blocking", "left", or "tsqr". A "tsqr" job
-  /// is gang-scheduled — it acquires every device in the fleet atomically
-  /// and runs the fleet-wide out-of-core TSQR (qr::tsqr_ooc_qr).
+  /// OOC driver: "recursive", "blocking", "left", "tiled", or "tsqr"
+  /// (qr::Algorithm names). A "tsqr" job is gang-scheduled — it acquires
+  /// every device in the fleet atomically and runs the fleet-wide
+  /// out-of-core TSQR. "tiled" jobs can be colocated on one device as a
+  /// single task graph when ServeConfig::max_colocated_jobs > 1.
   std::string algorithm = "recursive";
   blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
   /// Panel width; 0 = autotune via phantom dry runs at admission time.

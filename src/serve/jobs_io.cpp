@@ -230,21 +230,62 @@ void write_stats(std::ostream& os, const qr::QrStats& s,
 std::vector<JobSpec> parse_jobs_json(const std::string& text) {
   Cursor cur{text};
   std::vector<JobSpec> jobs;
-  cur.expect('[');
-  if (!cur.consume_if(']')) {
-    do {
-      jobs.push_back(parse_job_object(cur, jobs.size()));
-    } while (cur.consume_if(','));
-    cur.expect(']');
+  bool have_jobs = false;
+
+  auto parse_array = [&] {
+    cur.expect('[');
+    if (!cur.consume_if(']')) {
+      do {
+        jobs.push_back(parse_job_object(cur, jobs.size()));
+      } while (cur.consume_if(','));
+      cur.expect(']');
+    }
+    have_jobs = true;
+  };
+
+  if (cur.peek() == '[') {
+    // v1: a bare job array, implicitly schema_version 1.
+    parse_array();
+  } else {
+    // v2+: {"schema_version": N, "jobs": [...]}. Reject majors newer than
+    // this build understands — silently dropping their keys would corrupt
+    // the batch.
+    cur.expect('{');
+    if (!cur.consume_if('}')) {
+      do {
+        const std::string key = cur.parse_string();
+        cur.expect(':');
+        if (key == "schema_version") {
+          const double v = cur.parse_number();
+          const int major = static_cast<int>(v);
+          if (major < 1 || major > kJobsSchemaVersion) {
+            throw InvalidArgument(
+                "jobs JSON: unsupported schema_version " +
+                std::to_string(major) + " (this build reads versions 1.." +
+                std::to_string(kJobsSchemaVersion) + ")");
+          }
+        } else if (key == "jobs") {
+          parse_array();
+        } else {
+          throw InvalidArgument("jobs JSON: unknown top-level key \"" + key +
+                                "\"");
+        }
+      } while (cur.consume_if(','));
+      cur.expect('}');
+    }
+    if (!have_jobs) {
+      throw InvalidArgument("jobs JSON: envelope is missing \"jobs\"");
+    }
   }
   if (!cur.at_end()) {
-    throw InvalidArgument("jobs JSON: trailing content after the array");
+    throw InvalidArgument("jobs JSON: trailing content after the batch");
   }
   return jobs;
 }
 
 void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
   os << "{\n";
+  os << "  \"schema_version\": " << kJobsSchemaVersion << ",\n";
   os << "  \"devices\": " << rep.devices << ",\n";
   os << "  \"makespan_seconds\": " << rep.makespan_seconds << ",\n";
   os << "  \"jobs_admitted\": " << rep.jobs_admitted << ",\n";

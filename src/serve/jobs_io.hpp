@@ -11,21 +11,33 @@
 
 namespace rocqr::serve {
 
-/// Parses a job batch: a JSON array of flat objects, e.g.
+/// Major version of the jobs/report JSON schemas this build reads and
+/// writes. Inputs carrying a greater major are rejected (the file was
+/// written by a newer rocqr and may use keys this parser would silently
+/// drop); older majors — including the v1 bare-array job batch — parse.
+inline constexpr int kJobsSchemaVersion = 2;
+
+/// Parses a job batch: a versioned envelope around an array of flat
+/// objects, e.g.
 ///
-///   [{"name": "a", "m": 4096, "n": 4096, "algorithm": "recursive",
-///     "priority": 2, "deadline": 1.5, "precision": "fp16",
-///     "blocksize": 0, "arrival_after_units": 0}]
+///   {"schema_version": 2, "jobs": [
+///     {"name": "a", "m": 4096, "n": 4096, "algorithm": "recursive",
+///      "priority": 2, "deadline": 1.5, "precision": "fp16",
+///      "blocksize": 0, "arrival_after_units": 0}]}
 ///
-/// Only "m" and "n" are required. "deadline" maps to deadline_seconds,
-/// "precision" is "fp16" (FP16_FP32, default) or "fp32", "algo" is accepted
-/// as a shorthand for "algorithm". Unknown keys and malformed JSON throw
-/// rocqr::InvalidArgument naming the offender. The parser covers exactly
-/// this flat shape — strings, numbers and booleans — not general JSON.
+/// A bare top-level array (the v1 format, no envelope) is still accepted.
+/// Only "m" and "n" are required per job. "deadline" maps to
+/// deadline_seconds, "precision" is "fp16" (FP16_FP32, default) or
+/// "fp32", "algo" is accepted as a shorthand for "algorithm". Unknown
+/// keys, malformed JSON, and schema_version majors newer than
+/// kJobsSchemaVersion throw rocqr::InvalidArgument naming the offender.
+/// The parser covers exactly this flat shape — strings, numbers and
+/// booleans — not general JSON.
 std::vector<JobSpec> parse_jobs_json(const std::string& text);
 
-/// Writes the fleet report as a deterministic JSON object: scalar tallies,
-/// a "jobs" array in submission order, and "per_device" stats.
+/// Writes the fleet report as a deterministic JSON object:
+/// "schema_version" (kJobsSchemaVersion), scalar tallies, a "jobs" array
+/// in submission order, and "per_device" stats.
 void write_fleet_report_json(std::ostream& os, const FleetReport& rep);
 
 } // namespace rocqr::serve

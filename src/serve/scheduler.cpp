@@ -7,7 +7,9 @@
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "qr/factorize.hpp"
 #include "qr/multi_gpu_qr.hpp"
+#include "qr/tiled_qr.hpp"
 #include "sim/faults.hpp"
 #include "sim/trace_export.hpp"
 
@@ -50,6 +52,20 @@ std::vector<float> snapshot_host(sim::HostMutRef src) {
     }
   }
   return out;
+}
+
+/// Inverse of snapshot_host: writes a checkpoint payload back into the
+/// job's host ref (no-op for phantom refs). The colocated batch path
+/// restores here because qr::detail::run_tiled_batch — unlike qr::resume —
+/// takes already-restored host data plus per-job resume_units.
+void restore_host(sim::HostMutRef dst, const std::vector<float>& src) {
+  if (dst.data == nullptr) return;
+  for (index_t j = 0; j < dst.cols; ++j) {
+    for (index_t i = 0; i < dst.rows; ++i) {
+      dst.data[i + j * dst.ld] =
+          src[static_cast<size_t>(i) + static_cast<size_t>(j) * dst.rows];
+    }
+  }
 }
 
 /// Folds one attempt's trace window into the job's running total. The
@@ -105,7 +121,8 @@ struct Scheduler::Job {
   bool has_checkpoint = false;
   /// Latest consistent state: the initial snapshot before the first
   /// dispatch, then every checkpoint the driver writes. All attempts start
-  /// from here via qr::resume_ooc_qr.
+  /// from here via qr::resume (or, colocated, run_tiled_batch with
+  /// resume_units).
   qr::Checkpoint checkpoint;
   qr::QrStats stats{};
   double queue_wait_seconds = 0;
@@ -137,6 +154,8 @@ Scheduler::Scheduler(ServeConfig cfg) : cfg_(std::move(cfg)) {
   ROCQR_CHECK(cfg_.admission_memory_fraction > 0 &&
                   cfg_.admission_memory_fraction <= 1.0,
               "serve::Scheduler: admission_memory_fraction must be in (0,1]");
+  ROCQR_CHECK(cfg_.max_colocated_jobs >= 1,
+              "serve::Scheduler: max_colocated_jobs must be >= 1");
 }
 
 Scheduler::~Scheduler() = default;
@@ -421,6 +440,7 @@ void Scheduler::worker(int device_index) {
   const auto du = static_cast<size_t>(device_index);
   for (;;) {
     Job* job = nullptr;
+    std::vector<Job*> batch;
     {
       std::unique_lock<std::mutex> lk(mutex_);
       for (;;) {
@@ -441,10 +461,61 @@ void Scheduler::worker(int device_index) {
         }
         cv_.wait(lk);
       }
-      job->state = JobState::Running;
-      job->preempt_requested = false;
-      ++job->attempts;
-      job->last_device = device_index;
+      batch.push_back(job);
+      if (!job->gang && job->spec.algorithm == "tiled" &&
+          job->spec.deadline_seconds <= 0 && cfg_.max_colocated_jobs > 1) {
+        // DAG multi-tenancy: claim further ready tiled jobs for the same
+        // device while their summed predicted peaks fit the admission
+        // budget. They run as one task graph (run_tiled_batch), so they
+        // must share the primary's precision (the graph-level knobs come
+        // from one options set). Only pack when the queue outnumbers the
+        // idle devices — with a free device per ready job, exclusive
+        // ownership is strictly faster — and leave deadline jobs alone
+        // (their admission prediction assumed a dedicated device).
+        int ready_jobs = 0;
+        for (const auto& up : jobs_) {
+          const Job& j = *up;
+          if ((j.state == JobState::Queued && j.arrived) ||
+              j.state == JobState::Preempted) {
+            ++ready_jobs;
+          }
+        }
+        int idle_devices = 0;
+        for (const char busy : device_busy_) idle_devices += busy == 0;
+        int surplus = ready_jobs - idle_devices;
+        const auto budget = static_cast<bytes_t>(
+            cfg_.admission_memory_fraction *
+            static_cast<double>(cfg_.spec.memory_capacity));
+        bytes_t used = job->predicted_peak_bytes;
+        for (const auto& up : jobs_) {
+          if (static_cast<int>(batch.size()) >= cfg_.max_colocated_jobs ||
+              surplus <= 0) {
+            break;
+          }
+          Job& extra = *up;
+          if (&extra == job || extra.spec.algorithm != "tiled") continue;
+          if (extra.spec.deadline_seconds > 0) continue;
+          const bool ready =
+              (extra.state == JobState::Queued && extra.arrived) ||
+              extra.state == JobState::Preempted;
+          if (!ready || extra.spec.precision != job->spec.precision) continue;
+          if (used + extra.predicted_peak_bytes > budget) continue;
+          used += extra.predicted_peak_bytes;
+          --surplus;
+          batch.push_back(&extra);
+        }
+      }
+      for (Job* member : batch) {
+        member->state = JobState::Running;
+        member->preempt_requested = false;
+        ++member->attempts;
+        member->last_device = device_index;
+        const double waited = seconds_since(member->ready_since);
+        member->queue_wait_seconds += waited;
+        telemetry::MetricsRegistry::global()
+            .histogram("serve.queue_wait_us")
+            .observe(static_cast<std::int64_t>(waited * 1e6));
+      }
       if (job->gang) {
         // Atomic acquisition of the whole fleet: dispatchable_locked only
         // returned the gang with every device idle, so marking them all
@@ -456,15 +527,12 @@ void Scheduler::worker(int device_index) {
         ++running_;
         device_busy_[du] = 1;
       }
-      const double waited = seconds_since(job->ready_since);
-      job->queue_wait_seconds += waited;
-      telemetry::MetricsRegistry::global()
-          .histogram("serve.queue_wait_us")
-          .observe(static_cast<std::int64_t>(waited * 1e6));
       cv_.notify_all();
     }
     if (job->gang) {
       run_gang_attempt(*job);
+    } else if (batch.size() > 1) {
+      run_colocated_attempt(device_index, batch);
     } else {
       run_attempt(device_index, *job);
     }
@@ -491,7 +559,7 @@ void Scheduler::run_attempt(int device_index, Job& job) {
                           : sim::HostMutRef::phantom(job.spec.n, job.spec.n);
 
   // Every attempt — including the first — starts from the job's latest
-  // consistent state via resume_ooc_qr, so preemption resumes and fault
+  // consistent state via qr::resume, so preemption resumes and fault
   // retries share one path. The unit-0 "checkpoint" snapshots the pristine
   // inputs: a Real-mode retry must not re-factor a half-mutated A.
   {
@@ -519,7 +587,8 @@ void Scheduler::run_attempt(int device_index, Job& job) {
     }
     sim::TraceSpan span(dev, "serve.job " + job.spec.name + " attempt " +
                                  std::to_string(job.attempts));
-    qr::resume_ooc_qr(dev, start, a, r, opts);
+    qr::resume(qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts},
+               start);
     finish_attempt(job, window, device_index, JobState::Completed, "");
   } catch (const PreemptRequest&) {
     // The sink threw right after a checkpoint write, which had already
@@ -549,6 +618,116 @@ void Scheduler::finish_attempt(Job& job, size_t window, int device_index,
     device_busy_[du] = 0;
     --running_;
     record_outcome_locked(job, state, failure);
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::run_colocated_attempt(int device_index,
+                                      const std::vector<Job*>& batch) {
+  sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  const size_t window = dev.trace().size();
+
+  // Per-job sinks: each member checkpoints (and can be preempted) under
+  // its own identity even though all of them share one task graph.
+  std::vector<std::unique_ptr<PreemptSink>> sinks;
+  std::vector<qr::detail::TiledJob> tjobs;
+  sinks.reserve(batch.size());
+  tjobs.reserve(batch.size());
+  std::string names;
+  for (Job* member : batch) {
+    Job& job = *member;
+    sim::HostMutRef a =
+        job.spec.a.data != nullptr
+            ? job.spec.a
+            : sim::HostMutRef::phantom(job.spec.m, job.spec.n);
+    sim::HostMutRef r =
+        job.spec.r.data != nullptr
+            ? job.spec.r
+            : sim::HostMutRef::phantom(job.spec.n, job.spec.n);
+    qr::Checkpoint start;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!job.has_checkpoint) {
+        qr::Checkpoint cp0;
+        cp0.driver = job.spec.algorithm;
+        cp0.m = job.spec.m;
+        cp0.n = job.spec.n;
+        cp0.blocksize = job.blocksize;
+        cp0.columns_done = 0;
+        cp0.units_done = 0;
+        cp0.a = snapshot_host(a);
+        cp0.r = snapshot_host(r);
+        job.checkpoint = std::move(cp0);
+        job.has_checkpoint = true;
+      }
+      start = job.checkpoint;
+    }
+    // run_tiled_batch expects restored host data + resume_units (the batch
+    // equivalent of what qr::resume does for a solo job).
+    if (a.data != nullptr) {
+      restore_host(a, start.a);
+      restore_host(r, start.r);
+    }
+    sinks.push_back(std::make_unique<PreemptSink>(*this, job));
+    qr::QrOptions opts = job.spec.options;
+    opts.blocksize = job.blocksize;
+    opts.precision = job.spec.precision;
+    opts.checkpoint_sink = sinks.back().get();
+    opts.checkpoint_every = cfg_.checkpoint_every;
+    opts.resume_units = start.units_done;
+    tjobs.push_back(qr::detail::TiledJob{
+        a, r, opts, "j" + std::to_string(job.id) + "."});
+    names += (names.empty() ? "" : "+") + job.spec.name;
+  }
+
+  try {
+    sim::TraceSpan span(dev, "serve.batch " + names);
+    qr::detail::run_tiled_batch(dev, tjobs);
+    finish_colocated_attempt(batch, window, device_index,
+                             JobState::Completed, "");
+  } catch (const PreemptRequest&) {
+    // One member's sink threw at a checkpoint boundary; the whole graph
+    // unwound. Every member requeues from its own latest checkpoint — a
+    // member that had already finished resumes into an immediate no-op.
+    dev.synchronize();
+    finish_colocated_attempt(batch, window, device_index,
+                             JobState::Preempted, "");
+  } catch (const Error& e) {
+    dev.synchronize();
+    finish_colocated_attempt(batch, window, device_index, JobState::Queued,
+                             e.what());
+  }
+}
+
+void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
+                                         size_t window, int device_index,
+                                         JobState state,
+                                         const std::string& failure) {
+  const sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto du = static_cast<size_t>(device_index);
+    const qr::QrStats whole =
+        qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+    if (whole.events > 0) {
+      device_avail_[du] = std::max(device_avail_[du], whole.last_end);
+    }
+    for (Job* member : batch) {
+      // Per-job attribution: the shared window filtered by the member's
+      // "j<id>." op-name prefix.
+      accumulate_stats(member->stats,
+                       qr::stats_from_trace(
+                           dev.trace(), window, dev.memory_peak(),
+                           "j" + std::to_string(member->id) + "."));
+      JobState member_state = state;
+      if (state == JobState::Queued &&
+          member->retries >= cfg_.max_job_retries) {
+        member_state = JobState::Failed;
+      }
+      record_outcome_locked(*member, member_state, failure);
+    }
+    device_busy_[du] = 0;
+    --running_;
   }
   cv_.notify_all();
 }
@@ -637,7 +816,7 @@ void Scheduler::run_gang_attempt(Job& job) {
           *dev, "serve.job " + job.spec.name + " attempt " +
                     std::to_string(job.attempts)));
     }
-    qr::resume_ooc_qr(fleet, start, a, r, opts);
+    qr::resume(qr::QrProblem{fleet, a, r, qr::Algorithm::Tsqr, opts}, start);
     spans.clear();
     finish_gang_attempt(job, windows, JobState::Completed, "");
   } catch (const PreemptRequest&) {

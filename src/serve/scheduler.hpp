@@ -15,13 +15,26 @@
 // higher-priority job becomes ready, the running job with the lowest
 // priority (most remaining columns first) is preempted at its next panel
 // checkpoint boundary — the driver's own CheckpointSink hook unwinds the
-// attempt, and the job later resumes via qr::resume_ooc_qr, bit-identical
-// to an uninterrupted run. Faults installed on fleet devices are absorbed
-// the same way: a failed attempt retries from the job's latest checkpoint
-// up to max_job_retries times.
+// attempt, and the job later resumes via qr::resume, bit-identical to an
+// uninterrupted run. Faults installed on fleet devices are absorbed the
+// same way: a failed attempt retries from the job's latest checkpoint up
+// to max_job_retries times.
+//
+// Jobs with algorithm "tiled" can be *colocated*: when
+// max_colocated_jobs > 1 and the ready queue outnumbers the idle devices,
+// a worker that picks a tiled job also claims up to that many further
+// ready deadline-free tiled jobs (same precision, combined predicted
+// peaks within the admission budget) and dispatches them as ONE
+// task graph via qr::detail::run_tiled_batch — their move-in / compute /
+// move-out nodes interleave on the device's three engines, so one job's
+// transfers overlap another's computes (DAG multi-tenancy instead of
+// whole-device ownership). Per-job stats come from the shared trace
+// window filtered by each job's "j<id>." op-name prefix. A preemption or
+// fault unwinds the whole batch; every member requeues from its own
+// latest checkpoint and resumes bit-identically.
 //
 // Jobs with algorithm "tsqr" are *gang-scheduled*: one job acquires every
-// device in the fleet atomically and runs qr::tsqr_ooc_qr across them.
+// device in the fleet atomically and runs the TSQR driver across them.
 // While a gang job is the top pick the fleet drains — idle workers stop
 // backfilling lower-priority work (and, with preemption on, every running
 // job of strictly lower priority is asked to yield) until the fleet is
@@ -66,6 +79,11 @@ struct ServeConfig {
   /// Admission head-room: reject jobs predicted to exceed this fraction of
   /// device memory.
   double admission_memory_fraction = 1.0;
+  /// Maximum "tiled" jobs colocated on one device as a single task graph
+  /// (DAG multi-tenancy). 1 = every job owns its device exclusively.
+  /// Colocated extras must match the primary's precision and their summed
+  /// predicted peaks must fit the admission budget.
+  int max_colocated_jobs = 1;
 };
 
 class Scheduler {
@@ -102,7 +120,12 @@ class Scheduler {
 
   void worker(int device_index);
   void run_attempt(int device_index, Job& job);
+  void run_colocated_attempt(int device_index,
+                             const std::vector<Job*>& batch);
   void run_gang_attempt(Job& job);
+  void finish_colocated_attempt(const std::vector<Job*>& batch,
+                                size_t window, int device_index,
+                                JobState state, const std::string& failure);
   void finish_attempt(Job& job, size_t window, int device_index,
                       JobState state, const std::string& failure);
   void finish_gang_attempt(Job& job, const std::vector<size_t>& windows,

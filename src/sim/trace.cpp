@@ -149,13 +149,17 @@ void Trace::write_chrome_json(std::ostream& os) const {
 }
 
 EngineStats engine_stats_from_trace(const Trace& trace, size_t from,
-                                    size_t to) {
+                                    size_t to, std::string_view name_prefix) {
   const auto& events = trace.events();
   to = std::min(to, events.size());
   EngineStats s;
   bool first = true;
   for (size_t i = from; i < to; ++i) {
     const TraceEvent& e = events[i];
+    if (!name_prefix.empty() &&
+        std::string_view(e.name).substr(0, name_prefix.size()) != name_prefix) {
+      continue;
+    }
     if (first) {
       s.first_start = e.start;
       s.last_end = e.end;

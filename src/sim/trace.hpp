@@ -7,6 +7,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -123,9 +124,16 @@ struct EngineStats {
 };
 
 /// Derives EngineStats from the trace events [from, to) (to = npos means
-/// "to the end").
-EngineStats engine_stats_from_trace(const Trace& trace, size_t from = 0,
-                                    size_t to = static_cast<size_t>(-1));
+/// "to the end"). With a non-empty `name_prefix`, only events whose name
+/// starts with the prefix contribute — per-job attribution when several
+/// factorizations interleave on one device (qr/tiled_qr). All windowed
+/// aggregates in the repo route through this one deriver.
+EngineStats engine_stats_from_trace(const Trace& trace, size_t from,
+                                    size_t to, std::string_view name_prefix);
+inline EngineStats engine_stats_from_trace(const Trace& trace, size_t from = 0,
+                                           size_t to = static_cast<size_t>(-1)) {
+  return engine_stats_from_trace(trace, from, to, {});
+}
 
 /// Historic name for the windowed aggregate; same type, same deriver.
 using TraceSummary = EngineStats;

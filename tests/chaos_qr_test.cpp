@@ -16,9 +16,8 @@
 #include "leak_check.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
-#include "qr/blocking_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/incore.hpp"
-#include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
 
@@ -61,9 +60,11 @@ QrRun run_qr(bool recursive, const la::Matrix& a, const qr::QrOptions& opts,
   if (!faults.empty()) dev.install_faults(FaultPlan::parse(faults));
   QrRun out{la::materialize(a.view()), la::Matrix(a.cols(), a.cols())};
   if (recursive) {
-    qr::recursive_ooc_qr(dev, out.q.view(), out.r.view(), opts);
+    qr::factorize(qr::QrProblem{
+        {&dev}, out.q.view(), out.r.view(), qr::Algorithm::Recursive, opts});
   } else {
-    qr::blocking_ooc_qr(dev, out.q.view(), out.r.view(), opts);
+    qr::factorize(qr::QrProblem{
+        {&dev}, out.q.view(), out.r.view(), qr::Algorithm::Blocking, opts});
   }
   EXPECT_EQ(dev.live_allocations(), 0);
   return out;

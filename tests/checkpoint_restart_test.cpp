@@ -1,8 +1,9 @@
 // Panel-level checkpoint/restart: kill a factorization mid-run with an
 // injected fatal fault, resume from the last checkpoint on a fresh device,
 // and require the resumed result to be bit-identical to an uninterrupted
-// run — for all three OOC QR drivers and every kill point that left a
-// checkpoint behind. Plus serialization round-trips and checkpoint cadence.
+// run — for every single-device OOC QR driver (blocking, left-looking,
+// recursive, tiled) and every kill point that left a checkpoint behind.
+// Plus serialization round-trips and checkpoint cadence.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -13,10 +14,8 @@
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "leak_check.hpp"
-#include "qr/blocking_qr.hpp"
 #include "qr/checkpoint.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
 
@@ -36,9 +35,8 @@ sim::DeviceSpec test_spec() {
 qr::QrStats run_driver(const std::string& driver, Device& dev,
                        sim::HostMutRef a, sim::HostMutRef r,
                        const qr::QrOptions& opts) {
-  if (driver == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
-  if (driver == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
-  return qr::left_looking_ooc_qr(dev, a, r, opts);
+  const qr::Algorithm alg = *qr::parse_algorithm(driver);
+  return qr::factorize(qr::QrProblem{{&dev}, a, r, alg, opts});
 }
 
 bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
@@ -95,7 +93,9 @@ int kill_and_resume_sweep(const std::string& driver, index_t m, index_t n,
     la::Matrix q_res(m, n);
     la::Matrix r_res(n, n);
     Device res_dev(test_spec(), ExecutionMode::Real);
-    qr::resume_ooc_qr(res_dev, cp, q_res.view(), r_res.view(), opts);
+    qr::resume(qr::QrProblem{
+        {&res_dev}, q_res.view(), r_res.view(), qr::Algorithm::Recursive, opts
+        }, cp);
     EXPECT_TRUE(bitwise_equal(q_res, q_ref)) << driver << " kill " << kill;
     EXPECT_TRUE(bitwise_equal(r_res, r_ref)) << driver << " kill " << kill;
     ++resumed;
@@ -124,6 +124,15 @@ TEST(KillAndResume, RecursiveDriverPanelLeaves) {
   qr::QrOptions opts = base_options();
   opts.resident_subtrees = false;
   EXPECT_GE(kill_and_resume_sweep("recursive", 96, 72, opts), 1);
+}
+
+TEST(KillAndResume, TiledDriver) {
+  // Tiled CGS on the TaskGraph executor: kill points land inside the
+  // interleaved panel/update schedule, so a resumed run proves the DAG
+  // replays its completed prefix deterministically.
+  qr::QrOptions opts = base_options();
+  opts.blocksize = 16;
+  EXPECT_GE(kill_and_resume_sweep("tiled", 96, 64, opts), 1);
 }
 
 TEST(KillAndResume, RecursiveDriverResidentSubtrees) {
@@ -273,7 +282,8 @@ TEST(CheckpointAtomicity, RunKilledMidCheckpointStillResumesBitIdentical) {
   la::Matrix q_ref = la::materialize(a0.view());
   la::Matrix r_ref(n, n);
   Device ref_dev(test_spec(), ExecutionMode::Real);
-  qr::recursive_ooc_qr(ref_dev, q_ref.view(), r_ref.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&ref_dev}, q_ref.view(), r_ref.view(), qr::Algorithm::Recursive, opts});
 
   const std::string path = "checkpoint_chaos_test.ckpt";
   const std::string tmp = path + ".tmp";
@@ -283,8 +293,9 @@ TEST(CheckpointAtomicity, RunKilledMidCheckpointStillResumesBitIdentical) {
   la::Matrix q_killed = la::materialize(a0.view());
   la::Matrix r_killed(n, n);
   Device killed_dev(test_spec(), ExecutionMode::Real);
-  EXPECT_THROW(qr::recursive_ooc_qr(killed_dev, q_killed.view(),
-                                    r_killed.view(), killed_opts),
+  EXPECT_THROW(qr::factorize(qr::QrProblem{
+      {&killed_dev}, q_killed.view(), r_killed.view(),
+      qr::Algorithm::Recursive, killed_opts}),
                InvalidArgument);
 
   const qr::Checkpoint cp = qr::load_checkpoint_file(path);
@@ -294,7 +305,9 @@ TEST(CheckpointAtomicity, RunKilledMidCheckpointStillResumesBitIdentical) {
   la::Matrix q_res(m, n);
   la::Matrix r_res(n, n);
   Device res_dev(test_spec(), ExecutionMode::Real);
-  qr::resume_ooc_qr(res_dev, cp, q_res.view(), r_res.view(), opts);
+  qr::resume(qr::QrProblem{
+      {&res_dev}, q_res.view(), r_res.view(), qr::Algorithm::Recursive, opts
+      }, cp);
   EXPECT_TRUE(bitwise_equal(q_res, q_ref));
   EXPECT_TRUE(bitwise_equal(r_res, r_ref));
 
@@ -314,7 +327,8 @@ TEST(CheckpointCadence, EveryNWritesOnlyOnCadence) {
   opts.checkpoint_every = 2;
   Device dev(test_spec(), ExecutionMode::Real);
   la::Matrix q = la::materialize(a.view());
-  qr::blocking_ooc_qr(dev, q.view(), r.view(), opts);
+  qr::factorize(
+      qr::QrProblem{{&dev}, q.view(), r.view(), qr::Algorithm::Blocking, opts});
   EXPECT_EQ(sink.count(), 1); // only unit 2 is on the cadence
   EXPECT_EQ(sink.last().units_done, 2);
 
@@ -325,7 +339,8 @@ TEST(CheckpointCadence, EveryNWritesOnlyOnCadence) {
   Device dev2(test_spec(), ExecutionMode::Real);
   la::Matrix q2 = la::materialize(a.view());
   la::Matrix r2(n, n);
-  qr::blocking_ooc_qr(dev2, q2.view(), r2.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&dev2}, q2.view(), r2.view(), qr::Algorithm::Blocking, opts});
   EXPECT_EQ(written.value(), 3);
 }
 
@@ -339,7 +354,7 @@ TEST(CheckpointPhantom, PhantomRunCheckpointsAndResumes) {
   Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
   auto a = sim::HostMutRef::phantom(n, n);
   auto r = sim::HostMutRef::phantom(n, n);
-  qr::blocking_ooc_qr(dev, a, r, opts);
+  qr::factorize(qr::QrProblem{{&dev}, a, r, qr::Algorithm::Blocking, opts});
   ASSERT_TRUE(sink.has_checkpoint());
   EXPECT_EQ(sink.last().units_done, 3);
   EXPECT_TRUE(sink.last().a.empty()); // no payload in Phantom mode
@@ -347,7 +362,8 @@ TEST(CheckpointPhantom, PhantomRunCheckpointsAndResumes) {
   // A phantom resume replays the remaining schedule without host data.
   Device dev2(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
   opts.checkpoint_sink = nullptr;
-  const qr::QrStats stats = qr::resume_ooc_qr(dev2, sink.last(), a, r, opts);
+  const qr::QrStats stats = qr::resume(qr::QrProblem{
+      {&dev2}, a, r, qr::Algorithm::Recursive, opts}, sink.last());
   EXPECT_GT(stats.total_seconds, 0.0);
 }
 
@@ -364,14 +380,17 @@ TEST(CheckpointResume, RejectsMismatchedShapeOrBlocksize) {
 
   qr::QrOptions opts;
   opts.blocksize = 2; // != checkpointed blocksize: unit numbering differs
-  EXPECT_THROW(qr::resume_ooc_qr(dev, cp, a, r, opts), InvalidArgument);
+  EXPECT_THROW(qr::resume(qr::QrProblem{
+      {&dev}, a, r, qr::Algorithm::Recursive, opts}, cp), InvalidArgument);
 
   opts.blocksize = 4;
   auto bad = sim::HostMutRef::phantom(4, 4);
-  EXPECT_THROW(qr::resume_ooc_qr(dev, cp, bad, r, opts), InvalidArgument);
+  EXPECT_THROW(qr::resume(qr::QrProblem{
+      {&dev}, bad, r, qr::Algorithm::Recursive, opts}, cp), InvalidArgument);
 
   cp.driver = "no-such-driver";
-  EXPECT_THROW(qr::resume_ooc_qr(dev, cp, a, r, opts), InvalidArgument);
+  EXPECT_THROW(qr::resume(qr::QrProblem{
+      {&dev}, a, r, qr::Algorithm::Recursive, opts}, cp), InvalidArgument);
 }
 
 } // namespace

@@ -14,10 +14,8 @@
 #include "lu/incore.hpp"
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
-#include "qr/blocking_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/incore.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
 
@@ -59,9 +57,13 @@ TEST(DriverFuzz, QrDriversAgainstHouseholder) {
     la::Matrix r(n, n);
     try {
       switch (which) {
-        case 0: qr::recursive_ooc_qr(dev, q.view(), r.view(), opts); break;
-        case 1: qr::blocking_ooc_qr(dev, q.view(), r.view(), opts); break;
-        default: qr::left_looking_ooc_qr(dev, q.view(), r.view(), opts); break;
+        case 0: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, opts}); break;
+        case 1: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::Blocking, opts}); break;
+        default: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::LeftLooking, opts
+            }); break;
       }
     } catch (const DeviceOutOfMemory&) {
       continue; // tight random capacity: a legitimate outcome
@@ -189,9 +191,13 @@ TEST(DriverFuzz, QrDriversUnderRandomFaultPlans) {
     la::Matrix r(n, n);
     try {
       switch (which) {
-        case 0: qr::recursive_ooc_qr(dev, q.view(), r.view(), opts); break;
-        case 1: qr::blocking_ooc_qr(dev, q.view(), r.view(), opts); break;
-        default: qr::left_looking_ooc_qr(dev, q.view(), r.view(), opts); break;
+        case 0: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, opts}); break;
+        case 1: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::Blocking, opts}); break;
+        default: qr::factorize(qr::QrProblem{
+            {&dev}, q.view(), r.view(), qr::Algorithm::LeftLooking, opts
+            }); break;
       }
     } catch (const DeviceOutOfMemory&) {
       continue; // driver-level allocation hit (injected or genuine)

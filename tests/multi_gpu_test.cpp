@@ -9,6 +9,7 @@
 #include "la/generate.hpp"
 #include "la/norms.hpp"
 #include "ooc/multi_gpu.hpp"
+#include "qr/factorize.hpp"
 #include "qr/multi_gpu_qr.hpp"
 #include "ooc/operand.hpp"
 #include "sim/device.hpp"
@@ -202,12 +203,14 @@ TEST(MultiGpuQr, TwoDevicesMatchSingleDeviceFactorization) {
   la::Matrix q2 = la::materialize(a.view());
   la::Matrix r2(n, n);
   const qr::QrStats stats =
-      qr::multi_gpu_blocking_qr({&d0, &d1}, q2.view(), r2.view(), opts);
+      qr::factorize(qr::QrProblem{
+          {&d0, &d1}, q2.view(), r2.view(), qr::Algorithm::MultiGpu, opts});
 
   Device single(test_spec(), ExecutionMode::Real);
   la::Matrix q1 = la::materialize(a.view());
   la::Matrix r1(n, n);
-  qr::multi_gpu_blocking_qr({&single}, q1.view(), r1.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&single}, q1.view(), r1.view(), qr::Algorithm::MultiGpu, opts});
 
   // Same arithmetic, same results; both valid factorizations.
   EXPECT_LT(la::relative_difference(q2.view(), q1.view()), 1e-5);
@@ -233,7 +236,8 @@ TEST(MultiGpuQr, DedicatedLinksSpeedUpTheTrailingUpdates) {
     opts.blocksize = 16384;
     auto a = sim::HostMutRef::phantom(131072, 131072);
     auto r = sim::HostMutRef::phantom(131072, 131072);
-    return qr::multi_gpu_blocking_qr(devs, a, r, opts).total_seconds;
+    return qr::factorize(
+        qr::QrProblem{devs, a, r, qr::Algorithm::MultiGpu, opts}).total_seconds;
   };
   const double one = run(1);
   const double two = run(2);

@@ -9,8 +9,7 @@
 #include "lu/ooc_lu.hpp"
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr {
@@ -77,12 +76,14 @@ TEST(PhantomRealEquivalence, RecursiveQr) {
   opts.ramp_start = 8;
 
   Device real(spec(), ExecutionMode::Real);
-  qr::recursive_ooc_qr(real, a.view(), r.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&real}, a.view(), r.view(), qr::Algorithm::Recursive, opts});
 
   Device phantom(spec(), ExecutionMode::Phantom);
   auto pa = sim::HostMutRef::phantom(m, n);
   auto pr = sim::HostMutRef::phantom(n, n);
-  qr::recursive_ooc_qr(phantom, pa, pr, opts);
+  qr::factorize(
+      qr::QrProblem{{&phantom}, pa, pr, qr::Algorithm::Recursive, opts});
   expect_identical_traces(real.trace(), phantom.trace());
 }
 
@@ -96,12 +97,14 @@ TEST(PhantomRealEquivalence, BlockingQr) {
   opts.panel_base = 8;
 
   Device real(spec(), ExecutionMode::Real);
-  qr::blocking_ooc_qr(real, a.view(), r.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&real}, a.view(), r.view(), qr::Algorithm::Blocking, opts});
 
   Device phantom(spec(), ExecutionMode::Phantom);
   auto pa = sim::HostMutRef::phantom(m, n);
   auto pr = sim::HostMutRef::phantom(n, n);
-  qr::blocking_ooc_qr(phantom, pa, pr, opts);
+  qr::factorize(
+      qr::QrProblem{{&phantom}, pa, pr, qr::Algorithm::Blocking, opts});
   expect_identical_traces(real.trace(), phantom.trace());
 }
 

@@ -7,10 +7,8 @@
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
-#include "qr/blocking_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/incore.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::qr {
@@ -39,7 +37,8 @@ TEST(LeftLookingQr, FactorsCorrectlyAcrossShapes) {
     opts.precision = blas::GemmPrecision::FP32;
     la::Matrix q = la::materialize(a.view());
     la::Matrix r(n, n);
-    const QrStats stats = left_looking_ooc_qr(dev, q.view(), r.view(), opts);
+    const QrStats stats = factorize(
+        QrProblem{{&dev}, q.view(), r.view(), Algorithm::LeftLooking, opts});
     EXPECT_LT(la::qr_residual(a.view(), q.view(), r.view()), 1e-4)
         << m << "x" << n << " b=" << b;
     EXPECT_TRUE(la::is_upper_triangular(r.view()));
@@ -60,12 +59,13 @@ TEST(LeftLookingQr, MatchesRightLookingFactors) {
   Device d1(test_spec(), ExecutionMode::Real);
   la::Matrix ql = la::materialize(a.view());
   la::Matrix rl(96, 96);
-  left_looking_ooc_qr(d1, ql.view(), rl.view(), opts);
+  factorize(
+      QrProblem{{&d1}, ql.view(), rl.view(), Algorithm::LeftLooking, opts});
 
   Device d2(test_spec(), ExecutionMode::Real);
   la::Matrix qr_ = la::materialize(a.view());
   la::Matrix rr(96, 96);
-  blocking_ooc_qr(d2, qr_.view(), rr.view(), opts);
+  factorize(QrProblem{{&d2}, qr_.view(), rr.view(), Algorithm::Blocking, opts});
 
   EXPECT_LT(la::relative_difference(ql.view(), qr_.view()), 1e-4);
   EXPECT_LT(la::relative_difference(rl.view(), rr.view()), 1e-4);
@@ -81,10 +81,12 @@ TEST(LeftLookingQr, MovesFarFewerBytesThanRightLooking) {
   opts.blocksize = 16384;
   auto a1 = sim::HostMutRef::phantom(131072, 131072);
   auto r1 = sim::HostMutRef::phantom(131072, 131072);
-  const QrStats left = left_looking_ooc_qr(dev_l, a1, r1, opts);
+  const QrStats left = factorize(
+      QrProblem{{&dev_l}, a1, r1, Algorithm::LeftLooking, opts});
   auto a2 = sim::HostMutRef::phantom(131072, 131072);
   auto r2 = sim::HostMutRef::phantom(131072, 131072);
-  const QrStats right = blocking_ooc_qr(dev_r, a2, r2, opts);
+  const QrStats right = factorize(
+      QrProblem{{&dev_r}, a2, r2, Algorithm::Blocking, opts});
 
   EXPECT_LT(left.bytes_h2d, right.bytes_h2d);
   EXPECT_LT(left.bytes_d2h, 0.5 * right.bytes_d2h);
@@ -97,7 +99,8 @@ TEST(LeftLookingQr, MovesFarFewerBytesThanRightLooking) {
   dev_rec.model().install_paper_calibration();
   auto a3 = sim::HostMutRef::phantom(131072, 131072);
   auto r3 = sim::HostMutRef::phantom(131072, 131072);
-  const QrStats rec = recursive_ooc_qr(dev_rec, a3, r3, opts);
+  const QrStats rec = factorize(
+      QrProblem{{&dev_rec}, a3, r3, Algorithm::Recursive, opts});
   EXPECT_LT(rec.total_seconds, left.total_seconds);
 }
 
@@ -110,13 +113,15 @@ TEST(LeftLookingQr, WinsOnTheDiskBoundary) {
   auto dev_l = Device(sim::DeviceSpec::disk_cpu_1996(), ExecutionMode::Phantom);
   auto a1 = sim::HostMutRef::phantom(8192, 8192);
   auto r1 = sim::HostMutRef::phantom(8192, 8192);
-  const QrStats left = left_looking_ooc_qr(dev_l, a1, r1, opts);
+  const QrStats left = factorize(
+      QrProblem{{&dev_l}, a1, r1, Algorithm::LeftLooking, opts});
   auto dev_r = Device(sim::DeviceSpec::disk_cpu_1996(), ExecutionMode::Phantom);
   auto a2 = sim::HostMutRef::phantom(8192, 8192);
   auto r2 = sim::HostMutRef::phantom(8192, 8192);
   QrOptions ropts = opts;
   ropts.staging_buffer = false; // era-appropriate baseline
-  const QrStats right = blocking_ooc_qr(dev_r, a2, r2, ropts);
+  const QrStats right = factorize(
+      QrProblem{{&dev_r}, a2, r2, Algorithm::Blocking, ropts});
   EXPECT_LT(left.total_seconds, right.total_seconds);
 }
 
@@ -125,10 +130,12 @@ TEST(LeftLookingQr, RejectsBadInputs) {
   QrOptions opts;
   auto wide_a = sim::HostMutRef::phantom(10, 20);
   auto r = sim::HostMutRef::phantom(20, 20);
-  EXPECT_THROW(left_looking_ooc_qr(dev, wide_a, r, opts), InvalidArgument);
+  EXPECT_THROW(factorize(QrProblem{
+      {&dev}, wide_a, r, Algorithm::LeftLooking, opts}), InvalidArgument);
   auto a = sim::HostMutRef::phantom(20, 10);
   auto bad_r = sim::HostMutRef::phantom(5, 5);
-  EXPECT_THROW(left_looking_ooc_qr(dev, a, bad_r, opts), InvalidArgument);
+  EXPECT_THROW(factorize(QrProblem{
+      {&dev}, a, bad_r, Algorithm::LeftLooking, opts}), InvalidArgument);
 }
 
 } // namespace

@@ -9,9 +9,8 @@
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
-#include "qr/blocking_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/incore.hpp"
-#include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::qr {
@@ -37,9 +36,9 @@ OocRun run_driver(bool recursive, const la::Matrix& a, const QrOptions& opts,
                   bytes_t capacity = 512LL << 20) {
   Device dev(test_spec(capacity), ExecutionMode::Real);
   OocRun run{la::materialize(a.view()), la::Matrix(a.cols(), a.cols()), {}};
-  run.stats = recursive
-                  ? recursive_ooc_qr(dev, run.q.view(), run.r.view(), opts)
-                  : blocking_ooc_qr(dev, run.q.view(), run.r.view(), opts);
+  run.stats = factorize(QrProblem{
+      {&dev}, run.q.view(), run.r.view(),
+      recursive ? Algorithm::Recursive : Algorithm::Blocking, opts});
   EXPECT_EQ(dev.live_allocations(), 0);
   EXPECT_LE(dev.memory_peak(), dev.memory_capacity());
   return run;
@@ -259,13 +258,16 @@ TEST(OocQr, RejectsBadInputs) {
   la::Matrix a = la::random_normal(10, 20, 9); // wide: invalid
   la::Matrix r(20, 20);
   QrOptions opts;
-  EXPECT_THROW(blocking_ooc_qr(dev, a.view(), r.view(), opts),
+  EXPECT_THROW(factorize(
+      QrProblem{{&dev}, a.view(), r.view(), Algorithm::Blocking, opts}),
                InvalidArgument);
-  EXPECT_THROW(recursive_ooc_qr(dev, a.view(), r.view(), opts),
+  EXPECT_THROW(factorize(
+      QrProblem{{&dev}, a.view(), r.view(), Algorithm::Recursive, opts}),
                InvalidArgument);
   la::Matrix ok = la::random_normal(20, 10, 9);
   la::Matrix bad_r(5, 5);
-  EXPECT_THROW(blocking_ooc_qr(dev, ok.view(), bad_r.view(), opts),
+  EXPECT_THROW(factorize(
+      QrProblem{{&dev}, ok.view(), bad_r.view(), Algorithm::Blocking, opts}),
                InvalidArgument);
 }
 

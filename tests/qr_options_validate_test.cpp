@@ -5,10 +5,8 @@
 #include <functional>
 
 #include "common/error.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/left_looking_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/options.hpp"
-#include "qr/recursive_qr.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::qr {
@@ -127,12 +125,15 @@ INSTANTIATE_TEST_SUITE_P(
     AllDrivers, QrDriverValidation,
     ::testing::Values(
         [](sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
-           const QrOptions& opts) { return blocking_ooc_qr(dev, a, r, opts); },
+           const QrOptions& opts) { return factorize(
+               QrProblem{{&dev}, a, r, Algorithm::Blocking, opts}); },
         [](sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
-           const QrOptions& opts) { return recursive_ooc_qr(dev, a, r, opts); },
+           const QrOptions& opts) { return factorize(
+               QrProblem{{&dev}, a, r, Algorithm::Recursive, opts}); },
         [](sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
            const QrOptions& opts) {
-          return left_looking_ooc_qr(dev, a, r, opts);
+          return factorize(
+              QrProblem{{&dev}, a, r, Algorithm::LeftLooking, opts});
         }),
     [](const auto& param_info) {
       return param_info.index == 0   ? "blocking"

@@ -6,8 +6,7 @@
 #include "ooc/gemm_engines.hpp"
 #include "ooc/movement_model.hpp"
 #include "ooc/operand.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 
 namespace rocqr::qr {
@@ -22,8 +21,10 @@ QrStats run(bool recursive, const sim::DeviceSpec& spec, index_t m, index_t n,
   dev.model().install_paper_calibration();
   sim::HostMutRef a = sim::HostMutRef::phantom(m, n);
   sim::HostMutRef r = sim::HostMutRef::phantom(n, n);
-  QrStats stats = recursive ? recursive_ooc_qr(dev, a, r, opts)
-                            : blocking_ooc_qr(dev, a, r, opts);
+  QrStats stats = recursive ? factorize(
+      QrProblem{{&dev}, a, r, Algorithm::Recursive, opts})
+                            : factorize(QrProblem{
+                                {&dev}, a, r, Algorithm::Blocking, opts});
   EXPECT_EQ(dev.live_allocations(), 0);
   EXPECT_LE(dev.memory_peak(), spec.memory_capacity);
   return stats;

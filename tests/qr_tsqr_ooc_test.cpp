@@ -17,8 +17,8 @@
 #include "la/norms.hpp"
 #include "leak_check.hpp"
 #include "qr/checkpoint.hpp"
+#include "qr/factorize.hpp"
 #include "qr/incore.hpp"
-#include "qr/recursive_qr.hpp"
 #include "qr/tsqr_ooc.hpp"
 #include "sim/device.hpp"
 #include "sim/faults.hpp"
@@ -81,7 +81,8 @@ TEST(TsqrOoc, MatchesHouseholderReference) {
   la::Matrix r(n, n);
   Fleet fleet = make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
   const qr::QrStats stats =
-      qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), base_options());
+      qr::factorize(qr::QrProblem{
+          fleet.ptrs, q.view(), r.view(), qr::Algorithm::Tsqr, base_options()});
   EXPECT_GT(stats.events, 0);
 
   const qr::QrFactors ref = qr::householder(a0.view());
@@ -108,12 +109,14 @@ TEST(TsqrOoc, SingleDeviceDegeneratesToRecursiveDriver) {
   la::Matrix q1 = la::materialize(a0.view());
   la::Matrix r1(n, n);
   Fleet fleet = make_fleet(1, small_spec(64LL << 20), ExecutionMode::Real);
-  qr::tsqr_ooc_qr(fleet.ptrs, q1.view(), r1.view(), opts);
+  qr::factorize(qr::QrProblem{
+      fleet.ptrs, q1.view(), r1.view(), qr::Algorithm::Tsqr, opts});
 
   la::Matrix q2 = la::materialize(a0.view());
   la::Matrix r2(n, n);
   Device solo(small_spec(64LL << 20), ExecutionMode::Real);
-  qr::recursive_ooc_qr(solo, q2.view(), r2.view(), opts);
+  qr::factorize(qr::QrProblem{
+      {&solo}, q2.view(), r2.view(), qr::Algorithm::Recursive, opts});
 
   EXPECT_TRUE(bitwise_equal(q1, q2));
   EXPECT_TRUE(bitwise_equal(r1, r2));
@@ -128,7 +131,8 @@ TEST(TsqrOoc, OddFleetExercisesPassThroughNodes) {
   la::Matrix q = la::materialize(a0.view());
   la::Matrix r(n, n);
   Fleet fleet = make_fleet(3, small_spec(64LL << 20), ExecutionMode::Real);
-  qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), base_options());
+  qr::factorize(qr::QrProblem{
+      fleet.ptrs, q.view(), r.view(), qr::Algorithm::Tsqr, base_options()});
 
   const qr::QrFactors ref = qr::householder(a0.view());
   EXPECT_LT(la::relative_difference(r.view(), ref.r.view()), 1e-4);
@@ -148,7 +152,8 @@ TEST(TsqrOoc, ShortFleetUsesFewerLeavesThanDevices) {
   Fleet fleet = make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
   qr::QrOptions opts = base_options();
   opts.blocksize = 16;
-  qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), opts);
+  qr::factorize(
+      qr::QrProblem{fleet.ptrs, q.view(), r.view(), qr::Algorithm::Tsqr, opts});
   EXPECT_LT(la::qr_residual(a0.view(), q.view(), r.view()), 1e-5);
   EXPECT_LT(la::orthogonality_error(q.view()), 1e-4);
 }
@@ -169,7 +174,8 @@ TEST(TsqrOoc, FourDevicesFactorMatrixExceedingOneDeviceBudget) {
   qr::QrOptions opts = base_options();
   opts.blocksize = 16;
   const qr::QrStats stats =
-      qr::tsqr_ooc_qr(fleet.ptrs, q.view(), r.view(), opts);
+      qr::factorize(qr::QrProblem{
+          fleet.ptrs, q.view(), r.view(), qr::Algorithm::Tsqr, opts});
   EXPECT_LE(stats.peak_device_bytes, capacity);
 
   const qr::QrFactors ref = qr::householder(a0.view());
@@ -192,11 +198,13 @@ TEST(TsqrOoc, FourDeviceMakespanBeatsSingleDeviceRecursive) {
   Fleet fleet =
       make_fleet(4, sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
   for (Device* dev : fleet.ptrs) dev->model().install_paper_calibration();
-  const qr::QrStats fleet_stats = qr::tsqr_ooc_qr(fleet.ptrs, a, r, opts);
+  const qr::QrStats fleet_stats = qr::factorize(
+      qr::QrProblem{fleet.ptrs, a, r, qr::Algorithm::Tsqr, opts});
 
   Device solo(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
   solo.model().install_paper_calibration();
-  const qr::QrStats solo_stats = qr::recursive_ooc_qr(solo, a, r, opts);
+  const qr::QrStats solo_stats = qr::factorize(
+      qr::QrProblem{{&solo}, a, r, qr::Algorithm::Recursive, opts});
 
   EXPECT_GT(fleet_stats.total_seconds, 0);
   EXPECT_LT(fleet_stats.total_seconds, solo_stats.total_seconds);
@@ -215,7 +223,8 @@ TEST(TsqrOoc, SharedLinkCostsMoreThanPrivateLinks) {
     Fleet fleet = make_fleet(4, sim::DeviceSpec::v100_32gb(),
                              ExecutionMode::Phantom, shared == 1);
     for (Device* dev : fleet.ptrs) dev->model().install_paper_calibration();
-    seconds[shared] = qr::tsqr_ooc_qr(fleet.ptrs, a, r, opts).total_seconds;
+    seconds[shared] = qr::factorize(qr::QrProblem{
+        fleet.ptrs, a, r, qr::Algorithm::Tsqr, opts}).total_seconds;
   }
   EXPECT_GT(seconds[1], seconds[0]);
 }
@@ -224,14 +233,17 @@ TEST(TsqrOoc, RejectsBadShapes) {
   Fleet fleet = make_fleet(2, small_spec(64LL << 20), ExecutionMode::Phantom);
   auto wide = sim::HostMutRef::phantom(4, 8);
   auto r8 = sim::HostMutRef::phantom(8, 8);
-  EXPECT_THROW(qr::tsqr_ooc_qr(fleet.ptrs, wide, r8, base_options()),
+  EXPECT_THROW(qr::factorize(
+      qr::QrProblem{fleet.ptrs, wide, r8, qr::Algorithm::Tsqr, base_options()}),
                InvalidArgument);
   auto a = sim::HostMutRef::phantom(64, 8);
   auto bad_r = sim::HostMutRef::phantom(4, 8);
-  EXPECT_THROW(qr::tsqr_ooc_qr(fleet.ptrs, a, bad_r, base_options()),
+  EXPECT_THROW(qr::factorize(
+      qr::QrProblem{fleet.ptrs, a, bad_r, qr::Algorithm::Tsqr, base_options()}),
                InvalidArgument);
   EXPECT_THROW(
-      qr::tsqr_ooc_qr(std::vector<Device*>{}, a, r8, base_options()),
+      qr::factorize(qr::QrProblem{
+          std::vector<Device*>{}, a, r8, qr::Algorithm::Tsqr, base_options()}),
       InvalidArgument);
 }
 
@@ -248,7 +260,8 @@ int kill_and_resume_sweep(int devices, int fault_dev, index_t m, index_t n,
       make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
   ref_fleet.ptrs[static_cast<size_t>(fault_dev)]->install_faults(
       FaultPlan::parse("h2d:transient:p=0"));
-  qr::tsqr_ooc_qr(ref_fleet.ptrs, q_ref.view(), r_ref.view(), opts);
+  qr::factorize(qr::QrProblem{
+      ref_fleet.ptrs, q_ref.view(), r_ref.view(), qr::Algorithm::Tsqr, opts});
   const std::int64_t total_h2d =
       ref_fleet.ptrs[static_cast<size_t>(fault_dev)]
           ->fault_injector()
@@ -268,8 +281,9 @@ int kill_and_resume_sweep(int devices, int fault_dev, index_t m, index_t n,
         make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
     kill_fleet.ptrs[static_cast<size_t>(fault_dev)]->install_faults(
         FaultPlan::parse("h2d:transient:op=" + std::to_string(kill)));
-    EXPECT_THROW(qr::tsqr_ooc_qr(kill_fleet.ptrs, q_killed.view(),
-                                 r_killed.view(), kill_opts),
+    EXPECT_THROW(qr::factorize(qr::QrProblem{
+        kill_fleet.ptrs, q_killed.view(), r_killed.view(), qr::Algorithm::Tsqr,
+        kill_opts}),
                  FaultBudgetExhausted)
         << "kill " << kill;
     if (!sink.has_checkpoint()) continue; // killed before the first leaf
@@ -281,7 +295,9 @@ int kill_and_resume_sweep(int devices, int fault_dev, index_t m, index_t n,
     la::Matrix r_res(n, n);
     Fleet res_fleet =
         make_fleet(devices, small_spec(64LL << 20), ExecutionMode::Real);
-    qr::resume_ooc_qr(res_fleet.ptrs, cp, q_res.view(), r_res.view(), opts);
+    qr::resume(qr::QrProblem{
+        res_fleet.ptrs, q_res.view(), r_res.view(), qr::Algorithm::Recursive,
+        opts}, cp);
     EXPECT_TRUE(bitwise_equal(q_res, q_ref)) << "kill " << kill;
     EXPECT_TRUE(bitwise_equal(r_res, r_ref)) << "kill " << kill;
     ++resumed;

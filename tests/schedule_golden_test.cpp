@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -25,9 +27,7 @@
 #include "ooc/gemm_engines.hpp"
 #include "ooc/operand.hpp"
 #include "ooc/trsm_engine.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "sim/device.hpp"
 
 #ifndef ROCQR_GOLDEN_DIR
@@ -67,23 +67,9 @@ std::int64_t counter_value(const char* name) {
   return rocqr::telemetry::MetricsRegistry::global().counter(name).value();
 }
 
-/// Runs `body` on a fresh phantom device and compares the canonical trace
-/// plus the slab-prefetch counter deltas against goldens/<name>.trace.
-void check_golden(const std::string& name, rocqr::bytes_t capacity,
-                  const std::function<void(Device&)>& body) {
-  Device dev(golden_spec(capacity), ExecutionMode::Phantom);
-  const std::int64_t hits0 = counter_value("ooc.slab_prefetch_hits");
-  const std::int64_t miss0 = counter_value("ooc.slab_prefetch_misses");
-  body(dev);
-  dev.synchronize();
-  std::ostringstream os;
-  os << canonical_trace(dev);
-  os << "counter|ooc.slab_prefetch_hits|"
-     << counter_value("ooc.slab_prefetch_hits") - hits0 << '\n';
-  os << "counter|ooc.slab_prefetch_misses|"
-     << counter_value("ooc.slab_prefetch_misses") - miss0 << '\n';
-  const std::string actual = os.str();
-
+/// Compares `actual` against goldens/<name>.trace, or rewrites the golden
+/// when ROCQR_UPDATE_GOLDENS is set.
+void compare_or_update(const std::string& name, const std::string& actual) {
   const std::string path = std::string(ROCQR_GOLDEN_DIR) + "/" + name +
                            ".trace";
   if (std::getenv("ROCQR_UPDATE_GOLDENS") != nullptr) {
@@ -121,6 +107,47 @@ void check_golden(const std::string& name, rocqr::bytes_t capacity,
     FAIL() << name << ": trace differs from golden (same lines, different "
                       "layout?)";
   }
+}
+
+/// Runs `body` on a fresh phantom device and compares the canonical trace
+/// plus the slab-prefetch counter deltas against goldens/<name>.trace.
+void check_golden(const std::string& name, rocqr::bytes_t capacity,
+                  const std::function<void(Device&)>& body) {
+  Device dev(golden_spec(capacity), ExecutionMode::Phantom);
+  const std::int64_t hits0 = counter_value("ooc.slab_prefetch_hits");
+  const std::int64_t miss0 = counter_value("ooc.slab_prefetch_misses");
+  body(dev);
+  dev.synchronize();
+  std::ostringstream os;
+  os << canonical_trace(dev);
+  os << "counter|ooc.slab_prefetch_hits|"
+     << counter_value("ooc.slab_prefetch_hits") - hits0 << '\n';
+  os << "counter|ooc.slab_prefetch_misses|"
+     << counter_value("ooc.slab_prefetch_misses") - miss0 << '\n';
+  compare_or_update(name, os.str());
+}
+
+/// Fleet variant: runs `body` over `ndev` fresh phantom devices and pins
+/// the concatenation of their canonical traces under one "device|i" header
+/// per device. The cross-device reduction-tree order — which device merges
+/// which R factor, and when — is part of the golden.
+void check_fleet_golden(
+    const std::string& name, rocqr::bytes_t capacity, int ndev,
+    const std::function<void(std::vector<Device*>&)>& body) {
+  std::vector<std::unique_ptr<Device>> fleet;
+  std::vector<Device*> ptrs;
+  for (int i = 0; i < ndev; ++i) {
+    fleet.push_back(std::make_unique<Device>(golden_spec(capacity),
+                                             ExecutionMode::Phantom));
+    ptrs.push_back(fleet.back().get());
+  }
+  body(ptrs);
+  std::ostringstream os;
+  for (int i = 0; i < ndev; ++i) {
+    ptrs[i]->synchronize();
+    os << "device|" << i << '\n' << canonical_trace(*ptrs[i]);
+  }
+  compare_or_update(name, os.str());
 }
 
 OocGemmOptions small_opts(index_t blocksize) {
@@ -251,8 +278,11 @@ TEST(ScheduleGolden, BlockingQr) {
   check_golden("blocking_qr", 256LL << 20, [](Device& dev) {
     rocqr::qr::QrOptions o;
     o.blocksize = 256;
-    rocqr::qr::blocking_ooc_qr(dev, HostMutRef::phantom(2048, 1024),
-                               HostMutRef::phantom(1024, 1024), o);
+    rocqr::qr::factorize(
+        rocqr::qr::QrProblem{{&dev},
+                             HostMutRef::phantom(2048, 1024),
+                             HostMutRef::phantom(1024, 1024),
+                             rocqr::qr::Algorithm::Blocking, o});
   });
 }
 
@@ -260,8 +290,11 @@ TEST(ScheduleGolden, RecursiveQr) {
   check_golden("recursive_qr", 256LL << 20, [](Device& dev) {
     rocqr::qr::QrOptions o;
     o.blocksize = 256;
-    rocqr::qr::recursive_ooc_qr(dev, HostMutRef::phantom(2048, 1024),
-                                HostMutRef::phantom(1024, 1024), o);
+    rocqr::qr::factorize(
+        rocqr::qr::QrProblem{{&dev},
+                             HostMutRef::phantom(2048, 1024),
+                             HostMutRef::phantom(1024, 1024),
+                             rocqr::qr::Algorithm::Recursive, o});
   });
 }
 
@@ -269,8 +302,11 @@ TEST(ScheduleGolden, RecursiveQrSmallMemory) {
   check_golden("recursive_qr_small_memory", 24LL << 20, [](Device& dev) {
     rocqr::qr::QrOptions o;
     o.blocksize = 256;
-    rocqr::qr::recursive_ooc_qr(dev, HostMutRef::phantom(2048, 1024),
-                                HostMutRef::phantom(1024, 1024), o);
+    rocqr::qr::factorize(
+        rocqr::qr::QrProblem{{&dev},
+                             HostMutRef::phantom(2048, 1024),
+                             HostMutRef::phantom(1024, 1024),
+                             rocqr::qr::Algorithm::Recursive, o});
   });
 }
 
@@ -278,9 +314,42 @@ TEST(ScheduleGolden, LeftLookingQr) {
   check_golden("left_looking_qr", 256LL << 20, [](Device& dev) {
     rocqr::qr::QrOptions o;
     o.blocksize = 256;
-    rocqr::qr::left_looking_ooc_qr(dev, HostMutRef::phantom(1024, 768),
-                                   HostMutRef::phantom(768, 768), o);
+    rocqr::qr::factorize(
+        rocqr::qr::QrProblem{{&dev},
+                             HostMutRef::phantom(1024, 768),
+                             HostMutRef::phantom(768, 768),
+                             rocqr::qr::Algorithm::LeftLooking, o});
   });
+}
+
+TEST(ScheduleGolden, TiledQrTaskGraph) {
+  // Tiled CGS expressed on the TaskGraph executor: panel k+1 factors while
+  // panel k's trailing updates drain, and that interleaving is pinned here.
+  check_golden("tiled_qr", 256LL << 20, [](Device& dev) {
+    rocqr::qr::QrOptions o;
+    o.blocksize = 256;
+    rocqr::qr::factorize(
+        rocqr::qr::QrProblem{{&dev},
+                             HostMutRef::phantom(2048, 1024),
+                             HostMutRef::phantom(1024, 1024),
+                             rocqr::qr::Algorithm::Tiled, o});
+  });
+}
+
+TEST(ScheduleGolden, TsqrFleetReductionTree) {
+  // DAG-overlapped TSQR: a reduction-tree node fires as soon as both child
+  // R factors exist instead of waiting on a full-fleet barrier, so the
+  // merge order across devices is part of the pinned schedule.
+  check_fleet_golden("tsqr_fleet", 256LL << 20, 4,
+                     [](std::vector<Device*>& fleet) {
+                       rocqr::qr::QrOptions o;
+                       o.blocksize = 256;
+                       rocqr::qr::factorize(
+                           rocqr::qr::QrProblem{fleet,
+                                                HostMutRef::phantom(8192, 512),
+                                                HostMutRef::phantom(512, 512),
+                                                rocqr::qr::Algorithm::Tsqr, o});
+                     });
 }
 
 TEST(ScheduleGolden, RecursiveLu) {

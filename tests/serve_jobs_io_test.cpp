@@ -1,9 +1,11 @@
 // Jobs-JSON parser hardening: numbers must be consumed whole (no silent
 // prefix parsing), out-of-range values must be rejected before any cast
-// (the old code hit undefined behavior casting 1e30 to index_t), and the
-// documented job fields round-trip.
+// (the old code hit undefined behavior casting 1e30 to index_t), the
+// documented job fields round-trip, and the schema_version envelope is
+// enforced (legacy bare arrays parse; newer majors are rejected).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,44 @@ TEST(JobsJson, RejectsHugeDimensionBeforeCasting) {
                InvalidArgument);
   EXPECT_THROW(parse_jobs_json(R"([{"m": -1, "n": 50}])"), InvalidArgument);
   EXPECT_THROW(parse_jobs_json(R"([{"m": 2.5, "n": 50}])"), InvalidArgument);
+}
+
+TEST(JobsJson, ParsesVersionedEnvelope) {
+  const std::vector<JobSpec> jobs = parse_jobs_json(
+      R"({"schema_version": 2, "jobs": [{"m": 128, "n": 64,
+          "algorithm": "tiled"}]})");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].m, 128);
+  EXPECT_EQ(jobs[0].algorithm, "tiled");
+  // Older majors still parse; key order does not matter.
+  EXPECT_EQ(parse_jobs_json(
+                R"({"jobs": [{"m": 8, "n": 4}], "schema_version": 1})")
+                .size(),
+            1u);
+}
+
+TEST(JobsJson, RejectsUnknownSchemaMajorAndBadEnvelope) {
+  EXPECT_THROW(
+      parse_jobs_json(
+          R"({"schema_version": 3, "jobs": [{"m": 8, "n": 4}]})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_jobs_json(
+          R"({"schema_version": 0, "jobs": [{"m": 8, "n": 4}]})"),
+      InvalidArgument);
+  // An envelope without "jobs", or with an unknown top-level key.
+  EXPECT_THROW(parse_jobs_json(R"({"schema_version": 2})"), InvalidArgument);
+  EXPECT_THROW(
+      parse_jobs_json(R"({"tasks": [{"m": 8, "n": 4}]})"), InvalidArgument);
+}
+
+TEST(JobsJson, ReportCarriesSchemaVersion) {
+  serve::FleetReport rep;
+  std::ostringstream os;
+  serve::write_fleet_report_json(os, rep);
+  EXPECT_NE(os.str().find("\"schema_version\": " +
+                          std::to_string(serve::kJobsSchemaVersion)),
+            std::string::npos);
 }
 
 TEST(JobsJson, RejectsStructuralGarbage) {

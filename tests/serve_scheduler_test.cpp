@@ -13,9 +13,7 @@
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "leak_check.hpp"
-#include "qr/blocking_qr.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "serve/scheduler.hpp"
 #include "sim/device.hpp"
 
@@ -35,9 +33,8 @@ using sim::ExecutionMode;
 qr::QrStats run_driver(const std::string& driver, Device& dev,
                        sim::HostMutRef a, sim::HostMutRef r,
                        const qr::QrOptions& opts) {
-  if (driver == "blocking") return qr::blocking_ooc_qr(dev, a, r, opts);
-  if (driver == "recursive") return qr::recursive_ooc_qr(dev, a, r, opts);
-  return qr::left_looking_ooc_qr(dev, a, r, opts);
+  return qr::factorize(
+      qr::QrProblem{{&dev}, a, r, *qr::parse_algorithm(driver), opts});
 }
 
 bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
@@ -288,6 +285,179 @@ TEST(ServeScheduler, PreemptsAndResumesBitIdentical) {
   }
 }
 
+TEST(ServeColocation, TiledJobsShareOneDeviceAndCutMakespan) {
+  // Two tall-skinny tiled jobs on ONE device: exclusively they run back to
+  // back; colocated they run as one task graph whose nodes interleave on
+  // the three engines, so the makespan beats the serial schedule.
+  auto run = [](int max_colocated) {
+    ServeConfig cfg;
+    cfg.devices = 1;
+    cfg.max_colocated_jobs = max_colocated;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 2; ++i) {
+      JobSpec job;
+      job.name = "tiled" + std::to_string(i);
+      job.m = 131072;
+      job.n = 8192;
+      job.algorithm = "tiled";
+      job.blocksize = 4096;
+      EXPECT_TRUE(sched.submit(job).admitted) << job.name;
+    }
+    return sched.run();
+  };
+
+  const FleetReport exclusive = run(1);
+  const FleetReport colocated = run(2);
+  for (const FleetReport* rep : {&exclusive, &colocated}) {
+    EXPECT_EQ(rep->jobs_completed, 2);
+    EXPECT_EQ(rep->jobs_failed, 0);
+    for (const JobReport& j : rep->jobs) {
+      EXPECT_EQ(j.state, JobState::Completed) << j.name;
+      EXPECT_GT(j.stats.events, 0) << j.name;
+      EXPECT_GT(j.stats.total_seconds, 0) << j.name;
+    }
+  }
+  // Colocated: both jobs dispatch in one attempt each, together.
+  for (const JobReport& j : colocated.jobs) EXPECT_EQ(j.attempts, 1);
+  EXPECT_LT(colocated.makespan_seconds, exclusive.makespan_seconds);
+  // Per-job attribution: the label-filtered stats split the shared trace
+  // window without double counting — each job still sees its own panels.
+  EXPECT_EQ(colocated.jobs[0].stats.panels, exclusive.jobs[0].stats.panels);
+  EXPECT_EQ(colocated.jobs[1].stats.panels, exclusive.jobs[1].stats.panels);
+}
+
+TEST(ServeColocation, ColocatedBatchNumericsMatchSoloRuns) {
+  constexpr index_t kM = 96;
+  constexpr index_t kN = 64;
+  constexpr index_t kB = 16;
+
+  ServeConfig cfg;
+  cfg.devices = 1;
+  cfg.mode = ExecutionMode::Real;
+  cfg.max_colocated_jobs = 2;
+  Scheduler sched(cfg);
+
+  qr::QrOptions base;
+  base.blocksize = kB;
+  base.precision = blas::GemmPrecision::FP32;
+  base.panel_base = 8;
+
+  std::vector<la::Matrix> as;
+  std::vector<la::Matrix> rs;
+  for (int i = 0; i < 2; ++i) {
+    as.push_back(la::random_normal(kM, kN, 40 + static_cast<unsigned>(i)));
+    rs.emplace_back(kN, kN);
+    JobSpec job;
+    job.name = "co" + std::to_string(i);
+    job.m = kM;
+    job.n = kN;
+    job.algorithm = "tiled";
+    job.blocksize = kB;
+    job.precision = blas::GemmPrecision::FP32;
+    job.options = base;
+    job.a = as.back().view();
+    job.r = rs.back().view();
+    ASSERT_TRUE(sched.submit(job).admitted) << job.name;
+  }
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_completed, 2);
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    EXPECT_EQ(j.attempts, 1) << j.name;
+  }
+
+  // Sharing a task graph must not change either job's numerics: Real-mode
+  // results are schedule-independent, so each matches its solo run bitwise.
+  for (size_t i = 0; i < as.size(); ++i) {
+    la::Matrix q_ref =
+        la::random_normal(kM, kN, 40 + static_cast<unsigned>(i));
+    la::Matrix r_ref(kN, kN);
+    Device clean(cfg.spec, ExecutionMode::Real);
+    clean.model().install_paper_calibration();
+    run_driver("tiled", clean, q_ref.view(), r_ref.view(), base);
+    EXPECT_TRUE(bitwise_equal(as[i], q_ref)) << "job " << i;
+    EXPECT_TRUE(bitwise_equal(rs[i], r_ref)) << "job " << i;
+  }
+}
+
+TEST(ServeColocation, PreemptedBatchResumesBitIdentical) {
+  // A colocated tiled batch is preempted mid-graph by an urgent job; every
+  // member unwinds at the checkpoint boundary, requeues from its own
+  // snapshot and finishes bit-identical to an uninterrupted run.
+  constexpr index_t kM = 96;
+  constexpr index_t kN = 64;
+  constexpr index_t kB = 16;
+
+  ServeConfig cfg;
+  cfg.devices = 1;
+  cfg.mode = ExecutionMode::Real;
+  cfg.max_colocated_jobs = 2;
+  Scheduler sched(cfg);
+
+  qr::QrOptions base;
+  base.blocksize = kB;
+  base.precision = blas::GemmPrecision::FP32;
+  base.panel_base = 8;
+
+  std::vector<la::Matrix> as;
+  std::vector<la::Matrix> rs;
+  for (int i = 0; i < 2; ++i) {
+    as.push_back(la::random_normal(kM, kN, 70 + static_cast<unsigned>(i)));
+    rs.emplace_back(kN, kN);
+    JobSpec job;
+    job.name = "low" + std::to_string(i);
+    job.m = kM;
+    job.n = kN;
+    job.algorithm = "tiled";
+    job.blocksize = kB;
+    job.precision = blas::GemmPrecision::FP32;
+    job.priority = 1;
+    job.options = base;
+    job.a = as.back().view();
+    job.r = rs.back().view();
+    ASSERT_TRUE(sched.submit(job).admitted) << job.name;
+  }
+  as.push_back(la::random_normal(kM, kN, 99));
+  rs.emplace_back(kN, kN);
+  JobSpec urgent;
+  urgent.name = "urgent";
+  urgent.m = kM;
+  urgent.n = kN;
+  urgent.algorithm = "blocking";
+  urgent.blocksize = kB;
+  urgent.precision = blas::GemmPrecision::FP32;
+  urgent.priority = 5;
+  urgent.arrival_after_units = 2;
+  urgent.options = base;
+  urgent.a = as.back().view();
+  urgent.r = rs.back().view();
+  ASSERT_TRUE(sched.submit(urgent).admitted);
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_completed, 3);
+  EXPECT_EQ(rep.jobs_failed, 0);
+  EXPECT_GE(rep.jobs_preempted, 1);
+  int preempted = 0;
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    preempted += j.preemptions;
+  }
+  EXPECT_GE(preempted, 1);
+
+  const char* algos[] = {"tiled", "tiled", "blocking"};
+  const std::uint64_t seeds[] = {70, 71, 99};
+  for (size_t i = 0; i < as.size(); ++i) {
+    la::Matrix q_ref = la::random_normal(kM, kN, seeds[i]);
+    la::Matrix r_ref(kN, kN);
+    Device clean(cfg.spec, ExecutionMode::Real);
+    clean.model().install_paper_calibration();
+    run_driver(algos[i], clean, q_ref.view(), r_ref.view(), base);
+    EXPECT_TRUE(bitwise_equal(as[i], q_ref)) << "job " << i;
+    EXPECT_TRUE(bitwise_equal(rs[i], r_ref)) << "job " << i;
+  }
+}
+
 TEST(ServeScheduler, RunIsSingleShot) {
   ServeConfig cfg;
   Scheduler sched(cfg);
@@ -309,6 +479,9 @@ TEST(ServeScheduler, ConfigValidation) {
   EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
   cfg.checkpoint_every = 1;
   cfg.admission_memory_fraction = 0;
+  EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
+  cfg.admission_memory_fraction = 1.0;
+  cfg.max_colocated_jobs = 0;
   EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
 }
 

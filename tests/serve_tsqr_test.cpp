@@ -12,7 +12,7 @@
 #include "common/error.hpp"
 #include "la/generate.hpp"
 #include "leak_check.hpp"
-#include "qr/tsqr_ooc.hpp"
+#include "qr/factorize.hpp"
 #include "serve/scheduler.hpp"
 #include "sim/device.hpp"
 
@@ -205,7 +205,8 @@ TEST(ServeTsqr, PreemptedGangResumesBitIdentical) {
     fleet.back()->model().install_paper_calibration();
     ptrs.push_back(fleet.back().get());
   }
-  qr::tsqr_ooc_qr(ptrs, q_ref.view(), r_ref.view(), base);
+  qr::factorize(qr::QrProblem{
+      ptrs, q_ref.view(), r_ref.view(), qr::Algorithm::Tsqr, base});
   EXPECT_TRUE(bitwise_equal(gang_a, q_ref));
   EXPECT_TRUE(bitwise_equal(gang_r, r_ref));
 }

@@ -1,7 +1,7 @@
 // rocqr — command-line driver for the simulator and the OOC factorizations.
 //
 // Usage:
-//   rocqr_cli qr    [--algo recursive|blocking|left] [--m N] [--n N]
+//   rocqr_cli qr    [--algo recursive|blocking|left|tiled] [--m N] [--n N]
 //                   [--blocksize B] [--device NAME] [--capacity-gib G]
 //                   [--pageable] [--no-qr-opt] [--no-staging] [--ramp]
 //                   [--fp32] [--timeline] [--csv FILE] [--chrome FILE]
@@ -30,10 +30,8 @@
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
 #include "qr/autotune.hpp"
-#include "qr/blocking_qr.hpp"
 #include "qr/checkpoint.hpp"
-#include "qr/left_looking_qr.hpp"
-#include "qr/recursive_qr.hpp"
+#include "qr/factorize.hpp"
 #include "qr/tsqr_ooc.hpp"
 #include "report/table.hpp"
 #include "serve/jobs_io.hpp"
@@ -208,17 +206,23 @@ int run_factorization(const Args& args) {
     auto a = sim::HostMutRef::phantom(m, n);
     auto r = sim::HostMutRef::phantom(n, n);
     const std::string algo = args.value("algo", "recursive");
+    const std::optional<qr::Algorithm> alg = qr::parse_algorithm(algo);
+    if (!alg || *alg == qr::Algorithm::MultiGpu ||
+        *alg == qr::Algorithm::Tsqr) {
+      std::cerr << "unknown --algo '" << algo
+                << "' (expected recursive, blocking, left or tiled)\n";
+      return 2;
+    }
+    const qr::QrProblem problem{{&dev}, a, r, *alg, opts};
     qr::QrStats stats;
     if (const auto it = args.values.find("resume"); it != args.values.end()) {
       const qr::Checkpoint cp = qr::load_checkpoint_file(it->second);
       std::cout << "resuming " << cp.driver << " QR from unit "
                 << cp.units_done << " (" << cp.columns_done
                 << " columns done)\n";
-      stats = qr::resume_ooc_qr(dev, cp, a, r, opts);
+      stats = qr::resume(problem, cp);
     } else {
-      stats = algo == "left" ? qr::left_looking_ooc_qr(dev, a, r, opts)
-              : recursive    ? qr::recursive_ooc_qr(dev, a, r, opts)
-                             : qr::blocking_ooc_qr(dev, a, r, opts);
+      stats = qr::factorize(problem);
     }
     print_stats("QR", stats);
   } else {
@@ -295,9 +299,11 @@ int run_tsqr(const Args& args) {
     const qr::Checkpoint cp = qr::load_checkpoint_file(it->second);
     std::cout << "resuming " << cp.driver << " QR from unit " << cp.units_done
               << "\n";
-    stats = qr::resume_ooc_qr(ptrs, cp, a, r, opts);
+    stats = qr::resume(qr::QrProblem{ptrs, a, r, qr::Algorithm::Tsqr, opts},
+                       cp);
   } else {
-    stats = qr::tsqr_ooc_qr(ptrs, a, r, opts);
+    stats =
+        qr::factorize(qr::QrProblem{ptrs, a, r, qr::Algorithm::Tsqr, opts});
   }
   print_stats("TSQR", stats);
   dump_traces(*fleet.front(), args);
@@ -446,7 +452,8 @@ commands:
   specs            list device presets
 
 common options:
-  --algo recursive|blocking|left   (default recursive; left = QR only)
+  --algo recursive|blocking|left|tiled
+                              (default recursive; left/tiled = QR only)
   --m N --n N                 matrix size (default 131072)
   --blocksize B               panel width (default 16384)
   --device NAME               v100-32 | v100-16 | a100 | rtx3080
