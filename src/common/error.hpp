@@ -27,6 +27,17 @@ class DeviceOutOfMemory : public Error {
   explicit DeviceOutOfMemory(const std::string& what_arg) : Error(what_arg) {}
 };
 
+/// The device suffered a permanent, unrecoverable failure (an injected
+/// `fatal` fault, sim/faults.hpp): the device is dead and every further
+/// operation on it throws this. Deliberately distinct from
+/// DeviceOutOfMemory and TransferError so no retry/degradation path
+/// mistakes a hard loss for a recoverable fault — the serve layer migrates
+/// the victim's jobs to surviving devices instead.
+class DeviceLost : public Error {
+ public:
+  explicit DeviceLost(const std::string& what_arg) : Error(what_arg) {}
+};
+
 /// A transfer (H2D/D2H) failed transiently — retryable: re-enqueueing the
 /// same copy may succeed. Thrown by injected faults (sim/faults.hpp); the
 /// OOC engines retry these with bounded exponential backoff.

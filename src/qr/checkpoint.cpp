@@ -1,9 +1,11 @@
 #include "qr/checkpoint.hpp"
 
+#include <array>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include <cstdint>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -17,7 +19,37 @@ namespace rocqr::qr {
 
 namespace {
 
-constexpr const char* kMagic = "rocqr-checkpoint v1";
+constexpr const char* kMagic = "rocqr-checkpoint v2";
+constexpr const char* kMagicV1 = "rocqr-checkpoint v1";
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over raw bytes. Table built
+/// once; this is the integrity check on the checkpoint float payload.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t payload_crc(const Checkpoint& cp) {
+  std::uint32_t crc = 0;
+  crc = crc32_update(crc, cp.a.data(), cp.a.size() * sizeof(float));
+  crc = crc32_update(crc, cp.r.data(), cp.r.size() * sizeof(float));
+  return crc;
+}
 
 void write_floats(std::ostream& os, const std::vector<float>& v) {
   if (!v.empty()) {
@@ -52,8 +84,8 @@ void write_checkpoint(std::ostream& os, const Checkpoint& cp) {
   os << kMagic << "\n"
      << cp.driver << "\n"
      << cp.m << " " << cp.n << " " << cp.blocksize << " " << cp.columns_done
-     << " " << cp.units_done << " " << cp.a.size() << " " << cp.r.size()
-     << "\n";
+     << " " << cp.units_done << " " << cp.leaves << " " << cp.a.size() << " "
+     << cp.r.size() << " " << payload_crc(cp) << "\n";
   write_floats(os, cp.a);
   write_floats(os, cp.r);
   ROCQR_CHECK(os.good(), "checkpoint: write failed");
@@ -62,7 +94,8 @@ void write_checkpoint(std::ostream& os, const Checkpoint& cp) {
 Checkpoint read_checkpoint(std::istream& is) {
   std::string magic;
   std::getline(is, magic);
-  ROCQR_CHECK(magic == kMagic,
+  const bool v1 = magic == kMagicV1;
+  ROCQR_CHECK(magic == kMagic || v1,
               "checkpoint: bad magic '" + magic + "' (expected '" +
                   std::string(kMagic) + "')");
   Checkpoint cp;
@@ -73,12 +106,15 @@ Checkpoint read_checkpoint(std::istream& is) {
               "checkpoint: unknown driver '" + cp.driver + "'");
   size_t a_count = 0;
   size_t r_count = 0;
-  is >> cp.m >> cp.n >> cp.blocksize >> cp.columns_done >> cp.units_done >>
-      a_count >> r_count;
+  std::uint32_t stored_crc = 0;
+  is >> cp.m >> cp.n >> cp.blocksize >> cp.columns_done >> cp.units_done;
+  if (!v1) is >> cp.leaves;
+  is >> a_count >> r_count;
+  if (!v1) is >> stored_crc;
   ROCQR_CHECK(is.good(), "checkpoint: malformed header");
   ROCQR_CHECK(cp.m >= cp.n && cp.n >= 1 && cp.blocksize >= 1 &&
                   cp.columns_done >= 0 && cp.columns_done <= cp.n &&
-                  cp.units_done >= 0,
+                  cp.units_done >= 0 && cp.leaves >= 0,
               "checkpoint: header values out of range");
   const size_t mn = static_cast<size_t>(cp.m) * static_cast<size_t>(cp.n);
   const size_t nn = static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
@@ -100,6 +136,15 @@ Checkpoint read_checkpoint(std::istream& is) {
   is.get(); // the newline terminating the header
   cp.a = read_floats(is, a_count);
   cp.r = read_floats(is, r_count);
+  if (!v1) {
+    const std::uint32_t actual = payload_crc(cp);
+    if (actual != stored_crc) {
+      throw InvalidArgument(
+          "checkpoint: payload CRC mismatch (stored " +
+          std::to_string(stored_crc) + ", computed " + std::to_string(actual) +
+          ") — the checkpoint is corrupt or truncated; refusing to resume");
+    }
+  }
   return cp;
 }
 
@@ -162,7 +207,15 @@ QrStats detail::resume_impl(const std::vector<sim::Device*>& devices,
       }
     }
     opts.resume_units = cp.units_done;
-    return detail::run_tsqr(devices, a, r, opts, r_stack);
+    // Pin the checkpointed leaf partition so a shrunk fleet (migration after
+    // device loss) replays the same row blocks. v1 checkpoints carry no leaf
+    // count; mid-run ones still imply it through the stacked-R workspace.
+    index_t leaves = cp.leaves;
+    if (leaves == 0 && cp.units_done > 0 && !cp.r.empty()) {
+      const size_t nn = static_cast<size_t>(cp.n) * static_cast<size_t>(cp.n);
+      leaves = static_cast<index_t>(cp.r.size() / nn);
+    }
+    return detail::run_tsqr(devices, a, r, opts, r_stack, leaves);
   }
 
   ROCQR_CHECK(devices.size() == 1,

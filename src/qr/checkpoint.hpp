@@ -33,18 +33,27 @@ struct Checkpoint {
   index_t columns_done = 0;
   /// Completed schedule units; resume skips exactly this many.
   index_t units_done = 0;
+  /// "tsqr" only: leaf count of the run that wrote the checkpoint. Resume
+  /// pins the leaf partition to this value even when the fleet has shrunk
+  /// (dead device), so completed leaves keep their row blocks and the
+  /// result stays bit-identical to an uninterrupted run at this layout.
+  /// 0 = unpinned (pre-v2 checkpoints and non-tsqr drivers).
+  index_t leaves = 0;
   /// Host snapshots, column-major ld == rows. Empty in Phantom mode (the
   /// schedule replay alone reproduces a phantom run).
   std::vector<float> a;
   std::vector<float> r;
 };
 
-/// Serializes `cp` as a text header ("rocqr-checkpoint v1", driver, dims)
-/// followed by the raw float payload of A then R.
+/// Serializes `cp` as a text header ("rocqr-checkpoint v2", driver, dims,
+/// leaf count, payload CRC32) followed by the raw float payload of A then R.
+/// The CRC covers the payload bytes, so bit rot and truncation are detected
+/// at read time (tmp-and-rename only protects against crash-mid-write).
 void write_checkpoint(std::ostream& os, const Checkpoint& cp);
 
 /// Inverse of write_checkpoint; throws rocqr::InvalidArgument on a malformed
-/// stream.
+/// stream or a payload CRC mismatch. v1 checkpoints (no leaf count, no CRC)
+/// are still accepted with leaves = 0 and no integrity check.
 Checkpoint read_checkpoint(std::istream& is);
 
 /// Destination for driver checkpoints. Implementations must copy what they

@@ -72,7 +72,7 @@ ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
 void maybe_checkpoint(sim::Device& dev, const char* driver,
                       sim::HostMutRef a, sim::HostMutRef r,
                       const QrOptions& opts, index_t columns_done,
-                      index_t units_done) {
+                      index_t units_done, index_t leaves) {
   if (opts.checkpoint_sink == nullptr) return;
   if (units_done % opts.checkpoint_every != 0) return;
   sim::TraceSpan span(dev, "checkpoint units=" + std::to_string(units_done));
@@ -86,6 +86,7 @@ void maybe_checkpoint(sim::Device& dev, const char* driver,
   cp.blocksize = opts.blocksize;
   cp.columns_done = columns_done;
   cp.units_done = units_done;
+  cp.leaves = leaves;
   if (a.data != nullptr) {
     cp.a.resize(static_cast<size_t>(a.rows) * static_cast<size_t>(a.cols));
     for (index_t j = 0; j < a.cols; ++j) {

@@ -34,10 +34,12 @@ ooc::OocGemmOptions gemm_options(const QrOptions& opts);
 /// `units_done` is a multiple of opts.checkpoint_every. Synchronizes the
 /// device first so the host A/R snapshots are consistent, then counts the
 /// write on `checkpoints_written`. No-op (and zero-overhead) without a sink.
+/// `leaves` (tsqr only) records the run's leaf partition so a shrunk-fleet
+/// resume can pin it; other drivers pass 0.
 void maybe_checkpoint(sim::Device& dev, const char* driver,
                       sim::HostMutRef a, sim::HostMutRef r,
                       const QrOptions& opts, index_t columns_done,
-                      index_t units_done);
+                      index_t units_done, index_t leaves = 0);
 
 /// Largest power-of-two C tile edge for the blocking trailing update that
 /// fits the memory left after the resident operands (double-buffered fp32

@@ -1,6 +1,9 @@
 #include "qr/factorize.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "qr/blocking_qr.hpp"
 #include "qr/left_looking_qr.hpp"
 #include "qr/multi_gpu_qr.hpp"
@@ -52,10 +55,32 @@ void validate_devices(const QrProblem& p) {
   }
 }
 
-} // namespace
+void check_host_finite(sim::HostMutRef mat, const char* which) {
+  for (index_t j = 0; j < mat.cols; ++j) {
+    for (index_t i = 0; i < mat.rows; ++i) {
+      const float v = mat.data[i + j * mat.ld];
+      if (!std::isfinite(v)) {
+        telemetry::MetricsRegistry::global()
+            .counter("qr.nonfinite_detected")
+            .increment();
+        throw NumericalError(
+            std::string("qr: non-finite value in ") + which + " at (" +
+            std::to_string(i) + ", " + std::to_string(j) +
+            ") after factorization (QrOptions::check_finite)");
+      }
+    }
+  }
+}
 
-QrStats factorize(const QrProblem& problem) {
-  validate_devices(problem);
+/// QrOptions::check_finite guard: scans the host outputs (R first — it is
+/// small and where corruption concentrates — then Q) once the driver is done.
+void maybe_check_finite(const QrProblem& problem) {
+  if (!problem.options.check_finite) return;
+  if (problem.r.data != nullptr) check_host_finite(problem.r, "R");
+  if (problem.a.data != nullptr) check_host_finite(problem.a, "Q");
+}
+
+QrStats run_driver(const QrProblem& problem) {
   switch (problem.algorithm) {
     case Algorithm::Blocking:
       return detail::run_blocking(*problem.devices.front(), problem.a,
@@ -79,6 +104,15 @@ QrStats factorize(const QrProblem& problem) {
   throw InvalidArgument("qr::factorize: unknown algorithm");
 }
 
+} // namespace
+
+QrStats factorize(const QrProblem& problem) {
+  validate_devices(problem);
+  const QrStats stats = run_driver(problem);
+  maybe_check_finite(problem);
+  return stats;
+}
+
 QrStats resume(const QrProblem& problem, const Checkpoint& cp) {
   ROCQR_CHECK(!problem.devices.empty(), "qr::resume: no devices");
   for (sim::Device* d : problem.devices) {
@@ -86,8 +120,10 @@ QrStats resume(const QrProblem& problem, const Checkpoint& cp) {
   }
   QrOptions opts = problem.options;
   if (opts.blocksize == 0) opts.blocksize = cp.blocksize;
-  return detail::resume_impl(problem.devices, cp, problem.a, problem.r,
-                             std::move(opts));
+  const QrStats stats = detail::resume_impl(problem.devices, cp, problem.a,
+                                            problem.r, std::move(opts));
+  maybe_check_finite(problem);
+  return stats;
 }
 
 } // namespace rocqr::qr

@@ -73,6 +73,14 @@ struct QrOptions {
   /// Internal (set by qr::resume): number of already-completed panel
   /// units to skip when replaying the factorization schedule.
   index_t resume_units = 0;
+  /// Opt-in output guard: after the driver returns, qr::factorize/resume
+  /// scan the host R (then Q) for non-finite values and throw
+  /// rocqr::NumericalError on the first hit, bumping the
+  /// `qr.nonfinite_detected` counter. Catches silent poisoning (e.g. an
+  /// injected `corrupt` fault with ABFT disabled) at the API boundary
+  /// instead of letting NaNs escape into a caller's pipeline. Real mode
+  /// only (Phantom runs carry no element data to scan).
+  bool check_finite = false;
 
   /// Checks every field against its documented domain and throws
   /// rocqr::InvalidArgument on the first violation. All drivers call this on

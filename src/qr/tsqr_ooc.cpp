@@ -73,7 +73,8 @@ index_t tsqr_leaf_count(index_t m, index_t n, size_t fleet_size) {
 
 QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
                  HostMutRef r, const QrOptions& opts,
-                 const std::vector<float>* resume_r_stack) {
+                 const std::vector<float>* resume_r_stack,
+                 index_t resume_leaves) {
   ROCQR_CHECK(!devices.empty(), "tsqr_ooc_qr: no devices");
   for (Device* dev : devices) {
     ROCQR_CHECK(dev != nullptr, "tsqr_ooc_qr: null device");
@@ -83,7 +84,17 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   const index_t n = a.cols;
   ROCQR_CHECK(m >= n && n >= 1, "tsqr_ooc_qr: need m >= n >= 1");
   ROCQR_CHECK(r.rows == n && r.cols == n, "tsqr_ooc_qr: R must be n x n");
-  const index_t leaves = tsqr_leaf_count(m, n, devices.size());
+  // A resumed run keeps the checkpoint's leaf partition even if the fleet
+  // shrank (device loss): leaves map onto the surviving devices round-robin
+  // below, and since Real-mode numerics depend only on the row partition and
+  // blocksize — never on which device hosts a leaf — the result stays
+  // bit-identical to the uninterrupted run.
+  const index_t leaves = resume_leaves > 0
+                             ? resume_leaves
+                             : tsqr_leaf_count(m, n, devices.size());
+  ROCQR_CHECK(leaves <= m / n,
+              "tsqr_ooc_qr: leaf count exceeds m / n (checkpoint from a "
+              "different shape?)");
   ROCQR_CHECK(opts.resume_units <= leaves,
               "tsqr_ooc_qr: resume_units exceeds the leaf count (checkpoint "
               "from a different fleet size or shape?)");
@@ -147,7 +158,7 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   leaf_opts.checkpoint_sink = nullptr;
   leaf_opts.resume_units = 0;
   for (index_t d = opts.resume_units; d < leaves; ++d) {
-    Device& dev = *devices[static_cast<size_t>(d)];
+    Device& dev = *devices[static_cast<size_t>(d) % devices.size()];
     const index_t r0 = offsets[static_cast<size_t>(d)];
     const index_t rows = offsets[static_cast<size_t>(d) + 1] - r0;
     HostMutRef a_d = ooc::host_block(a, r0, 0, rows, n);
@@ -171,7 +182,8 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
     } else {
       dev.synchronize();
       qr::detail::maybe_checkpoint(dev, "tsqr", a, work, opts,
-                                   /*columns_done=*/0, /*units_done=*/d + 1);
+                                   /*columns_done=*/0, /*units_done=*/d + 1,
+                                   leaves);
       leaf_r_time[static_cast<size_t>(d)] = dev.now();
       leaf_end_time[static_cast<size_t>(d)] = dev.now();
     }
@@ -187,7 +199,7 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
   // slot.
   std::vector<std::vector<Node>> levels(1);
   for (index_t d = 0; d < leaves; ++d) {
-    levels[0].push_back(Node{d, static_cast<size_t>(d),
+    levels[0].push_back(Node{d, static_cast<size_t>(d) % devices.size(),
                              leaf_r_time[static_cast<size_t>(d)]});
   }
   std::vector<std::vector<la::Matrix>> pair_qs; // per level, per parent node
@@ -354,7 +366,7 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
                 "tsqr_ooc_qr: reconstruction shape mismatch");
 
     for (index_t d = 0; d < leaves; ++d) {
-      Device& dev = *devices[static_cast<size_t>(d)];
+      Device& dev = *devices[static_cast<size_t>(d) % devices.size()];
       // A leaf's sweep needs its coefficient and its own Q rows fully
       // drained to the host; in overlap mode neither implied a barrier, so
       // join the clock to both edges here.
@@ -393,7 +405,7 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
 
 QrStats tsqr_ooc_qr(const std::vector<Device*>& devices, HostMutRef a,
                     HostMutRef r, const QrOptions& opts) {
-  return detail::run_tsqr(devices, a, r, opts, nullptr);
+  return detail::run_tsqr(devices, a, r, opts, nullptr, 0);
 }
 
 } // namespace rocqr::qr

@@ -50,9 +50,17 @@ namespace detail {
 /// (leaves*n x n column-major floats) restoring the R factors of the
 /// opts.resume_units already-completed leaves. Real-mode resumes with
 /// resume_units > 0 require it; fresh runs pass nullptr.
+///
+/// `resume_leaves` > 0 pins the leaf partition to the checkpointed run's
+/// leaf count instead of deriving it from the current fleet size — the
+/// shrunk-fleet migration path: a 4-leaf checkpoint resumed on 3 surviving
+/// devices keeps its 4-leaf row partition (leaves map onto devices
+/// round-robin), so completed leaves stay valid and the result is
+/// bit-identical to an uninterrupted 4-leaf run. 0 = derive from the fleet.
 QrStats run_tsqr(const std::vector<sim::Device*>& devices, sim::HostMutRef a,
                  sim::HostMutRef r, const QrOptions& opts,
-                 const std::vector<float>* resume_r_stack);
+                 const std::vector<float>* resume_r_stack,
+                 index_t resume_leaves = 0);
 
 /// Number of TSQR leaves (row blocks) a fleet of `fleet_size` devices uses
 /// for an m x n factorization: min(fleet_size, m / n), so every leaf has at

@@ -57,6 +57,9 @@ enum class JobState {
   Preempted, ///< yielded at a checkpoint boundary; waiting to resume
   Completed, ///< factorization finished
   Failed,    ///< every retry exhausted
+  Shed,      ///< load-shed after a fleet shrink: the re-quote against the
+             ///< surviving devices can no longer meet the job's deadline.
+             ///< Not a failure — the job itself never went wrong.
 };
 
 const char* to_string(JobState s);
@@ -91,6 +94,7 @@ struct JobReport {
   int attempts = 0;    ///< dispatches (1 + preemption resumes + retries)
   int preemptions = 0; ///< checkpoint-boundary yields to higher priority
   int retries = 0;     ///< fault-triggered restarts from the last checkpoint
+  int migrations = 0;  ///< re-admissions onto a survivor after device loss
   int last_device = -1;
   /// Host wall-clock time spent ready-but-waiting across all queueing
   /// episodes (scheduler overhead view; simulated time lives in `stats`).
@@ -119,6 +123,16 @@ struct FleetReport {
   std::int64_t jobs_preempted = 0; ///< preemption events (not distinct jobs)
   std::int64_t job_retries = 0;
   std::int64_t units_completed = 0; ///< fleet-wide panel units
+  /// Fleet-health outcome (docs/SERVING.md "Fleet failover & load shedding"):
+  /// devices declared Dead during the run, checkpoint-driven job migrations
+  /// onto survivors, and deadline jobs shed because the shrunken fleet's
+  /// re-quote could no longer meet them.
+  int devices_lost = 0;
+  std::int64_t jobs_migrated = 0; ///< migration events (not distinct jobs)
+  std::int64_t jobs_shed = 0;
+  /// Final health of each device, in device order: "healthy", "suspect"
+  /// or "dead".
+  std::vector<std::string> device_health;
   std::vector<JobReport> jobs;      ///< in submission order
 };
 

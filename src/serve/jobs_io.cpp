@@ -147,6 +147,7 @@ JobSpec parse_job_object(Cursor& cur, size_t job_index) {
   JobSpec job;
   bool have_m = false;
   bool have_n = false;
+  bool have_deadline = false;
   cur.expect('{');
   if (!cur.consume_if('}')) {
     do {
@@ -178,6 +179,7 @@ JobSpec parse_job_object(Cursor& cur, size_t job_index) {
         job.priority = static_cast<int>(cur.parse_number());
       } else if (key == "deadline") {
         job.deadline_seconds = cur.parse_number();
+        have_deadline = true;
       } else if (key == "arrival_after_units") {
         job.arrival_after_units = to_index(cur.parse_number(), key);
       } else {
@@ -192,6 +194,20 @@ JobSpec parse_job_object(Cursor& cur, size_t job_index) {
                           std::string(have_m ? "n" : "m") + "\"");
   }
   if (job.name.empty()) job.name = "job" + std::to_string(job_index);
+  // Shape and deadline sanity at parse time, naming the offender: a zero
+  // dimension or a non-positive explicit deadline would otherwise surface
+  // much later as an opaque admission rejection (or worse, be admitted —
+  // deadline 0 means "none" internally).
+  if (job.m <= 0 || job.n <= 0) {
+    throw InvalidArgument("jobs JSON: job \"" + job.name +
+                          "\" has non-positive \"" +
+                          (job.m <= 0 ? "m" : "n") + "\" (m and n must be >= 1)");
+  }
+  if (have_deadline && job.deadline_seconds <= 0) {
+    throw InvalidArgument(
+        "jobs JSON: job \"" + job.name +
+        "\" has a non-positive \"deadline\" (omit the key for no deadline)");
+  }
   return job;
 }
 
@@ -280,6 +296,17 @@ std::vector<JobSpec> parse_jobs_json(const std::string& text) {
   if (!cur.at_end()) {
     throw InvalidArgument("jobs JSON: trailing content after the batch");
   }
+  // Duplicate job ids would make the report ambiguous (per-job rows are
+  // keyed by name downstream); reject the batch naming the duplicate.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    for (size_t j = i + 1; j < jobs.size(); ++j) {
+      if (jobs[i].name == jobs[j].name) {
+        throw InvalidArgument("jobs JSON: duplicate job name \"" +
+                              jobs[i].name + "\" (jobs " + std::to_string(i) +
+                              " and " + std::to_string(j) + ")");
+      }
+    }
+  }
   return jobs;
 }
 
@@ -295,6 +322,15 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
   os << "  \"jobs_preempted\": " << rep.jobs_preempted << ",\n";
   os << "  \"job_retries\": " << rep.job_retries << ",\n";
   os << "  \"units_completed\": " << rep.units_completed << ",\n";
+  os << "  \"devices_lost\": " << rep.devices_lost << ",\n";
+  os << "  \"jobs_migrated\": " << rep.jobs_migrated << ",\n";
+  os << "  \"jobs_shed\": " << rep.jobs_shed << ",\n";
+  os << "  \"device_health\": [";
+  for (size_t i = 0; i < rep.device_health.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << escaped(rep.device_health[i])
+       << "\"";
+  }
+  os << "],\n";
   os << "  \"jobs\": [";
   for (size_t i = 0; i < rep.jobs.size(); ++i) {
     const JobReport& j = rep.jobs[i];
@@ -314,6 +350,7 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
     os << "      \"attempts\": " << j.attempts << ",\n";
     os << "      \"preemptions\": " << j.preemptions << ",\n";
     os << "      \"retries\": " << j.retries << ",\n";
+    os << "      \"migrations\": " << j.migrations << ",\n";
     os << "      \"last_device\": " << j.last_device << ",\n";
     os << "      \"queue_wait_seconds\": " << j.queue_wait_seconds << ",\n";
     os << "      \"deadline_met\": " << (j.deadline_met ? "true" : "false")

@@ -23,6 +23,16 @@ const char* to_string(JobState s) {
   case JobState::Preempted: return "preempted";
   case JobState::Completed: return "completed";
   case JobState::Failed: return "failed";
+  case JobState::Shed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(DeviceHealth h) {
+  switch (h) {
+  case DeviceHealth::Healthy: return "healthy";
+  case DeviceHealth::Suspect: return "suspect";
+  case DeviceHealth::Dead: return "dead";
   }
   return "?";
 }
@@ -112,7 +122,13 @@ struct Scheduler::Job {
   int attempts = 0;
   int preemptions = 0;
   int retries = 0;
+  int migrations = 0;
   int last_device = -1;
+  /// Gang only: the (alive) devices acquired at the current dispatch.
+  std::vector<int> gang_devices;
+  /// Per-attempt trace cursor(s) for the watchdog scan: one entry on
+  /// last_device for solo/colocated attempts, one per gang member.
+  std::vector<size_t> watch_from;
   /// Arrival gate opened (arrival_after_units reached).
   bool arrived = false;
   /// Set under the scheduler mutex; the job's sink observes it at its next
@@ -156,6 +172,10 @@ Scheduler::Scheduler(ServeConfig cfg) : cfg_(std::move(cfg)) {
               "serve::Scheduler: admission_memory_fraction must be in (0,1]");
   ROCQR_CHECK(cfg_.max_colocated_jobs >= 1,
               "serve::Scheduler: max_colocated_jobs must be >= 1");
+  ROCQR_CHECK(cfg_.watchdog_timeout >= 0,
+              "serve::Scheduler: watchdog_timeout must be >= 0");
+  ROCQR_CHECK(cfg_.device_failure_threshold >= 1,
+              "serve::Scheduler: device_failure_threshold must be >= 1");
 }
 
 Scheduler::~Scheduler() = default;
@@ -230,6 +250,9 @@ FleetReport Scheduler::run() {
     std::lock_guard<std::mutex> lk(mutex_);
     device_avail_.assign(static_cast<size_t>(cfg_.devices), 0.0);
     device_busy_.assign(static_cast<size_t>(cfg_.devices), 0);
+    device_health_.assign(static_cast<size_t>(cfg_.devices),
+                          DeviceHealth::Healthy);
+    device_failures_.assign(static_cast<size_t>(cfg_.devices), 0);
     release_arrivals_locked();
     for (const auto& job : jobs_) any_queued |= job->state == JobState::Queued;
   }
@@ -333,11 +356,178 @@ bool Scheduler::may_act_locked(int device_index, double t) const {
   for (int e = 0; e < cfg_.devices; ++e) {
     if (e == device_index) continue;
     const auto eu = static_cast<size_t>(e);
+    // A dead device can never act again: waiting on it would deadlock.
+    if (device_health_[eu] == DeviceHealth::Dead) continue;
     if (device_avail_[eu] < t && (device_busy_[eu] != 0 || ready)) {
       return false;
     }
   }
   return true;
+}
+
+int Scheduler::alive_devices_locked() const {
+  int alive = 0;
+  for (const DeviceHealth h : device_health_) {
+    alive += h != DeviceHealth::Dead;
+  }
+  return alive;
+}
+
+bool Scheduler::note_device_failure_locked(int device_index) {
+  const auto du = static_cast<size_t>(device_index);
+  if (device_health_[du] == DeviceHealth::Dead) return false;
+  if (++device_failures_[du] >= cfg_.device_failure_threshold) {
+    return declare_dead_locked(device_index);
+  }
+  device_health_[du] = DeviceHealth::Suspect;
+  return false;
+}
+
+void Scheduler::note_device_success_locked(int device_index) {
+  const auto du = static_cast<size_t>(device_index);
+  if (device_health_[du] == DeviceHealth::Dead) return;
+  device_failures_[du] = 0;
+  device_health_[du] = DeviceHealth::Healthy;
+}
+
+bool Scheduler::declare_dead_locked(int device_index) {
+  const auto du = static_cast<size_t>(device_index);
+  if (device_health_[du] == DeviceHealth::Dead) return false;
+  device_health_[du] = DeviceHealth::Dead;
+  ++devices_lost_;
+  counter("serve.devices_lost").increment();
+  if (alive_devices_locked() == 0) {
+    // Nothing left to migrate onto: every non-terminal job is stranded.
+    for (const auto& up : jobs_) {
+      Job& job = *up;
+      if (job.state == JobState::Queued || job.state == JobState::Preempted) {
+        job.state = JobState::Failed;
+        job.failure = "no surviving devices in the fleet";
+        counter("serve.jobs_failed").increment();
+      }
+    }
+  } else {
+    // Graceful degradation: the fleet shrank, so every outstanding deadline
+    // job's quote is stale — re-quote now and shed what can no longer make
+    // it (better an honest early shed than a missed deadline later).
+    requote_outstanding_locked();
+  }
+  return true;
+}
+
+AdmissionDecision Scheduler::requote_locked(const Job& job, int alive) const {
+  AdmissionConfig acfg;
+  acfg.spec = cfg_.spec;
+  acfg.devices = alive;
+  acfg.shared_link = cfg_.shared_link;
+  acfg.checkpoint_every = cfg_.checkpoint_every;
+  acfg.memory_fraction = cfg_.admission_memory_fraction;
+  acfg.paper_calibration = cfg_.paper_calibration;
+  JobSpec pinned = job.spec;
+  // A resume must keep the checkpointed panel width — no re-autotuning.
+  pinned.blocksize = job.blocksize;
+  return admit_job(pinned, acfg);
+}
+
+void Scheduler::shed_locked(Job& job, const std::string& reason) {
+  job.state = JobState::Shed;
+  job.preempt_requested = false;
+  job.failure = reason;
+  ++shed_events_;
+  counter("serve.jobs_shed").increment();
+}
+
+void Scheduler::requote_outstanding_locked() {
+  const int alive = alive_devices_locked();
+  for (const auto& up : jobs_) {
+    Job& job = *up;
+    if (job.spec.deadline_seconds <= 0) continue;
+    if (job.state != JobState::Queued && job.state != JobState::Preempted) {
+      continue;
+    }
+    const AdmissionDecision d = requote_locked(job, alive);
+    if (!d.admitted) {
+      shed_locked(job, "load-shed after device loss: " + d.reason);
+    } else if (job.stats.total_seconds + d.predicted_seconds >
+               job.spec.deadline_seconds) {
+      shed_locked(job,
+                  "load-shed after device loss: " +
+                      std::to_string(job.stats.total_seconds + d.predicted_seconds) +
+                      "s predicted on " + std::to_string(alive) +
+                      " surviving device(s) exceeds the " +
+                      std::to_string(job.spec.deadline_seconds) + "s deadline");
+    } else {
+      job.predicted_seconds = d.predicted_seconds;
+      job.predicted_peak_bytes = d.predicted_peak_bytes;
+    }
+  }
+}
+
+void Scheduler::migrate_locked(Job& job, const std::string& failure) {
+  const int alive = alive_devices_locked();
+  if (alive == 0) {
+    job.state = JobState::Failed;
+    job.failure = failure + " (no surviving devices to migrate to)";
+    counter("serve.jobs_failed").increment();
+    return;
+  }
+  const AdmissionDecision d = requote_locked(job, alive);
+  if (!d.admitted) {
+    shed_locked(job, "load-shed after device loss: " + d.reason);
+    return;
+  }
+  if (job.spec.deadline_seconds > 0 &&
+      job.stats.total_seconds + d.predicted_seconds >
+          job.spec.deadline_seconds) {
+    shed_locked(job,
+                "load-shed after device loss: remaining work no longer fits "
+                "the deadline on " +
+                    std::to_string(alive) + " surviving device(s)");
+    return;
+  }
+  // Checkpoint-driven migration: requeue from the latest checkpoint. Not a
+  // retry — the job did nothing wrong, its device did.
+  job.state = JobState::Queued;
+  job.preempt_requested = false;
+  job.predicted_seconds = d.predicted_seconds;
+  job.predicted_peak_bytes = d.predicted_peak_bytes;
+  job.failure = failure;
+  ++job.migrations;
+  ++migrate_events_;
+  counter("serve.jobs_migrated").increment();
+  if (job.gang && job.has_checkpoint &&
+      job.checkpoint.leaves > job.checkpoint.units_done) {
+    // Leaf re-hosting accounting: the leaves not yet factored re-plan onto
+    // the survivors when the gang resumes.
+    counter("serve.tsqr_leaves_rehosted")
+        .add(job.checkpoint.leaves - job.checkpoint.units_done);
+  }
+  job.ready_since = Clock::now();
+}
+
+int Scheduler::watchdog_tripped_locked(Job& job) {
+  if (cfg_.watchdog_timeout <= 0 || job.watch_from.empty()) return -1;
+  const auto scan = [&](int device, size_t& from) {
+    const auto& events =
+        devices_[static_cast<size_t>(device)]->trace().events();
+    for (size_t i = from; i < events.size(); ++i) {
+      if (events[i].end - events[i].start > cfg_.watchdog_timeout) {
+        from = i + 1;
+        return true;
+      }
+    }
+    from = events.size();
+    return false;
+  };
+  if (job.gang) {
+    for (size_t g = 0; g < job.gang_devices.size(); ++g) {
+      if (scan(job.gang_devices[g], job.watch_from[g])) {
+        return job.gang_devices[g];
+      }
+    }
+    return -1;
+  }
+  return scan(job.last_device, job.watch_from[0]) ? job.last_device : -1;
 }
 
 void Scheduler::maybe_preempt_locked() {
@@ -383,6 +573,7 @@ void Scheduler::on_unit_completed(Job& job, const qr::Checkpoint& cp) {
   // sink contract requires a copy anyway, the driver reuses its buffers.
   qr::Checkpoint copy = cp;
   bool unwind = false;
+  int wd = -1;
   if (job.gang) {
     // The gang owns every device, so there is no concurrent activity to
     // order against: publish all the availability bounds and act at once
@@ -404,9 +595,13 @@ void Scheduler::on_unit_completed(Job& job, const qr::Checkpoint& cp) {
     // returns), so a requested preemption always unwinds: the reduction
     // tree and reconstruction sweep still lie ahead.
     unwind = job.preempt_requested;
+    wd = watchdog_tripped_locked(job);
     lk.unlock();
     counter("serve.units_completed").increment();
     cv_.notify_all();
+    // A watchdog trip outranks a preemption: the attempt must unwind as a
+    // device failure, not park as resumable-by-priority.
+    if (wd >= 0) throw WatchdogTrip{wd};
     if (unwind) throw PreemptRequest{};
     return;
   }
@@ -430,9 +625,11 @@ void Scheduler::on_unit_completed(Job& job, const qr::Checkpoint& cp) {
     // Never yield on the final checkpoint: the factorization is complete,
     // preempting would only discard a finished job.
     unwind = job.preempt_requested && cp.columns_done < cp.n;
+    wd = watchdog_tripped_locked(job);
   }
   counter("serve.units_completed").increment();
   cv_.notify_all();
+  if (wd >= 0) throw WatchdogTrip{wd};
   if (unwind) throw PreemptRequest{};
 }
 
@@ -444,6 +641,10 @@ void Scheduler::worker(int device_index) {
     {
       std::unique_lock<std::mutex> lk(mutex_);
       for (;;) {
+        // A dead device never hosts work again; its worker retires. The
+        // surviving workers keep draining the queue (including whatever
+        // migrated off this device).
+        if (device_health_[du] == DeviceHealth::Dead) return;
         release_arrivals_locked();
         Job* candidate = dispatchable_locked();
         if (candidate != nullptr &&
@@ -517,12 +718,20 @@ void Scheduler::worker(int device_index) {
             .observe(static_cast<std::int64_t>(waited * 1e6));
       }
       if (job->gang) {
-        // Atomic acquisition of the whole fleet: dispatchable_locked only
-        // returned the gang with every device idle, so marking them all
-        // busy under this lock cannot race another dispatch.
+        // Atomic acquisition of the surviving fleet: dispatchable_locked
+        // only returned the gang with every device idle, so marking them
+        // all busy under this lock cannot race another dispatch. Dead
+        // devices are excluded — a re-planned gang runs on the survivors.
         gang_active_ = true;
-        running_ += cfg_.devices;
-        for (auto& busy : device_busy_) busy = 1;
+        job->gang_devices.clear();
+        for (int e = 0; e < cfg_.devices; ++e) {
+          if (device_health_[static_cast<size_t>(e)] == DeviceHealth::Dead) {
+            continue;
+          }
+          job->gang_devices.push_back(e);
+          device_busy_[static_cast<size_t>(e)] = 1;
+        }
+        running_ += static_cast<int>(job->gang_devices.size());
       } else {
         ++running_;
         device_busy_[du] = 1;
@@ -577,6 +786,7 @@ void Scheduler::run_attempt(int device_index, Job& job) {
       job.checkpoint = std::move(cp0);
       job.has_checkpoint = true;
     }
+    job.watch_from.assign(1, window);
   }
 
   try {
@@ -589,22 +799,42 @@ void Scheduler::run_attempt(int device_index, Job& job) {
                                  std::to_string(job.attempts));
     qr::resume(qr::QrProblem{{&dev}, a, r, qr::Algorithm::Recursive, opts},
                start);
-    finish_attempt(job, window, device_index, JobState::Completed, "");
+    finish_attempt(job, window, device_index, JobState::Completed, "",
+                   AttemptOutcome::Clean);
   } catch (const PreemptRequest&) {
     // The sink threw right after a checkpoint write, which had already
     // synchronized the device; RAII unwound every driver allocation.
     dev.synchronize();
-    finish_attempt(job, window, device_index, JobState::Preempted, "");
-  } catch (const Error& e) {
+    finish_attempt(job, window, device_index, JobState::Preempted, "",
+                   AttemptOutcome::Clean);
+  } catch (const WatchdogTrip&) {
     dev.synchronize();
     const bool retry = job.retries < cfg_.max_job_retries;
     finish_attempt(job, window, device_index,
-                   retry ? JobState::Queued : JobState::Failed, e.what());
+                   retry ? JobState::Queued : JobState::Failed,
+                   "watchdog: an operation exceeded the " +
+                       std::to_string(cfg_.watchdog_timeout) +
+                       "s simulated timeout",
+                   AttemptOutcome::DeviceFailure);
+  } catch (const Error& e) {
+    // Dead-device RAII contract: free/synchronize stay usable after a
+    // fatal fault, so this unwind leaks nothing even on a lost device.
+    dev.synchronize();
+    if (dev.dead()) {
+      finish_attempt(job, window, device_index, JobState::Queued, e.what(),
+                     AttemptOutcome::DeviceLoss);
+    } else {
+      const bool retry = job.retries < cfg_.max_job_retries;
+      finish_attempt(job, window, device_index,
+                     retry ? JobState::Queued : JobState::Failed, e.what(),
+                     AttemptOutcome::DeviceFailure);
+    }
   }
 }
 
 void Scheduler::finish_attempt(Job& job, size_t window, int device_index,
-                               JobState state, const std::string& failure) {
+                               JobState state, const std::string& failure,
+                               AttemptOutcome outcome) {
   const sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
   {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -617,7 +847,26 @@ void Scheduler::finish_attempt(Job& job, size_t window, int device_index,
     }
     device_busy_[du] = 0;
     --running_;
-    record_outcome_locked(job, state, failure);
+    bool newly_dead = false;
+    switch (outcome) {
+    case AttemptOutcome::DeviceLoss:
+      newly_dead = declare_dead_locked(device_index);
+      break;
+    case AttemptOutcome::DeviceFailure:
+      newly_dead = note_device_failure_locked(device_index);
+      break;
+    case AttemptOutcome::Clean:
+      note_device_success_locked(device_index);
+      break;
+    }
+    if (newly_dead && state != JobState::Completed &&
+        state != JobState::Preempted) {
+      // The device died under this job: migrate (re-quote + requeue from
+      // the latest checkpoint), not a retry.
+      migrate_locked(job, failure);
+    } else {
+      record_outcome_locked(job, state, failure);
+    }
   }
   cv_.notify_all();
 }
@@ -660,6 +909,7 @@ void Scheduler::run_colocated_attempt(int device_index,
         job.checkpoint = std::move(cp0);
         job.has_checkpoint = true;
       }
+      job.watch_from.assign(1, window);
       start = job.checkpoint;
     }
     // run_tiled_batch expects restored host data + resume_units (the batch
@@ -684,25 +934,35 @@ void Scheduler::run_colocated_attempt(int device_index,
     sim::TraceSpan span(dev, "serve.batch " + names);
     qr::detail::run_tiled_batch(dev, tjobs);
     finish_colocated_attempt(batch, window, device_index,
-                             JobState::Completed, "");
+                             JobState::Completed, "", AttemptOutcome::Clean);
   } catch (const PreemptRequest&) {
     // One member's sink threw at a checkpoint boundary; the whole graph
     // unwound. Every member requeues from its own latest checkpoint — a
     // member that had already finished resumes into an immediate no-op.
     dev.synchronize();
     finish_colocated_attempt(batch, window, device_index,
-                             JobState::Preempted, "");
+                             JobState::Preempted, "", AttemptOutcome::Clean);
+  } catch (const WatchdogTrip&) {
+    dev.synchronize();
+    finish_colocated_attempt(batch, window, device_index, JobState::Queued,
+                             "watchdog: an operation exceeded the " +
+                                 std::to_string(cfg_.watchdog_timeout) +
+                                 "s simulated timeout",
+                             AttemptOutcome::DeviceFailure);
   } catch (const Error& e) {
     dev.synchronize();
     finish_colocated_attempt(batch, window, device_index, JobState::Queued,
-                             e.what());
+                             e.what(),
+                             dev.dead() ? AttemptOutcome::DeviceLoss
+                                        : AttemptOutcome::DeviceFailure);
   }
 }
 
 void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
                                          size_t window, int device_index,
                                          JobState state,
-                                         const std::string& failure) {
+                                         const std::string& failure,
+                                         AttemptOutcome outcome) {
   const sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
   {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -712,6 +972,20 @@ void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
     if (whole.events > 0) {
       device_avail_[du] = std::max(device_avail_[du], whole.last_end);
     }
+    device_busy_[du] = 0;
+    --running_;
+    bool newly_dead = false;
+    switch (outcome) {
+    case AttemptOutcome::DeviceLoss:
+      newly_dead = declare_dead_locked(device_index);
+      break;
+    case AttemptOutcome::DeviceFailure:
+      newly_dead = note_device_failure_locked(device_index);
+      break;
+    case AttemptOutcome::Clean:
+      note_device_success_locked(device_index);
+      break;
+    }
     for (Job* member : batch) {
       // Per-job attribution: the shared window filtered by the member's
       // "j<id>." op-name prefix.
@@ -719,6 +993,13 @@ void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
                        qr::stats_from_trace(
                            dev.trace(), window, dev.memory_peak(),
                            "j" + std::to_string(member->id) + "."));
+      if (newly_dead && state != JobState::Completed &&
+          state != JobState::Preempted) {
+        // The shared device died: every member migrates from its own
+        // latest checkpoint (no retry charged).
+        migrate_locked(*member, failure);
+        continue;
+      }
       JobState member_state = state;
       if (state == JobState::Queued &&
           member->retries >= cfg_.max_job_retries) {
@@ -726,8 +1007,6 @@ void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
       }
       record_outcome_locked(*member, member_state, failure);
     }
-    device_busy_[du] = 0;
-    --running_;
   }
   cv_.notify_all();
 }
@@ -762,13 +1041,21 @@ void Scheduler::record_outcome_locked(Job& job, JobState state,
 }
 
 void Scheduler::run_gang_attempt(Job& job) {
+  // The gang runs on the devices acquired at dispatch (the survivors): a
+  // re-planned attempt after a device loss never touches the dead member.
   std::vector<sim::Device*> fleet;
   std::vector<size_t> windows;
-  fleet.reserve(devices_.size());
-  windows.reserve(devices_.size());
-  for (const auto& up : devices_) {
-    fleet.push_back(up.get());
-    windows.push_back(up->trace().size());
+  std::vector<int> gang;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    gang = job.gang_devices;
+    fleet.reserve(gang.size());
+    windows.reserve(gang.size());
+    for (const int d : gang) {
+      fleet.push_back(devices_[static_cast<size_t>(d)].get());
+      windows.push_back(fleet.back()->trace().size());
+    }
+    job.watch_from = windows;
   }
   PreemptSink sink(*this, job);
 
@@ -818,41 +1105,93 @@ void Scheduler::run_gang_attempt(Job& job) {
     }
     qr::resume(qr::QrProblem{fleet, a, r, qr::Algorithm::Tsqr, opts}, start);
     spans.clear();
-    finish_gang_attempt(job, windows, JobState::Completed, "");
+    finish_gang_attempt(job, windows, JobState::Completed, "",
+                        AttemptOutcome::Clean, -1);
   } catch (const PreemptRequest&) {
     sim::synchronize_all(fleet);
-    finish_gang_attempt(job, windows, JobState::Preempted, "");
-  } catch (const Error& e) {
+    finish_gang_attempt(job, windows, JobState::Preempted, "",
+                        AttemptOutcome::Clean, -1);
+  } catch (const WatchdogTrip& w) {
     sim::synchronize_all(fleet);
     const bool retry = job.retries < cfg_.max_job_retries;
     finish_gang_attempt(job, windows,
                         retry ? JobState::Queued : JobState::Failed,
-                        e.what());
+                        "watchdog: an operation exceeded the " +
+                            std::to_string(cfg_.watchdog_timeout) +
+                            "s simulated timeout",
+                        AttemptOutcome::DeviceFailure, w.device);
+  } catch (const Error& e) {
+    sim::synchronize_all(fleet);
+    // Attribute the failure: a gang member whose device is dead makes this
+    // a device loss; otherwise the error is unattributable (no strike).
+    int lost = -1;
+    for (size_t g = 0; g < fleet.size(); ++g) {
+      if (fleet[g]->dead()) {
+        lost = gang[g];
+        break;
+      }
+    }
+    if (lost >= 0) {
+      finish_gang_attempt(job, windows, JobState::Queued, e.what(),
+                          AttemptOutcome::DeviceLoss, lost);
+    } else {
+      const bool retry = job.retries < cfg_.max_job_retries;
+      finish_gang_attempt(job, windows,
+                          retry ? JobState::Queued : JobState::Failed,
+                          e.what(), AttemptOutcome::DeviceFailure, -1);
+    }
   }
 }
 
 void Scheduler::finish_gang_attempt(Job& job,
                                     const std::vector<size_t>& windows,
                                     JobState state,
-                                    const std::string& failure) {
+                                    const std::string& failure,
+                                    AttemptOutcome outcome,
+                                    int failed_device) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     std::vector<qr::QrStats> per_device;
-    per_device.reserve(devices_.size());
-    for (size_t d = 0; d < devices_.size(); ++d) {
+    per_device.reserve(job.gang_devices.size());
+    for (size_t g = 0; g < job.gang_devices.size(); ++g) {
+      const auto d = static_cast<size_t>(job.gang_devices[g]);
       per_device.push_back(qr::stats_from_trace(
-          devices_[d]->trace(), windows[d], devices_[d]->memory_peak()));
+          devices_[d]->trace(), windows[g], devices_[d]->memory_peak()));
     }
     accumulate_stats(job.stats, qr::combine_device_stats(per_device));
-    for (size_t d = 0; d < per_device.size(); ++d) {
-      if (per_device[d].events > 0) {
-        device_avail_[d] = std::max(device_avail_[d], per_device[d].last_end);
+    for (size_t g = 0; g < per_device.size(); ++g) {
+      const auto d = static_cast<size_t>(job.gang_devices[g]);
+      if (per_device[g].events > 0) {
+        device_avail_[d] = std::max(device_avail_[d], per_device[g].last_end);
       }
       device_busy_[d] = 0;
     }
-    running_ -= cfg_.devices;
+    running_ -= static_cast<int>(job.gang_devices.size());
     gang_active_ = false;
-    record_outcome_locked(job, state, failure);
+    bool newly_dead = false;
+    switch (outcome) {
+    case AttemptOutcome::DeviceLoss:
+      newly_dead = declare_dead_locked(failed_device);
+      break;
+    case AttemptOutcome::DeviceFailure:
+      // A gang failure without an attributable device strikes nobody.
+      if (failed_device >= 0) {
+        newly_dead = note_device_failure_locked(failed_device);
+      }
+      break;
+    case AttemptOutcome::Clean:
+      for (const int d : job.gang_devices) note_device_success_locked(d);
+      break;
+    }
+    if (newly_dead && state != JobState::Completed &&
+        state != JobState::Preempted) {
+      // Gang re-planning: the checkpoint pins the leaf layout, so the
+      // resumed gang on the survivors reproduces the clean result bit for
+      // bit — only the dead member's unfinished leaves re-host.
+      migrate_locked(job, failure);
+    } else {
+      record_outcome_locked(job, state, failure);
+    }
   }
   cv_.notify_all();
 }
@@ -869,6 +1208,12 @@ FleetReport Scheduler::build_report() {
   rep.units_completed = fleet_units_;
   rep.jobs_preempted = preempt_events_;
   rep.job_retries = retry_events_;
+  rep.devices_lost = devices_lost_;
+  rep.jobs_migrated = migrate_events_;
+  rep.jobs_shed = shed_events_;
+  for (const DeviceHealth h : device_health_) {
+    rep.device_health.emplace_back(to_string(h));
+  }
   for (const auto& up : jobs_) {
     const Job& job = *up;
     JobReport jr;
@@ -886,6 +1231,7 @@ FleetReport Scheduler::build_report() {
     jr.attempts = job.attempts;
     jr.preemptions = job.preemptions;
     jr.retries = job.retries;
+    jr.migrations = job.migrations;
     jr.last_device = job.last_device;
     jr.queue_wait_seconds = job.queue_wait_seconds;
     jr.deadline_met =

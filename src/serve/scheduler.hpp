@@ -43,6 +43,23 @@
 // boundaries ("tsqr" driver tag), preempts and resumes like any other job,
 // and its per-device trace windows roll up through
 // qr::combine_device_stats.
+//
+// Fleet health (docs/SERVING.md "Fleet failover & load shedding"): every
+// device carries a Healthy/Suspect/Dead state. A failed attempt marks its
+// device Suspect; device_failure_threshold consecutive failures — or a
+// DeviceLost error (injected `fatal` fault), or a simulated-clock watchdog
+// trip (an op exceeding watchdog_timeout) — declare it Dead. A dead
+// device's worker exits, its running job is *migrated*: re-quoted through
+// the phantom admission path against the surviving fleet and requeued from
+// its latest checkpoint (not charged against max_job_retries). A TSQR gang
+// that loses a member re-plans on the survivors: the checkpoint pins the
+// leaf partition, completed leaves keep their stacked R factors, and only
+// the dead member's leaves re-factor (round-robin onto survivors) — the
+// result stays bit-identical to an uninterrupted run at that leaf layout.
+// After every fleet shrink, outstanding deadline jobs are re-quoted against
+// the remaining capacity and the ones that can no longer make their
+// deadline are load-shed (JobState::Shed — a distinct terminal state, not
+// a failure).
 #pragma once
 
 #include <condition_variable>
@@ -84,7 +101,23 @@ struct ServeConfig {
   /// Colocated extras must match the primary's precision and their summed
   /// predicted peaks must fit the admission budget.
   int max_colocated_jobs = 1;
+  /// Per-op watchdog (simulated seconds): at every checkpoint the scheduler
+  /// scans the attempt's new trace events and treats any single operation
+  /// longer than this as a hang — the attempt unwinds and the offending
+  /// device takes a health strike (it need not have *thrown* anything).
+  /// 0 = disabled.
+  double watchdog_timeout = 0;
+  /// Consecutive failed attempts (thrown faults or watchdog trips) on one
+  /// device before it is declared Dead. The first strike marks it Suspect;
+  /// a successful attempt clears the strikes. A DeviceLost error kills the
+  /// device immediately regardless of this threshold.
+  int device_failure_threshold = 3;
 };
+
+/// Per-device health state driven by the scheduler's failure accounting.
+enum class DeviceHealth { Healthy, Suspect, Dead };
+
+const char* to_string(DeviceHealth h);
 
 class Scheduler {
  public:
@@ -117,6 +150,16 @@ class Scheduler {
   /// Internal unwind token thrown from the checkpoint sink. Deliberately
   /// not a rocqr::Error so no driver-level recovery path can swallow it.
   struct PreemptRequest {};
+  /// Internal unwind token for a watchdog trip (an op exceeded
+  /// ServeConfig::watchdog_timeout on `device`). Like PreemptRequest, not a
+  /// rocqr::Error so nothing downstream can absorb it.
+  struct WatchdogTrip {
+    int device = -1;
+  };
+  /// How an attempt ended, for the device-health accounting: Clean resets
+  /// the device's strikes, DeviceFailure adds one (Suspect, then Dead at
+  /// the threshold), DeviceLoss kills the device outright.
+  enum class AttemptOutcome { Clean, DeviceFailure, DeviceLoss };
 
   void worker(int device_index);
   void run_attempt(int device_index, Job& job);
@@ -125,14 +168,39 @@ class Scheduler {
   void run_gang_attempt(Job& job);
   void finish_colocated_attempt(const std::vector<Job*>& batch,
                                 size_t window, int device_index,
-                                JobState state, const std::string& failure);
+                                JobState state, const std::string& failure,
+                                AttemptOutcome outcome);
   void finish_attempt(Job& job, size_t window, int device_index,
-                      JobState state, const std::string& failure);
+                      JobState state, const std::string& failure,
+                      AttemptOutcome outcome);
   void finish_gang_attempt(Job& job, const std::vector<size_t>& windows,
-                           JobState state, const std::string& failure);
+                           JobState state, const std::string& failure,
+                           AttemptOutcome outcome, int failed_device);
   void record_outcome_locked(Job& job, JobState state,
                              const std::string& failure);
   void on_unit_completed(Job& job, const qr::Checkpoint& cp);
+  // --- Fleet health & failover ---------------------------------------------
+  int alive_devices_locked() const;
+  /// Adds a strike to the device; returns true if it just became Dead.
+  bool note_device_failure_locked(int device_index);
+  void note_device_success_locked(int device_index);
+  /// Marks the device Dead (idempotent; returns true on the transition),
+  /// then re-quotes outstanding deadline jobs against the shrunken fleet
+  /// and fails stranded work if no device survives.
+  bool declare_dead_locked(int device_index);
+  /// Phantom re-admission of `job` on `alive` devices with its blocksize
+  /// pinned (a resume must keep the checkpointed panel width).
+  AdmissionDecision requote_locked(const Job& job, int alive) const;
+  void shed_locked(Job& job, const std::string& reason);
+  void requote_outstanding_locked();
+  /// Requeues a job whose device died: re-quoted onto the survivors, not
+  /// charged against max_job_retries; sheds/fails it if no survivor can
+  /// take it.
+  void migrate_locked(Job& job, const std::string& failure);
+  /// Scans the attempt's new trace events for an op longer than the
+  /// watchdog timeout; returns the offending device or -1. Advances the
+  /// job's scan cursors.
+  int watchdog_tripped_locked(Job& job);
   bool may_act_locked(int device_index, double t) const;
   void release_arrivals_locked();
   bool force_earliest_arrival_locked();
@@ -162,6 +230,12 @@ class Scheduler {
   bool gang_active_ = false;
   std::int64_t preempt_events_ = 0;
   std::int64_t retry_events_ = 0;
+  std::vector<DeviceHealth> device_health_;
+  /// Consecutive failed attempts per device (reset by a clean attempt).
+  std::vector<int> device_failures_;
+  int devices_lost_ = 0;
+  std::int64_t migrate_events_ = 0;
+  std::int64_t shed_events_ = 0;
   bool ran_ = false;
 };
 

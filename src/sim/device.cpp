@@ -35,10 +35,25 @@ void Device::install_faults(const FaultPlan& plan) {
   faults_ = plan.empty() ? nullptr : std::make_shared<FaultInjector>(plan);
 }
 
+void Device::ensure_alive(const char* what) const {
+  if (dead_) {
+    throw DeviceLost(std::string(what) +
+                     ": device is dead (a fatal fault fired earlier)");
+  }
+}
+
+void Device::die(const char* site, const std::string& name) {
+  dead_ = true;
+  throw DeviceLost(std::string("injected fault: ") + site + ":fatal on '" +
+                   name + "' — device is permanently lost");
+}
+
 DeviceMatrix Device::allocate(index_t rows, index_t cols,
                               StoragePrecision precision, std::string label) {
   ROCQR_CHECK(rows > 0 && cols > 0, "Device::allocate: dimensions must be positive");
+  ensure_alive("Device::allocate");
   if (faults_ && faults_->fire(FaultSite::Alloc)) {
+    if (faults_->last_fired_kind() == FaultKind::Fatal) die("alloc", label);
     throw DeviceOutOfMemory(
         "injected fault: alloc:oom at alloc op #" +
         std::to_string(faults_->ops_seen(FaultSite::Alloc)) +
@@ -198,9 +213,11 @@ void Device::copy_h2d(DeviceMatrixRef dst, HostConstRef src, Stream s,
   ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
               "copy_h2d: shape mismatch");
   if (dst.rows == 0 || dst.cols == 0) return;
+  ensure_alive("copy_h2d");
   // Injected transfer failures throw before schedule(): a failed enqueue
   // consumes no engine time (the caller's retry backoff models the cost).
   if (faults_ && faults_->fire(FaultSite::H2D)) {
+    if (faults_->last_fired_kind() == FaultKind::Fatal) die("h2d", name);
     throw TransferError("injected fault: h2d:transient on '" + name +
                         "' (h2d op #" +
                         std::to_string(faults_->ops_seen(FaultSite::H2D)) +
@@ -230,7 +247,9 @@ void Device::copy_d2h(HostMutRef dst, DeviceMatrixRef src, Stream s,
   ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
               "copy_d2h: shape mismatch");
   if (src.rows == 0 || src.cols == 0) return;
+  ensure_alive("copy_d2h");
   if (faults_ && faults_->fire(FaultSite::D2H)) {
+    if (faults_->last_fired_kind() == FaultKind::Fatal) die("d2h", name);
     throw TransferError("injected fault: d2h:transient on '" + name +
                         "' (d2h op #" +
                         std::to_string(faults_->ops_seen(FaultSite::D2H)) +
@@ -257,6 +276,7 @@ void Device::copy_d2d(DeviceMatrixRef dst, DeviceMatrixRef src, Stream s,
   ROCQR_CHECK(dst.rows == src.rows && dst.cols == src.cols,
               "copy_d2d: shape mismatch");
   if (src.rows == 0 || src.cols == 0) return;
+  ensure_alive("copy_d2d");
   const bytes_t bytes = static_cast<bytes_t>(src.rows) * src.cols *
                         element_bytes(src.matrix.precision());
   schedule(Resource::Compute, OpKind::CopyD2D, s, model_.d2d_seconds(bytes),
@@ -284,12 +304,19 @@ void Device::gemm(blas::Op opa, blas::Op opb, float alpha, DeviceMatrixRef a,
               "gemm: inner dimension mismatch");
   ROCQR_CHECK(c.rows == m && c.cols == n, "gemm: C shape mismatch");
   if (m == 0 || n == 0) return;
+  ensure_alive("gemm");
 
   // Compute-site faults corrupt (rather than abort) the op: silent data
   // corruption is the failure mode ABFT checksums exist for. In Phantom
   // mode there is nothing to corrupt, but the op still counts and fires so
-  // plans behave identically across modes.
-  const bool corrupt = faults_ && faults_->fire(FaultSite::Compute);
+  // plans behave identically across modes. A fatal compute fault instead
+  // kills the device before the op is scheduled.
+  const bool fired = faults_ && faults_->fire(FaultSite::Compute);
+  if (fired && faults_->last_fired_kind() == FaultKind::Fatal) {
+    die("compute", name);
+  }
+  const bool corrupt =
+      fired && faults_->last_fired_kind() == FaultKind::Corrupt;
   const flops_t flops = blas::gemm_flops(m, n, k);
   // Attribute flops by problem shape: the paper's engines live or die by
   // whether their GEMMs are reduction-dominated (k-split inner products),
@@ -330,6 +357,7 @@ void Device::trsm(TrsmKind kind, DeviceMatrixRef tri, DeviceMatrixRef b,
   ROCQR_CHECK(tri.rows == tri.cols, "trsm: triangle must be square");
   ROCQR_CHECK(b.rows == tri.rows, "trsm: B row count must match triangle");
   if (b.rows == 0 || b.cols == 0) return;
+  ensure_alive("trsm");
 
   const flops_t flops =
       static_cast<flops_t>(b.rows) * b.rows * b.cols;
@@ -361,6 +389,7 @@ void Device::trsm(TrsmKind kind, DeviceMatrixRef tri, DeviceMatrixRef b,
 void Device::custom_compute(Stream s, sim_time_t seconds, flops_t flops,
                             OpKind kind, std::string name,
                             const std::function<void()>& body) {
+  ensure_alive("custom_compute");
   schedule(Resource::Compute, kind, s, seconds, 0, flops, std::move(name));
   if (mode_ == ExecutionMode::Real && body) body();
 }

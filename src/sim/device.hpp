@@ -185,6 +185,12 @@ class Device {
   void install_faults(const FaultPlan& plan);
   FaultInjector* fault_injector() const { return faults_.get(); }
 
+  /// True after a `fatal` fault fired: the device is permanently lost.
+  /// Every subsequent enqueue (allocate/copy/gemm/trsm/custom_compute)
+  /// throws rocqr::DeviceLost. free()/synchronize()/download stay usable so
+  /// RAII cleanup and post-mortem inspection never throw from destructors.
+  bool dead() const { return dead_; }
+
   /// Whether host buffers are treated as pinned (default) or pageable.
   /// Pageable transfers run at spec().pageable_bandwidth_factor of the link
   /// rate — the knob behind the paper's "pinned memory" remark (§3.3.1).
@@ -307,6 +313,10 @@ class Device {
   Resolved resolve(const DeviceMatrixRef& ref, const char* what);
   void validate_stream(Stream s, const char* what) const;
   void round_fp16_block(const DeviceMatrixRef& ref);
+  /// Throws DeviceLost if the device is dead (every enqueue entry point).
+  void ensure_alive(const char* what) const;
+  /// Marks the device dead and throws DeviceLost for the op that killed it.
+  [[noreturn]] void die(const char* site, const std::string& name);
 
   PerfModel model_;
   ExecutionMode mode_;
@@ -325,6 +335,7 @@ class Device {
   std::shared_ptr<FaultInjector> faults_; // null when no plan is installed
   sim_time_t host_time_ = 0;
   bool host_pinned_ = true;
+  bool dead_ = false;
 };
 
 } // namespace rocqr::sim

@@ -47,8 +47,9 @@ FaultKind parse_kind(const std::string& s, const std::string& clause) {
   if (s == "transient") return FaultKind::Transient;
   if (s == "oom") return FaultKind::Oom;
   if (s == "corrupt") return FaultKind::Corrupt;
+  if (s == "fatal") return FaultKind::Fatal;
   throw InvalidArgument("FaultPlan: unknown kind '" + s + "' in clause '" +
-                        clause + "' (expected transient|oom|corrupt)");
+                        clause + "' (expected transient|oom|corrupt|fatal)");
 }
 
 bool kind_fits_site(FaultSite site, FaultKind kind) {
@@ -59,6 +60,8 @@ bool kind_fits_site(FaultSite site, FaultKind kind) {
       return site == FaultSite::Alloc;
     case FaultKind::Corrupt:
       return site == FaultSite::Compute;
+    case FaultKind::Fatal:
+      return true; // permanent loss can strike any operation
   }
   return false;
 }
@@ -110,6 +113,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::Transient: return "transient";
     case FaultKind::Oom: return "oom";
     case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Fatal: return "fatal";
   }
   return "?";
 }
@@ -219,12 +223,14 @@ bool FaultInjector::fire(FaultSite site) {
       if (hit && budget_left && !fired) {
         ++rule_fired_[i];
         fired = true;
+        last_fired_kind_ = rule.kind;
       }
     } else if (!fired) {
       const std::int64_t n = rule.count < 0 ? 1 : rule.count;
       if (op >= rule.first_op && op < rule.first_op + n) {
         ++rule_fired_[i];
         fired = true;
+        last_fired_kind_ = rule.kind;
       }
     }
   }

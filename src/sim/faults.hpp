@@ -12,6 +12,7 @@
 //   clause  := site ':' kind [':' params] | 'seed=' uint64
 //   site    := 'h2d' | 'd2h' | 'alloc' | 'compute'
 //   kind    := 'transient' (h2d/d2h) | 'oom' (alloc) | 'corrupt' (compute)
+//              | 'fatal' (any site)
 //   params  := param (',' param)*
 //   param   := 'p=' prob | 'after=' uint | 'op=' uint | 'count=' uint
 //
@@ -32,6 +33,10 @@
 // before the op is scheduled (a failed enqueue consumes no engine time);
 // alloc -> rocqr::DeviceOutOfMemory; compute -> one element of the GEMM
 // output perturbed after the numerics run (Real mode; Phantom only counts).
+// A 'fatal' rule models permanent device loss: valid at every site
+// (spec grammar `site:fatal[:after=N|op=N|p=x][,count=N]`), it marks the
+// Device dead — the firing op and every subsequent op throw
+// rocqr::DeviceLost, which no retry or degradation path absorbs.
 // Every fire bumps the `faults_injected` telemetry counter.
 #pragma once
 
@@ -49,7 +54,7 @@ class Counter;
 namespace rocqr::sim {
 
 enum class FaultSite : int { H2D = 0, D2H = 1, Alloc = 2, Compute = 3 };
-enum class FaultKind { Transient, Oom, Corrupt };
+enum class FaultKind { Transient, Oom, Corrupt, Fatal };
 
 constexpr int kFaultSiteCount = 4;
 
@@ -92,8 +97,14 @@ class FaultInjector {
 
   /// Called once per operation at `site`; true means the device must fail
   /// this op. Counts the op, evaluates every matching rule in plan order,
-  /// and charges the first rule that fires.
+  /// and charges the first rule that fires. When several kinds share a
+  /// site (e.g. compute:corrupt and compute:fatal), last_fired_kind()
+  /// tells the device which one won.
   bool fire(FaultSite site);
+
+  /// Kind of the rule charged by the most recent fire() that returned true.
+  /// Only meaningful immediately after such a call.
+  FaultKind last_fired_kind() const { return last_fired_kind_; }
 
   /// Ops observed at `site` so far (including the one currently firing).
   std::int64_t ops_seen(FaultSite site) const {
@@ -116,6 +127,7 @@ class FaultInjector {
   std::int64_t seen_[kFaultSiteCount] = {};
   std::vector<std::int64_t> rule_fired_;
   std::int64_t fired_total_ = 0;
+  FaultKind last_fired_kind_ = FaultKind::Transient;
   telemetry::Counter* injected_counter_;
 };
 

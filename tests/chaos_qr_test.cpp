@@ -80,6 +80,65 @@ bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
   return true;
 }
 
+// --- Non-finite output guard (QrOptions::check_finite) ----------------------
+
+TEST(ChaosFinite, OverflowedDiagonalDetectedOnlyWhenGuardEnabled) {
+  telemetry::Counter& detected = counter("qr.nonfinite_detected");
+  detected.reset();
+  const index_t m = 96, n = 48;
+  la::Matrix a0 = la::random_normal(m, n, 77);
+  // First column of huge-but-finite floats: its norm (~3e39) is finite in
+  // the double accumulator but casts to +inf on the float R diagonal, while
+  // Q stays finite — the classic silent poisoning check_finite exists for.
+  // (A NaN in the input is NOT silent: Gram-Schmidt's norm>0 guard trips.)
+  for (index_t i = 0; i < m; ++i)
+    a0(i, 0) = (i % 2 == 0 ? 3.0e38f : -3.0e38f);
+
+  // Guard off (the default): the inf sails through silently.
+  {
+    Device dev(chaos_spec(), ExecutionMode::Real);
+    la::Matrix q = la::materialize(a0.view());
+    la::Matrix r(n, n);
+    qr::QrOptions opts = chaos_qr_options();
+    EXPECT_NO_THROW(qr::factorize(qr::QrProblem{
+        {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, opts}));
+    EXPECT_EQ(detected.value(), 0);
+    EXPECT_EQ(dev.live_allocations(), 0);
+  }
+
+  // Guard on: NumericalError naming the option, counter bumped, no leaks.
+  {
+    Device dev(chaos_spec(), ExecutionMode::Real);
+    la::Matrix q = la::materialize(a0.view());
+    la::Matrix r(n, n);
+    qr::QrOptions opts = chaos_qr_options();
+    opts.check_finite = true;
+    try {
+      qr::factorize(qr::QrProblem{
+          {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, opts});
+      FAIL() << "check_finite accepted a non-finite factorization";
+    } catch (const NumericalError& e) {
+      EXPECT_NE(std::string(e.what()).find("check_finite"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_GE(detected.value(), 1);
+    EXPECT_EQ(dev.live_allocations(), 0);
+  }
+
+  // A clean input with the guard on is not a false positive.
+  {
+    Device dev(chaos_spec(), ExecutionMode::Real);
+    la::Matrix a1 = la::random_normal(m, n, 78);
+    la::Matrix q = la::materialize(a1.view());
+    la::Matrix r(n, n);
+    qr::QrOptions opts = chaos_qr_options();
+    opts.check_finite = true;
+    EXPECT_NO_THROW(qr::factorize(qr::QrProblem{
+        {&dev}, q.view(), r.view(), qr::Algorithm::Recursive, opts}));
+    EXPECT_EQ(dev.live_allocations(), 0);
+  }
+}
+
 // --- Transient transfer faults vs retry/backoff -----------------------------
 
 TEST(ChaosTransient, SweepCompletesBitIdenticalOrExhaustsBudget) {

@@ -185,6 +185,58 @@ TEST(CheckpointSerialization, RejectsMalformedStreams) {
   }
 }
 
+TEST(CheckpointSerialization, DetectsFlippedPayloadByte) {
+  // The v2 header carries a CRC-32 over the float payload: a single byte
+  // silently corrupted at rest (bit rot, torn write) must be rejected
+  // instead of resuming from garbage numerics.
+  qr::Checkpoint cp;
+  cp.driver = "recursive";
+  cp.m = 8;
+  cp.n = 4;
+  cp.blocksize = 2;
+  cp.columns_done = 2;
+  cp.units_done = 1;
+  cp.a.resize(32);
+  cp.r.resize(16);
+  for (size_t i = 0; i < cp.a.size(); ++i) cp.a[i] = 0.25f * static_cast<float>(i) - 3.0f;
+  for (size_t i = 0; i < cp.r.size(); ++i) cp.r[i] = 2.0f * static_cast<float>(i);
+
+  std::stringstream clean;
+  qr::write_checkpoint(clean, cp);
+  std::string bytes = clean.str();
+
+  // Uncorrupted bytes still load (guards against the test flipping a byte
+  // that was never covered by the CRC in the first place).
+  {
+    std::stringstream ss(bytes);
+    EXPECT_NO_THROW(qr::read_checkpoint(ss));
+  }
+
+  // Flip one byte in the middle of the binary payload (well past the text
+  // header, which ends at the third newline).
+  size_t header_end = 0;
+  for (int nl = 0; nl < 3; ++nl) header_end = bytes.find('\n', header_end) + 1;
+  ASSERT_LT(header_end, bytes.size());
+  const size_t victim = header_end + (bytes.size() - header_end) / 2;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x5A);
+  {
+    std::stringstream ss(bytes);
+    try {
+      qr::read_checkpoint(ss);
+      FAIL() << "corrupted checkpoint was accepted";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Truncated payload is also rejected, not zero-filled.
+  {
+    std::stringstream ss(clean.str().substr(0, clean.str().size() - 7));
+    EXPECT_THROW(qr::read_checkpoint(ss), InvalidArgument);
+  }
+}
+
 TEST(CheckpointSerialization, FileSinkRoundTrip) {
   qr::Checkpoint cp;
   cp.driver = "blocking";

@@ -75,6 +75,21 @@ TEST(FaultPlanParse, RoundTripsThroughToString) {
   }
 }
 
+TEST(FaultPlanParse, FatalValidAtEverySite) {
+  // `fatal` models hard device loss and, unlike oom/corrupt, is meaningful
+  // at all four sites.
+  for (const char* spec : {"h2d:fatal:op=1", "d2h:fatal:after=2",
+                           "alloc:fatal:count=1,op=3", "compute:fatal:p=0.5"}) {
+    const FaultPlan p = FaultPlan::parse(spec);
+    ASSERT_EQ(p.rules.size(), 1u) << spec;
+    EXPECT_EQ(p.rules[0].kind, FaultKind::Fatal) << spec;
+    // Round-trips through to_string (spelling stays "fatal").
+    const FaultPlan q = FaultPlan::parse(p.to_string());
+    EXPECT_EQ(p.to_string(), q.to_string()) << spec;
+    EXPECT_NE(p.to_string().find("fatal"), std::string::npos) << spec;
+  }
+}
+
 TEST(FaultPlanParse, RejectsMalformedSpecs) {
   for (const char* bad :
        {"gpu:transient:p=0.5",    // unknown site
@@ -202,6 +217,52 @@ TEST(DeviceFaults, EmptyPlanRemovesInjection) {
   sim::Stream s = dev.create_stream();
   dev.copy_h2d(DeviceMatrixRef(m.get()), sim::HostConstRef::phantom(8, 8), s);
   dev.synchronize();
+}
+
+TEST(DeviceFaults, FatalComputeKillsDeviceAndSubsequentOpsThrow) {
+  Device dev(small_spec(), ExecutionMode::Real);
+  dev.install_faults(FaultPlan::parse("compute:fatal:op=1"));
+  EXPECT_FALSE(dev.dead());
+  const index_t n = 8;
+  {
+    ScopedMatrix a(dev, n, n);
+    ScopedMatrix b(dev, n, n);
+    ScopedMatrix c(dev, n, n);
+    dev.upload(a.get(), la::random_normal(n, n, 4).view());
+    dev.upload(b.get(), la::random_normal(n, n, 5).view());
+    sim::Stream s = dev.create_stream();
+    EXPECT_THROW(dev.gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0f,
+                          DeviceMatrixRef(a.get()), DeviceMatrixRef(b.get()),
+                          0.0f, DeviceMatrixRef(c.get()),
+                          blas::GemmPrecision::FP32, s),
+                 DeviceLost);
+    EXPECT_TRUE(dev.dead());
+    // Every subsequent enqueue entry point refuses with DeviceLost; the
+    // fault only had count=1, so the refusal comes from dead(), not the plan.
+    EXPECT_THROW(dev.copy_h2d(DeviceMatrixRef(a.get()),
+                              la::random_normal(n, n, 6).view(), s),
+                 DeviceLost);
+    EXPECT_THROW(dev.gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0f,
+                          DeviceMatrixRef(a.get()), DeviceMatrixRef(b.get()),
+                          0.0f, DeviceMatrixRef(c.get()),
+                          blas::GemmPrecision::FP32, s),
+                 DeviceLost);
+    EXPECT_THROW((ScopedMatrix(dev, n, n)), DeviceLost);
+    // free()/synchronize() stay usable so RAII unwind does not leak
+    // (ScopedMatrix destructors run as this scope exits).
+    dev.synchronize();
+  }
+  EXPECT_EQ(dev.live_allocations(), 0);
+}
+
+TEST(DeviceFaults, FatalAllocReportsLastFiredKind) {
+  Device dev(small_spec(), ExecutionMode::Phantom);
+  dev.install_faults(FaultPlan::parse("alloc:fatal:after=1"));
+  ScopedMatrix a(dev, 8, 8);
+  EXPECT_THROW(ScopedMatrix(dev, 8, 8), DeviceLost);
+  ASSERT_NE(dev.fault_injector(), nullptr);
+  EXPECT_EQ(dev.fault_injector()->last_fired_kind(), FaultKind::Fatal);
+  EXPECT_TRUE(dev.dead());
 }
 
 TEST(OomDegradation, HalvesToFloorThenRethrowsOriginal) {

@@ -319,6 +319,63 @@ TEST(TsqrKillAndResume, LateLeafKillSkipsCompletedLeaves) {
   EXPECT_GE(kill_and_resume_sweep(3, 2, 288, 48, base_options()), 1);
 }
 
+TEST(TsqrKillAndResume, ShrunkFleetResumesBitIdentical) {
+  // Hard device loss: a fatal compute fault on device 3 kills the 4-device
+  // run with DeviceLost, and the checkpoint left behind resumes on a fleet
+  // of only 3 devices. The checkpoint pins the 4-leaf partition, so the
+  // dead device's leaves re-host round-robin onto the survivors and the
+  // result still matches the uninterrupted 4-device bits.
+  const index_t m = 384;
+  const index_t n = 48;
+  const qr::QrOptions opts = base_options();
+  la::Matrix a0 = la::random_normal(m, n, 37);
+
+  la::Matrix q_ref = la::materialize(a0.view());
+  la::Matrix r_ref(n, n);
+  Fleet ref_fleet =
+      make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
+  qr::factorize(qr::QrProblem{
+      ref_fleet.ptrs, q_ref.view(), r_ref.view(), qr::Algorithm::Tsqr, opts});
+
+  qr::MemoryCheckpointSink sink;
+  qr::QrOptions kill_opts = opts;
+  kill_opts.checkpoint_sink = &sink;
+  kill_opts.checkpoint_every = 1;
+  la::Matrix q_killed = la::materialize(a0.view());
+  la::Matrix r_killed(n, n);
+  Fleet kill_fleet =
+      make_fleet(4, small_spec(64LL << 20), ExecutionMode::Real);
+  kill_fleet.ptrs[3]->install_faults(
+      FaultPlan::parse("compute:fatal:after=1"));
+  EXPECT_THROW(
+      qr::factorize(qr::QrProblem{kill_fleet.ptrs, q_killed.view(),
+                                  r_killed.view(), qr::Algorithm::Tsqr,
+                                  kill_opts}),
+      DeviceLost);
+  EXPECT_TRUE(kill_fleet.ptrs[3]->dead());
+  ASSERT_TRUE(sink.has_checkpoint());
+  const qr::Checkpoint& cp = sink.last();
+  EXPECT_EQ(cp.driver, "tsqr");
+  EXPECT_EQ(cp.leaves, 4);
+  EXPECT_LT(cp.units_done, cp.leaves);
+
+  // The unwind after the fatal fault must not leak device memory: free
+  // stays usable on a dead device.
+  for (Device* dev : kill_fleet.ptrs) {
+    EXPECT_EQ(dev->live_allocations(), 0u);
+  }
+
+  la::Matrix q_res(m, n);
+  la::Matrix r_res(n, n);
+  Fleet res_fleet =
+      make_fleet(3, small_spec(64LL << 20), ExecutionMode::Real);
+  qr::resume(qr::QrProblem{res_fleet.ptrs, q_res.view(), r_res.view(),
+                           qr::Algorithm::Recursive, opts},
+             cp);
+  EXPECT_TRUE(bitwise_equal(q_res, q_ref));
+  EXPECT_TRUE(bitwise_equal(r_res, r_ref));
+}
+
 TEST(TsqrCheckpoint, TsqrRoundTripsThroughStream) {
   qr::Checkpoint cp;
   cp.driver = "tsqr";

@@ -107,6 +107,70 @@ TEST(JobsJson, ReportCarriesSchemaVersion) {
             std::string::npos);
 }
 
+TEST(JobsJson, RejectsNonPositiveDimensionsAndDeadline) {
+  // m/n of 0 used to be admitted and fail deep inside admission; a
+  // "deadline": 0 silently meant "no deadline" while looking like an
+  // impossible one. All three now fail at parse, naming the job.
+  for (const char* bad :
+       {R"([{"name": "z", "m": 0, "n": 50}])",
+        R"([{"name": "z", "m": 100, "n": 0}])",
+        R"([{"name": "z", "m": 100, "n": 50, "deadline": 0}])",
+        R"([{"name": "z", "m": 100, "n": 50, "deadline": -2.5}])"}) {
+    try {
+      parse_jobs_json(bad);
+      FAIL() << bad;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("non-positive"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("\"z\""), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(JobsJson, RejectsDuplicateJobNames) {
+  // Two jobs named "dup": reports and checkpoint paths key on the name.
+  try {
+    parse_jobs_json(R"([{"name": "dup", "m": 8, "n": 4},
+                        {"m": 16, "n": 8},
+                        {"name": "dup", "m": 32, "n": 16}])");
+    FAIL() << "duplicate names were accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate job name \"dup\""),
+              std::string::npos)
+        << e.what();
+  }
+  // Defaulted names (job0, job1, ...) never collide with each other but do
+  // collide with an explicit job named the same way.
+  EXPECT_THROW(parse_jobs_json(R"([{"name": "job1", "m": 8, "n": 4},
+                                   {"m": 8, "n": 4}])"),
+               InvalidArgument);
+}
+
+TEST(JobsJson, ReportCarriesFleetHealthFields) {
+  serve::FleetReport rep;
+  rep.devices = 2;
+  rep.devices_lost = 1;
+  rep.jobs_migrated = 3;
+  rep.jobs_shed = 2;
+  rep.device_health = {"dead", "suspect"};
+  serve::JobReport jr;
+  jr.id = 0;
+  jr.name = "moved";
+  jr.migrations = 4;
+  rep.jobs.push_back(jr);
+  std::ostringstream os;
+  serve::write_fleet_report_json(os, rep);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"devices_lost\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"jobs_migrated\": 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"jobs_shed\": 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"device_health\": [\"dead\", \"suspect\"]"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"migrations\": 4"), std::string::npos) << out;
+}
+
 TEST(JobsJson, RejectsStructuralGarbage) {
   EXPECT_THROW(parse_jobs_json("[{]"), InvalidArgument);
   EXPECT_THROW(parse_jobs_json(R"([{"m": 4, "n": 2}] trailing)"),

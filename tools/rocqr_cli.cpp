@@ -89,7 +89,8 @@ Args parse(int argc, char** argv) {
                                        "chrome", "trace-json", "metrics-json",
                                        "faults", "checkpoint", "resume",
                                        "checkpoint-every", "jobs", "devices",
-                                       "report"};
+                                       "report", "watchdog",
+                                       "failure-threshold"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
     if (takes_value) {
@@ -196,6 +197,7 @@ int run_factorization(const Args& args) {
     opts.ramp_up = args.has_flag("ramp");
     if (args.has_flag("fp32")) opts.precision = blas::GemmPrecision::FP32;
     opts.abft = args.has_flag("abft");
+    opts.check_finite = args.has_flag("check-finite");
     opts.checkpoint_every = args.number("checkpoint-every", 1);
     std::unique_ptr<qr::FileCheckpointSink> sink;
     if (const auto it = args.values.find("checkpoint");
@@ -363,6 +365,11 @@ int run_serve(const Args& args) {
   cfg.shared_link = args.has_flag("shared-link");
   cfg.preemption = !args.has_flag("no-preempt");
   cfg.checkpoint_every = args.number("checkpoint-every", 1);
+  if (const auto it = args.values.find("watchdog"); it != args.values.end()) {
+    cfg.watchdog_timeout = std::atof(it->second.c_str());
+  }
+  cfg.device_failure_threshold =
+      static_cast<int>(args.number("failure-threshold", 3));
   if (const auto it = args.values.find("faults"); it != args.values.end()) {
     cfg.device_faults.assign(static_cast<size_t>(cfg.devices), it->second);
   }
@@ -398,11 +405,12 @@ int run_serve(const Args& args) {
   report::Table t("fleet of " + std::to_string(rep.devices) + " x " +
                       cfg.spec.name + ":",
                   {"job", "state", "prio", "b", "attempts", "preempt",
-                   "retries", "device time", "predicted"});
+                   "retries", "migr", "device time", "predicted"});
   for (const serve::JobReport& j : rep.jobs) {
     t.add_row({j.name, to_string(j.state), std::to_string(j.priority),
                std::to_string(j.blocksize), std::to_string(j.attempts),
                std::to_string(j.preemptions), std::to_string(j.retries),
+               std::to_string(j.migrations),
                format_seconds(j.stats.total_seconds),
                format_seconds(j.predicted_seconds)});
   }
@@ -412,13 +420,21 @@ int run_serve(const Args& args) {
             << " jobs completed, " << rep.jobs_rejected << " rejected, "
             << rep.jobs_preempted << " preemptions, " << rep.job_retries
             << " retries, " << rep.units_completed << " units\n";
+  if (rep.devices_lost > 0 || rep.jobs_shed > 0) {
+    std::cout << "fleet degraded: " << rep.devices_lost
+              << " device(s) lost, " << rep.jobs_migrated << " migration(s), "
+              << rep.jobs_shed << " job(s) shed (health:";
+    for (const std::string& h : rep.device_health) std::cout << " " << h;
+    std::cout << ")\n";
+  }
 
   if (const auto it = args.values.find("report"); it != args.values.end()) {
     std::ofstream os(it->second);
     serve::write_fleet_report_json(os, rep);
     std::cout << "fleet report written to " << it->second << "\n";
   }
-  return rep.jobs_failed > 0 ? 5 : 0;
+  if (rep.jobs_failed > 0) return 5;
+  return rep.jobs_shed > 0 ? 7 : 0;
 }
 
 int run_specs() {
@@ -470,6 +486,8 @@ fault tolerance (QR; see docs/FAULTS.md):
   --faults SPEC               install a seeded fault plan on the device, e.g.
                               "h2d:transient:p=0.01;alloc:oom:after=3;seed=7"
   --abft                      checksum-verify the OOC GEMMs
+  --check-finite              scan the host R and Q for non-finite values
+                              after the factorization (exit 6 on a hit)
   --checkpoint FILE           write panel-level checkpoints to FILE
   --checkpoint-every K        checkpoint every K panel units (default 1)
   --resume FILE               restart from the checkpoint in FILE
@@ -483,13 +501,21 @@ serving (see docs/SERVING.md):
   --shared-link               one PCIe root complex for the whole fleet
   --no-preempt                disable checkpoint-boundary preemption
   --faults SPEC               install the fault plan on every fleet device
+                              ("site:fatal" kills the device permanently —
+                              the scheduler migrates its jobs)
+  --watchdog SEC              per-op simulated watchdog: an op longer than
+                              SEC strikes its device (default off)
+  --failure-threshold N       consecutive failed attempts before a device
+                              is declared dead (default 3)
   --report FILE               write the JSON fleet report
-  exit 0 when every admitted job completes, 5 when any job failed
+  exit 0 when every admitted job completes, 5 when any job failed,
+  7 when none failed but load-shedding dropped deadline jobs
 
 exit codes:
   0 success            2 usage error          3 invalid configuration
   4 device out of memory                      5 fault budget exhausted
-  6 numerical check failed                    1 other error
+  6 numerical check failed                    7 jobs load-shed (serve)
+  1 other error
 )";
 }
 
@@ -516,6 +542,9 @@ int main(int argc, char** argv) {
     return 4;
   } catch (const rocqr::FaultBudgetExhausted& e) {
     std::cerr << "error: fault budget exhausted: " << e.what() << "\n";
+    return 5;
+  } catch (const rocqr::DeviceLost& e) {
+    std::cerr << "error: device lost: " << e.what() << "\n";
     return 5;
   } catch (const rocqr::TransferError& e) {
     std::cerr << "error: unrecovered transfer failure: " << e.what() << "\n";
