@@ -1,8 +1,10 @@
 // Reproduces Figs 7-10: per-engine timelines of the four largest OOC GEMMs
 // in the 131072^2 factorization (inner/outer x blocking/recursive).
 //
-// --explain-plan additionally prints the slab-pipeline plan each engine
-// built (buffer pools, fences, ramp) above its timeline.
+// --explain-plan additionally prints the plan each engine built (buffer
+// pools, fences, ramp) and its lowered task-graph form (node counts per
+// stage, edge and fence-edge counts) above its timeline; --explain-plan=dot
+// dumps the lowered graphs as Graphviz digraphs instead.
 #include <iostream>
 #include <string>
 
@@ -14,11 +16,21 @@
 int main(int argc, char** argv) {
   using namespace rocqr;
   bool explain = false;
+  bool explain_dot = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--explain-plan") explain = true;
+    const std::string arg(argv[i]);
+    if (arg == "--explain-plan") explain = true;
+    if (arg == "--explain-plan=dot") explain = explain_dot = true;
   }
+  ooc::PlanLog plan_log;
   const auto show_plan = [&](const ooc::OocGemmStats& stats) {
-    if (explain) std::cout << stats.plan;
+    if (!explain) return;
+    if (explain_dot) {
+      std::cout << plan_log.dot;
+    } else {
+      std::cout << stats.plan;
+    }
+    plan_log = ooc::PlanLog{};
   };
 
   bench::section(
@@ -29,6 +41,7 @@ int main(int argc, char** argv) {
     auto q = dev.allocate(131072, 16384, sim::StoragePrecision::FP16);
     ooc::OocGemmOptions opts;
     opts.blocksize = 16384;
+    opts.plan_log = &plan_log;
     const auto stats = ooc::inner_product_blocking(
         dev, ooc::Operand::on_device(q),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 114688)),
@@ -45,6 +58,7 @@ int main(int argc, char** argv) {
     auto dev = bench::paper_device();
     ooc::OocGemmOptions opts;
     opts.blocksize = 16384;
+    opts.plan_log = &plan_log;
     const auto stats = ooc::inner_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
@@ -65,6 +79,7 @@ int main(int argc, char** argv) {
     opts.blocksize = 16384;
     opts.tile_cols = 16384;
     opts.staging_buffer = false; // conventional baseline
+    opts.plan_log = &plan_log;
     const auto stats = ooc::outer_product_blocking(
         dev, ooc::Operand::on_device(a), ooc::Operand::on_device(b),
         sim::HostConstRef::phantom(131072, 114688),
@@ -82,6 +97,7 @@ int main(int argc, char** argv) {
     auto b = dev.allocate(65536, 65536, sim::StoragePrecision::FP16);
     ooc::OocGemmOptions opts;
     opts.blocksize = 8192;
+    opts.plan_log = &plan_log;
     const auto stats = ooc::outer_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_device(b),

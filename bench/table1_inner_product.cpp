@@ -2,7 +2,9 @@
 // recursive tiling (65536 x 131072 x 65536, k-slab 16384) vs blocking
 // tiling (16384 x 131072 x 114688, n-slab 16384), synchronous vs pipelined.
 //
-// --explain-plan appends the slab-pipeline plan each engine built.
+// --explain-plan appends the plan each engine built, including its lowered
+// task-graph form (node counts per stage, edge and fence-edge counts);
+// --explain-plan=dot appends the lowered graphs as Graphviz digraphs.
 #include <iostream>
 #include <string>
 
@@ -17,14 +19,18 @@ int main(int argc, char** argv) {
   using bench::paper_device;
   namespace paper = report::paper;
   bool explain = false;
+  bool explain_dot = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--explain-plan") explain = true;
+    const std::string arg(argv[i]);
+    if (arg == "--explain-plan") explain = true;
+    if (arg == "--explain-plan=dot") explain = explain_dot = true;
   }
 
   bench::section("Table 1 — inner product (R12 = Q1'A2) OOC GEMM behaviour");
 
   struct Run {
     ooc::OocGemmStats stats;
+    ooc::PlanLog plan_log;
     double total_s = 0;
     double rate = 0;
   };
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
     opts.blocksize = 16384;
     opts.synchronous = synchronous;
     Run r;
+    opts.plan_log = &r.plan_log;
     r.stats = ooc::inner_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
     opts.blocksize = 16384;
     opts.synchronous = synchronous;
     Run r;
+    opts.plan_log = &r.plan_log;
     r.stats = ooc::inner_product_blocking(
         dev, ooc::Operand::on_device(q),
         ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 114688)),
@@ -104,7 +112,11 @@ int main(int argc, char** argv) {
                "tall-skinny 16384x16384x131072 shape and runs far below peak\n"
                "(~52 TFLOP/s) while the recursive GEMM runs near peak (~100).\n";
 
-  if (explain) {
+  if (explain && explain_dot) {
+    bench::section("Lowered task graphs (--explain-plan=dot)");
+    std::cout << rec_sync.plan_log.dot << rec_async.plan_log.dot
+              << blk_sync.plan_log.dot << blk_async.plan_log.dot;
+  } else if (explain) {
     bench::section("Pipeline plans (--explain-plan)");
     std::cout << "recursive sync:  " << rec_sync.stats.plan
               << "recursive async: " << rec_async.stats.plan

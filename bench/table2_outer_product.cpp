@@ -3,7 +3,9 @@
 // tiling (131072 x 16384 x 114688, 16384^2 C tiles), plus the §4.1.2
 // ablation (extra C working space on/off) and the §5.1.2 ideal bound.
 //
-// --explain-plan appends the slab-pipeline plan each engine built.
+// --explain-plan appends the plan each engine built, including its lowered
+// task-graph form (node counts per stage, edge and fence-edge counts);
+// --explain-plan=dot appends the lowered graphs as Graphviz digraphs.
 #include <iostream>
 #include <string>
 
@@ -18,14 +20,18 @@ int main(int argc, char** argv) {
   using bench::paper_device;
   namespace paper = report::paper;
   bool explain = false;
+  bool explain_dot = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--explain-plan") explain = true;
+    const std::string arg(argv[i]);
+    if (arg == "--explain-plan") explain = true;
+    if (arg == "--explain-plan=dot") explain = explain_dot = true;
   }
 
   bench::section("Table 2 — outer product (A2 -= Q1*R12) OOC GEMM behaviour");
 
   struct Run {
     ooc::OocGemmStats stats;
+    ooc::PlanLog plan_log;
     double total_s = 0;
     double rate = 0;
   };
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
     opts.synchronous = synchronous;
     opts.staging_buffer = staging;
     Run r;
+    opts.plan_log = &r.plan_log;
     r.stats = ooc::outer_product_recursive(
         dev, ooc::Operand::on_host(sim::HostConstRef::phantom(131072, 65536)),
         ooc::Operand::on_device(b),
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
     opts.synchronous = synchronous;
     opts.staging_buffer = false; // conventional baseline: single C tile buffer
     Run r;
+    opts.plan_log = &r.plan_log;
     r.stats = ooc::outer_product_blocking(
         dev, ooc::Operand::on_device(a), ooc::Operand::on_device(b),
         sim::HostConstRef::phantom(131072, 114688),
@@ -132,7 +140,12 @@ int main(int argc, char** argv) {
               format_fixed(rec_nostage.total_s / rec_async.total_s, 2) + "x"});
   std::cout << t2.render();
 
-  if (explain) {
+  if (explain && explain_dot) {
+    bench::section("Lowered task graphs (--explain-plan=dot)");
+    std::cout << rec_sync.plan_log.dot << rec_async.plan_log.dot
+              << rec_nostage.plan_log.dot << blk_sync.plan_log.dot
+              << blk_async.plan_log.dot;
+  } else if (explain) {
     bench::section("Pipeline plans (--explain-plan)");
     std::cout << "recursive sync:      " << rec_sync.stats.plan
               << "recursive async:     " << rec_async.stats.plan

@@ -23,19 +23,6 @@ inline void count_slab_prefetch(bool missed) {
       .increment();
 }
 
-/// The three streams every engine pipeline uses: one feeding the H2D link,
-/// one feeding the compute engine, one feeding the D2H link.
-struct Streams {
-  sim::Stream in;
-  sim::Stream comp;
-  sim::Stream out;
-};
-
-inline Streams make_streams(sim::Device& dev) {
-  return Streams{dev.create_stream(), dev.create_stream(),
-                 dev.create_stream()};
-}
-
 /// In synchronous mode, the host joins the device after every enqueue —
 /// this is the "Synchronous" baseline of Tables 1/2 (no overlap at all).
 inline void sync_if(sim::Device& dev, const OocGemmOptions& opts) {

@@ -49,6 +49,17 @@ struct RegionEvent {
   sim::Event event;
 };
 
+/// Collector for the --explain-plan tooling. When wired into
+/// OocGemmOptions::plan_log (or QrOptions::plan_log, which forwards), every
+/// TaskGraph — the single executor; SlabPipeline and all engines lower onto
+/// it — appends its node/edge summary to `text` and a Graphviz digraph to
+/// `dot` as it is torn down. Plain accumulation with no locking: wire it up
+/// for single-threaded explanation runs (benches, rocqr_cli), not serve.
+struct PlanLog {
+  std::string text;
+  std::string dot;
+};
+
 struct OocGemmOptions {
   /// Primary slab width (k-slab for recursive inner, n-slab for blocking
   /// inner, row-slab for recursive outer, tile rows for blocking outer).
@@ -125,6 +136,10 @@ struct OocGemmOptions {
   /// of the next operation starts as soon as the previous operation's
   /// writes covering slab j landed, not when the whole operation finished.
   std::vector<RegionEvent> streamed_input_regions;
+  /// When non-null, every task graph run under these options reports its
+  /// lowered form here on teardown (--explain-plan / --explain-plan=dot).
+  /// Not owned; must outlive the engine call.
+  PlanLog* plan_log = nullptr;
 
   /// Throws InvalidArgument on out-of-range knobs (mirrors
   /// QrOptions::validate). Every engine entry point calls this before

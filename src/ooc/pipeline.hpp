@@ -1,5 +1,6 @@
-// Declarative slab-pipeline executor — the one place that owns the
-// three-stream out-of-core schedule every engine in this repo uses.
+// Declarative slab-pipeline frontend — a thin lowering layer over the
+// task-DAG executor (`ooc::TaskGraph`), which owns the three-stream
+// out-of-core schedule every engine in this repo uses.
 //
 // An engine used to hand-roll: stream creation, the streamed-input
 // buffer-pool fence (wait the GEMM that last read slot s%depth), the
@@ -7,11 +8,19 @@
 // region-intersection waits (§4.2 cross-operation pipelining), per-site
 // retry/ABFT/sync_if, and the slab-prefetch counters. Now it builds a
 // `SlabPlan` — buffer depths, fence kind, per-step move-in/compute/move-out
-// callbacks — and `SlabPipeline::run` replays exactly the event wiring the
-// engines used to duplicate. The port is schedule-preserving by
-// construction: the executor enqueues the same device operations in the
-// same order with the same event dependencies (see
-// tests/schedule_golden_test.cpp, which pins the resulting timelines).
+// callbacks — and `SlabPipeline::run` *compiles* it into task-graph nodes:
+// each step lowers to a linear move-in -> compute (-> move-out) chain, and
+// the fence taxonomy lowers to explicit WAR edges against earlier nodes
+// (input pool -> edge to the compute `input_slots` steps back; output slot
+// -> edge to the move-out `output_slots` groups back, landing on the
+// move-in or compute node per the fence kind). The lowering is
+// schedule-preserving by construction: nodes are added in the legacy
+// program order with equal priority, the executor enqueues ready nodes in
+// id order, and same-stream edges ride the stream FIFO — so the device
+// sees the same operations in the same order with the same event
+// dependencies as the hand-rolled loops (see
+// tests/schedule_golden_test.cpp and tests/ooc_pipeline_lowering_test.cpp,
+// which pin the resulting timelines).
 //
 // Stage model (docs/ARCHITECTURE.md has the long-form description):
 //
@@ -22,9 +31,9 @@
 //   per group: -> move-out fence -> move-out -> out event -> RegionEvent
 //
 // One-shot stages (a resident operand, a panel factorization, a staged
-// triangle) run through `stage_resident` / `run_task` on the same streams,
-// so drivers compose slab loops with panel tasks without touching
-// `dev.create_stream()` / `dev.record_event()` themselves.
+// triangle) run through `stage_resident` / `run_task` as eagerly-enqueued
+// nodes on the same graph, so drivers compose slab loops with panel tasks
+// without touching `dev.create_stream()` / `dev.record_event()` themselves.
 #pragma once
 
 #include <functional>
@@ -34,6 +43,7 @@
 #include <vector>
 
 #include "ooc/gemm_engines.hpp"
+#include "ooc/task_graph.hpp"
 #include "sim/device.hpp"
 #include "sim/scoped_matrix.hpp"
 #include "sim/trace_export.hpp"
@@ -44,17 +54,21 @@ class SlabPipeline;
 
 /// Move-in stage handle: host-to-device transfers on the pipeline's H2D
 /// stream, with transfer retry and synchronous-mode serialization applied.
+/// A thin rename of the underlying TaskCtx, kept so engine callbacks read
+/// in stage vocabulary.
 class MoveInCtx {
  public:
   void h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
-           const std::string& name);
+           const std::string& name) {
+    t_.h2d(dst, src, name);
+  }
   /// Extra per-step dependency of the move-in (valid-checked).
-  void wait(const sim::Event& e);
+  void wait(const sim::Event& e) { t_.wait(e); }
 
  private:
   friend class SlabPipeline;
-  explicit MoveInCtx(SlabPipeline& p) : p_(p) {}
-  SlabPipeline& p_;
+  explicit MoveInCtx(TaskCtx& t) : t_(t) {}
+  TaskCtx& t_;
 };
 
 /// Compute stage handle: GEMM/TRSM on the pipeline's compute stream (with
@@ -64,36 +78,44 @@ class ComputeCtx {
  public:
   void gemm(blas::Op opa, blas::Op opb, float alpha, sim::DeviceMatrixRef a,
             sim::DeviceMatrixRef b, float beta, sim::DeviceMatrixRef c,
-            const std::string& name);
+            const std::string& name) {
+    t_.gemm(opa, opb, alpha, a, b, beta, c, name);
+  }
   void trsm(sim::Device::TrsmKind kind, sim::DeviceMatrixRef tri,
-            sim::DeviceMatrixRef b, const std::string& name);
-  void wait(const sim::Event& e);
+            sim::DeviceMatrixRef b, const std::string& name) {
+    t_.trsm(kind, tri, b, name);
+  }
+  void wait(const sim::Event& e) { t_.wait(e); }
   /// The compute stream, for panel factorization kernels
   /// (panel_qr_device & co.) that enqueue their own custom ops.
-  sim::Stream stream() const;
+  sim::Stream stream() const { return t_.stream(); }
   /// Records an event on the compute stream, fences the move-out stream on
   /// it, and enqueues the device-to-host copy there — the "drain an
   /// intermediate while compute continues" idiom of the recursive drivers.
   sim::Event emit(sim::HostMutRef dst, sim::DeviceMatrixRef src,
-                  const std::string& name);
+                  const std::string& name) {
+    return t_.emit(dst, src, name);
+  }
 
  private:
   friend class SlabPipeline;
-  explicit ComputeCtx(SlabPipeline& p) : p_(p) {}
-  SlabPipeline& p_;
+  explicit ComputeCtx(TaskCtx& t) : t_(t) {}
+  TaskCtx& t_;
 };
 
 /// Move-out stage handle: device-to-host transfers on the D2H stream.
 class MoveOutCtx {
  public:
   void d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
-           const std::string& name);
-  void wait(const sim::Event& e);
+           const std::string& name) {
+    t_.d2h(dst, src, name);
+  }
+  void wait(const sim::Event& e) { t_.wait(e); }
 
  private:
   friend class SlabPipeline;
-  explicit MoveOutCtx(SlabPipeline& p) : p_(p) {}
-  SlabPipeline& p_;
+  explicit MoveOutCtx(TaskCtx& t) : t_(t) {}
+  TaskCtx& t_;
 };
 
 /// How a step's move-in is fenced against the output working set.
@@ -165,13 +187,16 @@ struct SlabRunResult {
 
 /// One-shot three-stage task (panel move-in / factor / drain) on the same
 /// streams as the slab loops. Stages are optional; present stages chain
-/// in -> comp -> out through recorded events exactly like one slab step.
+/// in -> comp -> out through graph edges exactly like one slab step.
 struct TaskPlan {
   std::vector<sim::Event> move_in_waits; ///< valid-checked, on the H2D stream
   std::function<void(MoveInCtx&)> move_in;
   std::vector<sim::Event> compute_waits; ///< valid-checked, on compute
   std::function<void(ComputeCtx&)> compute;
   std::function<void(MoveOutCtx&)> move_out; ///< fenced behind the compute
+  /// Node-label stem in the lowered graph (--explain-plan=dot,
+  /// DeviceLost attribution). Defaults to "task".
+  std::string label;
 };
 
 struct TaskResult {
@@ -182,10 +207,10 @@ struct TaskResult {
 
 class SlabPipeline {
  public:
-  /// Creates the in/compute/out streams (in that order — stream numbering
-  /// is part of the preserved schedule), opens an optional trace span, and
-  /// fences the H2D stream on `wait_before` plus opts.host_input_ready.
-  /// `opts` must already be validated (engines call
+  /// Creates the underlying task graph (in/compute/out streams in that
+  /// order — stream numbering is part of the preserved schedule), opens an
+  /// optional trace span, and fences the H2D stream on `wait_before` plus
+  /// opts.host_input_ready. `opts` must already be validated (engines call
   /// OocGemmOptions::validate() at their public entry, before OOM
   /// degradation re-plans can legitimately shrink the slab knobs).
   SlabPipeline(sim::Device& dev, const OocGemmOptions& opts,
@@ -208,31 +233,32 @@ class SlabPipeline {
   sim::Event record_input_marker();
 
   /// Trace index at construction — the engine's stats window.
-  size_t window_begin() const { return window_begin_; }
+  size_t window_begin() const { return graph_.window_begin(); }
 
-  /// Human-readable summary of every plan this pipeline ran
-  /// (--explain-plan); empty until the first run().
-  const std::string& plan_description() const { return plan_description_; }
+  /// Human-readable summary of every plan this pipeline ran, followed by
+  /// the lowered task-graph form (node/edge/fence-edge counts);
+  /// empty until the first run().
+  const std::string& plan_description() const;
 
-  sim::Device& device() { return dev_; }
-  const OocGemmOptions& options() const { return opts_; }
+  /// Graphviz dump of the lowered graph (--explain-plan=dot).
+  std::string dot(const std::string& graph_name = "slab-pipeline") const {
+    return graph_.dot(graph_name);
+  }
+
+  /// The task graph this pipeline lowers onto. Exposed for equivalence
+  /// tests; engines should speak SlabPlan/TaskPlan.
+  const TaskGraph& graph() const { return graph_; }
+
+  sim::Device& device() { return graph_.device(); }
+  const OocGemmOptions& options() const { return graph_.options(); }
 
  private:
-  friend class MoveInCtx;
-  friend class ComputeCtx;
-  friend class MoveOutCtx;
-
-  sim::Device& dev_;
-  OocGemmOptions opts_;
-  size_t window_begin_;
-  std::optional<sim::TraceSpan> span_;
-  sim::Stream in_;
-  sim::Stream comp_;
-  sim::Stream out_;
-  /// Compute events of every run() step, across runs — the streamed-input
+  TaskGraph graph_;
+  /// Compute node of every run() step, across runs — the streamed-input
   /// pool fence indexes it globally.
-  std::vector<sim::Event> history_;
+  std::vector<TaskId> history_;
   std::string plan_description_;
+  mutable std::string description_cache_;
 };
 
 /// A resident operand of a slab loop: either the caller's device matrix or

@@ -73,6 +73,17 @@ void TaskCtx::d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
   detail::sync_if(g_.dev_, g_.opts_);
 }
 
+Event TaskCtx::emit(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+                    const std::string& name) {
+  if (stage_ != TaskStage::Compute) wrong_stage(stage_, "emit");
+  Event e = g_.dev_.create_event();
+  g_.dev_.record_event(e, g_.comp_);
+  g_.dev_.wait_event(g_.out_, e);
+  detail::copy_d2h_retry(g_.dev_, dst, src, g_.out_, name, g_.opts_);
+  detail::sync_if(g_.dev_, g_.opts_);
+  return e;
+}
+
 void TaskCtx::wait(const Event& e) {
   if (e.valid()) g_.dev_.wait_event(g_.stream_for(stage_), e);
 }
@@ -84,13 +95,28 @@ const OocGemmOptions& TaskCtx::options() const { return g_.opts_; }
 // ---------------------------------------------------------------------------
 
 TaskGraph::TaskGraph(sim::Device& dev, const OocGemmOptions& opts,
-                     std::string span_name)
-    : dev_(dev), opts_(opts), window_begin_(dev.trace().size()) {
+                     std::string span_name, std::vector<sim::Event> wait_before)
+    : dev_(dev), opts_(opts),
+      name_(span_name.empty() ? "taskgraph" : span_name),
+      window_begin_(dev.trace().size()) {
   if (!span_name.empty()) span_.emplace(dev_, std::move(span_name));
   in_ = dev_.create_stream();
   comp_ = dev_.create_stream();
   out_ = dev_.create_stream();
+  for (const Event& e : wait_before) {
+    if (e.valid()) dev_.wait_event(in_, e);
+  }
   detail::wait_host_inputs(dev_, in_, opts_);
+}
+
+TaskGraph::~TaskGraph() {
+  if (opts_.plan_log == nullptr || nodes_.empty()) return;
+  PlanLog& log = *opts_.plan_log;
+  log.text += name_ + ": ";
+  log.text += plan_description_.empty() ? "built but never run"
+                                        : plan_description_;
+  log.text += "\n";
+  log.dot += dot(name_);
 }
 
 sim::Stream TaskGraph::stream_for(TaskStage stage) const {
@@ -153,57 +179,76 @@ void TaskGraph::set_input_region(TaskId node, Slab rows, Slab cols) {
 
 void TaskGraph::enqueue(Node& node) {
   const sim::Stream s = stream_for(node.stage);
-  for (TaskId d : node.deps) {
-    const Node& dep = nodes_[static_cast<size_t>(d)];
-    // Same-stream dependencies ride the FIFO: the dep's ops were enqueued
-    // earlier on this stream, so they execute earlier. Cross-stream (and
-    // cross-graph, via TaskCtx::wait) dependencies need the event edge.
-    if (dep.stage == node.stage) continue;
-    if (dep.done.valid()) dev_.wait_event(s, dep.done);
+  try {
+    for (TaskId d : node.deps) {
+      const Node& dep = nodes_[static_cast<size_t>(d)];
+      // Same-stream dependencies ride the FIFO: the dep's ops were enqueued
+      // earlier on this stream, so they execute earlier. Cross-stream (and
+      // cross-graph, via TaskCtx::wait) dependencies need the event edge.
+      if (dep.stage == node.stage) continue;
+      ++n_fence_edges_;
+      if (dep.done.valid()) dev_.wait_event(s, dep.done);
+    }
+    if (node.input_region) {
+      detail::wait_intersecting_regions(dev_, s, opts_,
+                                        node.input_region->first,
+                                        node.input_region->second);
+    }
+    if (node.body) {
+      TaskCtx ctx(*this, node.stage);
+      node.body(ctx);
+    }
+    node.done = dev_.create_event();
+    dev_.record_event(node.done, s);
+  } catch (const DeviceLost& e) {
+    // Attribute the hard loss to the task that hit it: labels carry the
+    // owning job's prefix in batched runs, so serve failover logs can name
+    // the victim instead of reporting a bare device failure.
+    throw DeviceLost(std::string(e.what()) + " [task \"" + node.label +
+                     "\"]");
   }
-  if (node.input_region) {
-    detail::wait_intersecting_regions(dev_, s, opts_, node.input_region->first,
-                                      node.input_region->second);
-  }
-  if (node.body) {
-    TaskCtx ctx(*this, node.stage);
-    node.body(ctx);
-  }
-  node.done = dev_.create_event();
-  dev_.record_event(node.done, s);
+  node.body = nullptr; // enqueued exactly once; free the captures
   node.enqueued = true;
 }
 
 void TaskGraph::run() {
   // Deterministic list schedule over the not-yet-enqueued subgraph: Kahn's
-  // algorithm with a (priority, id) min-heap as the ready set.
+  // algorithm with a (priority, id) min-heap as the ready set. Nodes below
+  // run_from_ were enqueued by an earlier run(), so only the suffix is
+  // solved — a pipeline that lowers thousands of steps through incremental
+  // runs stays linear in total node count.
   const size_t total = nodes_.size();
-  std::vector<index_t> pending(total, 0);
-  std::vector<std::vector<TaskId>> successors(total);
+  const size_t base = run_from_;
+  const size_t count = total - base;
+  if (count == 0) return;
+  std::vector<index_t> pending(count, 0);
+  std::vector<std::vector<TaskId>> successors(count);
   size_t remaining = 0;
-  for (size_t i = 0; i < total; ++i) {
+  for (size_t i = base; i < total; ++i) {
     if (nodes_[i].enqueued) continue;
     ++remaining;
     for (TaskId d : nodes_[i].deps) {
       if (!nodes_[static_cast<size_t>(d)].enqueued) {
-        ++pending[i];
-        successors[static_cast<size_t>(d)].push_back(
+        ++pending[i - base];
+        successors[static_cast<size_t>(d) - base].push_back(
             static_cast<TaskId>(i));
       }
     }
   }
-  if (remaining == 0) return;
+  if (remaining == 0) {
+    run_from_ = total;
+    return;
+  }
 
   using Key = std::pair<std::int64_t, TaskId>;
   std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ready;
-  for (size_t i = 0; i < total; ++i) {
-    if (!nodes_[i].enqueued && pending[i] == 0) {
+  for (size_t i = base; i < total; ++i) {
+    if (!nodes_[i].enqueued && pending[i - base] == 0) {
       ready.emplace(nodes_[i].priority, static_cast<TaskId>(i));
     }
   }
 
   size_t enqueued = 0;
-  index_t n_in = 0, n_comp = 0, n_out = 0, n_edges = 0;
   while (!ready.empty()) {
     const TaskId id = ready.top().second;
     ready.pop();
@@ -212,18 +257,18 @@ void TaskGraph::run() {
     ++enqueued;
     switch (node.stage) {
     case TaskStage::MoveIn:
-      ++n_in;
+      ++n_in_;
       break;
     case TaskStage::Compute:
-      ++n_comp;
+      ++n_comp_;
       break;
     case TaskStage::MoveOut:
-      ++n_out;
+      ++n_out_;
       break;
     }
-    n_edges += static_cast<index_t>(node.deps.size());
-    for (TaskId s : successors[static_cast<size_t>(id)]) {
-      if (--pending[static_cast<size_t>(s)] == 0) {
+    n_edges_ += static_cast<index_t>(node.deps.size());
+    for (TaskId s : successors[static_cast<size_t>(id) - base]) {
+      if (--pending[static_cast<size_t>(s) - base] == 0) {
         ready.emplace(nodes_[static_cast<size_t>(s)].priority, s);
       }
     }
@@ -238,12 +283,15 @@ void TaskGraph::run() {
       }
     }
   }
+  run_from_ = total;
 
+  // One cumulative line: incremental runs (checkpoint segments, pipeline
+  // lowering one plan at a time) update it in place instead of appending.
   std::ostringstream os;
-  if (!plan_description_.empty()) os << plan_description_ << "\n";
-  os << "task-graph run: " << enqueued << " node(s) (" << n_in
-     << " move-in, " << n_comp << " compute, " << n_out << " move-out), "
-     << n_edges << " edge(s)";
+  os << "task-graph run: " << (n_in_ + n_comp_ + n_out_) << " node(s) ("
+     << n_in_ << " move-in, " << n_comp_ << " compute, " << n_out_
+     << " move-out), " << n_edges_ << " edge(s), " << n_fence_edges_
+     << " fence edge(s)";
   plan_description_ = os.str();
 }
 
@@ -252,6 +300,69 @@ Event TaskGraph::done(TaskId id) const {
     throw InvalidArgument("TaskGraph::done: unknown node id");
   }
   return nodes_[static_cast<size_t>(id)].done;
+}
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* dot_shape(TaskStage s) {
+  switch (s) {
+  case TaskStage::MoveIn:
+    return "box";
+  case TaskStage::Compute:
+    return "ellipse";
+  case TaskStage::MoveOut:
+    return "box";
+  }
+  return "box";
+}
+
+const char* dot_color(TaskStage s) {
+  switch (s) {
+  case TaskStage::MoveIn:
+    return "lightblue";
+  case TaskStage::Compute:
+    return "palegreen";
+  case TaskStage::MoveOut:
+    return "lightsalmon";
+  }
+  return "white";
+}
+
+} // namespace
+
+std::string TaskGraph::dot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(graph_name) << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"monospace\", style=filled];\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    os << "  n" << i << " [label=\"" << dot_escape(n.label) << "\\n("
+       << stage_name(n.stage) << ")\", shape=" << dot_shape(n.stage)
+       << ", fillcolor=" << dot_color(n.stage) << "];\n";
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (TaskId d : n.deps) {
+      const Node& dep = nodes_[static_cast<size_t>(d)];
+      // Solid = a real wait_event fence; dashed = same-stream FIFO order.
+      os << "  n" << d << " -> n" << i;
+      if (dep.stage == n.stage) os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
 }
 
 } // namespace rocqr::ooc

@@ -70,6 +70,12 @@ class TaskCtx {
   /// MoveOut: device-to-host transfer with retry + sync_if applied.
   void d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
            const std::string& name);
+  /// Compute: records an event on the compute stream, fences the move-out
+  /// stream on it, and enqueues the device-to-host copy there — the "drain
+  /// an intermediate while compute continues" idiom of the recursive
+  /// drivers (SlabPipeline's ComputeCtx::emit lowers onto this).
+  sim::Event emit(sim::HostMutRef dst, sim::DeviceMatrixRef src,
+                  const std::string& name);
   /// Extra wait on this node's stream (valid-checked) — for events that are
   /// not graph edges, e.g. a SlabPipeline resident-stage event.
   void wait(const sim::Event& e);
@@ -88,13 +94,22 @@ class TaskGraph {
  public:
   /// Creates the in/compute/out streams (in that order — stream numbering
   /// is part of the preserved schedule convention shared with
-  /// SlabPipeline), opens an optional trace span, and fences the H2D
-  /// stream on opts.host_input_ready. `opts` must already be validated.
+  /// SlabPipeline), opens an optional trace span, fences the H2D stream on
+  /// opts.host_input_ready and then on every valid `wait_before` event
+  /// (producer hand-off, e.g. TRSM waiting the factorization that wrote
+  /// its triangle). `opts` must already be validated.
   TaskGraph(sim::Device& dev, const OocGemmOptions& opts,
-            std::string span_name = {});
+            std::string span_name = {},
+            std::vector<sim::Event> wait_before = {});
 
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Flushes the graph's lowered form (node/edge summary + Graphviz dump)
+  /// into opts.plan_log, when one is wired up — the single chokepoint
+  /// feeding --explain-plan, since every executor client lowers onto
+  /// TaskGraph.
+  ~TaskGraph();
 
   /// Adds a node. `deps` are node ids that must be enqueued before this
   /// node; `priority` orders the ready set (smaller runs earlier; ties
@@ -127,9 +142,15 @@ class TaskGraph {
   /// Trace index at construction — the driver's stats window.
   size_t window_begin() const { return window_begin_; }
 
-  /// Human-readable node/edge summary of everything run so far
+  /// Human-readable node/edge summary of everything run so far, including
+  /// the count of fence edges (cross-stream dependencies that lowered to
+  /// `wait_event`; same-stream edges ride the FIFO). One cumulative line
   /// (--explain-plan companion); empty until the first run().
   const std::string& plan_description() const { return plan_description_; }
+
+  /// Graphviz dump of every node added so far (--explain-plan=dot). Solid
+  /// edges are cross-stream fences, dashed edges ride a stream's FIFO.
+  std::string dot(const std::string& graph_name = "taskgraph") const;
 
   sim::Device& device() { return dev_; }
   const OocGemmOptions& options() const { return opts_; }
@@ -153,12 +174,20 @@ class TaskGraph {
 
   sim::Device& dev_;
   OocGemmOptions opts_;
+  // The span name (or "taskgraph"), kept for the plan_log flush.
+  std::string name_;
   size_t window_begin_;
   std::optional<sim::TraceSpan> span_;
   sim::Stream in_;
   sim::Stream comp_;
   sim::Stream out_;
   std::vector<Node> nodes_;
+  // Every node below this index was enqueued by an earlier run(); run()
+  // only has to solve the suffix.
+  size_t run_from_ = 0;
+  // Cumulative across runs; composed into plan_description_.
+  index_t n_in_ = 0, n_comp_ = 0, n_out_ = 0;
+  index_t n_edges_ = 0, n_fence_edges_ = 0;
   std::string plan_description_;
 };
 

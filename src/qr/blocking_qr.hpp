@@ -20,11 +20,4 @@ QrStats run_blocking(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
 
 } // namespace detail
 
-[[deprecated("use qr::factorize(QrProblem) with Algorithm::Blocking — see "
-             "docs/API.md")]]
-inline QrStats blocking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                               sim::HostMutRef r, const QrOptions& opts) {
-  return detail::run_blocking(dev, a, r, opts);
-}
-
 } // namespace rocqr::qr

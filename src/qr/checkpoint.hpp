@@ -114,18 +114,4 @@ QrStats resume_impl(const std::vector<sim::Device*>& devices,
 
 } // namespace detail
 
-[[deprecated("use qr::resume(QrProblem, Checkpoint) — see docs/API.md")]]
-inline QrStats resume_ooc_qr(sim::Device& dev, const Checkpoint& cp,
-                             sim::HostMutRef a, sim::HostMutRef r,
-                             QrOptions opts) {
-  return detail::resume_impl({&dev}, cp, a, r, std::move(opts));
-}
-
-[[deprecated("use qr::resume(QrProblem, Checkpoint) — see docs/API.md")]]
-inline QrStats resume_ooc_qr(const std::vector<sim::Device*>& devices,
-                             const Checkpoint& cp, sim::HostMutRef a,
-                             sim::HostMutRef r, QrOptions opts) {
-  return detail::resume_impl(devices, cp, a, r, std::move(opts));
-}
-
 } // namespace rocqr::qr

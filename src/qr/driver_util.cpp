@@ -66,6 +66,7 @@ ooc::OocGemmOptions gemm_options(const QrOptions& opts) {
   g.transfer_backoff_seconds = opts.transfer_backoff_seconds;
   g.degrade_on_oom = opts.degrade_on_oom;
   g.abft = opts.abft;
+  g.plan_log = opts.plan_log;
   return g;
 }
 

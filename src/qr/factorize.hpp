@@ -1,11 +1,11 @@
-// Unified QR driver front end — the one non-deprecated way to factorize.
+// Unified QR driver front end — the one way to factorize.
 //
 // Mirrors PR 2's ooc::GemmProblem redesign: callers describe the problem
 // once in a plain `QrProblem` aggregate (devices, A, R, algorithm,
-// options) and hand it to `qr::factorize`. The five historical driver free
+// options) and hand it to `qr::factorize`. The historical per-driver free
 // functions (blocking_ooc_qr, left_looking_ooc_qr, recursive_ooc_qr,
-// multi_gpu_blocking_qr, tsqr_ooc_qr) are [[deprecated]] forwarders onto
-// the same detail entry points; docs/API.md has the migration table.
+// multi_gpu_blocking_qr, tsqr_ooc_qr) went through a [[deprecated]] cycle
+// and are now removed; docs/API.md keeps the migration table.
 //
 //   sim::Device dev(spec);
 //   qr::QrProblem p{{&dev}, a.view(), r.view(), qr::Algorithm::Recursive,
@@ -13,8 +13,8 @@
 //   qr::QrStats stats = qr::factorize(p);
 //
 // `qr::resume` is the matching single entry for checkpoint restart,
-// dispatching on the checkpoint's driver tag (replacing the two
-// resume_ooc_qr overloads).
+// dispatching on the checkpoint's driver tag (the resume_ooc_qr overloads
+// are likewise removed).
 #pragma once
 
 #include <optional>

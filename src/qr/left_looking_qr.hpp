@@ -27,11 +27,4 @@ QrStats run_left_looking(sim::Device& dev, sim::HostMutRef a,
 
 } // namespace detail
 
-[[deprecated("use qr::factorize(QrProblem) with Algorithm::LeftLooking — "
-             "see docs/API.md")]]
-inline QrStats left_looking_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                                   sim::HostMutRef r, const QrOptions& opts) {
-  return detail::run_left_looking(dev, a, r, opts);
-}
-
 } // namespace rocqr::qr

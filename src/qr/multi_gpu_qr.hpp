@@ -25,14 +25,6 @@ QrStats run_multi_gpu(const std::vector<sim::Device*>& devices,
 
 } // namespace detail
 
-[[deprecated("use qr::factorize(QrProblem) with Algorithm::MultiGpu — see "
-             "docs/API.md")]]
-inline QrStats multi_gpu_blocking_qr(const std::vector<sim::Device*>& devices,
-                                     sim::HostMutRef a, sim::HostMutRef r,
-                                     const QrOptions& opts) {
-  return detail::run_multi_gpu(devices, a, r, opts);
-}
-
 /// Aggregates per-device trace-window stats into one fleet view: busy
 /// times, bytes, flops, panels and event counts sum; peak_device_bytes is
 /// the max. The wall clock [first_start, last_end] (and total_seconds, the

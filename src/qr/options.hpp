@@ -5,6 +5,10 @@
 #include "common/types.hpp"
 #include "sim/trace.hpp"
 
+namespace rocqr::ooc {
+struct PlanLog;
+}
+
 namespace rocqr::qr {
 
 class CheckpointSink;
@@ -81,6 +85,13 @@ struct QrOptions {
   /// instead of letting NaNs escape into a caller's pipeline. Real mode
   /// only (Phantom runs carry no element data to scan).
   bool check_finite = false;
+
+  /// When non-null, every task graph the driver runs (the drivers and all
+  /// their OOC engine calls lower onto ooc::TaskGraph) reports its lowered
+  /// form here on teardown — node counts per stage, edge/fence-edge counts,
+  /// and a Graphviz digraph. Surfaced by rocqr_cli and the benches behind
+  /// --explain-plan[=dot]. Not owned; single-threaded use only.
+  ooc::PlanLog* plan_log = nullptr;
 
   /// Checks every field against its documented domain and throws
   /// rocqr::InvalidArgument on the first violation. All drivers call this on

@@ -25,11 +25,4 @@ QrStats run_recursive(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
 
 } // namespace detail
 
-[[deprecated("use qr::factorize(QrProblem) with Algorithm::Recursive — see "
-             "docs/API.md")]]
-inline QrStats recursive_ooc_qr(sim::Device& dev, sim::HostMutRef a,
-                                sim::HostMutRef r, const QrOptions& opts) {
-  return detail::run_recursive(dev, a, r, opts);
-}
-
 } // namespace rocqr::qr

@@ -1,25 +1,39 @@
-// Tiled CGS QR on the TaskGraph executor (Buttari-style DAG lookahead).
+// Tiled CGS QR on the TaskGraph executor (Buttari-style DAG lookahead),
+// plus the mixed-algorithm batch front end serve colocation runs on.
 //
-// The matrix is split into full-height column tiles of opts.blocksize.
-// Step k streams every trailing tile A_j through the device and applies the
-// block-MGS update R_kj = Q_k^T A_j; A_j -= Q_k R_kj — except tile k+1,
-// which stays device-resident and factors in place the moment its own
-// update lands (`panel_qr_device`). Expressed as a task graph, panel k+1's
-// factorization carries a smaller priority key than step k's remaining
-// far-tile updates, so it enqueues — and on the FIFO compute engine runs —
-// while those updates are still moving in and draining out: the lookahead
-// of Buttari et al. ("Parallel Tiled QR Factorization for Multicore
-// Architectures"). Versus the bulk-synchronous recursive driver the tiled
-// schedule also moves fewer bytes at small tile counts: the resident tile
-// skips one host round trip per step and R rows leave the device directly
-// (see bench/tiled_qr_lookahead, BENCH_tiled_qr.json).
+// The tiled driver splits the matrix into full-height column tiles of
+// opts.blocksize. Step k streams every trailing tile A_j through the device
+// and applies the block-MGS update R_kj = Q_k^T A_j; A_j -= Q_k R_kj —
+// except tile k+1, which stays device-resident and factors in place the
+// moment its own update lands (`panel_qr_device`). Expressed as a task
+// graph, panel k+1's factorization carries a smaller priority key than step
+// k's remaining far-tile updates, so it enqueues — and on the FIFO compute
+// engine runs — while those updates are still moving in and draining out:
+// the lookahead of Buttari et al. ("Parallel Tiled QR Factorization for
+// Multicore Architectures"). Versus the bulk-synchronous recursive driver
+// the tiled schedule also moves fewer bytes at small tile counts: the
+// resident tile skips one host round trip per step and R rows leave the
+// device directly (see bench/tiled_qr_lookahead, BENCH_tiled_qr.json).
 //
-// Checkpoints use driver tag "tiled"; unit u = "tiles 0..u-1 factored, with
-// the trailing updates of steps 0..u-2 applied to host A". With a sink
-// installed the graph runs in per-step segments so every boundary is a
-// consistent snapshot; resume (qr::resume) restores the host arrays,
-// stages Q_{u-1} back onto the device and replays from step u-1 —
-// bit-identical, pinned by tests/qr_tiled_test.cpp.
+// `run_batch` fuses SEVERAL factorizations — tiled, blocking, or
+// left-looking, mixed freely — into ONE task graph on one device: every
+// job's algorithm is expressed as a node program over the shared
+// three-stream schedule, so one job's transfers overlap another's computes
+// regardless of algorithm. The blocking and left-looking programs perform
+// bitwise the same arithmetic as their solo SlabPipeline drivers (same
+// GEMM operand precisions and k-extents, elementwise fp16 conversions), so
+// a job preempted from a batch resumes solo — or vice versa — with
+// bit-identical results (pinned by tests/qr_mixed_batch_test.cpp).
+//
+// Checkpoints use the per-algorithm driver tags ("tiled", "blocking",
+// "left"). Tiled unit u = "tiles 0..u-1 factored, with the trailing
+// updates of steps 0..u-2 applied to host A"; blocking unit u = "u panels
+// factored and their trailing updates applied"; left-looking unit u =
+// "u panels projected and factored". With a sink installed the graph runs
+// in per-round segments so every boundary is a consistent snapshot; resume
+// (qr::resume, or a new batch with opts.resume_units) restores the host
+// arrays and replays from the boundary — bit-identical, pinned by
+// tests/qr_tiled_test.cpp and tests/qr_mixed_batch_test.cpp.
 #pragma once
 
 #include <string>
@@ -30,10 +44,13 @@
 
 namespace rocqr::qr::detail {
 
-/// One factorization of a colocated tiled batch. `label` prefixes every
-/// trace op name ("j0." ...), which is how per-job stats are attributed
-/// when several jobs share one device (serve multi-tenancy).
-struct TiledJob {
+/// One factorization of a colocated batch. `algorithm` selects the node
+/// program ("tiled", "blocking", or "left" — the qr::Algorithm string tags
+/// of the single-device drivers). `label` prefixes every trace op name
+/// ("j0." ...), which is how per-job stats are attributed when several
+/// jobs share one device (serve multi-tenancy).
+struct BatchJob {
+  std::string algorithm;
   sim::HostMutRef a;
   sim::HostMutRef r;
   QrOptions opts;
@@ -46,12 +63,11 @@ struct TiledJob {
 /// retry / ABFT configuration comes from jobs[0].opts — colocated jobs
 /// must agree on precision and fault knobs (serve builds them from one
 /// ServeConfig). Returns per-job stats (trace window filtered by each
-/// job's label). Internal entry — solo callers go through qr::factorize
-/// (Algorithm::Tiled).
-std::vector<QrStats> run_tiled_batch(sim::Device& dev,
-                                     const std::vector<TiledJob>& jobs);
+/// job's label). Internal entry — solo callers go through qr::factorize.
+std::vector<QrStats> run_batch(sim::Device& dev,
+                               const std::vector<BatchJob>& jobs);
 
-/// Single-job convenience wrapper around run_tiled_batch.
+/// Single-job convenience wrapper around run_batch's tiled program.
 QrStats run_tiled(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
                   const QrOptions& opts);
 

@@ -403,9 +403,4 @@ QrStats run_tsqr(const std::vector<Device*>& devices, HostMutRef a,
 
 } // namespace detail
 
-QrStats tsqr_ooc_qr(const std::vector<Device*>& devices, HostMutRef a,
-                    HostMutRef r, const QrOptions& opts) {
-  return detail::run_tsqr(devices, a, r, opts, nullptr, 0);
-}
-
 } // namespace rocqr::qr

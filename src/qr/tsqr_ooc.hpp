@@ -16,7 +16,7 @@
 // Checkpoint/preemption boundaries sit at leaf-factorization granularity:
 // with a CheckpointSink installed, the driver snapshots A plus the stacked
 // R workspace after every completed leaf under the "tsqr" driver tag, and
-// qr::resume_ooc_qr (fleet overload, checkpoint.hpp) replays the schedule
+// qr::resume (factorize.hpp) replays the schedule
 // skipping the completed leaves — bit-identical to an uninterrupted run,
 // because leaves are independent and the tree/reconstruction always runs
 // after the last leaf on identical inputs.
@@ -29,23 +29,9 @@
 
 namespace rocqr::qr {
 
-/// Factors the host matrix `a` (m x n, m >= n) across `devices`: on return
-/// `a` holds Q and `r` (n x n) the upper-triangular R. Row blocks are split
-/// evenly over min(devices, m/n) leaves (every leaf keeps at least n rows;
-/// a short tail is absorbed into the last leaf). opts.blocksize is the leaf
-/// driver's panel width and the reconstruction sweep's row-slab width;
-/// opts.checkpoint_sink/checkpoint_every install per-leaf checkpoints with
-/// driver tag "tsqr"; opts.resume_units skips that many completed leaves
-/// (set via qr::resume). Phantom refs allowed in Phantom mode.
-[[deprecated("use qr::factorize(QrProblem) with Algorithm::Tsqr — see "
-             "docs/API.md")]]
-QrStats tsqr_ooc_qr(const std::vector<sim::Device*>& devices,
-                    sim::HostMutRef a, sim::HostMutRef r,
-                    const QrOptions& opts);
-
 namespace detail {
 
-/// Resume-capable entry used by the fleet qr::resume_ooc_qr overload:
+/// Resume-capable entry used by qr::resume's "tsqr" dispatch:
 /// `resume_r_stack`, when non-null, is the checkpointed stacked R workspace
 /// (leaves*n x n column-major floats) restoring the R factors of the
 /// opts.resume_units already-completed leaves. Real-mode resumes with

@@ -64,9 +64,18 @@ std::vector<float> snapshot_host(sim::HostMutRef src) {
   return out;
 }
 
+/// Algorithms the colocation packer may fuse into one task graph:
+/// single-device node programs of qr::detail::run_batch. TSQR gangs and
+/// the fleet-parallel drivers keep whole-device (or whole-fleet)
+/// ownership.
+bool colocatable_algorithm(const std::string& algorithm) {
+  return algorithm == "tiled" || algorithm == "blocking" ||
+         algorithm == "left";
+}
+
 /// Inverse of snapshot_host: writes a checkpoint payload back into the
 /// job's host ref (no-op for phantom refs). The colocated batch path
-/// restores here because qr::detail::run_tiled_batch — unlike qr::resume —
+/// restores here because qr::detail::run_batch — unlike qr::resume —
 /// takes already-restored host data plus per-job resume_units.
 void restore_host(sim::HostMutRef dst, const std::vector<float>& src) {
   if (dst.data == nullptr) return;
@@ -137,7 +146,7 @@ struct Scheduler::Job {
   bool has_checkpoint = false;
   /// Latest consistent state: the initial snapshot before the first
   /// dispatch, then every checkpoint the driver writes. All attempts start
-  /// from here via qr::resume (or, colocated, run_tiled_batch with
+  /// from here via qr::resume (or, colocated, run_batch with
   /// resume_units).
   qr::Checkpoint checkpoint;
   qr::QrStats stats{};
@@ -452,7 +461,8 @@ void Scheduler::requote_outstanding_locked() {
                job.spec.deadline_seconds) {
       shed_locked(job,
                   "load-shed after device loss: " +
-                      std::to_string(job.stats.total_seconds + d.predicted_seconds) +
+                      std::to_string(job.stats.total_seconds +
+                                     d.predicted_seconds) +
                       "s predicted on " + std::to_string(alive) +
                       " surviving device(s) exceeds the " +
                       std::to_string(job.spec.deadline_seconds) + "s deadline");
@@ -663,16 +673,17 @@ void Scheduler::worker(int device_index) {
         cv_.wait(lk);
       }
       batch.push_back(job);
-      if (!job->gang && job->spec.algorithm == "tiled" &&
+      if (!job->gang && colocatable_algorithm(job->spec.algorithm) &&
           job->spec.deadline_seconds <= 0 && cfg_.max_colocated_jobs > 1) {
-        // DAG multi-tenancy: claim further ready tiled jobs for the same
-        // device while their summed predicted peaks fit the admission
-        // budget. They run as one task graph (run_tiled_batch), so they
-        // must share the primary's precision (the graph-level knobs come
-        // from one options set). Only pack when the queue outnumbers the
-        // idle devices — with a free device per ready job, exclusive
-        // ownership is strictly faster — and leave deadline jobs alone
-        // (their admission prediction assumed a dedicated device).
+        // DAG multi-tenancy: claim further ready single-device jobs
+        // (tiled, blocking, or left — mixed freely) for the same device
+        // while their summed predicted peaks fit the admission budget.
+        // They run as one task graph (run_batch), so they must share the
+        // primary's precision (the graph-level knobs come from one options
+        // set). Only pack when the queue outnumbers the idle devices —
+        // with a free device per ready job, exclusive ownership is
+        // strictly faster — and leave deadline jobs alone (their admission
+        // prediction assumed a dedicated device).
         int ready_jobs = 0;
         for (const auto& up : jobs_) {
           const Job& j = *up;
@@ -694,7 +705,9 @@ void Scheduler::worker(int device_index) {
             break;
           }
           Job& extra = *up;
-          if (&extra == job || extra.spec.algorithm != "tiled") continue;
+          if (&extra == job || !colocatable_algorithm(extra.spec.algorithm)) {
+            continue;
+          }
           if (extra.spec.deadline_seconds > 0) continue;
           const bool ready =
               (extra.state == JobState::Queued && extra.arrived) ||
@@ -879,9 +892,9 @@ void Scheduler::run_colocated_attempt(int device_index,
   // Per-job sinks: each member checkpoints (and can be preempted) under
   // its own identity even though all of them share one task graph.
   std::vector<std::unique_ptr<PreemptSink>> sinks;
-  std::vector<qr::detail::TiledJob> tjobs;
+  std::vector<qr::detail::BatchJob> bjobs;
   sinks.reserve(batch.size());
-  tjobs.reserve(batch.size());
+  bjobs.reserve(batch.size());
   std::string names;
   for (Job* member : batch) {
     Job& job = *member;
@@ -912,7 +925,7 @@ void Scheduler::run_colocated_attempt(int device_index,
       job.watch_from.assign(1, window);
       start = job.checkpoint;
     }
-    // run_tiled_batch expects restored host data + resume_units (the batch
+    // run_batch expects restored host data + resume_units (the batch
     // equivalent of what qr::resume does for a solo job).
     if (a.data != nullptr) {
       restore_host(a, start.a);
@@ -925,14 +938,15 @@ void Scheduler::run_colocated_attempt(int device_index,
     opts.checkpoint_sink = sinks.back().get();
     opts.checkpoint_every = cfg_.checkpoint_every;
     opts.resume_units = start.units_done;
-    tjobs.push_back(qr::detail::TiledJob{
-        a, r, opts, "j" + std::to_string(job.id) + "."});
+    bjobs.push_back(qr::detail::BatchJob{
+        job.spec.algorithm, a, r, opts,
+        "j" + std::to_string(job.id) + "."});
     names += (names.empty() ? "" : "+") + job.spec.name;
   }
 
   try {
     sim::TraceSpan span(dev, "serve.batch " + names);
-    qr::detail::run_tiled_batch(dev, tjobs);
+    qr::detail::run_batch(dev, bjobs);
     finish_colocated_attempt(batch, window, device_index,
                              JobState::Completed, "", AttemptOutcome::Clean);
   } catch (const PreemptRequest&) {

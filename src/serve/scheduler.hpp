@@ -20,18 +20,20 @@
 // same way: a failed attempt retries from the job's latest checkpoint up
 // to max_job_retries times.
 //
-// Jobs with algorithm "tiled" can be *colocated*: when
-// max_colocated_jobs > 1 and the ready queue outnumbers the idle devices,
-// a worker that picks a tiled job also claims up to that many further
-// ready deadline-free tiled jobs (same precision, combined predicted
-// peaks within the admission budget) and dispatches them as ONE
-// task graph via qr::detail::run_tiled_batch — their move-in / compute /
+// Single-device jobs (algorithms "tiled", "blocking", "left" — mixed
+// freely) can be *colocated*: when max_colocated_jobs > 1 and the ready
+// queue outnumbers the idle devices, a worker that picks such a job also
+// claims up to that many further ready deadline-free single-device jobs
+// (same precision, combined predicted peaks within the admission budget)
+// and dispatches them as ONE task graph via qr::detail::run_batch — each
+// algorithm lowers to its own node program, and their move-in / compute /
 // move-out nodes interleave on the device's three engines, so one job's
 // transfers overlap another's computes (DAG multi-tenancy instead of
 // whole-device ownership). Per-job stats come from the shared trace
 // window filtered by each job's "j<id>." op-name prefix. A preemption or
 // fault unwinds the whole batch; every member requeues from its own
-// latest checkpoint and resumes bit-identically.
+// latest checkpoint and resumes bit-identically — the batch programs'
+// arithmetic matches the solo drivers' bit for bit.
 //
 // Jobs with algorithm "tsqr" are *gang-scheduled*: one job acquires every
 // device in the fleet atomically and runs the TSQR driver across them.
@@ -96,8 +98,9 @@ struct ServeConfig {
   /// Admission head-room: reject jobs predicted to exceed this fraction of
   /// device memory.
   double admission_memory_fraction = 1.0;
-  /// Maximum "tiled" jobs colocated on one device as a single task graph
-  /// (DAG multi-tenancy). 1 = every job owns its device exclusively.
+  /// Maximum single-device jobs (tiled/blocking/left) colocated on one
+  /// device as a single task graph (DAG multi-tenancy). 1 = every job owns
+  /// its device exclusively.
   /// Colocated extras must match the primary's precision and their summed
   /// predicted peaks must fit the admission budget.
   int max_colocated_jobs = 1;

@@ -1,0 +1,306 @@
+// Mixed-algorithm colocation through qr::detail::run_batch: Tiled,
+// Blocking and LeftLooking jobs fused into one per-device task graph.
+// Pins the batch-vs-solo bitwise numerics contract for every algorithm,
+// the colocated-makespan win over serial execution, per-job stats
+// attribution, and checkpoint-boundary preemption with bit-identical
+// resume through qr::resume.
+#include <gtest/gtest.h>
+
+#include "leak_check.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "qr/checkpoint.hpp"
+#include "qr/factorize.hpp"
+#include "qr/tiled_qr.hpp"
+#include "sim/device.hpp"
+
+namespace rocqr {
+namespace {
+
+using sim::Device;
+using sim::ExecutionMode;
+
+sim::DeviceSpec test_spec(bytes_t capacity = 512LL << 20) {
+  sim::DeviceSpec s = sim::DeviceSpec::v100_32gb();
+  s.memory_capacity = capacity;
+  return s;
+}
+
+qr::QrOptions base_options(index_t blocksize) {
+  qr::QrOptions opts;
+  opts.blocksize = blocksize;
+  opts.panel_base = 8;
+  opts.precision = blas::GemmPrecision::FP32;
+  return opts;
+}
+
+bool bitwise_equal(const la::Matrix& x, const la::Matrix& y) {
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      if (x(i, j) != y(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+struct SoloRun {
+  la::Matrix q;
+  la::Matrix r;
+};
+
+/// Uninterrupted single-job reference through the public driver API.
+SoloRun run_solo(const la::Matrix& a, qr::Algorithm alg,
+                 const qr::QrOptions& opts) {
+  Device dev(test_spec(), ExecutionMode::Real);
+  SoloRun run{la::materialize(a.view()), la::Matrix(a.cols(), a.cols())};
+  qr::QrProblem p{{&dev}, run.q.view(), run.r.view(), alg, opts};
+  qr::factorize(p);
+  return run;
+}
+
+class MixedBatchSoloEquivalence
+    : public ::testing::TestWithParam<std::pair<const char*, qr::Algorithm>> {
+};
+
+TEST_P(MixedBatchSoloEquivalence, SingleJobBatchMatchesSoloBitwise) {
+  // run_batch's node program for each algorithm issues the same GEMMs with
+  // the same k-extents as the solo driver, so a one-job batch must
+  // reproduce the solo factorization bit for bit — not approximately.
+  const auto [name, alg] = GetParam();
+  const index_t m = 96, n = 48;
+  la::Matrix a = la::random_normal(m, n, 301);
+  const qr::QrOptions opts = base_options(16);
+  const SoloRun ref = run_solo(a, alg, opts);
+
+  la::Matrix q = la::materialize(a.view());
+  la::Matrix r(n, n);
+  Device dev(test_spec(), ExecutionMode::Real);
+  qr::detail::run_batch(dev,
+                        {qr::detail::BatchJob{name, q.view(), r.view(), opts,
+                                              "j0."}});
+  EXPECT_TRUE(bitwise_equal(q, ref.q)) << name;
+  EXPECT_TRUE(bitwise_equal(r, ref.r)) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, MixedBatchSoloEquivalence,
+    ::testing::Values(std::pair<const char*, qr::Algorithm>{
+                          "tiled", qr::Algorithm::Tiled},
+                      std::pair<const char*, qr::Algorithm>{
+                          "blocking", qr::Algorithm::Blocking},
+                      std::pair<const char*, qr::Algorithm>{
+                          "left", qr::Algorithm::LeftLooking}));
+
+TEST(MixedBatch, ColocationDoesNotPerturbAnyJobsNumerics) {
+  // The strong form of the contract: colocated with *other* algorithms'
+  // interleaved nodes, each job still matches its solo run bitwise —
+  // interleaving reorders independent operations, never an accumulation.
+  const index_t m = 96;
+  la::Matrix a0 = la::random_normal(m, 48, 311);
+  la::Matrix a1 = la::random_normal(m, 64, 312);
+  la::Matrix a2 = la::random_normal(m, 32, 313);
+  const qr::QrOptions opts = base_options(16);
+  const SoloRun ref0 = run_solo(a0, qr::Algorithm::Tiled, opts);
+  const SoloRun ref1 = run_solo(a1, qr::Algorithm::Blocking, opts);
+  const SoloRun ref2 = run_solo(a2, qr::Algorithm::LeftLooking, opts);
+
+  la::Matrix q0 = la::materialize(a0.view()), r0(48, 48);
+  la::Matrix q1 = la::materialize(a1.view()), r1(64, 64);
+  la::Matrix q2 = la::materialize(a2.view()), r2(32, 32);
+  Device dev(test_spec(), ExecutionMode::Real);
+  const std::vector<qr::QrStats> stats = qr::detail::run_batch(
+      dev,
+      {qr::detail::BatchJob{"tiled", q0.view(), r0.view(), opts, "j0."},
+       qr::detail::BatchJob{"blocking", q1.view(), r1.view(), opts, "j1."},
+       qr::detail::BatchJob{"left", q2.view(), r2.view(), opts, "j2."}});
+  EXPECT_EQ(dev.live_allocations(), 0);
+
+  EXPECT_TRUE(bitwise_equal(q0, ref0.q));
+  EXPECT_TRUE(bitwise_equal(r0, ref0.r));
+  EXPECT_TRUE(bitwise_equal(q1, ref1.q));
+  EXPECT_TRUE(bitwise_equal(r1, ref1.r));
+  EXPECT_TRUE(bitwise_equal(q2, ref2.q));
+  EXPECT_TRUE(bitwise_equal(r2, ref2.r));
+
+  // Per-job attribution: the label prefix splits the shared trace.
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].panels, 3); // 48 cols at b=16
+  EXPECT_EQ(stats[1].panels, 4); // 64 cols at b=16
+  EXPECT_EQ(stats[2].panels, 2); // 32 cols at b=16
+  for (const qr::QrStats& s : stats) {
+    EXPECT_GT(s.bytes_h2d, 0);
+    EXPECT_GT(s.total_seconds, 0.0);
+  }
+}
+
+TEST(MixedBatch, ColocatedTiledPlusBlockingBeatsSerial) {
+  // The point of mixed colocation: one job's transfers overlap the other's
+  // compute, so the fused graph's makespan beats running the two jobs back
+  // to back on the same device.
+  qr::QrOptions opts;
+  opts.blocksize = 1 << 12;
+
+  const auto solo = [&](const char* algorithm) {
+    Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+    auto a = sim::HostMutRef::phantom(1 << 15, 1 << 14);
+    auto r = sim::HostMutRef::phantom(1 << 14, 1 << 14);
+    qr::detail::run_batch(
+        dev, {qr::detail::BatchJob{algorithm, a, r, opts, ""}});
+    dev.synchronize();
+    return dev.makespan();
+  };
+  const double serial = solo("tiled") + solo("blocking");
+
+  Device dev(sim::DeviceSpec::v100_32gb(), ExecutionMode::Phantom);
+  auto a0 = sim::HostMutRef::phantom(1 << 15, 1 << 14);
+  auto r0 = sim::HostMutRef::phantom(1 << 14, 1 << 14);
+  auto a1 = sim::HostMutRef::phantom(1 << 15, 1 << 14);
+  auto r1 = sim::HostMutRef::phantom(1 << 14, 1 << 14);
+  qr::detail::run_batch(
+      dev, {qr::detail::BatchJob{"tiled", a0, r0, opts, "j0."},
+            qr::detail::BatchJob{"blocking", a1, r1, opts, "j1."}});
+  dev.synchronize();
+  const double colocated = dev.makespan();
+
+  EXPECT_LT(colocated, serial);
+}
+
+/// Models serve::Scheduler's preemption: the sink that raises out of the
+/// driver at a checkpoint boundary, after the snapshot has been taken.
+struct PreemptAfter : qr::CheckpointSink {
+  explicit PreemptAfter(int limit) : limit_(limit) {}
+  void write(const qr::Checkpoint& cp) override {
+    last = cp;
+    if (++count >= limit_) throw std::runtime_error("preempted");
+  }
+  qr::Checkpoint last;
+  int count = 0;
+
+ private:
+  int limit_;
+};
+
+TEST(MixedBatch, PreemptAtCheckpointBoundaryResumesBitIdentical) {
+  // A blocking job colocated with a tiled job is preempted at its first
+  // checkpoint boundary; resuming the snapshot solo through qr::resume
+  // must land on the uninterrupted solo result bit for bit — the batch
+  // prefix and the solo suffix compose exactly.
+  const index_t m = 96, n = 64;
+  la::Matrix a0 = la::random_normal(m, n, 321);     // blocking, preempted
+  la::Matrix a1 = la::random_normal(m, 48, 322);    // tiled, along for the ride
+  const qr::QrOptions opts = base_options(16);
+  const SoloRun ref = run_solo(a0, qr::Algorithm::Blocking, opts);
+
+  PreemptAfter sink(2); // let two panels land, preempt at the second
+  qr::QrOptions cp_opts = opts;
+  cp_opts.checkpoint_sink = &sink;
+  la::Matrix q0 = la::materialize(a0.view()), r0(n, n);
+  la::Matrix q1 = la::materialize(a1.view()), r1(48, 48);
+  {
+    Device dev(test_spec(), ExecutionMode::Real);
+    EXPECT_THROW(
+        qr::detail::run_batch(
+            dev,
+            {qr::detail::BatchJob{"blocking", q0.view(), r0.view(), cp_opts,
+                                  "j0."},
+             qr::detail::BatchJob{"tiled", q1.view(), r1.view(), opts,
+                                  "j1."}}),
+        std::runtime_error);
+  }
+  ASSERT_EQ(sink.count, 2);
+  EXPECT_EQ(sink.last.driver, "blocking");
+  EXPECT_EQ(sink.last.units_done, 2);
+
+  la::Matrix q_res(m, n), r_res(n, n);
+  Device dev(test_spec(), ExecutionMode::Real);
+  qr::QrProblem p{{&dev}, q_res.view(), r_res.view(), qr::Algorithm::Blocking,
+                  opts};
+  qr::resume(p, sink.last);
+  EXPECT_TRUE(bitwise_equal(q_res, ref.q));
+  EXPECT_TRUE(bitwise_equal(r_res, ref.r));
+}
+
+TEST(MixedBatch, ResumeUnitsSkipsTheCompletedPrefixInBatch) {
+  // The other direction of the serve flow: a checkpointed solo job is
+  // re-dispatched *into* a colocated batch with resume_units set; the
+  // batch replays only the remaining panels and finishes bit-identically.
+  const index_t m = 96, n = 64;
+  la::Matrix a0 = la::random_normal(m, n, 331);
+  la::Matrix a1 = la::random_normal(m, 32, 332);
+  const qr::QrOptions opts = base_options(16);
+  const SoloRun ref = run_solo(a0, qr::Algorithm::Blocking, opts);
+
+  struct KeepAll : qr::CheckpointSink {
+    void write(const qr::Checkpoint& cp) override { all.push_back(cp); }
+    std::vector<qr::Checkpoint> all;
+  } sink;
+  qr::QrOptions cp_opts = opts;
+  cp_opts.checkpoint_sink = &sink;
+  cp_opts.checkpoint_every = 2;
+  {
+    la::Matrix q = la::materialize(a0.view()), r(n, n);
+    Device dev(test_spec(), ExecutionMode::Real);
+    qr::QrProblem p{{&dev}, q.view(), r.view(), qr::Algorithm::Blocking,
+                    cp_opts};
+    qr::factorize(p);
+  }
+  ASSERT_GE(sink.all.size(), 2u); // units 2 and 4 at checkpoint_every=2
+  const qr::Checkpoint& cp = sink.all.front(); // a strict prefix: 2 of 4
+  ASSERT_EQ(cp.units_done, 2);
+
+  // Restore the host prefix exactly as serve::restore_host does, then
+  // hand the job to a mixed batch with resume_units.
+  la::Matrix q0(m, n), r0(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      q0(i, j) = cp.a[static_cast<size_t>(i) + static_cast<size_t>(j) * m];
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      r0(i, j) = cp.r[static_cast<size_t>(i) + static_cast<size_t>(j) * n];
+    }
+  }
+  qr::QrOptions res_opts = opts;
+  res_opts.resume_units = cp.units_done;
+  la::Matrix q1 = la::materialize(a1.view()), r1(32, 32);
+  Device dev(test_spec(), ExecutionMode::Real);
+  qr::detail::run_batch(
+      dev, {qr::detail::BatchJob{"blocking", q0.view(), r0.view(), res_opts,
+                                 "j0."},
+            qr::detail::BatchJob{"tiled", q1.view(), r1.view(), opts,
+                                 "j1."}});
+  EXPECT_TRUE(bitwise_equal(q0, ref.q));
+  EXPECT_TRUE(bitwise_equal(r0, ref.r));
+  EXPECT_LT(la::qr_residual(a1.view(), q1.view(), r1.view()), 1e-4);
+}
+
+TEST(MixedBatch, RejectsUnknownAlgorithmAndMixedPrecision) {
+  Device dev(test_spec(), ExecutionMode::Phantom);
+  auto a = sim::HostMutRef::phantom(64, 32);
+  auto r = sim::HostMutRef::phantom(32, 32);
+  const qr::QrOptions opts = base_options(16);
+
+  // No node program lowers the fleet/recursive drivers (yet).
+  EXPECT_THROW(qr::detail::run_batch(
+                   dev, {qr::detail::BatchJob{"recursive", a, r, opts, ""}}),
+               InvalidArgument);
+
+  // Colocated jobs share one graph and therefore one gemm precision.
+  qr::QrOptions fp16 = opts;
+  fp16.precision = blas::GemmPrecision::FP16_FP32;
+  EXPECT_THROW(
+      qr::detail::run_batch(
+          dev, {qr::detail::BatchJob{"tiled", a, r, opts, "j0."},
+                qr::detail::BatchJob{"tiled", a, r, fp16, "j1."}}),
+      InvalidArgument);
+}
+
+} // namespace
+} // namespace rocqr

@@ -142,9 +142,10 @@ TEST(TiledQr, ColocatedBatchAttributesStatsPerJob) {
 
   Device dev(test_spec(), ExecutionMode::Real);
   qr::QrOptions opts = base_options(16);
-  const std::vector<qr::QrStats> stats = qr::detail::run_tiled_batch(
-      dev, {qr::detail::TiledJob{q0.view(), r0.view(), opts, "j0."},
-            qr::detail::TiledJob{q1.view(), r1.view(), opts, "j1."}});
+  const std::vector<qr::QrStats> stats = qr::detail::run_batch(
+      dev,
+      {qr::detail::BatchJob{"tiled", q0.view(), r0.view(), opts, "j0."},
+       qr::detail::BatchJob{"tiled", q1.view(), r1.view(), opts, "j1."}});
 
   ASSERT_EQ(stats.size(), 2u);
   EXPECT_EQ(stats[0].panels, 3); // 48 cols at b=16
@@ -169,9 +170,9 @@ TEST(TiledQr, BatchInterleavesJobsOnTheComputeEngine) {
   auto r0 = sim::HostMutRef::phantom(1 << 14, 1 << 14);
   auto a1 = sim::HostMutRef::phantom(1 << 15, 1 << 14);
   auto r1 = sim::HostMutRef::phantom(1 << 14, 1 << 14);
-  qr::detail::run_tiled_batch(
-      dev, {qr::detail::TiledJob{a0, r0, opts, "j0."},
-            qr::detail::TiledJob{a1, r1, opts, "j1."}});
+  qr::detail::run_batch(
+      dev, {qr::detail::BatchJob{"tiled", a0, r0, opts, "j0."},
+            qr::detail::BatchJob{"tiled", a1, r1, opts, "j1."}});
 
   const auto& events = dev.trace().events();
   size_t first_j1_compute = 0, last_j0_compute = 0;

@@ -4,7 +4,8 @@
 //   rocqr_cli qr    [--algo recursive|blocking|left|tiled] [--m N] [--n N]
 //                   [--blocksize B] [--device NAME] [--capacity-gib G]
 //                   [--pageable] [--no-qr-opt] [--no-staging] [--ramp]
-//                   [--fp32] [--timeline] [--csv FILE] [--chrome FILE]
+//                   [--fp32] [--timeline] [--explain-plan[=dot]]
+//                   [--csv FILE] [--chrome FILE]
 //   rocqr_cli lu    (same flags; square matrices)
 //   rocqr_cli chol  (same flags; square SPD)
 //   rocqr_cli tsqr  [--devices N] [--shared-link] [--m N] [--n N] ...
@@ -29,6 +30,7 @@
 #include "la/matrix.hpp"
 #include "lu/ooc_cholesky.hpp"
 #include "lu/ooc_lu.hpp"
+#include "ooc/gemm_engines.hpp"
 #include "qr/autotune.hpp"
 #include "qr/checkpoint.hpp"
 #include "qr/factorize.hpp"
@@ -93,6 +95,19 @@ Args parse(int argc, char** argv) {
                                        "failure-threshold"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
+    // --explain-plan is a flag with an optional =dot mode.
+    if (token == "explain-plan") {
+      if (has_inline && inline_value != "dot") {
+        std::cerr << "--explain-plan only accepts the 'dot' mode\n";
+        std::exit(2);
+      }
+      if (has_inline) {
+        args.values[token] = inline_value;
+      } else {
+        args.flags.push_back(token);
+      }
+      continue;
+    }
     if (takes_value) {
       if (has_inline) {
         args.values[token] = inline_value;
@@ -190,8 +205,13 @@ int run_factorization(const Args& args) {
             << args.value("algo", "recursive") << ", b=" << blocksize << "\n";
 
   if (args.command == "qr") {
+    const bool explain = args.has_flag("explain-plan") ||
+                         args.values.count("explain-plan") != 0;
+    const bool explain_dot = args.value("explain-plan", "") == "dot";
+    ooc::PlanLog plan_log;
     qr::QrOptions opts;
     opts.blocksize = blocksize;
+    if (explain) opts.plan_log = &plan_log;
     opts.qr_level_opt = !args.has_flag("no-qr-opt");
     opts.staging_buffer = !args.has_flag("no-staging");
     opts.ramp_up = args.has_flag("ramp");
@@ -227,6 +247,11 @@ int run_factorization(const Args& args) {
       stats = qr::factorize(problem);
     }
     print_stats("QR", stats);
+    if (explain) {
+      std::cout << "\nLowered task graphs (--explain-plan"
+                << (explain_dot ? "=dot" : "") << "):\n"
+                << (explain_dot ? plan_log.dot : plan_log.text);
+    }
   } else {
     lu::FactorOptions opts;
     opts.blocksize = blocksize;
@@ -477,6 +502,9 @@ common options:
   --pageable                  pageable host buffers (half link rate)
   --no-qr-opt --no-staging --ramp --fp32
   --timeline                  print the per-engine Gantt chart
+  --explain-plan              print every task graph the driver lowered
+                              (node/edge/fence counts); --explain-plan=dot
+                              dumps them as Graphviz digraphs (QR only)
   --csv FILE --chrome FILE    export the trace
   --trace-json FILE           Chrome/Perfetto trace with engine, stream and
                               nested phase-span tracks (also --trace-json=FILE)
