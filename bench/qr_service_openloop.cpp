@@ -1,0 +1,174 @@
+// Open-loop arrival throughput of the batched small-QR serving path
+// (docs/SERVING.md "Batched small-QR coalescing").
+//
+// A flood of same-shape small "blocking" jobs arrives open-loop — job i's
+// arrival gate opens after i/4 fleet panel units, regardless of how fast
+// the fleet drains — so the ready queue outgrows the device and the
+// dispatcher's coalescer has real batches to fuse. The fleet is ONE
+// device: the win measured here is the per-round latency amortization
+// itself (small jobs pay a fixed ~10us link turnaround / ~8us kernel
+// launch per op, and fusing K jobs pays each once instead of K times),
+// not multi-device load balancing — which a trailing fused batch would
+// actually worsen by parking K jobs on one device while another idles.
+// Each mix runs the same arrival schedule at max_fused_jobs 1 (fusion
+// off), 4 and 8, and reports
+// fleet makespan, jobs/sec and the EXACT p50/p95/p99 simulated queue wait
+// from FleetReport (nearest-rank over the per-dispatch record — not the
+// power-of-two-bucket telemetry histogram, whose tails are off by up to
+// 2x). Everything is phantom-mode and simulated-clock, so the numbers are
+// deterministic: CI diffs them against the committed baseline
+// (BENCH_qr_openloop.json) with tools/bench_diff and fails loudly on a
+// throughput regression.
+//
+// Writes the sweep as JSON to argv[1], or ./BENCH_qr_openloop.json.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/telemetry.hpp"
+#include "report/table.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace rocqr;
+
+/// One job mix: `count` copies of an m x n "blocking" job at `blocksize`.
+/// Shapes must match for jobs to fuse, so the mixed scenario below splits
+/// into two shape classes and only fuses within each.
+struct MixPart {
+  int count = 0;
+  index_t m = 0;
+  index_t n = 0;
+  index_t blocksize = 0;
+};
+
+struct Mix {
+  std::string name;
+  std::vector<MixPart> parts;
+};
+
+struct Point {
+  int max_fused = 1;
+  int jobs = 0;
+  double makespan_seconds = 0;
+  double jobs_per_second = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+Point run_mix(const Mix& mix, int devices, int max_fused) {
+  // The registry is process-global; reset per point so no sweep point
+  // inherits the previous one's counters or histogram samples.
+  telemetry::MetricsRegistry::global().reset();
+  serve::ServeConfig cfg;
+  cfg.devices = devices;
+  cfg.max_fused_jobs = max_fused;
+  serve::Scheduler sched(cfg);
+
+  int id = 0;
+  for (const MixPart& part : mix.parts) {
+    for (int i = 0; i < part.count; ++i, ++id) {
+      serve::JobSpec job;
+      job.name = "job" + std::to_string(id);
+      job.m = part.m;
+      job.n = part.n;
+      job.algorithm = "blocking";
+      job.blocksize = part.blocksize;
+      // Open-loop arrival: the gate is a function of the job's index
+      // alone (4 arrivals per fleet panel unit), not of service progress.
+      job.arrival_after_units = static_cast<index_t>(id / 4);
+      const serve::AdmissionDecision d = sched.submit(job);
+      if (!d.admitted) {
+        std::cerr << job.name << " rejected: " << d.reason << "\n";
+        std::exit(1);
+      }
+    }
+  }
+
+  const serve::FleetReport rep = sched.run();
+  if (rep.jobs_completed != id) {
+    std::cerr << mix.name << ": only " << rep.jobs_completed << "/" << id
+              << " jobs completed\n";
+    std::exit(1);
+  }
+  Point p;
+  p.max_fused = max_fused;
+  p.jobs = id;
+  p.makespan_seconds = rep.makespan_seconds;
+  p.jobs_per_second =
+      rep.makespan_seconds > 0 ? id / rep.makespan_seconds : 0;
+  p.p50 = rep.queue_wait_p50;
+  p.p95 = rep.queue_wait_p95;
+  p.p99 = rep.queue_wait_p99;
+  return p;
+}
+
+std::string us(double seconds) {
+  return format_fixed(seconds * 1e6, 0) + " us";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_qr_openloop.json");
+  const int devices = 1;
+
+  // Small panel-rich jobs: at m=2048, b=64 one trailing-update transfer
+  // moves ~0.5 MiB (~40us on the paper link), so the fixed ~10us per-op
+  // latency is a large fraction and fusion has something to amortize.
+  const std::vector<Mix> mixes = {
+      {"uniform_small", {{24, 2048, 512, 64}}},
+      {"mixed_shapes", {{12, 2048, 512, 64}, {12, 4096, 1024, 128}}},
+  };
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n  \"bench\": \"qr_service_openloop\",\n"
+     << "  \"device\": \"V100-PCIe-32GB (phantom, paper calibration)\",\n"
+     << "  \"devices\": " << devices << ",\n"
+     << "  \"arrivals_per_unit\": 4,\n"
+     << "  \"mixes\": [\n";
+
+  for (size_t mi = 0; mi < mixes.size(); ++mi) {
+    const Mix& mix = mixes[mi];
+    bench::section("QR service open-loop — mix " + mix.name + ", " +
+                   std::to_string(devices) + " phantom V100s");
+    report::Table t("", {"max_fused", "jobs", "makespan", "jobs/sec",
+                         "wait p50", "wait p95", "wait p99"});
+    std::vector<Point> sweep;
+    for (const int max_fused : {1, 4, 8}) {
+      const Point p = run_mix(mix, devices, max_fused);
+      sweep.push_back(p);
+      t.add_row({std::to_string(p.max_fused), std::to_string(p.jobs),
+                 bench::ms(p.makespan_seconds),
+                 format_fixed(p.jobs_per_second, 1), us(p.p50), us(p.p95),
+                 us(p.p99)});
+    }
+    std::cout << t.render();
+
+    os << "    {\"mix\": \"" << mix.name << "\", \"jobs\": "
+       << sweep.front().jobs << ", \"sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const Point& p = sweep[i];
+      os << "      {\"max_fused_jobs\": " << p.max_fused
+         << ", \"makespan_seconds\": " << format_fixed(p.makespan_seconds, 6)
+         << ", \"jobs_per_second\": " << format_fixed(p.jobs_per_second, 3)
+         << ", \"queue_wait_p50_seconds\": " << format_fixed(p.p50, 6)
+         << ", \"queue_wait_p95_seconds\": " << format_fixed(p.p95, 6)
+         << ", \"queue_wait_p99_seconds\": " << format_fixed(p.p99, 6)
+         << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (mi + 1 < mixes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

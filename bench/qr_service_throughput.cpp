@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/telemetry.hpp"
 #include "report/table.hpp"
 #include "serve/scheduler.hpp"
 
@@ -35,6 +36,10 @@ struct SweepPoint {
 };
 
 SweepPoint run_batch(int jobs, int devices) {
+  // The registry is process-global: without a reset each sweep point would
+  // inherit the previous points' counters and histogram samples, skewing
+  // every cross-run metric (queue-wait quantiles most visibly).
+  telemetry::MetricsRegistry::global().reset();
   serve::ServeConfig cfg;
   cfg.devices = devices;
   serve::Scheduler sched(cfg);
@@ -77,6 +82,7 @@ struct ColocationPoint {
 };
 
 double run_tiled_batch(int jobs, int devices, int max_colocated) {
+  telemetry::MetricsRegistry::global().reset(); // one registry per point
   serve::ServeConfig cfg;
   cfg.devices = devices;
   cfg.max_colocated_jobs = max_colocated;

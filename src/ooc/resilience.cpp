@@ -122,6 +122,22 @@ void copy_d2h_retry(sim::Device& dev, sim::HostMutRef dst,
                  [&] { dev.copy_d2h(dst, src, s, name); });
 }
 
+void copy_h2d_batched_retry(sim::Device& dev,
+                            const std::vector<sim::Device::H2dBatchEntry>& es,
+                            sim::Stream s, const std::string& name,
+                            int max_attempts, double backoff_seconds) {
+  retry_transfer(dev, name, max_attempts, backoff_seconds,
+                 [&] { dev.copy_h2d_batched(es, s, name); });
+}
+
+void copy_d2h_batched_retry(sim::Device& dev,
+                            const std::vector<sim::Device::D2hBatchEntry>& es,
+                            sim::Stream s, const std::string& name,
+                            int max_attempts, double backoff_seconds) {
+  retry_transfer(dev, name, max_attempts, backoff_seconds,
+                 [&] { dev.copy_d2h_batched(es, s, name); });
+}
+
 void checked_gemm(sim::Device& dev, const OocGemmOptions& opts, blas::Op opa,
                   blas::Op opb, float alpha, sim::DeviceMatrixRef a,
                   sim::DeviceMatrixRef b, float beta, sim::DeviceMatrixRef c,

@@ -35,6 +35,18 @@ void copy_d2h_retry(sim::Device& dev, sim::HostMutRef dst,
                     const std::string& name, int max_attempts,
                     double backoff_seconds);
 
+/// Batched counterparts: one fused transfer is one fault site, so a
+/// transient failure aborts (and a retry replays) the whole batch.
+void copy_h2d_batched_retry(sim::Device& dev,
+                            const std::vector<sim::Device::H2dBatchEntry>& es,
+                            sim::Stream s, const std::string& name,
+                            int max_attempts, double backoff_seconds);
+
+void copy_d2h_batched_retry(sim::Device& dev,
+                            const std::vector<sim::Device::D2hBatchEntry>& es,
+                            sim::Stream s, const std::string& name,
+                            int max_attempts, double backoff_seconds);
+
 inline void copy_h2d_retry(sim::Device& dev, sim::DeviceMatrixRef dst,
                            sim::HostConstRef src, sim::Stream s,
                            const std::string& name,

@@ -45,12 +45,30 @@ void TaskCtx::h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
   detail::sync_if(g_.dev_, g_.opts_);
 }
 
+void TaskCtx::h2d_batched(
+    const std::vector<sim::Device::H2dBatchEntry>& entries,
+    const std::string& name) {
+  if (stage_ != TaskStage::MoveIn) wrong_stage(stage_, "h2d_batched");
+  detail::copy_h2d_batched_retry(g_.dev_, entries, g_.in_, name,
+                                 g_.opts_.transfer_max_attempts,
+                                 g_.opts_.transfer_backoff_seconds);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
 void TaskCtx::gemm(blas::Op opa, blas::Op opb, float alpha,
                    sim::DeviceMatrixRef a, sim::DeviceMatrixRef b, float beta,
                    sim::DeviceMatrixRef c, const std::string& name) {
   if (stage_ != TaskStage::Compute) wrong_stage(stage_, "gemm");
   detail::checked_gemm(g_.dev_, g_.opts_, opa, opb, alpha, a, b, beta, c,
                        g_.comp_, name);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+void TaskCtx::gemm_batched(
+    const std::vector<sim::Device::GemmBatchEntry>& entries,
+    const std::string& name) {
+  if (stage_ != TaskStage::Compute) wrong_stage(stage_, "gemm_batched");
+  g_.dev_.gemm_batched(entries, g_.opts_.precision, g_.comp_, name);
   detail::sync_if(g_.dev_, g_.opts_);
 }
 
@@ -70,6 +88,16 @@ void TaskCtx::d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
                   const std::string& name) {
   if (stage_ != TaskStage::MoveOut) wrong_stage(stage_, "d2h");
   detail::copy_d2h_retry(g_.dev_, dst, src, g_.out_, name, g_.opts_);
+  detail::sync_if(g_.dev_, g_.opts_);
+}
+
+void TaskCtx::d2h_batched(
+    const std::vector<sim::Device::D2hBatchEntry>& entries,
+    const std::string& name) {
+  if (stage_ != TaskStage::MoveOut) wrong_stage(stage_, "d2h_batched");
+  detail::copy_d2h_batched_retry(g_.dev_, entries, g_.out_, name,
+                                 g_.opts_.transfer_max_attempts,
+                                 g_.opts_.transfer_backoff_seconds);
   detail::sync_if(g_.dev_, g_.opts_);
 }
 

@@ -57,10 +57,18 @@ class TaskCtx {
   /// MoveIn: host-to-device transfer with retry + sync_if applied.
   void h2d(sim::DeviceMatrixRef dst, sim::HostConstRef src,
            const std::string& name);
+  /// MoveIn: fused transfer of K payloads in one link occupancy (batched
+  /// serving path). One fault site; a retry replays the whole batch.
+  void h2d_batched(const std::vector<sim::Device::H2dBatchEntry>& entries,
+                   const std::string& name);
   /// Compute: GEMM with the opt-in ABFT column-sum check.
   void gemm(blas::Op opa, blas::Op opb, float alpha, sim::DeviceMatrixRef a,
             sim::DeviceMatrixRef b, float beta, sim::DeviceMatrixRef c,
             const std::string& name);
+  /// Compute: block-diagonal batched GEMM (no ABFT — the batched serving
+  /// path rejects abft jobs up front).
+  void gemm_batched(const std::vector<sim::Device::GemmBatchEntry>& entries,
+                    const std::string& name);
   /// Compute: triangular solve.
   void trsm(sim::Device::TrsmKind kind, sim::DeviceMatrixRef tri,
             sim::DeviceMatrixRef b, const std::string& name);
@@ -70,6 +78,9 @@ class TaskCtx {
   /// MoveOut: device-to-host transfer with retry + sync_if applied.
   void d2h(sim::HostMutRef dst, sim::DeviceMatrixRef src,
            const std::string& name);
+  /// MoveOut: fused transfer of K payloads (symmetric to h2d_batched).
+  void d2h_batched(const std::vector<sim::Device::D2hBatchEntry>& entries,
+                   const std::string& name);
   /// Compute: records an event on the compute stream, fences the move-out
   /// stream on it, and enqueues the device-to-host copy there — the "drain
   /// an intermediate while compute continues" idiom of the recursive

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "qr/options.hpp"
 #include "sim/device.hpp"
@@ -22,5 +23,21 @@ void panel_qr_device(sim::Device& dev, sim::DeviceMatrixRef aq,
                      sim::DeviceMatrixRef r, sim::Stream stream,
                      const QrOptions& opts,
                      const std::string& name_prefix = "");
+
+/// One panel of a batched panel launch: the (m x w) panel block and its
+/// (w x w) R destination.
+struct PanelBatchEntry {
+  sim::DeviceMatrixRef aq;
+  sim::DeviceMatrixRef r;
+};
+
+/// Fused panel factorization of K same-shape panels in one compute-engine
+/// launch: one kernel latency amortized across the batch, per-entry numerics
+/// identical (and in entry order identical) to K solo panel_qr_device calls,
+/// so Real-mode results are bit-identical. All entries must share m and w.
+void panel_qr_device_batched(sim::Device& dev,
+                             const std::vector<PanelBatchEntry>& entries,
+                             sim::Stream stream, const QrOptions& opts,
+                             const std::string& name);
 
 } // namespace rocqr::qr

@@ -758,6 +758,290 @@ class LeftLookingProgram : public Program {
   std::vector<TaskId> emit_;
 };
 
+/// Rotating pool of K-wide buffer slots for the fused batch: one slot holds
+/// one buffer PER JOB (the jobs advance in lockstep, so a slot's K buffers
+/// are always acquired and released together), with the shared node-level
+/// WAR bookkeeping of SlotPool.
+struct FusedSlotPool {
+  std::vector<std::vector<ScopedMatrix>> slots; // [slot][job]
+
+  void add(std::vector<ScopedMatrix> per_job) {
+    slots.push_back(std::move(per_job));
+    last_uses_.emplace_back();
+  }
+  size_t acquire() {
+    const size_t s = next_;
+    next_ = (next_ + 1) % slots.size();
+    return s;
+  }
+  void depend(size_t s, std::vector<TaskId>& deps) const {
+    deps.insert(deps.end(), last_uses_[s].begin(), last_uses_[s].end());
+  }
+  void use(size_t s, std::vector<TaskId> ids) {
+    last_uses_[s] = std::move(ids);
+  }
+
+ private:
+  std::vector<std::vector<TaskId>> last_uses_;
+  size_t next_ = 0;
+};
+
+/// The fused-batch builder: BlockingProgram's exact node topology and
+/// priority keys, with every node body issuing ONE batched device op whose
+/// K entries are the solo bodies of the K jobs (see run_fused_batch in
+/// tiled_qr.hpp for the contract).
+class FusedBlocking {
+ public:
+  FusedBlocking(TaskGraph& graph, const std::vector<BatchJob>& jobs)
+      : g_(graph), jobs_(jobs), opts_(jobs.front().opts) {
+    m_ = jobs.front().a.rows;
+    n_ = jobs.front().a.cols;
+    ROCQR_CHECK(m_ >= n_ && n_ >= 1, "fused batch: need m >= n >= 1");
+    b_ = std::min(opts_.blocksize, n_);
+    panels_ = (n_ + b_ - 1) / b_;
+  }
+
+  index_t units_done() const { return units_; }
+  index_t columns_done() const { return std::min(units_ * b_, n_); }
+
+  /// K copies of BlockingProgram's working set, slot-pooled together.
+  void allocate(Device& dev) {
+    const StoragePrecision in_prec =
+        ooc::detail::input_storage(gemm_options(opts_));
+    const size_t nj = jobs_.size();
+    const auto pool = [&](FusedSlotPool& p, index_t slots, index_t rows,
+                          index_t cols, StoragePrecision prec,
+                          const char* role) {
+      for (index_t s = 0; s < slots; ++s) {
+        std::vector<ScopedMatrix> per_job;
+        per_job.reserve(nj);
+        for (size_t k = 0; k < nj; ++k) {
+          per_job.emplace_back(dev, rows, cols, prec,
+                               "fused " + std::string(role) + " " +
+                                   std::to_string(s) + "." +
+                                   std::to_string(k));
+        }
+        p.add(std::move(per_job));
+      }
+    };
+    pool(panel_, std::min<index_t>(2, panels_), m_, b_,
+         StoragePrecision::FP32, "panel");
+    pool(bstream_, std::min<index_t>(2, panels_ - 1), m_, b_, in_prec, "b");
+    pool(cstream_, std::min<index_t>(2, panels_ - 1), m_, b_,
+         StoragePrecision::FP32, "c");
+    pool(rtiles_, std::min<index_t>(4, panels_ + 1), b_, b_,
+         StoragePrecision::FP32, "r");
+  }
+
+  /// Resume positioning only (every job shares one resume_units — the
+  /// coalescer only fuses jobs at the same checkpoint boundary).
+  void begin() {
+    i_ = std::min(opts_.resume_units, panels_);
+    units_ = i_;
+  }
+
+  /// Adds fused panel iteration i: one batched move-in + batched panel
+  /// kernel + batched emit, then one batched inner/outer update pair per
+  /// trailing panel.
+  bool add_step() {
+    if (i_ >= panels_) return false;
+    const index_t i = i_;
+    const index_t w = width(i);
+    const std::int64_t p = prio(i, 0);
+
+    const size_t ps = static_cast<size_t>(i) % panel_.slots.size();
+    std::vector<DeviceMatrixRef> pd = slot_refs(panel_, ps, m_, w);
+    std::vector<TaskId> in_deps;
+    panel_.depend(ps, in_deps);
+    if (out_a_.count(i) > 0) in_deps.push_back(out_a_[i]);
+    const TaskId inp = g_.add(
+        TaskStage::MoveIn, "fused inP " + std::to_string(i),
+        [this, pd, i](TaskCtx& c) {
+          std::vector<sim::Device::H2dBatchEntry> es;
+          es.reserve(pd.size());
+          for (size_t k = 0; k < pd.size(); ++k) {
+            es.push_back({pd[k], host_panel_const(k, i)});
+          }
+          c.h2d_batched(es, "fused h2d panel " + std::to_string(i));
+        },
+        std::move(in_deps), p);
+
+    const size_t rs = rtiles_.acquire();
+    std::vector<DeviceMatrixRef> rii = slot_refs(rtiles_, rs, w, w);
+    std::vector<TaskId> fac_deps{inp};
+    rtiles_.depend(rs, fac_deps);
+    const TaskId fac = g_.add(
+        TaskStage::Compute, "fused fac " + std::to_string(i),
+        [this, pd, rii, w](TaskCtx& c) {
+          std::vector<PanelBatchEntry> es;
+          es.reserve(pd.size());
+          for (size_t k = 0; k < pd.size(); ++k) {
+            es.push_back({pd[k], rii[k]});
+          }
+          panel_qr_device_batched(c.device(), es, c.stream(), opts_,
+                                  "fused panel_qr " + std::to_string(m_) +
+                                      "x" + std::to_string(w) + " x" +
+                                      std::to_string(es.size()));
+        },
+        std::move(fac_deps), p);
+    const TaskId emit = g_.add(
+        TaskStage::MoveOut, "fused emit " + std::to_string(i),
+        [this, rii, pd, i, w](TaskCtx& c) {
+          std::vector<sim::Device::D2hBatchEntry> es;
+          es.reserve(2 * pd.size());
+          for (size_t k = 0; k < pd.size(); ++k) {
+            es.push_back({ooc::host_block(jobs_[k].r, offset(i), offset(i),
+                                          w, w),
+                          rii[k]});
+            es.push_back({host_panel(k, i), pd[k]});
+          }
+          c.d2h_batched(es, "fused d2h RiiQ " + std::to_string(i));
+        },
+        {fac}, p);
+    rtiles_.use(rs, {emit});
+    std::vector<TaskId> panel_readers{emit};
+
+    for (index_t j = i + 1; j < panels_; ++j) {
+      const index_t wj = width(j);
+      const std::int64_t pt = prio(i, 1);
+
+      const size_t bs = bstream_.acquire();
+      std::vector<DeviceMatrixRef> bd = slot_refs(bstream_, bs, m_, wj);
+      std::vector<TaskId> inb_deps;
+      bstream_.depend(bs, inb_deps);
+      if (out_a_.count(j) > 0) inb_deps.push_back(out_a_[j]);
+      const TaskId inb = g_.add(
+          TaskStage::MoveIn, "fused inB " + idx(i, j),
+          [this, bd, j](TaskCtx& c) {
+            std::vector<sim::Device::H2dBatchEntry> es;
+            es.reserve(bd.size());
+            for (size_t k = 0; k < bd.size(); ++k) {
+              es.push_back({bd[k], host_panel_const(k, j)});
+            }
+            c.h2d_batched(es, "fused h2d b " + std::to_string(j));
+          },
+          std::move(inb_deps), pt);
+
+      const size_t rs2 = rtiles_.acquire();
+      std::vector<DeviceMatrixRef> r12 = slot_refs(rtiles_, rs2, w, wj);
+      std::vector<TaskId> u1_deps{inb, fac};
+      rtiles_.depend(rs2, u1_deps);
+      const TaskId upd1 = g_.add(
+          TaskStage::Compute, "fused inner " + idx(i, j),
+          [this, pd, bd, r12, i, j](TaskCtx& c) {
+            std::vector<sim::Device::GemmBatchEntry> es;
+            es.reserve(pd.size());
+            for (size_t k = 0; k < pd.size(); ++k) {
+              es.push_back({blas::Op::Trans, blas::Op::NoTrans, 1.0f, pd[k],
+                            bd[k], 0.0f, r12[k]});
+            }
+            c.gemm_batched(es, "fused gemm qtb " + idx(i, j));
+          },
+          std::move(u1_deps), pt);
+      bstream_.use(bs, {upd1});
+      const TaskId outr = g_.add(
+          TaskStage::MoveOut, "fused outR " + idx(i, j),
+          [this, r12, i, j, w, wj](TaskCtx& c) {
+            std::vector<sim::Device::D2hBatchEntry> es;
+            es.reserve(r12.size());
+            for (size_t k = 0; k < r12.size(); ++k) {
+              es.push_back({ooc::host_block(jobs_[k].r, offset(i), offset(j),
+                                            w, wj),
+                            r12[k]});
+            }
+            c.d2h_batched(es, "fused d2h R " + idx(i, j));
+          },
+          {upd1}, pt);
+
+      const size_t cs = cstream_.acquire();
+      std::vector<DeviceMatrixRef> cd = slot_refs(cstream_, cs, m_, wj);
+      std::vector<TaskId> inc_deps;
+      cstream_.depend(cs, inc_deps);
+      if (out_a_.count(j) > 0) inc_deps.push_back(out_a_[j]);
+      const TaskId inc = g_.add(
+          TaskStage::MoveIn, "fused inC " + idx(i, j),
+          [this, cd, j](TaskCtx& c) {
+            std::vector<sim::Device::H2dBatchEntry> es;
+            es.reserve(cd.size());
+            for (size_t k = 0; k < cd.size(); ++k) {
+              es.push_back({cd[k], host_panel_const(k, j)});
+            }
+            c.h2d_batched(es, "fused h2d c " + std::to_string(j));
+          },
+          std::move(inc_deps), pt);
+      const TaskId upd2 = g_.add(
+          TaskStage::Compute, "fused outer " + idx(i, j),
+          [this, pd, r12, cd, i, j](TaskCtx& c) {
+            std::vector<sim::Device::GemmBatchEntry> es;
+            es.reserve(pd.size());
+            for (size_t k = 0; k < pd.size(); ++k) {
+              es.push_back({blas::Op::NoTrans, blas::Op::NoTrans, -1.0f,
+                            pd[k], r12[k], 1.0f, cd[k]});
+            }
+            c.gemm_batched(es, "fused gemm upd " + idx(i, j));
+          },
+          {inc, upd1}, pt);
+      rtiles_.use(rs2, {outr, upd2});
+      const TaskId outa = g_.add(
+          TaskStage::MoveOut, "fused outA " + idx(i, j),
+          [this, cd, j](TaskCtx& c) {
+            std::vector<sim::Device::D2hBatchEntry> es;
+            es.reserve(cd.size());
+            for (size_t k = 0; k < cd.size(); ++k) {
+              es.push_back({host_panel(k, j), cd[k]});
+            }
+            c.d2h_batched(es, "fused d2h tile " + std::to_string(j));
+          },
+          {upd2}, pt);
+      cstream_.use(cs, {outa});
+      out_a_[j] = outa;
+      panel_readers.push_back(upd2);
+    }
+    panel_.use(ps, std::move(panel_readers));
+    ++i_;
+    units_ = i_;
+    return true;
+  }
+
+ private:
+  index_t width(index_t t) const { return std::min(b_, n_ - t * b_); }
+  index_t offset(index_t t) const { return t * b_; }
+  sim::HostConstRef host_panel_const(size_t k, index_t t) const {
+    return ooc::host_block(sim::as_const(jobs_[k].a), 0, offset(t), m_,
+                           width(t));
+  }
+  sim::HostMutRef host_panel(size_t k, index_t t) const {
+    return ooc::host_block(jobs_[k].a, 0, offset(t), m_, width(t));
+  }
+  std::int64_t prio(index_t i, std::int64_t phase) const {
+    return 4 * static_cast<std::int64_t>(i) + phase;
+  }
+  std::vector<DeviceMatrixRef> slot_refs(FusedSlotPool& pool, size_t s,
+                                         index_t rows, index_t cols) {
+    std::vector<DeviceMatrixRef> refs;
+    refs.reserve(pool.slots[s].size());
+    for (ScopedMatrix& buf : pool.slots[s]) {
+      refs.push_back(DeviceMatrixRef(buf.get()).block(0, 0, rows, cols));
+    }
+    return refs;
+  }
+
+  TaskGraph& g_;
+  const std::vector<BatchJob>& jobs_;
+  const QrOptions& opts_;
+  index_t m_ = 0;
+  index_t n_ = 0;
+  index_t b_ = 0;
+  index_t panels_ = 0;
+  index_t i_ = 0;
+  index_t units_ = 0;
+  FusedSlotPool panel_;
+  FusedSlotPool bstream_;
+  FusedSlotPool cstream_;
+  FusedSlotPool rtiles_;
+  std::map<index_t, TaskId> out_a_;
+};
+
 std::unique_ptr<Program> make_program(TaskGraph& graph, const BatchJob& job) {
   if (job.algorithm == "tiled") {
     return std::make_unique<TiledProgram>(graph, job);
@@ -861,6 +1145,84 @@ std::vector<QrStats> run_batch(Device& dev,
 QrStats run_tiled(Device& dev, HostMutRef a, HostMutRef r,
                   const QrOptions& opts) {
   return run_batch(dev, {BatchJob{"tiled", a, r, opts, ""}}).front();
+}
+
+std::vector<QrStats> run_fused_batch(Device& dev,
+                                     const std::vector<BatchJob>& jobs) {
+  ROCQR_CHECK(!jobs.empty(), "run_fused_batch: no jobs");
+  const BatchJob& j0 = jobs.front();
+  bool any_sink = false;
+  for (const BatchJob& job : jobs) {
+    job.opts.validate();
+    ROCQR_CHECK(job.algorithm == "blocking",
+                "run_fused_batch: only \"blocking\" jobs fuse (got \"" +
+                    job.algorithm + "\")");
+    ROCQR_CHECK(!job.opts.abft,
+                "run_fused_batch: abft jobs cannot fuse (the batched GEMM "
+                "carries no per-job checksum)");
+    ROCQR_CHECK(job.a.rows == j0.a.rows && job.a.cols == j0.a.cols,
+                "run_fused_batch: fused jobs must share one shape");
+    ROCQR_CHECK(job.r.rows == job.a.cols && job.r.cols == job.a.cols,
+                "run_fused_batch: R must be n x n");
+    ROCQR_CHECK(job.opts.blocksize == j0.opts.blocksize,
+                "run_fused_batch: fused jobs must share a blocksize");
+    ROCQR_CHECK(job.opts.precision == j0.opts.precision,
+                "run_fused_batch: fused jobs must share a gemm precision");
+    ROCQR_CHECK(job.opts.panel_algorithm == j0.opts.panel_algorithm &&
+                    job.opts.panel_base == j0.opts.panel_base,
+                "run_fused_batch: fused jobs must share a panel algorithm");
+    ROCQR_CHECK(job.opts.resume_units == j0.opts.resume_units,
+                "run_fused_batch: fused jobs must share a resume position");
+    any_sink = any_sink || job.opts.checkpoint_sink != nullptr;
+  }
+
+  const size_t window = dev.trace().size();
+  sim::TraceSpan span(dev, "qr_fused_batch x" + std::to_string(jobs.size()));
+  TaskGraph graph(dev, gemm_options(j0.opts));
+  FusedBlocking prog(graph, jobs);
+  prog.allocate(dev);
+  prog.begin();
+
+  if (!any_sink) {
+    while (prog.add_step()) {
+    }
+    graph.run();
+  } else {
+    // The jobs advance in lockstep, so one fused round is one checkpoint
+    // boundary for every member: after each round's run() the device is
+    // synchronized once and every job snapshots (a serve PreemptSink may
+    // raise PreemptRequest there, unwinding the whole fused batch; each
+    // member's checkpoint carries the solo "blocking" tag so it can resume
+    // solo or in a different fusion).
+    while (prog.add_step()) {
+      graph.run();
+      for (const BatchJob& job : jobs) {
+        maybe_checkpoint(dev, "blocking", job.a, job.r, job.opts,
+                         prog.columns_done(), prog.units_done());
+      }
+    }
+  }
+
+  dev.synchronize();
+  // Even 1/K attribution of the fused window's volume aggregates — exact,
+  // because the K jobs are identical in shape and arithmetic. Span fields
+  // (first_start/last_end/total_seconds) and the device peak stay whole,
+  // matching the colocated path's per-member attribution semantics.
+  const QrStats whole =
+      stats_from_trace(dev.trace(), window, dev.memory_peak());
+  QrStats per = whole;
+  const auto k = static_cast<double>(jobs.size());
+  per.panel_seconds /= k;
+  per.gemm_seconds /= k;
+  per.d2d_seconds /= k;
+  per.h2d_seconds /= k;
+  per.d2h_seconds /= k;
+  per.compute_seconds /= k;
+  per.bytes_h2d = static_cast<bytes_t>(static_cast<double>(whole.bytes_h2d) / k);
+  per.bytes_d2h = static_cast<bytes_t>(static_cast<double>(whole.bytes_d2h) / k);
+  per.bytes_d2d = static_cast<bytes_t>(static_cast<double>(whole.bytes_d2d) / k);
+  per.flops = static_cast<flops_t>(static_cast<double>(whole.flops) / k);
+  return std::vector<QrStats>(jobs.size(), per);
 }
 
 } // namespace rocqr::qr::detail

@@ -71,4 +71,21 @@ std::vector<QrStats> run_batch(sim::Device& dev,
 QrStats run_tiled(sim::Device& dev, sim::HostMutRef a, sim::HostMutRef r,
                   const QrOptions& opts);
 
+/// Fuses K same-shape, same-precision "blocking" jobs into ONE node program
+/// of block-diagonal batched operations: per panel iteration the fused graph
+/// issues a single batched move-in, one batched panel kernel, one batched
+/// inner/outer GEMM pair per trailing panel and one batched move-out — each
+/// covering all K jobs — instead of K per-job rounds, so the fixed per-op
+/// latencies (link turnaround, kernel launch) are paid once per round. The
+/// per-entry numerics are the exact solo bodies in job order, so every job's
+/// R (and Q) is bit-identical to a solo run (pinned by
+/// tests/qr_fused_batch_test.cpp), and checkpoints carry the solo "blocking"
+/// driver tag: a job preempted from a fused batch resumes solo or fused.
+/// Requires: every job algorithm "blocking", identical m/n/blocksize/
+/// precision/panel algorithm, equal resume_units, abft off. Returned
+/// per-job stats are an even 1/K split of the fused window's volume
+/// aggregates (exact, since the jobs are identical in shape and arithmetic).
+std::vector<QrStats> run_fused_batch(sim::Device& dev,
+                                     const std::vector<BatchJob>& jobs);
+
 } // namespace rocqr::qr::detail

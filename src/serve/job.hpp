@@ -26,7 +26,10 @@ struct JobSpec {
   /// (qr::Algorithm names). A "tsqr" job is gang-scheduled — it acquires
   /// every device in the fleet atomically and runs the fleet-wide
   /// out-of-core TSQR. "tiled" jobs can be colocated on one device as a
-  /// single task graph when ServeConfig::max_colocated_jobs > 1.
+  /// single task graph when ServeConfig::max_colocated_jobs > 1; same-shape
+  /// "blocking" jobs can additionally be *fused* into block-diagonal
+  /// batched operations when ServeConfig::max_fused_jobs > 1
+  /// (docs/SERVING.md "Batched small-QR coalescing").
   std::string algorithm = "recursive";
   blas::GemmPrecision precision = blas::GemmPrecision::FP16_FP32;
   /// Panel width; 0 = autotune via phantom dry runs at admission time.
@@ -96,8 +99,11 @@ struct JobReport {
   int retries = 0;     ///< fault-triggered restarts from the last checkpoint
   int migrations = 0;  ///< re-admissions onto a survivor after device loss
   int last_device = -1;
-  /// Host wall-clock time spent ready-but-waiting across all queueing
-  /// episodes (scheduler overhead view; simulated time lives in `stats`).
+  /// Simulated time spent ready-but-waiting, summed over every queueing
+  /// episode: each dispatch charges the gap between the instant the job
+  /// became ready (arrival release, preemption park, or retry requeue) and
+  /// the dispatching device's availability bound. Deterministic — two runs
+  /// of the same batch report identical waits.
   double queue_wait_seconds = 0;
   /// deadline_seconds == 0, or the job completed within it (device time).
   bool deadline_met = true;
@@ -133,6 +139,16 @@ struct FleetReport {
   /// Final health of each device, in device order: "healthy", "suspect"
   /// or "dead".
   std::vector<std::string> device_health;
+  /// Exact simulated queue wait of every dispatch (one entry per attempt,
+  /// in dispatch order). The `serve.queue_wait_us` telemetry histogram
+  /// quantizes the same waits into power-of-two buckets for live export;
+  /// tail percentiles computed there are off by up to 2x, so reports use
+  /// this exact record instead (docs/TELEMETRY.md).
+  std::vector<double> queue_waits;
+  /// Nearest-rank percentiles over `queue_waits` (0 when no dispatches).
+  double queue_wait_p50 = 0;
+  double queue_wait_p95 = 0;
+  double queue_wait_p99 = 0;
   std::vector<JobReport> jobs;      ///< in submission order
 };
 

@@ -1,6 +1,7 @@
 #include "serve/jobs_io.hpp"
 
 #include <cctype>
+#include <iomanip>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -225,13 +226,28 @@ std::string escaped(const std::string& s) {
   return out;
 }
 
+/// Shortest-round-trip double formatting. Streaming a double at the
+/// default ostream precision keeps only 6 significant digits — enough to
+/// corrupt every reloaded metric in the 7th digit — so every double in the
+/// report goes through here with max_digits10 (17) significant digits,
+/// which round-trips bit-exactly through strtod.
+std::string json_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
 void write_stats(std::ostream& os, const qr::QrStats& s,
                  const std::string& indent) {
   os << "{\n";
-  os << indent << "  \"total_seconds\": " << s.total_seconds << ",\n";
-  os << indent << "  \"h2d_seconds\": " << s.h2d_seconds << ",\n";
-  os << indent << "  \"d2h_seconds\": " << s.d2h_seconds << ",\n";
-  os << indent << "  \"compute_seconds\": " << s.compute_seconds << ",\n";
+  os << indent << "  \"total_seconds\": " << json_double(s.total_seconds)
+     << ",\n";
+  os << indent << "  \"h2d_seconds\": " << json_double(s.h2d_seconds)
+     << ",\n";
+  os << indent << "  \"d2h_seconds\": " << json_double(s.d2h_seconds)
+     << ",\n";
+  os << indent << "  \"compute_seconds\": " << json_double(s.compute_seconds)
+     << ",\n";
   os << indent << "  \"bytes_h2d\": " << s.bytes_h2d << ",\n";
   os << indent << "  \"bytes_d2h\": " << s.bytes_d2h << ",\n";
   os << indent << "  \"flops\": " << s.flops << ",\n";
@@ -314,7 +330,8 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
   os << "{\n";
   os << "  \"schema_version\": " << kJobsSchemaVersion << ",\n";
   os << "  \"devices\": " << rep.devices << ",\n";
-  os << "  \"makespan_seconds\": " << rep.makespan_seconds << ",\n";
+  os << "  \"makespan_seconds\": " << json_double(rep.makespan_seconds)
+     << ",\n";
   os << "  \"jobs_admitted\": " << rep.jobs_admitted << ",\n";
   os << "  \"jobs_rejected\": " << rep.jobs_rejected << ",\n";
   os << "  \"jobs_completed\": " << rep.jobs_completed << ",\n";
@@ -325,6 +342,17 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
   os << "  \"devices_lost\": " << rep.devices_lost << ",\n";
   os << "  \"jobs_migrated\": " << rep.jobs_migrated << ",\n";
   os << "  \"jobs_shed\": " << rep.jobs_shed << ",\n";
+  os << "  \"queue_wait_p50_seconds\": " << json_double(rep.queue_wait_p50)
+     << ",\n";
+  os << "  \"queue_wait_p95_seconds\": " << json_double(rep.queue_wait_p95)
+     << ",\n";
+  os << "  \"queue_wait_p99_seconds\": " << json_double(rep.queue_wait_p99)
+     << ",\n";
+  os << "  \"queue_waits_seconds\": [";
+  for (size_t i = 0; i < rep.queue_waits.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << json_double(rep.queue_waits[i]);
+  }
+  os << "],\n";
   os << "  \"device_health\": [";
   for (size_t i = 0; i < rep.device_health.size(); ++i) {
     os << (i == 0 ? "" : ", ") << "\"" << escaped(rep.device_health[i])
@@ -344,7 +372,8 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
     os << "      \"m\": " << j.m << ",\n";
     os << "      \"n\": " << j.n << ",\n";
     os << "      \"blocksize\": " << j.blocksize << ",\n";
-    os << "      \"predicted_seconds\": " << j.predicted_seconds << ",\n";
+    os << "      \"predicted_seconds\": " << json_double(j.predicted_seconds)
+       << ",\n";
     os << "      \"predicted_peak_bytes\": " << j.predicted_peak_bytes
        << ",\n";
     os << "      \"attempts\": " << j.attempts << ",\n";
@@ -352,7 +381,8 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& rep) {
     os << "      \"retries\": " << j.retries << ",\n";
     os << "      \"migrations\": " << j.migrations << ",\n";
     os << "      \"last_device\": " << j.last_device << ",\n";
-    os << "      \"queue_wait_seconds\": " << j.queue_wait_seconds << ",\n";
+    os << "      \"queue_wait_seconds\": "
+       << json_double(j.queue_wait_seconds) << ",\n";
     os << "      \"deadline_met\": " << (j.deadline_met ? "true" : "false")
        << ",\n";
     os << "      \"failure\": \"" << escaped(j.failure) << "\",\n";

@@ -36,8 +36,11 @@ inline constexpr int kJobsSchemaVersion = 2;
 std::vector<JobSpec> parse_jobs_json(const std::string& text);
 
 /// Writes the fleet report as a deterministic JSON object:
-/// "schema_version" (kJobsSchemaVersion), scalar tallies, a "jobs" array
-/// in submission order, and "per_device" stats.
+/// "schema_version" (kJobsSchemaVersion), scalar tallies, exact queue-wait
+/// percentiles plus the raw "queue_waits_seconds" record, a "jobs" array
+/// in submission order, and "per_device" stats. Every double is formatted
+/// with max_digits10 significant digits, so reloading the file reproduces
+/// each value bit-exactly (pinned by tests/serve_jobs_io_test.cpp).
 void write_fleet_report_json(std::ostream& os, const FleetReport& rep);
 
 } // namespace rocqr::serve

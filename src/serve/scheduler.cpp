@@ -1,7 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -39,14 +39,8 @@ const char* to_string(DeviceHealth h) {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 telemetry::Counter& counter(const char* name) {
   return telemetry::MetricsRegistry::global().counter(name);
-}
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 /// Contiguous column-major snapshot of a host ref (the checkpoint payload
@@ -92,6 +86,29 @@ void restore_host(sim::HostMutRef dst, const std::vector<float>& src) {
 /// (device time consumed, including work a preemption discarded) rather
 /// than re-deriving last_end - first_start across attempts, which would
 /// count the queued gaps between them.
+/// Even 1/K attribution of a fused window (mirrors the split
+/// qr::detail::run_fused_batch returns): volume aggregates divide by K,
+/// span fields and the device peak stay whole — the member occupied the
+/// device for the whole fused window, matching the colocated path's
+/// per-member attribution semantics.
+qr::QrStats split_fused_stats(qr::QrStats whole, int members) {
+  const auto k = static_cast<double>(members);
+  whole.panel_seconds /= k;
+  whole.gemm_seconds /= k;
+  whole.d2d_seconds /= k;
+  whole.h2d_seconds /= k;
+  whole.d2h_seconds /= k;
+  whole.compute_seconds /= k;
+  whole.bytes_h2d =
+      static_cast<bytes_t>(static_cast<double>(whole.bytes_h2d) / k);
+  whole.bytes_d2h =
+      static_cast<bytes_t>(static_cast<double>(whole.bytes_d2h) / k);
+  whole.bytes_d2d =
+      static_cast<bytes_t>(static_cast<double>(whole.bytes_d2d) / k);
+  whole.flops = static_cast<flops_t>(static_cast<double>(whole.flops) / k);
+  return whole;
+}
+
 void accumulate_stats(qr::QrStats& into, const qr::QrStats& s) {
   const bool had_events = into.events > 0;
   into.panel_seconds += s.panel_seconds;
@@ -151,7 +168,11 @@ struct Scheduler::Job {
   qr::Checkpoint checkpoint;
   qr::QrStats stats{};
   double queue_wait_seconds = 0;
-  Clock::time_point ready_since{};
+  /// Simulated instant the job last became ready (arrival release,
+  /// preemption park, retry requeue, or migration) — the fleet's latest
+  /// published availability bound at that moment. Dispatch charges
+  /// max(0, device bound - ready_sim) as the queueing episode's exact wait.
+  double ready_sim = 0;
 };
 
 /// Per-attempt checkpoint sink: records progress on the job and doubles as
@@ -181,6 +202,8 @@ Scheduler::Scheduler(ServeConfig cfg) : cfg_(std::move(cfg)) {
               "serve::Scheduler: admission_memory_fraction must be in (0,1]");
   ROCQR_CHECK(cfg_.max_colocated_jobs >= 1,
               "serve::Scheduler: max_colocated_jobs must be >= 1");
+  ROCQR_CHECK(cfg_.max_fused_jobs >= 1,
+              "serve::Scheduler: max_fused_jobs must be >= 1");
   ROCQR_CHECK(cfg_.watchdog_timeout >= 0,
               "serve::Scheduler: watchdog_timeout must be >= 0");
   ROCQR_CHECK(cfg_.device_failure_threshold >= 1,
@@ -278,13 +301,24 @@ FleetReport Scheduler::run() {
   return build_report();
 }
 
+double Scheduler::sim_now_locked() const {
+  double now = 0;
+  for (int e = 0; e < cfg_.devices; ++e) {
+    const auto eu = static_cast<size_t>(e);
+    if (device_health_[eu] == DeviceHealth::Dead) continue;
+    now = std::max(now, device_avail_[eu]);
+  }
+  return now;
+}
+
 void Scheduler::release_arrivals_locked() {
+  const double now = sim_now_locked();
   for (const auto& up : jobs_) {
     Job& job = *up;
     if (job.state != JobState::Queued || job.arrived) continue;
     if (job.spec.arrival_after_units <= fleet_units_) {
       job.arrived = true;
-      job.ready_since = Clock::now();
+      job.ready_sim = now;
     }
   }
 }
@@ -301,7 +335,7 @@ bool Scheduler::force_earliest_arrival_locked() {
   }
   if (earliest == nullptr) return false;
   earliest->arrived = true;
-  earliest->ready_since = Clock::now();
+  earliest->ready_sim = sim_now_locked();
   return true;
 }
 
@@ -512,7 +546,7 @@ void Scheduler::migrate_locked(Job& job, const std::string& failure) {
     counter("serve.tsqr_leaves_rehosted")
         .add(job.checkpoint.leaves - job.checkpoint.units_done);
   }
-  job.ready_since = Clock::now();
+  job.ready_sim = sim_now_locked();
 }
 
 int Scheduler::watchdog_tripped_locked(Job& job) {
@@ -648,6 +682,7 @@ void Scheduler::worker(int device_index) {
   for (;;) {
     Job* job = nullptr;
     std::vector<Job*> batch;
+    bool fused = false;
     {
       std::unique_lock<std::mutex> lk(mutex_);
       for (;;) {
@@ -673,7 +708,69 @@ void Scheduler::worker(int device_index) {
         cv_.wait(lk);
       }
       batch.push_back(job);
-      if (!job->gang && colocatable_algorithm(job->spec.algorithm) &&
+      if (!job->gang && job->spec.algorithm == "blocking" &&
+          job->spec.deadline_seconds <= 0 && !job->spec.options.abft &&
+          cfg_.max_fused_jobs > 1) {
+        // Batched small-QR coalescing: claim further ready jobs identical
+        // to the primary (shape, blocksize, precision, panel options,
+        // checkpoint position — run_fused_batch's fusion contract) and
+        // dispatch them as ONE block-diagonal batched node program, paying
+        // each round's fixed per-op latencies once instead of once per
+        // job. Same guards as colocation: deadline-free members only, the
+        // summed predicted peaks must fit the admission budget, and only
+        // when the ready queue outnumbers the idle devices. ABFT jobs
+        // cannot fuse (the batched GEMM carries no per-job checksum).
+        int ready_jobs = 0;
+        for (const auto& up : jobs_) {
+          const Job& j = *up;
+          if ((j.state == JobState::Queued && j.arrived) ||
+              j.state == JobState::Preempted) {
+            ++ready_jobs;
+          }
+        }
+        int idle_devices = 0;
+        for (const char busy : device_busy_) idle_devices += busy == 0;
+        int surplus = ready_jobs - idle_devices;
+        const auto budget = static_cast<bytes_t>(
+            cfg_.admission_memory_fraction *
+            static_cast<double>(cfg_.spec.memory_capacity));
+        bytes_t used = job->predicted_peak_bytes;
+        const index_t units0 =
+            job->has_checkpoint ? job->checkpoint.units_done : 0;
+        for (const auto& up : jobs_) {
+          if (static_cast<int>(batch.size()) >= cfg_.max_fused_jobs ||
+              surplus <= 0) {
+            break;
+          }
+          Job& extra = *up;
+          if (&extra == job || extra.spec.algorithm != "blocking") continue;
+          if (extra.spec.deadline_seconds > 0 || extra.spec.options.abft) {
+            continue;
+          }
+          const bool ready =
+              (extra.state == JobState::Queued && extra.arrived) ||
+              extra.state == JobState::Preempted;
+          if (!ready) continue;
+          if (extra.spec.m != job->spec.m || extra.spec.n != job->spec.n ||
+              extra.blocksize != job->blocksize ||
+              extra.spec.precision != job->spec.precision ||
+              extra.spec.options.panel_algorithm !=
+                  job->spec.options.panel_algorithm ||
+              extra.spec.options.panel_base != job->spec.options.panel_base) {
+            continue;
+          }
+          const index_t eunits =
+              extra.has_checkpoint ? extra.checkpoint.units_done : 0;
+          if (eunits != units0) continue;
+          if (used + extra.predicted_peak_bytes > budget) continue;
+          used += extra.predicted_peak_bytes;
+          --surplus;
+          batch.push_back(&extra);
+        }
+        fused = batch.size() > 1;
+      }
+      if (!fused && !job->gang &&
+          colocatable_algorithm(job->spec.algorithm) &&
           job->spec.deadline_seconds <= 0 && cfg_.max_colocated_jobs > 1) {
         // DAG multi-tenancy: claim further ready single-device jobs
         // (tiled, blocking, or left — mixed freely) for the same device
@@ -724,8 +821,14 @@ void Scheduler::worker(int device_index) {
         member->preempt_requested = false;
         ++member->attempts;
         member->last_device = device_index;
-        const double waited = seconds_since(member->ready_since);
+        // Exact simulated queue wait of this episode: the dispatching
+        // device's availability bound is the dispatch instant. Recorded
+        // exactly (FleetReport percentiles) and quantized into the live
+        // power-of-two-bucket histogram.
+        const double waited =
+            std::max(0.0, device_avail_[du] - member->ready_sim);
         member->queue_wait_seconds += waited;
+        queue_waits_.push_back(waited);
         telemetry::MetricsRegistry::global()
             .histogram("serve.queue_wait_us")
             .observe(static_cast<std::int64_t>(waited * 1e6));
@@ -753,6 +856,8 @@ void Scheduler::worker(int device_index) {
     }
     if (job->gang) {
       run_gang_attempt(*job);
+    } else if (fused) {
+      run_fused_attempt(device_index, batch);
     } else if (batch.size() > 1) {
       run_colocated_attempt(device_index, batch);
     } else {
@@ -1025,6 +1130,144 @@ void Scheduler::finish_colocated_attempt(const std::vector<Job*>& batch,
   cv_.notify_all();
 }
 
+void Scheduler::run_fused_attempt(int device_index,
+                                  const std::vector<Job*>& batch) {
+  sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  const size_t window = dev.trace().size();
+
+  // Per-job sinks, exactly as in the colocated path: each member
+  // checkpoints (and can be preempted) under its own identity even though
+  // every fused round is one shared batched op per engine.
+  std::vector<std::unique_ptr<PreemptSink>> sinks;
+  std::vector<qr::detail::BatchJob> bjobs;
+  sinks.reserve(batch.size());
+  bjobs.reserve(batch.size());
+  std::string names;
+  for (Job* member : batch) {
+    Job& job = *member;
+    sim::HostMutRef a =
+        job.spec.a.data != nullptr
+            ? job.spec.a
+            : sim::HostMutRef::phantom(job.spec.m, job.spec.n);
+    sim::HostMutRef r =
+        job.spec.r.data != nullptr
+            ? job.spec.r
+            : sim::HostMutRef::phantom(job.spec.n, job.spec.n);
+    qr::Checkpoint start;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!job.has_checkpoint) {
+        qr::Checkpoint cp0;
+        cp0.driver = job.spec.algorithm;
+        cp0.m = job.spec.m;
+        cp0.n = job.spec.n;
+        cp0.blocksize = job.blocksize;
+        cp0.columns_done = 0;
+        cp0.units_done = 0;
+        cp0.a = snapshot_host(a);
+        cp0.r = snapshot_host(r);
+        job.checkpoint = std::move(cp0);
+        job.has_checkpoint = true;
+      }
+      job.watch_from.assign(1, window);
+      start = job.checkpoint;
+    }
+    // run_fused_batch expects restored host data + resume_units; the
+    // coalescer only fused members at the same checkpoint position, so
+    // every member's resume_units agree (the fusion contract).
+    if (a.data != nullptr) {
+      restore_host(a, start.a);
+      restore_host(r, start.r);
+    }
+    sinks.push_back(std::make_unique<PreemptSink>(*this, job));
+    qr::QrOptions opts = job.spec.options;
+    opts.blocksize = job.blocksize;
+    opts.precision = job.spec.precision;
+    opts.checkpoint_sink = sinks.back().get();
+    opts.checkpoint_every = cfg_.checkpoint_every;
+    opts.resume_units = start.units_done;
+    bjobs.push_back(qr::detail::BatchJob{
+        job.spec.algorithm, a, r, opts,
+        "j" + std::to_string(job.id) + "."});
+    names += (names.empty() ? "" : "+") + job.spec.name;
+  }
+
+  try {
+    sim::TraceSpan span(dev, "serve.fused " + names);
+    qr::detail::run_fused_batch(dev, bjobs);
+    finish_fused_attempt(batch, window, device_index, JobState::Completed,
+                         "", AttemptOutcome::Clean);
+  } catch (const PreemptRequest&) {
+    // One member's sink threw at a fused round boundary; the whole batch
+    // unwound. Every member requeues from its own checkpoint and resumes
+    // solo or in a different fusion — bit-identical either way.
+    dev.synchronize();
+    finish_fused_attempt(batch, window, device_index, JobState::Preempted,
+                         "", AttemptOutcome::Clean);
+  } catch (const WatchdogTrip&) {
+    dev.synchronize();
+    finish_fused_attempt(batch, window, device_index, JobState::Queued,
+                         "watchdog: an operation exceeded the " +
+                             std::to_string(cfg_.watchdog_timeout) +
+                             "s simulated timeout",
+                         AttemptOutcome::DeviceFailure);
+  } catch (const Error& e) {
+    dev.synchronize();
+    finish_fused_attempt(batch, window, device_index, JobState::Queued,
+                         e.what(),
+                         dev.dead() ? AttemptOutcome::DeviceLoss
+                                    : AttemptOutcome::DeviceFailure);
+  }
+}
+
+void Scheduler::finish_fused_attempt(const std::vector<Job*>& batch,
+                                     size_t window, int device_index,
+                                     JobState state,
+                                     const std::string& failure,
+                                     AttemptOutcome outcome) {
+  const sim::Device& dev = *devices_[static_cast<size_t>(device_index)];
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto du = static_cast<size_t>(device_index);
+    const qr::QrStats whole =
+        qr::stats_from_trace(dev.trace(), window, dev.memory_peak());
+    if (whole.events > 0) {
+      device_avail_[du] = std::max(device_avail_[du], whole.last_end);
+    }
+    device_busy_[du] = 0;
+    --running_;
+    bool newly_dead = false;
+    switch (outcome) {
+    case AttemptOutcome::DeviceLoss:
+      newly_dead = declare_dead_locked(device_index);
+      break;
+    case AttemptOutcome::DeviceFailure:
+      newly_dead = note_device_failure_locked(device_index);
+      break;
+    case AttemptOutcome::Clean:
+      note_device_success_locked(device_index);
+      break;
+    }
+    const qr::QrStats per =
+        split_fused_stats(whole, static_cast<int>(batch.size()));
+    for (Job* member : batch) {
+      accumulate_stats(member->stats, per);
+      if (newly_dead && state != JobState::Completed &&
+          state != JobState::Preempted) {
+        migrate_locked(*member, failure);
+        continue;
+      }
+      JobState member_state = state;
+      if (state == JobState::Queued &&
+          member->retries >= cfg_.max_job_retries) {
+        member_state = JobState::Failed;
+      }
+      record_outcome_locked(*member, member_state, failure);
+    }
+  }
+  cv_.notify_all();
+}
+
 void Scheduler::record_outcome_locked(Job& job, JobState state,
                                       const std::string& failure) {
   job.state = state;
@@ -1037,14 +1280,14 @@ void Scheduler::record_outcome_locked(Job& job, JobState state,
     ++job.preemptions;
     ++preempt_events_;
     counter("serve.jobs_preempted").increment();
-    job.ready_since = Clock::now();
+    job.ready_sim = sim_now_locked();
     break;
   case JobState::Queued: // fault retry
     ++job.retries;
     ++retry_events_;
     counter("serve.job_retries").increment();
     job.failure = failure; // latest error; cleared on completion
-    job.ready_since = Clock::now();
+    job.ready_sim = sim_now_locked();
     break;
   default:
     job.failure = failure;
@@ -1227,6 +1470,21 @@ FleetReport Scheduler::build_report() {
   rep.jobs_shed = shed_events_;
   for (const DeviceHealth h : device_health_) {
     rep.device_health.emplace_back(to_string(h));
+  }
+  // Exact tail latency from the per-dispatch record (nearest-rank): the
+  // telemetry histogram's power-of-two buckets would be off by up to 2x.
+  rep.queue_waits = queue_waits_;
+  if (!queue_waits_.empty()) {
+    std::vector<double> sorted = queue_waits_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto pct = [&sorted](double p) {
+      const auto rank = static_cast<size_t>(
+          std::ceil(p * static_cast<double>(sorted.size())));
+      return sorted[std::max<size_t>(rank, 1) - 1];
+    };
+    rep.queue_wait_p50 = pct(0.50);
+    rep.queue_wait_p95 = pct(0.95);
+    rep.queue_wait_p99 = pct(0.99);
   }
   for (const auto& up : jobs_) {
     const Job& job = *up;

@@ -35,6 +35,17 @@
 // latest checkpoint and resumes bit-identically — the batch programs'
 // arithmetic matches the solo drivers' bit for bit.
 //
+// Same-shape, same-precision "blocking" jobs go one step further: when
+// max_fused_jobs > 1 the dispatcher *fuses* up to that many ready
+// deadline-free members into ONE block-diagonal batched node program
+// (qr::detail::run_fused_batch) — per panel round a single batched
+// move-in, panel kernel, GEMM pair and move-out cover every member, so the
+// fixed per-op latencies (link turnaround, kernel launch) are paid once
+// per round instead of once per job. Members must also share blocksize,
+// panel options and checkpoint position; per-member R (and Q) stays
+// bit-identical to a solo run, and a preempted member resumes solo or in
+// a different fusion. Fusion is tried before colocation.
+//
 // Jobs with algorithm "tsqr" are *gang-scheduled*: one job acquires every
 // device in the fleet atomically and runs the TSQR driver across them.
 // While a gang job is the top pick the fleet drains — idle workers stop
@@ -104,6 +115,17 @@ struct ServeConfig {
   /// Colocated extras must match the primary's precision and their summed
   /// predicted peaks must fit the admission budget.
   int max_colocated_jobs = 1;
+  /// Maximum same-shape "blocking" jobs *fused* into one batched node
+  /// program (qr::detail::run_fused_batch): per panel round the fused graph
+  /// issues one batched move-in / panel kernel / GEMM pair / move-out
+  /// covering all members, so the fixed per-op latencies are paid once per
+  /// round instead of once per job — the batched small-QR serving path.
+  /// 1 = off. Fused members must share m/n/blocksize/precision/panel
+  /// options and checkpoint position, be deadline-free and abft-free, and
+  /// their summed predicted peaks must fit the admission budget. Fusion is
+  /// tried before colocation; per-member results stay bit-identical to solo
+  /// runs (tests/qr_fused_batch_test.cpp).
+  int max_fused_jobs = 1;
   /// Per-op watchdog (simulated seconds): at every checkpoint the scheduler
   /// scans the attempt's new trace events and treats any single operation
   /// longer than this as a hang — the attempt unwinds and the offending
@@ -168,11 +190,24 @@ class Scheduler {
   void run_attempt(int device_index, Job& job);
   void run_colocated_attempt(int device_index,
                              const std::vector<Job*>& batch);
+  /// Dispatches a coalesced batch of same-shape "blocking" jobs through
+  /// qr::detail::run_fused_batch (block-diagonal batched ops, one task
+  /// -graph round per fused panel). Same unwind/requeue contract as the
+  /// colocated path.
+  void run_fused_attempt(int device_index, const std::vector<Job*>& batch);
   void run_gang_attempt(Job& job);
   void finish_colocated_attempt(const std::vector<Job*>& batch,
                                 size_t window, int device_index,
                                 JobState state, const std::string& failure,
                                 AttemptOutcome outcome);
+  /// Fused epilogue: per-member stats are an even 1/K split of the fused
+  /// window's volume aggregates (the batched ops carry no per-job op-name
+  /// prefix; the split is exact because the members are identical in shape
+  /// and arithmetic).
+  void finish_fused_attempt(const std::vector<Job*>& batch, size_t window,
+                            int device_index, JobState state,
+                            const std::string& failure,
+                            AttemptOutcome outcome);
   void finish_attempt(Job& job, size_t window, int device_index,
                       JobState state, const std::string& failure,
                       AttemptOutcome outcome);
@@ -205,6 +240,9 @@ class Scheduler {
   /// job's scan cursors.
   int watchdog_tripped_locked(Job& job);
   bool may_act_locked(int device_index, double t) const;
+  /// Latest availability bound published by any alive device — the fleet's
+  /// simulated "now" for queue-wait accounting.
+  double sim_now_locked() const;
   void release_arrivals_locked();
   bool force_earliest_arrival_locked();
   bool work_pending_locked() const;
@@ -233,6 +271,10 @@ class Scheduler {
   bool gang_active_ = false;
   std::int64_t preempt_events_ = 0;
   std::int64_t retry_events_ = 0;
+  /// Exact simulated queue wait of every dispatch, in dispatch order
+  /// (FleetReport::queue_waits; exact percentiles come from here, the
+  /// telemetry histogram only quantizes).
+  std::vector<double> queue_waits_;
   std::vector<DeviceHealth> device_health_;
   /// Consecutive failed attempts per device (reset by a clean attempt).
   std::vector<int> device_failures_;

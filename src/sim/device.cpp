@@ -394,6 +394,168 @@ void Device::custom_compute(Stream s, sim_time_t seconds, flops_t flops,
   if (mode_ == ExecutionMode::Real && body) body();
 }
 
+void Device::copy_h2d_batched(const std::vector<H2dBatchEntry>& entries,
+                              Stream s, std::string name) {
+  bytes_t bytes = 0;
+  sim_time_t duration = 0;
+  int live = 0;
+  for (const H2dBatchEntry& e : entries) {
+    check_ref_bounds(e.dst, "copy_h2d_batched");
+    ROCQR_CHECK(e.dst.rows == e.src.rows && e.dst.cols == e.src.cols,
+                "copy_h2d_batched: shape mismatch");
+    if (e.dst.rows == 0 || e.dst.cols == 0) continue;
+    const bytes_t b = static_cast<bytes_t>(e.dst.rows) * e.dst.cols * 4;
+    bytes += b;
+    duration += model_.h2d_seconds(b);
+    ++live;
+  }
+  if (live == 0) return;
+  ensure_alive("copy_h2d_batched");
+  // One fused transfer is one fault site: a transient aborts the whole
+  // enqueue (the caller's retry replays every payload), a fatal kills the
+  // device — exactly the solo copy_h2d contract, counted once.
+  if (faults_ && faults_->fire(FaultSite::H2D)) {
+    if (faults_->last_fired_kind() == FaultKind::Fatal) die("h2d", name);
+    throw TransferError("injected fault: h2d:transient on '" + name +
+                        "' (h2d op #" +
+                        std::to_string(faults_->ops_seen(FaultSite::H2D)) +
+                        ")");
+  }
+  // The fixed link-turnaround latency is paid once for the fused transfer,
+  // not per payload: sum(solo) - (K-1) * latency.
+  duration -= static_cast<sim_time_t>(live - 1) * model_.spec().copy_latency_s;
+  const double scale =
+      host_pinned_ ? 1.0 : 1.0 / model_.spec().pageable_bandwidth_factor;
+  schedule(Resource::H2D, OpKind::CopyH2D, s, duration * scale, bytes, 0,
+           std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    for (const H2dBatchEntry& e : entries) {
+      if (e.dst.rows == 0 || e.dst.cols == 0) continue;
+      if (e.src.data == nullptr) {
+        throw PhantomDataError(
+            "copy_h2d_batched: phantom host source in Real mode");
+      }
+      const Resolved d = resolve(e.dst, "copy_h2d_batched");
+      blas::copy_matrix(e.dst.rows, e.dst.cols, e.src.data, e.src.ld, d.ptr,
+                        d.ld);
+      if (e.dst.matrix.precision() == StoragePrecision::FP16) {
+        blas::round_to_half(e.dst.rows, e.dst.cols, d.ptr, d.ld);
+      }
+    }
+  }
+}
+
+void Device::copy_d2h_batched(const std::vector<D2hBatchEntry>& entries,
+                              Stream s, std::string name) {
+  bytes_t bytes = 0;
+  sim_time_t duration = 0;
+  int live = 0;
+  for (const D2hBatchEntry& e : entries) {
+    check_ref_bounds(e.src, "copy_d2h_batched");
+    ROCQR_CHECK(e.dst.rows == e.src.rows && e.dst.cols == e.src.cols,
+                "copy_d2h_batched: shape mismatch");
+    if (e.src.rows == 0 || e.src.cols == 0) continue;
+    const bytes_t b = static_cast<bytes_t>(e.src.rows) * e.src.cols * 4;
+    bytes += b;
+    duration += model_.d2h_seconds(b);
+    ++live;
+  }
+  if (live == 0) return;
+  ensure_alive("copy_d2h_batched");
+  if (faults_ && faults_->fire(FaultSite::D2H)) {
+    if (faults_->last_fired_kind() == FaultKind::Fatal) die("d2h", name);
+    throw TransferError("injected fault: d2h:transient on '" + name +
+                        "' (d2h op #" +
+                        std::to_string(faults_->ops_seen(FaultSite::D2H)) +
+                        ")");
+  }
+  duration -= static_cast<sim_time_t>(live - 1) * model_.spec().copy_latency_s;
+  const double scale =
+      host_pinned_ ? 1.0 : 1.0 / model_.spec().pageable_bandwidth_factor;
+  schedule(Resource::D2H, OpKind::CopyD2H, s, duration * scale, bytes, 0,
+           std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    for (const D2hBatchEntry& e : entries) {
+      if (e.src.rows == 0 || e.src.cols == 0) continue;
+      if (e.dst.data == nullptr) {
+        throw PhantomDataError(
+            "copy_d2h_batched: phantom host destination in Real mode");
+      }
+      const Resolved sv = resolve(e.src, "copy_d2h_batched");
+      blas::copy_matrix(e.src.rows, e.src.cols, sv.ptr, sv.ld, e.dst.data,
+                        e.dst.ld);
+    }
+  }
+}
+
+void Device::gemm_batched(const std::vector<GemmBatchEntry>& entries,
+                          blas::GemmPrecision precision, Stream s,
+                          std::string name) {
+  sim_time_t duration = 0;
+  flops_t flops = 0;
+  int live = 0;
+  for (const GemmBatchEntry& e : entries) {
+    check_ref_bounds(e.a, "gemm_batched");
+    check_ref_bounds(e.b, "gemm_batched");
+    check_ref_bounds(e.c, "gemm_batched");
+    const index_t m = blas::op_rows(e.opa, e.a.rows, e.a.cols);
+    const index_t k = blas::op_cols(e.opa, e.a.rows, e.a.cols);
+    const index_t n = blas::op_cols(e.opb, e.b.rows, e.b.cols);
+    ROCQR_CHECK(blas::op_rows(e.opb, e.b.rows, e.b.cols) == k,
+                "gemm_batched: inner dimension mismatch");
+    ROCQR_CHECK(e.c.rows == m && e.c.cols == n,
+                "gemm_batched: C shape mismatch");
+    if (m == 0 || n == 0) continue;
+    const flops_t f = blas::gemm_flops(m, n, k);
+    flops += f;
+    duration += model_.gemm_seconds(e.opa, m, n, k, precision);
+    const index_t mn_max = std::max(m, n);
+    const char* shape_class = k >= 4 * mn_max   ? "gemm_flops.reduction"
+                              : mn_max >= 4 * k ? "gemm_flops.outer"
+                                                : "gemm_flops.square";
+    telemetry::MetricsRegistry::global()
+        .counter(std::string("sim.") + shape_class)
+        .add(f);
+    ++live;
+  }
+  if (live == 0) return;
+  ensure_alive("gemm_batched");
+  const bool fired = faults_ && faults_->fire(FaultSite::Compute);
+  if (fired && faults_->last_fired_kind() == FaultKind::Fatal) {
+    die("compute", name);
+  }
+  const bool corrupt =
+      fired && faults_->last_fired_kind() == FaultKind::Corrupt;
+  // One kernel-launch latency for the block-diagonal batch.
+  duration -=
+      static_cast<sim_time_t>(live - 1) * model_.spec().kernel_latency_s;
+  schedule(Resource::Compute, OpKind::Gemm, s, duration, 0, flops,
+           std::move(name));
+  if (mode_ == ExecutionMode::Real) {
+    bool first = true;
+    for (const GemmBatchEntry& e : entries) {
+      const index_t m = blas::op_rows(e.opa, e.a.rows, e.a.cols);
+      const index_t k = blas::op_cols(e.opa, e.a.rows, e.a.cols);
+      const index_t n = blas::op_cols(e.opb, e.b.rows, e.b.cols);
+      if (m == 0 || n == 0) continue;
+      const Resolved av = resolve(e.a, "gemm_batched");
+      const Resolved bv = resolve(e.b, "gemm_batched");
+      const Resolved cv = resolve(e.c, "gemm_batched");
+      blas::gemm(e.opa, e.opb, m, n, k, e.alpha, av.ptr, av.ld, bv.ptr, bv.ld,
+                 e.beta, cv.ptr, cv.ld, precision);
+      if (e.c.matrix.precision() == StoragePrecision::FP16) {
+        blas::round_to_half(e.c.rows, e.c.cols, cv.ptr, cv.ld);
+      }
+      if (corrupt && first) {
+        Rng& rng = faults_->payload_rng();
+        float& v = cv.ptr[rng.below(m) + rng.below(n) * cv.ld];
+        v += 1.0e4f * (1.0f + std::fabs(v));
+      }
+      first = false;
+    }
+  }
+}
+
 void synchronize_all(const std::vector<Device*>& devices) {
   sim_time_t latest = 0;
   for (Device* dev : devices) {

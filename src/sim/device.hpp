@@ -275,6 +275,52 @@ class Device {
   void custom_compute(Stream s, sim_time_t seconds, flops_t flops, OpKind kind,
                       std::string name, const std::function<void()>& body = {});
 
+  // --- Batched operations ---------------------------------------------------
+  //
+  // One engine occupancy covering many same-direction sub-operations: the
+  // batched serving path coalesces K same-shape jobs into a single
+  // H2D / compute / D2H launch, paying the fixed per-op latency once instead
+  // of K times. Duration is sum(solo durations) - (K-1) * latency; bytes and
+  // flops sum. Real-mode numerics run the identical per-entry bodies in entry
+  // order, so results are bit-identical to K solo operations.
+
+  /// One H2D sub-transfer of a batched move-in.
+  struct H2dBatchEntry {
+    DeviceMatrixRef dst;
+    HostConstRef src;
+  };
+
+  /// One D2H sub-transfer of a batched move-out.
+  struct D2hBatchEntry {
+    HostMutRef dst;
+    DeviceMatrixRef src;
+  };
+
+  /// One independent GEMM of a batched (block-diagonal) compute launch.
+  struct GemmBatchEntry {
+    blas::Op opa = blas::Op::NoTrans;
+    blas::Op opb = blas::Op::NoTrans;
+    float alpha = 1.0f;
+    DeviceMatrixRef a;
+    DeviceMatrixRef b;
+    float beta = 0.0f;
+    DeviceMatrixRef c;
+  };
+
+  /// Fused H2D transfer: one link occupancy, one fault site, K payloads.
+  void copy_h2d_batched(const std::vector<H2dBatchEntry>& entries, Stream s,
+                        std::string name = "h2d_batched");
+
+  /// Fused D2H transfer (symmetric to copy_h2d_batched).
+  void copy_d2h_batched(const std::vector<D2hBatchEntry>& entries, Stream s,
+                        std::string name = "d2h_batched");
+
+  /// Block-diagonal GEMM: K independent products in one compute-engine
+  /// launch (one kernel-launch latency amortized across the batch).
+  void gemm_batched(const std::vector<GemmBatchEntry>& entries,
+                    blas::GemmPrecision precision, Stream s,
+                    std::string name = "gemm_batched");
+
   // --- Introspection ---------------------------------------------------------
 
   const Trace& trace() const { return trace_; }

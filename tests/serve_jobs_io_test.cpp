@@ -171,6 +171,53 @@ TEST(JobsJson, ReportCarriesFleetHealthFields) {
   EXPECT_NE(out.find("\"migrations\": 4"), std::string::npos) << out;
 }
 
+TEST(JobsJson, ReportDoublesRoundTripBitExact) {
+  // Regression: ostream's default 6 significant digits corrupted every
+  // double in the report (0.30000000000000004 went out as "0.3", 1/3 as
+  // "0.333333"), so archived reports silently disagreed with the run that
+  // produced them. All doubles now print with max_digits10: reparsing the
+  // JSON text recovers the original value bit for bit.
+  serve::FleetReport rep;
+  rep.makespan_seconds = 0.1 + 0.2; // 0.30000000000000004, not 0.3
+  rep.queue_wait_p50 = 1.0 / 3.0;
+  rep.queue_wait_p95 = 9.866e-5;
+  rep.queue_wait_p99 = 123456.78901234567;
+  rep.queue_waits = {0.0, 1.0 / 3.0, 2.0 / 7.0};
+  serve::JobReport jr;
+  jr.id = 0;
+  jr.name = "rt";
+  jr.queue_wait_seconds = 0.1 + 0.7; // 0.7999999999999999
+  jr.stats.total_seconds = 2.0 / 3e7;
+  rep.jobs.push_back(jr);
+
+  std::ostringstream os;
+  serve::write_fleet_report_json(os, rep);
+  const std::string out = os.str();
+
+  const auto reparse = [&out](const std::string& key) {
+    const size_t at = out.find("\"" + key + "\": ");
+    EXPECT_NE(at, std::string::npos) << key;
+    return std::stod(out.substr(at + key.size() + 4));
+  };
+  EXPECT_EQ(reparse("makespan_seconds"), rep.makespan_seconds);
+  EXPECT_EQ(reparse("queue_wait_p50_seconds"), rep.queue_wait_p50);
+  EXPECT_EQ(reparse("queue_wait_p95_seconds"), rep.queue_wait_p95);
+  EXPECT_EQ(reparse("queue_wait_p99_seconds"), rep.queue_wait_p99);
+  EXPECT_EQ(reparse("queue_wait_seconds"), jr.queue_wait_seconds);
+  EXPECT_EQ(reparse("total_seconds"), jr.stats.total_seconds);
+
+  const size_t arr = out.find("\"queue_waits_seconds\": [");
+  ASSERT_NE(arr, std::string::npos) << out;
+  std::istringstream is(out.substr(arr + 24));
+  for (size_t i = 0; i < rep.queue_waits.size(); ++i) {
+    double v = 0;
+    char sep = 0;
+    is >> v;
+    EXPECT_EQ(v, rep.queue_waits[i]) << "entry " << i;
+    is >> sep;
+  }
+}
+
 TEST(JobsJson, RejectsStructuralGarbage) {
   EXPECT_THROW(parse_jobs_json("[{]"), InvalidArgument);
   EXPECT_THROW(parse_jobs_json(R"([{"m": 4, "n": 2}] trailing)"),

@@ -458,6 +458,266 @@ TEST(ServeColocation, PreemptedBatchResumesBitIdentical) {
   }
 }
 
+TEST(ServeFusion, FusedSmallJobsShareOneDeviceAndCutMakespan) {
+  // Four same-shape small blocking jobs on ONE device: exclusively they
+  // run back to back, paying every fixed per-op latency (link turnaround,
+  // kernel launch) once per job per round; fused they run as one
+  // block-diagonal batched node program that pays each latency once per
+  // round, so the makespan shrinks.
+  auto run = [](int max_fused) {
+    ServeConfig cfg;
+    cfg.devices = 1;
+    cfg.max_fused_jobs = max_fused;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 4; ++i) {
+      JobSpec job;
+      job.name = "small" + std::to_string(i);
+      job.m = 2048;
+      job.n = 512;
+      job.algorithm = "blocking";
+      job.blocksize = 64;
+      EXPECT_TRUE(sched.submit(job).admitted) << job.name;
+    }
+    return sched.run();
+  };
+
+  const FleetReport exclusive = run(1);
+  const FleetReport fused = run(4);
+  for (const FleetReport* rep : {&exclusive, &fused}) {
+    EXPECT_EQ(rep->jobs_completed, 4);
+    EXPECT_EQ(rep->jobs_failed, 0);
+    for (const JobReport& j : rep->jobs) {
+      EXPECT_EQ(j.state, JobState::Completed) << j.name;
+      EXPECT_GT(j.stats.total_seconds, 0) << j.name;
+    }
+  }
+  // Fused: all four dispatch together in one attempt each.
+  for (const JobReport& j : fused.jobs) EXPECT_EQ(j.attempts, 1);
+  EXPECT_LT(fused.makespan_seconds, exclusive.makespan_seconds);
+  // One fused round per panel: each member still sees its own panel count.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fused.jobs[i].stats.panels, exclusive.jobs[i].stats.panels);
+  }
+}
+
+TEST(ServeFusion, FusedBatchNumericsMatchSoloRuns) {
+  // The serving-path form of the tentpole contract: two jobs coalesced by
+  // the dispatcher into one fused batch finish bit-identical to clean solo
+  // runs — fusion changes the schedule, never the arithmetic.
+  constexpr index_t kM = 96;
+  constexpr index_t kN = 64;
+  constexpr index_t kB = 16;
+
+  ServeConfig cfg;
+  cfg.devices = 1;
+  cfg.mode = ExecutionMode::Real;
+  cfg.max_fused_jobs = 2;
+  Scheduler sched(cfg);
+
+  qr::QrOptions base;
+  base.blocksize = kB;
+  base.precision = blas::GemmPrecision::FP32;
+  base.panel_base = 8;
+
+  std::vector<la::Matrix> as;
+  std::vector<la::Matrix> rs;
+  for (int i = 0; i < 2; ++i) {
+    as.push_back(la::random_normal(kM, kN, 60 + static_cast<unsigned>(i)));
+    rs.emplace_back(kN, kN);
+    JobSpec job;
+    job.name = "fuse" + std::to_string(i);
+    job.m = kM;
+    job.n = kN;
+    job.algorithm = "blocking";
+    job.blocksize = kB;
+    job.precision = blas::GemmPrecision::FP32;
+    job.options = base;
+    job.a = as.back().view();
+    job.r = rs.back().view();
+    ASSERT_TRUE(sched.submit(job).admitted) << job.name;
+  }
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_completed, 2);
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    EXPECT_EQ(j.attempts, 1) << j.name;
+  }
+
+  for (size_t i = 0; i < as.size(); ++i) {
+    la::Matrix q_ref =
+        la::random_normal(kM, kN, 60 + static_cast<unsigned>(i));
+    la::Matrix r_ref(kN, kN);
+    Device clean(cfg.spec, ExecutionMode::Real);
+    clean.model().install_paper_calibration();
+    run_driver("blocking", clean, q_ref.view(), r_ref.view(), base);
+    EXPECT_TRUE(bitwise_equal(as[i], q_ref)) << "job " << i;
+    EXPECT_TRUE(bitwise_equal(rs[i], r_ref)) << "job " << i;
+  }
+}
+
+TEST(ServeOpenLoop, GatedArrivalsAloneStillDrain) {
+  // Every job is behind an arrival gate and nothing is running, so no
+  // units will ever complete to open a gate: the scheduler must force the
+  // earliest gate (simulating the wait) instead of deadlocking, and the
+  // forced job — first onto an idle device — waits zero simulated time.
+  ServeConfig cfg;
+  cfg.devices = 1;
+  Scheduler sched(cfg);
+  const index_t gates[] = {7, 3, 11};
+  std::vector<AdmissionDecision> decisions;
+  for (const index_t gate : gates) {
+    JobSpec job;
+    job.name = "gate" + std::to_string(gate);
+    job.m = job.n = 32768;
+    job.blocksize = 4096;
+    job.arrival_after_units = gate;
+    const AdmissionDecision d = sched.submit(job);
+    ASSERT_TRUE(d.admitted) << job.name << ": " << d.reason;
+    decisions.push_back(d);
+  }
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_completed, 3);
+  EXPECT_EQ(rep.jobs_failed, 0);
+  ASSERT_EQ(rep.queue_waits.size(), 3u);
+  // gate 3 is the earliest: it is forced open first and dispatches onto
+  // the idle device with zero wait.
+  EXPECT_DOUBLE_EQ(report_for(rep, decisions[1].job_id).queue_wait_seconds,
+                   0.0);
+}
+
+TEST(ServeOpenLoop, StaggeredArrivalsInterleaveWithPreemption) {
+  // Open-loop arrivals under contention: four low-priority jobs arrive at
+  // gates 0/1/2/3 on ONE device, and an urgent job lands at gate 4 while
+  // the device is mid-job — forcing a checkpoint-boundary preemption in
+  // the middle of the arrival stream. Everything completes bit-identical,
+  // and the queue-wait record stays exact: one entry per dispatch, and the
+  // per-job sums equal the fleet record (an episode is counted once, never
+  // double-counted across preemption requeues).
+  constexpr index_t kM = 96;
+  constexpr index_t kN = 72;
+  constexpr index_t kB = 12;
+
+  ServeConfig cfg;
+  cfg.devices = 1;
+  cfg.mode = ExecutionMode::Real;
+  Scheduler sched(cfg);
+
+  qr::QrOptions base;
+  base.blocksize = kB;
+  base.precision = blas::GemmPrecision::FP32;
+  base.panel_base = 8;
+
+  std::vector<la::Matrix> as;
+  std::vector<la::Matrix> rs;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(la::random_normal(kM, kN, 200 + static_cast<unsigned>(i)));
+    rs.emplace_back(kN, kN);
+    JobSpec job;
+    job.name = "low" + std::to_string(i);
+    job.m = kM;
+    job.n = kN;
+    job.algorithm = "blocking";
+    job.blocksize = kB;
+    job.precision = blas::GemmPrecision::FP32;
+    job.priority = 1;
+    job.arrival_after_units = static_cast<index_t>(i);
+    job.options = base;
+    job.a = as.back().view();
+    job.r = rs.back().view();
+    ASSERT_TRUE(sched.submit(job).admitted) << job.name;
+  }
+  as.push_back(la::random_normal(kM, kN, 600));
+  rs.emplace_back(kN, kN);
+  JobSpec urgent;
+  urgent.name = "urgent";
+  urgent.m = kM;
+  urgent.n = kN;
+  urgent.algorithm = "blocking";
+  urgent.blocksize = kB;
+  urgent.precision = blas::GemmPrecision::FP32;
+  urgent.priority = 5;
+  urgent.arrival_after_units = 4;
+  urgent.options = base;
+  urgent.a = as.back().view();
+  urgent.r = rs.back().view();
+  ASSERT_TRUE(sched.submit(urgent).admitted);
+
+  const FleetReport rep = sched.run();
+  EXPECT_EQ(rep.jobs_completed, 5);
+  EXPECT_EQ(rep.jobs_failed, 0);
+  EXPECT_GE(rep.jobs_preempted, 1);
+
+  int total_attempts = 0;
+  double jobs_sum = 0;
+  for (const JobReport& j : rep.jobs) {
+    EXPECT_EQ(j.state, JobState::Completed) << j.name;
+    total_attempts += j.attempts;
+    jobs_sum += j.queue_wait_seconds;
+  }
+  EXPECT_EQ(rep.queue_waits.size(), static_cast<size_t>(total_attempts));
+  double fleet_sum = 0;
+  for (const double w : rep.queue_waits) fleet_sum += w;
+  EXPECT_DOUBLE_EQ(jobs_sum, fleet_sum);
+
+  for (size_t i = 0; i < as.size(); ++i) {
+    const std::uint64_t seed = i < 4 ? 200 + i : 600;
+    la::Matrix q_ref = la::random_normal(kM, kN, seed);
+    la::Matrix r_ref(kN, kN);
+    Device clean(cfg.spec, ExecutionMode::Real);
+    clean.model().install_paper_calibration();
+    run_driver("blocking", clean, q_ref.view(), r_ref.view(), base);
+    EXPECT_TRUE(bitwise_equal(as[i], q_ref)) << rep.jobs[i].name;
+    EXPECT_TRUE(bitwise_equal(rs[i], r_ref)) << rep.jobs[i].name;
+  }
+}
+
+TEST(ServeQueueWait, SimulatedWaitsAreExactDeterministicAndUnduplicated) {
+  // Queue waits are simulated-clock quantities: three identical jobs on
+  // one device wait 0, t and 2t where t is one job's service time — and
+  // two runs of the same batch report IDENTICAL waits, double for double
+  // (wall-clock noise never leaks in). The report's percentiles are
+  // nearest-rank over the exact record, not the bucketed histogram.
+  auto run = []() {
+    ServeConfig cfg;
+    cfg.devices = 1;
+    Scheduler sched(cfg);
+    for (int i = 0; i < 3; ++i) {
+      JobSpec job;
+      job.name = "q" + std::to_string(i);
+      job.m = job.n = 32768;
+      job.blocksize = 4096;
+      EXPECT_TRUE(sched.submit(job).admitted) << job.name;
+    }
+    return sched.run();
+  };
+
+  const FleetReport a = run();
+  const FleetReport b = run();
+  ASSERT_EQ(a.queue_waits.size(), 3u); // one entry per dispatch
+  EXPECT_EQ(a.queue_waits, b.queue_waits);
+
+  // Per-job sums equal the fleet record: each episode is counted exactly
+  // once on both sides.
+  double jobs_sum = 0;
+  for (const JobReport& j : a.jobs) jobs_sum += j.queue_wait_seconds;
+  double fleet_sum = 0;
+  for (const double w : a.queue_waits) fleet_sum += w;
+  EXPECT_DOUBLE_EQ(jobs_sum, fleet_sum);
+
+  std::vector<double> sorted = a.queue_waits;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(sorted[0], 0.0); // first dispatch onto an idle device
+  EXPECT_GT(sorted[1], 0.0);
+  // Back-to-back identical jobs: the third waits twice the second's wait.
+  EXPECT_NEAR(sorted[2], 2 * sorted[1], 1e-9 * sorted[2]);
+  // Nearest-rank percentiles over 3 samples: p50 -> rank 2, p95/p99 -> 3.
+  EXPECT_DOUBLE_EQ(a.queue_wait_p50, sorted[1]);
+  EXPECT_DOUBLE_EQ(a.queue_wait_p95, sorted[2]);
+  EXPECT_DOUBLE_EQ(a.queue_wait_p99, sorted[2]);
+}
+
 TEST(ServeScheduler, RunIsSingleShot) {
   ServeConfig cfg;
   Scheduler sched(cfg);
@@ -482,6 +742,9 @@ TEST(ServeScheduler, ConfigValidation) {
   EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
   cfg.admission_memory_fraction = 1.0;
   cfg.max_colocated_jobs = 0;
+  EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
+  cfg.max_colocated_jobs = 1;
+  cfg.max_fused_jobs = 0;
   EXPECT_THROW(Scheduler{cfg}, InvalidArgument);
 }
 

@@ -1,0 +1,212 @@
+// bench_diff — compares a freshly generated bench JSON against a committed
+// baseline with a per-metric tolerance, so CI fails loudly when a
+// performance metric drifts (regression OR unexplained improvement: both
+// mean the committed baseline no longer describes the code).
+//
+//   bench_diff <baseline.json> <fresh.json> [--tolerance 0.05]
+//              [--absolute 1e-9]
+//
+// Both files are flattened to (path -> number) leaves — e.g.
+// "mixes[0].sweep[2].jobs_per_second" — and every numeric leaf of the
+// baseline must exist in the fresh file and agree within
+//   |fresh - base| <= absolute + tolerance * max(|base|, |fresh|).
+// Leaves only present in the fresh file are reported but do not fail (new
+// metrics land before their baseline). Non-numeric leaves (strings,
+// booleans) are ignored: they are labels, not measurements.
+//
+// Exit status: 0 = within tolerance, 1 = drifted / missing metric,
+// 2 = usage or parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  const std::string& file;
+  size_t pos = 0;
+  std::map<std::string, double> leaves;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::cerr << "bench_diff: " << file << ": " << what << " at offset "
+              << pos << "\n";
+    std::exit(2);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text[pos] + "'");
+    }
+    ++pos;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) out.push_back(text[pos++]);
+      else out.push_back(c);
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;
+    return out;
+  }
+
+  void parse_value(const std::string& path) {
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      if (peek() == '}') { ++pos; return; }
+      for (;;) {
+        const std::string key = parse_string();
+        expect(':');
+        parse_value(path.empty() ? key : path + "." + key);
+        if (peek() == ',') { ++pos; continue; }
+        expect('}');
+        return;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      if (peek() == ']') { ++pos; return; }
+      for (size_t i = 0;; ++i) {
+        parse_value(path + "[" + std::to_string(i) + "]");
+        if (peek() == ',') { ++pos; continue; }
+        expect(']');
+        return;
+      }
+    }
+    if (c == '"') {
+      parse_string(); // label, not a measurement
+      return;
+    }
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; return; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; return; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; return; }
+    const size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected a value");
+    const std::string span = text.substr(start, pos - start);
+    try {
+      size_t parsed = 0;
+      const double v = std::stod(span, &parsed);
+      if (parsed != span.size()) throw std::invalid_argument("trailing");
+      leaves[path] = v;
+    } catch (const std::exception&) {
+      fail("malformed number '" + span + "'");
+    }
+  }
+};
+
+std::map<std::string, double> flatten_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_diff: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  Parser p{text, path, 0, {}};
+  p.parse_value("");
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing content");
+  return std::move(p.leaves);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  double tolerance = 0.05;
+  double absolute = 1e-9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") tolerance = std::atof(value().c_str());
+    else if (arg == "--absolute") absolute = std::atof(value().c_str());
+    else if (baseline_path.empty()) baseline_path = arg;
+    else if (fresh_path.empty()) fresh_path = arg;
+    else {
+      std::cerr << "bench_diff: unexpected argument " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty() || tolerance < 0 ||
+      absolute < 0) {
+    std::cerr << "usage: bench_diff <baseline.json> <fresh.json> "
+                 "[--tolerance 0.05] [--absolute 1e-9]\n";
+    return 2;
+  }
+
+  const auto baseline = flatten_file(baseline_path);
+  const auto fresh = flatten_file(fresh_path);
+
+  int drifted = 0;
+  int missing = 0;
+  int compared = 0;
+  for (const auto& [path, base] : baseline) {
+    const auto it = fresh.find(path);
+    if (it == fresh.end()) {
+      std::cerr << "MISSING  " << path << " (baseline " << base
+                << ", absent from " << fresh_path << ")\n";
+      ++missing;
+      continue;
+    }
+    ++compared;
+    const double now = it->second;
+    const double limit =
+        absolute + tolerance * std::max(std::fabs(base), std::fabs(now));
+    if (std::fabs(now - base) > limit) {
+      std::cerr << "DRIFT    " << path << ": baseline " << base << " -> "
+                << now << " (|delta| " << std::fabs(now - base)
+                << " > limit " << limit << ")\n";
+      ++drifted;
+    }
+  }
+  int extra = 0;
+  for (const auto& [path, now] : fresh) {
+    if (baseline.find(path) == baseline.end()) {
+      std::cout << "new metric " << path << " = " << now
+                << " (not in baseline)\n";
+      ++extra;
+    }
+  }
+  std::cout << "bench_diff: " << compared << " metric(s) compared, "
+            << drifted << " drifted, " << missing << " missing, " << extra
+            << " new (tolerance " << tolerance << ", absolute " << absolute
+            << ")\n";
+  return (drifted > 0 || missing > 0) ? 1 : 0;
+}

@@ -92,7 +92,7 @@ Args parse(int argc, char** argv) {
                                        "faults", "checkpoint", "resume",
                                        "checkpoint-every", "jobs", "devices",
                                        "report", "watchdog",
-                                       "failure-threshold"};
+                                       "failure-threshold", "max-fused"};
     bool takes_value = false;
     for (const char* v : value_opts) takes_value |= token == v;
     // --explain-plan is a flag with an optional =dot mode.
@@ -395,6 +395,7 @@ int run_serve(const Args& args) {
   }
   cfg.device_failure_threshold =
       static_cast<int>(args.number("failure-threshold", 3));
+  cfg.max_fused_jobs = static_cast<int>(args.number("max-fused", 1));
   if (const auto it = args.values.find("faults"); it != args.values.end()) {
     cfg.device_faults.assign(static_cast<size_t>(cfg.devices), it->second);
   }
@@ -445,6 +446,14 @@ int run_serve(const Args& args) {
             << " jobs completed, " << rep.jobs_rejected << " rejected, "
             << rep.jobs_preempted << " preemptions, " << rep.job_retries
             << " retries, " << rep.units_completed << " units\n";
+  if (!rep.queue_waits.empty()) {
+    // Exact simulated queue-wait tail from the per-dispatch record (the
+    // telemetry histogram's power-of-two buckets are up to 2x coarser).
+    std::cout << "queue wait p50 " << format_seconds(rep.queue_wait_p50)
+              << ", p95 " << format_seconds(rep.queue_wait_p95) << ", p99 "
+              << format_seconds(rep.queue_wait_p99) << " over "
+              << rep.queue_waits.size() << " dispatch(es)\n";
+  }
   if (rep.devices_lost > 0 || rep.jobs_shed > 0) {
     std::cout << "fleet degraded: " << rep.devices_lost
               << " device(s) lost, " << rep.jobs_migrated << " migration(s), "
@@ -535,6 +544,9 @@ serving (see docs/SERVING.md):
                               SEC strikes its device (default off)
   --failure-threshold N       consecutive failed attempts before a device
                               is declared dead (default 3)
+  --max-fused K               fuse up to K same-shape deadline-free
+                              "blocking" jobs into one batched node program
+                              per device (default 1 = off)
   --report FILE               write the JSON fleet report
   exit 0 when every admitted job completes, 5 when any job failed,
   7 when none failed but load-shedding dropped deadline jobs
